@@ -1,0 +1,219 @@
+//! Additional transforms from the tsaug API surface that the paper's
+//! framework [30] provides: baseline drift, sensor dropout and quantization.
+//! They are not part of the paper's five-technique pipeline but round out the
+//! library for downstream users (and for harsher stress tests).
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::transforms::Augment;
+use crate::util::randn;
+
+/// Slow additive baseline drift — a random low-frequency sinusoid plus a
+/// linear trend, emulating sensor baseline wander (temperature drift,
+/// electrode polarization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drift {
+    /// Peak drift amplitude.
+    pub amplitude: f64,
+}
+
+impl Drift {
+    /// Creates a drift transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative.
+    pub fn new(amplitude: f64) -> Self {
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        Drift { amplitude }
+    }
+}
+
+impl Augment for Drift {
+    fn apply(&self, series: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let n = series.len();
+        if n < 2 {
+            return series.to_vec();
+        }
+        let slope = self.amplitude * randn(rng) * 0.5;
+        let amp = self.amplitude * rng.gen_range(0.0..1.0);
+        let phase: f64 = rng.gen_range(0.0..(2.0 * std::f64::consts::PI));
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let t = i as f64 / (n - 1) as f64;
+                v + slope * t + amp * (std::f64::consts::PI * t + phase).sin()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "drift"
+    }
+}
+
+/// Sensor dropout: random samples are lost and replaced by the previous
+/// valid value (sample-and-hold behavior of a glitching analog front-end).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    /// Per-sample dropout probability.
+    pub rate: f64,
+}
+
+impl Dropout {
+    /// Creates a dropout transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate ∈ [0, 1)`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout { rate }
+    }
+}
+
+impl Augment for Dropout {
+    fn apply(&self, series: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::with_capacity(series.len());
+        let mut held = series.first().copied().unwrap_or(0.0);
+        for &v in series {
+            if rng.gen_range(0.0..1.0) < self.rate {
+                out.push(held); // sample lost: hold the last good value
+            } else {
+                held = v;
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+/// Amplitude quantization to a fixed number of levels over `[-1, 1]` — the
+/// effective resolution limit of a coarse printed sensing chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantize {
+    /// Number of quantization levels (≥ 2).
+    pub levels: usize,
+}
+
+impl Quantize {
+    /// Creates a quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        Quantize { levels }
+    }
+}
+
+impl Augment for Quantize {
+    fn apply(&self, series: &[f64], _rng: &mut dyn RngCore) -> Vec<f64> {
+        let q = (self.levels - 1) as f64;
+        series
+            .iter()
+            .map(|&v| {
+                let clamped = v.clamp(-1.0, 1.0);
+                ((clamped + 1.0) / 2.0 * q).round() / q * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "quantize"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn drift_is_smooth_and_bounded() {
+        let s = vec![0.0; 64];
+        let out = Drift::new(0.3).apply(&s, &mut rng(0));
+        assert_eq!(out.len(), 64);
+        // Sinusoid + linear trend at amplitude 0.3: bounded by ~0.45.
+        assert!(out.iter().all(|v| v.abs() < 1.0));
+        // Smooth: adjacent differences small.
+        for w in out.windows(2) {
+            assert!((w[1] - w[0]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_drift_is_identity() {
+        let s: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(Drift::new(0.0).apply(&s, &mut rng(1)), s);
+    }
+
+    #[test]
+    fn dropout_holds_last_value() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        let out = Dropout::new(0.9).apply(&s, &mut rng(2));
+        assert_eq!(out.len(), 4);
+        // Every output is one of the seen input values (held or passed).
+        for v in &out {
+            assert!(s.contains(v));
+        }
+    }
+
+    #[test]
+    fn zero_rate_dropout_is_identity() {
+        let s = vec![1.0, -2.0, 3.0];
+        assert_eq!(Dropout::new(0.0).apply(&s, &mut rng(3)), s);
+    }
+
+    #[test]
+    fn dropout_rate_statistics() {
+        let s: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let out = Dropout::new(0.3).apply(&s, &mut rng(4));
+        let dropped = s.iter().zip(&out).filter(|(a, b)| a != b).count();
+        let rate = dropped as f64 / s.len() as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn quantize_snaps_to_levels() {
+        let s = vec![-1.0, -0.4, 0.1, 0.9, 1.0];
+        let out = Quantize::new(3).apply(&s, &mut rng(5));
+        // 3 levels over [-1, 1]: {-1, 0, 1}.
+        assert_eq!(out, vec![-1.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let s: Vec<f64> = (0..32).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let q = Quantize::new(9);
+        let once = q.apply(&s, &mut rng(6));
+        let twice = q.apply(&once, &mut rng(7));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn finer_quantization_is_closer() {
+        let s: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.2).sin()).collect();
+        let err = |levels: usize| -> f64 {
+            Quantize::new(levels)
+                .apply(&s, &mut rng(8))
+                .iter()
+                .zip(&s)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err(64) < err(4));
+    }
+}

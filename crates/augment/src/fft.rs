@@ -1,0 +1,173 @@
+//! Iterative radix-2 Cooley–Tukey FFT over interleaved `(re, im)` pairs.
+//!
+//! The paper's frequency-domain augmentation needs only power-of-two
+//! transforms (series are resized to 64 samples), but the API zero-pads any
+//! length for convenience.
+
+/// In-place forward FFT of a power-of-two complex buffer.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [(f64, f64)]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [(f64, f64)]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.0 /= n;
+        v.1 /= n;
+    }
+}
+
+fn transform(data: &mut [(f64, f64)], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2];
+                let t = (
+                    b.0 * cur.0 - b.1 * cur.1,
+                    b.0 * cur.1 + b.1 * cur.0,
+                );
+                data[start + k] = (a.0 + t.0, a.1 + t.1);
+                data[start + k + len / 2] = (a.0 - t.0, a.1 - t.1);
+                cur = (cur.0 * wr - cur.1 * wi, cur.0 * wi + cur.1 * wr);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real series, zero-padded to the next power of two.
+/// Returns the complex spectrum and the padded length.
+pub fn rfft(series: &[f64]) -> Vec<(f64, f64)> {
+    let n = series.len().next_power_of_two().max(1);
+    let mut buf: Vec<(f64, f64)> = series.iter().map(|&v| (v, 0.0)).collect();
+    buf.resize(n, (0.0, 0.0));
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse of [`rfft`], truncated to `out_len` real samples.
+pub fn irfft(mut spectrum: Vec<(f64, f64)>, out_len: usize) -> Vec<f64> {
+    ifft_in_place(&mut spectrum);
+    spectrum.iter().take(out_len).map(|&(re, _)| re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &(re, im)) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<(f64, f64)> = (0..16)
+            .map(|i| ((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft_in_place(&mut fast);
+        let slow = naive_dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let x: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, -(i as f64) / 3.0)).collect();
+        let mut buf = x.clone();
+        fft_in_place(&mut buf);
+        ifft_in_place(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![(0.0, 0.0); 8];
+        buf[0] = (1.0, 0.0);
+        fft_in_place(&mut buf);
+        for &(re, im) in &buf {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_energy() {
+        let n = 64;
+        let series: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 4.0 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = rfft(&series);
+        let mags: Vec<f64> = spec.iter().map(|&(r, i)| r.hypot(i)).collect();
+        let peak_bin = mags
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_bin, 4);
+    }
+
+    #[test]
+    fn rfft_pads_to_power_of_two() {
+        let spec = rfft(&[1.0; 100]);
+        assert_eq!(spec.len(), 128);
+        let back = irfft(spec, 100);
+        assert_eq!(back.len(), 100);
+        for v in &back {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut buf = vec![(0.0, 0.0); 12];
+        fft_in_place(&mut buf);
+    }
+}

@@ -1,0 +1,59 @@
+//! Time-series data augmentation — the reproduction's substitute for the
+//! `tsaug` package the ADAPT-pNC paper uses (§III-B).
+//!
+//! The five techniques the paper lists are implemented as [`Augment`]
+//! transforms:
+//!
+//! * [`Jitter`] — i.i.d. Gaussian sensor noise,
+//! * [`TimeWarp`] — smooth random time-axis distortion,
+//! * [`MagnitudeScale`] — random global amplitude scaling,
+//! * [`RandomCrop`] — random window crop resampled back to full length
+//!   (partial data availability),
+//! * [`FrequencyNoise`] — FFT-domain magnitude/phase perturbation (signal
+//!   distortion), built on the in-crate radix-2 [`fft`].
+//!
+//! Transforms compose with [`Compose`] and are deterministic given an RNG.
+//! Beyond the paper's five, the crate also ships the rest of the tsaug
+//! surface: [`Drift`], [`Dropout`] and [`Quantize`].
+//!
+//! # Example
+//!
+//! ```
+//! use ptnc_augment::{Augment, Compose, Jitter, MagnitudeScale};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let pipeline = Compose::new(vec![
+//!     Box::new(Jitter::new(0.03)),
+//!     Box::new(MagnitudeScale::new(0.8, 1.2)),
+//! ]);
+//! let series: Vec<f64> = (0..64).map(|i| (i as f64 / 8.0).sin()).collect();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let out = pipeline.apply(&series, &mut rng);
+//! assert_eq!(out.len(), series.len());
+//! ```
+
+pub mod fft;
+mod extras;
+mod transforms;
+mod util;
+
+pub use extras::{Drift, Dropout, Quantize};
+pub use transforms::{
+    Augment, Compose, FrequencyNoise, Jitter, MagnitudeScale, RandomCrop, TimeWarp,
+};
+pub use util::resample;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crate_smoke() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let out = Jitter::new(0.1).apply(&s, &mut rng);
+        assert_eq!(out.len(), 32);
+    }
+}

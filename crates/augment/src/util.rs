@@ -1,0 +1,66 @@
+//! Small numeric helpers shared by the transforms.
+
+use rand::Rng;
+
+/// Linear-interpolation resampling to `target_len` samples (endpoints
+/// preserved).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `target_len == 0`.
+pub fn resample(values: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot resample an empty series");
+    assert!(target_len > 0, "target length must be positive");
+    if values.len() == 1 {
+        return vec![values[0]; target_len];
+    }
+    if target_len == 1 {
+        return vec![values[0]];
+    }
+    let n = values.len();
+    (0..target_len)
+        .map(|i| {
+            let pos = i as f64 * (n - 1) as f64 / (target_len - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = pos - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+/// Samples a series at fractional positions `0 ≤ p ≤ len-1`.
+pub(crate) fn sample_at(values: &[f64], pos: f64) -> f64 {
+    let n = values.len();
+    let pos = pos.clamp(0.0, (n - 1) as f64);
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = pos - lo as f64;
+    values[lo] * (1.0 - frac) + values[hi] * frac
+}
+
+/// One standard-normal sample (Box–Muller).
+pub(crate) fn randn(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_round_trips_length() {
+        let v = vec![0.0, 1.0, 0.0, -1.0];
+        assert_eq!(resample(&v, 4), v);
+    }
+
+    #[test]
+    fn sample_at_interpolates() {
+        let v = vec![0.0, 2.0];
+        assert_eq!(sample_at(&v, 0.5), 1.0);
+        assert_eq!(sample_at(&v, -3.0), 0.0);
+        assert_eq!(sample_at(&v, 9.0), 2.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the augmentation pipeline (Fig. 6 machinery):
+//! per-transform cost and the full paper pipeline, including the radix-2 FFT
+//! behind the frequency-domain augmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ptnc_augment::fft::{irfft, rfft};
+use ptnc_augment::{
+    Augment, Compose, FrequencyNoise, Jitter, MagnitudeScale, RandomCrop, TimeWarp,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64).sin())
+        .collect()
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("augment_len64");
+    let s = series(64);
+    let transforms: Vec<(&str, Box<dyn Augment>)> = vec![
+        ("jitter", Box::new(Jitter::new(0.05))),
+        ("time_warp", Box::new(TimeWarp::new(0.1, 4))),
+        ("magnitude_scale", Box::new(MagnitudeScale::new(0.8, 1.2))),
+        ("random_crop", Box::new(RandomCrop::new(0.8))),
+        ("frequency_noise", Box::new(FrequencyNoise::new(0.3, 0.3))),
+        ("paper_pipeline", Box::new(Compose::paper_pipeline(0.5))),
+    ];
+    for (name, t) in &transforms {
+        group.bench_function(*name, |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| t.apply(&s, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[64usize, 256, 1024] {
+        let s = series(n);
+        group.bench_function(format!("rfft_irfft_{n}"), |b| {
+            b.iter(|| irfft(rfft(&s), n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of full-model inference — the quantitative basis of
+//! Table II's runtime comparison (Elman RNN vs baseline pTPNC vs ADAPT-pNC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::variation::VariationConfig;
+use ptnc_nn::ElmanRnn;
+use ptnc_tensor::{init, Tensor};
+
+fn steps(t: usize, batch: usize) -> Vec<Tensor> {
+    (0..t)
+        .map(|k| Tensor::full(&[batch, 1], (k as f64 * 0.17).sin()))
+        .collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_inference_64steps_batch64");
+    let s = steps(64, 64);
+
+    let mut rng = init::rng(0);
+    let elman = ElmanRnn::new(1, 8, 3, &mut rng);
+    group.bench_function("elman_rnn", |b| b.iter(|| elman.forward(&s)));
+
+    let base = PrintedModel::ptpnc(1, 8, 3, &mut rng);
+    group.bench_function("ptpnc_baseline", |b| b.iter(|| base.forward_nominal(&s)));
+
+    let adapt = PrintedModel::adapt_pnc(1, 8, 3, &mut rng);
+    group.bench_function("adapt_pnc", |b| b.iter(|| adapt.forward_nominal(&s)));
+
+    // ADAPT-pNC as evaluated in Table I: Monte-Carlo variation sampling.
+    let cfg = VariationConfig::paper_default();
+    group.bench_function("adapt_pnc_mc_variation", |b| {
+        let mut rng = init::rng(1);
+        b.iter(|| {
+            let noise = adapt.sample_noise(&cfg, &mut rng);
+            adapt.forward(&s, Some(&noise))
+        })
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step_64steps_batch64");
+    group.sample_size(20);
+    let s = steps(64, 64);
+    let labels: Vec<usize> = (0..64).map(|i| i % 3).collect();
+
+    let mut rng = init::rng(2);
+    let base = PrintedModel::ptpnc(1, 8, 3, &mut rng);
+    group.bench_function("ptpnc_forward_backward", |b| {
+        b.iter(|| {
+            let loss = ptnc_nn::cross_entropy(&base.forward_nominal(&s), &labels);
+            loss.backward();
+            for p in base.parameters() {
+                p.zero_grad();
+            }
+        })
+    });
+
+    let adapt = PrintedModel::adapt_pnc(1, 8, 3, &mut rng);
+    let cfg = VariationConfig::paper_default();
+    group.bench_function("adapt_forward_backward_mc2", |b| {
+        let mut rng = init::rng(3);
+        b.iter(|| {
+            let mut acc = Tensor::scalar(0.0);
+            for _ in 0..2 {
+                let noise = adapt.sample_noise(&cfg, &mut rng);
+                let logits = adapt.forward(&s, Some(&noise));
+                acc = acc.add(&ptnc_nn::cross_entropy(&logits, &labels));
+            }
+            acc.div_scalar(2.0).backward();
+            for p in adapt.parameters() {
+                p.zero_grad();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the printed circuit primitives: crossbar
+//! forward, filter-bank step and ptanh transfer — the per-time-step kernels
+//! whose cost dominates Table II's runtime column.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use adapt_pnc::pdk::Pdk;
+use adapt_pnc::primitives::{FilterBank, FilterOrder, PrintedCrossbar, PtanhActivation};
+use ptnc_tensor::{init, Tensor};
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_forward");
+    let pdk = Pdk::paper_default();
+    for &(fan_in, fan_out) in &[(1usize, 8usize), (8, 8), (8, 3)] {
+        let mut rng = init::rng(0);
+        let cb = PrintedCrossbar::new(fan_in, fan_out, &pdk, &mut rng);
+        let x = init::uniform(&[128, fan_in], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("{fan_in}x{fan_out}_batch128"), |b| {
+            b.iter(|| cb.forward(&x, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_sequence_64steps");
+    let pdk = Pdk::paper_default();
+    for (name, order) in [("first", FilterOrder::First), ("second", FilterOrder::Second)] {
+        let mut rng = init::rng(1);
+        let fb = FilterBank::new(order, 8, &pdk, 1.15, &mut rng);
+        let steps: Vec<Tensor> = (0..64)
+            .map(|k| Tensor::full(&[128, 8], (k as f64 * 0.2).sin()))
+            .collect();
+        group.bench_function(name, |b| b.iter(|| fb.forward_sequence(&steps, None)));
+    }
+    group.finish();
+}
+
+fn bench_ptanh(c: &mut Criterion) {
+    let mut rng = init::rng(2);
+    let act = PtanhActivation::new(8, &mut rng);
+    let x = init::uniform(&[128, 8], -1.0, 1.0, &mut rng);
+    c.bench_function("ptanh_batch128x8", |b| b.iter(|| act.forward(&x, None)));
+}
+
+fn bench_backward(c: &mut Criterion) {
+    // Forward + backward through one full pTPB step stack: the training
+    // inner loop.
+    let pdk = Pdk::paper_default();
+    c.bench_function("ptpb_forward_backward_16steps", |b| {
+        let mut rng = init::rng(3);
+        let cb = PrintedCrossbar::new(1, 8, &pdk, &mut rng);
+        let fb = FilterBank::new(FilterOrder::Second, 8, &pdk, 1.15, &mut rng);
+        let act = PtanhActivation::new(8, &mut rng);
+        let steps: Vec<Tensor> = (0..16)
+            .map(|k| Tensor::full(&[64, 1], (k as f64 * 0.3).cos()))
+            .collect();
+        b.iter_batched(
+            || steps.clone(),
+            |steps| {
+                let weighted: Vec<Tensor> = steps.iter().map(|x| cb.forward(x, None)).collect();
+                let filtered = fb.forward_sequence(&weighted, None);
+                let out: Vec<Tensor> = filtered.iter().map(|v| act.forward(v, None)).collect();
+                out.last().unwrap().square().sum_all().backward();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crossbar,
+    bench_filter_sequence,
+    bench_ptanh,
+    bench_backward
+);
+criterion_main!(benches);

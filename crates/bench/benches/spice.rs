@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the SPICE substrate: DC operating points, AC
+//! sweeps, transient runs and μ calibration — the Fig. 4 machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adapt_pnc::filter_design::{lpf_circuit, measure_mu, ptanh_circuit};
+use ptnc_spice::{AcAnalysis, DcAnalysis, TransientAnalysis};
+
+fn bench_dc(c: &mut Criterion) {
+    c.bench_function("dc_ptanh_two_egt", |b| {
+        b.iter(|| {
+            let (ckt, out) = ptanh_circuit(200e3, 200e3, 0.5);
+            DcAnalysis::new(&ckt).solve().map(|op| op.voltage(out)).unwrap()
+        })
+    });
+}
+
+fn bench_ac_sweep(c: &mut Criterion) {
+    c.bench_function("ac_sweep_so_lf_40pts", |b| {
+        let (ckt, out) = lpf_circuit(2, 800.0, 5e-5, Some(20e3));
+        b.iter(|| AcAnalysis::new(&ckt).sweep(out, 0.1, 1e3, 10).unwrap())
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    c.bench_function("transient_so_lf_500steps", |b| {
+        let (ckt, _out) = lpf_circuit(2, 800.0, 5e-5, Some(20e3));
+        b.iter(|| TransientAnalysis::new(&ckt).run(0.5, 1e-3).unwrap())
+    });
+}
+
+fn bench_mu_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mu_calibration");
+    group.sample_size(10);
+    group.bench_function("measure_mu", |b| {
+        b.iter(|| measure_mu(800.0, 1e-4, 4e3, 0.01).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc, bench_ac_sweep, bench_transient, bench_mu_calibration);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of full training epochs — the basis of Table II's
+//! training-runtime comparison at realistic batch sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adapt_pnc::experiments::prepare_split;
+use adapt_pnc::training::{train, train_elman, TrainConfig};
+use ptnc_datasets::all_specs;
+
+fn bench_short_training(c: &mut Criterion) {
+    let spec = all_specs().iter().find(|s| s.name == "PowerCons").unwrap();
+    let split = prepare_split(spec, 0);
+    let mut group = c.benchmark_group("train_10_epochs_powercons");
+    group.sample_size(10);
+
+    group.bench_function("elman_rnn", |b| {
+        b.iter(|| train_elman(&split, 8, 10, 0))
+    });
+    group.bench_function("ptpnc_baseline", |b| {
+        b.iter(|| train(&split, &TrainConfig::baseline_ptpnc(8).with_epochs(10), 0))
+    });
+    group.bench_function("adapt_pnc", |b| {
+        b.iter(|| {
+            train(
+                &split,
+                &TrainConfig {
+                    mc_samples: 2,
+                    ..TrainConfig::adapt_pnc(8).with_epochs(10)
+                },
+                0,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_short_training);
+criterion_main!(benches);

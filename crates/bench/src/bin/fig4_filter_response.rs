@@ -1,0 +1,92 @@
+//! Regenerates the **Fig. 4 insets**: magnitude and step responses of the
+//! printed first-order and second-order (SO-LF) low-pass filters, unloaded
+//! and crossbar-loaded, plus the empirical coupling-factor μ calibration of
+//! §III-2.
+//!
+//! ```text
+//! cargo run -p ptnc-bench --release --bin fig4_filter_response
+//! ```
+
+use adapt_pnc::filter_design::{magnitude_response, measure_mu, step_response};
+
+fn main() {
+    // Representative printable values (paper §IV-A1: filter R < 1 kΩ,
+    // C up to 100 µF, crossbar input resistance ≥ 100 kΩ).
+    let (r, c) = (800.0, 5e-5);
+    let load = 20e3; // a crossbar column of five 100 kΩ inputs
+
+    println!(
+        "# Fig. 4 — printed low-pass filter responses (R = {r} Ω, C = {} µF)",
+        c * 1e6
+    );
+    println!();
+
+    // ----- frequency domain ------------------------------------------------
+    println!("## Magnitude response |H(f)| in dB");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "freq_hz", "first", "second", "first_load", "second_load"
+    );
+    let sweeps = [
+        magnitude_response(1, r, c, None, 0.05, 1e3, 4).expect("ac"),
+        magnitude_response(2, r, c, None, 0.05, 1e3, 4).expect("ac"),
+        magnitude_response(1, r, c, Some(load), 0.05, 1e3, 4).expect("ac"),
+        magnitude_response(2, r, c, Some(load), 0.05, 1e3, 4).expect("ac"),
+    ];
+    let rows = sweeps.iter().map(|s| s.points.len()).min().unwrap_or(0);
+    for i in 0..rows {
+        print!("{:<12.4}", sweeps[0].points[i].freq_hz);
+        for s in &sweeps {
+            print!(" {:>12.3}", s.points[i].magnitude_db());
+        }
+        println!();
+    }
+    println!();
+    for (name, s) in ["first", "second", "first_loaded", "second_loaded"]
+        .iter()
+        .zip(&sweeps)
+    {
+        let fc = s
+            .cutoff_frequency()
+            .map(|f| format!("{f:.2} Hz"))
+            .unwrap_or_else(|| "n/a".into());
+        let roll = s
+            .rolloff_db_per_decade()
+            .map(|r| format!("{r:.1} dB/dec"))
+            .unwrap_or_else(|| "n/a".into());
+        println!("cutoff[{name}] = {fc}, asymptotic rolloff = {roll}");
+    }
+    println!("(paper: the SO-LF has the sharper cutoff — twice the rolloff slope)");
+    println!();
+
+    // ----- time domain -------------------------------------------------
+    println!("## Step response (loaded), every 10 ms");
+    println!("{:<10} {:>10} {:>10}", "t_s", "first", "second");
+    let (t1, v1) = step_response(1, r, c, Some(load), 0.5, 1e-3).expect("tran");
+    let (_t2, v2) = step_response(2, r, c, Some(load), 0.5, 1e-3).expect("tran");
+    for (i, &t) in t1.iter().enumerate().step_by(10) {
+        println!("{t:<10.3} {:>10.4} {:>10.4}", v1[i], v2[i]);
+    }
+    println!();
+
+    // ----- coupling-factor calibration -----------------------------------
+    println!("## Empirical coupling factor μ (paper §III-2: μ ∈ [1, 1.3])");
+    println!("{:<10} {:>10} {:>14} {:>8}", "R_ohm", "C_uF", "load_ohm", "mu");
+    let mut mu_min = f64::INFINITY;
+    let mut mu_max = f64::NEG_INFINITY;
+    for &(r, c_uf, load) in &[
+        (600.0, 50.0, 1.5e3),
+        (1000.0, 50.0, 2e3),
+        (800.0, 100.0, 4e3),
+        (500.0, 100.0, 20e3),
+        (1000.0, 100.0, 100e3),
+        (1000.0, 100.0, 1e9),
+    ] {
+        let mu = measure_mu(r, c_uf * 1e-6, load, 0.01).expect("mu");
+        mu_min = mu_min.min(mu);
+        mu_max = mu_max.max(mu);
+        println!("{r:<10} {c_uf:>10} {load:>14.0} {mu:>8.3}");
+    }
+    println!();
+    println!("measured μ range: [{mu_min:.3}, {mu_max:.3}]  (paper: [1, 1.3])");
+}

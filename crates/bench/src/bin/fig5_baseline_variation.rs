@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 5**: the motivating observation — a trained
+//! no-variation-aware baseline pTPNC collapses when tested under physical
+//! variation and perturbed sensor inputs.
+//!
+//! ```text
+//! cargo run -p ptnc-bench --release --bin fig5_baseline_variation
+//! ```
+
+use adapt_pnc::eval::{evaluate, EvalCondition};
+use adapt_pnc::experiments::{prepare_split, ExperimentScale};
+use adapt_pnc::training::{train, TrainConfig};
+use adapt_pnc::variation::VariationConfig;
+use ptnc_bench::{mean, print_row, print_rule, selected_specs};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("fig5_baseline_variation: scale = {scale:?}");
+
+    let widths = [10usize, 9, 9, 9, 9];
+    print_row(
+        &[
+            "Dataset".into(),
+            "clean".into(),
+            "vary".into(),
+            "perturb".into(),
+            "both".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+
+    let variation = VariationConfig::paper_default();
+    let mut cols = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for spec in selected_specs() {
+        let split = prepare_split(spec, 0);
+        let cfg = TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs);
+        let trained = train(&split, &cfg, 0);
+        let conditions = [
+            EvalCondition::Nominal,
+            EvalCondition::Variation { config: variation, trials: scale.variation_trials },
+            EvalCondition::Perturbed { strength: 0.5 },
+            EvalCondition::VariationAndPerturbed {
+                config: variation,
+                trials: scale.variation_trials,
+                strength: 0.5,
+            },
+        ];
+        let mut cells = vec![spec.name.to_string()];
+        for (i, cond) in conditions.iter().enumerate() {
+            let acc = evaluate(&trained.model, &split.test, cond, 0);
+            cells.push(format!("{acc:.3}"));
+            cols[i].push(acc);
+        }
+        print_row(&cells, &widths);
+    }
+    print_rule(&widths);
+    print_row(
+        &[
+            "Average".into(),
+            format!("{:.3}", mean(&cols[0])),
+            format!("{:.3}", mean(&cols[1])),
+            format!("{:.3}", mean(&cols[2])),
+            format!("{:.3}", mean(&cols[3])),
+        ],
+        &widths,
+    );
+    println!();
+    println!(
+        "accuracy drop clean -> variation+perturbed: {:.1} pp (the paper's Fig. 5 motivation)",
+        (mean(&cols[0]) - mean(&cols[3])) * 100.0
+    );
+}

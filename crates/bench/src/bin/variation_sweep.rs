@@ -1,0 +1,70 @@
+//! Extension study: accuracy as a function of the printing precision δ —
+//! a finer-grained version of the paper's Fig. 5 that sweeps the variation
+//! magnitude instead of evaluating the single ±10 % point, for both the
+//! baseline and the robustness-aware model.
+//!
+//! ```text
+//! PNC_DATASETS=GPOVY,PowerCons cargo run -p ptnc-bench --release --bin variation_sweep
+//! ```
+
+use adapt_pnc::eval::{evaluate, EvalCondition};
+use adapt_pnc::experiments::{prepare_split, ExperimentScale};
+use adapt_pnc::training::{train, TrainConfig};
+use adapt_pnc::variation::VariationConfig;
+use ptnc_bench::{mean, print_row, print_rule, selected_specs};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("variation_sweep: scale = {scale:?}");
+    let deltas = [0.0, 0.05, 0.10, 0.20, 0.30];
+
+    let mut header = vec!["model".to_string()];
+    header.extend(deltas.iter().map(|d| format!("d={d:.2}")));
+    let widths: Vec<usize> = std::iter::once(10usize)
+        .chain(deltas.iter().map(|_| 8usize))
+        .collect();
+
+    // Accuracy per model per delta, averaged across datasets.
+    let mut rows: Vec<(String, Vec<Vec<f64>>)> = vec![
+        ("baseline".into(), vec![Vec::new(); deltas.len()]),
+        ("adapt".into(), vec![Vec::new(); deltas.len()]),
+    ];
+
+    for spec in selected_specs() {
+        let split = prepare_split(spec, 0);
+        let models = [
+            train(&split, &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs), 0),
+            train(
+                &split,
+                &TrainConfig {
+                    mc_samples: scale.mc_samples,
+                    ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
+                },
+                0,
+            ),
+        ];
+        for (row, trained) in rows.iter_mut().zip(&models) {
+            for (i, &delta) in deltas.iter().enumerate() {
+                let condition = if delta == 0.0 {
+                    EvalCondition::Nominal
+                } else {
+                    EvalCondition::Variation {
+                        config: VariationConfig::with_delta(delta),
+                        trials: scale.variation_trials,
+                    }
+                };
+                row.1[i].push(evaluate(&trained.model, &split.test, &condition, 0));
+            }
+        }
+    }
+
+    print_row(&header, &widths);
+    print_rule(&widths);
+    for (name, cols) in &rows {
+        let mut cells = vec![name.clone()];
+        cells.extend(cols.iter().map(|scores| format!("{:.3}", mean(scores))));
+        print_row(&cells, &widths);
+    }
+    println!();
+    println!("(mean test accuracy across the selected datasets; d = relative component variation)");
+}

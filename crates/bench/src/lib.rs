@@ -1,0 +1,78 @@
+//! Shared utilities for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary prints its table/figure data to stdout in the paper's row
+//! order. Fidelity is controlled by the `PNC_*` environment variables
+//! documented in [`adapt_pnc::experiments::ExperimentScale`]; additionally
+//! `PNC_DATASETS` (comma-separated names) restricts the benchmark list.
+
+use ptnc_datasets::{all_specs, BenchmarkSpec};
+
+/// Formats `mean ± std` like the paper's tables.
+pub fn fmt_pm(mean: f64, std: f64) -> String {
+    format!("{mean:.3} ± {std:.3}")
+}
+
+/// Prints one aligned table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a rule matching the given column widths.
+pub fn print_rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// The benchmark list, optionally filtered by the `PNC_DATASETS`
+/// environment variable (comma-separated paper names).
+pub fn selected_specs() -> Vec<&'static BenchmarkSpec> {
+    match std::env::var("PNC_DATASETS") {
+        Err(_) => all_specs().iter().collect(),
+        Ok(filter) => {
+            let wanted: Vec<&str> = filter.split(',').map(str::trim).collect();
+            all_specs()
+                .iter()
+                .filter(|s| wanted.iter().any(|w| w.eq_ignore_ascii_case(s.name)))
+                .collect()
+        }
+    }
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_pm_matches_paper_style() {
+        assert_eq!(fmt_pm(0.7261, 0.0141), "0.726 ± 0.014");
+    }
+
+    #[test]
+    fn all_specs_selected_without_filter() {
+        // The test environment does not set PNC_DATASETS.
+        if std::env::var("PNC_DATASETS").is_err() {
+            assert_eq!(selected_specs().len(), 15);
+        }
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Catastrophic printing-fault injection and yield analysis.
+//!
+//! Beyond the ±10 % parametric variation the paper trains against, additive
+//! printing also produces *catastrophic* defects — missing droplets (open
+//! resistors) and merged traces (conductances stuck at the printable
+//! maximum) [Sowade'16, Abdolmaleki'21]. This module models them through the
+//! same reparameterization machinery: a fault is an extreme multiplicative ε
+//! (0 for an open device, `g_max/|θ|` for a stuck-at-max one), so a faulty
+//! circuit instance is just a [`ModelNoise`] and every evaluation path works
+//! unchanged.
+
+use rand::Rng;
+
+use ptnc_tensor::Tensor;
+
+use crate::models::PrintedModel;
+use crate::pdk::Pdk;
+use crate::variation::{LayerNoise, ModelNoise, VariationConfig};
+
+/// Rates of catastrophic printing defects per crossbar device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a printed resistor is missing (open / ε = 0).
+    pub open_rate: f64,
+    /// Probability that a printed resistor is shorted toward the maximum
+    /// printable conductance (merged droplets).
+    pub stuck_max_rate: f64,
+    /// Parametric variation applied alongside the catastrophic faults.
+    pub variation: VariationConfig,
+}
+
+impl FaultConfig {
+    /// A representative defect scenario: 2 % opens, 1 % stuck-at-max, on top
+    /// of the paper's ±10 % variation.
+    pub fn typical() -> Self {
+        FaultConfig {
+            open_rate: 0.02,
+            stuck_max_rate: 0.01,
+            variation: VariationConfig::paper_default(),
+        }
+    }
+
+    /// Defects only, no parametric variation.
+    pub fn defects_only(open_rate: f64, stuck_max_rate: f64) -> Self {
+        FaultConfig {
+            open_rate,
+            stuck_max_rate,
+            variation: VariationConfig::with_delta(0.0),
+        }
+    }
+}
+
+/// Samples one faulty circuit instance: parametric ε as usual, with a random
+/// subset of crossbar conductances opened or stuck at the printable maximum.
+///
+/// # Panics
+///
+/// Panics if the rates are not probabilities.
+pub fn sample_faulty_instance(
+    model: &PrintedModel,
+    config: &FaultConfig,
+    pdk: &Pdk,
+    rng: &mut impl Rng,
+) -> ModelNoise {
+    assert!(
+        (0.0..=1.0).contains(&config.open_rate)
+            && (0.0..=1.0).contains(&config.stuck_max_rate)
+            && config.open_rate + config.stuck_max_rate <= 1.0,
+        "fault rates must form a probability"
+    );
+    let mut noise = model.sample_noise(&config.variation, rng);
+    let g_cap = pdk.g_max / pdk.g_unit;
+    for (layer, layer_noise) in model.layers().iter().zip(noise.layers.iter_mut()) {
+        let (tw, tb, _) = layer.crossbar().conductances();
+        inject_into(&mut layer_noise.crossbar.eps_w, &tw, config, g_cap, rng);
+        inject_into(&mut layer_noise.crossbar.eps_b, &tb, config, g_cap, rng);
+    }
+    noise
+}
+
+fn inject_into(
+    eps: &mut Tensor,
+    theta: &Tensor,
+    config: &FaultConfig,
+    g_cap: f64,
+    rng: &mut impl Rng,
+) {
+    let theta = theta.to_vec();
+    let mut data = eps.to_vec();
+    for (e, t) in data.iter_mut().zip(&theta) {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if roll < config.open_rate {
+            *e = 0.0; // missing droplet: the device is not there
+        } else if roll < config.open_rate + config.stuck_max_rate {
+            // Merged droplets: magnitude pinned at the printable maximum.
+            *e = if t.abs() > 1e-12 { g_cap / t.abs() } else { 0.0 };
+        }
+    }
+    *eps = Tensor::from_vec(eps.dims(), data);
+}
+
+/// Fraction of `trials` faulty instances whose test accuracy stays at or
+/// above `threshold` — the manufacturing-yield metric for a printed batch.
+pub fn yield_rate(
+    model: &PrintedModel,
+    steps: &[Tensor],
+    labels: &[usize],
+    config: &FaultConfig,
+    pdk: &Pdk,
+    threshold: f64,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let mut good = 0;
+    for _ in 0..trials {
+        let noise = sample_faulty_instance(model, config, pdk, rng);
+        let acc = ptnc_nn::accuracy(&model.forward(steps, Some(&noise)), labels);
+        if acc >= threshold {
+            good += 1;
+        }
+    }
+    good as f64 / trials as f64
+}
+
+/// Convenience view used by reports: one layer's fault statistics.
+pub fn count_faults(noise: &LayerNoise) -> (usize, usize) {
+    let opens = noise
+        .crossbar
+        .eps_w
+        .data()
+        .iter()
+        .chain(noise.crossbar.eps_b.data().iter())
+        .filter(|&&v| v == 0.0)
+        .count();
+    let extremes = noise
+        .crossbar
+        .eps_w
+        .data()
+        .iter()
+        .chain(noise.crossbar.eps_b.data().iter())
+        .filter(|&&v| v > 2.0)
+        .count();
+    (opens, extremes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::init;
+
+    fn model() -> PrintedModel {
+        PrintedModel::adapt_pnc(1, 6, 3, &mut init::rng(0))
+    }
+
+    #[test]
+    fn zero_rates_reduce_to_plain_variation() {
+        let m = model();
+        let cfg = FaultConfig::defects_only(0.0, 0.0);
+        let mut rng = init::rng(1);
+        let noise = sample_faulty_instance(&m, &cfg, &Pdk::paper_default(), &mut rng);
+        for layer in &noise.layers {
+            assert!(layer.crossbar.eps_w.data().iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn open_rate_one_kills_everything() {
+        let m = model();
+        let cfg = FaultConfig::defects_only(1.0, 0.0);
+        let mut rng = init::rng(2);
+        let noise = sample_faulty_instance(&m, &cfg, &Pdk::paper_default(), &mut rng);
+        for layer in &noise.layers {
+            assert!(layer.crossbar.eps_w.data().iter().all(|&v| v == 0.0));
+            assert!(layer.crossbar.eps_b.data().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_statistically_respected() {
+        let m = PrintedModel::adapt_pnc(1, 32, 8, &mut init::rng(3));
+        let cfg = FaultConfig::defects_only(0.1, 0.0);
+        let mut rng = init::rng(4);
+        let noise = sample_faulty_instance(&m, &cfg, &Pdk::paper_default(), &mut rng);
+        let (opens, _) = count_faults(&noise.layers[0]);
+        let devices = 32 + 32 * 8; // eps_w + eps_b of layer 1… approximately
+        let rate = opens as f64 / devices as f64;
+        assert!((0.03..=0.25).contains(&rate), "observed open rate {rate}");
+    }
+
+    #[test]
+    fn faulty_forward_still_runs_and_degrades() {
+        let m = model();
+        let steps: Vec<Tensor> = (0..16)
+            .map(|k| Tensor::full(&[8, 1], (k as f64 * 0.5).sin()))
+            .collect();
+        let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+        let mut rng = init::rng(5);
+        let pdk = Pdk::paper_default();
+        // Heavy damage: yield at a strict threshold must be below perfect.
+        let cfg = FaultConfig::defects_only(0.4, 0.0);
+        let y = yield_rate(&m, &steps, &labels, &cfg, &pdk, 1.01, 8, &mut rng);
+        assert_eq!(y, 0.0, "accuracy > 100% is impossible, so yield must be 0");
+        let y = yield_rate(&m, &steps, &labels, &cfg, &pdk, 0.0, 8, &mut rng);
+        assert_eq!(y, 1.0, "threshold 0 accepts everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_rates_rejected() {
+        let m = model();
+        let cfg = FaultConfig::defects_only(0.9, 0.9);
+        sample_faulty_instance(&m, &cfg, &Pdk::paper_default(), &mut init::rng(0));
+    }
+}

@@ -1,0 +1,317 @@
+//! SPICE-backed circuit design studies (the paper's §IV-A1 "Circuit Design
+//! Setup"): ptanh transfer fitting, filter magnitude / impulse responses
+//! (Fig. 4 insets) and the empirical calibration of the crossbar coupling
+//! factor μ (§III-2).
+
+use ptnc_spice::{
+    AcAnalysis, AcSweep, Circuit, DcAnalysis, EgtModel, Node, SpiceError, TransientAnalysis,
+    Waveform,
+};
+
+/// Builds the printed tanh-like transfer circuit of Fig. 3(b): two cascaded
+/// resistor-loaded EGT inverter stages (components `[R₁ᴬ, R₂ᴬ, T₁ᴬ, T₂ᴬ]`).
+/// Returns the circuit, the input-source index and the output node. The gate
+/// input is driven by the `vin` voltage source (index 1; Vdd is index 0).
+pub fn ptanh_circuit(r1: f64, r2: f64, vin: f64) -> (Circuit, Node) {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let input = c.node("in");
+    let n1 = c.node("stage1");
+    let out = c.node("out");
+    c.vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+    c.vsource(input, Circuit::GROUND, Waveform::Dc(vin));
+    c.resistor(vdd, n1, r1);
+    c.egt(n1, input, Circuit::GROUND, EgtModel::default());
+    c.resistor(vdd, out, r2);
+    c.egt(out, n1, Circuit::GROUND, EgtModel::default());
+    (c, out)
+}
+
+/// DC-sweeps the ptanh circuit over gate voltages `[0, 1]` V.
+///
+/// # Errors
+///
+/// Propagates DC solver failures.
+pub fn ptanh_transfer_sweep(points: usize) -> Result<Vec<(f64, f64)>, SpiceError> {
+    assert!(points >= 2, "need at least two sweep points");
+    let mut sweep = Vec::with_capacity(points);
+    for i in 0..points {
+        let vin = i as f64 / (points - 1) as f64;
+        let (c, out) = ptanh_circuit(200e3, 200e3, vin);
+        let op = DcAnalysis::new(&c).solve()?;
+        sweep.push((vin, op.voltage(out)));
+    }
+    Ok(sweep)
+}
+
+/// Fits `η₁ + η₂·tanh((v − η₃)·η₄)` to a transfer sweep by moment estimation
+/// followed by coordinate-descent refinement. Returns `[η₁, η₂, η₃, η₄]`.
+///
+/// # Panics
+///
+/// Panics if the sweep has fewer than 4 points.
+pub fn fit_ptanh(sweep: &[(f64, f64)]) -> [f64; 4] {
+    assert!(sweep.len() >= 4, "sweep too short to fit");
+    let lo = sweep.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let hi = sweep.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let mut eta = [0.5 * (hi + lo), 0.5 * (hi - lo).max(1e-6), 0.5, 4.0];
+    // η₃: input where the output crosses the midpoint.
+    let mid = eta[0];
+    for w in sweep.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if (y0 - mid) * (y1 - mid) <= 0.0 && y0 != y1 {
+            eta[2] = x0 + (mid - y0) / (y1 - y0) * (x1 - x0);
+            break;
+        }
+    }
+    let sse = |e: &[f64; 4]| -> f64 {
+        sweep
+            .iter()
+            .map(|&(x, y)| {
+                let f = e[0] + e[1] * ((x - e[2]) * e[3]).tanh();
+                (f - y) * (f - y)
+            })
+            .sum()
+    };
+    // Coordinate descent with shrinking steps.
+    let mut steps = [0.05, 0.05, 0.05, 1.0];
+    for _round in 0..60 {
+        for k in 0..4 {
+            let mut best = sse(&eta);
+            loop {
+                let mut improved = false;
+                for dir in [-1.0, 1.0] {
+                    let mut trial = eta;
+                    trial[k] += dir * steps[k];
+                    let e = sse(&trial);
+                    if e < best {
+                        best = e;
+                        eta = trial;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        for s in steps.iter_mut() {
+            *s *= 0.7;
+        }
+    }
+    eta
+}
+
+/// Builds an n-th order printed RC low-pass with identical stages, driven by
+/// voltage source 0 and optionally loaded by `load_ohms` at the output
+/// (emulating the next crossbar's input resistance). Returns the circuit and
+/// its output node.
+///
+/// # Panics
+///
+/// Panics unless `stages` is 1 or 2.
+pub fn lpf_circuit(stages: usize, r: f64, c: f64, load_ohms: Option<f64>) -> (Circuit, Node) {
+    assert!(stages == 1 || stages == 2, "only first/second order supported");
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::Step { t0: 0.0, v0: 0.0, v1: 1.0 });
+    let mut prev = vin;
+    let mut out = vin;
+    for s in 0..stages {
+        let node = ckt.node(&format!("stage{s}"));
+        ckt.resistor(prev, node, r);
+        ckt.capacitor(node, Circuit::GROUND, c);
+        prev = node;
+        out = node;
+    }
+    if let Some(load) = load_ohms {
+        ckt.resistor(out, Circuit::GROUND, load);
+    }
+    (ckt, out)
+}
+
+/// AC magnitude response of a first- or second-order printed filter
+/// (Fig. 4's frequency-domain insets).
+///
+/// # Errors
+///
+/// Propagates AC solver failures.
+pub fn magnitude_response(
+    stages: usize,
+    r: f64,
+    c: f64,
+    load_ohms: Option<f64>,
+    f_start: f64,
+    f_stop: f64,
+    points_per_decade: usize,
+) -> Result<AcSweep, SpiceError> {
+    let (ckt, out) = lpf_circuit(stages, r, c, load_ohms);
+    AcAnalysis::new(&ckt).sweep(out, f_start, f_stop, points_per_decade)
+}
+
+/// Step response of a first- or second-order printed filter sampled on a
+/// uniform grid (Fig. 4's time-domain insets). Returns `(times, voltages)`.
+///
+/// # Errors
+///
+/// Propagates transient solver failures.
+pub fn step_response(
+    stages: usize,
+    r: f64,
+    c: f64,
+    load_ohms: Option<f64>,
+    t_stop: f64,
+    dt: f64,
+) -> Result<(Vec<f64>, Vec<f64>), SpiceError> {
+    let (ckt, out) = lpf_circuit(stages, r, c, load_ohms);
+    let res = TransientAnalysis::new(&ckt).run(t_stop, dt)?;
+    Ok((res.times().to_vec(), res.voltage(out).to_vec()))
+}
+
+/// Empirically measures the coupling factor μ of a first-order learnable
+/// filter loaded by a crossbar of input resistance `load_ohms`, reproducing
+/// the paper's SPICE calibration (§III-2):
+///
+/// the loaded step response is fitted to the discrete recurrence
+/// `V[k+1] = a·V[k] + b` at sampling interval `dt_sample`, and μ is recovered
+/// from `a = RC/(μRC + Δt)` as `μ = 1/a − Δt/RC`.
+///
+/// # Errors
+///
+/// Propagates transient solver failures.
+pub fn measure_mu(r: f64, c: f64, load_ohms: f64, dt_sample: f64) -> Result<f64, SpiceError> {
+    let (ckt, out) = lpf_circuit(1, r, c, Some(load_ohms));
+    let tau = r * c;
+    let sim_dt = (tau / 400.0).min(dt_sample / 20.0);
+    let t_stop = (6.0 * tau).max(6.0 * dt_sample);
+    let res = TransientAnalysis::new(&ckt).run(t_stop, sim_dt)?;
+
+    // Sample the output on the dt_sample grid.
+    let times = res.times();
+    let volts = res.voltage(out);
+    let mut samples = Vec::new();
+    let mut next_t = 0.0;
+    for (i, &t) in times.iter().enumerate() {
+        if t + 1e-15 >= next_t {
+            samples.push(volts[i]);
+            next_t += dt_sample;
+        }
+    }
+    // Least-squares fit of v[k+1] = a·v[k] + b.
+    let n = samples.len() - 1;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for k in 0..n {
+        let (x, y) = (samples[k], samples[k + 1]);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let nf = n as f64;
+    let a = (nf * sxy - sx * sy) / (nf * sxx - sx * sx);
+    Ok(1.0 / a - dt_sample / (r * c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptanh_sweep_is_monotone_sigmoid() {
+        let sweep = ptanh_transfer_sweep(21).unwrap();
+        // Two cascaded inverters: overall non-inverting (rising) transfer.
+        assert!(sweep.last().unwrap().1 > sweep[0].1 + 0.3);
+        // Saturates at both ends: the middle has the largest slope.
+        let slope = |i: usize| (sweep[i + 1].1 - sweep[i].1).abs();
+        let end_slope = slope(0) + slope(19);
+        let max_slope = (0..20).map(slope).fold(0.0f64, f64::max);
+        assert!(max_slope > 3.0 * end_slope, "not sigmoid-shaped");
+    }
+
+    #[test]
+    fn fit_recovers_known_tanh() {
+        let truth = [0.55, 0.35, 0.42, 5.0];
+        let sweep: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let x = i as f64 / 59.0;
+                (x, truth[0] + truth[1] * ((x - truth[2]) * truth[3]).tanh())
+            })
+            .collect();
+        let eta = fit_ptanh(&sweep);
+        for (e, t) in eta.iter().zip(&truth) {
+            assert!((e - t).abs() < 0.05, "fitted {eta:?} vs truth {truth:?}");
+        }
+    }
+
+    #[test]
+    fn fit_of_spice_sweep_is_accurate() {
+        let sweep = ptanh_transfer_sweep(41).unwrap();
+        let eta = fit_ptanh(&sweep);
+        let max_err = sweep
+            .iter()
+            .map(|&(x, y)| (eta[0] + eta[1] * ((x - eta[2]) * eta[3]).tanh() - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 0.06, "fit error {max_err} too large (eta={eta:?})");
+        assert!(eta[3] > 0.0, "gain must be positive for the rising transfer");
+    }
+
+    #[test]
+    fn second_order_cutoff_is_sharper() {
+        // At equal per-stage RC, the 2nd-order filter attenuates more beyond
+        // cutoff (the SO-LF motivation in §III).
+        let (r, c) = (500.0, 2e-5);
+        let first = magnitude_response(1, r, c, None, 0.1, 1e4, 10).unwrap();
+        let second = magnitude_response(2, r, c, None, 0.1, 1e4, 10).unwrap();
+        let roll1 = first.rolloff_db_per_decade().unwrap();
+        let roll2 = second.rolloff_db_per_decade().unwrap();
+        assert!(roll1 < -15.0 && roll1 > -25.0, "first-order rolloff {roll1}");
+        assert!(roll2 < -35.0, "second-order rolloff {roll2}");
+    }
+
+    #[test]
+    fn measured_mu_in_paper_interval() {
+        // Filter values per the paper's design rule — "capacitances are
+        // designed as high as the printing technology allows to minimize the
+        // coupling effect" — against crossbar loads from heavy (a column of
+        // many 100 kΩ inputs in parallel) to light: μ must stay inside the
+        // paper's empirical [1, 1.3].
+        let dt = 0.01;
+        for &(r, c, load) in &[
+            (600.0, 5e-5, 1.5e3),  // heavy coupling
+            (1000.0, 5e-5, 2e3),   // strong
+            (500.0, 1e-4, 20e3),   // moderate
+            (1000.0, 1e-4, 3e3),   // moderate
+            (1000.0, 1e-4, 100e3), // light
+        ] {
+            let mu = measure_mu(r, c, load, dt).unwrap();
+            assert!(
+                (0.99..=1.31).contains(&mu),
+                "mu = {mu} for R={r} C={c} load={load}"
+            );
+        }
+    }
+
+    #[test]
+    fn unloaded_mu_is_close_to_one() {
+        // With RC ≫ Δt and no load, the discrete recurrence matches the
+        // paper's μ = 1 model.
+        let mu = measure_mu(1000.0, 1e-4, 1e9, 0.01).unwrap();
+        assert!((mu - 1.0).abs() < 0.05, "unloaded mu = {mu}");
+    }
+
+    #[test]
+    fn heavier_loading_raises_mu() {
+        let dt = 0.01;
+        let light = measure_mu(800.0, 1e-4, 200e3, dt).unwrap();
+        let heavy = measure_mu(800.0, 1e-4, 4e3, dt).unwrap();
+        assert!(heavy > light, "heavy {heavy} !> light {light}");
+    }
+
+    #[test]
+    fn step_response_reaches_partial_dc_gain_under_load() {
+        let (_, v) = step_response(1, 1000.0, 1e-4, Some(4e3), 2.0, 1e-3).unwrap();
+        let steady = *v.last().unwrap();
+        // Divider: 4k/(1k+4k) = 0.8.
+        assert!((steady - 0.8).abs() < 0.01, "steady {steady}");
+    }
+}

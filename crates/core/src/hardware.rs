@@ -1,0 +1,184 @@
+//! Device counting — the hardware-cost side of the paper's Table III.
+//!
+//! Conventions (per the pNC circuit primitives of Fig. 3):
+//!
+//! * crossbar: one printed resistor per surrogate conductance (inputs ×
+//!   outputs input resistors, plus one bias and one dummy resistor per
+//!   column),
+//! * every *negative* surrogate conductance needs an inverter circuit
+//!   (2 EGTs + 2 resistors),
+//! * ptanh activation circuit: 2 EGTs + 2 resistors per neuron
+//!   (`qᴬ = [R₁ᴬ, R₂ᴬ, T₁ᴬ, T₂ᴬ]`),
+//! * learnable filter: 1 resistor + 1 capacitor per RC stage — the SO-LF
+//!   doubles the passive count per filter, which is the paper's ≈1.9× device
+//!   overhead.
+
+use crate::models::PrintedModel;
+
+/// Devices used by a circuit block or model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct DeviceCount {
+    /// Printed electrolyte-gated transistors.
+    pub transistors: usize,
+    /// Printed resistors.
+    pub resistors: usize,
+    /// Printed capacitors.
+    pub capacitors: usize,
+}
+
+impl DeviceCount {
+    /// Total device count (the paper's "#Total Devices" column).
+    pub fn total(&self) -> usize {
+        self.transistors + self.resistors + self.capacitors
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &DeviceCount) -> DeviceCount {
+        DeviceCount {
+            transistors: self.transistors + other.transistors,
+            resistors: self.resistors + other.resistors,
+            capacitors: self.capacitors + other.capacitors,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}T/{}R/{}C (total {})",
+            self.transistors,
+            self.resistors,
+            self.capacitors,
+            self.total()
+        )
+    }
+}
+
+/// Counts the devices of a trained printed model.
+pub fn count_devices(model: &PrintedModel) -> DeviceCount {
+    let mut total = DeviceCount::default();
+    for layer in model.layers() {
+        let cb = layer.crossbar();
+        let (tw, tb, _td) = cb.conductances();
+        let fan_in = cb.fan_in();
+        let fan_out = cb.fan_out();
+
+        // Crossbar resistors: inputs + bias + dummy per column.
+        let crossbar_resistors = fan_in * fan_out + 2 * fan_out;
+        // Inverters for negative surrogate conductances.
+        let negatives = tw
+            .to_vec()
+            .iter()
+            .chain(tb.to_vec().iter())
+            .filter(|&&v| v < 0.0)
+            .count();
+        total = total.add(&DeviceCount {
+            transistors: 2 * negatives,
+            resistors: crossbar_resistors + 2 * negatives,
+            capacitors: 0,
+        });
+
+        // Filters.
+        total = total.add(&DeviceCount {
+            transistors: 0,
+            resistors: layer.filters().resistor_count(),
+            capacitors: layer.filters().capacitor_count(),
+        });
+
+        // ptanh activation circuits.
+        let width = layer.activation().width();
+        total = total.add(&DeviceCount {
+            transistors: 2 * width,
+            resistors: 2 * width,
+            capacitors: 0,
+        });
+    }
+    total
+}
+
+/// One row of the Table III hardware comparison.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct HardwareReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Baseline pTPNC devices.
+    pub baseline: DeviceCount,
+    /// ADAPT-pNC devices.
+    pub proposed: DeviceCount,
+    /// Baseline static power (W).
+    pub baseline_power: f64,
+    /// ADAPT-pNC static power (W).
+    pub proposed_power: f64,
+}
+
+impl HardwareReport {
+    /// Device-count overhead of the proposed model (the paper reports ≈1.9×).
+    pub fn device_overhead(&self) -> f64 {
+        self.proposed.total() as f64 / self.baseline.total() as f64
+    }
+
+    /// Relative power saving of the proposed model (the paper reports ≈91 %).
+    pub fn power_saving(&self) -> f64 {
+        1.0 - self.proposed_power / self.baseline_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PrintedModel;
+    use ptnc_tensor::init;
+
+    #[test]
+    fn counts_scale_with_architecture() {
+        let mut rng = init::rng(0);
+        let small = count_devices(&PrintedModel::ptpnc(1, 3, 2, &mut rng));
+        let large = count_devices(&PrintedModel::ptpnc(1, 8, 2, &mut rng));
+        assert!(large.total() > small.total());
+    }
+
+    #[test]
+    fn so_lf_doubles_capacitors() {
+        let mut rng = init::rng(1);
+        let base = count_devices(&PrintedModel::ptpnc(1, 5, 3, &mut rng));
+        let adapt = count_devices(&PrintedModel::adapt_pnc(1, 5, 3, &mut rng));
+        assert_eq!(base.capacitors, 8); // (5 + 3) first-order filters
+        assert_eq!(adapt.capacitors, 16); // two stages each
+    }
+
+    #[test]
+    fn crossbar_resistor_formula() {
+        let mut rng = init::rng(2);
+        let m = PrintedModel::ptpnc(1, 3, 2, &mut rng);
+        let c = count_devices(&m);
+        // Layer 1: 1×3 + 2×3 = 9; layer 2: 3×2 + 2×2 = 10; filters: 3 + 2;
+        // ptanh: 2×(3+2) = 10 resistors. Plus 2 per negative θ.
+        let base = 9 + 10 + 5 + 10;
+        assert!(c.resistors >= base, "{} < {base}", c.resistors);
+        assert_eq!((c.resistors - base) % 2, 0, "inverters come in resistor pairs");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = DeviceCount {
+            transistors: 2,
+            resistors: 3,
+            capacitors: 4,
+        };
+        assert_eq!(d.to_string(), "2T/3R/4C (total 9)");
+    }
+
+    #[test]
+    fn report_ratios() {
+        let r = HardwareReport {
+            dataset: "X".into(),
+            baseline: DeviceCount { transistors: 10, resistors: 80, capacitors: 10 },
+            proposed: DeviceCount { transistors: 30, resistors: 140, capacitors: 20 },
+            baseline_power: 1e-3,
+            proposed_power: 1e-4,
+        };
+        assert!((r.device_overhead() - 1.9).abs() < 1e-12);
+        assert!((r.power_saving() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Printable component ranges and nominal constants of the printed PDK.
+//!
+//! Values follow the paper's circuit-design setup (§IV-A1): crossbar
+//! resistances 100 kΩ–10 MΩ, filter resistances below 1 kΩ, capacitances
+//! 100 nF–100 µF, and sub-1V electrolyte-gated transistor operation. The
+//! `ptanh` η-defaults are the recentered output of the SPICE fit in
+//! [`crate::filter_design::fit_ptanh`].
+
+/// Printable ranges and nominal operating constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pdk {
+    /// Minimum printable crossbar conductance (S) — 10 MΩ.
+    pub g_min: f64,
+    /// Maximum printable crossbar conductance (S) — 100 kΩ.
+    pub g_max: f64,
+    /// Conductance unit (S) in which surrogate conductances are trained.
+    /// Crossbar θ leaves hold θ/g_unit so the optimizer sees O(1) values;
+    /// the crossbar's ratio normalization makes the forward pass invariant
+    /// to this choice.
+    pub g_unit: f64,
+    /// Minimum filter resistance (Ω).
+    pub filter_r_min: f64,
+    /// Maximum filter resistance (Ω) — "designed with lower values (<1 kΩ)".
+    pub filter_r_max: f64,
+    /// Minimum printable capacitance (F).
+    pub cap_min: f64,
+    /// Maximum printable capacitance (F).
+    pub cap_max: f64,
+    /// Temporal discretization Δt of the sensor front-end (s).
+    pub dt: f64,
+    /// Supply voltage (V); signals are normalized to ±1 V.
+    pub vdd: f64,
+    /// Static power drawn by one ptanh activation circuit (W), from the DC
+    /// operating point of the two-EGT divider stage.
+    pub ptanh_power: f64,
+    /// Static power drawn by one inverter (negative-weight) circuit (W).
+    pub inverter_power: f64,
+}
+
+impl Pdk {
+    /// The paper's printed PDK values.
+    pub const fn paper_default() -> Self {
+        Pdk {
+            g_min: 1e-7,
+            g_max: 1e-5,
+            g_unit: 1e-6,
+            filter_r_min: 50.0,
+            filter_r_max: 1_000.0,
+            cap_min: 100e-9,
+            cap_max: 100e-6,
+            dt: 0.01,
+            vdd: 1.0,
+            ptanh_power: 6e-7,
+            inverter_power: 3e-7,
+        }
+    }
+
+    /// Maximum achievable filter time constant `R·C` (s).
+    pub fn max_time_constant(&self) -> f64 {
+        self.filter_r_max * self.cap_max
+    }
+
+    /// Minimum achievable filter time constant `R·C` (s).
+    pub fn min_time_constant(&self) -> f64 {
+        self.filter_r_min * self.cap_min
+    }
+}
+
+impl Default for Pdk {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Default `ptanh` parameters `(η₁, η₂, η₃, η₄)` in the normalized ±1 V
+/// signal convention, recentered from the circuit-domain SPICE fit.
+pub const PTANH_ETA_DEFAULT: [f64; 4] = [0.05, 0.85, 0.05, 2.5];
+
+/// Logit scale applied to the final-layer voltages for the cross-entropy
+/// loss (a training-time artifact of the sense stage; argmax-invariant).
+pub const LOGIT_SCALE: f64 = 4.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_ordered() {
+        let pdk = Pdk::paper_default();
+        assert!(pdk.g_min < pdk.g_unit && pdk.g_unit < pdk.g_max);
+        assert!(pdk.filter_r_min < pdk.filter_r_max);
+        assert!(pdk.cap_min < pdk.cap_max);
+        assert!(pdk.filter_r_max <= 1_000.0, "paper: filter R below 1 kΩ");
+    }
+
+    #[test]
+    fn crossbar_resistance_window_matches_paper() {
+        let pdk = Pdk::paper_default();
+        assert!((1.0 / pdk.g_max - 100e3).abs() < 1e-6);
+        assert!((1.0 / pdk.g_min - 10e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn filters_can_remember_across_many_steps() {
+        // The decay factor a = RC/(RC+Δt) must be able to exceed 0.9 so the
+        // SO-LF can integrate over tens of time steps.
+        let pdk = Pdk::paper_default();
+        let a_max = pdk.max_time_constant() / (pdk.max_time_constant() + pdk.dt);
+        assert!(a_max > 0.9, "a_max = {a_max}");
+        // ... and to forget almost immediately at the other extreme.
+        let a_min = pdk.min_time_constant() / (pdk.min_time_constant() + pdk.dt);
+        assert!(a_min < 0.01, "a_min = {a_min}");
+    }
+}

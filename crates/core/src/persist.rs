@@ -1,0 +1,209 @@
+//! Persistence of trained printed models: serialize every component value
+//! (conductances, filter R/C, activation η) to JSON and restore it into a
+//! freshly built model — the "design file" a printing service would consume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::models::{FilterOrder, PrintedModel};
+use crate::pdk::Pdk;
+
+/// A serializable snapshot of a trained printed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Input feature count.
+    pub input_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Class count.
+    pub classes: usize,
+    /// Filter stages per filter (1, 2 or 3).
+    pub filter_stages: usize,
+    /// Every parameter tensor's data, in [`PrintedModel::parameters`] order.
+    pub parameters: Vec<Vec<f64>>,
+}
+
+/// Errors when restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// The stored filter stage count is not 1, 2 or 3.
+    BadFilterOrder(usize),
+    /// Parameter list length differs from the rebuilt architecture.
+    ParameterCountMismatch {
+        /// Parameters expected by the architecture.
+        expected: usize,
+        /// Parameters found in the snapshot.
+        found: usize,
+    },
+    /// One parameter tensor has the wrong number of elements.
+    ParameterShapeMismatch {
+        /// Index in the parameter list.
+        index: usize,
+        /// Elements expected.
+        expected: usize,
+        /// Elements found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::BadFilterOrder(n) => write!(f, "unsupported filter stage count {n}"),
+            RestoreError::ParameterCountMismatch { expected, found } => {
+                write!(f, "snapshot has {found} parameter tensors, architecture needs {expected}")
+            }
+            RestoreError::ParameterShapeMismatch { index, expected, found } => write!(
+                f,
+                "parameter {index} has {found} elements, architecture needs {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Captures a model's architecture and every component value.
+pub fn snapshot(model: &PrintedModel) -> ModelSnapshot {
+    ModelSnapshot {
+        input_dim: model.input_dim(),
+        hidden: model.hidden(),
+        classes: model.num_classes(),
+        filter_stages: model.order().stages(),
+        parameters: model.parameters().iter().map(|p| p.to_vec()).collect(),
+    }
+}
+
+/// Rebuilds a model from a snapshot (nominal μ, default PDK).
+///
+/// # Errors
+///
+/// Returns [`RestoreError`] when the snapshot is inconsistent with the
+/// architecture it declares.
+pub fn restore(snap: &ModelSnapshot) -> Result<PrintedModel, RestoreError> {
+    let order = match snap.filter_stages {
+        1 => FilterOrder::First,
+        2 => FilterOrder::Second,
+        3 => FilterOrder::Third,
+        n => return Err(RestoreError::BadFilterOrder(n)),
+    };
+    // Deterministic scaffold; every value is overwritten below.
+    let mut rng = ptnc_tensor::init::rng(0);
+    let model = PrintedModel::new(
+        snap.input_dim,
+        snap.hidden,
+        snap.classes,
+        order,
+        &Pdk::paper_default(),
+        &mut rng,
+    );
+    let params = model.parameters();
+    if params.len() != snap.parameters.len() {
+        return Err(RestoreError::ParameterCountMismatch {
+            expected: params.len(),
+            found: snap.parameters.len(),
+        });
+    }
+    for (index, (p, data)) in params.iter().zip(&snap.parameters).enumerate() {
+        if p.len() != data.len() {
+            return Err(RestoreError::ParameterShapeMismatch {
+                index,
+                expected: p.len(),
+                found: data.len(),
+            });
+        }
+        p.set_data(data.clone());
+    }
+    Ok(model)
+}
+
+/// Serializes a model to a JSON string.
+///
+/// # Panics
+///
+/// Panics only if JSON serialization of plain floats fails (it cannot).
+pub fn to_json(model: &PrintedModel) -> String {
+    serde_json::to_string_pretty(&snapshot(model)).expect("plain data serializes")
+}
+
+/// Restores a model from [`to_json`] output.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON, or a [`RestoreError`] description
+/// for inconsistent snapshots.
+pub fn from_json(json: &str) -> Result<PrintedModel, String> {
+    let snap: ModelSnapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    restore(&snap).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::{init, Tensor};
+
+    fn model() -> PrintedModel {
+        PrintedModel::adapt_pnc(2, 5, 3, &mut init::rng(7))
+    }
+
+    fn steps() -> Vec<Tensor> {
+        (0..12)
+            .map(|k| Tensor::full(&[3, 2], (k as f64 * 0.4).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behavior() {
+        let m = model();
+        let restored = restore(&snapshot(&m)).unwrap();
+        let a = m.forward_nominal(&steps()).to_vec();
+        let b = restored.forward_nominal(&steps()).to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = model();
+        let json = to_json(&m);
+        assert!(json.contains("\"hidden\": 5"));
+        let restored = from_json(&json).unwrap();
+        let a = m.forward_nominal(&steps()).to_vec();
+        let b = restored.forward_nominal(&steps()).to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bad_filter_order_rejected() {
+        let mut snap = snapshot(&model());
+        snap.filter_stages = 9;
+        assert!(matches!(restore(&snap), Err(RestoreError::BadFilterOrder(9))));
+    }
+
+    #[test]
+    fn parameter_count_mismatch_rejected() {
+        let mut snap = snapshot(&model());
+        snap.parameters.pop();
+        assert!(matches!(
+            restore(&snap),
+            Err(RestoreError::ParameterCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parameter_shape_mismatch_rejected() {
+        let mut snap = snapshot(&model());
+        snap.parameters[0].push(0.0);
+        let err = restore(&snap).unwrap_err();
+        assert!(matches!(err, RestoreError::ParameterShapeMismatch { index: 0, .. }));
+        assert!(err.to_string().contains("parameter 0"));
+    }
+
+    #[test]
+    fn malformed_json_reports_error() {
+        assert!(from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Static power model — the "Power (mW)" column of the paper's Table III.
+//!
+//! Printed neuromorphic circuits burn static power in three places:
+//!
+//! 1. **crossbar resistors** — every conductance conducts between the signal
+//!    rails; with ±1 V normalized signals the per-resistor dissipation is
+//!    bounded by `g·V_dd²`, which we use as the (worst-case) estimate, the
+//!    same convention used to regularize training,
+//! 2. **inverter circuits** (one per negative weight) — a fixed bias current,
+//! 3. **ptanh circuits** — the two-EGT divider stage's operating point.
+//!
+//! Filter RC networks carry no static current (the capacitor blocks DC), so
+//! the SO-LF adds devices but *no* static power — that, together with the
+//! conductance-sum regularizer pushing crossbar resistances toward the
+//! 10 MΩ printable limit, is how ADAPT-pNC ends up ≈91 % cheaper in power
+//! despite ≈1.9× the devices.
+
+use crate::models::PrintedModel;
+use crate::pdk::Pdk;
+
+/// Per-contributor breakdown of a model's static power (watts).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Crossbar resistor dissipation.
+    pub crossbar: f64,
+    /// Inverter (negative-weight circuit) bias power.
+    pub inverters: f64,
+    /// ptanh activation circuit bias power.
+    pub activations: f64,
+}
+
+impl PowerBreakdown {
+    /// Total static power in watts.
+    pub fn total(&self) -> f64 {
+        self.crossbar + self.inverters + self.activations
+    }
+
+    /// Total static power in milliwatts (the paper's unit).
+    pub fn total_mw(&self) -> f64 {
+        self.total() * 1e3
+    }
+}
+
+/// Estimates the static power of a trained printed model.
+///
+/// The inverter and ptanh peripheral circuits are built from the same
+/// printable resistor family as the crossbar and are impedance-matched to
+/// the columns they serve, so their resistive dissipation scales with the
+/// layer's mean conductance; each also carries a small fixed EGT bias
+/// ([`Pdk::inverter_power`], [`Pdk::ptanh_power`]). This is what lets the
+/// power-aware objective shrink the *whole* circuit's power — the mechanism
+/// behind the paper's ≈91 % saving at 1.9× devices.
+pub fn model_power(model: &PrintedModel, pdk: &Pdk) -> PowerBreakdown {
+    let mut p = PowerBreakdown::default();
+    for layer in model.layers() {
+        let (tw, tb, td) = layer.crossbar().conductances();
+        let values: Vec<f64> = tw
+            .to_vec()
+            .iter()
+            .chain(tb.to_vec().iter())
+            .chain(td.to_vec().iter())
+            .map(|v| v.abs())
+            .collect();
+        let g_sum: f64 = values.iter().sum::<f64>() * pdk.g_unit;
+        let g_mean = g_sum / values.len() as f64;
+        p.crossbar += g_sum * pdk.vdd * pdk.vdd;
+
+        let negatives = tw
+            .to_vec()
+            .iter()
+            .chain(tb.to_vec().iter())
+            .filter(|&&v| v < 0.0)
+            .count();
+        // Inverter: two impedance-matched resistors plus EGT bias.
+        let inverter = 2.0 * g_mean * pdk.vdd * pdk.vdd + pdk.inverter_power;
+        p.inverters += negatives as f64 * inverter;
+        // ptanh: two matched resistors plus the two-EGT bias current.
+        let ptanh = 2.0 * g_mean * pdk.vdd * pdk.vdd + pdk.ptanh_power;
+        p.activations += layer.activation().width() as f64 * ptanh;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PrintedModel;
+    use ptnc_tensor::init;
+
+    #[test]
+    fn power_is_positive_and_millwatt_scale() {
+        let mut rng = init::rng(0);
+        let m = PrintedModel::ptpnc(1, 4, 3, &mut rng);
+        let p = model_power(&m, &Pdk::paper_default());
+        assert!(p.total() > 0.0);
+        // Fresh models sit in the µW–mW regime like the paper's Table III.
+        assert!(p.total_mw() > 1e-3 && p.total_mw() < 10.0, "{} mW", p.total_mw());
+    }
+
+    #[test]
+    fn lower_conductance_means_lower_power() {
+        let mut rng = init::rng(1);
+        let m = PrintedModel::ptpnc(1, 4, 2, &mut rng);
+        let before = model_power(&m, &Pdk::paper_default()).crossbar;
+        for layer in m.layers() {
+            for p in layer.crossbar().parameters() {
+                p.map_data_in_place(|v| v * 0.1);
+            }
+        }
+        let after = model_power(&m, &Pdk::paper_default()).crossbar;
+        assert!((after - before * 0.1).abs() < before * 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut rng = init::rng(2);
+        let m = PrintedModel::adapt_pnc(1, 4, 2, &mut rng);
+        let p = model_power(&m, &Pdk::paper_default());
+        assert!((p.total() - (p.crossbar + p.inverters + p.activations)).abs() < 1e-18);
+        assert!((p.total_mw() - p.total() * 1e3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filters_contribute_no_static_power() {
+        // Same crossbars/activations, different filter order ⇒ identical power
+        // when conductances match.
+        let mut rng = init::rng(3);
+        let a = PrintedModel::ptpnc(1, 4, 2, &mut rng);
+        let b = PrintedModel::adapt_pnc(1, 4, 2, &mut rng);
+        // Force identical crossbar data.
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            for (pa, pb) in la
+                .crossbar()
+                .parameters()
+                .iter()
+                .zip(lb.crossbar().parameters())
+            {
+                pb.set_data(pa.to_vec());
+            }
+        }
+        let pa = model_power(&a, &Pdk::paper_default());
+        let pb = model_power(&b, &Pdk::paper_default());
+        assert!((pa.total() - pb.total()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,287 @@
+//! The printed resistor crossbar (paper Eq. 1).
+//!
+//! Weights are conductance ratios: `V_out = Σᵢ (gᵢ/G)·Vᵢ + g_b/G` with
+//! `G = Σᵢ gᵢ + g_b + g_d`. We train *surrogate conductances* θ whose sign
+//! selects whether the input is routed through an inverter circuit (printed
+//! negative weight, Fig. 3c) — the magnitude is the printed conductance. The
+//! normalization couples all weights of one output column and bounds them
+//! below 1, the characteristic non-ideality of printed crossbars.
+
+use rand::Rng;
+
+use ptnc_tensor::Tensor;
+
+use crate::pdk::Pdk;
+use crate::variation::VariationConfig;
+
+/// Per-sample multiplicative variation of one crossbar's conductances.
+#[derive(Debug, Clone)]
+pub struct CrossbarNoise {
+    /// ε for the input conductances `[fan_in, fan_out]`.
+    pub eps_w: Tensor,
+    /// ε for the bias conductances `[fan_out]`.
+    pub eps_b: Tensor,
+    /// ε for the dummy conductances `[fan_out]`.
+    pub eps_d: Tensor,
+}
+
+/// A printed crossbar layer with learnable surrogate conductances.
+///
+/// Conductances are stored in units of [`Pdk::g_unit`] (µS by default) so the
+/// optimizer sees O(1) parameters; multiply by `g_unit` for Siemens. The
+/// forward pass is invariant to this unit because weights are conductance
+/// *ratios*.
+#[derive(Debug, Clone)]
+pub struct PrintedCrossbar {
+    /// Signed surrogate conductances of the input resistors `[in, out]`
+    /// (units of `g_unit`).
+    theta_w: Tensor,
+    /// Signed surrogate conductance of the bias resistor `[out]`.
+    theta_b: Tensor,
+    /// Non-negative dummy conductance `[out]`; only loads the column.
+    theta_d: Tensor,
+    fan_in: usize,
+    fan_out: usize,
+}
+
+impl PrintedCrossbar {
+    /// Creates a crossbar with conductances initialized uniformly inside the
+    /// printable window (random signs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(fan_in: usize, fan_out: usize, pdk: &Pdk, rng: &mut impl Rng) -> Self {
+        assert!(fan_in > 0 && fan_out > 0, "zero-sized crossbar");
+        // Geometric middle of the printable window, in g_unit units (= 1 for
+        // the default PDK).
+        let mid = (pdk.g_min * pdk.g_max).sqrt() / pdk.g_unit;
+        let sample = |rng: &mut dyn rand::RngCore, n: usize, signed: bool| -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    let mag = rng.gen_range((0.3 * mid)..(3.0 * mid));
+                    if signed && rng.gen_bool(0.5) {
+                        -mag
+                    } else {
+                        mag
+                    }
+                })
+                .collect()
+        };
+        PrintedCrossbar {
+            theta_w: Tensor::leaf(&[fan_in, fan_out], sample(rng, fan_in * fan_out, true)),
+            theta_b: Tensor::leaf(&[fan_out], sample(rng, fan_out, true)),
+            theta_d: Tensor::leaf(&[fan_out], sample(rng, fan_out, false)),
+            fan_in,
+            fan_out,
+        }
+    }
+
+    /// Input dimension.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Output dimension.
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// Applies the crossbar to `[batch, fan_in]` voltages, optionally under a
+    /// variation sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match.
+    pub fn forward(&self, x: &Tensor, noise: Option<&CrossbarNoise>) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.fan_in,
+            "crossbar expects fan_in {}, got {:?}",
+            self.fan_in,
+            x.dims()
+        );
+        let (tw, tb, td) = match noise {
+            None => (self.theta_w.clone(), self.theta_b.clone(), self.theta_d.clone()),
+            Some(n) => (
+                self.theta_w.mul(&n.eps_w),
+                self.theta_b.mul(&n.eps_b),
+                self.theta_d.mul(&n.eps_d),
+            ),
+        };
+        // G = Σ|θ_w| + |θ_b| + |θ_d| per output column.
+        let g = tw
+            .abs()
+            .sum_axis(0)
+            .add(&tb.abs())
+            .add(&td.abs())
+            .add_scalar(1e-12);
+        // V_out = (x·θ_w + θ_b) / G   (signs realize the inverters);
+        // fused bias-add + column normalization kernel.
+        Tensor::bias_div(&x.matmul(&tw), &tb, &g)
+    }
+
+    /// The trainable parameters `[θ_w, θ_b, θ_d]`.
+    pub fn parameters(&self) -> Vec<Tensor> {
+        vec![self.theta_w.clone(), self.theta_b.clone(), self.theta_d.clone()]
+    }
+
+    /// Samples a variation instance for this crossbar.
+    pub fn sample_noise(&self, cfg: &VariationConfig, rng: &mut impl Rng) -> CrossbarNoise {
+        CrossbarNoise {
+            eps_w: cfg.epsilon(&[self.fan_in, self.fan_out], rng),
+            eps_b: cfg.epsilon(&[self.fan_out], rng),
+            eps_d: cfg.epsilon(&[self.fan_out], rng),
+        }
+    }
+
+    /// Projects the conductances into the printable window after an optimizer
+    /// step: magnitudes are clamped (sign-preserving) into
+    /// `[g_min, g_max]/g_unit` — every surrogate resistor corresponds to a
+    /// printable component.
+    pub fn project(&self, pdk: &Pdk) {
+        let lo = pdk.g_min / pdk.g_unit;
+        let hi = pdk.g_max / pdk.g_unit;
+        let cap = move |v: f64| {
+            let sign = if v < 0.0 { -1.0 } else { 1.0 };
+            sign * v.abs().clamp(lo, hi)
+        };
+        self.theta_w.map_data_in_place(cap);
+        self.theta_b.map_data_in_place(cap);
+        // The dummy conductance is a plain resistor to ground: non-negative.
+        self.theta_d.map_data_in_place(move |v| v.abs().clamp(lo, hi));
+    }
+
+    /// The effective (normalized) weight matrix `[in, out]` at nominal
+    /// conditions — exposed for analysis and tests.
+    pub fn effective_weights(&self) -> Tensor {
+        let g = self
+            .theta_w
+            .abs()
+            .sum_axis(0)
+            .add(&self.theta_b.abs())
+            .add(&self.theta_d.abs())
+            .add_scalar(1e-12);
+        self.theta_w.div(&g).detach()
+    }
+
+    /// Signed conductance views used by the hardware/power models.
+    pub fn conductances(&self) -> (Tensor, Tensor, Tensor) {
+        (
+            self.theta_w.detach(),
+            self.theta_b.detach(),
+            self.theta_d.detach(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::{gradcheck, init};
+
+    fn pdk() -> Pdk {
+        Pdk::paper_default()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = init::rng(0);
+        let cb = PrintedCrossbar::new(3, 4, &pdk(), &mut rng);
+        let y = cb.forward(&Tensor::ones(&[5, 3]), None);
+        assert_eq!(y.dims(), &[5, 4]);
+    }
+
+    #[test]
+    fn outputs_bounded_by_supply() {
+        // |V_out| ≤ max|V_in| + bias share ≤ 1 for inputs in ±1: the
+        // conductance normalization guarantees the convex-combination bound.
+        let mut rng = init::rng(1);
+        let cb = PrintedCrossbar::new(6, 6, &pdk(), &mut rng);
+        let x = init::uniform(&[32, 6], -1.0, 1.0, &mut rng);
+        let y = cb.forward(&x, None);
+        assert!(y.data().iter().all(|&v| v.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn effective_weights_sum_below_one() {
+        let mut rng = init::rng(2);
+        let cb = PrintedCrossbar::new(4, 3, &pdk(), &mut rng);
+        let w = cb.effective_weights();
+        for j in 0..3 {
+            let col_sum: f64 = (0..4).map(|i| w.at(&[i, j]).abs()).sum();
+            assert!(col_sum < 1.0, "column {j} sums to {col_sum}");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut rng = init::rng(3);
+        let cb = PrintedCrossbar::new(2, 2, &pdk(), &mut rng);
+        let x = Tensor::ones(&[3, 2]);
+        cb.forward(&x, None).sum_all().backward();
+        for p in cb.parameters() {
+            assert!(p.grad_opt().is_some());
+        }
+    }
+
+    #[test]
+    fn gradcheck_through_normalization() {
+        let mut rng = init::rng(4);
+        let cb = PrintedCrossbar::new(2, 3, &pdk(), &mut rng);
+        // Scale parameters to O(1) magnitude for finite differences: use a
+        // fresh crossbar whose θ data we overwrite.
+        for p in cb.parameters() {
+            let n = p.len();
+            p.set_data((0..n).map(|i| 0.3 + 0.15 * i as f64).collect());
+        }
+        let x = Tensor::from_vec(&[2, 2], vec![0.5, -0.3, 0.8, 0.1]);
+        gradcheck::check(
+            || cb.forward(&x, None).square().sum_all(),
+            &cb.parameters(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_output() {
+        let mut rng = init::rng(5);
+        let cb = PrintedCrossbar::new(3, 3, &pdk(), &mut rng);
+        let x = init::uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let nominal = cb.forward(&x, None).to_vec();
+        let noise = cb.sample_noise(&VariationConfig::paper_default(), &mut rng);
+        let varied = cb.forward(&x, Some(&noise)).to_vec();
+        assert_ne!(nominal, varied);
+        // 10 % component variation cannot move a normalized output by more
+        // than a modest amount.
+        for (a, b) in nominal.iter().zip(&varied) {
+            assert!((a - b).abs() < 0.3, "output moved too far: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn projection_caps_magnitudes() {
+        let mut rng = init::rng(6);
+        let cb = PrintedCrossbar::new(2, 2, &pdk(), &mut rng);
+        cb.parameters()[0].set_data(vec![100.0, -100.0, 0.01, -0.01]);
+        cb.project(&pdk());
+        let w = cb.parameters()[0].to_vec();
+        // Normalized window is [0.1, 10] for the default PDK; signs survive.
+        for (got, want) in w.iter().zip(&[10.0, -10.0, 0.1, -0.1]) {
+            assert!((got - want).abs() < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn zero_variation_noise_is_identity() {
+        let mut rng = init::rng(7);
+        let cb = PrintedCrossbar::new(3, 2, &pdk(), &mut rng);
+        let x = init::uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let noise = cb.sample_noise(&VariationConfig::with_delta(0.0), &mut rng);
+        let a = cb.forward(&x, None).to_vec();
+        let b = cb.forward(&x, Some(&noise)).to_vec();
+        for (x1, x2) in a.iter().zip(&b) {
+            assert!((x1 - x2).abs() < 1e-12);
+        }
+    }
+}

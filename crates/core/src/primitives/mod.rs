@@ -1,0 +1,10 @@
+//! Printed circuit primitives: resistor crossbar, ptanh activation circuit
+//! and the learnable low-pass filters (first-order and the paper's SO-LF).
+
+mod crossbar;
+mod filter;
+mod ptanh;
+
+pub use crossbar::{CrossbarNoise, PrintedCrossbar};
+pub use filter::{FilterBank, FilterNoise, FilterOrder};
+pub use ptanh::{PtanhActivation, PtanhNoise};

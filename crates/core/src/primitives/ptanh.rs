@@ -1,0 +1,175 @@
+//! The printed tanh-like activation circuit (paper §II-B):
+//! `ptanh(V) = η₁ + η₂·tanh((V − η₃)·η₄)`.
+//!
+//! The η parameters are determined by the circuit's component values
+//! `[R₁ᴬ, R₂ᴬ, T₁ᴬ, T₂ᴬ]` and are therefore (a) learnable within printable
+//! limits and (b) subject to printing variation. Defaults come from the SPICE
+//! fit of the two-EGT transfer stage ([`crate::filter_design::fit_ptanh`]).
+
+use rand::Rng;
+
+use ptnc_tensor::Tensor;
+
+use crate::pdk::PTANH_ETA_DEFAULT;
+use crate::variation::VariationConfig;
+
+/// Per-sample multiplicative variation of one activation bank's η values.
+#[derive(Debug, Clone)]
+pub struct PtanhNoise {
+    /// ε for each of the four η tensors, each `[width]`.
+    pub eps: [Tensor; 4],
+}
+
+/// A bank of `width` independent printed tanh activation circuits with
+/// per-neuron learnable η parameters.
+#[derive(Debug, Clone)]
+pub struct PtanhActivation {
+    eta: [Tensor; 4],
+    width: usize,
+}
+
+impl PtanhActivation {
+    /// Creates a bank of `width` circuits, η initialized at the SPICE-fit
+    /// defaults with small per-neuron jitter (distinct printed instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, rng: &mut impl Rng) -> Self {
+        assert!(width > 0, "zero-width activation bank");
+        let eta = std::array::from_fn(|k| {
+            let data: Vec<f64> = (0..width)
+                .map(|_| PTANH_ETA_DEFAULT[k] * (1.0 + 0.05 * (rng.gen_range(-1.0..1.0))))
+                .collect();
+            Tensor::leaf(&[width], data)
+        });
+        PtanhActivation { eta, width }
+    }
+
+    /// Number of circuits in the bank.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Applies the bank to `[batch, width]` voltages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match.
+    pub fn forward(&self, x: &Tensor, noise: Option<&PtanhNoise>) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.width,
+            "ptanh bank width {} does not match input {:?}",
+            self.width,
+            x.dims()
+        );
+        let eta: Vec<Tensor> = match noise {
+            None => self.eta.to_vec(),
+            Some(n) => self
+                .eta
+                .iter()
+                .zip(&n.eps)
+                .map(|(e, eps)| e.mul(eps))
+                .collect(),
+        };
+        // η₁ + η₂·tanh((x − η₃)·η₄) with row-broadcast η (fused kernel).
+        Tensor::ptanh(x, &eta[0], &eta[1], &eta[2], &eta[3])
+    }
+
+    /// The four trainable η tensors.
+    pub fn parameters(&self) -> Vec<Tensor> {
+        self.eta.to_vec()
+    }
+
+    /// Samples a variation instance for this bank.
+    pub fn sample_noise(&self, cfg: &VariationConfig, rng: &mut impl Rng) -> PtanhNoise {
+        PtanhNoise {
+            eps: std::array::from_fn(|_| cfg.epsilon(&[self.width], rng)),
+        }
+    }
+
+    /// Projects η into circuit-realizable ranges after an optimizer step:
+    /// offsets |η₁|, |η₃| ≤ 0.5 V, amplitude η₂ ∈ [0.1, 1.0] (output stays
+    /// within the supply), gain η₄ ∈ [0.5, 8] (EGT transconductance limits).
+    pub fn project(&self) {
+        self.eta[0].map_data_in_place(|v| v.clamp(-0.5, 0.5));
+        self.eta[1].map_data_in_place(|v| v.clamp(0.1, 1.0));
+        self.eta[2].map_data_in_place(|v| v.clamp(-0.5, 0.5));
+        self.eta[3].map_data_in_place(|v| v.clamp(0.5, 8.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::{gradcheck, init};
+
+    #[test]
+    fn forward_is_tanh_shaped() {
+        let mut rng = init::rng(0);
+        let act = PtanhActivation::new(1, &mut rng);
+        // Force exact defaults for the shape check.
+        act.parameters()[0].set_data(vec![0.0]);
+        act.parameters()[1].set_data(vec![0.8]);
+        act.parameters()[2].set_data(vec![0.0]);
+        act.parameters()[3].set_data(vec![2.0]);
+        let x = Tensor::from_vec(&[3, 1], vec![-10.0, 0.0, 10.0]);
+        let y = act.forward(&x, None).to_vec();
+        assert!((y[0] + 0.8).abs() < 1e-6); // saturates at η1 − η2
+        assert!(y[1].abs() < 1e-12); // centered
+        assert!((y[2] - 0.8).abs() < 1e-6); // saturates at η1 + η2
+    }
+
+    #[test]
+    fn output_within_supply() {
+        let mut rng = init::rng(1);
+        let act = PtanhActivation::new(8, &mut rng);
+        let x = init::uniform(&[16, 8], -3.0, 3.0, &mut rng);
+        let y = act.forward(&x, None);
+        assert!(y.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradcheck_all_eta() {
+        let mut rng = init::rng(2);
+        let act = PtanhActivation::new(3, &mut rng);
+        let x = Tensor::from_vec(&[2, 3], vec![0.3, -0.5, 0.7, -0.2, 0.9, 0.0]);
+        gradcheck::check(
+            || act.forward(&x, None).square().sum_all(),
+            &act.parameters(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn projection_enforces_ranges() {
+        let mut rng = init::rng(3);
+        let act = PtanhActivation::new(2, &mut rng);
+        act.parameters()[1].set_data(vec![5.0, -1.0]);
+        act.parameters()[3].set_data(vec![100.0, 0.0]);
+        act.project();
+        assert_eq!(act.parameters()[1].to_vec(), vec![1.0, 0.1]);
+        assert_eq!(act.parameters()[3].to_vec(), vec![8.0, 0.5]);
+    }
+
+    #[test]
+    fn noise_shifts_transfer() {
+        let mut rng = init::rng(4);
+        let act = PtanhActivation::new(4, &mut rng);
+        let x = init::uniform(&[4, 4], -1.0, 1.0, &mut rng);
+        let noise = act.sample_noise(&VariationConfig::paper_default(), &mut rng);
+        let a = act.forward(&x, None).to_vec();
+        let b = act.forward(&x, Some(&noise)).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn per_neuron_parameters_are_independent() {
+        let mut rng = init::rng(5);
+        let act = PtanhActivation::new(4, &mut rng);
+        // Jittered initialization ⇒ neurons differ.
+        let eta2 = act.parameters()[1].to_vec();
+        assert!(eta2.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,407 @@
+//! The robustness-aware training objective (paper Eq. 12–14) and the
+//! training harness for printed models.
+//!
+//! The three robustness ingredients are individually switchable — exactly
+//! what the Fig. 7 ablation needs:
+//!
+//! * **VA** — variation-aware Monte-Carlo sampling of all component values,
+//! * **AT** — augmented training (augmented copies appended to the training
+//!   and validation sets),
+//! * **SO-LF** — second-order instead of first-order learnable filters.
+//!
+//! A conductance-sum (static power) regularizer follows the power-aware pNC
+//! training of prior work and produces the Table III power reduction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ptnc_datasets::DataSplit;
+use ptnc_nn::{accuracy, cross_entropy, ReduceLrOnPlateau, TrainReport, Trainer};
+use ptnc_tensor::Tensor;
+
+use crate::eval::{dataset_to_steps, perturb_dataset};
+use crate::models::{FilterOrder, PrintedModel};
+use crate::pdk::Pdk;
+use crate::variation::VariationConfig;
+
+/// Configuration of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Hidden width of the 2-layer network.
+    pub hidden: usize,
+    /// Filter order (SO-LF ⇔ [`FilterOrder::Second`]).
+    pub filter_order: FilterOrder,
+    /// Variation-aware training (Monte-Carlo sampling of Eq. 14).
+    pub variation_aware: bool,
+    /// Monte-Carlo samples `N` per epoch when variation-aware.
+    pub mc_samples: usize,
+    /// Augmented training: append augmented copies of the training and
+    /// validation sets.
+    pub augmented: bool,
+    /// Augmentation pipeline strength in `[0, 1]`.
+    pub augment_strength: f64,
+    /// Weight of the conductance-sum (power) regularizer.
+    pub power_reg: f64,
+    /// Fraction of the epoch budget (from the end) during which the power
+    /// regularizer is active in the training loss. Accuracy is learned
+    /// first; the power phase then descends along the crossbar's
+    /// scale-invariant direction (weight ratios are conductance ratios, so
+    /// shrinking all conductances preserves the function). The validation
+    /// objective includes the power term throughout so the best-snapshot
+    /// selection prefers equally-accurate, lower-power epochs.
+    pub power_phase_frac: f64,
+    /// Hard epoch cap.
+    pub max_epochs: usize,
+    /// Plateau patience (epochs) before halving the learning rate.
+    pub patience: usize,
+    /// Initial learning rate.
+    pub initial_lr: f64,
+    /// Training stops when the learning rate falls below this.
+    pub min_lr: f64,
+    /// Variation distributions used during training.
+    pub variation: VariationConfig,
+    /// Nominal coupling factor μ assumed when designing the filters. All
+    /// paper configurations use the SPICE-calibrated midpoint (1.15), since
+    /// prior work \[8\] already modeled crossbar coupling; set 1.0 to ablate a
+    /// coupling-unaware design (see the design-ablation bench).
+    pub mu_nominal: f64,
+    /// Printable ranges.
+    pub pdk: Pdk,
+}
+
+impl TrainConfig {
+    /// The baseline pTPNC of prior work: first-order filters, no variation
+    /// awareness, no augmentation, no power regularization.
+    pub fn baseline_ptpnc(hidden: usize) -> Self {
+        TrainConfig {
+            hidden,
+            filter_order: FilterOrder::First,
+            variation_aware: false,
+            mc_samples: 1,
+            augmented: false,
+            augment_strength: 0.0,
+            power_reg: 0.0,
+            power_phase_frac: 1.0,
+            max_epochs: 400,
+            patience: 40,
+            initial_lr: 0.01,
+            min_lr: 2e-4,
+            variation: VariationConfig::paper_default(),
+            mu_nominal: VariationConfig::paper_default().mu_nominal(),
+            pdk: Pdk::paper_default(),
+        }
+    }
+
+    /// The full robustness-aware ADAPT-pNC: SO-LF + VA + AT + power-aware.
+    pub fn adapt_pnc(hidden: usize) -> Self {
+        TrainConfig {
+            filter_order: FilterOrder::Second,
+            variation_aware: true,
+            mc_samples: 3,
+            augmented: true,
+            augment_strength: 0.5,
+            power_reg: 10_000.0,
+            ..Self::baseline_ptpnc(hidden)
+        }
+    }
+
+    /// Overrides the epoch budget (used by the scaled-down benches).
+    pub fn with_epochs(mut self, max_epochs: usize) -> Self {
+        self.max_epochs = max_epochs;
+        self
+    }
+
+    /// Overrides the augmentation strength (the Ray-Tune-substitute grid
+    /// search tunes this per dataset).
+    pub fn with_augment_strength(mut self, strength: f64) -> Self {
+        self.augment_strength = strength;
+        self
+    }
+}
+
+/// A trained printed model plus its training report.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The trained model (best-on-validation parameters restored).
+    pub model: PrintedModel,
+    /// Training statistics.
+    pub report: TrainReport,
+    /// Validation accuracy of the restored parameters (nominal conditions).
+    pub val_accuracy: f64,
+}
+
+/// Trains a printed model on a data split with the given configuration and
+/// seed (the paper repeats this over seeds 0..9 and keeps the top models).
+///
+/// # Panics
+///
+/// Panics if the split's class counts are inconsistent or the config is
+/// degenerate (`mc_samples == 0` while variation-aware).
+pub fn train(split: &DataSplit, config: &TrainConfig, seed: u64) -> TrainedModel {
+    assert!(
+        !config.variation_aware || config.mc_samples > 0,
+        "variation-aware training needs mc_samples > 0"
+    );
+    let classes = split.train.num_classes();
+    let input_dim = 1; // univariate benchmarks
+
+    // --- data ---------------------------------------------------------
+    // Augmented copies are appended to the originals (paper §IV-A2: "the
+    // augmented data was combined with the original unaugmented data, and
+    // both were used during training, validation and testing"). Training
+    // copies are REDRAWN every epoch so the model learns invariance to the
+    // augmentation distribution rather than to one fixed draw; validation
+    // copies stay fixed for a stable model-selection signal.
+    let val_set = if config.augmented {
+        let aug_val = perturb_dataset(&split.val, config.augment_strength, seed ^ 0x22);
+        split.val.merged_with(&aug_val)
+    } else {
+        split.val.clone()
+    };
+    let train_set = split.train.clone();
+    let (clean_train_steps, clean_train_labels) = dataset_to_steps(&train_set);
+    let (val_steps, val_labels) = dataset_to_steps(&val_set);
+
+    // --- model ---------------------------------------------------------
+    let mut init_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x51_7C_C1_B7_27_22_0A_95));
+    let model = PrintedModel::with_mu(
+        input_dim,
+        config.hidden,
+        classes,
+        config.filter_order,
+        &config.pdk,
+        config.mu_nominal,
+        &mut init_rng,
+    );
+
+    // --- loss closures ---------------------------------------------------
+    let cfg = config.clone();
+    let m = model.clone();
+    let power_start_epoch =
+        ((1.0 - config.power_phase_frac.clamp(0.0, 1.0)) * config.max_epochs as f64) as usize;
+    let epoch_counter = std::cell::Cell::new(0usize);
+    let train_loss = move |rng: &mut StdRng| -> Tensor {
+        let epoch = epoch_counter.get();
+        epoch_counter.set(epoch + 1);
+        // Assemble this epoch's batch: originals plus (when augmenting) a
+        // freshly drawn augmented copy.
+        let (train_steps, train_labels) = if cfg.augmented {
+            let aug = perturb_dataset(&train_set, cfg.augment_strength, rng.gen());
+            let combined = train_set.merged_with(&aug);
+            dataset_to_steps(&combined)
+        } else {
+            (clean_train_steps.clone(), clean_train_labels.clone())
+        };
+        let ce = if cfg.variation_aware {
+            let mut acc = Tensor::scalar(0.0);
+            for _ in 0..cfg.mc_samples {
+                let noise = m.sample_noise(&cfg.variation, rng);
+                let logits = m.forward(&train_steps, Some(&noise));
+                acc = acc.add(&cross_entropy(&logits, &train_labels));
+            }
+            acc.div_scalar(cfg.mc_samples as f64)
+        } else {
+            cross_entropy(&m.forward_nominal(&train_steps), &train_labels)
+        };
+        if cfg.power_reg > 0.0 && epoch >= power_start_epoch {
+            // Power phase: accuracy has been learned; now descend along the
+            // crossbar's scale-invariant direction. Static power ∝ Σg; θ is
+            // in g_unit units, so scale accordingly.
+            let power = m.conductance_sum().mul_scalar(cfg.pdk.g_unit);
+            ce.add(&power.mul_scalar(cfg.power_reg))
+        } else {
+            ce
+        }
+    };
+
+    let m = model.clone();
+    let cfg2 = config.clone();
+    let val_steps2 = val_steps.clone();
+    let val_labels2 = val_labels.clone();
+    let val_loss = move |rng: &mut StdRng| -> f64 {
+        // Validation under the same regime as training. Averaging the same
+        // number of variation draws as the training objective keeps the
+        // best-snapshot selection from chasing lucky single draws.
+        let ce = if cfg2.variation_aware {
+            let mut acc = 0.0;
+            for _ in 0..cfg2.mc_samples {
+                let noise = m.sample_noise(&cfg2.variation, rng);
+                let logits = m.forward(&val_steps2, Some(&noise));
+                acc += cross_entropy(&logits, &val_labels2).item();
+            }
+            acc / cfg2.mc_samples as f64
+        } else {
+            cross_entropy(&m.forward_nominal(&val_steps2), &val_labels2).item()
+        };
+        // Keep the selection objective aligned with training: otherwise the
+        // best-on-validation snapshot would systematically prefer the early,
+        // high-conductance (high-power) epochs.
+        ce + cfg2.power_reg * cfg2.pdk.g_unit * m.conductance_sum().item()
+    };
+
+    let pdk = config.pdk;
+    let m = model.clone();
+    let project = move |_params: &[Tensor]| m.project(&pdk);
+
+    // --- loop ---------------------------------------------------------
+    let trainer = Trainer::new(config.max_epochs, seed).with_schedule(ReduceLrOnPlateau::new(
+        config.initial_lr,
+        0.5,
+        config.patience,
+        config.min_lr,
+    ));
+    let report = trainer.fit(model.parameters(), train_loss, val_loss, project);
+
+    let val_accuracy = accuracy(&model.forward_nominal(&val_steps), &val_labels);
+    TrainedModel {
+        model,
+        report,
+        val_accuracy,
+    }
+}
+
+/// Trains the Elman RNN reference on the same split, returning its test-ready
+/// model and validation accuracy (paper Table I column 1).
+pub fn train_elman(
+    split: &DataSplit,
+    hidden: usize,
+    max_epochs: usize,
+    seed: u64,
+) -> (ptnc_nn::ElmanRnn, TrainReport) {
+    let (train_steps, train_labels) = dataset_to_steps(&split.train);
+    let (val_steps, val_labels) = dataset_to_steps(&split.val);
+    let classes = split.train.num_classes();
+    let mut init_rng = StdRng::seed_from_u64(seed.wrapping_add(0x517C_C1B7));
+    let model = ptnc_nn::ElmanRnn::new(1, hidden, classes, &mut init_rng);
+
+    let m = model.clone();
+    let train_loss =
+        move |_rng: &mut StdRng| cross_entropy(&m.forward(&train_steps), &train_labels);
+    let m = model.clone();
+    let val_loss = move |_rng: &mut StdRng| {
+        cross_entropy(&m.forward(&val_steps), &val_labels).item()
+    };
+
+    let trainer = Trainer::new(max_epochs, seed)
+        .with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 30, 1e-3));
+    let report = trainer.fit(model.parameters(), train_loss, val_loss, |_| {});
+    (model, report)
+}
+
+/// Draws `count` training seeds from a base seed (the paper uses seeds 0–9).
+pub fn seeds(count: usize) -> Vec<u64> {
+    (0..count as u64).collect()
+}
+
+/// Deterministic helper: picks the indices of the `k` best scores.
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+/// Samples a uniform value in the inclusive range — convenience used by the
+/// experiment harness for jittered hyper-parameters.
+pub fn uniform_in(lo: f64, hi: f64, rng: &mut impl Rng) -> f64 {
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_datasets::{benchmark_by_name, preprocess::Preprocess};
+
+    fn quick_split(name: &str) -> DataSplit {
+        let ds = Preprocess::paper_default().apply(&benchmark_by_name(name, 0).unwrap());
+        ds.shuffle_split(0.6, 0.2, 0)
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            max_epochs: 40,
+            patience: 15,
+            ..TrainConfig::baseline_ptpnc(4)
+        }
+    }
+
+    #[test]
+    fn baseline_learns_easy_dataset_above_chance() {
+        let split = quick_split("GPOVY");
+        let trained = train(&split, &quick_config(), 0);
+        assert!(
+            trained.val_accuracy > 0.6,
+            "val accuracy {} not above chance",
+            trained.val_accuracy
+        );
+    }
+
+    #[test]
+    fn adapt_config_trains_and_respects_ranges() {
+        let split = quick_split("GPOVY");
+        let cfg = TrainConfig {
+            max_epochs: 15,
+            mc_samples: 2,
+            ..TrainConfig::adapt_pnc(4)
+        };
+        let trained = train(&split, &cfg, 0);
+        // All parameters must sit inside printable ranges after training.
+        let pdk = Pdk::paper_default();
+        for layer in trained.model.layers() {
+            let (tw, tb, td) = layer.crossbar().conductances();
+            for v in tw.to_vec().iter().chain(&tb.to_vec()).chain(&td.to_vec()) {
+                let mag = v.abs();
+                assert!(
+                    mag >= pdk.g_min / pdk.g_unit - 1e-12 && mag <= pdk.g_max / pdk.g_unit + 1e-12,
+                    "conductance {mag} escaped printable window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let split = quick_split("Slope");
+        let cfg = quick_config().with_epochs(10);
+        let a = train(&split, &cfg, 3);
+        let b = train(&split, &cfg, 3);
+        assert_eq!(
+            a.model.parameters()[0].to_vec(),
+            b.model.parameters()[0].to_vec()
+        );
+        assert_eq!(a.report.best_val_loss, b.report.best_val_loss);
+    }
+
+    #[test]
+    fn elman_reference_trains() {
+        let split = quick_split("GPOVY");
+        let (model, _report) = train_elman(&split, 8, 60, 0);
+        let (steps, labels) = dataset_to_steps(&split.val);
+        let acc = accuracy(&model.forward(&steps), &labels);
+        assert!(acc > 0.55, "elman val accuracy {acc}");
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        assert_eq!(top_k_indices(&[0.1, 0.9, 0.5, 0.7], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn power_reg_reduces_conductance() {
+        let split = quick_split("Slope");
+        // Adam drifts conductances down at ~lr per epoch once the power
+        // term dominates, so give it enough epochs to show a clear drop.
+        let mut low = quick_config().with_epochs(150);
+        low.power_reg = 0.0;
+        let mut high = low.clone();
+        high.power_reg = 20_000.0;
+        let a = train(&split, &low, 0);
+        let b = train(&split, &high, 0);
+        let ga = a.model.conductance_sum().item();
+        let gb = b.model.conductance_sum().item();
+        assert!(
+            gb < ga * 0.8,
+            "power regularizer had no effect: {gb} !< 0.8·{ga}"
+        );
+    }
+}

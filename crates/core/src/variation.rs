@@ -1,0 +1,144 @@
+//! Variation modeling (§III-A): multiplicative process variation on every
+//! printed component, plus the non-trainable random coupling factor μ and
+//! filter initial voltage V₀.
+
+use rand::Rng;
+
+use ptnc_tensor::Tensor;
+
+use crate::primitives::{CrossbarNoise, FilterNoise, PtanhNoise};
+
+/// Distributional assumptions for the variation-aware objective.
+///
+/// All component values are reparameterized as `x = x₀ ⊙ ε` with
+/// `ε ~ U[1−δ, 1+δ]` (the paper evaluates δ = 10 %); μ is uniform on the
+/// SPICE-calibrated interval `[1, 1.3]`, and the filter initial voltages are
+/// uniform on `±v0_amp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationConfig {
+    /// Relative component variation δ (printing precision).
+    pub delta: f64,
+    /// Lower bound of the coupling factor μ.
+    pub mu_lo: f64,
+    /// Upper bound of the coupling factor μ.
+    pub mu_hi: f64,
+    /// Amplitude of the random initial filter voltage (V).
+    pub v0_amp: f64,
+}
+
+impl VariationConfig {
+    /// The paper's evaluation point: ±10 % components, μ ∈ [1, 1.3],
+    /// V₀ ∈ ±0.05 V.
+    pub fn paper_default() -> Self {
+        VariationConfig {
+            delta: 0.10,
+            mu_lo: 1.0,
+            mu_hi: 1.3,
+            v0_amp: 0.05,
+        }
+    }
+
+    /// A variation config with a different component precision δ.
+    pub fn with_delta(delta: f64) -> Self {
+        VariationConfig {
+            delta,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Samples a multiplicative ε tensor `U[1−δ, 1+δ]` of the given shape.
+    pub fn epsilon(&self, dims: &[usize], rng: &mut impl Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range((1.0 - self.delta)..=(1.0 + self.delta)))
+            .collect();
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Samples a μ tensor of the given shape.
+    pub fn mu(&self, dims: &[usize], rng: &mut impl Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(self.mu_lo..=self.mu_hi)).collect();
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Samples an initial-voltage tensor of the given shape.
+    pub fn v0(&self, dims: &[usize], rng: &mut impl Rng) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(-self.v0_amp..=self.v0_amp))
+            .collect();
+        Tensor::from_vec(dims, data)
+    }
+
+    /// The nominal (variation-free) μ used for deterministic evaluation: the
+    /// midpoint of the calibrated interval.
+    pub fn mu_nominal(&self) -> f64 {
+        0.5 * (self.mu_lo + self.mu_hi)
+    }
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One joint Monte-Carlo sample of every random quantity in one pTPB layer.
+#[derive(Debug, Clone)]
+pub struct LayerNoise {
+    /// Crossbar conductance variation.
+    pub crossbar: CrossbarNoise,
+    /// Filter R/C variation, μ and V₀ samples.
+    pub filter: FilterNoise,
+    /// Activation-circuit variation.
+    pub ptanh: PtanhNoise,
+}
+
+/// One joint Monte-Carlo sample for a whole model (one entry per layer).
+#[derive(Debug, Clone)]
+pub struct ModelNoise {
+    /// Per-layer samples.
+    pub layers: Vec<LayerNoise>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::init;
+
+    #[test]
+    fn epsilon_within_bounds() {
+        let cfg = VariationConfig::paper_default();
+        let mut rng = init::rng(0);
+        let e = cfg.epsilon(&[1000], &mut rng);
+        assert!(e.data().iter().all(|&v| (0.9..=1.1).contains(&v)));
+    }
+
+    #[test]
+    fn mu_within_calibrated_interval() {
+        let cfg = VariationConfig::paper_default();
+        let mut rng = init::rng(1);
+        let m = cfg.mu(&[1000], &mut rng);
+        assert!(m.data().iter().all(|&v| (1.0..=1.3).contains(&v)));
+        assert!((cfg.mu_nominal() - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v0_symmetric() {
+        let cfg = VariationConfig::paper_default();
+        let mut rng = init::rng(2);
+        let v = cfg.v0(&[2000], &mut rng);
+        let mean: f64 = v.data().iter().sum::<f64>() / 2000.0;
+        assert!(mean.abs() < 0.01);
+        assert!(v.data().iter().all(|&x| x.abs() <= 0.05));
+    }
+
+    #[test]
+    fn zero_delta_is_exact_ones() {
+        let cfg = VariationConfig::with_delta(0.0);
+        let mut rng = init::rng(3);
+        let e = cfg.epsilon(&[16], &mut rng);
+        assert!(e.data().iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}

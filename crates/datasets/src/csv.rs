@@ -1,0 +1,183 @@
+//! CSV interchange in the UCR archive's layout: one series per line, the
+//! class label in the first column, then the samples.
+//!
+//! The synthetic generators are drop-in *substitutes* for the archive; this
+//! module is the bridge for users who have the real files (or any other
+//! labeled series) and want to run them through the same pipeline.
+
+use std::fmt::Write as _;
+
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Errors when reading UCR-style CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseCsvError {
+    /// The input had no data lines.
+    Empty,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseCsvError::Empty => write!(f, "no data lines in csv input"),
+            ParseCsvError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Parses UCR-style CSV (`label,v1,v2,...` per line; blank lines skipped).
+///
+/// Labels may be arbitrary integers (the archive uses 1-based and even
+/// negative labels); they are densely re-mapped to `0..classes` in order of
+/// first appearance.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] on malformed numbers, ragged rows or empty
+/// input.
+pub fn from_csv(name: &str, text: &str) -> Result<Dataset, ParseCsvError> {
+    let mut label_map: Vec<i64> = Vec::new();
+    let mut items: Vec<LabeledSeries> = Vec::new();
+    let mut expected_len: Option<usize> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseCsvError::BadLine { line: idx + 1, message };
+        let mut fields = line.split(',').map(str::trim);
+        let label_raw: i64 = fields
+            .next()
+            .ok_or_else(|| err("missing label".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad label: {e}")))?;
+        let values: Result<Vec<f64>, _> = fields
+            .map(|f| f.parse::<f64>().map_err(|e| err(format!("bad value {f:?}: {e}"))))
+            .collect();
+        let values = values?;
+        if values.is_empty() {
+            return Err(err("series has no samples".into()));
+        }
+        if let Some(n) = expected_len {
+            if values.len() != n {
+                return Err(err(format!("series length {} differs from first ({n})", values.len())));
+            }
+        } else {
+            expected_len = Some(values.len());
+        }
+        let label = match label_map.iter().position(|&l| l == label_raw) {
+            Some(i) => i,
+            None => {
+                label_map.push(label_raw);
+                label_map.len() - 1
+            }
+        };
+        items.push(LabeledSeries::new(values, label));
+    }
+
+    if items.is_empty() {
+        return Err(ParseCsvError::Empty);
+    }
+    // The UCR convention guarantees ≥2 classes; single-class inputs are
+    // rejected by Dataset::new, which requires num_classes ≥ 2.
+    Ok(Dataset::new(name, label_map.len().max(2), items))
+}
+
+/// Writes a dataset in the same layout [`from_csv`] reads.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for it in ds.iter() {
+        let _ = write!(out, "{}", it.label);
+        for v in &it.values {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_file() {
+        let csv = "1,0.0,0.5,1.0\n2,1.0,0.5,0.0\n1,0.1,0.6,1.1\n";
+        let ds = from_csv("toy", csv).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.series_len(), 3);
+        assert_eq!(ds.num_classes(), 2);
+        // Labels remapped by first appearance: 1 -> 0, 2 -> 1.
+        assert_eq!(ds.items()[0].label, 0);
+        assert_eq!(ds.items()[1].label, 1);
+    }
+
+    #[test]
+    fn negative_and_sparse_labels_remap_densely() {
+        let csv = "-1,0,1\n3,1,0\n-1,0,2\n";
+        let ds = from_csv("odd", csv).unwrap();
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "0,1,2,3\n1,4,5,6\n";
+        let ds = from_csv("rt", csv).unwrap();
+        let back = to_csv(&ds);
+        let ds2 = from_csv("rt", &back).unwrap();
+        assert_eq!(ds.items(), ds2.items());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "\n0,1,2\n\n1,3,4\n\n";
+        assert_eq!(from_csv("b", csv).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_with_line_number() {
+        let csv = "0,1,2\n1,3\n";
+        let e = from_csv("bad", csv).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let e = from_csv("bad", "0,1,abc\n").unwrap_err();
+        assert!(matches!(e, ParseCsvError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(from_csv("e", "\n\n").unwrap_err(), ParseCsvError::Empty);
+    }
+
+    #[test]
+    fn feeds_the_standard_pipeline() {
+        use crate::preprocess::Preprocess;
+        let csv: String = (0..20)
+            .map(|i| {
+                let label = i % 2;
+                let vals: Vec<String> =
+                    (0..32).map(|k| format!("{}", (k as f64 * 0.3).sin() + label as f64)).collect();
+                format!("{label},{}\n", vals.join(","))
+            })
+            .collect();
+        let ds = Preprocess::paper_default().apply(&from_csv("piped", &csv).unwrap());
+        assert_eq!(ds.series_len(), 64);
+        let split = ds.shuffle_split(0.6, 0.2, 0);
+        assert!(split.test.len() >= 2);
+    }
+}

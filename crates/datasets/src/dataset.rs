@@ -1,0 +1,260 @@
+//! Dataset containers: labeled series, datasets and splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One univariate time series with its class label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSeries {
+    /// Signal samples.
+    pub values: Vec<f64>,
+    /// Zero-based class label.
+    pub label: usize,
+}
+
+impl LabeledSeries {
+    /// Creates a labeled series.
+    pub fn new(values: Vec<f64>, label: usize) -> Self {
+        LabeledSeries { values, label }
+    }
+}
+
+/// A named time-series classification dataset.
+///
+/// Invariants maintained by construction: every series has the same length
+/// and every label is `< num_classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    num_classes: usize,
+    items: Vec<LabeledSeries>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, lengths are ragged, or a label is out of
+    /// range.
+    pub fn new(name: impl Into<String>, num_classes: usize, items: Vec<LabeledSeries>) -> Self {
+        assert!(!items.is_empty(), "dataset must contain at least one series");
+        assert!(num_classes >= 2, "need at least two classes");
+        let len = items[0].values.len();
+        for (i, it) in items.iter().enumerate() {
+            assert_eq!(
+                it.values.len(),
+                len,
+                "series {i} has length {} but expected {len}",
+                it.values.len()
+            );
+            assert!(
+                it.label < num_classes,
+                "series {i} label {} out of range ({num_classes} classes)",
+                it.label
+            );
+        }
+        Dataset {
+            name: name.into(),
+            num_classes,
+            items,
+        }
+    }
+
+    /// Dataset name (paper abbreviation, e.g. `"CBF"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of series.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Length of every series.
+    pub fn series_len(&self) -> usize {
+        self.items[0].values.len()
+    }
+
+    /// Iterates over the labeled series.
+    pub fn iter(&self) -> std::slice::Iter<'_, LabeledSeries> {
+        self.items.iter()
+    }
+
+    /// Borrow all items.
+    pub fn items(&self) -> &[LabeledSeries] {
+        &self.items
+    }
+
+    /// Replaces every series through `f` (used by preprocessing and test-set
+    /// perturbation), preserving labels.
+    pub fn map_series(&self, mut f: impl FnMut(&[f64]) -> Vec<f64>) -> Dataset {
+        let items = self
+            .items
+            .iter()
+            .map(|it| LabeledSeries::new(f(&it.values), it.label))
+            .collect();
+        Dataset::new(self.name.clone(), self.num_classes, items)
+    }
+
+    /// Merges another dataset's items into a new dataset (used to append
+    /// augmented copies to the training set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if class counts or series lengths differ.
+    pub fn merged_with(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
+        assert_eq!(self.series_len(), other.series_len(), "length mismatch");
+        let mut items = self.items.clone();
+        items.extend(other.items.iter().cloned());
+        Dataset::new(self.name.clone(), self.num_classes, items)
+    }
+
+    /// Class histogram (`counts[label]`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.num_classes];
+        for it in &self.items {
+            counts[it.label] += 1;
+        }
+        counts
+    }
+
+    /// Reshuffles and splits into train/validation/test with the given
+    /// fractions (test receives the remainder) — the paper uses 60/20/20.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac`, `0 < val_frac` and
+    /// `train_frac + val_frac < 1`.
+    pub fn shuffle_split(&self, train_frac: f64, val_frac: f64, seed: u64) -> DataSplit {
+        assert!(
+            train_frac > 0.0 && val_frac > 0.0 && train_frac + val_frac < 1.0,
+            "invalid split fractions {train_frac}/{val_frac}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.items.len()).collect();
+        idx.shuffle(&mut rng);
+        let n = idx.len();
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let n_train = n_train.clamp(1, n.saturating_sub(2));
+        let n_val = n_val.clamp(1, n - n_train - 1);
+
+        let take = |range: &[usize]| -> Vec<LabeledSeries> {
+            range.iter().map(|&i| self.items[i].clone()).collect()
+        };
+        DataSplit {
+            train: Dataset::new(self.name.clone(), self.num_classes, take(&idx[..n_train])),
+            val: Dataset::new(
+                self.name.clone(),
+                self.num_classes,
+                take(&idx[n_train..n_train + n_val]),
+            ),
+            test: Dataset::new(
+                self.name.clone(),
+                self.num_classes,
+                take(&idx[n_train + n_val..]),
+            ),
+        }
+    }
+}
+
+/// A train/validation/test split of a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DataSplit {
+    /// Training portion.
+    pub train: Dataset,
+    /// Validation portion (model selection / LR scheduling).
+    pub val: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let items = (0..n)
+            .map(|i| LabeledSeries::new(vec![i as f64; 8], i % 2))
+            .collect();
+        Dataset::new("toy", 2, items)
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let ds = toy(10);
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.series_len(), 8);
+        assert_eq!(ds.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn ragged_series_rejected() {
+        Dataset::new(
+            "bad",
+            2,
+            vec![
+                LabeledSeries::new(vec![0.0; 4], 0),
+                LabeledSeries::new(vec![0.0; 5], 1),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_rejected() {
+        Dataset::new("bad", 2, vec![LabeledSeries::new(vec![0.0; 4], 2)]);
+    }
+
+    #[test]
+    fn split_fractions_respected() {
+        let split = toy(100).shuffle_split(0.6, 0.2, 0);
+        assert_eq!(split.train.len(), 60);
+        assert_eq!(split.val.len(), 20);
+        assert_eq!(split.test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = toy(50).shuffle_split(0.6, 0.2, 7);
+        let b = toy(50).shuffle_split(0.6, 0.2, 7);
+        assert_eq!(a.train.items()[0], b.train.items()[0]);
+        let c = toy(50).shuffle_split(0.6, 0.2, 8);
+        // Different seed gives a different shuffle with overwhelming odds.
+        let same = a
+            .train
+            .iter()
+            .zip(c.train.iter())
+            .all(|(x, y)| x == y);
+        assert!(!same);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let split = toy(33).shuffle_split(0.6, 0.2, 3);
+        assert_eq!(split.train.len() + split.val.len() + split.test.len(), 33);
+    }
+
+    #[test]
+    fn map_series_preserves_labels() {
+        let ds = toy(4).map_series(|v| v.iter().map(|x| x * 2.0).collect());
+        assert_eq!(ds.items()[3].label, 1);
+        assert_eq!(ds.items()[2].values[0], 4.0);
+    }
+
+    #[test]
+    fn merged_with_concatenates() {
+        let m = toy(4).merged_with(&toy(6));
+        assert_eq!(m.len(), 10);
+    }
+}

@@ -1,0 +1,85 @@
+//! Cylinder–Bell–Funnel (CBF), after Saito's canonical definition: three
+//! classes sharing a random active window `[a, b]` with a flat, rising or
+//! falling profile inside it.
+
+use rand::Rng;
+
+use super::util::randn;
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 128;
+
+/// Generates `samples_per_class` series for each of the 3 classes
+/// (0 = cylinder, 1 = bell, 2 = funnel).
+pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(3 * samples_per_class);
+    for class in 0..3 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new("CBF", 3, items)
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    let a = rng.gen_range(16..32) as f64;
+    let b = a + rng.gen_range(32..96) as f64;
+    let eta = randn(rng);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for t in 0..RAW_LEN {
+        let t = t as f64;
+        let inside = t >= a && t <= b;
+        let profile = if !inside {
+            0.0
+        } else {
+            match class {
+                0 => 1.0,                     // cylinder: flat plateau
+                1 => (t - a) / (b - a),       // bell: linear rise
+                _ => (b - t) / (b - a),       // funnel: linear fall
+            }
+        };
+        v.push((6.0 + eta) * profile + randn(rng));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn three_balanced_classes() {
+        let ds = generate(&mut StdRng::seed_from_u64(0), 10);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![10, 10, 10]);
+        assert_eq!(ds.series_len(), RAW_LEN);
+    }
+
+    #[test]
+    fn bell_rises_funnel_falls() {
+        // On class prototypes (averaging many samples), the first active half
+        // of a bell is lower than its second half; vice versa for a funnel.
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = generate(&mut rng, 200);
+        let mut halves = vec![(0.0, 0.0); 3];
+        for it in ds.iter() {
+            let n = it.values.len();
+            let first: f64 = it.values[..n / 2].iter().sum();
+            let second: f64 = it.values[n / 2..].iter().sum();
+            halves[it.label].0 += first;
+            halves[it.label].1 += second;
+        }
+        assert!(halves[1].0 < halves[1].1, "bell should rise");
+        assert!(halves[2].0 > halves[2].1, "funnel should fall");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&mut StdRng::seed_from_u64(3), 2);
+        let b = generate(&mut StdRng::seed_from_u64(3), 2);
+        assert_eq!(a.items()[0], b.items()[0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Freezer family (FreezerRegularTrain / FreezerSmallTrain): power-draw
+//! traces of a freezer placed in two different rooms. The compressor cycles
+//! with a room-dependent duty cycle and level; `FST` differs from `FRT` only
+//! in training-set size (data scarcity is its difficulty).
+
+use rand::Rng;
+
+use super::util::{add_noise, edge, smooth};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 128;
+
+/// Generates `samples_per_class` series per class (0 = kitchen, 1 = garage).
+pub fn generate(name: &'static str, rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(2 * samples_per_class);
+    for class in 0..2 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new(name, 2, items)
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    // Compressor on/off cycling: class differences in duty cycle and on-level
+    // (a warmer room makes the compressor run longer and harder).
+    let (duty, level) = match class {
+        0 => (0.45 + rng.gen_range(-0.05..0.05), 1.0),
+        _ => (0.62 + rng.gen_range(-0.05..0.05), 1.25),
+    };
+    let period = rng.gen_range(30.0..40.0);
+    let phase = rng.gen_range(0.0..period);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = (i as f64 + phase) % period / period;
+        // Smooth-edged rectangular cycle.
+        let on = edge(t, 0.05, 0.06) - edge(t, duty, 0.06);
+        // Start-up surge at the beginning of each on-phase.
+        let surge = 0.4 * (edge(t, 0.05, 0.04) - edge(t, 0.18, 0.08));
+        v.push(level * on.max(0.0) + surge.max(0.0) + 0.1);
+    }
+    let mut v = smooth(&v, 1);
+    add_noise(&mut v, 0.08, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_classes_named() {
+        let ds = generate("FRT", &mut StdRng::seed_from_u64(0), 6);
+        assert_eq!(ds.name(), "FRT");
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![6, 6]);
+    }
+
+    #[test]
+    fn garage_class_has_higher_mean_power() {
+        let ds = generate("FRT", &mut StdRng::seed_from_u64(1), 100);
+        let mut mean = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for it in ds.iter() {
+            mean[it.label] += it.values.iter().sum::<f64>() / it.values.len() as f64;
+            counts[it.label] += 1;
+        }
+        let kitchen = mean[0] / counts[0] as f64;
+        let garage = mean[1] / counts[1] as f64;
+        assert!(garage > kitchen, "garage {garage} !> kitchen {kitchen}");
+    }
+
+    #[test]
+    fn signal_is_cyclic() {
+        // Autocorrelation at the cycle period should be clearly positive.
+        let ds = generate("FRT", &mut StdRng::seed_from_u64(2), 1);
+        let v = &ds.items()[0].values;
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let centered: Vec<f64> = v.iter().map(|x| x - mean).collect();
+        let var: f64 = centered.iter().map(|x| x * x).sum();
+        let best_lag_corr = (25..45)
+            .map(|lag| {
+                centered[..v.len() - lag]
+                    .iter()
+                    .zip(&centered[lag..])
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    / var
+            })
+            .fold(f64::MIN, f64::max);
+        assert!(best_lag_corr > 0.3, "autocorr {best_lag_corr} too weak");
+    }
+}

@@ -1,0 +1,146 @@
+//! The GunPoint family: 2-class hand-motion traces (draw-and-aim vs. just
+//! point). Three variants mirror the UCR splits by age/sex cohorts, which in
+//! this synthetic substitute translate into different within-class spread and
+//! noise levels:
+//!
+//! * `GPOVY` (OldVersusYoung) — well separated cohorts → easy,
+//! * `GPMVF` (MaleVersusFemale) — moderate separation,
+//! * `GPAS` (AgeSpan) — wide within-class variation → hard.
+
+use rand::Rng;
+
+use super::util::{add_noise, bump, edge, random_time_warp};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 120;
+
+/// Difficulty preset for one GunPoint variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variant {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Amplitude of the class-distinguishing holster dip.
+    pub dip_separation: f64,
+    /// Smooth time-warp strength (within-class variation).
+    pub warp: f64,
+    /// Additive noise σ.
+    pub noise: f64,
+}
+
+/// GunPointOldVersusYoung: clean, well-separated cohorts.
+pub const GPOVY: Variant = Variant {
+    name: "GPOVY",
+    dip_separation: 0.8,
+    warp: 0.03,
+    noise: 0.05,
+};
+
+/// GunPointMaleVersusFemale: moderate cohort overlap.
+pub const GPMVF: Variant = Variant {
+    name: "GPMVF",
+    dip_separation: 0.45,
+    warp: 0.06,
+    noise: 0.12,
+};
+
+/// GunPointAgeSpan: wide within-class variation.
+pub const GPAS: Variant = Variant {
+    name: "GPAS",
+    dip_separation: 0.22,
+    warp: 0.12,
+    noise: 0.30,
+};
+
+/// Generates `samples_per_class` series per class (0 = gun, 1 = point).
+pub fn generate(variant: Variant, rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(2 * samples_per_class);
+    for class in 0..2 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(variant, rng, class), class));
+        }
+    }
+    Dataset::new(variant.name, 2, items)
+}
+
+fn one(variant: Variant, rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    let rise = rng.gen_range(0.18..0.30);
+    let fall = rng.gen_range(0.70..0.82);
+    let plateau = rng.gen_range(0.9..1.1);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        // Shared motion: raise arm, hold, lower.
+        let mut y = plateau * (edge(t, rise, 0.12) - edge(t, fall, 0.12));
+        if class == 0 {
+            // "Gun": holster interaction adds a dip before the rise and an
+            // overshoot after it.
+            y -= variant.dip_separation * bump(t, rise - 0.10, 0.035);
+            y += 0.5 * variant.dip_separation * bump(t, fall + 0.10, 0.035);
+        }
+        v.push(y);
+    }
+    let mut v = random_time_warp(&v, variant.warp, rng);
+    add_noise(&mut v, variant.noise, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_balanced_classes() {
+        for variant in [GPOVY, GPMVF, GPAS] {
+            let ds = generate(variant, &mut StdRng::seed_from_u64(0), 8);
+            assert_eq!(ds.num_classes(), 2);
+            assert_eq!(ds.class_counts(), vec![8, 8]);
+            assert_eq!(ds.name(), variant.name);
+        }
+    }
+
+    #[test]
+    fn gun_class_has_deeper_minimum() {
+        let ds = generate(GPOVY, &mut StdRng::seed_from_u64(1), 100);
+        let mut min_by_class = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for it in ds.iter() {
+            let m = it.values.iter().cloned().fold(f64::MAX, f64::min);
+            min_by_class[it.label] += m;
+            counts[it.label] += 1;
+        }
+        let gun = min_by_class[0] / counts[0] as f64;
+        let point = min_by_class[1] / counts[1] as f64;
+        assert!(gun < point - 0.2, "gun min {gun} vs point min {point}");
+    }
+
+    #[test]
+    fn harder_variants_are_noisier() {
+        // Residual variance around the class mean grows GPOVY → GPAS.
+        let spread = |variant: Variant| {
+            let ds = generate(variant, &mut StdRng::seed_from_u64(2), 60);
+            let n = ds.series_len();
+            let mut mean = vec![0.0; n];
+            let class0: Vec<_> = ds.iter().filter(|s| s.label == 0).collect();
+            for it in &class0 {
+                for (m, &v) in mean.iter_mut().zip(&it.values) {
+                    *m += v / class0.len() as f64;
+                }
+            }
+            class0
+                .iter()
+                .map(|it| {
+                    it.values
+                        .iter()
+                        .zip(&mean)
+                        .map(|(v, m)| (v - m) * (v - m))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        };
+        assert!(spread(GPOVY) < spread(GPMVF));
+        assert!(spread(GPMVF) < spread(GPAS));
+    }
+}

@@ -1,0 +1,19 @@
+//! The 15 benchmark generators.
+//!
+//! Each submodule produces one family of datasets with the class structure of
+//! its UCR namesake (see `DESIGN.md` §4). All generators take an explicit RNG
+//! and a per-class sample count and emit raw (unnormalized, un-resized)
+//! series; the paper's preprocessing is applied separately via
+//! [`crate::preprocess::Preprocess`].
+
+pub mod cbf;
+pub mod freezer;
+pub mod gun_point;
+pub mod mixed_shapes;
+pub mod phalanx;
+pub mod power_cons;
+pub mod scp;
+pub mod slope;
+pub mod smooth_subspace;
+pub mod symbols;
+pub(crate) mod util;

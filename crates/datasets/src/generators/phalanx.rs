@@ -1,0 +1,141 @@
+//! Phalanx-outline family: 1-D contour-distance profiles of finger-bone
+//! X-ray outlines. The profile is modeled as two smooth lobes (the bone's
+//! condyles); classes differ by ordinal, partially overlapping lobe
+//! geometries:
+//!
+//! * `DPTW` (DistalPhalanxTW) — 6 ordinal age-group classes, heavy overlap,
+//! * `MPOAG` (MiddlePhalanxOutlineAgeGroup) — 3 ordinal classes,
+//! * `PPOC` (ProximalPhalanxOutlineCorrect) — 2 classes (clean vs distorted
+//!   outline).
+
+use rand::Rng;
+
+use super::util::{add_noise, bump, random_time_warp, randn};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 100;
+
+/// Which phalanx benchmark to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhalanxKind {
+    /// DistalPhalanxTW: 6 ordinal classes.
+    Dptw,
+    /// MiddlePhalanxOutlineAgeGroup: 3 ordinal classes.
+    Mpoag,
+    /// ProximalPhalanxOutlineCorrect: 2 classes.
+    Ppoc,
+}
+
+impl PhalanxKind {
+    /// Dataset name as abbreviated in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhalanxKind::Dptw => "DPTW",
+            PhalanxKind::Mpoag => "MPOAG",
+            PhalanxKind::Ppoc => "PPOC",
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            PhalanxKind::Dptw => 6,
+            PhalanxKind::Mpoag => 3,
+            PhalanxKind::Ppoc => 2,
+        }
+    }
+}
+
+/// Generates `samples_per_class` series per class.
+pub fn generate(kind: PhalanxKind, rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let classes = kind.classes();
+    let mut items = Vec::with_capacity(classes * samples_per_class);
+    for class in 0..classes {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(kind, rng, class), class));
+        }
+    }
+    Dataset::new(kind.name(), classes, items)
+}
+
+fn one(kind: PhalanxKind, rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    // Ordinal parameterization: older age groups have wider second lobes and
+    // a flatter valley. Class parameters overlap by ±1 step of jitter, which
+    // is what makes the ordinal benchmarks hard.
+    let classes = kind.classes() as f64;
+    let (ordinal, jitter, noise) = match kind {
+        PhalanxKind::Dptw => (class as f64 / (classes - 1.0), 0.35, 0.12),
+        PhalanxKind::Mpoag => (class as f64 / (classes - 1.0), 0.30, 0.10),
+        PhalanxKind::Ppoc => (class as f64, 0.15, 0.08),
+    };
+    let o = (ordinal + jitter * randn(rng) / classes).clamp(-0.2, 1.2);
+
+    let lobe2_width = 0.10 + 0.08 * o;
+    let lobe2_height = 0.75 + 0.35 * o;
+    let valley_depth = 0.55 - 0.25 * o;
+
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        let mut y = bump(t, 0.28, 0.11) + lobe2_height * bump(t, 0.72, lobe2_width);
+        y -= valley_depth * bump(t, 0.5, 0.08);
+        if kind == PhalanxKind::Ppoc && class == 1 {
+            // "Incorrect" outlines carry a segmentation artifact: an extra
+            // spurious ripple.
+            y += 0.35 * bump(t, 0.15, 0.03) + 0.3 * bump(t, 0.88, 0.025);
+        }
+        v.push(y);
+    }
+    let mut v = random_time_warp(&v, 0.05, rng);
+    add_noise(&mut v, noise, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_counts_match_kind() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(generate(PhalanxKind::Dptw, &mut rng, 5).num_classes(), 6);
+        assert_eq!(generate(PhalanxKind::Mpoag, &mut rng, 5).num_classes(), 3);
+        assert_eq!(generate(PhalanxKind::Ppoc, &mut rng, 5).num_classes(), 2);
+    }
+
+    #[test]
+    fn ordinal_classes_shift_second_lobe() {
+        let ds = generate(PhalanxKind::Dptw, &mut StdRng::seed_from_u64(1), 80);
+        // Mean late-window amplitude should grow with the ordinal class.
+        let mut late = vec![0.0; 6];
+        let mut counts = vec![0usize; 6];
+        for it in ds.iter() {
+            let n = it.values.len();
+            late[it.label] += it.values[(2 * n / 3)..].iter().sum::<f64>();
+            counts[it.label] += 1;
+        }
+        for c in 0..6 {
+            late[c] /= counts[c] as f64;
+        }
+        assert!(
+            late[5] > late[0],
+            "oldest class should have the largest second lobe: {late:?}"
+        );
+    }
+
+    #[test]
+    fn ppoc_classes_differ_in_ripple() {
+        let ds = generate(PhalanxKind::Ppoc, &mut StdRng::seed_from_u64(2), 100);
+        // Early-window energy is higher for the artifact class.
+        let mut early = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for it in ds.iter() {
+            early[it.label] += it.values[10..25].iter().sum::<f64>();
+            counts[it.label] += 1;
+        }
+        assert!(early[1] / counts[1] as f64 > early[0] / counts[0] as f64);
+    }
+}

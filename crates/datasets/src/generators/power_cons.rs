@@ -1,0 +1,72 @@
+//! PowerCons: household electric-power consumption profiles in the warm vs.
+//! cold season. Winter days carry pronounced morning and evening heating
+//! peaks; summer days are flatter with a midday bump.
+
+use rand::Rng;
+
+use super::util::{add_noise, bump, random_time_warp};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 144;
+
+/// Generates `samples_per_class` series per class (0 = warm, 1 = cold).
+pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(2 * samples_per_class);
+    for class in 0..2 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new("PowerCons", 2, items)
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    let base = rng.gen_range(0.25..0.40);
+    let scale = rng.gen_range(0.85..1.15);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        let y = if class == 1 {
+            // Cold season: strong morning (≈7h ≈ 0.3) and evening (≈19h ≈ 0.8)
+            // heating peaks.
+            base + scale * (0.9 * bump(t, 0.30, 0.07) + 1.1 * bump(t, 0.80, 0.09))
+        } else {
+            // Warm season: shallow midday bump (cooling) plus small evening use.
+            base + scale * (0.45 * bump(t, 0.55, 0.16) + 0.35 * bump(t, 0.82, 0.07))
+        };
+        v.push(y);
+    }
+    let mut v = random_time_warp(&v, 0.05, rng);
+    add_noise(&mut v, 0.09, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_two_class() {
+        let ds = generate(&mut StdRng::seed_from_u64(0), 12);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![12, 12]);
+        assert_eq!(ds.series_len(), RAW_LEN);
+    }
+
+    #[test]
+    fn winter_has_morning_peak() {
+        let ds = generate(&mut StdRng::seed_from_u64(1), 80);
+        // Mean amplitude in the morning window (t≈0.3) per class.
+        let window = (RAW_LEN as f64 * 0.25) as usize..(RAW_LEN as f64 * 0.35) as usize;
+        let mut m = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for it in ds.iter() {
+            m[it.label] += it.values[window.clone()].iter().sum::<f64>();
+            counts[it.label] += 1;
+        }
+        assert!(m[1] / counts[1] as f64 > m[0] / counts[0] as f64 + 0.1);
+    }
+}

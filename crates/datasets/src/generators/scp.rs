@@ -1,0 +1,70 @@
+//! SelfRegulationSCP2 (SRSCP2): EEG slow-cortical-potential self-regulation
+//! trials. The class signal is a faint positive or negative cortical drift
+//! buried in large-amplitude background EEG — near-chance by design, matching
+//! the ≈0.52 accuracies the paper reports.
+
+use rand::Rng;
+
+use super::util::{add_noise, random_drift};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 128;
+
+/// Generates `samples_per_class` series per class (0 = negativity trial,
+/// 1 = positivity trial).
+pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(2 * samples_per_class);
+    for class in 0..2 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new("SRSCP2", 2, items)
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    let sign = if class == 0 { -1.0 } else { 1.0 };
+    let drift_gain = rng.gen_range(0.10..0.30);
+    let background = random_drift(RAW_LEN, rng);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for (i, bg) in background.iter().enumerate() {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        // The regulated potential builds up over the trial.
+        v.push(sign * drift_gain * t + 0.8 * bg);
+    }
+    add_noise(&mut v, 0.25, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_classes() {
+        let ds = generate(&mut StdRng::seed_from_u64(0), 9);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![9, 9]);
+    }
+
+    #[test]
+    fn class_signal_is_faint_but_present() {
+        // The end-of-trial mean should separate classes only weakly: visible
+        // over hundreds of trials, not per-trial.
+        let ds = generate(&mut StdRng::seed_from_u64(1), 400);
+        let mut tail = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for it in ds.iter() {
+            let n = it.values.len();
+            tail[it.label] += it.values[(3 * n / 4)..].iter().sum::<f64>() / (n / 4) as f64;
+            counts[it.label] += 1;
+        }
+        let neg = tail[0] / counts[0] as f64;
+        let pos = tail[1] / counts[1] as f64;
+        assert!(pos > neg, "positivity trials must drift above negativity");
+        assert!(pos - neg < 0.8, "separation should stay faint, got {}", pos - neg);
+    }
+}

@@ -1,0 +1,73 @@
+//! Slope: a trend-discrimination benchmark — two classes distinguished by
+//! the sign of a gentle linear trend under level shifts and noise. (The
+//! paper's "Slope" has no UCR archive entry; this stand-in captures the
+//! trend-vs-noise task the name implies. See `DESIGN.md` §4.)
+
+use rand::Rng;
+
+use super::util::{add_noise, random_time_warp};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 100;
+
+/// Generates `samples_per_class` series per class (0 = falling, 1 = rising).
+pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(2 * samples_per_class);
+    for class in 0..2 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new("Slope", 2, items)
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    let sign = if class == 0 { -1.0 } else { 1.0 };
+    let slope = sign * rng.gen_range(0.4..1.0);
+    let intercept = rng.gen_range(-0.5..0.5);
+    let ripple_freq = rng.gen_range(2.0..4.0);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        let y = intercept
+            + slope * (t - 0.5)
+            + 0.25 * (2.0 * std::f64::consts::PI * ripple_freq * t).sin();
+        v.push(y);
+    }
+    let mut v = random_time_warp(&v, 0.06, rng);
+    add_noise(&mut v, 0.20, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_classes() {
+        let ds = generate(&mut StdRng::seed_from_u64(0), 5);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.series_len(), RAW_LEN);
+    }
+
+    #[test]
+    fn trend_sign_matches_label() {
+        let ds = generate(&mut StdRng::seed_from_u64(1), 100);
+        let mut correct = 0;
+        for it in ds.iter() {
+            let n = it.values.len();
+            let first: f64 = it.values[..n / 4].iter().sum::<f64>();
+            let last: f64 = it.values[3 * n / 4..].iter().sum::<f64>();
+            let predicted = usize::from(last > first);
+            if predicted == it.label {
+                correct += 1;
+            }
+        }
+        // Trend is detectable but noisy: comfortably above chance, below 100 %.
+        let acc = correct as f64 / ds.len() as f64;
+        assert!(acc > 0.75, "trend detection accuracy {acc}");
+    }
+}

@@ -1,0 +1,88 @@
+//! SmoothSubspace: three classes of short smooth trajectories, each living in
+//! a low-dimensional subspace spanned by smooth basis functions with
+//! class-specific mean coefficients.
+
+use rand::Rng;
+
+use super::util::{add_noise, randn};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing (the UCR original is length 15; we
+/// generate denser raw series and let preprocessing resample).
+pub const RAW_LEN: usize = 60;
+
+/// Generates `samples_per_class` series for each of the 3 classes.
+pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(3 * samples_per_class);
+    for class in 0..3 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new("SmoothS", 3, items)
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    // Smooth polynomial/sinusoid basis; class-specific mean coefficients.
+    let means: [[f64; 3]; 3] = [
+        [1.0, 0.2, -0.4],  // class 0: dominated by the constant+slope
+        [-0.3, 1.1, 0.3],  // class 1: dominated by the half-sine
+        [0.2, -0.4, 1.2],  // class 2: dominated by the full sine
+    ];
+    let coeff: Vec<f64> = means[class]
+        .iter()
+        .map(|&m| m + 0.35 * randn(rng))
+        .collect();
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        let basis = [
+            1.0 - 2.0 * t,
+            (std::f64::consts::PI * t).sin(),
+            (2.0 * std::f64::consts::PI * t).sin(),
+        ];
+        let y: f64 = coeff.iter().zip(&basis).map(|(c, b)| c * b).sum();
+        v.push(y);
+    }
+    add_noise(&mut v, 0.15, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn three_classes() {
+        let ds = generate(&mut StdRng::seed_from_u64(0), 10);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn class_means_are_distinct() {
+        let ds = generate(&mut StdRng::seed_from_u64(1), 100);
+        let n = ds.series_len();
+        let mut means = vec![vec![0.0; n]; 3];
+        let mut counts = [0usize; 3];
+        for it in ds.iter() {
+            for (m, &v) in means[it.label].iter_mut().zip(&it.values) {
+                *m += v;
+            }
+            counts[it.label] += 1;
+        }
+        for c in 0..3 {
+            for m in means[c].iter_mut() {
+                *m /= counts[c] as f64;
+            }
+        }
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        assert!(dist(&means[0], &means[1]) > 1.0);
+        assert!(dist(&means[1], &means[2]) > 1.0);
+        assert!(dist(&means[0], &means[2]) > 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Symbols: six classes of smooth pen-trajectory prototypes (x-profiles of
+//! hand-drawn symbols), redrawn with per-sample warp, scale and noise.
+
+use rand::Rng;
+
+use super::util::{add_noise, bump, random_time_warp};
+use crate::dataset::{Dataset, LabeledSeries};
+
+/// Raw series length before preprocessing.
+pub const RAW_LEN: usize = 128;
+
+/// Generates `samples_per_class` series for each of the 6 classes.
+pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
+    let mut items = Vec::with_capacity(6 * samples_per_class);
+    for class in 0..6 {
+        for _ in 0..samples_per_class {
+            items.push(LabeledSeries::new(one(rng, class), class));
+        }
+    }
+    Dataset::new("Symbols", 6, items)
+}
+
+fn prototype(class: usize, t: f64) -> f64 {
+    use std::f64::consts::PI;
+    match class {
+        0 => (PI * t).sin(),                                   // single arch
+        1 => (2.0 * PI * t).sin(),                             // S-curve
+        2 => bump(t, 0.3, 0.09) + bump(t, 0.7, 0.09),          // double bump
+        3 => 2.0 * t - 1.0 + 0.8 * bump(t, 0.5, 0.07),         // ramp + spike
+        4 => (3.0 * PI * t).sin() * (1.0 - t),                 // damped wiggle
+        _ => 1.0 - 2.0 * (2.0 * t - 1.0).abs(),                // triangle
+    }
+}
+
+fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
+    let scale = rng.gen_range(0.8..1.2);
+    let mut v = Vec::with_capacity(RAW_LEN);
+    for i in 0..RAW_LEN {
+        let t = i as f64 / (RAW_LEN - 1) as f64;
+        v.push(scale * prototype(class, t));
+    }
+    let mut v = random_time_warp(&v, 0.07, rng);
+    add_noise(&mut v, 0.12, rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn six_classes() {
+        let ds = generate(&mut StdRng::seed_from_u64(0), 4);
+        assert_eq!(ds.num_classes(), 6);
+        assert_eq!(ds.len(), 24);
+    }
+
+    #[test]
+    fn prototypes_are_mutually_distant() {
+        let n = 64;
+        let proto = |c: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| prototype(c, i as f64 / (n - 1) as f64))
+                .collect()
+        };
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                let pa = proto(a);
+                let pb = proto(b);
+                let d: f64 = pa
+                    .iter()
+                    .zip(&pb)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(d > 1.0, "prototypes {a} and {b} too close ({d})");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared signal-construction utilities for the benchmark generators.
+
+use rand::Rng;
+
+/// One standard-normal sample (Box–Muller).
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sigma` in place.
+pub fn add_noise(v: &mut [f64], sigma: f64, rng: &mut impl Rng) {
+    for x in v.iter_mut() {
+        *x += sigma * randn(rng);
+    }
+}
+
+/// Centered moving-average smoothing with the given half-window.
+pub fn smooth(v: &[f64], half_window: usize) -> Vec<f64> {
+    if half_window == 0 {
+        return v.to_vec();
+    }
+    let n = v.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_window);
+        let hi = (i + half_window + 1).min(n);
+        let mean: f64 = v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        out.push(mean);
+    }
+    out
+}
+
+/// A Gaussian bump of the given center and width, evaluated at normalized
+/// position `t ∈ [0, 1]`.
+pub fn bump(t: f64, center: f64, width: f64) -> f64 {
+    let z = (t - center) / width;
+    (-0.5 * z * z).exp()
+}
+
+/// A smooth rising edge at `center` with 10–90% width ≈ `width`.
+pub fn edge(t: f64, center: f64, width: f64) -> f64 {
+    1.0 / (1.0 + (-(t - center) / (width / 4.4)).exp())
+}
+
+/// Applies a smooth random time warp: samples the series at positions
+/// perturbed by a low-frequency sinusoid of random phase and strength.
+pub fn random_time_warp(v: &[f64], strength: f64, rng: &mut impl Rng) -> Vec<f64> {
+    let n = v.len();
+    if n < 2 {
+        return v.to_vec();
+    }
+    let phase: f64 = rng.gen_range(0.0..(2.0 * std::f64::consts::PI));
+    let cycles: f64 = rng.gen_range(0.5..1.5);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / (n - 1) as f64;
+        let warped = t + strength * (2.0 * std::f64::consts::PI * cycles * t + phase).sin() * t * (1.0 - t);
+        let pos = warped.clamp(0.0, 1.0) * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = pos - lo as f64;
+        out.push(v[lo] * (1.0 - frac) + v[hi] * frac);
+    }
+    out
+}
+
+/// A fractional-noise-like drift: cumulative sum of white noise, scaled to
+/// unit peak amplitude, for EEG-style baselines.
+pub fn random_drift(n: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        acc += randn(rng);
+        out.push(acc);
+    }
+    let peak = out.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+    out.iter_mut().for_each(|v| *v /= peak);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smooth_reduces_variance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut v = vec![0.0; 256];
+        add_noise(&mut v, 1.0, &mut rng);
+        let s = smooth(&v, 4);
+        let var = |x: &[f64]| {
+            let m = x.iter().sum::<f64>() / x.len() as f64;
+            x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+        };
+        assert!(var(&s) < var(&v) * 0.5);
+    }
+
+    #[test]
+    fn bump_peaks_at_center() {
+        assert!((bump(0.5, 0.5, 0.1) - 1.0).abs() < 1e-12);
+        assert!(bump(0.9, 0.5, 0.1) < 1e-3);
+    }
+
+    #[test]
+    fn edge_transitions() {
+        assert!(edge(0.0, 0.5, 0.1) < 0.01);
+        assert!(edge(1.0, 0.5, 0.1) > 0.99);
+        assert!((edge(0.5, 0.5, 0.1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_preserves_length_and_endpoints_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v: Vec<f64> = (0..64).map(|i| (i as f64 / 10.0).sin()).collect();
+        let w = random_time_warp(&v, 0.1, &mut rng);
+        assert_eq!(w.len(), v.len());
+        // The warp field vanishes at t=0 and t=1.
+        assert!((w[0] - v[0]).abs() < 1e-9);
+        assert!((w[63] - v[63]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = random_drift(128, &mut rng);
+        assert!(d.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+}

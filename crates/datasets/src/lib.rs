@@ -1,0 +1,56 @@
+//! Seeded synthetic time-series classification benchmarks mirroring the 15
+//! UCR datasets evaluated by the ADAPT-pNC paper.
+//!
+//! The UCR archive itself is not redistributable inside this reproduction, so
+//! each benchmark is a *generator* that reproduces the published class count
+//! and the qualitative signal dynamics that give the dataset its difficulty
+//! (see `DESIGN.md` §4 for the substitution rationale). All generators are
+//! deterministic given a seed; the paper's preprocessing — uniform resize to
+//! length 64, per-series normalization to `[-1, 1]`, reshuffled 60/20/20
+//! train/validation/test split — is implemented in [`preprocess`].
+//!
+//! # Example
+//!
+//! ```
+//! use ptnc_datasets::{benchmark_by_name, preprocess::Preprocess};
+//!
+//! let raw = benchmark_by_name("CBF", 0).expect("known benchmark");
+//! let ds = Preprocess::paper_default().apply(&raw);
+//! assert_eq!(ds.series_len(), 64);
+//! assert_eq!(ds.num_classes(), 3);
+//! let split = ds.shuffle_split(0.6, 0.2, 0);
+//! assert!(split.train.len() > split.val.len());
+//! ```
+
+pub mod csv;
+mod dataset;
+pub mod generators;
+pub mod preprocess;
+pub mod multivariate;
+mod registry;
+pub mod stats;
+
+pub use dataset::{DataSplit, Dataset, LabeledSeries};
+pub use registry::{all_specs, benchmark, benchmark_by_name, BenchmarkSpec, GeneratorKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_benchmarks_exist() {
+        assert_eq!(all_specs().len(), 15);
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        let names: Vec<&str> = all_specs().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CBF", "DPTW", "FRT", "FST", "GPAS", "GPMVF", "GPOVY", "MPOAG", "MSRT",
+                "PowerCons", "PPOC", "SRSCP2", "Slope", "SmoothS", "Symbols"
+            ]
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Multivariate (multi-channel) time series — the general case the paper's
+//! Fig. 4 depicts: a pTPB with several sensory inputs feeding one crossbar.
+//!
+//! The 15 reproduction benchmarks are univariate (as in the UCR selection),
+//! but printed near-sensor classifiers routinely fuse channels (temperature +
+//! gas, EDA + motion, …), so the container and a seeded reference generator
+//! live here.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One multi-channel series: `channels[c][k]` is channel `c` at time `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSeries {
+    /// Channel-major samples; all channels share one length.
+    pub channels: Vec<Vec<f64>>,
+    /// Zero-based class label.
+    pub label: usize,
+}
+
+impl MultiSeries {
+    /// Creates a multi-channel series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty or ragged.
+    pub fn new(channels: Vec<Vec<f64>>, label: usize) -> Self {
+        assert!(!channels.is_empty(), "need at least one channel");
+        let len = channels[0].len();
+        assert!(len > 0, "empty channel");
+        assert!(
+            channels.iter().all(|c| c.len() == len),
+            "ragged channels"
+        );
+        MultiSeries { channels, label }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Samples per channel.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.channels[0].len()
+    }
+}
+
+/// A multivariate dataset (all series share channel count, length and a
+/// class universe).
+#[derive(Debug, Clone)]
+pub struct MultiDataset {
+    name: String,
+    num_classes: usize,
+    items: Vec<MultiSeries>,
+}
+
+impl MultiDataset {
+    /// Creates a dataset, validating shape consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, mismatched shapes, or out-of-range labels.
+    pub fn new(name: impl Into<String>, num_classes: usize, items: Vec<MultiSeries>) -> Self {
+        assert!(!items.is_empty(), "empty dataset");
+        assert!(num_classes >= 2, "need at least two classes");
+        let (ch, len) = (items[0].num_channels(), items[0].len());
+        for (i, it) in items.iter().enumerate() {
+            assert_eq!(it.num_channels(), ch, "series {i} channel-count mismatch");
+            assert_eq!(it.len(), len, "series {i} length mismatch");
+            assert!(it.label < num_classes, "series {i} label out of range");
+        }
+        MultiDataset {
+            name: name.into(),
+            num_classes,
+            items,
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of series.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Channels per series.
+    pub fn num_channels(&self) -> usize {
+        self.items[0].num_channels()
+    }
+
+    /// Samples per channel.
+    pub fn series_len(&self) -> usize {
+        self.items[0].len()
+    }
+
+    /// Borrow the series.
+    pub fn items(&self) -> &[MultiSeries] {
+        &self.items
+    }
+
+    /// Per-series min–max normalization of every channel to `[-1, 1]`.
+    pub fn normalized(&self) -> MultiDataset {
+        let items = self
+            .items
+            .iter()
+            .map(|it| {
+                let channels = it
+                    .channels
+                    .iter()
+                    .map(|c| crate::preprocess::normalize(c))
+                    .collect();
+                MultiSeries::new(channels, it.label)
+            })
+            .collect();
+        MultiDataset::new(self.name.clone(), self.num_classes, items)
+    }
+
+    /// Seeded shuffle split into (train, test) with the given train fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (MultiDataset, MultiDataset) {
+        assert!(train_frac > 0.0 && train_frac < 1.0, "bad fraction");
+        let mut idx: Vec<usize> = (0..self.items.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_train = ((self.items.len() as f64) * train_frac).round() as usize;
+        let n_train = n_train.clamp(1, self.items.len() - 1);
+        let take = |r: &[usize]| -> Vec<MultiSeries> {
+            r.iter().map(|&i| self.items[i].clone()).collect()
+        };
+        (
+            MultiDataset::new(self.name.clone(), self.num_classes, take(&idx[..n_train])),
+            MultiDataset::new(self.name.clone(), self.num_classes, take(&idx[n_train..])),
+        )
+    }
+}
+
+/// Reference multivariate benchmark: a printed weather-station label fusing
+/// temperature and humidity to detect cold-chain breaks. Class 1 events show
+/// a temperature excursion followed (with sensor lag) by a humidity rise —
+/// the class is only decodable by *combining* the channels, which is what
+/// makes it a genuine multivariate task.
+pub fn cold_chain(rng: &mut impl Rng, samples_per_class: usize, len: usize) -> MultiDataset {
+    assert!(len >= 8, "series too short");
+    let mut items = Vec::with_capacity(2 * samples_per_class);
+    for class in 0..2 {
+        for _ in 0..samples_per_class {
+            let mut temp = Vec::with_capacity(len);
+            let mut humid = Vec::with_capacity(len);
+            let break_at = rng.gen_range(0.25..0.65);
+            // A confounder: both classes can have humidity bumps alone.
+            let humid_only_bump = rng.gen_bool(0.5);
+            for k in 0..len {
+                let t = k as f64 / (len - 1) as f64;
+                let mut temperature = 4.0 + 0.4 * (12.0 * t).sin();
+                let mut humidity = 0.6 + 0.05 * (9.0 * t + 1.0).cos();
+                if class == 1 && t > break_at {
+                    let dt = t - break_at;
+                    temperature += 6.0 * (1.0 - (-dt * 10.0).exp());
+                    // Humidity follows with a lag.
+                    if dt > 0.1 {
+                        humidity += 0.25 * (1.0 - (-(dt - 0.1) * 8.0).exp());
+                    }
+                }
+                if class == 0 && humid_only_bump && t > break_at {
+                    // Humidity rise WITHOUT temperature excursion: benign.
+                    humidity += 0.25 * (1.0 - (-(t - break_at) * 8.0).exp());
+                }
+                temperature += 0.15 * rng.gen_range(-1.0..1.0);
+                humidity += 0.02 * rng.gen_range(-1.0..1.0);
+                temp.push(temperature);
+                humid.push(humidity);
+            }
+            items.push(MultiSeries::new(vec![temp, humid], class));
+        }
+    }
+    MultiDataset::new("ColdChain", 2, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_invariants() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ds = cold_chain(&mut rng, 10, 64);
+        assert_eq!(ds.num_channels(), 2);
+        assert_eq!(ds.series_len(), 64);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.num_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_channels_rejected() {
+        MultiSeries::new(vec![vec![0.0; 4], vec![0.0; 5]], 0);
+    }
+
+    #[test]
+    fn normalization_bounds_channels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = cold_chain(&mut rng, 5, 32).normalized();
+        for it in ds.items() {
+            for ch in &it.channels {
+                assert!(ch.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = cold_chain(&mut rng, 20, 32);
+        let (train, test) = ds.split(0.75, 0);
+        assert_eq!(train.len() + test.len(), 40);
+        assert_eq!(train.len(), 30);
+    }
+
+    #[test]
+    fn classes_need_both_channels() {
+        // Temperature alone separates poorly because class 0 never heats up
+        // — but humidity alone must NOT separate (the confounder bump).
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = cold_chain(&mut rng, 150, 64);
+        let tail_mean = |it: &MultiSeries, ch: usize| -> f64 {
+            let v = &it.channels[ch];
+            v[(3 * v.len() / 4)..].iter().sum::<f64>() / (v.len() / 4) as f64
+        };
+        // Humidity tail threshold: a high humidity tail appears in BOTH
+        // classes (confounder), so 1-feature accuracy stays well below 90 %.
+        let mut correct = 0;
+        for it in ds.items() {
+            let predicted = usize::from(tail_mean(it, 1) > 0.75);
+            if predicted == it.label {
+                correct += 1;
+            }
+        }
+        let humid_acc = correct as f64 / ds.len() as f64;
+        assert!(humid_acc < 0.9, "humidity alone should be ambiguous: {humid_acc}");
+    }
+}

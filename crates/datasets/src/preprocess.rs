@@ -1,0 +1,164 @@
+//! The paper's dataset preprocessing: uniform resize to a target length,
+//! per-series normalization to `[-1, 1]`.
+
+use crate::dataset::Dataset;
+
+/// Linear-interpolation resampling of a series to `target_len` samples.
+///
+/// End points are preserved; interior samples are linearly interpolated at
+/// uniformly spaced positions.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `target_len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_datasets::preprocess::resize;
+/// let out = resize(&[0.0, 1.0, 2.0], 5);
+/// assert_eq!(out, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+/// ```
+pub fn resize(values: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot resize an empty series");
+    assert!(target_len > 0, "target length must be positive");
+    if values.len() == 1 {
+        return vec![values[0]; target_len];
+    }
+    if target_len == 1 {
+        return vec![values[0]];
+    }
+    let n = values.len();
+    let mut out = Vec::with_capacity(target_len);
+    for i in 0..target_len {
+        let pos = i as f64 * (n - 1) as f64 / (target_len - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = pos - lo as f64;
+        out.push(values[lo] * (1.0 - frac) + values[hi] * frac);
+    }
+    out
+}
+
+/// Min–max normalization of one series to `[-1, 1]`.
+///
+/// A constant series maps to all zeros.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    if span <= f64::EPSILON {
+        return vec![0.0; values.len()];
+    }
+    values
+        .iter()
+        .map(|&v| 2.0 * (v - lo) / span - 1.0)
+        .collect()
+}
+
+/// The preprocessing pipeline applied to every benchmark before training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preprocess {
+    /// Target series length after resampling.
+    pub target_len: usize,
+    /// Whether to min–max normalize each series to `[-1, 1]`.
+    pub normalize: bool,
+}
+
+impl Preprocess {
+    /// The paper's setup: resize to 64 samples, normalize to `[-1, 1]`.
+    pub fn paper_default() -> Self {
+        Preprocess {
+            target_len: 64,
+            normalize: true,
+        }
+    }
+
+    /// Applies the pipeline to every series of a dataset.
+    pub fn apply(&self, ds: &Dataset) -> Dataset {
+        ds.map_series(|v| {
+            let resized = resize(v, self.target_len);
+            if self.normalize {
+                normalize(&resized)
+            } else {
+                resized
+            }
+        })
+    }
+}
+
+impl Default for Preprocess {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledSeries;
+
+    #[test]
+    fn resize_preserves_endpoints() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let out = resize(&v, 64);
+        assert_eq!(out.len(), 64);
+        assert!((out[0] - v[0]).abs() < 1e-12);
+        assert!((out[63] - v[99]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resize_upsamples() {
+        let out = resize(&[0.0, 2.0], 3);
+        assert_eq!(out, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_identity_when_same_length() {
+        let v = vec![1.0, 3.0, 2.0, 5.0];
+        let out = resize(&v, 4);
+        for (a, b) in out.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_range() {
+        let out = normalize(&[2.0, 4.0, 6.0]);
+        assert_eq!(out, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_series() {
+        assert_eq!(normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn pipeline_applies_both() {
+        let ds = Dataset::new(
+            "t",
+            2,
+            vec![
+                LabeledSeries::new((0..100).map(|i| i as f64).collect(), 0),
+                LabeledSeries::new((0..100).map(|i| -(i as f64)).collect(), 1),
+            ],
+        );
+        let out = Preprocess::paper_default().apply(&ds);
+        assert_eq!(out.series_len(), 64);
+        for it in out.iter() {
+            let mx = it.values.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = it.values.iter().cloned().fold(f64::MAX, f64::min);
+            assert!((mx - 1.0).abs() < 1e-12);
+            assert!((mn + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn resize_empty_panics() {
+        resize(&[], 4);
+    }
+}

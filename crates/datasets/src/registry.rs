@@ -1,0 +1,181 @@
+//! The registry of the paper's 15 benchmarks, in Table I order.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::generators::{
+    cbf, freezer, gun_point, mixed_shapes, phalanx, power_cons, scp, slope, smooth_subspace,
+    symbols,
+};
+
+/// Which generator family a benchmark uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeneratorKind {
+    /// Cylinder–Bell–Funnel.
+    Cbf,
+    /// DistalPhalanxTW.
+    Dptw,
+    /// FreezerRegularTrain.
+    Frt,
+    /// FreezerSmallTrain.
+    Fst,
+    /// GunPointAgeSpan.
+    Gpas,
+    /// GunPointMaleVersusFemale.
+    Gpmvf,
+    /// GunPointOldVersusYoung.
+    Gpovy,
+    /// MiddlePhalanxOutlineAgeGroup.
+    Mpoag,
+    /// MixedShapesRegularTrain.
+    Msrt,
+    /// PowerCons.
+    PowerCons,
+    /// ProximalPhalanxOutlineCorrect.
+    Ppoc,
+    /// SelfRegulationSCP2.
+    Srscp2,
+    /// Slope.
+    Slope,
+    /// SmoothSubspace.
+    SmoothS,
+    /// Symbols.
+    Symbols,
+}
+
+/// Static description of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Paper abbreviation (Table I row name).
+    pub name: &'static str,
+    /// Number of classes.
+    pub classes: usize,
+    /// Series generated per class.
+    pub samples_per_class: usize,
+    /// Generator family.
+    pub kind: GeneratorKind,
+}
+
+const SPECS: [BenchmarkSpec; 15] = [
+    BenchmarkSpec { name: "CBF", classes: 3, samples_per_class: 60, kind: GeneratorKind::Cbf },
+    BenchmarkSpec { name: "DPTW", classes: 6, samples_per_class: 30, kind: GeneratorKind::Dptw },
+    BenchmarkSpec { name: "FRT", classes: 2, samples_per_class: 90, kind: GeneratorKind::Frt },
+    BenchmarkSpec { name: "FST", classes: 2, samples_per_class: 25, kind: GeneratorKind::Fst },
+    BenchmarkSpec { name: "GPAS", classes: 2, samples_per_class: 80, kind: GeneratorKind::Gpas },
+    BenchmarkSpec { name: "GPMVF", classes: 2, samples_per_class: 80, kind: GeneratorKind::Gpmvf },
+    BenchmarkSpec { name: "GPOVY", classes: 2, samples_per_class: 80, kind: GeneratorKind::Gpovy },
+    BenchmarkSpec { name: "MPOAG", classes: 3, samples_per_class: 50, kind: GeneratorKind::Mpoag },
+    BenchmarkSpec { name: "MSRT", classes: 5, samples_per_class: 40, kind: GeneratorKind::Msrt },
+    BenchmarkSpec { name: "PowerCons", classes: 2, samples_per_class: 90, kind: GeneratorKind::PowerCons },
+    BenchmarkSpec { name: "PPOC", classes: 2, samples_per_class: 75, kind: GeneratorKind::Ppoc },
+    BenchmarkSpec { name: "SRSCP2", classes: 2, samples_per_class: 90, kind: GeneratorKind::Srscp2 },
+    BenchmarkSpec { name: "Slope", classes: 2, samples_per_class: 80, kind: GeneratorKind::Slope },
+    BenchmarkSpec { name: "SmoothS", classes: 3, samples_per_class: 50, kind: GeneratorKind::SmoothS },
+    BenchmarkSpec { name: "Symbols", classes: 6, samples_per_class: 30, kind: GeneratorKind::Symbols },
+];
+
+/// All 15 benchmark specs in Table I order.
+pub fn all_specs() -> &'static [BenchmarkSpec] {
+    &SPECS
+}
+
+/// Generates a benchmark from its spec with the given seed.
+pub fn benchmark(spec: &BenchmarkSpec, seed: u64) -> Dataset {
+    // Offset the RNG stream per benchmark so equal seeds still decorrelate
+    // the datasets.
+    let stream = spec.name.bytes().fold(0u64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(b as u64)
+    });
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream));
+    let n = spec.samples_per_class;
+    match spec.kind {
+        GeneratorKind::Cbf => cbf::generate(&mut rng, n),
+        GeneratorKind::Dptw => phalanx::generate(phalanx::PhalanxKind::Dptw, &mut rng, n),
+        GeneratorKind::Frt => freezer::generate("FRT", &mut rng, n),
+        GeneratorKind::Fst => freezer::generate("FST", &mut rng, n),
+        GeneratorKind::Gpas => gun_point::generate(gun_point::GPAS, &mut rng, n),
+        GeneratorKind::Gpmvf => gun_point::generate(gun_point::GPMVF, &mut rng, n),
+        GeneratorKind::Gpovy => gun_point::generate(gun_point::GPOVY, &mut rng, n),
+        GeneratorKind::Mpoag => phalanx::generate(phalanx::PhalanxKind::Mpoag, &mut rng, n),
+        GeneratorKind::Msrt => mixed_shapes::generate(&mut rng, n),
+        GeneratorKind::PowerCons => power_cons::generate(&mut rng, n),
+        GeneratorKind::Ppoc => phalanx::generate(phalanx::PhalanxKind::Ppoc, &mut rng, n),
+        GeneratorKind::Srscp2 => scp::generate(&mut rng, n),
+        GeneratorKind::Slope => slope::generate(&mut rng, n),
+        GeneratorKind::SmoothS => smooth_subspace::generate(&mut rng, n),
+        GeneratorKind::Symbols => symbols::generate(&mut rng, n),
+    }
+}
+
+/// Generates a benchmark by its paper abbreviation, or `None` if unknown.
+pub fn benchmark_by_name(name: &str, seed: u64) -> Option<Dataset> {
+    SPECS
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| benchmark(s, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_generates() {
+        for spec in all_specs() {
+            let ds = benchmark(spec, 0);
+            assert_eq!(ds.name(), spec.name);
+            assert_eq!(ds.num_classes(), spec.classes);
+            assert_eq!(ds.len(), spec.classes * spec.samples_per_class);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(benchmark_by_name("NotADataset", 0).is_none());
+    }
+
+    #[test]
+    fn benchmarks_are_seed_deterministic() {
+        let a = benchmark_by_name("Symbols", 5).unwrap();
+        let b = benchmark_by_name("Symbols", 5).unwrap();
+        assert_eq!(a.items()[0], b.items()[0]);
+        let c = benchmark_by_name("Symbols", 6).unwrap();
+        assert_ne!(a.items()[0], c.items()[0]);
+    }
+
+    #[test]
+    fn same_seed_decorrelates_across_benchmarks() {
+        // FRT and FST share a generator; the name-derived stream offset must
+        // still make them differ for equal seeds.
+        let frt = benchmark_by_name("FRT", 0).unwrap();
+        let fst = benchmark_by_name("FST", 0).unwrap();
+        assert_ne!(frt.items()[0].values, fst.items()[0].values);
+    }
+
+    #[test]
+    fn class_counts_match_ucr_structure() {
+        // Class counts from the UCR archive metadata for the 14 real datasets.
+        let expected: &[(&str, usize)] = &[
+            ("CBF", 3),
+            ("DPTW", 6),
+            ("FRT", 2),
+            ("FST", 2),
+            ("GPAS", 2),
+            ("GPMVF", 2),
+            ("GPOVY", 2),
+            ("MPOAG", 3),
+            ("MSRT", 5),
+            ("PowerCons", 2),
+            ("PPOC", 2),
+            ("SRSCP2", 2),
+            ("SmoothS", 3),
+            ("Symbols", 6),
+        ];
+        for (name, classes) in expected {
+            let spec = all_specs().iter().find(|s| s.name == *name).unwrap();
+            assert_eq!(spec.classes, *classes, "{name}");
+        }
+    }
+}

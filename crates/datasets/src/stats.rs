@@ -1,0 +1,135 @@
+//! Dataset statistics: class-separability estimates used to verify that the
+//! synthetic benchmarks reproduce the *difficulty ordering* of their UCR
+//! namesakes (easy GPOVY vs near-chance SRSCP2, etc.).
+
+use crate::dataset::Dataset;
+
+/// Euclidean distance between two equal-length series.
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Leave-one-out 1-nearest-neighbor accuracy with Euclidean distance — the
+/// classic UCR baseline classifier. A strong proxy for dataset difficulty
+/// that needs no training.
+///
+/// # Panics
+///
+/// Panics if the dataset has fewer than 2 series.
+pub fn one_nn_accuracy(ds: &Dataset) -> f64 {
+    let items = ds.items();
+    assert!(items.len() >= 2, "need at least two series");
+    let mut correct = 0;
+    for (i, probe) in items.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut best_label = 0;
+        for (j, other) in items.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = dist(&probe.values, &other.values);
+            if d < best {
+                best = d;
+                best_label = other.label;
+            }
+        }
+        if best_label == probe.label {
+            correct += 1;
+        }
+    }
+    correct as f64 / items.len() as f64
+}
+
+/// Fisher-style separability: mean between-class-centroid distance divided by
+/// mean within-class scatter. Higher is easier.
+///
+/// # Panics
+///
+/// Panics if any class has no samples.
+pub fn separability(ds: &Dataset) -> f64 {
+    let classes = ds.num_classes();
+    let len = ds.series_len();
+    // Class centroids.
+    let mut centroids = vec![vec![0.0; len]; classes];
+    let mut counts = vec![0usize; classes];
+    for it in ds.iter() {
+        for (c, &v) in centroids[it.label].iter_mut().zip(&it.values) {
+            *c += v;
+        }
+        counts[it.label] += 1;
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        assert!(n > 0, "empty class");
+        for v in c.iter_mut() {
+            *v /= n as f64;
+        }
+    }
+    // Within-class scatter.
+    let mut within = 0.0;
+    for it in ds.iter() {
+        within += dist(&it.values, &centroids[it.label]);
+    }
+    within /= ds.len() as f64;
+    // Between-centroid spread.
+    let mut between = 0.0;
+    let mut pairs = 0;
+    for a in 0..classes {
+        for b in (a + 1)..classes {
+            between += dist(&centroids[a], &centroids[b]);
+            pairs += 1;
+        }
+    }
+    between /= pairs.max(1) as f64;
+    between / within.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::Preprocess;
+    use crate::registry::benchmark_by_name;
+
+    fn prepared(name: &str) -> Dataset {
+        Preprocess::paper_default().apply(&benchmark_by_name(name, 0).unwrap())
+    }
+
+    #[test]
+    fn gunpoint_difficulty_ordering_matches_design() {
+        // GPOVY (old vs young) is designed easy, GPAS (age span) hard.
+        let easy = separability(&prepared("GPOVY"));
+        let mid = separability(&prepared("GPMVF"));
+        let hard = separability(&prepared("GPAS"));
+        assert!(easy > mid, "GPOVY ({easy:.3}) should separate better than GPMVF ({mid:.3})");
+        assert!(mid > hard, "GPMVF ({mid:.3}) should separate better than GPAS ({hard:.3})");
+    }
+
+    #[test]
+    fn srscp2_is_near_chance_for_one_nn() {
+        let acc = one_nn_accuracy(&prepared("SRSCP2"));
+        assert!(acc < 0.7, "SRSCP2 must stay hard, 1-NN got {acc:.3}");
+    }
+
+    #[test]
+    fn gpovy_is_easy_for_one_nn() {
+        let acc = one_nn_accuracy(&prepared("GPOVY"));
+        assert!(acc > 0.8, "GPOVY should be nearly separable, 1-NN got {acc:.3}");
+    }
+
+    #[test]
+    fn one_nn_is_perfect_on_disjoint_clusters() {
+        use crate::dataset::LabeledSeries;
+        let items = (0..10)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+                LabeledSeries::new(vec![base + (i as f64) * 0.01; 4], i % 2)
+            })
+            .collect();
+        let ds = Dataset::new("clusters", 2, items);
+        assert_eq!(one_nn_accuracy(&ds), 1.0);
+        assert!(separability(&ds) > 10.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Dense layers.
+
+use rand::Rng;
+
+use ptnc_tensor::{init, Tensor};
+
+/// A fully connected layer `y = x·W + b` with Xavier-uniform initialization.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_nn::Linear;
+/// use ptnc_tensor::{init, Tensor};
+///
+/// let mut rng = init::rng(0);
+/// let layer = Linear::new(3, 2, &mut rng);
+/// let x = Tensor::ones(&[4, 3]);
+/// assert_eq!(layer.forward(&x).dims(), &[4, 2]);
+/// assert_eq!(layer.parameters().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl Linear {
+    /// Creates a layer with `fan_in` inputs and `fan_out` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        assert!(fan_in > 0 && fan_out > 0, "zero-sized layer");
+        Linear {
+            weight: init::xavier_uniform(fan_in, fan_out, rng).requires_grad(),
+            bias: Tensor::zeros(&[fan_out]).requires_grad(),
+        }
+    }
+
+    /// Applies the affine map to a `[batch, fan_in]` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input's inner dimension does not match `fan_in`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.weight).add(&self.bias)
+    }
+
+    /// The trainable parameters `[weight, bias]`.
+    pub fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    /// The weight matrix `[fan_in, fan_out]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias vector `[fan_out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::init;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = init::rng(1);
+        let l = Linear::new(4, 3, &mut rng);
+        l.bias().set_data(vec![1.0, 2.0, 3.0]);
+        l.weight().set_data(vec![0.0; 12]);
+        let y = l.forward(&Tensor::ones(&[2, 4]));
+        assert_eq!(y.to_vec(), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gradients_reach_parameters() {
+        let mut rng = init::rng(2);
+        let l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[3, 2]);
+        l.forward(&x).sum_all().backward();
+        assert!(l.weight().grad_opt().is_some());
+        assert!(l.bias().grad_opt().is_some());
+        // d sum / d bias = batch size per output.
+        assert_eq!(l.bias().grad(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized layer")]
+    fn zero_dims_rejected() {
+        Linear::new(0, 2, &mut init::rng(0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Neural-network building blocks on top of [`ptnc_tensor`]: layers, losses,
+//! optimizers, learning-rate scheduling and a seeded training loop.
+//!
+//! This crate is the reproduction's stand-in for the slice of PyTorch the
+//! ADAPT-pNC paper uses:
+//!
+//! * [`Linear`] layers and the 2-layer [`ElmanRnn`] reference model
+//!   (paper Table I, column 1),
+//! * [`cross_entropy`] classification loss and [`accuracy`],
+//! * [`AdamW`] (the paper's optimizer) with decoupled weight decay, plus
+//!   [`Sgd`] with momentum for optimizer ablations,
+//! * [`metrics::ConfusionMatrix`] with per-class precision/recall/F1,
+//! * [`ReduceLrOnPlateau`] — halve after 100 epochs without validation
+//!   improvement, stop below 1e-5 (paper §IV-A3),
+//! * [`Trainer`] — a full-batch training loop driven by closures, so printed
+//!   models with Monte-Carlo variation sampling train with the same loop as
+//!   the RNN reference,
+//! * [`tune::grid_search`] — the deterministic hyper-parameter search used in
+//!   place of Ray Tune.
+//!
+//! # Example
+//!
+//! ```
+//! use ptnc_nn::{accuracy, cross_entropy};
+//! use ptnc_tensor::Tensor;
+//!
+//! let logits = Tensor::from_vec(&[2, 2], vec![2.0, -1.0, -1.0, 2.0]);
+//! let labels = [0usize, 1];
+//! assert_eq!(accuracy(&logits, &labels), 1.0);
+//! assert!(cross_entropy(&logits, &labels).item() < 0.1);
+//! ```
+
+mod elman;
+mod layers;
+mod loss;
+pub mod metrics;
+mod optim;
+mod schedule;
+mod sgd;
+mod trainer;
+pub mod tune;
+
+pub use elman::ElmanRnn;
+pub use layers::Linear;
+pub use loss::{accuracy, cross_entropy, one_hot};
+pub use optim::AdamW;
+pub use sgd::Sgd;
+pub use schedule::{ReduceLrOnPlateau, ScheduleAction};
+pub use trainer::{TrainReport, Trainer};

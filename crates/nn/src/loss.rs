@@ -1,0 +1,121 @@
+//! Classification loss and metrics.
+
+use ptnc_tensor::Tensor;
+
+/// One-hot encodes labels into a non-differentiable `[batch, classes]`
+/// tensor.
+///
+/// # Panics
+///
+/// Panics if any label is `>= classes` or `labels` is empty.
+pub fn one_hot(labels: &[usize], classes: usize) -> Tensor {
+    assert!(!labels.is_empty(), "empty label set");
+    let mut data = vec![0.0; labels.len() * classes];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < classes, "label {l} out of range for {classes} classes");
+        data[i * classes + l] = 1.0;
+    }
+    Tensor::from_vec(&[labels.len(), classes], data)
+}
+
+/// Mean cross-entropy between logits `[batch, classes]` and integer labels,
+/// computed through a numerically stable fused log-softmax.
+///
+/// # Panics
+///
+/// Panics on shape/label mismatches.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_nn::cross_entropy;
+/// use ptnc_tensor::Tensor;
+/// let logits = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+/// let loss = cross_entropy(&logits, &[0]);
+/// assert!((loss.item() - (2.0f64).ln()).abs() < 1e-12);
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Tensor {
+    let dims = logits.dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+    assert_eq!(dims[0], labels.len(), "batch size mismatch");
+    let mask = one_hot(labels, dims[1]);
+    logits
+        .log_softmax()
+        .mul(&mask)
+        .sum_all()
+        .mul_scalar(-1.0 / labels.len() as f64)
+}
+
+/// Classification accuracy of logits `[batch, classes]` against labels.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let dims = logits.dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+    assert_eq!(dims[0], labels.len(), "batch size mismatch");
+    let pred = logits.argmax_axis(1);
+    let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_tensor::gradcheck;
+
+    #[test]
+    fn one_hot_layout() {
+        let t = one_hot(&[1, 0, 2], 3);
+        assert_eq!(t.dims(), &[3, 3]);
+        assert_eq!(
+            t.to_vec(),
+            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[4, 5]);
+        let loss = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss.item() - (5.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, 0.0, 0.0]);
+        assert!(cross_entropy(&logits, &[0]).item() < 1e-3);
+        let wrong = cross_entropy(&logits, &[2]);
+        assert!(wrong.item() > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = Tensor::leaf(&[3, 4], vec![
+            0.2, -0.1, 0.5, 0.3, -0.4, 0.9, 0.0, 0.1, 0.7, -0.6, 0.2, -0.2,
+        ]);
+        gradcheck::check(
+            || cross_entropy(&logits, &[2, 1, 0]),
+            &[logits.clone()],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(&[4, 2], vec![
+            1.0, 0.0, // -> 0
+            0.0, 1.0, // -> 1
+            1.0, 0.0, // -> 0
+            0.0, 1.0, // -> 1
+        ]);
+        assert_eq!(accuracy(&logits, &[0, 1, 1, 1]), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        one_hot(&[3], 3);
+    }
+}

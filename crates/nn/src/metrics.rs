@@ -1,0 +1,177 @@
+//! Classification metrics beyond plain accuracy: confusion matrices,
+//! per-class recall/precision and macro-F1 — used by the diagnostic tooling
+//! to understand *which* classes variation and sensor noise destroy.
+
+use ptnc_tensor::Tensor;
+
+/// A confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from logits `[batch, classes]` and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or out-of-range labels.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Self {
+        let dims = logits.dims();
+        assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+        assert_eq!(dims[0], labels.len(), "batch size mismatch");
+        let classes = dims[1];
+        let pred = logits.argmax_axis(1);
+        let mut counts = vec![0usize; classes * classes];
+        for (&t, &p) in labels.iter().zip(&pred) {
+            assert!(t < classes, "label {t} out of range");
+            counts[t * classes + p] += 1;
+        }
+        ConfusionMatrix { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.classes + p]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Recall of class `c` (1.0 for absent classes).
+    pub fn recall(&self, c: usize) -> f64 {
+        let row: usize = (0..self.classes).map(|p| self.count(c, p)).sum();
+        if row == 0 {
+            return 1.0;
+        }
+        self.count(c, c) as f64 / row as f64
+    }
+
+    /// Precision of class `c` (1.0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let col: usize = (0..self.classes).map(|t| self.count(t, c)).sum();
+        if col == 0 {
+            return 1.0;
+        }
+        self.count(c, c) as f64 / col as f64
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.classes).map(|c| self.f1(c)).sum::<f64>() / self.classes as f64
+    }
+
+    /// True when predictions collapse onto a single class — the failure mode
+    /// untrained/overwhelmed printed classifiers exhibit.
+    pub fn is_degenerate(&self) -> bool {
+        let predicted_classes = (0..self.classes)
+            .filter(|&p| (0..self.classes).any(|t| self.count(t, p) > 0))
+            .count();
+        predicted_classes <= 1
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "true\\pred {}", (0..self.classes).map(|c| format!("{c:>5}")).collect::<String>())?;
+        for t in 0..self.classes {
+            write!(f, "{t:>9} ")?;
+            for p in 0..self.classes {
+                write!(f, "{:>5}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits_for(preds: &[usize], classes: usize) -> Tensor {
+        let mut data = vec![0.0; preds.len() * classes];
+        for (i, &p) in preds.iter().enumerate() {
+            data[i * classes + p] = 1.0;
+        }
+        Tensor::from_vec(&[preds.len(), classes], data)
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let labels = [0usize, 1, 2, 0];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&labels, 3), &labels);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert!(!cm.is_degenerate());
+    }
+
+    #[test]
+    fn counts_land_in_cells() {
+        let labels = [0usize, 0, 1, 1];
+        let preds = [0usize, 1, 1, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&preds, 2), &labels);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 0);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // class 0: TP=1, FN=1 (recall 0.5); predicted 0 once (precision 1.0)
+        let labels = [0usize, 0, 1, 1];
+        let preds = [0usize, 1, 1, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&preds, 2), &labels);
+        assert_eq!(cm.recall(0), 0.5);
+        assert_eq!(cm.precision(0), 1.0);
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        // class 1: recall 1.0, precision 2/3.
+        assert_eq!(cm.recall(1), 1.0);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let labels = [0usize, 1, 2];
+        let preds = [1usize, 1, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&preds, 3), &labels);
+        assert!(cm.is_degenerate());
+        assert!(cm.accuracy() < 0.5);
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let labels = [0usize, 1];
+        let cm = ConfusionMatrix::from_logits(&logits_for(&labels, 2), &labels);
+        let s = cm.to_string();
+        assert!(s.lines().count() >= 3);
+    }
+}

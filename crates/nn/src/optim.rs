@@ -1,0 +1,177 @@
+//! AdamW — Adam with decoupled weight decay (Loshchilov & Hutter), the
+//! paper's optimizer (§IV-A3).
+
+use ptnc_tensor::Tensor;
+
+/// AdamW optimizer over a fixed parameter list.
+///
+/// Weight decay is decoupled from the gradient-based update, matching the
+/// PyTorch `AdamW` defaults the paper uses (`β = (0.9, 0.999)`,
+/// `ε = 1e-8`, `weight_decay = 0.01`).
+#[derive(Debug)]
+pub struct AdamW {
+    params: Vec<Tensor>,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    step_count: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl AdamW {
+    /// Creates an optimizer with PyTorch-default hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or `params` is empty.
+    pub fn new(params: Vec<Tensor>, lr: f64) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.01)
+    }
+
+    /// Creates an optimizer with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hyper-parameters or an empty parameter list.
+    pub fn with_config(
+        params: Vec<Tensor>,
+        lr: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        weight_decay: f64,
+    ) -> Self {
+        assert!(!params.is_empty(), "no parameters to optimize");
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        assert!(eps > 0.0 && weight_decay >= 0.0);
+        let m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        AdamW {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            step_count: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate (driven by the plateau scheduler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// The optimized parameters.
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    /// Applies one update from the gradients accumulated on the parameters.
+    /// Parameters without a gradient (unreached branches) are skipped.
+    pub fn step(&mut self) {
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(grad) = p.grad_opt() else { continue };
+            let mut data = p.to_vec();
+            for (j, g) in grad.iter().enumerate() {
+                let m = &mut self.m[i][j];
+                let v = &mut self.v[i][j];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                // Decoupled weight decay.
+                data[j] -= self.lr * self.weight_decay * data[j];
+                data[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.set_data(data);
+        }
+    }
+
+    /// Clears all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes (x - 3)² and checks convergence.
+    #[test]
+    fn converges_on_quadratic() {
+        let x = Tensor::leaf(&[1], vec![0.0]);
+        let mut opt = AdamW::with_config(vec![x.clone()], 0.1, 0.9, 0.999, 1e-8, 0.0);
+        for _ in 0..500 {
+            opt.zero_grad();
+            let loss = x.sub_scalar(3.0).square().sum_all();
+            loss.backward();
+            opt.step();
+        }
+        assert!((x.item() - 3.0).abs() < 1e-3, "x = {}", x.item());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_params() {
+        let x = Tensor::leaf(&[1], vec![10.0]);
+        let mut opt = AdamW::with_config(vec![x.clone()], 0.1, 0.9, 0.999, 1e-8, 0.1);
+        for _ in 0..50 {
+            opt.zero_grad();
+            // Gradient of zero: only decay acts.
+            let loss = x.mul_scalar(0.0).sum_all();
+            loss.backward();
+            opt.step();
+        }
+        assert!(x.item() < 10.0 * 0.99f64.powi(40));
+    }
+
+    #[test]
+    fn skips_params_without_grad() {
+        let used = Tensor::leaf(&[1], vec![1.0]);
+        let unused = Tensor::leaf(&[1], vec![5.0]);
+        let mut opt =
+            AdamW::with_config(vec![used.clone(), unused.clone()], 0.1, 0.9, 0.999, 1e-8, 0.0);
+        opt.zero_grad();
+        used.square().sum_all().backward();
+        opt.step();
+        assert_eq!(unused.item(), 5.0);
+        assert_ne!(used.item(), 1.0);
+    }
+
+    #[test]
+    fn set_lr_roundtrip() {
+        let x = Tensor::leaf(&[1], vec![0.0]);
+        let mut opt = AdamW::new(vec![x], 0.1);
+        opt.set_lr(0.05);
+        assert_eq!(opt.lr(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "no parameters")]
+    fn empty_params_rejected() {
+        AdamW::new(Vec::new(), 0.1);
+    }
+}

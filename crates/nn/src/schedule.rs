@@ -1,0 +1,122 @@
+//! Learning-rate scheduling: reduce-on-plateau with a hard stop, exactly the
+//! paper's recipe — "the initial learning rate is set at 0.1 and is halved
+//! after every 100 epochs of no improvement in the validation loss; training
+//! is terminated once the learning rate falls below 1e-5" (§IV-A3).
+
+/// What the training loop should do after reporting a validation loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleAction {
+    /// Keep training at the current learning rate.
+    Continue,
+    /// Keep training; the learning rate was just reduced.
+    Reduced,
+    /// Stop: the learning rate fell below the minimum.
+    Stop,
+}
+
+/// Reduce-on-plateau learning-rate schedule.
+#[derive(Debug, Clone)]
+pub struct ReduceLrOnPlateau {
+    lr: f64,
+    factor: f64,
+    patience: usize,
+    min_lr: f64,
+    best: f64,
+    since_best: usize,
+}
+
+impl ReduceLrOnPlateau {
+    /// The paper's configuration: start 0.1, halve after 100 stale epochs,
+    /// stop below 1e-5.
+    pub fn paper_default() -> Self {
+        Self::new(0.1, 0.5, 100, 1e-5)
+    }
+
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor < 1`, `initial_lr > min_lr > 0` and
+    /// `patience > 0`.
+    pub fn new(initial_lr: f64, factor: f64, patience: usize, min_lr: f64) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "factor must be in (0, 1)");
+        assert!(initial_lr > min_lr && min_lr > 0.0, "need initial_lr > min_lr > 0");
+        assert!(patience > 0, "patience must be positive");
+        ReduceLrOnPlateau {
+            lr: initial_lr,
+            factor,
+            patience,
+            min_lr,
+            best: f64::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// The current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Reports this epoch's validation loss; returns the action to take.
+    pub fn observe(&mut self, val_loss: f64) -> ScheduleAction {
+        if val_loss < self.best - 1e-12 {
+            self.best = val_loss;
+            self.since_best = 0;
+            return ScheduleAction::Continue;
+        }
+        self.since_best += 1;
+        if self.since_best >= self.patience {
+            self.since_best = 0;
+            self.lr *= self.factor;
+            if self.lr < self.min_lr {
+                return ScheduleAction::Stop;
+            }
+            return ScheduleAction::Reduced;
+        }
+        ScheduleAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.5, 3, 1e-5);
+        assert_eq!(s.observe(1.0), ScheduleAction::Continue);
+        assert_eq!(s.observe(1.1), ScheduleAction::Continue);
+        assert_eq!(s.observe(1.1), ScheduleAction::Continue);
+        assert_eq!(s.observe(0.9), ScheduleAction::Continue); // improves
+        assert_eq!(s.lr(), 0.1);
+    }
+
+    #[test]
+    fn plateau_halves_lr() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.5, 2, 1e-5);
+        s.observe(1.0);
+        assert_eq!(s.observe(1.0), ScheduleAction::Continue);
+        assert_eq!(s.observe(1.0), ScheduleAction::Reduced);
+        assert!((s.lr() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stops_below_min_lr() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.5, 1, 0.04);
+        s.observe(1.0);
+        assert_eq!(s.observe(1.0), ScheduleAction::Reduced); // 0.05
+        assert_eq!(s.observe(1.0), ScheduleAction::Stop); // 0.025 < 0.04
+    }
+
+    #[test]
+    fn paper_default_values() {
+        let s = ReduceLrOnPlateau::paper_default();
+        assert_eq!(s.lr(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn bad_factor_rejected() {
+        ReduceLrOnPlateau::new(0.1, 1.5, 10, 1e-5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain SGD with momentum — the optimizer-ablation counterpart to
+//! [`AdamW`](crate::AdamW) (the design-ablation bench compares the two on
+//! printed-model training, where parameter scales differ by orders of
+//! magnitude between conductances and log-time-constants).
+
+use ptnc_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty, `lr <= 0`, or `momentum ∉ [0, 1)`.
+    pub fn new(params: Vec<Tensor>, lr: f64, momentum: f64) -> Self {
+        assert!(!params.is_empty(), "no parameters to optimize");
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        let velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update from the accumulated gradients.
+    pub fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(grad) = p.grad_opt() else { continue };
+            let mut data = p.to_vec();
+            for (j, g) in grad.iter().enumerate() {
+                let v = &mut self.velocity[i][j];
+                *v = self.momentum * *v + g;
+                data[j] -= self.lr * *v;
+            }
+            p.set_data(data);
+        }
+    }
+
+    /// Clears all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let x = Tensor::leaf(&[1], vec![4.0]);
+        let mut opt = Sgd::new(vec![x.clone()], 0.1, 0.5);
+        for _ in 0..200 {
+            opt.zero_grad();
+            x.sub_scalar(1.0).square().sum_all().backward();
+            opt.step();
+        }
+        assert!((x.item() - 1.0).abs() < 1e-6, "x = {}", x.item());
+    }
+
+    #[test]
+    fn momentum_accelerates_descent() {
+        let run = |momentum: f64| -> f64 {
+            let x = Tensor::leaf(&[1], vec![10.0]);
+            let mut opt = Sgd::new(vec![x.clone()], 0.01, momentum);
+            for _ in 0..50 {
+                opt.zero_grad();
+                x.square().sum_all().backward();
+                opt.step();
+            }
+            x.item().abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should reach lower |x|");
+    }
+
+    #[test]
+    fn skips_unused_params() {
+        let used = Tensor::leaf(&[1], vec![1.0]);
+        let unused = Tensor::leaf(&[1], vec![2.0]);
+        let mut opt = Sgd::new(vec![used.clone(), unused.clone()], 0.1, 0.0);
+        opt.zero_grad();
+        used.square().sum_all().backward();
+        opt.step();
+        assert_eq!(unused.item(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_bad_momentum() {
+        Sgd::new(vec![Tensor::leaf(&[1], vec![0.0])], 0.1, 1.5);
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic hyper-parameter grid search — the reproduction's substitute
+//! for Ray Tune (the paper tunes crop size, noise level and time-warp
+//! strength on the validation split, §IV-A2).
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint<C> {
+    /// The configuration evaluated.
+    pub config: C,
+    /// Its validation score (higher is better).
+    pub score: f64,
+}
+
+/// Exhaustively evaluates `configs` with `eval` and returns all points plus
+/// the index of the best (ties resolve to the earliest, making the search
+/// deterministic).
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_nn::tune::grid_search;
+/// let (points, best) = grid_search(vec![1.0, 2.0, 3.0], |&c| -(c - 2.0f64).powi(2));
+/// assert_eq!(points[best].config, 2.0);
+/// ```
+pub fn grid_search<C>(
+    configs: Vec<C>,
+    mut eval: impl FnMut(&C) -> f64,
+) -> (Vec<GridPoint<C>>, usize) {
+    assert!(!configs.is_empty(), "empty configuration grid");
+    let mut points = Vec::with_capacity(configs.len());
+    let mut best = 0;
+    for (i, config) in configs.into_iter().enumerate() {
+        let score = eval(&config);
+        if score > points.get(best).map_or(f64::NEG_INFINITY, |p: &GridPoint<C>| p.score) {
+            best = i;
+        }
+        points.push(GridPoint { config, score });
+    }
+    (points, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_maximum() {
+        let (points, best) = grid_search((0..10).collect(), |&c| -((c as f64) - 7.0).abs());
+        assert_eq!(points[best].config, 7);
+        assert_eq!(points.len(), 10);
+    }
+
+    #[test]
+    fn ties_resolve_to_first() {
+        let (points, best) = grid_search(vec!["a", "b", "c"], |_| 1.0);
+        assert_eq!(best, 0);
+        assert_eq!(points[best].config, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty configuration grid")]
+    fn empty_grid_panics() {
+        grid_search(Vec::<u8>::new(), |_| 0.0);
+    }
+}

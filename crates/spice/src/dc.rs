@@ -1,0 +1,395 @@
+//! DC operating-point analysis (Newton–Raphson over the MNA system).
+
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::netlist::{Circuit, Element, Node};
+
+/// How capacitors enter the MNA system.
+pub(crate) enum CapTreatment<'a> {
+    /// DC: capacitors are open circuits.
+    Open,
+    /// Transient companion model: per-capacitor `(geq, ieq)` pairs in element
+    /// order. Backward Euler uses `geq = C/Δt, ieq = geq·v_prev`; trapezoidal
+    /// uses `geq = 2C/Δt, ieq = geq·v_prev + i_prev`.
+    Companion { geq_ieq: &'a [(f64, f64)] },
+}
+
+/// Assembles the linearized MNA system `A·x = z` around the guess `x_guess`.
+///
+/// `time` selects source values: `None` uses each waveform's DC value,
+/// `Some(t)` evaluates waveforms at `t`.
+pub(crate) fn assemble(
+    c: &Circuit,
+    time: Option<f64>,
+    x_guess: &[f64],
+    caps: &CapTreatment<'_>,
+) -> (Matrix<f64>, Vec<f64>) {
+    let n = c.num_unknowns();
+    let mut a = Matrix::<f64>::zeros(n);
+    let mut z = vec![0.0; n];
+
+    let v_of = |node: Node| -> f64 {
+        match c.row(node) {
+            None => 0.0,
+            Some(r) => x_guess[r],
+        }
+    };
+    let src = |w: &crate::waveform::Waveform| match time {
+        None => w.dc_value(),
+        Some(t) => w.at(t),
+    };
+
+    let mut vsrc_idx = 0usize;
+    let mut cap_idx = 0usize;
+    for e in c.elements() {
+        match e {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                stamp_conductance(c, &mut a, *na, *nb, 1.0 / ohms);
+            }
+            Element::Capacitor { a: na, b: nb, .. } => {
+                if let CapTreatment::Companion { geq_ieq } = caps {
+                    let (geq, ieq) = geq_ieq[cap_idx];
+                    stamp_conductance(c, &mut a, *na, *nb, geq);
+                    // History current flows into node a.
+                    if let Some(r) = c.row(*na) {
+                        z[r] += ieq;
+                    }
+                    if let Some(r) = c.row(*nb) {
+                        z[r] -= ieq;
+                    }
+                }
+                cap_idx += 1;
+            }
+            Element::VoltageSource { pos, neg, waveform } => {
+                let br = c.vsource_row(vsrc_idx);
+                if let Some(r) = c.row(*pos) {
+                    a.add_at(r, br, 1.0);
+                    a.add_at(br, r, 1.0);
+                }
+                if let Some(r) = c.row(*neg) {
+                    a.add_at(r, br, -1.0);
+                    a.add_at(br, r, -1.0);
+                }
+                z[br] += src(waveform);
+                vsrc_idx += 1;
+            }
+            Element::CurrentSource { pos, neg, waveform } => {
+                let i = src(waveform);
+                if let Some(r) = c.row(*pos) {
+                    z[r] += i;
+                }
+                if let Some(r) = c.row(*neg) {
+                    z[r] -= i;
+                }
+            }
+            Element::Vccs { out_pos, out_neg, ctrl_pos, ctrl_neg, gm } => {
+                stamp_vccs(c, &mut a, *out_pos, *out_neg, *ctrl_pos, *ctrl_neg, *gm);
+            }
+            Element::Egt { drain, gate, source, model } => {
+                // Newton companion: Id ≈ Id0 + gm·ΔVgs + gds·ΔVds
+                let vgs = v_of(*gate) - v_of(*source);
+                let vds = v_of(*drain) - v_of(*source);
+                let id0 = model.id(vgs, vds);
+                let gm = model.gm(vgs, vds);
+                let gds = model.gds(vgs, vds);
+                let ieq = id0 - gm * vgs - gds * vds;
+                // gds between drain and source.
+                stamp_conductance(c, &mut a, *drain, *source, gds);
+                // gm·(Vg − Vs) driven from drain to source.
+                stamp_vccs(c, &mut a, *drain, *source, *gate, *source, gm);
+                // Residual current drain → source.
+                if let Some(r) = c.row(*drain) {
+                    z[r] -= ieq;
+                }
+                if let Some(r) = c.row(*source) {
+                    z[r] += ieq;
+                }
+            }
+        }
+    }
+    (a, z)
+}
+
+fn stamp_conductance(c: &Circuit, a: &mut Matrix<f64>, na: Node, nb: Node, g: f64) {
+    if let Some(r) = c.row(na) {
+        a.add_at(r, r, g);
+        if let Some(r2) = c.row(nb) {
+            a.add_at(r, r2, -g);
+        }
+    }
+    if let Some(r) = c.row(nb) {
+        a.add_at(r, r, g);
+        if let Some(r2) = c.row(na) {
+            a.add_at(r, r2, -g);
+        }
+    }
+}
+
+fn stamp_vccs(
+    c: &Circuit,
+    a: &mut Matrix<f64>,
+    out_pos: Node,
+    out_neg: Node,
+    ctrl_pos: Node,
+    ctrl_neg: Node,
+    gm: f64,
+) {
+    // Current gm·(v(ctrl_pos) − v(ctrl_neg)) leaves out_pos and enters out_neg.
+    for (out, sign) in [(out_pos, 1.0), (out_neg, -1.0)] {
+        if let Some(ro) = c.row(out) {
+            if let Some(rc) = c.row(ctrl_pos) {
+                a.add_at(ro, rc, sign * gm);
+            }
+            if let Some(rc) = c.row(ctrl_neg) {
+                a.add_at(ro, rc, -sign * gm);
+            }
+        }
+    }
+}
+
+/// Newton–Raphson solve shared by DC and each transient step.
+pub(crate) fn newton_solve(
+    c: &Circuit,
+    time: Option<f64>,
+    caps: &CapTreatment<'_>,
+    x0: Vec<f64>,
+) -> Result<Vec<f64>, SpiceError> {
+    const MAX_ITER: usize = 200;
+    const ABS_TOL: f64 = 1e-10;
+    const REL_TOL: f64 = 1e-9;
+    const MAX_STEP: f64 = 0.5; // volts per Newton iteration, for robustness
+
+    let has_nonlinear = c
+        .elements()
+        .iter()
+        .any(|e| matches!(e, Element::Egt { .. }));
+
+    let mut x = x0;
+    for iter in 0..MAX_ITER {
+        let (a, z) = assemble(c, time, &x, caps);
+        let x_new = a.solve(z)?;
+        let mut max_delta = 0.0f64;
+        let mut max_mag = 0.0f64;
+        for (xo, xn) in x.iter().zip(&x_new) {
+            max_delta = max_delta.max((xn - xo).abs());
+            max_mag = max_mag.max(xn.abs());
+        }
+        if !has_nonlinear {
+            return Ok(x_new);
+        }
+        // Damped update.
+        let mut x_next = Vec::with_capacity(x.len());
+        for (xo, xn) in x.iter().zip(&x_new) {
+            let delta = (xn - xo).clamp(-MAX_STEP, MAX_STEP);
+            x_next.push(xo + delta);
+        }
+        let converged = max_delta <= ABS_TOL + REL_TOL * max_mag;
+        x = x_next;
+        if converged {
+            return Ok(x);
+        }
+        let _ = iter;
+    }
+    Err(SpiceError::NoConvergence {
+        iterations: MAX_ITER,
+        residual: f64::NAN,
+    })
+}
+
+/// DC operating-point analysis.
+#[derive(Debug)]
+pub struct DcAnalysis<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> DcAnalysis<'c> {
+    /// Prepares a DC analysis of `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        DcAnalysis { circuit }
+    }
+
+    /// Solves for the operating point with capacitors open and sources at
+    /// their DC values.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for ill-formed netlists (floating
+    /// nodes), [`SpiceError::NoConvergence`] if Newton fails.
+    pub fn solve(&self) -> Result<DcSolution, SpiceError> {
+        let x0 = vec![0.0; self.circuit.num_unknowns()];
+        let x = newton_solve(self.circuit, None, &CapTreatment::Open, x0)?;
+        Ok(DcSolution {
+            x,
+            num_nodes: self.circuit.num_nodes(),
+        })
+    }
+}
+
+/// The solved operating point.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    num_nodes: usize,
+}
+
+impl DcSolution {
+    pub(crate) fn from_raw(x: Vec<f64>, num_nodes: usize) -> Self {
+        DcSolution { x, num_nodes }
+    }
+
+    /// Node voltage in volts (0 for ground).
+    pub fn voltage(&self, node: Node) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current through the `k`-th voltage source (positive current
+    /// flows *into* the positive terminal, SPICE convention).
+    pub fn vsource_current(&self, k: usize) -> f64 {
+        self.x[self.num_nodes - 1 + k]
+    }
+
+    /// Raw unknown vector (node voltages then branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Total power dissipated in the circuit's resistors, in watts.
+    pub fn resistor_power(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Resistor { a, b, ohms } => {
+                    let v = self.voltage(*a) - self.voltage(*b);
+                    Some(v * v / ohms)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total power delivered by the independent voltage sources, in watts.
+    pub fn source_power(&self, circuit: &Circuit) -> f64 {
+        let mut k = 0;
+        let mut total = 0.0;
+        for e in circuit.elements() {
+            if let Element::VoltageSource { waveform, .. } = e {
+                // SPICE sign convention: delivered power = −V·I(into +).
+                total += -waveform.dc_value() * self.vsource_current(k);
+                k += 1;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EgtModel, Waveform};
+
+    #[test]
+    fn divider_with_three_resistors() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(3.0));
+        c.resistor(a, b, 1e3);
+        c.resistor(b, Circuit::GROUND, 1e3);
+        c.resistor(b, Circuit::GROUND, 1e3); // parallel => 500Ω
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.isource(a, Circuit::GROUND, Waveform::Dc(1e-3));
+        c.resistor(a, Circuit::GROUND, 2e3);
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        assert!((op.voltage(a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_open_in_dc() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor(a, b, 1e3);
+        c.capacitor(b, Circuit::GROUND, 1e-6);
+        // b floats through the cap; the resistor ties it to a.
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vsource_current_and_power_balance() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(2.0));
+        c.resistor(a, Circuit::GROUND, 1e3);
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        // 2 V across 1 kΩ → 2 mA drawn from the source.
+        assert!((op.vsource_current(0) + 2e-3).abs() < 1e-9);
+        let pr = op.resistor_power(&c);
+        let ps = op.source_power(&c);
+        assert!((pr - 4e-3).abs() < 1e-9);
+        assert!((pr - ps).abs() < 1e-12, "source power {ps} != dissipated {pr}");
+    }
+
+    #[test]
+    fn vccs_drives_load() {
+        let mut c = Circuit::new();
+        let ctrl = c.node("ctrl");
+        let out = c.node("out");
+        c.vsource(ctrl, Circuit::GROUND, Waveform::Dc(1.0));
+        // i = gm * v(ctrl) leaves `out` => pulls out low through 1k load.
+        c.resistor(out, Circuit::GROUND, 1e3);
+        c.vccs(out, Circuit::GROUND, ctrl, Circuit::GROUND, 1e-3);
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        assert!((op.voltage(out) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egt_inverter_transfers() {
+        // Vdd(1V) — R(100k) — drain; gate swept; source grounded.
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let g = c.node("g");
+            let d = c.node("d");
+            c.vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+            c.vsource(g, Circuit::GROUND, Waveform::Dc(vin));
+            c.resistor(vdd, d, 100e3);
+            c.egt(d, g, Circuit::GROUND, EgtModel::default());
+            (c, d)
+        };
+        let (c_off, d_off) = build(0.0);
+        let off = DcAnalysis::new(&c_off).solve().unwrap().voltage(d_off);
+        let (c_on, d_on) = build(1.0);
+        let on = DcAnalysis::new(&c_on).solve().unwrap().voltage(d_on);
+        assert!(off > 0.9, "gate off should leave drain high, got {off}");
+        assert!(on < 0.4, "gate on should pull drain low, got {on}");
+    }
+
+    #[test]
+    fn floating_node_reports_singular() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor(a, Circuit::GROUND, 1e3);
+        // b is created but only touched by a capacitor → open in DC.
+        c.capacitor(b, Circuit::GROUND, 1e-6);
+        assert!(matches!(
+            DcAnalysis::new(&c).solve(),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+}

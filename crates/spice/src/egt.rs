@@ -1,0 +1,156 @@
+//! Behavioral model of a printed inorganic electrolyte-gated transistor
+//! (n-EGT), the switching device of the printed PDK used by the paper
+//! (Rasheed et al., IEEE TED 2018 / DATE 2019).
+//!
+//! EGTs operate below 1 V with µA-range currents. We use a smooth empirical
+//! model — a softplus-squared transfer with a `tanh` output characteristic —
+//! which captures the sub-1V tanh-like transfer curves that printed
+//! neuromorphic activation circuits exploit, while staying C¹ everywhere so
+//! Newton iteration is robust:
+//!
+//! ```text
+//! f(Vgs)        = ss·ln(1 + exp((Vgs − Vth)/ss))          (smooth overdrive)
+//! Id(Vgs, Vds)  = β·f²·tanh(Vds/Vlin)·(1 + λ·Vds)
+//! ```
+
+/// Parameters of the behavioral n-EGT model.
+///
+/// Defaults follow published printed EGT characteristics: `Vth ≈ 0.25 V`,
+/// sub-volt operation, µA on-currents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EgtModel {
+    /// Threshold voltage in volts.
+    pub vth: f64,
+    /// Transconductance parameter β in A/V².
+    pub beta: f64,
+    /// Subthreshold smoothness in volts (smaller → sharper turn-on).
+    pub ss: f64,
+    /// Linear-to-saturation knee voltage in volts.
+    pub vlin: f64,
+    /// Channel-length-modulation coefficient in 1/V.
+    pub lambda: f64,
+}
+
+impl Default for EgtModel {
+    fn default() -> Self {
+        EgtModel {
+            vth: 0.25,
+            beta: 4e-5,
+            ss: 0.08,
+            vlin: 0.3,
+            lambda: 0.05,
+        }
+    }
+}
+
+impl EgtModel {
+    /// Creates a model with the given threshold voltage and β, defaulting the
+    /// remaining parameters.
+    pub fn new(vth: f64, beta: f64) -> Self {
+        EgtModel {
+            vth,
+            beta,
+            ..Default::default()
+        }
+    }
+
+    /// Smooth overdrive `f(Vgs)` (numerically stable softplus).
+    fn overdrive(&self, vgs: f64) -> f64 {
+        let x = (vgs - self.vth) / self.ss;
+        self.ss * (x.max(0.0) + (-x.abs()).exp().ln_1p())
+    }
+
+    /// d f / d Vgs = σ((Vgs − Vth)/ss).
+    fn overdrive_deriv(&self, vgs: f64) -> f64 {
+        let x = (vgs - self.vth) / self.ss;
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Drain current in amperes.
+    pub fn id(&self, vgs: f64, vds: f64) -> f64 {
+        let f = self.overdrive(vgs);
+        self.beta * f * f * (vds / self.vlin).tanh() * (1.0 + self.lambda * vds)
+    }
+
+    /// Transconductance `∂Id/∂Vgs` in siemens.
+    pub fn gm(&self, vgs: f64, vds: f64) -> f64 {
+        let f = self.overdrive(vgs);
+        let fp = self.overdrive_deriv(vgs);
+        self.beta * 2.0 * f * fp * (vds / self.vlin).tanh() * (1.0 + self.lambda * vds)
+    }
+
+    /// Output conductance `∂Id/∂Vds` in siemens.
+    pub fn gds(&self, vgs: f64, vds: f64) -> f64 {
+        let f = self.overdrive(vgs);
+        let th = (vds / self.vlin).tanh();
+        let sech2 = 1.0 - th * th;
+        self.beta * f * f * (sech2 / self.vlin * (1.0 + self.lambda * vds) + th * self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_below_threshold() {
+        let m = EgtModel::default();
+        assert!(m.id(0.0, 0.8).abs() < 1e-7);
+        assert!(m.id(-0.5, 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_above_threshold() {
+        let m = EgtModel::default();
+        let id = m.id(0.8, 0.8);
+        assert!(id > 1e-6, "on-current {id} too small");
+        assert!(id < 1e-3, "on-current {id} implausibly large for printed EGT");
+    }
+
+    #[test]
+    fn monotone_in_vgs() {
+        let m = EgtModel::default();
+        let mut prev = m.id(-0.2, 0.5);
+        for i in 1..30 {
+            let vgs = -0.2 + i as f64 * 0.05;
+            let id = m.id(vgs, 0.5);
+            assert!(id >= prev);
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn reverse_vds_reverses_current() {
+        let m = EgtModel::default();
+        assert!(m.id(0.8, -0.5) < 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let m = EgtModel::default();
+        let eps = 1e-7;
+        for &(vgs, vds) in &[(0.1, 0.2), (0.4, 0.6), (0.9, 0.9), (0.6, -0.3)] {
+            let gm_num = (m.id(vgs + eps, vds) - m.id(vgs - eps, vds)) / (2.0 * eps);
+            let gds_num = (m.id(vgs, vds + eps) - m.id(vgs, vds - eps)) / (2.0 * eps);
+            let scale_gm = gm_num.abs().max(1e-9);
+            let scale_gds = gds_num.abs().max(1e-9);
+            assert!(
+                (m.gm(vgs, vds) - gm_num).abs() / scale_gm < 1e-4,
+                "gm mismatch at ({vgs},{vds})"
+            );
+            assert!(
+                (m.gds(vgs, vds) - gds_num).abs() / scale_gds < 1e-4,
+                "gds mismatch at ({vgs},{vds})"
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_at_threshold() {
+        // No kink: gm continuous through Vth.
+        let m = EgtModel::default();
+        let a = m.gm(m.vth - 1e-6, 0.5);
+        let b = m.gm(m.vth + 1e-6, 0.5);
+        assert!((a - b).abs() / b.abs() < 1e-3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The MNA matrix was numerically singular (e.g. a floating node).
+    SingularMatrix {
+        /// Column at which elimination failed.
+        column: usize,
+    },
+    /// Newton–Raphson failed to converge within the iteration budget.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// The netlist is malformed (described in the message).
+    InvalidCircuit(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { column } => {
+                write!(f, "singular MNA matrix at column {column} (floating node?)")
+            }
+            SpiceError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} steps (residual {residual:.3e})"
+            ),
+            SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SpiceError::SingularMatrix { column: 3 };
+        assert!(e.to_string().contains("column 3"));
+        let e = SpiceError::NoConvergence {
+            iterations: 50,
+            residual: 0.1,
+        };
+        assert!(e.to_string().contains("50"));
+        let e = SpiceError::InvalidCircuit("dangling node".into());
+        assert!(e.to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync>() {}
+        assert_err::<SpiceError>();
+    }
+}

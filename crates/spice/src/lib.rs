@@ -1,0 +1,82 @@
+//! A modified-nodal-analysis (MNA) analog circuit simulator with behavioral
+//! printed electrolyte-gated transistor (EGT) models.
+//!
+//! `ptnc-spice` is the substitute for the Cadence Virtuoso + printed PDK
+//! (pPDK) flow the ADAPT-pNC paper used for three things, all of which this
+//! crate covers:
+//!
+//! 1. fitting the `ptanh` activation parameters η₁..η₄ from a DC sweep of the
+//!    two-EGT nonlinear transfer circuit,
+//! 2. obtaining the magnitude / impulse responses of the first- and
+//!    second-order printed RC low-pass filters (paper Fig. 4),
+//! 3. empirically calibrating the crossbar coupling factor μ ∈ [1, 1.3]
+//!    (paper §III-2) from transient simulations of a filter loaded by a
+//!    resistor crossbar.
+//!
+//! # Supported elements and analyses
+//!
+//! | Element | DC | Transient | AC |
+//! |---------|----|-----------|----|
+//! | resistor, capacitor | ✓ | ✓ (backward-Euler / trapezoidal) | ✓ |
+//! | independent V/I sources with waveforms | ✓ | ✓ | ✓ (unit small-signal) |
+//! | VCCS | ✓ | ✓ | ✓ |
+//! | behavioral n-EGT | ✓ (Newton) | ✓ | ✓ (linearized gm/gds) |
+//!
+//! # Example: RC low-pass cutoff
+//!
+//! ```
+//! use ptnc_spice::{AcAnalysis, Circuit, Waveform};
+//!
+//! # fn main() -> Result<(), ptnc_spice::SpiceError> {
+//! let mut c = Circuit::new();
+//! let vin = c.node("in");
+//! let vout = c.node("out");
+//! c.vsource(vin, Circuit::GROUND, Waveform::Dc(1.0));
+//! c.resistor(vin, vout, 1e3);
+//! c.capacitor(vout, Circuit::GROUND, 1e-6);
+//! let sweep = AcAnalysis::new(&c).sweep(vout, 1.0, 1e5, 20)?;
+//! // -3 dB near 1/(2πRC) ≈ 159 Hz
+//! let fc = sweep.cutoff_frequency().expect("cutoff in range");
+//! assert!((fc - 159.15).abs() / 159.15 < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ac;
+mod complex;
+mod dc;
+mod egt;
+mod error;
+mod linalg;
+mod netlist;
+pub mod parser;
+pub mod sensitivity;
+mod transient;
+mod waveform;
+
+pub use ac::{AcAnalysis, AcPoint, AcSweep};
+pub use complex::Complex;
+pub use dc::{DcAnalysis, DcSolution};
+pub use egt::EgtModel;
+pub use error::SpiceError;
+pub use netlist::{Circuit, Element, Node};
+pub use parser::{parse_netlist, ParsedCircuit};
+pub use transient::{Integrator, TransientAnalysis, TransientResult};
+pub use waveform::Waveform;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_divider_smoke() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(2.0));
+        c.resistor(a, b, 1_000.0);
+        c.resistor(b, Circuit::GROUND, 1_000.0);
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Dense LU factorization with partial pivoting, generic over `f64` (DC and
+//! transient) and [`Complex`] (AC small-signal).
+//!
+//! MNA systems in this reproduction are small (tens of unknowns), so a dense
+//! solver is the right tool; no external linear-algebra crates are used.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::complex::Complex;
+use crate::error::SpiceError;
+
+/// Scalar field usable by the LU solver.
+pub(crate) trait Field:
+    Copy
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + PartialEq
+{
+    fn zero() -> Self;
+    /// Magnitude used for pivot selection.
+    fn magnitude(self) -> f64;
+}
+
+impl Field for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Field for Complex {
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug)]
+pub(crate) struct Matrix<T> {
+    pub n: usize,
+    pub data: Vec<T>,
+}
+
+impl<T: Field> Matrix<T> {
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![T::zero(); n * n],
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.data[i * self.n + j]
+    }
+
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: T) {
+        let n = self.n;
+        self.data[i * n + j] = self.data[i * n + j] + v;
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        let n = self.n;
+        self.data[i * n + j] = v;
+    }
+
+    /// Solves `A x = b` in place via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a pivot is numerically
+    /// zero (floating node, short loop of voltage sources, …).
+    pub fn solve(mut self, mut b: Vec<T>) -> Result<Vec<T>, SpiceError> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        const PIVOT_EPS: f64 = 1e-13;
+
+        for col in 0..n {
+            // Pivot selection.
+            let mut pivot_row = col;
+            let mut pivot_mag = self.at(col, col).magnitude();
+            for row in col + 1..n {
+                let mag = self.at(row, col).magnitude();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = row;
+                }
+            }
+            if pivot_mag < PIVOT_EPS {
+                return Err(SpiceError::SingularMatrix { column: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = self.at(col, j);
+                    self.set(col, j, self.at(pivot_row, j));
+                    self.set(pivot_row, j, tmp);
+                }
+                b.swap(col, pivot_row);
+            }
+            // Elimination.
+            let pivot = self.at(col, col);
+            for row in col + 1..n {
+                let factor = self.at(row, col) / pivot;
+                if factor == T::zero() {
+                    continue;
+                }
+                for j in col..n {
+                    let v = self.at(row, j) - factor * self.at(col, j);
+                    self.set(row, j, v);
+                }
+                b[row] = b[row] - factor * b[col];
+            }
+        }
+        // Back substitution.
+        let mut x = vec![T::zero(); n];
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for j in row + 1..n {
+                acc = acc - self.at(row, j) * x[j];
+            }
+            x[row] = acc / self.at(row, row);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::<f64>::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // [2 1; 1 3] x = [3; 5]  => x = [4/5, 7/5]
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let x = m.solve(vec![3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 0.0);
+        let x = m.solve(vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn reports_singular() {
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert!(matches!(
+            m.solve(vec![1.0, 2.0]),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn complex_system() {
+        // (1+j) x = 2  => x = 1 - j
+        let mut m = Matrix::<Complex>::zeros(1);
+        m.set(0, 0, Complex::new(1.0, 1.0));
+        let x = m.solve(vec![Complex::real(2.0)]).unwrap();
+        assert!((x[0] - Complex::new(1.0, -1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // A·x recomputed from a solved x must equal b.
+        let n = 6;
+        let mut m = Matrix::<f64>::zeros(n);
+        let mut seed = 42u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, rand());
+            }
+            m.add_at(i, i, 3.0); // diagonal dominance => nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let a = m.clone();
+        let x = m.solve(b.clone()).unwrap();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a.at(i, j) * x[j];
+            }
+            assert!((acc - b[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Netlist construction: nodes, elements and the circuit builder.
+
+use std::collections::HashMap;
+
+use crate::egt::EgtModel;
+use crate::waveform::Waveform;
+
+/// A circuit node. Node 0 is ground ([`Circuit::GROUND`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// The raw node index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A circuit element.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+        /// Optional initial voltage `v(a) − v(b)` for transient analysis.
+        ic: Option<f64>,
+    },
+    /// Independent voltage source; raises `pos` above `neg`.
+    VoltageSource {
+        /// Positive terminal.
+        pos: Node,
+        /// Negative terminal.
+        neg: Node,
+        /// Source waveform.
+        waveform: Waveform,
+    },
+    /// Independent current source injecting its waveform value *into* `pos`
+    /// and drawing it from `neg`.
+    CurrentSource {
+        /// Node receiving the current.
+        pos: Node,
+        /// Node supplying the current.
+        neg: Node,
+        /// Source waveform (amperes).
+        waveform: Waveform,
+    },
+    /// Voltage-controlled current source: drives
+    /// `g·(v(ctrl_pos) − v(ctrl_neg))` from `out_pos` to `out_neg`.
+    Vccs {
+        /// Current exits this node.
+        out_pos: Node,
+        /// Current enters this node.
+        out_neg: Node,
+        /// Positive sensing terminal.
+        ctrl_pos: Node,
+        /// Negative sensing terminal.
+        ctrl_neg: Node,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Behavioral printed n-EGT (drain current flows drain → source).
+    Egt {
+        /// Drain terminal.
+        drain: Node,
+        /// Gate terminal (no gate current).
+        gate: Node,
+        /// Source terminal.
+        source: Node,
+        /// Device model.
+        model: EgtModel,
+    },
+}
+
+/// A netlist under construction.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_spice::{Circuit, Waveform};
+/// let mut c = Circuit::new();
+/// let vin = c.node("in");
+/// c.vsource(vin, Circuit::GROUND, Waveform::Dc(1.0));
+/// c.resistor(vin, Circuit::GROUND, 10e3);
+/// assert_eq!(c.num_nodes(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    names: HashMap<String, Node>,
+    next_node: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground (reference) node.
+    pub const GROUND: Node = Node(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            names: HashMap::new(),
+            next_node: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Returns the named node, creating it on first use. The name `"0"` and
+    /// `"gnd"` refer to ground.
+    pub fn node(&mut self, name: &str) -> Node {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GROUND;
+        }
+        if let Some(&n) = self.names.get(name) {
+            return n;
+        }
+        let n = self.fresh_node();
+        self.names.insert(name.to_string(), n);
+        n
+    }
+
+    /// Allocates an anonymous node.
+    pub fn fresh_node(&mut self) -> Node {
+        let n = Node(self.next_node);
+        self.next_node += 1;
+        n
+    }
+
+    /// Total node count including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.next_node
+    }
+
+    /// All elements, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Mutable access to the elements (used by sensitivity analysis to
+    /// perturb component values).
+    pub(crate) fn elements_mut(&mut self) -> &mut Vec<Element> {
+        &mut self.elements
+    }
+
+    /// Number of independent voltage sources (each adds one MNA branch
+    /// current unknown).
+    pub fn num_vsources(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count()
+    }
+
+    /// Size of the MNA unknown vector: node voltages (minus ground) plus one
+    /// branch current per voltage source.
+    pub fn num_unknowns(&self) -> usize {
+        self.num_nodes() - 1 + self.num_vsources()
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not finite and positive.
+    pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) -> &mut Self {
+        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive, got {ohms}");
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::Resistor { a, b, ohms });
+        self
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not finite and positive.
+    pub fn capacitor(&mut self, a: Node, b: Node, farads: f64) -> &mut Self {
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be positive, got {farads}"
+        );
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::Capacitor { a, b, farads, ic: None });
+        self
+    }
+
+    /// Adds a capacitor with an initial voltage for transient analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not finite and positive.
+    pub fn capacitor_with_ic(&mut self, a: Node, b: Node, farads: f64, ic: f64) -> &mut Self {
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be positive, got {farads}"
+        );
+        self.check_node(a);
+        self.check_node(b);
+        self.elements.push(Element::Capacitor { a, b, farads, ic: Some(ic) });
+        self
+    }
+
+    /// Adds an independent voltage source raising `pos` above `neg`.
+    pub fn vsource(&mut self, pos: Node, neg: Node, waveform: Waveform) -> &mut Self {
+        self.check_node(pos);
+        self.check_node(neg);
+        self.elements.push(Element::VoltageSource { pos, neg, waveform });
+        self
+    }
+
+    /// Adds an independent current source injecting into `pos`.
+    pub fn isource(&mut self, pos: Node, neg: Node, waveform: Waveform) -> &mut Self {
+        self.check_node(pos);
+        self.check_node(neg);
+        self.elements.push(Element::CurrentSource { pos, neg, waveform });
+        self
+    }
+
+    /// Adds a voltage-controlled current source.
+    pub fn vccs(
+        &mut self,
+        out_pos: Node,
+        out_neg: Node,
+        ctrl_pos: Node,
+        ctrl_neg: Node,
+        gm: f64,
+    ) -> &mut Self {
+        for n in [out_pos, out_neg, ctrl_pos, ctrl_neg] {
+            self.check_node(n);
+        }
+        self.elements.push(Element::Vccs {
+            out_pos,
+            out_neg,
+            ctrl_pos,
+            ctrl_neg,
+            gm,
+        });
+        self
+    }
+
+    /// Adds a behavioral printed n-EGT.
+    pub fn egt(&mut self, drain: Node, gate: Node, source: Node, model: EgtModel) -> &mut Self {
+        for n in [drain, gate, source] {
+            self.check_node(n);
+        }
+        self.elements.push(Element::Egt { drain, gate, source, model });
+        self
+    }
+
+    fn check_node(&self, n: Node) {
+        assert!(
+            n.0 < self.next_node,
+            "node {:?} does not belong to this circuit",
+            n
+        );
+    }
+
+    /// MNA row of a node (`None` for ground).
+    pub(crate) fn row(&self, n: Node) -> Option<usize> {
+        if n.0 == 0 {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    /// MNA row of the `k`-th voltage source's branch current.
+    pub(crate) fn vsource_row(&self, k: usize) -> usize {
+        self.num_nodes() - 1 + k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_nodes_are_interned() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        let b = c.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(c.num_nodes(), 3);
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("GND"), Circuit::GROUND);
+        assert!(Circuit::GROUND.is_ground());
+    }
+
+    #[test]
+    fn unknown_count() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor(a, b, 100.0);
+        c.resistor(b, Circuit::GROUND, 100.0);
+        assert_eq!(c.num_unknowns(), 3); // 2 node voltages + 1 branch current
+        assert_eq!(c.num_vsources(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_nonpositive_resistance() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GROUND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn rejects_negative_capacitance() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GROUND, -1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn rejects_foreign_node() {
+        let mut c1 = Circuit::new();
+        let mut c2 = Circuit::new();
+        let _a1 = c1.node("a");
+        let stray = Node(57);
+        c2.resistor(stray, Circuit::GROUND, 1.0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GROUND, 1.0)
+            .capacitor(a, Circuit::GROUND, 1e-6)
+            .isource(a, Circuit::GROUND, Waveform::Dc(1e-3));
+        assert_eq!(c.elements().len(), 3);
+    }
+}

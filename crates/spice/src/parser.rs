@@ -1,0 +1,356 @@
+//! A SPICE-format netlist parser, so circuits can be described the way the
+//! printed-PDK examples ship them.
+//!
+//! Supported cards (case-insensitive, `*`/`;` comments, `.end` optional):
+//!
+//! ```text
+//! * element  nodes          value / parameters
+//! R1   in   out   10k                ; resistor
+//! C1   out  0     100n  [ic=0.5]     ; capacitor, optional initial voltage
+//! V1   in   0     DC 1.0             ; sources: DC v | SIN(off amp freq)
+//! V2   in   0     SIN(0 1 50)        ;          | PULSE(v0 v1 t0 width)
+//! I1   0    out   DC 1m              ; current source (same waveforms)
+//! G1   out  0     in 0 2m            ; VCCS: out+ out- ctrl+ ctrl- gm
+//! M1   d    g     s  EGT [vth=0.25] [beta=4e-5]   ; printed n-EGT
+//! ```
+//!
+//! Numeric values accept the standard engineering suffixes
+//! `f p n u m k meg g t`.
+
+use std::collections::HashMap;
+
+use crate::egt::EgtModel;
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, Node};
+use crate::waveform::Waveform;
+
+/// A parsed netlist: the circuit plus the name → node mapping.
+#[derive(Debug, Clone)]
+pub struct ParsedCircuit {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// Node names as written in the source.
+    pub nodes: HashMap<String, Node>,
+}
+
+impl ParsedCircuit {
+    /// Looks up a node by source name (`"0"`/`"gnd"` is ground).
+    pub fn node(&self, name: &str) -> Option<Node> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Circuit::GROUND);
+        }
+        self.nodes.get(&name.to_ascii_lowercase()).copied()
+    }
+}
+
+/// Parses an engineering-notation value like `10k`, `100n` or `4.7meg`.
+///
+/// # Errors
+///
+/// Returns a description of the malformed token.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return Err("empty value".into());
+    }
+    // Longest suffixes first.
+    const SUFFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            if !stripped.is_empty() {
+                return stripped
+                    .parse::<f64>()
+                    .map(|v| v * scale)
+                    .map_err(|e| format!("bad value {token:?}: {e}"));
+            }
+        }
+    }
+    t.parse::<f64>().map_err(|e| format!("bad value {token:?}: {e}"))
+}
+
+/// Parses a SPICE netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] with a line-numbered message on any
+/// malformed card.
+pub fn parse_netlist(source: &str) -> Result<ParsedCircuit, SpiceError> {
+    let mut circuit = Circuit::new();
+    let mut nodes: HashMap<String, Node> = HashMap::new();
+
+    let mut get_node = |circuit: &mut Circuit, name: &str| -> Node {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Circuit::GROUND;
+        }
+        let key = name.to_ascii_lowercase();
+        if let Some(&n) = nodes.get(&key) {
+            return n;
+        }
+        let n = circuit.fresh_node();
+        nodes.insert(key, n);
+        n
+    };
+    let err = |line_no: usize, msg: String| -> SpiceError {
+        SpiceError::InvalidCircuit(format!("line {}: {msg}", line_no + 1))
+    };
+
+    for (line_no, raw) in source.lines().enumerate() {
+        // Strip comments.
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if line.starts_with('.') {
+            let directive = line.to_ascii_lowercase();
+            if directive == ".end" {
+                break;
+            }
+            // Other directives (.tran, .ac, …) are analysis hints; the
+            // analyses here are driven through the API, so skip them.
+            continue;
+        }
+        // Re-tokenize with parentheses kept attached; normalize "SIN(0 1 50)".
+        let normalized = line.replace('(', " ( ").replace(')', " ) ");
+        let tokens: Vec<&str> = normalized.split_whitespace().collect();
+        let name = tokens[0];
+        let kind = name.chars().next().unwrap().to_ascii_uppercase();
+        let args = &tokens[1..];
+
+        match kind {
+            'R' => {
+                if args.len() != 3 {
+                    return Err(err(line_no, format!("resistor needs 3 fields, got {}", args.len())));
+                }
+                let a = get_node(&mut circuit, args[0]);
+                let b = get_node(&mut circuit, args[1]);
+                let ohms = parse_value(args[2]).map_err(|m| err(line_no, m))?;
+                if !(ohms.is_finite() && ohms > 0.0) {
+                    return Err(err(line_no, format!("resistance must be positive, got {ohms}")));
+                }
+                circuit.resistor(a, b, ohms);
+            }
+            'C' => {
+                if args.len() < 3 {
+                    return Err(err(line_no, "capacitor needs at least 3 fields".into()));
+                }
+                let a = get_node(&mut circuit, args[0]);
+                let b = get_node(&mut circuit, args[1]);
+                let farads = parse_value(args[2]).map_err(|m| err(line_no, m))?;
+                if !(farads.is_finite() && farads > 0.0) {
+                    return Err(err(line_no, format!("capacitance must be positive, got {farads}")));
+                }
+                let mut ic = None;
+                for extra in &args[3..] {
+                    if let Some(v) = extra.to_ascii_lowercase().strip_prefix("ic=") {
+                        ic = Some(parse_value(v).map_err(|m| err(line_no, m))?);
+                    }
+                }
+                match ic {
+                    Some(v) => circuit.capacitor_with_ic(a, b, farads, v),
+                    None => circuit.capacitor(a, b, farads),
+                };
+            }
+            'V' | 'I' => {
+                if args.len() < 3 {
+                    return Err(err(line_no, "source needs nodes and a waveform".into()));
+                }
+                let pos = get_node(&mut circuit, args[0]);
+                let neg = get_node(&mut circuit, args[1]);
+                let waveform = parse_waveform(&args[2..]).map_err(|m| err(line_no, m))?;
+                if kind == 'V' {
+                    circuit.vsource(pos, neg, waveform);
+                } else {
+                    circuit.isource(pos, neg, waveform);
+                }
+            }
+            'G' => {
+                if args.len() != 5 {
+                    return Err(err(line_no, "VCCS needs out+ out- ctrl+ ctrl- gm".into()));
+                }
+                let op = get_node(&mut circuit, args[0]);
+                let on = get_node(&mut circuit, args[1]);
+                let cp = get_node(&mut circuit, args[2]);
+                let cn = get_node(&mut circuit, args[3]);
+                let gm = parse_value(args[4]).map_err(|m| err(line_no, m))?;
+                circuit.vccs(op, on, cp, cn, gm);
+            }
+            'M' => {
+                if args.len() < 4 || !args[3].eq_ignore_ascii_case("egt") {
+                    return Err(err(line_no, "transistor card must be: M d g s EGT [vth=..] [beta=..]".into()));
+                }
+                let d = get_node(&mut circuit, args[0]);
+                let g = get_node(&mut circuit, args[1]);
+                let s = get_node(&mut circuit, args[2]);
+                let mut model = EgtModel::default();
+                for extra in &args[4..] {
+                    let lower = extra.to_ascii_lowercase();
+                    if let Some(v) = lower.strip_prefix("vth=") {
+                        model.vth = parse_value(v).map_err(|m| err(line_no, m))?;
+                    } else if let Some(v) = lower.strip_prefix("beta=") {
+                        model.beta = parse_value(v).map_err(|m| err(line_no, m))?;
+                    } else {
+                        return Err(err(line_no, format!("unknown EGT parameter {extra:?}")));
+                    }
+                }
+                circuit.egt(d, g, s, model);
+            }
+            other => {
+                return Err(err(line_no, format!("unsupported element type {other:?}")));
+            }
+        }
+    }
+
+    Ok(ParsedCircuit { circuit, nodes })
+}
+
+fn parse_waveform(tokens: &[&str]) -> Result<Waveform, String> {
+    let head = tokens[0].to_ascii_lowercase();
+    match head.as_str() {
+        "dc" => {
+            let v = tokens.get(1).ok_or("DC needs a value")?;
+            Ok(Waveform::Dc(parse_value(v)?))
+        }
+        "sin" => {
+            let vals = paren_values(&tokens[1..], 3)?;
+            Ok(Waveform::Sine {
+                offset: vals[0],
+                amplitude: vals[1],
+                frequency: vals[2],
+            })
+        }
+        "pulse" => {
+            let vals = paren_values(&tokens[1..], 4)?;
+            Ok(Waveform::Pulse {
+                v0: vals[0],
+                v1: vals[1],
+                t0: vals[2],
+                width: vals[3],
+            })
+        }
+        // Bare value: DC.
+        _ => Ok(Waveform::Dc(parse_value(tokens[0])?)),
+    }
+}
+
+fn paren_values(tokens: &[&str], expected: usize) -> Result<Vec<f64>, String> {
+    let inner: Vec<&str> = tokens
+        .iter()
+        .copied()
+        .filter(|t| *t != "(" && *t != ")")
+        .collect();
+    if inner.len() != expected {
+        return Err(format!("expected {expected} waveform parameters, got {}", inner.len()));
+    }
+    inner.iter().map(|t| parse_value(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::DcAnalysis;
+    use crate::transient::TransientAnalysis;
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(parse_value("10k").unwrap(), 10e3);
+        assert!((parse_value("100n").unwrap() - 100e-9).abs() < 1e-18);
+        assert_eq!(parse_value("4.7meg").unwrap(), 4.7e6);
+        assert_eq!(parse_value("2m").unwrap(), 2e-3);
+        assert_eq!(parse_value("1.5").unwrap(), 1.5);
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn parses_and_solves_divider() {
+        let src = "\
+* a simple divider
+V1 in 0 DC 2.0
+R1 in mid 1k
+R2 mid 0 1k ; lower leg
+.end
+";
+        let parsed = parse_netlist(src).unwrap();
+        let mid = parsed.node("mid").unwrap();
+        let op = DcAnalysis::new(&parsed.circuit).solve().unwrap();
+        assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_sine_source_and_capacitor_ic() {
+        let src = "\
+V1 in 0 SIN(0 1 50)
+R1 in out 1k
+C1 out 0 1u ic=0.25
+";
+        let parsed = parse_netlist(src).unwrap();
+        let out = parsed.node("out").unwrap();
+        let res = TransientAnalysis::new(&parsed.circuit).run(1e-3, 1e-5).unwrap();
+        // Initial condition honoured: the capacitor holds ≈0.25 V on the
+        // first integration steps (index 0 records the pre-IC operating
+        // point; the IC takes over from the first companion step).
+        assert!((res.voltage(out)[1] - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn parses_egt_with_parameters() {
+        let src = "\
+V1 vdd 0 DC 1.0
+V2 g 0 DC 0.8
+R1 vdd d 100k
+M1 d g 0 EGT vth=0.3 beta=5e-5
+";
+        let parsed = parse_netlist(src).unwrap();
+        let d = parsed.node("d").unwrap();
+        let op = DcAnalysis::new(&parsed.circuit).solve().unwrap();
+        // Gate well above threshold: drain pulled low.
+        assert!(op.voltage(d) < 0.5);
+    }
+
+    #[test]
+    fn parses_vccs() {
+        let src = "\
+V1 c 0 DC 1.0
+R1 out 0 1k
+G1 out 0 c 0 2m
+";
+        let parsed = parse_netlist(src).unwrap();
+        let out = parsed.node("out").unwrap();
+        let op = DcAnalysis::new(&parsed.circuit).solve().unwrap();
+        assert!((op.voltage(out) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_names_are_case_insensitive() {
+        let src = "\
+V1 IN 0 DC 1.0
+R1 in 0 1k
+";
+        let parsed = parse_netlist(src).unwrap();
+        assert_eq!(parsed.circuit.num_nodes(), 2); // ground + in
+        assert!(parsed.node("In").is_some());
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let src = "V1 in 0 DC 1.0\nR1 in 0 -5\n";
+        let e = parse_netlist(src).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_elements() {
+        let e = parse_netlist("L1 a 0 1m\n").unwrap_err();
+        assert!(e.to_string().contains("unsupported"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Component-sensitivity analysis: how much a node voltage moves per relative
+//! change of each component value — the circuit-level counterpart of the
+//! paper's variation study. Printed components vary by ±10 %; the components
+//! with the largest normalized sensitivities are the ones that dominate a
+//! circuit's accuracy loss.
+
+use crate::dc::DcAnalysis;
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, Element, Node};
+
+/// Sensitivity of one element: `∂V(node)/∂(ln value)` — volts per 100 %
+/// relative component change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Element index in [`Circuit::elements`] order.
+    pub element: usize,
+    /// A short description of the element (kind and value).
+    pub description: String,
+    /// Normalized sensitivity in volts per unit relative change.
+    pub dv_dlnx: f64,
+}
+
+/// Computes the DC sensitivity of `node`'s voltage to every resistor (and
+/// EGT β) in the circuit via central relative perturbation of size `rel`
+/// (e.g. 0.01 for ±1 %).
+///
+/// # Errors
+///
+/// Propagates DC solver failures.
+///
+/// # Panics
+///
+/// Panics unless `0 < rel < 1`.
+pub fn dc_sensitivities(
+    circuit: &Circuit,
+    node: Node,
+    rel: f64,
+) -> Result<Vec<Sensitivity>, SpiceError> {
+    assert!(rel > 0.0 && rel < 1.0, "relative step must be in (0, 1)");
+    let mut out = Vec::new();
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        let description = match element {
+            Element::Resistor { ohms, .. } => format!("R{idx} = {ohms} ohm"),
+            Element::Egt { model, .. } => format!("M{idx} beta = {}", model.beta),
+            _ => continue,
+        };
+        let v_plus = solve_with_scaled(circuit, idx, 1.0 + rel, node)?;
+        let v_minus = solve_with_scaled(circuit, idx, 1.0 - rel, node)?;
+        out.push(Sensitivity {
+            element: idx,
+            description,
+            dv_dlnx: (v_plus - v_minus) / (2.0 * rel),
+        });
+    }
+    Ok(out)
+}
+
+fn solve_with_scaled(
+    circuit: &Circuit,
+    element: usize,
+    factor: f64,
+    node: Node,
+) -> Result<f64, SpiceError> {
+    let mut scaled = circuit.clone();
+    scaled.scale_element_value(element, factor);
+    Ok(DcAnalysis::new(&scaled).solve()?.voltage(node))
+}
+
+impl Circuit {
+    /// Scales the principal value of element `index` by `factor` (resistance
+    /// for resistors, capacitance for capacitors, β for EGTs, gm for VCCS;
+    /// sources are unaffected). Used by sensitivity analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn scale_element_value(&mut self, index: usize, factor: f64) {
+        let element = self
+            .elements_mut()
+            .get_mut(index)
+            .expect("element index in range");
+        match element {
+            Element::Resistor { ohms, .. } => *ohms *= factor,
+            Element::Capacitor { farads, .. } => *farads *= factor,
+            Element::Egt { model, .. } => model.beta *= factor,
+            Element::Vccs { gm, .. } => *gm *= factor,
+            Element::VoltageSource { .. } | Element::CurrentSource { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    /// Divider: V(mid) = Vs·R2/(R1+R2); analytic sensitivities
+    /// dV/dlnR1 = −Vs·R1·R2/(R1+R2)², dV/dlnR2 = +Vs·R1·R2/(R1+R2)².
+    #[test]
+    fn divider_sensitivities_match_analytic() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let mid = c.node("mid");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor(a, mid, 3e3); // R1
+        c.resistor(mid, Circuit::GROUND, 1e3); // R2
+        let sens = dc_sensitivities(&c, mid, 0.01).unwrap();
+        assert_eq!(sens.len(), 2);
+        let expected = 1.0 * 3e3 * 1e3 / (4e3f64).powi(2); // 0.1875
+        assert!((sens[0].dv_dlnx + expected).abs() < 1e-4, "{:?}", sens[0]);
+        assert!((sens[1].dv_dlnx - expected).abs() < 1e-4, "{:?}", sens[1]);
+    }
+
+    #[test]
+    fn balanced_divider_has_symmetric_sensitivities() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let mid = c.node("mid");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(2.0));
+        c.resistor(a, mid, 10e3);
+        c.resistor(mid, Circuit::GROUND, 10e3);
+        let sens = dc_sensitivities(&c, mid, 0.005).unwrap();
+        assert!((sens[0].dv_dlnx + sens[1].dv_dlnx).abs() < 1e-6);
+        // |dV/dlnR| = Vs/4 = 0.5 for the balanced divider.
+        assert!((sens[0].dv_dlnx.abs() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn insensitive_element_reports_zero() {
+        // A resistor dangling across the source does not affect the divider.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let mid = c.node("mid");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor(a, mid, 1e3);
+        c.resistor(mid, Circuit::GROUND, 1e3);
+        c.resistor(a, Circuit::GROUND, 5e3); // across the ideal source
+        let sens = dc_sensitivities(&c, mid, 0.01).unwrap();
+        assert!(sens[2].dv_dlnx.abs() < 1e-9, "{:?}", sens[2]);
+    }
+
+    #[test]
+    fn egt_beta_sensitivity_is_negative_at_inverter_output() {
+        use crate::egt::EgtModel;
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+        c.vsource(g, Circuit::GROUND, Waveform::Dc(0.6));
+        c.resistor(vdd, d, 200e3);
+        c.egt(d, g, Circuit::GROUND, EgtModel::default());
+        let sens = dc_sensitivities(&c, d, 0.01).unwrap();
+        // Stronger transistor pulls the inverter output lower.
+        let beta = sens.iter().find(|s| s.description.contains("beta")).unwrap();
+        assert!(beta.dv_dlnx < 0.0, "{beta:?}");
+    }
+
+    #[test]
+    fn scale_element_touches_only_target() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GROUND, 100.0);
+        c.capacitor(a, Circuit::GROUND, 1e-6);
+        c.scale_element_value(0, 2.0);
+        match &c.elements()[0] {
+            Element::Resistor { ohms, .. } => assert_eq!(*ohms, 200.0),
+            _ => unreachable!(),
+        }
+        match &c.elements()[1] {
+            Element::Capacitor { farads, .. } => assert_eq!(*farads, 1e-6),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Transient analysis with per-step Newton solves and a choice of
+//! integration method (backward Euler or trapezoidal).
+
+use crate::dc::{newton_solve, CapTreatment, DcAnalysis};
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, Element, Node};
+
+/// Fixed-step integration method for capacitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order, L-stable; matches the discretization the paper's filter
+    /// update equations assume, so μ calibration uses it.
+    #[default]
+    BackwardEuler,
+    /// Second-order accurate (the first step falls back to backward Euler to
+    /// initialize the capacitor-current state).
+    Trapezoidal,
+}
+
+/// Transient (time-domain) analysis.
+///
+/// Starts from the DC operating point (with capacitor initial conditions
+/// overriding the OP where given) and integrates with a fixed step.
+#[derive(Debug)]
+pub struct TransientAnalysis<'c> {
+    circuit: &'c Circuit,
+    integrator: Integrator,
+}
+
+impl<'c> TransientAnalysis<'c> {
+    /// Prepares a transient analysis of `circuit` (backward Euler).
+    pub fn new(circuit: &'c Circuit) -> Self {
+        TransientAnalysis {
+            circuit,
+            integrator: Integrator::BackwardEuler,
+        }
+    }
+
+    /// Selects the integration method.
+    pub fn integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Integrates from `t = 0` to `t_stop` with step `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from the initial operating point or any time
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` or `t_stop` are not finite and positive.
+    pub fn run(&self, t_stop: f64, dt: f64) -> Result<TransientResult, SpiceError> {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive");
+        assert!(
+            t_stop.is_finite() && t_stop > 0.0,
+            "t_stop must be positive"
+        );
+        let c = self.circuit;
+
+        // Initial condition: DC operating point at t = 0⁻.
+        let op = DcAnalysis::new(c).solve();
+        // Circuits whose caps are the only DC path (e.g. pure RC with an IC)
+        // can be DC-singular; fall back to a zero start in that case.
+        let mut x = match op {
+            Ok(sol) => sol.unknowns().to_vec(),
+            Err(SpiceError::SingularMatrix { .. }) => vec![0.0; c.num_unknowns()],
+            Err(e) => return Err(e),
+        };
+
+        // Per-capacitor state: (capacitance, branch voltage, branch current),
+        // in element order; IC overrides the OP voltage.
+        let mut caps_state: Vec<(f64, f64, f64)> = Vec::new();
+        {
+            let sol = crate::dc::DcSolution::from_raw(x.clone(), c.num_nodes());
+            for e in c.elements() {
+                if let Element::Capacitor { a, b, farads, ic } = e {
+                    let v = ic.unwrap_or_else(|| sol.voltage(*a) - sol.voltage(*b));
+                    caps_state.push((*farads, v, 0.0));
+                }
+            }
+        }
+
+        let steps = (t_stop / dt).round() as usize;
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut traces = vec![Vec::with_capacity(steps + 1); c.num_nodes()];
+
+        let record = |x: &[f64], traces: &mut Vec<Vec<f64>>| {
+            traces[0].push(0.0);
+            for n in 1..c.num_nodes() {
+                traces[n].push(x[n - 1]);
+            }
+        };
+
+        times.push(0.0);
+        record(&x, &mut traces);
+
+        for step in 1..=steps {
+            let t = step as f64 * dt;
+            // Companion parameters for this step. The trapezoidal rule needs
+            // a valid capacitor-current history, so its first step runs
+            // backward Euler.
+            let trapezoidal =
+                self.integrator == Integrator::Trapezoidal && step > 1;
+            let geq_ieq: Vec<(f64, f64)> = caps_state
+                .iter()
+                .map(|&(farads, v_prev, i_prev)| {
+                    if trapezoidal {
+                        let geq = 2.0 * farads / dt;
+                        (geq, geq * v_prev + i_prev)
+                    } else {
+                        let geq = farads / dt;
+                        (geq, geq * v_prev)
+                    }
+                })
+                .collect();
+            let caps = CapTreatment::Companion { geq_ieq: &geq_ieq };
+            x = newton_solve(c, Some(t), &caps, x)?;
+
+            // Update per-capacitor voltage and current from the new solution:
+            // i_new = geq·v_new − ieq for both companion forms.
+            let sol = crate::dc::DcSolution::from_raw(x.clone(), c.num_nodes());
+            let mut k = 0;
+            for e in c.elements() {
+                if let Element::Capacitor { a, b, .. } = e {
+                    let v_new = sol.voltage(*a) - sol.voltage(*b);
+                    let (geq, ieq) = geq_ieq[k];
+                    caps_state[k].1 = v_new;
+                    caps_state[k].2 = geq * v_new - ieq;
+                    k += 1;
+                }
+            }
+            times.push(t);
+            record(&x, &mut traces);
+        }
+
+        Ok(TransientResult { times, traces })
+    }
+}
+
+/// Result of a transient run: a time axis plus one voltage trace per node.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    traces: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The simulated time points (seconds), including `t = 0`.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage trace of `node`, one sample per time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the simulated circuit.
+    pub fn voltage(&self, node: Node) -> &[f64] {
+        &self.traces[node.index()]
+    }
+
+    /// Voltage of `node` at the final time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the simulated circuit.
+    pub fn final_voltage(&self, node: Node) -> f64 {
+        *self.traces[node.index()].last().expect("non-empty run")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, Waveform};
+
+    fn rc_step_circuit(r: f64, cap: f64) -> (Circuit, Node) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.vsource(vin, Circuit::GROUND, Waveform::Step { t0: 0.0, v0: 0.0, v1: 1.0 });
+        c.resistor(vin, vout, r);
+        c.capacitor(vout, Circuit::GROUND, cap);
+        (c, vout)
+    }
+
+    /// RC charging: v(t) = V·(1 − e^{−t/RC}).
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let (r, cap) = (1e3, 1e-6);
+        let tau = r * cap;
+        let (c, vout) = rc_step_circuit(r, cap);
+        let res = TransientAnalysis::new(&c).run(5.0 * tau, tau / 200.0).unwrap();
+        for (i, &t) in res.times().iter().enumerate() {
+            let expected = 1.0 - (-t / tau).exp();
+            let got = res.voltage(vout)[i];
+            assert!(
+                (got - expected).abs() < 5e-3,
+                "t={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        let (r, cap) = (1e3, 1e-6);
+        let tau = r * cap;
+        let dt = tau / 10.0; // deliberately coarse
+        let (c, vout) = rc_step_circuit(r, cap);
+        let error = |integrator: Integrator| -> f64 {
+            let res = TransientAnalysis::new(&c)
+                .integrator(integrator)
+                .run(3.0 * tau, dt)
+                .unwrap();
+            res.times()
+                .iter()
+                .zip(res.voltage(vout))
+                .map(|(&t, &v)| (v - (1.0 - (-t / tau).exp())).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let be = error(Integrator::BackwardEuler);
+        let trap = error(Integrator::Trapezoidal);
+        assert!(
+            trap < be / 3.0,
+            "trapezoidal ({trap}) should beat backward Euler ({be})"
+        );
+    }
+
+    #[test]
+    fn trapezoidal_converges_second_order() {
+        let (r, cap) = (1e3, 1e-6);
+        let tau = r * cap;
+        let (c, vout) = rc_step_circuit(r, cap);
+        let error_at = |dt: f64| -> f64 {
+            let res = TransientAnalysis::new(&c)
+                .integrator(Integrator::Trapezoidal)
+                .run(2.0 * tau, dt)
+                .unwrap();
+            let t = *res.times().last().unwrap();
+            (res.final_voltage(vout) - (1.0 - (-t / tau).exp())).abs()
+        };
+        let coarse = error_at(tau / 10.0);
+        let fine = error_at(tau / 20.0);
+        // Halving dt should cut the error by ≈4 (second order); allow slack
+        // for the BE start-up step.
+        assert!(
+            coarse / fine > 2.5,
+            "convergence ratio {} too low (coarse {coarse}, fine {fine})",
+            coarse / fine
+        );
+    }
+
+    #[test]
+    fn rc_discharge_from_ic() {
+        let r = 10e3;
+        let cap = 100e-9;
+        let tau = r * cap;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GROUND, r);
+        c.capacitor_with_ic(a, Circuit::GROUND, cap, 1.0);
+        let res = TransientAnalysis::new(&c).run(3.0 * tau, tau / 500.0).unwrap();
+        let at_tau_idx = res
+            .times()
+            .iter()
+            .position(|&t| t >= tau)
+            .expect("tau inside run");
+        let v_tau = res.voltage(a)[at_tau_idx];
+        assert!(
+            (v_tau - (-1.0f64).exp()).abs() < 0.01,
+            "v(tau)={v_tau}, expected e^-1"
+        );
+    }
+
+    #[test]
+    fn second_order_cascade_is_slower_than_first() {
+        // Cascading two RC sections delays the step response (the paper's
+        // SO-LF motivation).
+        let r = 1e3;
+        let cap = 1e-6;
+        let tau = r * cap;
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.vsource(vin, Circuit::GROUND, Waveform::Step { t0: 0.0, v0: 0.0, v1: 1.0 });
+        c.resistor(vin, mid, r);
+        c.capacitor(mid, Circuit::GROUND, cap);
+        c.resistor(mid, out, r);
+        c.capacitor(out, Circuit::GROUND, cap);
+        let res = TransientAnalysis::new(&c).run(2.0 * tau, tau / 100.0).unwrap();
+        let idx = res.times().iter().position(|&t| t >= tau).unwrap();
+        let v_mid = res.voltage(mid)[idx];
+        let v_out = res.voltage(out)[idx];
+        assert!(v_out < v_mid, "second section must lag: {v_out} !< {v_mid}");
+        assert!(v_out > 0.0);
+    }
+
+    #[test]
+    fn sine_passes_below_cutoff() {
+        // 10 Hz through an RC with fc ≈ 1.6 kHz: amplitude nearly unchanged.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Sine { offset: 0.0, amplitude: 1.0, frequency: 10.0 },
+        );
+        c.resistor(vin, out, 1e3);
+        c.capacitor(out, Circuit::GROUND, 100e-9);
+        let res = TransientAnalysis::new(&c).run(0.2, 1e-4).unwrap();
+        let peak = res
+            .voltage(out)
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(peak > 0.95, "low-frequency sine attenuated: peak {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_bad_dt() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GROUND, 1.0);
+        let _ = TransientAnalysis::new(&c).run(1.0, 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Source waveforms for transient analysis.
+
+/// Time-dependent value of an independent source.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `v0` until `t0`, then `v1` (ideal step).
+    Step {
+        /// Step time in seconds.
+        t0: f64,
+        /// Value before the step.
+        v0: f64,
+        /// Value after the step.
+        v1: f64,
+    },
+    /// Rectangular pulse of height `v1` on a baseline `v0`, starting at `t0`
+    /// with duration `width`. A narrow pulse approximates an impulse.
+    Pulse {
+        /// Pulse start time in seconds.
+        t0: f64,
+        /// Pulse duration in seconds.
+        width: f64,
+        /// Baseline value.
+        v0: f64,
+        /// Pulse value.
+        v1: f64,
+    },
+    /// `offset + amplitude·sin(2πft)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in Hz.
+        frequency: f64,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` points; clamps
+    /// to the first/last value outside the range. Points must be sorted by
+    /// time.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Value at time `t` (seconds).
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Step { t0, v0, v1 } => {
+                if t < *t0 {
+                    *v0
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Pulse { t0, width, v0, v1 } => {
+                if t >= *t0 && t < t0 + width {
+                    *v1
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t).sin(),
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t <= t1 {
+                        let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+                        return v0 + frac * (v1 - v0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// The DC (t = 0⁻) value used for the operating point.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Step { v0, .. } => *v0,
+            Waveform::Pulse { v0, .. } => *v0,
+            Waveform::Sine { offset, .. } => *offset,
+            Waveform::Pwl(points) => points.first().map(|p| p.1).unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(1.5);
+        assert_eq!(w.at(0.0), 1.5);
+        assert_eq!(w.at(1e9), 1.5);
+        assert_eq!(w.dc_value(), 1.5);
+    }
+
+    #[test]
+    fn step_switches() {
+        let w = Waveform::Step { t0: 1.0, v0: 0.0, v1: 2.0 };
+        assert_eq!(w.at(0.5), 0.0);
+        assert_eq!(w.at(1.0), 2.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn pulse_window() {
+        let w = Waveform::Pulse { t0: 1.0, width: 0.5, v0: 0.1, v1: 1.0 };
+        assert_eq!(w.at(0.9), 0.1);
+        assert_eq!(w.at(1.2), 1.0);
+        assert_eq!(w.at(1.6), 0.1);
+    }
+
+    #[test]
+    fn sine_quarter_period() {
+        let w = Waveform::Sine { offset: 1.0, amplitude: 2.0, frequency: 1.0 };
+        assert!((w.at(0.25) - 3.0).abs() < 1e-12);
+        assert_eq!(w.dc_value(), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(w.at(-1.0), 0.0);
+        assert!((w.at(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(w.at(5.0), 2.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Broadcasting elementwise arithmetic.
+
+use std::rc::Rc;
+
+use crate::ops::make_node;
+use crate::shape::{broadcast_offset, broadcast_shapes, indices};
+use crate::tensor::Tensor;
+use crate::{Scalar, Shape};
+
+/// How each output element maps to source elements of the two inputs.
+enum BroadcastPlan {
+    /// Identical shapes: element `i` reads `a[i]`, `b[i]`.
+    SameShape,
+    /// `a` is `[rows, cols]`, `b` is `[cols]` (or `[1, cols]`): element
+    /// `i` reads `a[i]`, `b[i % cols]`. The dominant pattern in the printed
+    /// models (per-column coefficients over a batch).
+    RowBroadcastB { cols: usize },
+    /// Mirror image: `a` is the row vector.
+    RowBroadcastA { cols: usize },
+    /// Anything else: precomputed flat offsets per output element.
+    General {
+        offs_a: Rc<Vec<usize>>,
+        offs_b: Rc<Vec<usize>>,
+    },
+}
+
+impl BroadcastPlan {
+    #[inline]
+    fn offsets(&self, i: usize) -> (usize, usize) {
+        match self {
+            BroadcastPlan::SameShape => (i, i),
+            BroadcastPlan::RowBroadcastB { cols } => (i, i % cols),
+            BroadcastPlan::RowBroadcastA { cols } => (i % cols, i),
+            BroadcastPlan::General { offs_a, offs_b } => (offs_a[i], offs_b[i]),
+        }
+    }
+}
+
+/// Is `row` a `[cols]` or `[1, cols]` vector that row-broadcasts over `full`?
+fn is_row_broadcast(full: &Shape, row: &Shape) -> bool {
+    if full.ndim() == 0 {
+        return false;
+    }
+    let cols = full.dim(full.ndim() - 1);
+    match row.ndim() {
+        1 => row.dim(0) == cols,
+        n if n == full.ndim() => {
+            row.dim(n - 1) == cols && row.dims()[..n - 1].iter().all(|&d| d == 1)
+        }
+        _ => false,
+    }
+}
+
+fn broadcast_plan(a: &Shape, b: &Shape) -> (Shape, BroadcastPlan) {
+    let out = broadcast_shapes(a, b)
+        .unwrap_or_else(|| panic!("shapes {a} and {b} are not broadcast-compatible"));
+    if a == b {
+        return (out, BroadcastPlan::SameShape);
+    }
+    if out == *a && is_row_broadcast(a, b) {
+        let cols = a.dim(a.ndim() - 1);
+        return (out, BroadcastPlan::RowBroadcastB { cols });
+    }
+    if out == *b && is_row_broadcast(b, a) {
+        let cols = b.dim(b.ndim() - 1);
+        return (out, BroadcastPlan::RowBroadcastA { cols });
+    }
+    let mut offs_a = Vec::with_capacity(out.len());
+    let mut offs_b = Vec::with_capacity(out.len());
+    for idx in indices(&out) {
+        offs_a.push(broadcast_offset(a, &idx));
+        offs_b.push(broadcast_offset(b, &idx));
+    }
+    (
+        out,
+        BroadcastPlan::General {
+            offs_a: Rc::new(offs_a),
+            offs_b: Rc::new(offs_b),
+        },
+    )
+}
+
+/// Generic broadcasting binary op.
+///
+/// `f(a, b)` computes the forward value; `df(a, b, g)` returns the adjoint
+/// contributions `(∂L/∂a, ∂L/∂b)` for one element given upstream adjoint `g`.
+fn binary_op(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(Scalar, Scalar) -> Scalar,
+    df: impl Fn(Scalar, Scalar, Scalar) -> (Scalar, Scalar) + 'static,
+) -> Tensor {
+    let (out_shape, plan) = broadcast_plan(a.shape(), b.shape());
+    let da = a.data();
+    let db = b.data();
+    let n = out_shape.len();
+    let mut out = Vec::with_capacity(n);
+    match &plan {
+        BroadcastPlan::SameShape => {
+            for i in 0..n {
+                out.push(f(da[i], db[i]));
+            }
+        }
+        BroadcastPlan::RowBroadcastB { cols } => {
+            for i in 0..n {
+                out.push(f(da[i], db[i % cols]));
+            }
+        }
+        _ => {
+            for i in 0..n {
+                let (oa, ob) = plan.offsets(i);
+                out.push(f(da[oa], db[ob]));
+            }
+        }
+    }
+    drop(da);
+    drop(db);
+
+    let (pa, pb) = (a.clone(), b.clone());
+    make_node(out_shape, out, vec![a.clone(), b.clone()], move |out_grad, _| {
+        let da = pa.data();
+        let db = pb.data();
+        let mut ga = vec![0.0; pa.len()];
+        let mut gb = vec![0.0; pb.len()];
+        for (i, &g) in out_grad.iter().enumerate() {
+            let (oa, ob) = plan.offsets(i);
+            let (dga, dgb) = df(da[oa], db[ob], g);
+            ga[oa] += dga;
+            gb[ob] += dgb;
+        }
+        drop(da);
+        drop(db);
+        if pa.inner.requires_grad {
+            pa.accumulate_grad(&ga);
+        }
+        if pb.inner.requires_grad {
+            pb.accumulate_grad(&gb);
+        }
+    })
+}
+
+impl Tensor {
+    /// Elementwise sum with NumPy-style broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ptnc_tensor::Tensor;
+    /// let m = Tensor::ones(&[2, 3]);
+    /// let row = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+    /// assert_eq!(m.add(&row).to_vec(), vec![2.0, 3.0, 4.0, 2.0, 3.0, 4.0]);
+    /// ```
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        binary_op(self, other, |a, b| a + b, |_, _, g| (g, g))
+    }
+
+    /// Elementwise difference with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        binary_op(self, other, |a, b| a - b, |_, _, g| (g, -g))
+    }
+
+    /// Elementwise (Hadamard) product with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        binary_op(self, other, |a, b| a * b, |a, b, g| (g * b, g * a))
+    }
+
+    /// Elementwise quotient with broadcasting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible. Division by zero
+    /// follows IEEE-754 (produces ±inf/NaN) — printed conductance sums are
+    /// kept strictly positive by construction upstream.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        binary_op(
+            self,
+            other,
+            |a, b| a / b,
+            |a, b, g| (g / b, -g * a / (b * b)),
+        )
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: Scalar) -> Tensor {
+        let out: Vec<Scalar> = self.data().iter().map(|&v| v + s).collect();
+        let p = self.clone();
+        make_node(self.shape().clone(), out, vec![self.clone()], move |g, _| {
+            p.accumulate_grad(g);
+        })
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: Scalar) -> Tensor {
+        let out: Vec<Scalar> = self.data().iter().map(|&v| v * s).collect();
+        let p = self.clone();
+        make_node(self.shape().clone(), out, vec![self.clone()], move |g, _| {
+            let scaled: Vec<Scalar> = g.iter().map(|&v| v * s).collect();
+            p.accumulate_grad(&scaled);
+        })
+    }
+
+    /// Subtracts a scalar from every element.
+    pub fn sub_scalar(&self, s: Scalar) -> Tensor {
+        self.add_scalar(-s)
+    }
+
+    /// Divides every element by a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    pub fn div_scalar(&self, s: Scalar) -> Tensor {
+        assert!(s != 0.0, "division by zero scalar");
+        self.mul_scalar(1.0 / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        assert_close(&a.add(&b).to_vec(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn sub_and_div() {
+        let a = Tensor::from_vec(&[2], vec![6.0, 9.0]);
+        let b = Tensor::from_vec(&[2], vec![2.0, 3.0]);
+        assert_close(&a.sub(&b).to_vec(), &[4.0, 6.0]);
+        assert_close(&a.div(&b).to_vec(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_row_bias() {
+        let m = Tensor::zeros(&[2, 3]);
+        let bias = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let out = m.add(&bias);
+        assert_close(&out.to_vec(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_grad_sums_over_expanded_axes() {
+        let m = Tensor::leaf(&[2, 3], vec![0.0; 6]);
+        let bias = Tensor::leaf(&[3], vec![0.0; 3]);
+        let out = m.add(&bias).sum_all();
+        out.backward();
+        assert_close(&bias.grad(), &[2.0, 2.0, 2.0]);
+        assert_close(&m.grad(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn mul_grad() {
+        let a = Tensor::leaf(&[2], vec![3.0, 5.0]);
+        let b = Tensor::leaf(&[2], vec![7.0, 11.0]);
+        a.mul(&b).sum_all().backward();
+        assert_close(&a.grad(), &[7.0, 11.0]);
+        assert_close(&b.grad(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn div_grad() {
+        let a = Tensor::leaf(&[1], vec![6.0]);
+        let b = Tensor::leaf(&[1], vec![2.0]);
+        a.div(&b).sum_all().backward();
+        assert_close(&a.grad(), &[0.5]);
+        assert_close(&b.grad(), &[-1.5]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::leaf(&[2], vec![1.0, 2.0]);
+        let y = a.mul_scalar(3.0).add_scalar(1.0).sub_scalar(0.5).div_scalar(2.0);
+        assert_close(&y.to_vec(), &[1.75, 3.25]);
+        y.sum_all().backward();
+        assert_close(&a.grad(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn scalar_tensor_broadcast() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let s = Tensor::scalar(10.0);
+        assert_close(&a.mul(&s).to_vec(), &[10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast-compatible")]
+    fn incompatible_shapes_panic() {
+        Tensor::ones(&[3]).add(&Tensor::ones(&[4]));
+    }
+
+    #[test]
+    fn column_broadcast() {
+        // [2,1] * [1,3] -> [2,3] outer-product style
+        let col = Tensor::from_vec(&[2, 1], vec![1.0, 2.0]);
+        let row = Tensor::from_vec(&[1, 3], vec![10.0, 20.0, 30.0]);
+        let out = col.mul(&row);
+        assert_eq!(out.dims(), &[2, 3]);
+        assert_close(&out.to_vec(), &[10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
+    }
+}

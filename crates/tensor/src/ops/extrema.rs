@@ -1,0 +1,186 @@
+//! Extremum reductions and row gathering.
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::Shape;
+
+impl Tensor {
+    /// Maximum along `axis`, removing it from the shape. The subgradient
+    /// routes to the *first* maximal element of each slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        self.extremum_axis(axis, true)
+    }
+
+    /// Minimum along `axis`, removing it from the shape. The subgradient
+    /// routes to the *first* minimal element of each slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn min_axis(&self, axis: usize) -> Tensor {
+        self.extremum_axis(axis, false)
+    }
+
+    fn extremum_axis(&self, axis: usize, take_max: bool) -> Tensor {
+        let dims = self.dims();
+        assert!(axis < dims.len(), "axis {axis} out of range for {dims:?}");
+        let axis_len = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+        let out_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        let out_shape = if out_dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&out_dims)
+        };
+
+        let data = self.data();
+        let mut out = Vec::with_capacity(outer * inner);
+        let mut winners = Vec::with_capacity(outer * inner);
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut best = data[o * axis_len * inner + i];
+                let mut best_a = 0;
+                for a in 1..axis_len {
+                    let v = data[(o * axis_len + a) * inner + i];
+                    let better = if take_max { v > best } else { v < best };
+                    if better {
+                        best = v;
+                        best_a = a;
+                    }
+                }
+                out.push(best);
+                winners.push(best_a);
+            }
+        }
+        drop(data);
+
+        let p = self.clone();
+        make_node(out_shape, out, vec![self.clone()], move |g, _| {
+            let mut gx = vec![0.0; p.len()];
+            for o in 0..outer {
+                for i in 0..inner {
+                    let a = winners[o * inner + i];
+                    gx[(o * axis_len + a) * inner + i] = g[o * inner + i];
+                }
+            }
+            p.accumulate_grad(&gx);
+        })
+    }
+
+    /// Gathers whole rows of a rank-2 tensor: `out[k, :] = self[indices[k], :]`.
+    /// Rows may repeat; gradients accumulate into the source rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank-2 and every index is in range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.dims().len(), 2, "gather_rows expects a rank-2 tensor");
+        let (n, m) = (self.dims()[0], self.dims()[1]);
+        assert!(!indices.is_empty(), "empty index list");
+        for &i in indices {
+            assert!(i < n, "row index {i} out of range for {n} rows");
+        }
+        let data = self.data();
+        let mut out = Vec::with_capacity(indices.len() * m);
+        for &i in indices {
+            out.extend_from_slice(&data[i * m..(i + 1) * m]);
+        }
+        drop(data);
+
+        let idx: Vec<usize> = indices.to_vec();
+        let p = self.clone();
+        make_node(
+            Shape::new(&[indices.len(), m]),
+            out,
+            vec![self.clone()],
+            move |g, _| {
+                let mut gx = vec![0.0; p.len()];
+                for (k, &i) in idx.iter().enumerate() {
+                    for j in 0..m {
+                        gx[i * m + j] += g[k * m + j];
+                    }
+                }
+                p.accumulate_grad(&gx);
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck;
+    use crate::Tensor;
+
+    #[test]
+    fn max_axis_values() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 5.0, 3.0, 4.0, 2.0, 6.0]);
+        assert_eq!(t.max_axis(1).to_vec(), vec![5.0, 6.0]);
+        assert_eq!(t.max_axis(0).to_vec(), vec![4.0, 5.0, 6.0]);
+        assert_eq!(t.min_axis(1).to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_grad_routes_to_winner() {
+        let t = Tensor::leaf(&[2, 3], vec![1.0, 5.0, 3.0, 4.0, 2.0, 6.0]);
+        t.max_axis(1).sum_all().backward();
+        assert_eq!(t.grad(), vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn ties_route_to_first() {
+        let t = Tensor::leaf(&[1, 3], vec![7.0, 7.0, 7.0]);
+        t.max_axis(1).sum_all().backward();
+        assert_eq!(t.grad(), vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_axis_gradcheck_off_ties() {
+        let t = Tensor::leaf(&[2, 3], vec![0.3, -0.7, 0.9, 1.4, 0.1, -0.5]);
+        gradcheck::check(|| t.max_axis(1).square().sum_all(), &[t.clone()], 1e-6);
+        gradcheck::check(|| t.min_axis(0).square().sum_all(), &[t.clone()], 1e-6);
+    }
+
+    #[test]
+    fn rank1_extrema_give_scalars() {
+        let t = Tensor::from_vec(&[4], vec![3.0, 1.0, 4.0, 1.5]);
+        assert_eq!(t.max_axis(0).item(), 4.0);
+        assert_eq!(t.min_axis(0).item(), 1.0);
+    }
+
+    #[test]
+    fn gather_rows_values_and_grad() {
+        let t = Tensor::leaf(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.dims(), &[3, 2]);
+        assert_eq!(g.to_vec(), vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        g.sum_all().backward();
+        // Row 2 gathered twice, row 0 once, row 1 never.
+        assert_eq!(t.grad(), vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_rows_gradcheck() {
+        let t = Tensor::leaf(&[3, 2], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
+        gradcheck::check(
+            || t.gather_rows(&[1, 1, 2]).square().sum_all(),
+            &[t.clone()],
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_bad_index_panics() {
+        Tensor::ones(&[2, 2]).gather_rows(&[2]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Fused kernels for the printed-circuit hot paths.
+//!
+//! The temporal models replay a handful of small elementwise patterns for
+//! every time step of every Monte-Carlo sample; fusing each pattern into a
+//! single graph node cuts allocation and dispatch cost several-fold on the
+//! BPTT path. Each op is semantically equivalent to a chain of primitive ops
+//! (and is tested against that chain).
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::Scalar;
+
+/// Checks that `row` is a `[cols]` vector matching `x`'s last axis.
+fn expect_row(x: &Tensor, row: &Tensor, what: &str) -> usize {
+    let cols = *x.dims().last().expect("rank >= 1");
+    assert_eq!(
+        row.dims(),
+        &[cols],
+        "{what} must be a [{cols}] row vector, got {:?}",
+        row.dims()
+    );
+    cols
+}
+
+impl Tensor {
+    /// Fused filter update `a ⊙ state + b ⊙ input` with row-broadcast
+    /// coefficient vectors `a`, `b` of shape `[cols]` — one discrete RC
+    /// low-pass step (paper Eq. 10/11).
+    ///
+    /// Equivalent to `state.mul(a).add(&input.mul(b))` as a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn filter_step(state: &Tensor, a: &Tensor, input: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(state.dims(), input.dims(), "state/input shape mismatch");
+        let cols = expect_row(state, a, "coefficient a");
+        expect_row(state, b, "coefficient b");
+
+        let n = state.len();
+        let out: Vec<Scalar> = {
+            let sd = state.data();
+            let id = input.data();
+            let ad = a.data();
+            let bd = b.data();
+            (0..n)
+                .map(|i| ad[i % cols] * sd[i] + bd[i % cols] * id[i])
+                .collect()
+        };
+
+        let (ps, pa, pi, pb) = (state.clone(), a.clone(), input.clone(), b.clone());
+        make_node(
+            state.shape().clone(),
+            out,
+            vec![state.clone(), a.clone(), input.clone(), b.clone()],
+            move |g, _| {
+                let sd = ps.data();
+                let id = pi.data();
+                let ad = pa.data();
+                let bd = pb.data();
+                if ps.inner.requires_grad {
+                    let gs: Vec<Scalar> = (0..n).map(|i| g[i] * ad[i % cols]).collect();
+                    drop(ad);
+                    ps.accumulate_grad(&gs);
+                } else {
+                    drop(ad);
+                }
+                if pi.inner.requires_grad {
+                    let gi: Vec<Scalar> = (0..n).map(|i| g[i] * bd[i % cols]).collect();
+                    drop(bd);
+                    pi.accumulate_grad(&gi);
+                } else {
+                    drop(bd);
+                }
+                if pa.inner.requires_grad {
+                    let mut ga = vec![0.0; cols];
+                    for i in 0..n {
+                        ga[i % cols] += g[i] * sd[i];
+                    }
+                    pa.accumulate_grad(&ga);
+                }
+                if pb.inner.requires_grad {
+                    let mut gb = vec![0.0; cols];
+                    for i in 0..n {
+                        gb[i % cols] += g[i] * id[i];
+                    }
+                    pb.accumulate_grad(&gb);
+                }
+            },
+        )
+    }
+
+    /// Fused printed-tanh transfer `η₁ + η₂·tanh((x − η₃)·η₄)` with
+    /// row-broadcast per-neuron parameter vectors of shape `[cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn ptanh(x: &Tensor, eta1: &Tensor, eta2: &Tensor, eta3: &Tensor, eta4: &Tensor) -> Tensor {
+        let cols = expect_row(x, eta1, "eta1");
+        for (e, name) in [(eta2, "eta2"), (eta3, "eta3"), (eta4, "eta4")] {
+            expect_row(x, e, name);
+        }
+        let n = x.len();
+        let out: Vec<Scalar> = {
+            let xd = x.data();
+            let (e1, e2, e3, e4) = (eta1.data(), eta2.data(), eta3.data(), eta4.data());
+            (0..n)
+                .map(|i| {
+                    let j = i % cols;
+                    e1[j] + e2[j] * ((xd[i] - e3[j]) * e4[j]).tanh()
+                })
+                .collect()
+        };
+
+        let (px, p1, p2, p3, p4) = (
+            x.clone(),
+            eta1.clone(),
+            eta2.clone(),
+            eta3.clone(),
+            eta4.clone(),
+        );
+        make_node(
+            x.shape().clone(),
+            out,
+            vec![x.clone(), eta1.clone(), eta2.clone(), eta3.clone(), eta4.clone()],
+            move |g, _| {
+                let xd = px.data();
+                let (e1, e2, e3, e4) = (p1.data(), p2.data(), p3.data(), p4.data());
+                let mut gx = vec![0.0; n];
+                let mut g1 = vec![0.0; cols];
+                let mut g2 = vec![0.0; cols];
+                let mut g3 = vec![0.0; cols];
+                let mut g4 = vec![0.0; cols];
+                for i in 0..n {
+                    let j = i % cols;
+                    let z = (xd[i] - e3[j]) * e4[j];
+                    let t = z.tanh();
+                    let sech2 = 1.0 - t * t;
+                    gx[i] = g[i] * e2[j] * sech2 * e4[j];
+                    g1[j] += g[i];
+                    g2[j] += g[i] * t;
+                    g3[j] += -g[i] * e2[j] * sech2 * e4[j];
+                    g4[j] += g[i] * e2[j] * sech2 * (xd[i] - e3[j]);
+                }
+                let _ = e1;
+                drop(xd);
+                if px.inner.requires_grad {
+                    px.accumulate_grad(&gx);
+                }
+                if p1.inner.requires_grad {
+                    p1.accumulate_grad(&g1);
+                }
+                if p2.inner.requires_grad {
+                    p2.accumulate_grad(&g2);
+                }
+                if p3.inner.requires_grad {
+                    p3.accumulate_grad(&g3);
+                }
+                if p4.inner.requires_grad {
+                    p4.accumulate_grad(&g4);
+                }
+            },
+        )
+    }
+
+    /// Fused crossbar output normalization `(x + b) / g` with row-broadcast
+    /// bias `b` and column-conductance-sum `g`, both `[cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn bias_div(x: &Tensor, b: &Tensor, g: &Tensor) -> Tensor {
+        let cols = expect_row(x, b, "bias");
+        expect_row(x, g, "divisor");
+        let n = x.len();
+        let out: Vec<Scalar> = {
+            let xd = x.data();
+            let bd = b.data();
+            let gd = g.data();
+            (0..n)
+                .map(|i| (xd[i] + bd[i % cols]) / gd[i % cols])
+                .collect()
+        };
+        let (px, pb, pg) = (x.clone(), b.clone(), g.clone());
+        make_node(
+            x.shape().clone(),
+            out,
+            vec![x.clone(), b.clone(), g.clone()],
+            move |grad, out_data| {
+                let gd = pg.data();
+                if px.inner.requires_grad {
+                    let gx: Vec<Scalar> = (0..n).map(|i| grad[i] / gd[i % cols]).collect();
+                    px.accumulate_grad(&gx);
+                }
+                if pb.inner.requires_grad {
+                    let mut gb = vec![0.0; cols];
+                    for i in 0..n {
+                        gb[i % cols] += grad[i] / gd[i % cols];
+                    }
+                    pb.accumulate_grad(&gb);
+                }
+                if pg.inner.requires_grad {
+                    // d/dg [(x+b)/g] = −(x+b)/g² = −out/g
+                    let mut gg = vec![0.0; cols];
+                    for i in 0..n {
+                        gg[i % cols] += -grad[i] * out_data[i] / gd[i % cols];
+                    }
+                    pg.accumulate_grad(&gg);
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck;
+    use crate::Tensor;
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn filter_step_matches_primitive_chain() {
+        let state = Tensor::from_vec(&[2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let input = Tensor::from_vec(&[2, 3], vec![1.0, -1.0, 0.5, 0.2, 0.0, -0.3]);
+        let a = Tensor::from_vec(&[3], vec![0.9, 0.5, 0.1]);
+        let b = Tensor::from_vec(&[3], vec![0.1, 0.5, 0.9]);
+        let fused = Tensor::filter_step(&state, &a, &input, &b);
+        let chain = state.mul(&a).add(&input.mul(&b));
+        close(&fused.to_vec(), &chain.to_vec());
+    }
+
+    #[test]
+    fn filter_step_gradcheck() {
+        let state = Tensor::leaf(&[2, 2], vec![0.1, -0.2, 0.3, 0.4]);
+        let input = Tensor::leaf(&[2, 2], vec![0.5, 0.6, -0.7, 0.8]);
+        let a = Tensor::leaf(&[2], vec![0.8, 0.3]);
+        let b = Tensor::leaf(&[2], vec![0.2, 0.7]);
+        gradcheck::check(
+            || Tensor::filter_step(&state, &a, &input, &b).square().sum_all(),
+            &[state.clone(), a.clone(), input.clone(), b.clone()],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn ptanh_matches_primitive_chain() {
+        let x = Tensor::from_vec(&[2, 2], vec![0.3, -0.8, 1.2, 0.0]);
+        let e1 = Tensor::from_vec(&[2], vec![0.05, -0.1]);
+        let e2 = Tensor::from_vec(&[2], vec![0.9, 0.7]);
+        let e3 = Tensor::from_vec(&[2], vec![0.1, -0.2]);
+        let e4 = Tensor::from_vec(&[2], vec![2.0, 3.0]);
+        let fused = Tensor::ptanh(&x, &e1, &e2, &e3, &e4);
+        let chain = x.sub(&e3).mul(&e4).tanh().mul(&e2).add(&e1);
+        close(&fused.to_vec(), &chain.to_vec());
+    }
+
+    #[test]
+    fn ptanh_gradcheck() {
+        let x = Tensor::leaf(&[3, 2], vec![0.3, -0.8, 1.2, 0.0, -0.4, 0.6]);
+        let e1 = Tensor::leaf(&[2], vec![0.05, -0.1]);
+        let e2 = Tensor::leaf(&[2], vec![0.9, 0.7]);
+        let e3 = Tensor::leaf(&[2], vec![0.1, -0.2]);
+        let e4 = Tensor::leaf(&[2], vec![2.0, 3.0]);
+        gradcheck::check(
+            || Tensor::ptanh(&x, &e1, &e2, &e3, &e4).square().sum_all(),
+            &[x.clone(), e1.clone(), e2.clone(), e3.clone(), e4.clone()],
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn bias_div_matches_primitive_chain() {
+        let x = Tensor::from_vec(&[2, 2], vec![0.3, -0.8, 1.2, 0.0]);
+        let b = Tensor::from_vec(&[2], vec![0.5, -0.25]);
+        let g = Tensor::from_vec(&[2], vec![2.0, 4.0]);
+        let fused = Tensor::bias_div(&x, &b, &g);
+        let chain = x.add(&b).div(&g);
+        close(&fused.to_vec(), &chain.to_vec());
+    }
+
+    #[test]
+    fn bias_div_gradcheck() {
+        let x = Tensor::leaf(&[2, 2], vec![0.3, -0.8, 1.2, 0.0]);
+        let b = Tensor::leaf(&[2], vec![0.5, -0.25]);
+        let g = Tensor::leaf(&[2], vec![2.0, 4.0]);
+        gradcheck::check(
+            || Tensor::bias_div(&x, &b, &g).square().sum_all(),
+            &[x.clone(), b.clone(), g.clone()],
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row vector")]
+    fn filter_step_rejects_bad_coefficients() {
+        let state = Tensor::zeros(&[2, 3]);
+        let a = Tensor::zeros(&[2]);
+        Tensor::filter_step(&state, &a, &state, &a);
+    }
+}

@@ -1,0 +1,144 @@
+//! 2-D matrix multiplication — the op behind every printed resistor crossbar.
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::{Scalar, Shape};
+
+fn mat_mul_raw(
+    a: &[Scalar],
+    b: &[Scalar],
+    n: usize,
+    k: usize,
+    m: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Vec<Scalar> {
+    // out[i,j] = sum_l A[i,l] * B[l,j] with optional transposes of the
+    // *stored* operands: if transpose_a, the stored a is [k, n]; if
+    // transpose_b, the stored b is [m, k].
+    let mut out = vec![0.0; n * m];
+    for i in 0..n {
+        for l in 0..k {
+            let av = if transpose_a { a[l * n + i] } else { a[i * k + l] };
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * m..(i + 1) * m];
+            if transpose_b {
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o += av * b[j * k + l];
+                }
+            } else {
+                let b_row = &b[l * m..(l + 1) * m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[n, k] × [k, m] → [n, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching inner dimension.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ptnc_tensor::Tensor;
+    /// let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+    /// let b = Tensor::from_vec(&[2, 1], vec![1.0, 1.0]);
+    /// assert_eq!(a.matmul(&b).to_vec(), vec![3.0, 7.0]);
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.dims().len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.dims().len(), 2, "matmul rhs must be rank-2");
+        let (n, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, m) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions differ: [{n}, {k}] × [{k2}, {m}]"
+        );
+
+        let out = mat_mul_raw(&self.data(), &other.data(), n, k, m, false, false);
+        let (pa, pb) = (self.clone(), other.clone());
+        make_node(
+            Shape::new(&[n, m]),
+            out,
+            vec![self.clone(), other.clone()],
+            move |g, _| {
+                // dA = G · Bᵀ : [n,m] × [m,k]
+                if pa.inner.requires_grad {
+                    let ga = mat_mul_raw(g, &pb.data(), n, m, k, false, true);
+                    pa.accumulate_grad(&ga);
+                }
+                // dB = Aᵀ · G : [k,n] × [n,m]
+                if pb.inner.requires_grad {
+                    let gb = mat_mul_raw(&pa.data(), g, k, n, m, true, false);
+                    pb.accumulate_grad(&gb);
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck;
+    use crate::Tensor;
+
+    #[test]
+    fn identity_product() {
+        let eye = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let x = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(eye.matmul(&x).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn rectangular_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gradients_match_analytic() {
+        // d/dA sum(A·B) = 1·Bᵀ rows; check one entry by hand.
+        let a = Tensor::leaf(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::leaf(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        a.matmul(&b).sum_all().backward();
+        // dA[i,l] = sum_j B[l,j]
+        assert_eq!(a.grad(), vec![11.0, 15.0, 11.0, 15.0]);
+        // dB[l,j] = sum_i A[i,l]
+        assert_eq!(b.grad(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn numerical_gradcheck() {
+        let a = Tensor::leaf(&[2, 3], vec![0.3, -0.5, 0.9, 0.1, 0.7, -0.2]);
+        let b = Tensor::leaf(&[3, 2], vec![0.4, -0.1, 0.2, 0.8, -0.6, 0.5]);
+        gradcheck::check(
+            || a.matmul(&b).tanh().sum_all(),
+            &[a.clone(), b.clone()],
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_panics() {
+        Tensor::ones(&[2, 3]).matmul(&Tensor::ones(&[2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn rank_mismatch_panics() {
+        Tensor::ones(&[2]).matmul(&Tensor::ones(&[2, 2]));
+    }
+}

@@ -1,0 +1,188 @@
+//! Reductions: sums and means, full-tensor and per-axis.
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::{Scalar, Shape};
+
+impl Tensor {
+    /// Sums all elements into a rank-0 tensor.
+    pub fn sum_all(&self) -> Tensor {
+        let total: Scalar = self.data().iter().sum();
+        let p = self.clone();
+        make_node(Shape::scalar(), vec![total], vec![self.clone()], move |g, _| {
+            let gx = vec![g[0]; p.len()];
+            p.accumulate_grad(&gx);
+        })
+    }
+
+    /// Mean of all elements as a rank-0 tensor.
+    pub fn mean_all(&self) -> Tensor {
+        self.sum_all().div_scalar(self.len() as Scalar)
+    }
+
+    /// Sums along `axis`, removing it from the shape. Reducing the only axis
+    /// of a rank-1 tensor yields a rank-0 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ptnc_tensor::Tensor;
+    /// let m = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    /// assert_eq!(m.sum_axis(0).to_vec(), vec![5.0, 7.0, 9.0]);
+    /// assert_eq!(m.sum_axis(1).to_vec(), vec![6.0, 15.0]);
+    /// ```
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(axis < dims.len(), "axis {axis} out of range for {:?}", dims);
+        let out_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        let out_shape = if out_dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&out_dims)
+        };
+
+        // Decompose the index space into (outer, axis, inner).
+        let axis_len = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+
+        let data = self.data();
+        let mut out = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                for i in 0..inner {
+                    out[o * inner + i] += data[base + i];
+                }
+            }
+        }
+        drop(data);
+
+        let p = self.clone();
+        make_node(out_shape, out, vec![self.clone()], move |g, _| {
+            let mut gx = vec![0.0; p.len()];
+            for o in 0..outer {
+                for a in 0..axis_len {
+                    let base = (o * axis_len + a) * inner;
+                    for i in 0..inner {
+                        gx[base + i] = g[o * inner + i];
+                    }
+                }
+            }
+            p.accumulate_grad(&gx);
+        })
+    }
+
+    /// Mean along `axis`, removing it from the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.dims()[axis] as Scalar;
+        self.sum_axis(axis).div_scalar(n)
+    }
+
+    /// Index of the maximum along `axis` (ties resolve to the first maximum).
+    /// Non-differentiable; used for classification accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn argmax_axis(&self, axis: usize) -> Vec<usize> {
+        let dims = self.dims();
+        assert!(axis < dims.len(), "axis {axis} out of range for {:?}", dims);
+        let axis_len = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+        let data = self.data();
+        let mut out = Vec::with_capacity(outer * inner);
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut best = 0;
+                let mut best_v = Scalar::NEG_INFINITY;
+                for a in 0..axis_len {
+                    let v = data[(o * axis_len + a) * inner + i];
+                    if v > best_v {
+                        best_v = v;
+                        best = a;
+                    }
+                }
+                out.push(best);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck;
+    use crate::Tensor;
+
+    #[test]
+    fn sum_all_scalar() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sum_all().item(), 10.0);
+        assert_eq!(t.sum_all().dims().len(), 0);
+    }
+
+    #[test]
+    fn mean_all_value_and_grad() {
+        let t = Tensor::leaf(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let m = t.mean_all();
+        assert_eq!(m.item(), 2.5);
+        m.backward();
+        assert_eq!(t.grad(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let t = Tensor::from_vec(&[2, 2, 2], (1..=8).map(|v| v as f64).collect());
+        let s = t.sum_axis(1);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.to_vec(), vec![4.0, 6.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn sum_axis_grad_broadcasts_back() {
+        let t = Tensor::leaf(&[2, 3], vec![0.0; 6]);
+        t.sum_axis(0).sum_all().backward();
+        assert_eq!(t.grad(), vec![1.0; 6]);
+    }
+
+    #[test]
+    fn sum_axis_rank1_gives_scalar() {
+        let t = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let s = t.sum_axis(0);
+        assert_eq!(s.dims().len(), 0);
+        assert_eq!(s.item(), 6.0);
+    }
+
+    #[test]
+    fn mean_axis_gradcheck() {
+        let t = Tensor::leaf(&[3, 2], vec![0.1, -0.4, 0.8, 0.3, -0.2, 0.6]);
+        gradcheck::check(|| t.mean_axis(0).square().sum_all(), &[t.clone()], 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.7]);
+        assert_eq!(t.argmax_axis(1), vec![1, 0]); // tie resolves to first
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_axis_panics() {
+        Tensor::ones(&[2]).sum_axis(1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Shape-changing ops: reshape, transpose, select, concat, stack.
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::Shape;
+
+impl Tensor {
+    /// Returns a tensor with the same elements in a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} elements into {shape}",
+            self.len()
+        );
+        let p = self.clone();
+        make_node(shape, self.to_vec(), vec![self.clone()], move |g, _| {
+            p.accumulate_grad(g);
+        })
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.dims().len(), 2, "transpose expects a rank-2 tensor");
+        let (n, m) = (self.dims()[0], self.dims()[1]);
+        let data = self.data();
+        let mut out = vec![0.0; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = data[i * m + j];
+            }
+        }
+        drop(data);
+        let p = self.clone();
+        make_node(Shape::new(&[m, n]), out, vec![self.clone()], move |g, _| {
+            let mut gx = vec![0.0; n * m];
+            for i in 0..n {
+                for j in 0..m {
+                    gx[i * m + j] = g[j * n + i];
+                }
+            }
+            p.accumulate_grad(&gx);
+        })
+    }
+
+    /// Extracts the `index`-th hyperplane along `axis`, removing that axis.
+    ///
+    /// `select(1, k)` on a `[batch, time, features]` tensor yields the
+    /// `[batch, features]` slice at time step `k` — the op that feeds each
+    /// discrete filter-update step during BPTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` or `index` are out of range, or on rank-0 input.
+    pub fn select(&self, axis: usize, index: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(!dims.is_empty(), "cannot select from a scalar");
+        assert!(axis < dims.len(), "axis {axis} out of range for {dims:?}");
+        assert!(
+            index < dims[axis],
+            "index {index} out of range for axis of extent {}",
+            dims[axis]
+        );
+        let axis_len = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+        let out_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        let out_shape = if out_dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&out_dims)
+        };
+
+        let data = self.data();
+        let mut out = Vec::with_capacity(outer * inner);
+        for o in 0..outer {
+            let base = (o * axis_len + index) * inner;
+            out.extend_from_slice(&data[base..base + inner]);
+        }
+        drop(data);
+
+        let p = self.clone();
+        make_node(out_shape, out, vec![self.clone()], move |g, _| {
+            let mut gx = vec![0.0; p.len()];
+            for o in 0..outer {
+                let base = (o * axis_len + index) * inner;
+                gx[base..base + inner].copy_from_slice(&g[o * inner..(o + 1) * inner]);
+            }
+            p.accumulate_grad(&gx);
+        })
+    }
+
+    /// Concatenates tensors along an existing axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty, ranks differ, or non-`axis` extents
+    /// differ.
+    pub fn concat(tensors: &[Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let first = tensors[0].dims().to_vec();
+        assert!(axis < first.len(), "axis {axis} out of range for {first:?}");
+        let mut axis_total = 0;
+        for t in tensors {
+            let d = t.dims();
+            assert_eq!(d.len(), first.len(), "concat rank mismatch");
+            for (i, (&a, &b)) in d.iter().zip(&first).enumerate() {
+                if i != axis {
+                    assert_eq!(a, b, "concat extent mismatch on axis {i}");
+                }
+            }
+            axis_total += d[axis];
+        }
+        let mut out_dims = first.clone();
+        out_dims[axis] = axis_total;
+        let inner: usize = first[axis + 1..].iter().product();
+        let outer: usize = first[..axis].iter().product();
+
+        let mut out = vec![0.0; out_dims.iter().product()];
+        let mut axis_off = 0;
+        for t in tensors {
+            let alen = t.dims()[axis];
+            let data = t.data();
+            for o in 0..outer {
+                let src = o * alen * inner;
+                let dst = (o * axis_total + axis_off) * inner;
+                out[dst..dst + alen * inner].copy_from_slice(&data[src..src + alen * inner]);
+            }
+            axis_off += alen;
+        }
+
+        let parents: Vec<Tensor> = tensors.to_vec();
+        let parents_bw = parents.clone();
+        make_node(Shape::new(&out_dims), out, parents, move |g, _| {
+            let mut axis_off = 0;
+            for t in &parents_bw {
+                let alen = t.dims()[axis];
+                if t.inner.requires_grad {
+                    let mut gx = vec![0.0; t.len()];
+                    for o in 0..outer {
+                        let dst = o * alen * inner;
+                        let src = (o * axis_total + axis_off) * inner;
+                        gx[dst..dst + alen * inner].copy_from_slice(&g[src..src + alen * inner]);
+                    }
+                    t.accumulate_grad(&gx);
+                }
+                axis_off += alen;
+            }
+        })
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty or shapes differ.
+    pub fn stack(tensors: &[Tensor]) -> Tensor {
+        assert!(!tensors.is_empty(), "stack of zero tensors");
+        let mut dims = vec![1];
+        dims.extend_from_slice(tensors[0].dims());
+        let reshaped: Vec<Tensor> = tensors
+            .iter()
+            .map(|t| {
+                assert_eq!(t.dims(), tensors[0].dims(), "stack shape mismatch");
+                t.reshape(&dims)
+            })
+            .collect();
+        Tensor::concat(&reshaped, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck;
+    use crate::Tensor;
+
+    #[test]
+    fn reshape_round_trip() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f64).collect());
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.dims(), &[3, 2]);
+        assert_eq!(r.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn transpose_values_and_grad() {
+        let t = Tensor::leaf(&[2, 3], (0..6).map(|v| v as f64).collect());
+        let tt = t.transpose();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), t.at(&[1, 2]));
+        let w = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        tt.mul(&w).sum_all().backward();
+        // grad of t[i,j] is w[j,i]
+        assert_eq!(t.grad(), vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_time_step() {
+        // [batch=2, time=3, feat=2]
+        let x = Tensor::from_vec(&[2, 3, 2], (0..12).map(|v| v as f64).collect());
+        let t1 = x.select(1, 1);
+        assert_eq!(t1.dims(), &[2, 2]);
+        assert_eq!(t1.to_vec(), vec![2.0, 3.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn select_grad_scatters() {
+        let x = Tensor::leaf(&[2, 3], (0..6).map(|v| v as f64).collect());
+        x.select(1, 2).sum_all().backward();
+        assert_eq!(x.grad(), vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn select_gradcheck() {
+        let x = Tensor::leaf(&[2, 3, 2], (0..12).map(|v| 0.1 * v as f64).collect());
+        gradcheck::check(|| x.select(1, 1).square().sum_all(), &[x.clone()], 1e-6);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[1, 2], vec![3.0, 4.0]);
+        let c0 = Tensor::concat(&[a.clone(), b.clone()], 0);
+        assert_eq!(c0.dims(), &[2, 2]);
+        assert_eq!(c0.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let c1 = Tensor::concat(&[a, b], 1);
+        assert_eq!(c1.dims(), &[1, 4]);
+        assert_eq!(c1.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_grad_splits() {
+        let a = Tensor::leaf(&[1, 2], vec![1.0, 2.0]);
+        let b = Tensor::leaf(&[1, 2], vec![3.0, 4.0]);
+        let w = Tensor::from_vec(&[2, 2], vec![10.0, 20.0, 30.0, 40.0]);
+        Tensor::concat(&[a.clone(), b.clone()], 0)
+            .mul(&w)
+            .sum_all()
+            .backward();
+        assert_eq!(a.grad(), vec![10.0, 20.0]);
+        assert_eq!(b.grad(), vec![30.0, 40.0]);
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn bad_reshape_panics() {
+        Tensor::ones(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack shape mismatch")]
+    fn stack_mismatch_panics() {
+        Tensor::stack(&[Tensor::ones(&[2]), Tensor::ones(&[3])]);
+    }
+}

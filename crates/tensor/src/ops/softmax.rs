@@ -1,0 +1,112 @@
+//! Numerically stable fused `log_softmax` over the last axis of a rank-2
+//! tensor — the classification head of every model in the reproduction.
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::Scalar;
+
+impl Tensor {
+    /// Log-softmax along the last axis of a rank-2 tensor `[batch, classes]`.
+    ///
+    /// Computed as `x - max(x) - ln Σ exp(x - max(x))` per row for stability;
+    /// the backward rule is the fused `g - softmax(x) · Σ g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ptnc_tensor::Tensor;
+    /// let logits = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+    /// let ls = logits.log_softmax();
+    /// assert!((ls.to_vec()[0] - (0.5f64).ln()).abs() < 1e-12);
+    /// ```
+    pub fn log_softmax(&self) -> Tensor {
+        assert_eq!(self.dims().len(), 2, "log_softmax expects [batch, classes]");
+        let (n, c) = (self.dims()[0], self.dims()[1]);
+        let data = self.data();
+        let mut out = vec![0.0; n * c];
+        for i in 0..n {
+            let row = &data[i * c..(i + 1) * c];
+            let mx = row.iter().cloned().fold(Scalar::NEG_INFINITY, Scalar::max);
+            let lse = row.iter().map(|&v| (v - mx).exp()).sum::<Scalar>().ln() + mx;
+            for j in 0..c {
+                out[i * c + j] = row[j] - lse;
+            }
+        }
+        drop(data);
+
+        let p = self.clone();
+        make_node(self.shape().clone(), out, vec![self.clone()], move |g, out_data| {
+            let mut gx = vec![0.0; n * c];
+            for i in 0..n {
+                let gsum: Scalar = g[i * c..(i + 1) * c].iter().sum();
+                for j in 0..c {
+                    let sm = out_data[i * c + j].exp();
+                    gx[i * c + j] = g[i * c + j] - sm * gsum;
+                }
+            }
+            p.accumulate_grad(&gx);
+        })
+    }
+
+    /// Softmax along the last axis of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn softmax(&self) -> Tensor {
+        self.log_softmax().exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck;
+    use crate::Tensor;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = x.softmax().to_vec();
+        let row0: f64 = s[0..3].iter().sum();
+        let row1: f64 = s[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-12);
+        assert!((row1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let x = Tensor::from_vec(&[1, 2], vec![1000.0, 1000.0]);
+        let s = x.log_softmax().to_vec();
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!((s[0] - (0.5f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariant_to_shift() {
+        let a = Tensor::from_vec(&[1, 3], vec![0.1, 0.2, 0.3]);
+        let b = Tensor::from_vec(&[1, 3], vec![100.1, 100.2, 100.3]);
+        let la = a.log_softmax().to_vec();
+        let lb = b.log_softmax().to_vec();
+        for (x, y) in la.iter().zip(&lb) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradcheck_log_softmax() {
+        let x = Tensor::leaf(&[2, 3], vec![0.3, -0.7, 0.1, 1.2, 0.0, -0.5]);
+        // A non-uniform downstream function so gsum != 0.
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 0.5, 0.3, 2.0, -1.0]);
+        gradcheck::check(|| x.log_softmax().mul(&w).sum_all(), &[x.clone()], 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects [batch, classes]")]
+    fn rank1_panics() {
+        Tensor::ones(&[3]).log_softmax();
+    }
+}

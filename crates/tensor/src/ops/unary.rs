@@ -1,0 +1,188 @@
+//! Pointwise nonlinearities and unary maps.
+
+use crate::ops::make_node;
+use crate::tensor::Tensor;
+use crate::Scalar;
+
+/// Generic pointwise op: `f` computes the value, `df(x, y)` returns dy/dx
+/// given the input `x` and the already-computed output `y` (letting `tanh`
+/// reuse its output).
+fn unary_op(
+    x: &Tensor,
+    f: impl Fn(Scalar) -> Scalar,
+    df: impl Fn(Scalar, Scalar) -> Scalar + 'static,
+) -> Tensor {
+    let out: Vec<Scalar> = x.data().iter().map(|&v| f(v)).collect();
+    let p = x.clone();
+    make_node(x.shape().clone(), out, vec![x.clone()], move |g, out_data| {
+        let gx: Vec<Scalar> = {
+            let xd = p.data();
+            (0..xd.len()).map(|i| g[i] * df(xd[i], out_data[i])).collect()
+        };
+        p.accumulate_grad(&gx);
+    })
+}
+
+impl Tensor {
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Elementwise hyperbolic tangent — the transfer shape of the printed
+    /// `ptanh` activation circuit.
+    pub fn tanh(&self) -> Tensor {
+        unary_op(self, |v| v.tanh(), |_, y| 1.0 - y * y)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        unary_op(self, |v| 1.0 / (1.0 + (-v).exp()), |_, y| y * (1.0 - y))
+    }
+
+    /// Elementwise absolute value, used by the printed-crossbar conductance
+    /// normalization `w = θ / Σ|θ|`. The subgradient at 0 is taken as 0.
+    pub fn abs(&self) -> Tensor {
+        unary_op(
+            self,
+            |v| v.abs(),
+            |x, _| {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            },
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        unary_op(self, |v| v.exp(), |_, y| y)
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// Follows IEEE-754 for non-positive inputs (−inf/NaN); callers keep
+    /// arguments positive (conductances, capacitances, softmax outputs).
+    pub fn ln(&self) -> Tensor {
+        unary_op(self, |v| v.ln(), |x, _| 1.0 / x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        unary_op(self, |v| v.sqrt(), |_, y| 0.5 / y)
+    }
+
+    /// Elementwise square (`x * x` with a single graph node).
+    pub fn square(&self) -> Tensor {
+        unary_op(self, |v| v * v, |x, _| 2.0 * x)
+    }
+
+    /// Elementwise softplus `ln(1 + e^x)`, the smooth positivity map used to
+    /// keep printed component values (R, C) strictly positive while training
+    /// them in an unconstrained space.
+    pub fn softplus(&self) -> Tensor {
+        unary_op(
+            self,
+            |v| {
+                // Numerically stable: softplus(x) = max(x,0) + ln(1+e^{-|x|})
+                v.max(0.0) + (-v.abs()).exp().ln_1p()
+            },
+            |x, _| 1.0 / (1.0 + (-x).exp()),
+        )
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Tensor {
+        unary_op(self, |v| v.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Clamps every element to `[lo, hi]`. Gradient passes only where the
+    /// input is strictly inside the interval (projection-style subgradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: Scalar, hi: Scalar) -> Tensor {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        unary_op(
+            self,
+            move |v| v.clamp(lo, hi),
+            move |x, _| if x > lo && x < hi { 1.0 } else { 0.0 },
+        )
+    }
+
+    /// Raises every element to the power `p` (for non-integer `p` inputs must
+    /// be positive).
+    pub fn powf(&self, p: Scalar) -> Tensor {
+        unary_op(self, move |v| v.powf(p), move |x, _| p * x.powf(p - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck::check_unary;
+    use crate::Tensor;
+
+    #[test]
+    fn tanh_values_and_grad() {
+        let x = Tensor::leaf(&[3], vec![-1.0, 0.0, 1.0]);
+        let y = x.tanh();
+        assert!((y.to_vec()[1]).abs() < 1e-12);
+        y.sum_all().backward();
+        let g = x.grad();
+        assert!((g[1] - 1.0).abs() < 1e-12); // sech^2(0) = 1
+    }
+
+    #[test]
+    fn abs_subgradient() {
+        let x = Tensor::leaf(&[3], vec![-2.0, 0.0, 3.0]);
+        x.abs().sum_all().backward();
+        assert_eq!(x.grad(), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softplus_positive_and_stable() {
+        let x = Tensor::from_vec(&[3], vec![-800.0, 0.0, 800.0]);
+        let y = x.softplus().to_vec();
+        assert!(y[0] >= 0.0 && y[0] < 1e-10);
+        assert!((y[1] - (2.0_f64).ln()).abs() < 1e-12);
+        assert!((y[2] - 800.0).abs() < 1e-9);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn clamp_gradient_masks_boundary() {
+        let x = Tensor::leaf(&[3], vec![-2.0, 0.5, 2.0]);
+        x.clamp(-1.0, 1.0).sum_all().backward();
+        assert_eq!(x.grad(), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn numerical_gradients_match() {
+        check_unary(|t| t.tanh(), &[-0.9, -0.1, 0.0, 0.4, 1.3], 1e-6);
+        check_unary(|t| t.sigmoid(), &[-2.0, 0.0, 2.0], 1e-6);
+        check_unary(|t| t.exp(), &[-1.0, 0.0, 1.0], 1e-6);
+        check_unary(|t| t.ln(), &[0.5, 1.0, 3.0], 1e-6);
+        check_unary(|t| t.sqrt(), &[0.25, 1.0, 4.0], 1e-6);
+        check_unary(|t| t.square(), &[-2.0, 0.5, 3.0], 1e-6);
+        check_unary(|t| t.softplus(), &[-3.0, 0.0, 3.0], 1e-6);
+        check_unary(|t| t.powf(1.7), &[0.5, 1.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn relu_grad() {
+        let x = Tensor::leaf(&[2], vec![-1.0, 2.0]);
+        x.relu().sum_all().backward();
+        assert_eq!(x.grad(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn neg_is_scale() {
+        let x = Tensor::from_vec(&[2], vec![1.0, -2.0]);
+        assert_eq!(x.neg().to_vec(), vec![-1.0, 2.0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Shape bookkeeping: row-major strides and NumPy-style broadcasting.
+
+use std::fmt;
+
+/// The extents of a tensor's axes, row-major.
+///
+/// A scalar is represented by the empty shape `[]` with one element.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_tensor::Shape;
+/// let s = Shape::new(&[2, 3]);
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.strides(), vec![3, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero; empty tensors are not used by this crate.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized axes are not supported (got {dims:?})"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar shape `[]`.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements (1 for a scalar).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.ndim(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(self.0.iter())
+            .zip(strides.iter())
+            .map(|((&i, &d), &s)| {
+                assert!(i < d, "index {i} out of bounds for axis of extent {d}");
+                i * s
+            })
+            .sum()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+/// Computes the broadcast result shape of two shapes, NumPy style: shapes are
+/// right-aligned and each axis pair must be equal or contain a 1.
+///
+/// Returns `None` if the shapes are incompatible.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_tensor::{broadcast_shapes, Shape};
+/// let out = broadcast_shapes(&Shape::new(&[4, 3]), &Shape::new(&[3])).unwrap();
+/// assert_eq!(out.dims(), &[4, 3]);
+/// assert!(broadcast_shapes(&Shape::new(&[4, 3]), &Shape::new(&[2])).is_none());
+/// ```
+pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Option<Shape> {
+    let ndim = a.ndim().max(b.ndim());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.ndim() { 1 } else { a.dim(i - (ndim - a.ndim())) };
+        let db = if i < ndim - b.ndim() { 1 } else { b.dim(i - (ndim - b.ndim())) };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(Shape(out))
+}
+
+/// Iterator over all multi-indices of a shape, row-major order.
+pub(crate) fn indices(shape: &Shape) -> impl Iterator<Item = Vec<usize>> + '_ {
+    let n = shape.len();
+    let dims = shape.dims().to_vec();
+    (0..n).map(move |mut flat| {
+        let mut idx = vec![0; dims.len()];
+        for i in (0..dims.len()).rev() {
+            idx[i] = flat % dims[i];
+            flat /= dims[i];
+        }
+        idx
+    })
+}
+
+/// Maps a multi-index in the broadcast output space back to a flat offset in a
+/// (possibly lower-rank, possibly extent-1) input shape.
+pub(crate) fn broadcast_offset(input: &Shape, out_index: &[usize]) -> usize {
+    let pad = out_index.len() - input.ndim();
+    let strides = input.strides();
+    let mut off = 0;
+    for (i, &s) in strides.iter().enumerate() {
+        let oi = out_index[pad + i];
+        let extent = input.dim(i);
+        off += if extent == 1 { 0 } else { oi * s };
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[3, 5]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[2, 4]), 14);
+        assert_eq!(s.offset(&[1, 2]), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_compatible() {
+        let out = broadcast_shapes(&Shape::new(&[2, 1, 4]), &Shape::new(&[3, 1])).unwrap();
+        assert_eq!(out.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn broadcast_identical() {
+        let out = broadcast_shapes(&Shape::new(&[5, 5]), &Shape::new(&[5, 5])).unwrap();
+        assert_eq!(out.dims(), &[5, 5]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let out = broadcast_shapes(&Shape::scalar(), &Shape::new(&[7])).unwrap();
+        assert_eq!(out.dims(), &[7]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&Shape::new(&[3]), &Shape::new(&[4])).is_none());
+    }
+
+    #[test]
+    fn indices_cover_all() {
+        let s = Shape::new(&[2, 2]);
+        let all: Vec<_> = indices(&s).collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn broadcast_offset_extent_one() {
+        // input [1, 3] broadcast over output [4, 3]
+        let input = Shape::new(&[1, 3]);
+        assert_eq!(broadcast_offset(&input, &[2, 1]), 1);
+        assert_eq!(broadcast_offset(&input, &[3, 2]), 2);
+        // input [3] (lower rank) broadcast over [4, 3]
+        let row = Shape::new(&[3]);
+        assert_eq!(broadcast_offset(&row, &[2, 2]), 2);
+    }
+}

@@ -1,0 +1,380 @@
+//! The [`Tensor`] type: a reference-counted, row-major `f64` array that is a
+//! node in a dynamically recorded computation graph.
+
+use std::cell::{Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::graph::BackwardFn;
+use crate::{Scalar, Shape};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) struct Inner {
+    pub(crate) id: u64,
+    pub(crate) shape: Shape,
+    pub(crate) data: RefCell<Vec<Scalar>>,
+    pub(crate) grad: RefCell<Option<Vec<Scalar>>>,
+    pub(crate) requires_grad: bool,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+/// A dense, row-major `f64` tensor participating in an autodiff graph.
+///
+/// Cloning a `Tensor` is cheap (reference-counted); the underlying buffer is
+/// shared. Tensors are single-threaded by design — training in this
+/// reproduction is sequential per dataset, exactly like the paper's
+/// full-batch setup.
+///
+/// # Example
+///
+/// ```
+/// use ptnc_tensor::Tensor;
+/// let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+/// assert_eq!(x.sum_all().item(), 6.0);
+/// ```
+#[derive(Clone)]
+pub struct Tensor {
+    pub(crate) inner: Rc<Inner>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates a non-differentiable tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<Scalar>) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Self::raw(shape, data, false, Vec::new(), None)
+    }
+
+    /// Creates a differentiable leaf (a trainable parameter) from a buffer.
+    ///
+    /// Equivalent to `Tensor::from_vec(..).requires_grad()`.
+    pub fn leaf(dims: &[usize], data: Vec<Scalar>) -> Self {
+        Self::from_vec(dims, data).requires_grad()
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: Scalar) -> Self {
+        Self::raw(Shape::scalar(), vec![value], false, Vec::new(), None)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: Scalar) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        Self::raw(shape, vec![value; n], false, Vec::new(), None)
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Self::full(dims, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    pub(crate) fn raw(
+        shape: Shape,
+        data: Vec<Scalar>,
+        requires_grad: bool,
+        parents: Vec<Tensor>,
+        backward: Option<BackwardFn>,
+    ) -> Self {
+        debug_assert_eq!(data.len(), shape.len());
+        Tensor {
+            inner: Rc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad,
+                parents,
+                backward,
+            }),
+        }
+    }
+
+    /// Marks this tensor as a differentiable leaf and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-leaf (a tensor produced by an op), because
+    /// gradients would silently not flow past it.
+    pub fn requires_grad(self) -> Self {
+        assert!(
+            self.inner.backward.is_none(),
+            "requires_grad() may only be called on leaf tensors"
+        );
+        if self.inner.requires_grad {
+            return self;
+        }
+        let data = self.inner.data.borrow().clone();
+        Self::raw(self.inner.shape.clone(), data, true, Vec::new(), None)
+    }
+
+    /// Returns a non-differentiable copy sharing no graph history.
+    pub fn detach(&self) -> Self {
+        Self::raw(
+            self.inner.shape.clone(),
+            self.inner.data.borrow().clone(),
+            false,
+            Vec::new(),
+            None,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// A unique, monotonically increasing node identifier.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.inner.shape
+    }
+
+    /// Axis extents, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.inner.shape.dims()
+    }
+
+    /// Total number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.inner.shape.len()
+    }
+
+    /// Whether this tensor participates in gradient computation.
+    pub fn is_differentiable(&self) -> bool {
+        self.inner.requires_grad
+    }
+
+    /// Borrows the underlying buffer.
+    pub fn data(&self) -> Ref<'_, Vec<Scalar>> {
+        self.inner.data.borrow()
+    }
+
+    /// Copies the underlying buffer out.
+    pub fn to_vec(&self) -> Vec<Scalar> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// The value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> Scalar {
+        assert_eq!(self.len(), 1, "item() requires a single-element tensor");
+        self.inner.data.borrow()[0]
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong rank.
+    pub fn at(&self, index: &[usize]) -> Scalar {
+        let off = self.inner.shape.offset(index);
+        self.inner.data.borrow()[off]
+    }
+
+    /// Overwrites the buffer in place (used by optimizers for parameter
+    /// updates and printable-range projection). The graph, if any, is
+    /// unaffected — only leaves should be mutated this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has the wrong length.
+    pub fn set_data(&self, data: Vec<Scalar>) {
+        assert_eq!(data.len(), self.len(), "set_data length mismatch");
+        *self.inner.data.borrow_mut() = data;
+    }
+
+    /// Applies `f` to every element of the buffer in place.
+    pub fn map_data_in_place(&self, mut f: impl FnMut(Scalar) -> Scalar) {
+        for v in self.inner.data.borrow_mut().iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gradients
+    // ------------------------------------------------------------------
+
+    /// The accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no gradient has been accumulated (run [`Tensor::backward`]
+    /// on a scalar loss first).
+    pub fn grad(&self) -> Vec<Scalar> {
+        self.inner
+            .grad
+            .borrow()
+            .clone()
+            .expect("no gradient accumulated; call backward() on a loss first")
+    }
+
+    /// The accumulated gradient, or `None` if backward has not reached this
+    /// tensor.
+    pub fn grad_opt(&self) -> Option<Vec<Scalar>> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.borrow_mut() = None;
+    }
+
+    pub(crate) fn accumulate_grad(&self, g: &[Scalar]) {
+        debug_assert_eq!(g.len(), self.len());
+        let mut slot = self.inner.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(acc) => {
+                for (a, &b) in acc.iter_mut().zip(g) {
+                    *a += b;
+                }
+            }
+            None => *slot = Some(g.to_vec()),
+        }
+    }
+}
+
+impl Drop for Inner {
+    /// Iterative graph teardown. Long BPTT chains (64+ filter steps per
+    /// layer, thousands of nodes) would otherwise overflow the stack through
+    /// recursive `Rc` drops.
+    fn drop(&mut self) {
+        if self.parents.is_empty() {
+            return;
+        }
+        let mut stack: Vec<Tensor> = std::mem::take(&mut self.parents);
+        // Backward closures capture clones of the same parents; drop the
+        // closure while `stack` still keeps those parents alive so the
+        // captured references cannot recurse.
+        self.backward = None;
+        while let Some(t) = stack.pop() {
+            if let Ok(mut inner) = Rc::try_unwrap(t.inner) {
+                stack.append(&mut inner.parents);
+                inner.backward = None;
+                // `inner` now drops with no parents and no closure.
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let data = self.inner.data.borrow();
+        let preview: Vec<Scalar> = data.iter().take(8).copied().collect();
+        let ellipsis = if data.len() > 8 { ", …" } else { "" };
+        write!(
+            f,
+            "Tensor(shape={}, grad={}, data={preview:?}{ellipsis})",
+            self.inner.shape, self.inner.requires_grad
+        )
+    }
+}
+
+impl From<Scalar> for Tensor {
+    fn from(value: Scalar) -> Self {
+        Tensor::scalar(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_accessors() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert!(!t.is_differentiable());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-element")]
+    fn item_on_vector_panics() {
+        Tensor::ones(&[2]).item();
+    }
+
+    #[test]
+    fn leaf_is_differentiable() {
+        let t = Tensor::leaf(&[2], vec![1.0, 2.0]);
+        assert!(t.is_differentiable());
+    }
+
+    #[test]
+    fn detach_breaks_grad() {
+        let t = Tensor::leaf(&[2], vec![1.0, 2.0]);
+        assert!(!t.detach().is_differentiable());
+        assert_eq!(t.detach().to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn set_data_and_map() {
+        let t = Tensor::zeros(&[3]);
+        t.set_data(vec![1.0, 2.0, 3.0]);
+        t.map_data_in_place(|v| v * 2.0);
+        assert_eq!(t.to_vec(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_accumulates() {
+        let t = Tensor::leaf(&[2], vec![0.0, 0.0]);
+        t.accumulate_grad(&[1.0, 2.0]);
+        t.accumulate_grad(&[0.5, 0.5]);
+        assert_eq!(t.grad(), vec![1.5, 2.5]);
+        t.zero_grad();
+        assert!(t.grad_opt().is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Tensor::zeros(&[1]);
+        let b = Tensor::zeros(&[1]);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Tensor::ones(&[2]));
+        assert!(s.contains("Tensor"));
+    }
+}

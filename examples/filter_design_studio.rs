@@ -1,0 +1,63 @@
+//! Filter design studio: use the SPICE substrate interactively the way the
+//! paper's authors used Cadence Virtuoso (§IV-A1) — inspect the printed
+//! filters' magnitude/step responses, calibrate the coupling factor μ, and
+//! fit the ptanh activation from the EGT transfer circuit.
+//!
+//! ```text
+//! cargo run --release -p adapt-pnc --example filter_design_studio
+//! ```
+
+use adapt_pnc::filter_design::{
+    fit_ptanh, magnitude_response, measure_mu, ptanh_transfer_sweep, step_response,
+};
+
+fn main() {
+    println!("=== printed filter design studio ===");
+    println!();
+
+    // 1. Sweep candidate R/C values and report cutoff frequencies.
+    println!("candidate SO-LF designs (per-stage R, C -> cutoff, rolloff):");
+    for &(r, c) in &[(200.0, 1e-5), (500.0, 5e-5), (800.0, 1e-4)] {
+        let sweep = magnitude_response(2, r, c, None, 0.01, 1e3, 8).expect("ac");
+        let fc = sweep
+            .cutoff_frequency()
+            .map(|f| format!("{f:7.3} Hz"))
+            .unwrap_or_else(|| "   n/a".into());
+        let roll = sweep.rolloff_db_per_decade().unwrap_or(f64::NAN);
+        println!("  R = {r:6.0} Ω, C = {:6.1} µF -> fc = {fc}, {roll:.0} dB/dec", c * 1e6);
+    }
+    println!();
+
+    // 2. How badly does a crossbar load the filter? Calibrate μ.
+    println!("coupling factor μ vs crossbar load (R = 800 Ω, C = 100 µF):");
+    for &load in &[2e3, 10e3, 50e3, 250e3] {
+        let mu = measure_mu(800.0, 1e-4, load, 0.01).expect("mu");
+        println!("  load {load:>9.0} Ω -> μ = {mu:.3}");
+    }
+    println!("  (the paper trains with μ ~ U[1, 1.3] to absorb this spread)");
+    println!();
+
+    // 3. Fit the ptanh activation parameters from the EGT circuit.
+    println!("fitting ptanh(V) = η1 + η2·tanh((V − η3)·η4) to the EGT transfer circuit:");
+    let sweep = ptanh_transfer_sweep(41).expect("dc sweep");
+    let eta = fit_ptanh(&sweep);
+    println!(
+        "  η = [{:.3}, {:.3}, {:.3}, {:.3}]  (circuit domain, 0..1 V)",
+        eta[0], eta[1], eta[2], eta[3]
+    );
+    let worst = sweep
+        .iter()
+        .map(|&(x, y)| (eta[0] + eta[1] * ((x - eta[2]) * eta[3]).tanh() - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("  max fit error over the sweep: {worst:.4} V");
+    println!();
+
+    // 4. Compare first- vs second-order step responses at one design point.
+    println!("step response (R = 500 Ω, C = 50 µF, loaded by 20 kΩ), every 25 ms:");
+    println!("  {:<8} {:>8} {:>8}", "t_s", "1st", "2nd");
+    let (t, v1) = step_response(1, 500.0, 5e-5, Some(20e3), 0.25, 1e-3).expect("tran");
+    let (_, v2) = step_response(2, 500.0, 5e-5, Some(20e3), 0.25, 1e-3).expect("tran");
+    for (i, &ti) in t.iter().enumerate().step_by(25) {
+        println!("  {ti:<8.3} {:>8.4} {:>8.4}", v1[i], v2[i]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Pre-tapeout checklist for a printed classifier: train, persist the design
+//! file, re-verify the restored model, cross-validate the training-time
+//! circuit model against a SPICE-level netlist of the printed column, and
+//! estimate manufacturing yield under catastrophic printing defects.
+//!
+//! ```text
+//! cargo run --release -p adapt-pnc --example tapeout_check
+//! ```
+
+use adapt_pnc::eval::{dataset_to_steps, evaluate, EvalCondition};
+use adapt_pnc::experiments::prepare_split;
+use adapt_pnc::faults::{yield_rate, FaultConfig};
+use adapt_pnc::netlist_export::cross_validate_column;
+use adapt_pnc::persist;
+use adapt_pnc::prelude::*;
+use ptnc_tensor::init;
+
+fn main() {
+    let pdk = Pdk::paper_default();
+
+    // 1. Train the classifier destined for printing.
+    let spec = ptnc_datasets::all_specs()
+        .iter()
+        .find(|s| s.name == "GPOVY")
+        .expect("GPOVY registered");
+    let split = prepare_split(spec, 0);
+    let epochs = std::env::var("PNC_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    println!("[1/4] training ADAPT-pNC on {} ({epochs} epochs)...", spec.name);
+    let trained = train(&split, &TrainConfig::adapt_pnc(6).with_epochs(epochs), 0);
+    let acc = evaluate(&trained.model, &split.test, &EvalCondition::paper_test(), 0);
+    println!("      robust test accuracy: {acc:.3}");
+
+    // 2. Persist and restore the design file; behaviour must be identical.
+    println!("[2/4] writing + re-reading the design file...");
+    let json = persist::to_json(&trained.model);
+    let restored = persist::from_json(&json).expect("design file round-trips");
+    let (steps, _) = dataset_to_steps(&split.test);
+    let a = trained.model.forward_nominal(&steps).to_vec();
+    let b = restored.forward_nominal(&steps).to_vec();
+    let drift = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("      {} bytes, max logit drift after restore: {drift:.2e}", json.len());
+
+    // 3. Cross-validate one crossbar+SO-LF column against its SPICE netlist.
+    println!("[3/4] SPICE cross-validation of layer 2, column 0...");
+    // Re-pin the filters to design-rule values (large C) for the check.
+    let layer = trained.model.layers()[1].clone();
+    for (i, p) in layer.filters().parameters().iter().enumerate() {
+        let v = if i % 2 == 0 { 800.0f64.ln() } else { 1e-4f64.ln() };
+        p.set_data(vec![v; p.len()]);
+    }
+    let inputs: Vec<Vec<f64>> = (0..40)
+        .map(|k| (0..layer.crossbar().fan_in()).map(|i| (0.3 * (k + i) as f64).sin() * 0.5).collect())
+        .collect();
+    match cross_validate_column(&layer, 0, &inputs, &pdk) {
+        Ok(cv) => println!(
+            "      abstract vs SPICE: rms {:.4} V, max {:.4} V over {} samples (mu = {:?})",
+            cv.rms_error, cv.max_error, cv.samples, cv.mu
+        ),
+        Err(e) => println!("      SPICE cross-validation failed: {e}"),
+    }
+
+    // 4. Yield under catastrophic defects.
+    println!("[4/4] estimating batch yield under printing defects...");
+    let (steps, labels) = dataset_to_steps(&split.test);
+    let fault_free = ptnc_nn::accuracy(&trained.model.forward_nominal(&steps), &labels);
+    let mut rng = init::rng(123);
+    for open_rate in [0.01, 0.05, 0.10] {
+        let cfg = FaultConfig {
+            open_rate,
+            stuck_max_rate: open_rate / 2.0,
+            ..FaultConfig::typical()
+        };
+        let y = yield_rate(
+            &trained.model,
+            &steps,
+            &labels,
+            &cfg,
+            &pdk,
+            0.9 * fault_free,
+            25,
+            &mut rng,
+        );
+        println!("      {:>4.1}% opens -> yield {:.0}%", open_rate * 100.0, y * 100.0);
+    }
+    println!("done.");
+}

@@ -1,0 +1,115 @@
+//! Augmentation ↔ dataset integration: the paper's §III-B pipeline applied to
+//! real benchmark data, including the training-side contract (labels
+//! preserved, lengths preserved, determinism, distribution widening).
+
+use adapt_pnc::eval::perturb_dataset;
+use ptnc_augment::{Augment, Compose};
+use ptnc_datasets::preprocess::Preprocess;
+use ptnc_datasets::{benchmark_by_name, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn powercons() -> Dataset {
+    Preprocess::paper_default().apply(&benchmark_by_name("PowerCons", 0).unwrap())
+}
+
+#[test]
+fn perturbation_preserves_structure() {
+    let ds = powercons();
+    let p = perturb_dataset(&ds, 0.5, 0);
+    assert_eq!(p.len(), ds.len());
+    assert_eq!(p.series_len(), ds.series_len());
+    assert_eq!(p.num_classes(), ds.num_classes());
+    for (a, b) in ds.iter().zip(p.iter()) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.values.len(), b.values.len());
+        assert!(b.values.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn perturbation_is_seeded() {
+    let ds = powercons();
+    let a = perturb_dataset(&ds, 0.5, 42);
+    let b = perturb_dataset(&ds, 0.5, 42);
+    let c = perturb_dataset(&ds, 0.5, 43);
+    assert_eq!(a.items()[0].values, b.items()[0].values);
+    assert_ne!(a.items()[0].values, c.items()[0].values);
+}
+
+#[test]
+fn zero_strength_is_near_identity() {
+    // strength → 0 collapses every stage toward identity (jitter σ→0,
+    // warp→0, scale→1, crop→full, freq σ→0).
+    let ds = powercons();
+    let p = perturb_dataset(&ds, 1e-9, 7);
+    for (orig, pert) in ds.iter().zip(p.iter()) {
+        for (x, y) in orig.values.iter().zip(&pert.values) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn stronger_pipelines_move_series_farther() {
+    let ds = powercons();
+    let dist = |strength: f64| -> f64 {
+        let p = perturb_dataset(&ds, strength, 5);
+        ds.iter()
+            .zip(p.iter())
+            .map(|(a, b)| {
+                a.values
+                    .iter()
+                    .zip(&b.values)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .sum::<f64>()
+            / ds.len() as f64
+    };
+    let weak = dist(0.1);
+    let strong = dist(0.9);
+    assert!(strong > 2.0 * weak, "strength scaling broken: {weak} vs {strong}");
+}
+
+#[test]
+fn augmented_copies_widen_the_training_distribution() {
+    // Merging augmented copies (the paper's AT recipe) must increase the
+    // dataset's spread around each class mean.
+    let ds = powercons();
+    let spread = |d: &Dataset| -> f64 {
+        let n = d.series_len();
+        let mut mean = vec![0.0; n];
+        for it in d.iter() {
+            for (m, &v) in mean.iter_mut().zip(&it.values) {
+                *m += v / d.len() as f64;
+            }
+        }
+        d.iter()
+            .map(|it| {
+                it.values
+                    .iter()
+                    .zip(&mean)
+                    .map(|(v, m)| (v - m) * (v - m))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / d.len() as f64
+    };
+    let merged = ds.merged_with(&perturb_dataset(&ds, 0.8, 3));
+    assert!(merged.len() == 2 * ds.len());
+    assert!(spread(&merged) > spread(&ds));
+}
+
+#[test]
+fn paper_pipeline_composes_on_benchmark_series() {
+    let ds = powercons();
+    let pipeline = Compose::paper_pipeline(0.6);
+    let mut rng = StdRng::seed_from_u64(0);
+    for it in ds.iter().take(10) {
+        let out = pipeline.apply(&it.values, &mut rng);
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

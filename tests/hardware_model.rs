@@ -1,0 +1,111 @@
+//! Hardware/power model integration: device counts follow the circuit
+//! conventions, the SO-LF overhead matches the paper's direction, and the
+//! power model responds to training the way Table III requires.
+
+use adapt_pnc::hardware::{count_devices, DeviceCount, HardwareReport};
+use adapt_pnc::models::{FilterOrder, PrintedModel};
+use adapt_pnc::pdk::Pdk;
+use adapt_pnc::power::model_power;
+use ptnc_tensor::init;
+
+#[test]
+fn device_count_formula_for_known_architecture() {
+    // 1 → H → C with first-order filters:
+    //   crossbar resistors: (1·H + 2H) + (H·C + 2C)
+    //   filter RC: (H + C) resistors + (H + C) capacitors
+    //   ptanh: 2(H + C) transistors + 2(H + C) resistors
+    //   inverters: 2 transistors + 2 resistors per negative θ (data-dependent)
+    let (h, cls) = (5usize, 3usize);
+    let mut rng = init::rng(0);
+    let m = PrintedModel::ptpnc(1, h, cls, &mut rng);
+    let d = count_devices(&m);
+
+    let fixed_resistors = (h + 2 * h) + (h * cls + 2 * cls) + (h + cls) + 2 * (h + cls);
+    let fixed_transistors = 2 * (h + cls);
+    assert_eq!(d.capacitors, h + cls);
+    assert!(d.resistors >= fixed_resistors);
+    assert!(d.transistors >= fixed_transistors);
+    // Whatever is above the fixed part comes in inverter pairs.
+    assert_eq!((d.resistors - fixed_resistors) % 2, 0);
+    assert_eq!((d.transistors - fixed_transistors) % 2, 0);
+    assert_eq!(
+        d.resistors - fixed_resistors,
+        d.transistors - fixed_transistors,
+        "each inverter adds 2 transistors AND 2 resistors"
+    );
+}
+
+#[test]
+fn so_lf_overhead_is_in_the_paper_ballpark() {
+    // Same architecture, first vs second order: the paper reports ≈1.9×
+    // total devices; with equal widths the passive overhead lands lower, but
+    // must clearly exceed 1 and double the capacitors.
+    let mut rng = init::rng(1);
+    let base = PrintedModel::ptpnc(1, 8, 3, &mut rng);
+    let prop = PrintedModel::adapt_pnc(1, 8, 3, &mut rng);
+    let db = count_devices(&base);
+    let dp = count_devices(&prop);
+    assert_eq!(dp.capacitors, 2 * db.capacitors);
+    let overhead = dp.total() as f64 / db.total() as f64;
+    assert!(
+        (1.05..=2.5).contains(&overhead),
+        "device overhead {overhead} out of plausible range"
+    );
+}
+
+#[test]
+fn power_shrinks_with_conductance_scale_and_not_with_filter_order() {
+    let pdk = Pdk::paper_default();
+    let mut rng = init::rng(2);
+    let m = PrintedModel::new(1, 6, 2, FilterOrder::Second, &pdk, &mut rng);
+    let p0 = model_power(&m, &pdk);
+
+    // Scaling all crossbar conductances down must scale crossbar power.
+    for layer in m.layers() {
+        for p in layer.crossbar().parameters() {
+            p.map_data_in_place(|v| v * 0.5);
+        }
+    }
+    let p1 = model_power(&m, &pdk);
+    assert!((p1.crossbar - 0.5 * p0.crossbar).abs() < 1e-12 * p0.crossbar.max(1.0));
+    // The peripheral circuits are impedance-matched to the columns, so their
+    // resistive power follows the conductance scale (down to the fixed EGT
+    // bias floor) — the mechanism behind the paper's Table III saving.
+    assert!(p1.activations < p0.activations);
+    assert!(p1.activations > 0.4 * p0.activations);
+    assert!(p1.inverters < p0.inverters);
+}
+
+#[test]
+fn report_math_matches_paper_metrics() {
+    let r = HardwareReport {
+        dataset: "CBF".into(),
+        baseline: DeviceCount { transistors: 24, resistors: 84, capacitors: 6 },
+        proposed: DeviceCount { transistors: 59, resistors: 147, capacitors: 24 },
+        baseline_power: 0.653e-3,
+        proposed_power: 0.06e-3,
+    };
+    // These are the paper's actual CBF row values.
+    assert!((r.device_overhead() - 230.0 / 114.0).abs() < 1e-12);
+    assert!((r.power_saving() - (1.0 - 0.06 / 0.653)).abs() < 1e-12);
+}
+
+#[test]
+fn minimum_conductance_floor_bounds_power_from_below() {
+    let pdk = Pdk::paper_default();
+    let mut rng = init::rng(3);
+    let m = PrintedModel::ptpnc(1, 4, 2, &mut rng);
+    // Push everything to (numerically) zero and project: the printable floor
+    // g_min keeps static power strictly positive.
+    for layer in m.layers() {
+        for p in layer.crossbar().parameters() {
+            p.map_data_in_place(|v| v * 1e-9);
+        }
+    }
+    m.project(&pdk);
+    let p = model_power(&m, &pdk);
+    let d = count_devices(&m);
+    let crossbar_resistors = d.resistors as f64; // upper bound on crossbar count
+    assert!(p.crossbar > 0.0);
+    assert!(p.crossbar <= crossbar_resistors * pdk.g_min * pdk.vdd * pdk.vdd * 1.01);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the core invariants of every substrate:
+//! autodiff correctness, filter stability, crossbar bounds, FFT round-trips,
+//! preprocessing invariants and MNA physicality.
+
+use proptest::prelude::*;
+
+use adapt_pnc::pdk::Pdk;
+use adapt_pnc::primitives::{FilterBank, FilterOrder, PrintedCrossbar};
+use ptnc_augment::fft::{irfft, rfft};
+use ptnc_augment::{Augment, Jitter, MagnitudeScale, RandomCrop, TimeWarp};
+use ptnc_datasets::preprocess::{normalize, resize};
+use ptnc_spice::{Circuit, DcAnalysis, Waveform};
+use ptnc_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT round trip is the identity for arbitrary real series.
+    #[test]
+    fn fft_round_trip(series in finite_series(128)) {
+        let n = series.len();
+        let back = irfft(rfft(&series), n);
+        for (a, b) in series.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval: energy in time equals energy in frequency (power-of-two).
+    #[test]
+    fn fft_parseval(series in prop::collection::vec(-5.0f64..5.0, 64..65usize)) {
+        let spec = rfft(&series);
+        let time_energy: f64 = series.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|(re, im)| re * re + im * im).sum::<f64>() / spec.len() as f64;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+
+    /// resize preserves endpoints and min/max bounds.
+    #[test]
+    fn resize_bounds(series in finite_series(100), target in 2usize..100) {
+        let out = resize(&series, target);
+        prop_assert_eq!(out.len(), target);
+        let (lo, hi) = series.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12));
+        prop_assert!((out[0] - series[0]).abs() < 1e-12);
+        prop_assert!((out[target - 1] - series[series.len() - 1]).abs() < 1e-12);
+    }
+
+    /// normalize always lands exactly in [-1, 1] and is idempotent-ish.
+    #[test]
+    fn normalize_range_invariant(series in finite_series(100)) {
+        let out = normalize(&series);
+        prop_assert!(out.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let again = normalize(&out);
+        for (a, b) in out.iter().zip(&again) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Every augmentation preserves length and finiteness for any strength in
+    /// its documented range.
+    #[test]
+    fn augmentations_preserve_length(
+        series in finite_series(96),
+        sigma in 0.0f64..1.0,
+        warp in 0.0f64..0.2,
+        crop in 0.3f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in [
+            Box::new(Jitter::new(sigma)) as Box<dyn Augment>,
+            Box::new(TimeWarp::new(warp, 4)),
+            Box::new(MagnitudeScale::new(0.5, 1.5)),
+            Box::new(RandomCrop::new(crop)),
+        ] {
+            let out = t.apply(&series, &mut rng);
+            prop_assert_eq!(out.len(), series.len());
+            prop_assert!(out.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Printed filters are BIBO-stable for any printable R/C and bounded
+    /// inputs: |state| never exceeds the input bound (a, b >= 0, a + b <= 1).
+    #[test]
+    fn filter_is_stable_for_printable_components(
+        log_r in 50.0f64.ln()..1000.0f64.ln(),
+        log_c in 1e-7f64.ln()..1e-4f64.ln(),
+        inputs in prop::collection::vec(-1.0f64..1.0, 1..80),
+    ) {
+        let pdk = Pdk::paper_default();
+        let mut rng = ptnc_tensor::init::rng(0);
+        let fb = FilterBank::new(FilterOrder::Second, 1, &pdk, 1.15, &mut rng);
+        fb.parameters()[0].set_data(vec![log_r]);
+        fb.parameters()[1].set_data(vec![log_c]);
+        fb.parameters()[2].set_data(vec![log_r]);
+        fb.parameters()[3].set_data(vec![log_c]);
+        let steps: Vec<Tensor> = inputs.iter().map(|&v| Tensor::full(&[1, 1], v)).collect();
+        let out = fb.forward_sequence(&steps, None);
+        for o in &out {
+            prop_assert!(o.item().abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Crossbar outputs stay within the supply for arbitrary conductances
+    /// (the ratio normalization is a convex-combination bound).
+    #[test]
+    fn crossbar_output_bounded_for_any_theta(
+        theta in prop::collection::vec(-10.0f64..10.0, 6..7usize),
+        x in prop::collection::vec(-1.0f64..1.0, 2..3usize),
+    ) {
+        let pdk = Pdk::paper_default();
+        let mut rng = ptnc_tensor::init::rng(1);
+        let cb = PrintedCrossbar::new(2, 2, &pdk, &mut rng);
+        cb.parameters()[0].set_data(theta[0..4].to_vec());
+        cb.parameters()[1].set_data(theta[4..6].to_vec());
+        let input = Tensor::from_vec(&[1, 2], x);
+        let out = cb.forward(&input, None);
+        prop_assert!(out.data().iter().all(|&v| v.abs() <= 1.0 + 1e-9));
+    }
+
+    /// Reverse-mode gradients of a random composite expression match
+    /// finite differences.
+    #[test]
+    fn autodiff_matches_finite_differences(
+        a in prop::collection::vec(-2.0f64..2.0, 4..5usize),
+        b in prop::collection::vec(0.2f64..2.0, 4..5usize),
+    ) {
+        let ta = Tensor::leaf(&[4], a);
+        let tb = Tensor::leaf(&[4], b);
+        ptnc_tensor::gradcheck::check(
+            || ta.mul(&tb).tanh().add(&ta.sigmoid()).div(&tb).sum_all(),
+            &[ta.clone(), tb.clone()],
+            1e-5,
+        );
+    }
+
+    /// A resistive divider's output is always between its rails, for any
+    /// printable resistor pair (MNA physicality).
+    #[test]
+    fn divider_output_between_rails(
+        r1 in 1e2f64..1e7,
+        r2 in 1e2f64..1e7,
+        vs in -2.0f64..2.0,
+    ) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GROUND, Waveform::Dc(vs));
+        c.resistor(a, b, r1);
+        c.resistor(b, Circuit::GROUND, r2);
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        let v = op.voltage(b);
+        let (lo, hi) = if vs < 0.0 { (vs, 0.0) } else { (0.0, vs) };
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        // And it matches the divider formula.
+        prop_assert!((v - vs * r2 / (r1 + r2)).abs() < 1e-6 * vs.abs().max(1.0));
+    }
+}

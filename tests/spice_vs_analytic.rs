@@ -1,0 +1,127 @@
+//! Cross-validation of the SPICE substrate against closed-form circuit
+//! theory, and of the discrete filter model used in training against the
+//! SPICE transient solution — the link between the ML model and the physics.
+
+use adapt_pnc::filter_design::{
+    fit_ptanh, lpf_circuit, magnitude_response, measure_mu, ptanh_transfer_sweep,
+};
+use adapt_pnc::pdk::Pdk;
+use adapt_pnc::primitives::{FilterBank, FilterOrder};
+use ptnc_spice::{AcAnalysis, Circuit, DcAnalysis, TransientAnalysis, Waveform};
+use ptnc_tensor::Tensor;
+
+#[test]
+fn divider_chain_matches_hand_calculation() {
+    // 1 V across 1k + 2k + 3k: node voltages 5/6 V and 3/6 V.
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let b = c.node("b");
+    let d = c.node("d");
+    c.vsource(a, Circuit::GROUND, Waveform::Dc(1.0));
+    c.resistor(a, b, 1e3);
+    c.resistor(b, d, 2e3);
+    c.resistor(d, Circuit::GROUND, 3e3);
+    let op = DcAnalysis::new(&c).solve().unwrap();
+    assert!((op.voltage(b) - 5.0 / 6.0).abs() < 1e-9);
+    assert!((op.voltage(d) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn ac_matches_analytic_second_order_transfer() {
+    // Unloaded cascade of two identical RC sections:
+    // H(s) = 1 / (1 + 3sRC + (sRC)^2)  (the middle node loads the first).
+    let (r, c) = (1e3, 1e-6);
+    let sweep = magnitude_response(2, r, c, None, 1.0, 1e4, 10).unwrap();
+    for p in &sweep.points {
+        let w = 2.0 * std::f64::consts::PI * p.freq_hz * r * c;
+        let denom = ((1.0 - w * w).powi(2) + (3.0 * w).powi(2)).sqrt();
+        let expected = 1.0 / denom;
+        assert!(
+            (p.value.abs() - expected).abs() < 1e-6,
+            "f={}: |H|={} expected {expected}",
+            p.freq_hz,
+            p.value.abs()
+        );
+    }
+}
+
+#[test]
+fn transient_matches_analytic_rc_charge() {
+    let (ckt, out) = lpf_circuit(1, 1e3, 1e-6, None);
+    let tau = 1e-3;
+    let res = TransientAnalysis::new(&ckt).run(5.0 * tau, tau / 500.0).unwrap();
+    for (i, &t) in res.times().iter().enumerate().step_by(100) {
+        let expected = 1.0 - (-t / tau).exp();
+        assert!(
+            (res.voltage(out)[i] - expected).abs() < 2e-3,
+            "t={t}: {} vs {expected}",
+            res.voltage(out)[i]
+        );
+    }
+}
+
+/// The discrete recurrence used for BPTT training reproduces the SPICE
+/// transient of the same RC network (unloaded, μ → 1).
+#[test]
+fn training_filter_model_tracks_spice() {
+    let (r_ohm, c_farad): (f64, f64) = (1000.0, 1e-4); // RC = 0.1 s >> Δt = 0.01 s
+    let pdk = Pdk::paper_default();
+
+    // Training-side discrete filter with μ = 1.
+    let mut rng = ptnc_tensor::init::rng(0);
+    let fb = FilterBank::new(FilterOrder::First, 1, &pdk, 1.0, &mut rng);
+    fb.parameters()[0].set_data(vec![r_ohm.ln()]);
+    fb.parameters()[1].set_data(vec![c_farad.ln()]);
+    let steps: Vec<Tensor> = (0..100).map(|_| Tensor::ones(&[1, 1])).collect();
+    let discrete: Vec<f64> = fb
+        .forward_sequence(&steps, None)
+        .iter()
+        .map(|t| t.item())
+        .collect();
+
+    // SPICE-side step response sampled on the same grid.
+    let (ckt, out) = lpf_circuit(1, r_ohm, c_farad, None);
+    let res = TransientAnalysis::new(&ckt).run(1.0, 1e-4).unwrap();
+    for k in [9usize, 24, 49, 99] {
+        let t = (k + 1) as f64 * pdk.dt;
+        let idx = res.times().iter().position(|&x| x >= t - 1e-12).unwrap();
+        let spice_v = res.voltage(out)[idx];
+        assert!(
+            (discrete[k] - spice_v).abs() < 0.02,
+            "step {k}: discrete {} vs spice {spice_v}",
+            discrete[k]
+        );
+    }
+}
+
+#[test]
+fn mu_calibration_reproduces_paper_interval() {
+    // Across the printable design corner the paper uses, μ stays in [1, 1.3].
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &(r, c, load) in &[(600.0, 5e-5, 1.5e3), (1000.0, 1e-4, 3e3), (500.0, 1e-4, 100e3)] {
+        let mu = measure_mu(r, c, load, 0.01).unwrap();
+        lo = lo.min(mu);
+        hi = hi.max(mu);
+    }
+    assert!(lo >= 0.99 && hi <= 1.31, "mu range [{lo}, {hi}]");
+}
+
+#[test]
+fn fitted_ptanh_is_usable_by_the_model() {
+    let sweep = ptanh_transfer_sweep(41).unwrap();
+    let eta = fit_ptanh(&sweep);
+    // Gain positive, amplitude positive and below the supply.
+    assert!(eta[1] > 0.0 && eta[1] < 1.0);
+    assert!(eta[3] > 0.0);
+    // Transfer midpoint within the sweep range.
+    assert!((0.0..=1.0).contains(&eta[2]));
+}
+
+#[test]
+fn loaded_filter_dc_gain_is_divider_ratio() {
+    let (ckt, out) = lpf_circuit(1, 1e3, 1e-5, Some(9e3));
+    let sweep = AcAnalysis::new(&ckt).sweep(out, 0.01, 1.0, 4).unwrap();
+    // Low-frequency gain → 9k/(1k+9k) = 0.9.
+    assert!((sweep.points[0].value.abs() - 0.9).abs() < 1e-3);
+}

@@ -1,0 +1,125 @@
+//! The paper's central robustness claims, as statistical integration tests:
+//! variation-aware training must buy robustness to component variation, and
+//! the variation machinery itself must behave (bounded impact at small δ,
+//! growing impact with δ).
+
+use adapt_pnc::eval::{dataset_to_steps, evaluate, EvalCondition};
+use adapt_pnc::experiments::prepare_split;
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::training::{train, TrainConfig};
+use adapt_pnc::variation::VariationConfig;
+use ptnc_datasets::all_specs;
+use ptnc_tensor::init;
+
+fn spec(name: &str) -> &'static ptnc_datasets::BenchmarkSpec {
+    all_specs().iter().find(|s| s.name == name).expect("known benchmark")
+}
+
+/// Accuracy degradation grows with the variation magnitude δ.
+#[test]
+fn degradation_grows_with_delta() {
+    let split = prepare_split(spec("GPOVY"), 0);
+    let cfg = TrainConfig::baseline_ptpnc(5).with_epochs(60);
+    let trained = train(&split, &cfg, 0);
+
+    let acc_at = |delta: f64| {
+        evaluate(
+            &trained.model,
+            &split.test,
+            &EvalCondition::Variation {
+                config: VariationConfig::with_delta(delta),
+                trials: 8,
+            },
+            0,
+        )
+    };
+    let small = acc_at(0.01);
+    let huge = acc_at(0.6);
+    assert!(
+        small >= huge,
+        "1% variation ({small}) should hurt no more than 60% ({huge})"
+    );
+    let nominal = evaluate(&trained.model, &split.test, &EvalCondition::Nominal, 0);
+    assert!(
+        (nominal - small).abs() < 0.15,
+        "tiny variation should barely move accuracy: {nominal} -> {small}"
+    );
+}
+
+/// Monte-Carlo forward under zero-δ noise with pinned μ equals nominal.
+#[test]
+fn zero_variation_equals_nominal_forward() {
+    let mut rng = init::rng(0);
+    let model = PrintedModel::adapt_pnc(1, 4, 3, &mut rng);
+    let split = prepare_split(spec("CBF"), 0);
+    let (steps, _) = dataset_to_steps(&split.test);
+    let cfg = VariationConfig {
+        delta: 0.0,
+        mu_lo: 1.15,
+        mu_hi: 1.15 + 1e-12,
+        v0_amp: 0.0,
+    };
+    let noise = model.sample_noise(&cfg, &mut rng);
+    let nominal = model.forward_nominal(&steps).to_vec();
+    let varied = model.forward(&steps, Some(&noise)).to_vec();
+    for (a, b) in nominal.iter().zip(&varied) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// The headline mechanism: on a dataset where the baseline collapses under
+/// the combined condition, the full robustness-aware configuration holds up
+/// better. (Statistical: fixed seeds, moderate epochs, generous margin.)
+#[test]
+fn robustness_aware_training_helps_under_paper_condition() {
+    let split = prepare_split(spec("PowerCons"), 0);
+    let epochs = 120;
+
+    let base = train(
+        &split,
+        &TrainConfig::baseline_ptpnc(6).with_epochs(epochs),
+        0,
+    );
+    let adapt = train(
+        &split,
+        &TrainConfig {
+            mc_samples: 2,
+            power_reg: 0.0, // isolate the robustness ingredients
+            ..TrainConfig::adapt_pnc(6).with_epochs(epochs)
+        },
+        0,
+    );
+
+    let cond = EvalCondition::VariationAndPerturbed {
+        config: VariationConfig::paper_default(),
+        trials: 6,
+        strength: 0.5,
+    };
+    let base_acc = evaluate(&base.model, &split.test, &cond, 0);
+    let adapt_acc = evaluate(&adapt.model, &split.test, &cond, 0);
+    assert!(
+        adapt_acc > base_acc - 0.05,
+        "robustness-aware ({adapt_acc}) should not trail the baseline ({base_acc}) under the paper's condition"
+    );
+}
+
+/// Noise sampling honours the configured distributions across a model.
+#[test]
+fn sampled_noise_respects_config_bounds() {
+    let mut rng = init::rng(3);
+    let model = PrintedModel::adapt_pnc(2, 5, 3, &mut rng);
+    let cfg = VariationConfig::paper_default();
+    let noise = model.sample_noise(&cfg, &mut rng);
+    for layer in &noise.layers {
+        for eps in [&layer.crossbar.eps_w, &layer.crossbar.eps_b, &layer.crossbar.eps_d] {
+            assert!(eps.data().iter().all(|&v| (0.9..=1.1).contains(&v)));
+        }
+        for stage in 0..layer.filter.mu.len() {
+            assert!(layer.filter.mu[stage]
+                .data()
+                .iter()
+                .all(|&v| (1.0..=1.3).contains(&v)));
+            assert!(layer.filter.v0[stage].data().iter().all(|&v| v.abs() <= 0.05));
+        }
+    }
+}
