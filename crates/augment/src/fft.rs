@@ -52,10 +52,7 @@ fn transform(data: &mut [(f64, f64)], inverse: bool) {
             for k in 0..len / 2 {
                 let a = data[start + k];
                 let b = data[start + k + len / 2];
-                let t = (
-                    b.0 * cur.0 - b.1 * cur.1,
-                    b.0 * cur.1 + b.1 * cur.0,
-                );
+                let t = (b.0 * cur.0 - b.1 * cur.1, b.0 * cur.1 + b.1 * cur.0);
                 data[start + k] = (a.0 + t.0, a.1 + t.1);
                 data[start + k + len / 2] = (a.0 - t.0, a.1 - t.1);
                 cur = (cur.0 * wr - cur.1 * wi, cur.0 * wi + cur.1 * wr);

@@ -32,8 +32,8 @@
 //! assert_eq!(out.len(), series.len());
 //! ```
 
-pub mod fft;
 mod extras;
+pub mod fft;
 mod transforms;
 mod util;
 

@@ -42,7 +42,10 @@ impl Jitter {
 
 impl Augment for Jitter {
     fn apply(&self, series: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
-        series.iter().map(|&v| v + self.sigma * randn(rng)).collect()
+        series
+            .iter()
+            .map(|&v| v + self.sigma * randn(rng))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -201,7 +204,10 @@ impl FrequencyNoise {
     /// Panics unless `sigma ≥ 0` and `0 < bin_frac ≤ 1`.
     pub fn new(sigma: f64, bin_frac: f64) -> Self {
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        assert!(bin_frac > 0.0 && bin_frac <= 1.0, "bin_frac must be in (0, 1]");
+        assert!(
+            bin_frac > 0.0 && bin_frac <= 1.0,
+            "bin_frac must be in (0, 1]"
+        );
         FrequencyNoise { sigma, bin_frac }
     }
 }

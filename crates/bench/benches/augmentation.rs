@@ -41,9 +41,7 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for &n in &[64usize, 256, 1024] {
         let s = series(n);
-        group.bench_function(format!("rfft_irfft_{n}"), |b| {
-            b.iter(|| irfft(rfft(&s), n))
-        });
+        group.bench_function(format!("rfft_irfft_{n}"), |b| b.iter(|| irfft(rfft(&s), n)));
     }
     group.finish();
 }

@@ -1,0 +1,67 @@
+//! Criterion benchmark of the deterministic parallel Monte-Carlo engine:
+//! the same variation-aware workload on a serial runner vs a 4-thread one.
+//!
+//! On a ≥4-core machine the multi-threaded evaluation and training epochs
+//! should run ≥2× faster than serial; on a single core the two are
+//! equivalent (the runner degrades to an ordered loop). Either way the
+//! results are bit-identical — determinism is covered by
+//! `tests/parallel_determinism.rs`; this benchmark measures the speedup.
+//!
+//! ```text
+//! cargo bench -p ptnc-bench --bench parallel
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use adapt_pnc::eval::{evaluate_with_runner, EvalCondition};
+use adapt_pnc::experiments::prepare_split;
+use adapt_pnc::parallel::ParallelRunner;
+use adapt_pnc::training::{train_with_runner, TrainConfig};
+use adapt_pnc::variation::VariationConfig;
+use ptnc_datasets::all_specs;
+use ptnc_tensor::init;
+
+fn bench_parallel_mc(c: &mut Criterion) {
+    let spec = all_specs().iter().find(|s| s.name == "PowerCons").unwrap();
+    let split = prepare_split(spec, 0);
+    let serial = ParallelRunner::serial();
+    let threaded = ParallelRunner::serial().with_threads(4);
+
+    // --- Monte-Carlo evaluation: 16 independent variation trials --------
+    let mut rng = init::rng(0);
+    let model =
+        adapt_pnc::models::PrintedModel::adapt_pnc(1, 8, split.train.num_classes(), &mut rng);
+    let condition = EvalCondition::Variation {
+        config: VariationConfig::paper_default(),
+        trials: 16,
+    };
+    let mut group = c.benchmark_group("mc_eval_16_trials_powercons");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| evaluate_with_runner(&model, &split.test, &condition, 0, &serial))
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| evaluate_with_runner(&model, &split.test, &condition, 0, &threaded))
+    });
+    group.finish();
+
+    // --- variation-aware training: 4 MC samples per epoch ----------------
+    let cfg = TrainConfig::adapt_pnc(8)
+        .with_epochs(5)
+        .to_builder()
+        .mc_samples(4)
+        .augmented(false) // isolate the MC fan-out from augmentation cost
+        .build();
+    let mut group = c.benchmark_group("va_train_5_epochs_powercons");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| train_with_runner(&split, &cfg, 0, &serial))
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| train_with_runner(&split, &cfg, 0, &threaded))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_mc);
+criterion_main!(benches);

@@ -25,7 +25,10 @@ fn bench_crossbar(c: &mut Criterion) {
 fn bench_filter_sequence(c: &mut Criterion) {
     let mut group = c.benchmark_group("filter_sequence_64steps");
     let pdk = Pdk::paper_default();
-    for (name, order) in [("first", FilterOrder::First), ("second", FilterOrder::Second)] {
+    for (name, order) in [
+        ("first", FilterOrder::First),
+        ("second", FilterOrder::Second),
+    ] {
         let mut rng = init::rng(1);
         let fb = FilterBank::new(order, 8, &pdk, 1.15, &mut rng);
         let steps: Vec<Tensor> = (0..64)

@@ -10,7 +10,10 @@ fn bench_dc(c: &mut Criterion) {
     c.bench_function("dc_ptanh_two_egt", |b| {
         b.iter(|| {
             let (ckt, out) = ptanh_circuit(200e3, 200e3, 0.5);
-            DcAnalysis::new(&ckt).solve().map(|op| op.voltage(out)).unwrap()
+            DcAnalysis::new(&ckt)
+                .solve()
+                .map(|op| op.voltage(out))
+                .unwrap()
         })
     });
 }
@@ -38,5 +41,11 @@ fn bench_mu_calibration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dc, bench_ac_sweep, bench_transient, bench_mu_calibration);
+criterion_group!(
+    benches,
+    bench_dc,
+    bench_ac_sweep,
+    bench_transient,
+    bench_mu_calibration
+);
 criterion_main!(benches);

@@ -13,9 +13,7 @@ fn bench_short_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_10_epochs_powercons");
     group.sample_size(10);
 
-    group.bench_function("elman_rnn", |b| {
-        b.iter(|| train_elman(&split, 8, 10, 0))
-    });
+    group.bench_function("elman_rnn", |b| b.iter(|| train_elman(&split, 8, 10, 0)));
     group.bench_function("ptpnc_baseline", |b| {
         b.iter(|| train(&split, &TrainConfig::baseline_ptpnc(8).with_epochs(10), 0))
     });
@@ -23,10 +21,11 @@ fn bench_short_training(c: &mut Criterion) {
         b.iter(|| {
             train(
                 &split,
-                &TrainConfig {
-                    mc_samples: 2,
-                    ..TrainConfig::adapt_pnc(8).with_epochs(10)
-                },
+                &TrainConfig::adapt_pnc(8)
+                    .with_epochs(10)
+                    .to_builder()
+                    .mc_samples(2)
+                    .build(),
                 0,
             )
         })

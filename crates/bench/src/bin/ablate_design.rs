@@ -27,10 +27,11 @@ fn main() {
         strength: 0.5,
     };
     let base = || {
-        TrainConfig {
-            mc_samples: scale.mc_samples,
-            ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
-        }
+        TrainConfig::adapt_pnc(scale.hidden)
+            .with_epochs(scale.epochs)
+            .to_builder()
+            .mc_samples(scale.mc_samples)
+            .build()
     };
 
     // --- 1. coupling-factor handling ------------------------------------
@@ -39,18 +40,21 @@ fn main() {
     print_row(&["configuration".into(), "accuracy".into()], &widths);
     print_rule(&widths);
     let mu_variants: Vec<(&str, TrainConfig)> = vec![
-        ("mu = 1 (coupling-unaware)", TrainConfig { mu_nominal: 1.0, ..base() }),
+        (
+            "mu = 1 (coupling-unaware)",
+            base().to_builder().mu_nominal(1.0).build(),
+        ),
         ("mu = 1.15 (calibrated)", base()),
         (
             "mu pinned, no sampling",
-            TrainConfig {
-                variation: VariationConfig {
+            base()
+                .to_builder()
+                .variation(VariationConfig {
                     mu_lo: 1.15,
                     mu_hi: 1.15 + 1e-9,
                     ..VariationConfig::paper_default()
-                },
-                ..base()
-            },
+                })
+                .build(),
         ),
     ];
     for (name, cfg) in mu_variants {
@@ -67,10 +71,13 @@ fn main() {
     // --- 2. power regularizer sweep --------------------------------------
     println!("## power-regularizer sweep (accuracy vs static power)");
     let widths = [12usize, 10, 12];
-    print_row(&["lambda".into(), "accuracy".into(), "power_mW".into()], &widths);
+    print_row(
+        &["lambda".into(), "accuracy".into(), "power_mW".into()],
+        &widths,
+    );
     print_rule(&widths);
     for lambda in [0.0, 500.0, 2_000.0, 20_000.0] {
-        let cfg = TrainConfig { power_reg: lambda, ..base() };
+        let cfg = base().to_builder().power_reg(lambda).build();
         let mut scores = Vec::new();
         let mut powers = Vec::new();
         for spec in selected_specs() {
@@ -93,10 +100,13 @@ fn main() {
     // --- 3. filter order --------------------------------------------------
     println!("## filter order (accuracy and capacitor count)");
     let widths = [8usize, 10, 12];
-    print_row(&["order".into(), "accuracy".into(), "capacitors".into()], &widths);
+    print_row(
+        &["order".into(), "accuracy".into(), "capacitors".into()],
+        &widths,
+    );
     print_rule(&widths);
     for order in [FilterOrder::First, FilterOrder::Second, FilterOrder::Third] {
-        let cfg = TrainConfig { filter_order: order, ..base() };
+        let cfg = base().to_builder().filter_order(order).build();
         let mut scores = Vec::new();
         let mut caps = Vec::new();
         for spec in selected_specs() {

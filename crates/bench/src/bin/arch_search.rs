@@ -46,7 +46,11 @@ fn main() {
                     format!("{:.3}", c.score),
                     c.devices.total().to_string(),
                     format!("{:.4}", c.power * 1e3),
-                    format!("{}{}", if on_front { "*" } else { "" }, if i == best { " best" } else { "" }),
+                    format!(
+                        "{}{}",
+                        if on_front { "*" } else { "" },
+                        if i == best { " best" } else { "" }
+                    ),
                 ],
                 &widths,
             );

@@ -8,11 +8,11 @@
 //! ```
 
 use adapt_pnc::eval::{dataset_to_steps, evaluate, EvalCondition};
-use ptnc_nn::metrics::ConfusionMatrix;
 use adapt_pnc::experiments::{prepare_split, ExperimentScale};
 use adapt_pnc::training::{train, TrainConfig};
 use adapt_pnc::variation::VariationConfig;
 use ptnc_bench::{print_row, print_rule, selected_specs};
+use ptnc_nn::metrics::ConfusionMatrix;
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -34,7 +34,10 @@ fn main() {
     let variation = VariationConfig::paper_default();
     let conditions = [
         EvalCondition::Nominal,
-        EvalCondition::Variation { config: variation, trials: scale.variation_trials },
+        EvalCondition::Variation {
+            config: variation,
+            trials: scale.variation_trials,
+        },
         EvalCondition::Perturbed { strength: 0.5 },
         EvalCondition::VariationAndPerturbed {
             config: variation,
@@ -46,20 +49,27 @@ fn main() {
     for spec in selected_specs() {
         let split = prepare_split(spec, 0);
         let configs = [
-            ("baseline", TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs)),
+            (
+                "baseline",
+                TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs),
+            ),
             (
                 "adapt",
-                TrainConfig {
-                    mc_samples: scale.mc_samples,
-                    ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
-                },
+                TrainConfig::adapt_pnc(scale.hidden)
+                    .with_epochs(scale.epochs)
+                    .to_builder()
+                    .mc_samples(scale.mc_samples)
+                    .build(),
             ),
         ];
         for (name, cfg) in configs {
             let trained = train(&split, &cfg, 0);
             let mut cells = vec![spec.name.to_string(), name.to_string()];
             for cond in &conditions {
-                cells.push(format!("{:.3}", evaluate(&trained.model, &split.test, cond, 0)));
+                cells.push(format!(
+                    "{:.3}",
+                    evaluate(&trained.model, &split.test, cond, 0)
+                ));
             }
             print_row(&cells, &widths);
 
@@ -71,7 +81,11 @@ fn main() {
                 "# {} {name}: macro-F1 {:.3}{}\n{cm}",
                 spec.name,
                 cm.macro_f1(),
-                if cm.is_degenerate() { " (DEGENERATE: single-class predictions)" } else { "" }
+                if cm.is_degenerate() {
+                    " (DEGENERATE: single-class predictions)"
+                } else {
+                    ""
+                }
             );
         }
     }

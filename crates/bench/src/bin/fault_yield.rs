@@ -10,15 +10,20 @@
 use adapt_pnc::eval::dataset_to_steps;
 use adapt_pnc::experiments::{prepare_split, ExperimentScale};
 use adapt_pnc::faults::{yield_rate, FaultConfig};
+use adapt_pnc::parallel::ParallelRunner;
 use adapt_pnc::pdk::Pdk;
-use adapt_pnc::training::{train, TrainConfig};
+use adapt_pnc::training::{train_with_runner, TrainConfig};
 use adapt_pnc::variation::VariationConfig;
 use ptnc_bench::{print_row, print_rule, selected_specs};
 use ptnc_tensor::init;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("fault_yield: scale = {scale:?}");
+    let runner = ParallelRunner::from_env();
+    eprintln!(
+        "fault_yield: scale = {scale:?}, threads = {}",
+        runner.threads()
+    );
     let pdk = Pdk::paper_default();
     let trials = 20;
     // A batch instance "yields" if it keeps ≥ 90 % of the fault-free
@@ -38,29 +43,40 @@ fn main() {
     );
     print_rule(&widths);
 
-    for spec in selected_specs() {
+    // One shared fan-out over datasets; each worker trains both models and
+    // sweeps the open-defect rates with a serial inner runner, returning the
+    // finished table rows for its dataset.
+    let spec_rows = runner.run(selected_specs(), |_, spec| {
+        let inner = ParallelRunner::serial();
         let split = prepare_split(spec, 0);
         let (steps, labels) = dataset_to_steps(&split.test);
         let models = [
             (
                 "baseline",
-                train(&split, &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs), 0),
+                train_with_runner(
+                    &split,
+                    &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs),
+                    0,
+                    &inner,
+                ),
             ),
             (
                 "adapt",
-                train(
+                train_with_runner(
                     &split,
-                    &TrainConfig {
-                        mc_samples: scale.mc_samples,
-                        ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
-                    },
+                    &TrainConfig::adapt_pnc(scale.hidden)
+                        .with_epochs(scale.epochs)
+                        .to_builder()
+                        .mc_samples(scale.mc_samples)
+                        .build(),
                     0,
+                    &inner,
                 ),
             ),
         ];
+        let mut out = Vec::new();
         for (name, trained) in &models {
-            let fault_free =
-                ptnc_nn::accuracy(&trained.model.forward_nominal(&steps), &labels);
+            let fault_free = ptnc_nn::accuracy(&trained.model.forward_nominal(&steps), &labels);
             let threshold = retain * fault_free;
             for open_rate in [0.01, 0.05, 0.10] {
                 let cfg = FaultConfig {
@@ -79,18 +95,20 @@ fn main() {
                     trials,
                     &mut rng,
                 );
-                print_row(
-                    &[
-                        spec.name.to_string(),
-                        name.to_string(),
-                        format!("{open_rate:.2}"),
-                        format!("{y:.2}"),
-                        format!("{threshold:.3}"),
-                    ],
-                    &widths,
-                );
+                out.push(vec![
+                    spec.name.to_string(),
+                    name.to_string(),
+                    format!("{open_rate:.2}"),
+                    format!("{y:.2}"),
+                    format!("{threshold:.3}"),
+                ]);
             }
         }
+        out
+    });
+
+    for cells in spec_rows.into_iter().flatten() {
+        print_row(&cells, &widths);
     }
     println!();
     println!("yield = fraction of {trials} simulated printed instances retaining {:.0}% of fault-free accuracy", retain * 100.0);

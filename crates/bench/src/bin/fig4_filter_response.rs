@@ -71,7 +71,10 @@ fn main() {
 
     // ----- coupling-factor calibration -----------------------------------
     println!("## Empirical coupling factor μ (paper §III-2: μ ∈ [1, 1.3])");
-    println!("{:<10} {:>10} {:>14} {:>8}", "R_ohm", "C_uF", "load_ohm", "mu");
+    println!(
+        "{:<10} {:>10} {:>14} {:>8}",
+        "R_ohm", "C_uF", "load_ohm", "mu"
+    );
     let mut mu_min = f64::INFINITY;
     let mut mu_max = f64::NEG_INFINITY;
     for &(r, c_uf, load) in &[

@@ -6,15 +6,20 @@
 //! cargo run -p ptnc-bench --release --bin fig5_baseline_variation
 //! ```
 
-use adapt_pnc::eval::{evaluate, EvalCondition};
+use adapt_pnc::eval::{evaluate_with_runner, EvalCondition};
 use adapt_pnc::experiments::{prepare_split, ExperimentScale};
-use adapt_pnc::training::{train, TrainConfig};
+use adapt_pnc::parallel::ParallelRunner;
+use adapt_pnc::training::{train_with_runner, TrainConfig};
 use adapt_pnc::variation::VariationConfig;
 use ptnc_bench::{mean, print_row, print_rule, selected_specs};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("fig5_baseline_variation: scale = {scale:?}");
+    let runner = ParallelRunner::from_env();
+    eprintln!(
+        "fig5_baseline_variation: scale = {scale:?}, threads = {}",
+        runner.threads()
+    );
 
     let widths = [10usize, 9, 9, 9, 9];
     print_row(
@@ -30,14 +35,19 @@ fn main() {
     print_rule(&widths);
 
     let variation = VariationConfig::paper_default();
-    let mut cols = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for spec in selected_specs() {
+    // One shared fan-out over datasets; each worker trains the baseline and
+    // scores all four conditions with a serial inner runner.
+    let per_spec = runner.run(selected_specs(), |_, spec| {
+        let inner = ParallelRunner::serial();
         let split = prepare_split(spec, 0);
         let cfg = TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs);
-        let trained = train(&split, &cfg, 0);
+        let trained = train_with_runner(&split, &cfg, 0, &inner);
         let conditions = [
             EvalCondition::Nominal,
-            EvalCondition::Variation { config: variation, trials: scale.variation_trials },
+            EvalCondition::Variation {
+                config: variation,
+                trials: scale.variation_trials,
+            },
             EvalCondition::Perturbed { strength: 0.5 },
             EvalCondition::VariationAndPerturbed {
                 config: variation,
@@ -45,9 +55,17 @@ fn main() {
                 strength: 0.5,
             },
         ];
-        let mut cells = vec![spec.name.to_string()];
-        for (i, cond) in conditions.iter().enumerate() {
-            let acc = evaluate(&trained.model, &split.test, cond, 0);
+        let accs: Vec<f64> = conditions
+            .iter()
+            .map(|cond| evaluate_with_runner(&trained.model, &split.test, cond, 0, &inner))
+            .collect();
+        (spec.name.to_string(), accs)
+    });
+
+    let mut cols = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for (name, accs) in per_spec {
+        let mut cells = vec![name];
+        for (i, acc) in accs.into_iter().enumerate() {
             cells.push(format!("{acc:.3}"));
             cols[i].push(acc);
         }

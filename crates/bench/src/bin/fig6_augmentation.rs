@@ -7,7 +7,9 @@
 //! cargo run -p ptnc-bench --release --bin fig6_augmentation
 //! ```
 
-use ptnc_augment::{Augment, Compose, FrequencyNoise, Jitter, MagnitudeScale, RandomCrop, TimeWarp};
+use ptnc_augment::{
+    Augment, Compose, FrequencyNoise, Jitter, MagnitudeScale, RandomCrop, TimeWarp,
+};
 use ptnc_datasets::{benchmark_by_name, preprocess::Preprocess};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

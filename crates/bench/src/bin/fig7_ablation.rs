@@ -7,47 +7,69 @@
 //! PNC_DATASETS=CBF,PowerCons,Symbols cargo run ... # subset for speed
 //! ```
 
-use adapt_pnc::ablation::{run_arm, AblationArm};
+use adapt_pnc::ablation::{run_arm_with_runner, AblationArm};
 use adapt_pnc::experiments::{prepare_split, ExperimentScale};
+use adapt_pnc::parallel::ParallelRunner;
 use ptnc_bench::{mean, print_row, print_rule, selected_specs};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("fig7_ablation: scale = {scale:?}");
+    let runner = ParallelRunner::from_env();
+    eprintln!(
+        "fig7_ablation: scale = {scale:?}, threads = {}",
+        runner.threads()
+    );
 
     let arms = AblationArm::all();
     let widths = [12usize, 12, 9, 9];
     print_row(
-        &["Dataset".into(), "Arm".into(), "clean".into(), "perturb".into()],
+        &[
+            "Dataset".into(),
+            "Arm".into(),
+            "clean".into(),
+            "perturb".into(),
+        ],
         &widths,
     );
     print_rule(&widths);
 
+    // One shared fan-out over every (dataset × arm) pair — the finest
+    // independent unit of work here. Results come back in item order, so the
+    // printed table is identical for any thread count.
+    let mut pairs = Vec::new();
+    for spec in selected_specs() {
+        for arm in arms {
+            pairs.push((spec, arm));
+        }
+    }
+    let results = runner.run(pairs.clone(), |_, (spec, arm)| {
+        let split = prepare_split(spec, 0);
+        run_arm_with_runner(
+            arm,
+            &split,
+            scale.hidden,
+            scale.epochs,
+            scale.variation_trials,
+            0,
+            &ParallelRunner::serial(),
+        )
+    });
+
     let mut clean: Vec<Vec<f64>> = vec![Vec::new(); arms.len()];
     let mut perturbed: Vec<Vec<f64>> = vec![Vec::new(); arms.len()];
-    for spec in selected_specs() {
-        let split = prepare_split(spec, 0);
-        for (i, arm) in arms.iter().enumerate() {
-            let result = run_arm(
-                *arm,
-                &split,
-                scale.hidden,
-                scale.epochs,
-                scale.variation_trials,
-                0,
-            );
-            print_row(
-                &[
-                    spec.name.to_string(),
-                    arm.label().to_string(),
-                    format!("{:.3}", result.clean),
-                    format!("{:.3}", result.perturbed),
-                ],
-                &widths,
-            );
-            clean[i].push(result.clean);
-            perturbed[i].push(result.perturbed);
-        }
+    for ((spec, arm), result) in pairs.iter().zip(&results) {
+        let i = arms.iter().position(|a| a == arm).unwrap();
+        print_row(
+            &[
+                spec.name.to_string(),
+                arm.label().to_string(),
+                format!("{:.3}", result.clean),
+                format!("{:.3}", result.perturbed),
+            ],
+            &widths,
+        );
+        clean[i].push(result.clean);
+        perturbed[i].push(result.perturbed);
     }
 
     print_rule(&widths);

@@ -7,12 +7,17 @@
 //! PNC_SEEDS=10 PNC_EPOCHS=400 cargo run ... # closer to paper fidelity
 //! ```
 
-use adapt_pnc::experiments::{table1_row, ExperimentScale};
+use adapt_pnc::experiments::{table1_row_with_runner, ExperimentScale};
+use adapt_pnc::parallel::ParallelRunner;
 use ptnc_bench::{fmt_pm, mean, print_row, print_rule, selected_specs};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("table1_accuracy: scale = {scale:?}");
+    let runner = ParallelRunner::from_env();
+    eprintln!(
+        "table1_accuracy: scale = {scale:?}, threads = {}",
+        runner.threads()
+    );
 
     let widths = [10usize, 16, 16, 16];
     print_row(
@@ -33,8 +38,15 @@ fn main() {
     let mut base_stds = Vec::new();
     let mut adapt_stds = Vec::new();
 
-    for spec in selected_specs() {
-        let row = table1_row(spec, &scale);
+    // One shared fan-out over datasets; each worker runs its row (training,
+    // tuning, evaluation) with a serial inner runner. Rows come back in
+    // dataset order, so the table — and the numbers — are thread-count
+    // independent.
+    let rows = runner.run(selected_specs(), |_, spec| {
+        table1_row_with_runner(spec, &scale, &ParallelRunner::serial())
+    });
+
+    for row in rows {
         print_row(
             &[
                 row.dataset.clone(),

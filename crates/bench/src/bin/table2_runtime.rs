@@ -53,10 +53,11 @@ fn main() {
         let t0 = Instant::now();
         let adapt = train(
             &split,
-            &TrainConfig {
-                mc_samples: scale.mc_samples,
-                ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(timing_epochs)
-            },
+            &TrainConfig::adapt_pnc(scale.hidden)
+                .with_epochs(timing_epochs)
+                .to_builder()
+                .mc_samples(scale.mc_samples)
+                .build(),
             0,
         );
         adapt_train.push(t0.elapsed().as_secs_f64() / timing_epochs as f64);

@@ -39,14 +39,18 @@ fn main() {
     let mut reports = Vec::new();
     for spec in selected_specs() {
         let split = prepare_split(spec, 0);
-        let base =
-            train(&split, &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs), 0);
+        let base = train(
+            &split,
+            &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs),
+            0,
+        );
         let prop = train(
             &split,
-            &TrainConfig {
-                mc_samples: scale.mc_samples,
-                ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
-            },
+            &TrainConfig::adapt_pnc(scale.hidden)
+                .with_epochs(scale.epochs)
+                .to_builder()
+                .mc_samples(scale.mc_samples)
+                .build(),
             0,
         );
         let report = HardwareReport {
@@ -77,7 +81,7 @@ fn main() {
 
     print_rule(&widths);
     let avg = |f: &dyn Fn(&HardwareReport) -> f64| -> f64 {
-        reports.iter().map(|r| f(r)).sum::<f64>() / reports.len() as f64
+        reports.iter().map(f).sum::<f64>() / reports.len() as f64
     };
     print_row(
         &[

@@ -7,15 +7,20 @@
 //! PNC_DATASETS=GPOVY,PowerCons cargo run -p ptnc-bench --release --bin variation_sweep
 //! ```
 
-use adapt_pnc::eval::{evaluate, EvalCondition};
+use adapt_pnc::eval::{evaluate_with_runner, EvalCondition};
 use adapt_pnc::experiments::{prepare_split, ExperimentScale};
-use adapt_pnc::training::{train, TrainConfig};
+use adapt_pnc::parallel::ParallelRunner;
+use adapt_pnc::training::{train_with_runner, TrainConfig};
 use adapt_pnc::variation::VariationConfig;
 use ptnc_bench::{mean, print_row, print_rule, selected_specs};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("variation_sweep: scale = {scale:?}");
+    let runner = ParallelRunner::from_env();
+    eprintln!(
+        "variation_sweep: scale = {scale:?}, threads = {}",
+        runner.threads()
+    );
     let deltas = [0.0, 0.05, 0.10, 0.20, 0.30];
 
     let mut header = vec!["model".to_string()];
@@ -30,30 +35,55 @@ fn main() {
         ("adapt".into(), vec![Vec::new(); deltas.len()]),
     ];
 
-    for spec in selected_specs() {
+    // One shared fan-out over datasets; each worker trains both models and
+    // sweeps every delta with a serial inner runner, returning a
+    // `[model][delta]` accuracy grid.
+    let grids = runner.run(selected_specs(), |_, spec| {
+        let inner = ParallelRunner::serial();
         let split = prepare_split(spec, 0);
         let models = [
-            train(&split, &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs), 0),
-            train(
+            train_with_runner(
                 &split,
-                &TrainConfig {
-                    mc_samples: scale.mc_samples,
-                    ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
-                },
+                &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs),
                 0,
+                &inner,
+            ),
+            train_with_runner(
+                &split,
+                &TrainConfig::adapt_pnc(scale.hidden)
+                    .with_epochs(scale.epochs)
+                    .to_builder()
+                    .mc_samples(scale.mc_samples)
+                    .build(),
+                0,
+                &inner,
             ),
         ];
-        for (row, trained) in rows.iter_mut().zip(&models) {
-            for (i, &delta) in deltas.iter().enumerate() {
-                let condition = if delta == 0.0 {
-                    EvalCondition::Nominal
-                } else {
-                    EvalCondition::Variation {
-                        config: VariationConfig::with_delta(delta),
-                        trials: scale.variation_trials,
-                    }
-                };
-                row.1[i].push(evaluate(&trained.model, &split.test, &condition, 0));
+        models
+            .iter()
+            .map(|trained| {
+                deltas
+                    .iter()
+                    .map(|&delta| {
+                        let condition = if delta == 0.0 {
+                            EvalCondition::Nominal
+                        } else {
+                            EvalCondition::Variation {
+                                config: VariationConfig::with_delta(delta),
+                                trials: scale.variation_trials,
+                            }
+                        };
+                        evaluate_with_runner(&trained.model, &split.test, &condition, 0, &inner)
+                    })
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<Vec<f64>>>()
+    });
+
+    for grid in grids {
+        for (row, accs) in rows.iter_mut().zip(grid) {
+            for (i, acc) in accs.into_iter().enumerate() {
+                row.1[i].push(acc);
             }
         }
     }

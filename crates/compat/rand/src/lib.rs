@@ -1,0 +1,408 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build container for this reproduction has **no network access**, so
+//! the real `rand` crate can never be fetched from crates.io. This crate
+//! re-implements exactly the slice of the 0.8 API surface the workspace
+//! uses — [`RngCore`], [`Rng`], [`SeedableRng`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`] — on top of the xoshiro256++ generator.
+//!
+//! Two properties matter for the reproduction and are guaranteed here:
+//!
+//! 1. **Determinism** — a given seed always produces the same stream, on
+//!    every platform (only integer ops and IEEE-754 multiplies are used).
+//! 2. **Stream independence** — `seed_from_u64` runs the seed through a
+//!    SplitMix64 expansion, so nearby seeds produce unrelated streams;
+//!    this is what the deterministic Monte-Carlo seed-splitting in
+//!    `ptnc-runner` builds on.
+//!
+//! The streams are *not* byte-identical to the real `rand` 0.8 (which uses
+//! ChaCha12 for `StdRng`); `rand` itself documents `StdRng` as
+//! non-portable across versions, so no test may rely on specific values.
+
+/// The core of a random number generator: a source of random 32/64-bit
+/// integers. Object-safe, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (32 bytes for [`rngs::StdRng`]).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded through SplitMix64 so
+    /// that similar seeds give unrelated streams (same construction as
+    /// `rand` 0.8).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Values samplable from a uniform-bits source via `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable within bounds — the element types accepted by
+/// `Rng::gen_range`. Mirrors `rand::distributions::uniform::SampleUniform`
+/// in role: a *single* generic [`SampleRange`] impl per range shape keys
+/// off it, which is what lets float-literal ranges infer their type.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128
+                    + u128::from(inclusive);
+                if span == 0 || span > u64::MAX as u128 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                // Lemire multiply-shift: uniform enough for simulation use,
+                // and — unlike rejection sampling — a fixed draw count,
+                // which keeps parallel seed-split streams aligned.
+                let hi_word = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                lo.wrapping_add(hi_word as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// A range usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`]
+/// (including `dyn RngCore`), mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: **xoshiro256++**.
+    ///
+    /// Not stream-compatible with `rand` 0.8's ChaCha12-based `StdRng`
+    /// (which is documented as non-portable anyway); equally deterministic
+    /// and much cheaper per draw.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions (`shuffle`, `choose`).
+
+    use super::{Rng, RngCore};
+
+    /// Slice extensions mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        // SplitMix64 expansion: seeds 0 and 1 must not share a prefix.
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v));
+            let w: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Inclusive ranges reach the endpoint.
+        let mut top = false;
+        for _ in 0..1000 {
+            if rng.gen_range(0..=4usize) == 4 {
+                top = true;
+            }
+        }
+        assert!(top);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(5));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_extension_methods() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+        assert!(dyn_rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,389 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build container for this reproduction has **no network access**, so
+//! the real `rayon` crate can never be fetched. This crate implements the
+//! slice of the API the workspace uses — `into_par_iter().map(..).collect()`,
+//! [`join`], [`ThreadPoolBuilder`] / [`ThreadPool::install`] and
+//! [`current_num_threads`] — on `std::thread::scope`.
+//!
+//! Design notes:
+//!
+//! * **Order preservation.** `collect()` always returns outputs in input
+//!   order (items are split into contiguous index chunks and re-joined),
+//!   so a deterministic per-item computation yields a deterministic
+//!   aggregate regardless of the thread count.
+//! * **Panic propagation.** A panicking item poisons its scope and the
+//!   panic is re-raised on the caller thread, like real rayon.
+//! * **No work stealing.** Items are statically chunked. For this
+//!   workspace the unit of work (a training run, a Monte-Carlo sample) is
+//!   milliseconds to minutes, so static chunking is within noise of a
+//!   stealing scheduler and considerably simpler.
+//! * **Thread sizing.** `RAYON_NUM_THREADS` is honoured, a scoped
+//!   [`ThreadPool::install`] override wins over it, and the fallback is
+//!   [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Scoped thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel iterators will use in this context.
+///
+/// Resolution order: innermost [`ThreadPool::install`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Error building a thread pool (the vendored pool cannot actually fail;
+/// the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default sizing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the pool size; `0` means "use the default sizing".
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors the real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A logical thread pool: a thread-count context for parallel iterators.
+///
+/// Unlike real rayon no worker threads are parked in the pool; threads are
+/// scoped per parallel call. `install` only pins the thread *count*, which
+/// is all the deterministic runner needs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count installed as the ambient
+    /// parallelism for nested parallel iterators.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        struct Reset(Option<usize>);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        op()
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+/// Maps `items` to outputs in input order using up to
+/// [`current_num_threads`] scoped threads.
+fn par_map_ordered<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = current_num_threads().max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    let mut results: Vec<Vec<O>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in &mut results {
+        out.append(part);
+    }
+    out
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iterator: the terminal adapters execute the fan-out.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item (lazily; execution happens at a terminal adapter).
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Calls `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        par_map_ordered(self.items, &f);
+    }
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Executes the map and collects outputs in input order.
+    pub fn collect<C: FromParallelIterator<O>>(self) -> C {
+        C::from_ordered_vec(par_map_ordered(self.items, &self.f))
+    }
+
+    /// Executes the map and folds the outputs (in input order) with `op`,
+    /// starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> O
+    where
+        ID: Fn() -> O,
+        OP: Fn(O, O) -> O,
+    {
+        par_map_ordered(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Executes the map and sums the outputs.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        par_map_ordered(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Collection types constructible from an ordered parallel map.
+pub trait FromParallelIterator<O> {
+    /// Builds the collection from outputs already in input order.
+    fn from_ordered_vec(v: Vec<O>) -> Self;
+}
+
+impl<O> FromParallelIterator<O> for Vec<O> {
+    fn from_ordered_vec(v: Vec<O>) -> Self {
+        v
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable parallel iterator traits.
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+pub mod iter {
+    //! Iterator trait re-exports at their rayon paths.
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let run = |n: usize| -> Vec<u64> {
+            ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+                .install(|| {
+                    (0u64..100)
+                        .into_par_iter()
+                        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+                        .collect()
+                })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn install_is_scoped() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let s: f64 = data.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 6.0);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap()
+            .install(|| {
+                let _: Vec<()> = (0..8)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 5 {
+                            panic!("boom");
+                        }
+                    })
+                    .collect();
+            });
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline vendored `serde` facade.
+//!
+//! The build container for this reproduction has **no network access**, so
+//! the real `serde` crate can never be fetched. This facade keeps the call
+//! sites the workspace actually uses — `#[derive(serde::Serialize)]`,
+//! `#[derive(Serialize, Deserialize)]` and the `serde_json`
+//! string round-trip — compiling and working, with a much simpler design:
+//! both traits go through an owned JSON-like [`Content`] tree instead of
+//! serde's visitor machinery.
+//!
+//! Supported shapes (all the workspace needs): integers, floats, bools,
+//! strings, tuples, `Vec<T>`, `Option<T>`, and named-field structs via
+//! the re-exported derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned serialization tree (the facade's stand-in for serde's data
+/// model). `serde_json` renders/parses this.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object with insertion-ordered keys.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a [`Content::Map`].
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Types renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types restorable from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting a human-readable error on shape
+    /// mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first mismatch encountered.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+/// Derive-macro helper: deserializes one named struct field from a map.
+///
+/// # Errors
+///
+/// Returns an error if the field is missing (and `T` is not an `Option`)
+/// or has the wrong shape.
+pub fn de_field<T: Deserialize>(content: &Content, name: &str) -> Result<T, String> {
+    match content.get(name) {
+        Some(v) => T::from_content(v).map_err(|e| format!("field `{name}`: {e}")),
+        None => T::from_content(&Content::Null).map_err(|_| format!("missing field `{name}`")),
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} overflows")),
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} overflows")),
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as $t),
+                    other => Err(format!("expected unsigned integer, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} overflows")),
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| format!("{v} overflows")),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    other => Err(format!("expected integer, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    other => Err(format!("expected number, found {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::from_content(v).map_err(|e| format!("[{i}]: {e}")))
+                .collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                const ARITY: usize = [$($idx),+].len();
+                match content {
+                    Content::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::from_content(&items[$idx])
+                            .map_err(|e| format!("[{}]: {e}", $idx))?,)+))
+                    }
+                    other => Err(format!("expected {ARITY}-tuple, found {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [0u64, 1, u64::from(u32::MAX)] {
+            assert_eq!(u64::from_content(&v.to_content()).unwrap(), v);
+        }
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let s = "hello".to_string();
+        assert_eq!(String::from_content(&s.to_content()).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_round_trips() {
+        let v = vec![vec![1.0f64, 2.0], vec![3.0]];
+        assert_eq!(Vec::<Vec<f64>>::from_content(&v.to_content()).unwrap(), v);
+        let t = (0.25f64, 0.75f64);
+        assert_eq!(<(f64, f64)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn shape_errors_report_paths() {
+        let err =
+            Vec::<f64>::from_content(&Content::Seq(vec![Content::Str("x".into())])).unwrap_err();
+        assert!(err.contains("[0]"), "{err}");
+        let err = de_field::<u64>(&Content::Map(vec![]), "hidden").unwrap_err();
+        assert!(err.contains("hidden"), "{err}");
+    }
+}

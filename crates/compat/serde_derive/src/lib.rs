@@ -1,0 +1,156 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade.
+//!
+//! The offline build container has neither `syn` nor `quote`, so the
+//! struct is parsed directly from the [`proc_macro::TokenStream`]. Only
+//! non-generic structs with named fields are supported — exactly the
+//! shapes this workspace derives on; anything else is a compile error
+//! pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `struct Name { field: Type, ... }` out of a derive input stream.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(
+                    "vendored serde derive supports only structs with named fields".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no `struct` keyword in derive input")?;
+
+    // The next brace group holds the named fields. Generics are not
+    // supported (a `<` before the body is an error).
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "vendored serde derive does not support generic struct `{name}`"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("struct `{name}` has no named-field body")),
+        }
+    };
+
+    // Fields: [attrs] [visibility] ident `:` type `,`
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next(); // the [...] group
+        }
+        // Skip visibility (`pub` or `pub(crate)`).
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = toks.next() else {
+            break;
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "field `{field}` of `{name}`: expected `:`, found {other:?} \
+                     (tuple structs are not supported)"
+                ))
+            }
+        }
+        fields.push(field.to_string());
+        // Consume the type up to the next top-level comma, tracking angle
+        // depth so `Vec<HashMap<K, V>>`-style commas don't end the field.
+        let mut angle: i32 = 0;
+        for tt in toks.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree based).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let fields: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field(content, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> Result<Self, String> {{\n\
+                 Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .unwrap()
+}

@@ -6,9 +6,10 @@
 
 use ptnc_datasets::DataSplit;
 
-use crate::eval::{evaluate, EvalCondition};
+use crate::eval::{evaluate_with_runner, EvalCondition};
 use crate::models::FilterOrder;
-use crate::training::{train, TrainConfig};
+use crate::parallel::ParallelRunner;
+use crate::training::{train_with_runner, TrainConfig};
 use crate::variation::VariationConfig;
 
 /// The ablation arms of Fig. 7.
@@ -54,20 +55,19 @@ impl AblationArm {
         let base = TrainConfig::baseline_ptpnc(hidden);
         match self {
             AblationArm::Baseline => base,
-            AblationArm::VariationAware => TrainConfig {
-                variation_aware: true,
-                mc_samples: 3,
-                ..base
-            },
-            AblationArm::AugmentedTraining => TrainConfig {
-                augmented: true,
-                augment_strength: 0.5,
-                ..base
-            },
-            AblationArm::SecondOrderFilters => TrainConfig {
-                filter_order: FilterOrder::Second,
-                ..base
-            },
+            AblationArm::VariationAware => base
+                .to_builder()
+                .variation_aware(true)
+                .mc_samples(3)
+                .build(),
+            AblationArm::AugmentedTraining => base
+                .to_builder()
+                .augmented(true)
+                .augment_strength(0.5)
+                .build(),
+            AblationArm::SecondOrderFilters => {
+                base.to_builder().filter_order(FilterOrder::Second).build()
+            }
             AblationArm::Full => TrainConfig::adapt_pnc(hidden),
         }
     }
@@ -82,8 +82,8 @@ pub struct AblationResult {
     pub perturbed: f64,
 }
 
-/// Trains one ablation arm and scores it under the Fig. 7 conditions (both
-/// with 10 % physical variation; clean vs perturbed inputs).
+/// Trains one ablation arm with an environment-sized runner. See
+/// [`run_arm_with_runner`].
 pub fn run_arm(
     arm: AblationArm,
     split: &DataSplit,
@@ -92,10 +92,34 @@ pub fn run_arm(
     variation_trials: usize,
     seed: u64,
 ) -> AblationResult {
+    run_arm_with_runner(
+        arm,
+        split,
+        hidden,
+        max_epochs,
+        variation_trials,
+        seed,
+        &ParallelRunner::from_env(),
+    )
+}
+
+/// Trains one ablation arm and scores it under the Fig. 7 conditions (both
+/// with 10 % physical variation; clean vs perturbed inputs), fanning the
+/// Monte-Carlo work out through `runner`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_arm_with_runner(
+    arm: AblationArm,
+    split: &DataSplit,
+    hidden: usize,
+    max_epochs: usize,
+    variation_trials: usize,
+    seed: u64,
+    runner: &ParallelRunner,
+) -> AblationResult {
     let cfg = arm.config(hidden).with_epochs(max_epochs);
-    let trained = train(split, &cfg, seed);
+    let trained = train_with_runner(split, &cfg, seed, runner);
     let variation = VariationConfig::paper_default();
-    let clean = evaluate(
+    let clean = evaluate_with_runner(
         &trained.model,
         &split.test,
         &EvalCondition::Variation {
@@ -103,8 +127,9 @@ pub fn run_arm(
             trials: variation_trials,
         },
         seed,
+        runner,
     );
-    let perturbed = evaluate(
+    let perturbed = evaluate_with_runner(
         &trained.model,
         &split.test,
         &EvalCondition::VariationAndPerturbed {
@@ -113,6 +138,7 @@ pub fn run_arm(
             strength: 0.5,
         },
         seed,
+        runner,
     );
     AblationResult { clean, perturbed }
 }

@@ -12,6 +12,7 @@ use ptnc_nn::accuracy;
 use ptnc_tensor::Tensor;
 
 use crate::models::PrintedModel;
+use crate::parallel::{rng_for, streams, ModelTemplate, ParallelRunner, RawSteps};
 use crate::variation::VariationConfig;
 
 /// Converts a multivariate dataset into a time-major sequence of
@@ -102,9 +103,25 @@ impl EvalCondition {
     }
 }
 
-/// Scores a printed model on a dataset under the given condition. Returns
-/// classification accuracy in `[0, 1]`.
+/// Scores a printed model on a dataset under the given condition using an
+/// environment-sized runner (`PNC_THREADS`) for the Monte-Carlo variation
+/// trials. Returns classification accuracy in `[0, 1]`.
 pub fn evaluate(model: &PrintedModel, ds: &Dataset, condition: &EvalCondition, seed: u64) -> f64 {
+    evaluate_with_runner(model, ds, condition, seed, &ParallelRunner::from_env())
+}
+
+/// Scores a printed model on a dataset under the given condition, fanning
+/// the Monte-Carlo variation trials out through `runner`. Each trial draws
+/// its noise from a counter-based RNG stream keyed by
+/// `(seed, trial index)`, so the score is bit-identical for any thread
+/// count.
+pub fn evaluate_with_runner(
+    model: &PrintedModel,
+    ds: &Dataset,
+    condition: &EvalCondition,
+    seed: u64,
+    runner: &ParallelRunner,
+) -> f64 {
     match condition {
         EvalCondition::Nominal => {
             let (steps, labels) = dataset_to_steps(ds);
@@ -117,7 +134,7 @@ pub fn evaluate(model: &PrintedModel, ds: &Dataset, condition: &EvalCondition, s
         }
         EvalCondition::Variation { config, trials } => {
             let (steps, labels) = dataset_to_steps(ds);
-            variation_trials(model, &steps, &labels, config, *trials, seed)
+            variation_trials(model, &steps, &labels, config, *trials, seed, runner)
         }
         EvalCondition::VariationAndPerturbed {
             config,
@@ -126,11 +143,12 @@ pub fn evaluate(model: &PrintedModel, ds: &Dataset, condition: &EvalCondition, s
         } => {
             let perturbed = perturb_dataset(ds, *strength, seed);
             let (steps, labels) = dataset_to_steps(&perturbed);
-            variation_trials(model, &steps, &labels, config, *trials, seed)
+            variation_trials(model, &steps, &labels, config, *trials, seed, runner)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn variation_trials(
     model: &PrintedModel,
     steps: &[Tensor],
@@ -138,15 +156,19 @@ fn variation_trials(
     config: &VariationConfig,
     trials: usize,
     seed: u64,
+    runner: &ParallelRunner,
 ) -> f64 {
     assert!(trials > 0, "need at least one variation trial");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-    let mut total = 0.0;
-    for _ in 0..trials {
-        let noise = model.sample_noise(config, &mut rng);
-        total += accuracy(&model.forward(steps, Some(&noise)), labels);
-    }
-    total / trials as f64
+    let template = ModelTemplate::capture(model);
+    let raw_steps = RawSteps::capture(steps);
+    let accs = runner.run((0..trials).collect(), |_, trial: usize| {
+        let replica = template.instantiate();
+        let steps = raw_steps.to_tensors();
+        let mut rng = rng_for(seed, streams::EVAL_TRIAL, trial as u64);
+        let noise = replica.sample_noise(config, &mut rng);
+        accuracy(&replica.forward(&steps, Some(&noise)), labels)
+    });
+    accs.iter().sum::<f64>() / trials as f64
 }
 
 /// Mean and (population) standard deviation of a slice of scores — the
@@ -154,11 +176,7 @@ fn variation_trials(
 pub fn mean_std(scores: &[f64]) -> (f64, f64) {
     assert!(!scores.is_empty(), "no scores");
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    let var = scores
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
-        / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -222,7 +240,10 @@ mod tests {
         let mut rng = init::rng(1);
         let model = crate::models::PrintedModel::adapt_pnc(1, 4, 3, &mut rng);
         let cond = EvalCondition::paper_test();
-        assert_eq!(evaluate(&model, &ds, &cond, 7), evaluate(&model, &ds, &cond, 7));
+        assert_eq!(
+            evaluate(&model, &ds, &cond, 7),
+            evaluate(&model, &ds, &cond, 7)
+        );
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //! | `PNC_TOPK` | models kept per dataset ("top three", §IV-B) | 2 |
 //! | `PNC_HIDDEN` | hidden width of all models | 8 |
 
-use ptnc_datasets::{benchmark, BenchmarkSpec, DataSplit};
 use ptnc_datasets::preprocess::Preprocess;
+use ptnc_datasets::{benchmark, BenchmarkSpec, DataSplit};
 
-use crate::eval::{evaluate, mean_std, EvalCondition};
-use crate::training::{top_k_indices, train, train_elman, TrainConfig};
+use crate::eval::{evaluate, evaluate_with_runner, mean_std, EvalCondition};
+use crate::parallel::ParallelRunner;
+use crate::training::{
+    top_k_indices, train, train_elman_with_runner, train_with_runner, TrainConfig,
+};
 
 /// Experiment fidelity knobs (see module docs for the environment mapping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,10 +125,26 @@ pub struct Table1Row {
     pub adapt: (f64, f64),
 }
 
+/// Runs the full Table I protocol on one benchmark with an
+/// environment-sized runner (`PNC_THREADS`). See [`table1_row_with_runner`].
+pub fn table1_row(spec: &BenchmarkSpec, scale: &ExperimentScale) -> Table1Row {
+    table1_row_with_runner(spec, scale, &ParallelRunner::from_env())
+}
+
 /// Runs the full Table I protocol on one benchmark: train over seeds, keep
 /// the top-k models by test accuracy, report mean ± std under the paper's
 /// test condition.
-pub fn table1_row(spec: &BenchmarkSpec, scale: &ExperimentScale) -> Table1Row {
+///
+/// The per-seed runs fan out through `runner`; each worker builds its model
+/// locally and trains with a serial inner runner (the seed loop is the
+/// outermost — and therefore the best — axis to parallelize, and nesting
+/// pools would only oversubscribe). Results are bit-identical for any
+/// thread count.
+pub fn table1_row_with_runner(
+    spec: &BenchmarkSpec,
+    scale: &ExperimentScale,
+    runner: &ParallelRunner,
+) -> Table1Row {
     let split = prepare_split(spec, 0);
     let condition = EvalCondition::VariationAndPerturbed {
         config: crate::variation::VariationConfig::paper_default(),
@@ -134,31 +153,37 @@ pub fn table1_row(spec: &BenchmarkSpec, scale: &ExperimentScale) -> Table1Row {
     };
 
     // --- Elman reference (no variation applies to software) -------------
-    let mut elman_scores = Vec::new();
-    for seed in 0..scale.seeds as u64 {
-        let (model, _) = train_elman(&split, scale.hidden, scale.epochs, seed);
+    let elman_scores = runner.run((0..scale.seeds as u64).collect(), |_, seed: u64| {
+        let (model, _) = train_elman_with_runner(
+            &split,
+            scale.hidden,
+            scale.epochs,
+            seed,
+            &ParallelRunner::serial(),
+        );
         // The reference model still sees the perturbed test inputs.
         let perturbed = crate::eval::perturb_dataset(&split.test, 0.5, seed);
         let (steps, labels) = crate::eval::dataset_to_steps(&perturbed);
-        elman_scores.push(ptnc_nn::accuracy(&model.forward(&steps), &labels));
-    }
+        ptnc_nn::accuracy(&model.forward(&steps), &labels)
+    });
 
     // --- printed models --------------------------------------------------
     let run = |cfg: TrainConfig| -> Vec<f64> {
-        let mut scores = Vec::new();
-        for seed in 0..scale.seeds as u64 {
-            let trained = train(&split, &cfg, seed);
-            scores.push(evaluate(&trained.model, &split.test, &condition, seed));
-        }
+        let scores = runner.run((0..scale.seeds as u64).collect(), |_, seed: u64| {
+            let inner = ParallelRunner::serial();
+            let trained = train_with_runner(&split, &cfg, seed, &inner);
+            evaluate_with_runner(&trained.model, &split.test, &condition, seed, &inner)
+        });
         let keep = top_k_indices(&scores, scale.top_k.min(scores.len()));
         keep.iter().map(|&i| scores[i]).collect()
     };
 
     let baseline_cfg = TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(scale.epochs);
-    let adapt_template = TrainConfig {
-        mc_samples: scale.mc_samples,
-        ..TrainConfig::adapt_pnc(scale.hidden).with_epochs(scale.epochs)
-    };
+    let adapt_template = TrainConfig::adapt_pnc(scale.hidden)
+        .with_epochs(scale.epochs)
+        .to_builder()
+        .mc_samples(scale.mc_samples)
+        .build();
     // Per-dataset augmentation tuning (the paper's Ray-Tune step).
     let strength = tune_augment_strength(&split, &adapt_template, scale);
     let adapt_cfg = adapt_template.with_augment_strength(strength);
@@ -193,7 +218,10 @@ mod tests {
         let spec = &all_specs()[0];
         let split = prepare_split(spec, 0);
         let total = spec.classes * spec.samples_per_class;
-        assert_eq!(split.train.len() + split.val.len() + split.test.len(), total);
+        assert_eq!(
+            split.train.len() + split.val.len() + split.test.len(),
+            total
+        );
         assert_eq!(split.train.series_len(), 64);
     }
 

@@ -111,10 +111,21 @@ pub fn fit_ptanh(sweep: &[(f64, f64)]) -> [f64; 4] {
 ///
 /// Panics unless `stages` is 1 or 2.
 pub fn lpf_circuit(stages: usize, r: f64, c: f64, load_ohms: Option<f64>) -> (Circuit, Node) {
-    assert!(stages == 1 || stages == 2, "only first/second order supported");
+    assert!(
+        stages == 1 || stages == 2,
+        "only first/second order supported"
+    );
     let mut ckt = Circuit::new();
     let vin = ckt.node("in");
-    ckt.vsource(vin, Circuit::GROUND, Waveform::Step { t0: 0.0, v0: 0.0, v1: 1.0 });
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::Step {
+            t0: 0.0,
+            v0: 0.0,
+            v1: 1.0,
+        },
+    );
     let mut prev = vin;
     let mut out = vin;
     for s in 0..stages {
@@ -251,8 +262,14 @@ mod tests {
             .iter()
             .map(|&(x, y)| (eta[0] + eta[1] * ((x - eta[2]) * eta[3]).tanh() - y).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_err < 0.06, "fit error {max_err} too large (eta={eta:?})");
-        assert!(eta[3] > 0.0, "gain must be positive for the rising transfer");
+        assert!(
+            max_err < 0.06,
+            "fit error {max_err} too large (eta={eta:?})"
+        );
+        assert!(
+            eta[3] > 0.0,
+            "gain must be positive for the rising transfer"
+        );
     }
 
     #[test]
@@ -264,7 +281,10 @@ mod tests {
         let second = magnitude_response(2, r, c, None, 0.1, 1e4, 10).unwrap();
         let roll1 = first.rolloff_db_per_decade().unwrap();
         let roll2 = second.rolloff_db_per_decade().unwrap();
-        assert!(roll1 < -15.0 && roll1 > -25.0, "first-order rolloff {roll1}");
+        assert!(
+            roll1 < -15.0 && roll1 > -25.0,
+            "first-order rolloff {roll1}"
+        );
         assert!(roll2 < -35.0, "second-order rolloff {roll2}");
     }
 

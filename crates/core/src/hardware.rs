@@ -156,7 +156,11 @@ mod tests {
         // ptanh: 2×(3+2) = 10 resistors. Plus 2 per negative θ.
         let base = 9 + 10 + 5 + 10;
         assert!(c.resistors >= base, "{} < {base}", c.resistors);
-        assert_eq!((c.resistors - base) % 2, 0, "inverters come in resistor pairs");
+        assert_eq!(
+            (c.resistors - base) % 2,
+            0,
+            "inverters come in resistor pairs"
+        );
     }
 
     #[test]
@@ -173,8 +177,16 @@ mod tests {
     fn report_ratios() {
         let r = HardwareReport {
             dataset: "X".into(),
-            baseline: DeviceCount { transistors: 10, resistors: 80, capacitors: 10 },
-            proposed: DeviceCount { transistors: 30, resistors: 140, capacitors: 20 },
+            baseline: DeviceCount {
+                transistors: 10,
+                resistors: 80,
+                capacitors: 10,
+            },
+            proposed: DeviceCount {
+                transistors: 30,
+                resistors: 140,
+                capacitors: 20,
+            },
             baseline_power: 1e-3,
             proposed_power: 1e-4,
         };

@@ -36,27 +36,37 @@
 
 pub mod ablation;
 pub mod eval;
-pub mod faults;
 pub mod experiments;
+pub mod faults;
 pub mod filter_design;
 pub mod guide;
 pub mod hardware;
 pub mod models;
 pub mod netlist_export;
+pub mod parallel;
 pub mod pdk;
 pub mod persist;
 pub mod power;
-pub mod search;
 pub mod primitives;
+pub mod search;
 pub mod training;
 pub mod variation;
 
-/// Convenience re-exports for examples and benches.
+/// Convenience re-exports for examples and benches: everything a typical
+/// train-evaluate script needs, including the dataset registry and the
+/// deterministic [`parallel::ParallelRunner`] fan-out layer.
 pub mod prelude {
-    pub use crate::eval::{dataset_to_steps, evaluate, EvalCondition};
+    pub use crate::eval::{dataset_to_steps, evaluate, evaluate_with_runner, EvalCondition};
     pub use crate::hardware::{DeviceCount, HardwareReport};
     pub use crate::models::{FilterOrder, PrintedModel};
+    pub use crate::parallel::{rng_for, seed_split, streams, ParallelRunner};
     pub use crate::pdk::Pdk;
-    pub use crate::training::{train, TrainConfig, TrainedModel};
+    pub use crate::training::{
+        train, train_with_runner, TrainConfig, TrainConfigBuilder, TrainedModel,
+    };
     pub use crate::variation::{ModelNoise, VariationConfig};
+    pub use ptnc_datasets::{
+        all_specs, benchmark, benchmark_by_name, preprocess::Preprocess, BenchmarkSpec, DataSplit,
+        Dataset,
+    };
 }

@@ -216,6 +216,12 @@ impl PrintedModel {
         &self.layers
     }
 
+    /// The nominal coupling factor μ the model's filters were designed at
+    /// (needed to rebuild a behaviorally identical replica).
+    pub fn mu_nominal(&self) -> f64 {
+        self.layers[0].filters().mu_nominal()
+    }
+
     /// Forward pass over a sequence of `[batch, input_dim]` steps, returning
     /// loss-ready logits `[batch, classes]` (final-step voltages times the
     /// sense-stage scale).
@@ -351,7 +357,9 @@ mod tests {
         assert!(s.item() > 0.0);
         s.backward();
         // Crossbar θ received gradients from the power term.
-        assert!(m.layers()[0].crossbar().parameters()[0].grad_opt().is_some());
+        assert!(m.layers()[0].crossbar().parameters()[0]
+            .grad_opt()
+            .is_some());
     }
 
     #[test]

@@ -296,7 +296,11 @@ mod tests {
         let model = PrintedModel::with_mu(3, 4, 2, order, &pdk, 1.15, &mut init::rng(seed));
         let l = model.layers()[0].clone();
         for (i, p) in l.filters().parameters().iter().enumerate() {
-            let v = if i % 2 == 0 { (800.0f64).ln() } else { (1e-4f64).ln() };
+            let v = if i % 2 == 0 {
+                (800.0f64).ln()
+            } else {
+                (1e-4f64).ln()
+            };
             p.set_data(vec![v; p.len()]);
         }
         l

@@ -18,6 +18,8 @@ pub struct ModelSnapshot {
     pub classes: usize,
     /// Filter stages per filter (1, 2 or 3).
     pub filter_stages: usize,
+    /// Nominal coupling factor μ the filters were designed at.
+    pub mu_nominal: f64,
     /// Every parameter tensor's data, in [`PrintedModel::parameters`] order.
     pub parameters: Vec<Vec<f64>>,
 }
@@ -51,9 +53,16 @@ impl std::fmt::Display for RestoreError {
         match self {
             RestoreError::BadFilterOrder(n) => write!(f, "unsupported filter stage count {n}"),
             RestoreError::ParameterCountMismatch { expected, found } => {
-                write!(f, "snapshot has {found} parameter tensors, architecture needs {expected}")
+                write!(
+                    f,
+                    "snapshot has {found} parameter tensors, architecture needs {expected}"
+                )
             }
-            RestoreError::ParameterShapeMismatch { index, expected, found } => write!(
+            RestoreError::ParameterShapeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
                 f,
                 "parameter {index} has {found} elements, architecture needs {expected}"
             ),
@@ -70,11 +79,12 @@ pub fn snapshot(model: &PrintedModel) -> ModelSnapshot {
         hidden: model.hidden(),
         classes: model.num_classes(),
         filter_stages: model.order().stages(),
+        mu_nominal: model.mu_nominal(),
         parameters: model.parameters().iter().map(|p| p.to_vec()).collect(),
     }
 }
 
-/// Rebuilds a model from a snapshot (nominal μ, default PDK).
+/// Rebuilds a model from a snapshot (stored μ, default PDK).
 ///
 /// # Errors
 ///
@@ -89,12 +99,13 @@ pub fn restore(snap: &ModelSnapshot) -> Result<PrintedModel, RestoreError> {
     };
     // Deterministic scaffold; every value is overwritten below.
     let mut rng = ptnc_tensor::init::rng(0);
-    let model = PrintedModel::new(
+    let model = PrintedModel::with_mu(
         snap.input_dim,
         snap.hidden,
         snap.classes,
         order,
         &Pdk::paper_default(),
+        snap.mu_nominal,
         &mut rng,
     );
     let params = model.parameters();
@@ -180,7 +191,10 @@ mod tests {
     fn bad_filter_order_rejected() {
         let mut snap = snapshot(&model());
         snap.filter_stages = 9;
-        assert!(matches!(restore(&snap), Err(RestoreError::BadFilterOrder(9))));
+        assert!(matches!(
+            restore(&snap),
+            Err(RestoreError::BadFilterOrder(9))
+        ));
     }
 
     #[test]
@@ -198,7 +212,10 @@ mod tests {
         let mut snap = snapshot(&model());
         snap.parameters[0].push(0.0);
         let err = restore(&snap).unwrap_err();
-        assert!(matches!(err, RestoreError::ParameterShapeMismatch { index: 0, .. }));
+        assert!(matches!(
+            err,
+            RestoreError::ParameterShapeMismatch { index: 0, .. }
+        ));
         assert!(err.to_string().contains("parameter 0"));
     }
 

@@ -94,7 +94,11 @@ mod tests {
         let p = model_power(&m, &Pdk::paper_default());
         assert!(p.total() > 0.0);
         // Fresh models sit in the µW–mW regime like the paper's Table III.
-        assert!(p.total_mw() > 1e-3 && p.total_mw() < 10.0, "{} mW", p.total_mw());
+        assert!(
+            p.total_mw() > 1e-3 && p.total_mw() < 10.0,
+            "{} mW",
+            p.total_mw()
+        );
     }
 
     #[test]

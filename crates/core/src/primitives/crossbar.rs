@@ -102,7 +102,11 @@ impl PrintedCrossbar {
             x.dims()
         );
         let (tw, tb, td) = match noise {
-            None => (self.theta_w.clone(), self.theta_b.clone(), self.theta_d.clone()),
+            None => (
+                self.theta_w.clone(),
+                self.theta_b.clone(),
+                self.theta_d.clone(),
+            ),
             Some(n) => (
                 self.theta_w.mul(&n.eps_w),
                 self.theta_b.mul(&n.eps_b),
@@ -123,7 +127,11 @@ impl PrintedCrossbar {
 
     /// The trainable parameters `[θ_w, θ_b, θ_d]`.
     pub fn parameters(&self) -> Vec<Tensor> {
-        vec![self.theta_w.clone(), self.theta_b.clone(), self.theta_d.clone()]
+        vec![
+            self.theta_w.clone(),
+            self.theta_b.clone(),
+            self.theta_d.clone(),
+        ]
     }
 
     /// Samples a variation instance for this crossbar.
@@ -149,7 +157,8 @@ impl PrintedCrossbar {
         self.theta_w.map_data_in_place(cap);
         self.theta_b.map_data_in_place(cap);
         // The dummy conductance is a plain resistor to ground: non-negative.
-        self.theta_d.map_data_in_place(move |v| v.abs().clamp(lo, hi));
+        self.theta_d
+            .map_data_in_place(move |v| v.abs().clamp(lo, hi));
     }
 
     /// The effective (normalized) weight matrix `[in, out]` at nominal

@@ -98,7 +98,9 @@ impl FilterBank {
         let mut log_c = Vec::with_capacity(stages);
         for _ in 0..stages {
             let r: Vec<f64> = (0..width)
-                .map(|_| rng.gen_range((2.0 * pdk.filter_r_min).ln()..(0.9 * pdk.filter_r_max).ln()))
+                .map(|_| {
+                    rng.gen_range((2.0 * pdk.filter_r_min).ln()..(0.9 * pdk.filter_r_max).ln())
+                })
                 .collect();
             let c: Vec<f64> = (0..width)
                 .map(|_| rng.gen_range((10.0 * pdk.cap_min).ln()..(0.5 * pdk.cap_max).ln()))
@@ -124,6 +126,16 @@ impl FilterBank {
     /// Number of filters in the bank.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The nominal crossbar-coupling factor μ the bank was designed at.
+    pub fn mu_nominal(&self) -> f64 {
+        self.mu_nominal
+    }
+
+    /// The discretization step the bank integrates with.
+    pub fn dt(&self) -> f64 {
+        self.dt
     }
 
     /// Capacitors used by the bank (one per stage per filter) — the Table III
@@ -210,8 +222,12 @@ impl FilterBank {
     pub fn sample_noise(&self, cfg: &VariationConfig, rng: &mut impl Rng) -> FilterNoise {
         let stages = self.order.stages();
         FilterNoise {
-            eps_r: (0..stages).map(|_| cfg.epsilon(&[self.width], rng)).collect(),
-            eps_c: (0..stages).map(|_| cfg.epsilon(&[self.width], rng)).collect(),
+            eps_r: (0..stages)
+                .map(|_| cfg.epsilon(&[self.width], rng))
+                .collect(),
+            eps_c: (0..stages)
+                .map(|_| cfg.epsilon(&[self.width], rng))
+                .collect(),
             mu: (0..stages).map(|_| cfg.mu(&[self.width], rng)).collect(),
             v0: (0..stages).map(|_| cfg.v0(&[self.width], rng)).collect(),
         }
@@ -269,7 +285,9 @@ mod tests {
     }
 
     fn constant_steps(n: usize, batch: usize, width: usize, value: f64) -> Vec<Tensor> {
-        (0..n).map(|_| Tensor::full(&[batch, width], value)).collect()
+        (0..n)
+            .map(|_| Tensor::full(&[batch, width], value))
+            .collect()
     }
 
     #[test]
@@ -305,7 +323,11 @@ mod tests {
         let f2 = bank(FilterOrder::Second, 1, 2);
         // Same RC on every stage for a fair comparison.
         for p in f1.parameters().iter().chain(f2.parameters().iter()) {
-            p.set_data(vec![if p.to_vec()[0] < 0.0 { (2e-5f64).ln() } else { (500.0f64).ln() }]);
+            p.set_data(vec![if p.to_vec()[0] < 0.0 {
+                (2e-5f64).ln()
+            } else {
+                (500.0f64).ln()
+            }]);
         }
         let steps = constant_steps(8, 1, 1, 1.0);
         let o1 = f1.forward_sequence(&steps, None);
@@ -322,7 +344,11 @@ mod tests {
         // Pin both stages at a long time constant (R = 800 Ω, C = 50 µF).
         for p in fb.parameters() {
             let is_log_c = p.to_vec()[0] < 0.0;
-            p.set_data(vec![if is_log_c { (5e-5f64).ln() } else { (800.0f64).ln() }]);
+            p.set_data(vec![if is_log_c {
+                (5e-5f64).ln()
+            } else {
+                (800.0f64).ln()
+            }]);
         }
         // Alternating ±1: the fastest representable signal.
         let steps: Vec<Tensor> = (0..200)
@@ -352,7 +378,12 @@ mod tests {
     fn gradcheck_through_recurrence() {
         let fb = bank(FilterOrder::Second, 2, 5);
         let steps: Vec<Tensor> = (0..6)
-            .map(|k| Tensor::from_vec(&[1, 2], vec![(k as f64 * 0.9).sin(), (k as f64 * 0.4).cos()]))
+            .map(|k| {
+                Tensor::from_vec(
+                    &[1, 2],
+                    vec![(k as f64 * 0.9).sin(), (k as f64 * 0.4).cos()],
+                )
+            })
             .collect();
         gradcheck::check(
             || {
@@ -369,7 +400,11 @@ mod tests {
         let fb = bank(FilterOrder::First, 2, 6);
         fb.parameters()[0].set_data(vec![100.0, -100.0]); // absurd log R
         fb.project(&pdk());
-        let r: Vec<f64> = fb.parameters()[0].to_vec().iter().map(|v| v.exp()).collect();
+        let r: Vec<f64> = fb.parameters()[0]
+            .to_vec()
+            .iter()
+            .map(|v| v.exp())
+            .collect();
         assert!(r[0] <= 1000.0 + 1e-9 && r[1] >= 50.0 - 1e-9);
     }
 

@@ -89,10 +89,11 @@ pub fn architecture_search(
     let mut best = 0;
     for &hidden in &space.hidden {
         for &order in &space.orders {
-            let cfg = TrainConfig {
-                filter_order: order,
-                ..TrainConfig::adapt_pnc(hidden).with_epochs(epochs)
-            };
+            let cfg = TrainConfig::adapt_pnc(hidden)
+                .with_epochs(epochs)
+                .to_builder()
+                .filter_order(order)
+                .build();
             let trained = train(split, &cfg, seed);
             let score = evaluate(&trained.model, &split.val, &condition, seed);
             let candidate = Candidate {
@@ -102,7 +103,11 @@ pub fn architecture_search(
                 devices: count_devices(&trained.model),
                 power: model_power(&trained.model, &cfg.pdk).total(),
             };
-            if candidate.score > candidates.get(best).map_or(f64::NEG_INFINITY, |c: &Candidate| c.score) {
+            if candidate.score
+                > candidates
+                    .get(best)
+                    .map_or(f64::NEG_INFINITY, |c: &Candidate| c.score)
+            {
                 best = candidates.len();
             }
             candidates.push(candidate);

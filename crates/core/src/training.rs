@@ -11,21 +11,45 @@
 //!
 //! A conductance-sum (static power) regularizer follows the power-aware pNC
 //! training of prior work and produces the Table III power reduction.
+//!
+//! # Parallel Monte-Carlo execution
+//!
+//! The `N` variation samples of each epoch evaluate in parallel through the
+//! shared [`ParallelRunner`]: every sample rebuilds a thread-local model
+//! replica (tensors are `Rc`-based and not `Send`), draws its noise from a
+//! counter-based RNG stream keyed by `(master_seed, epoch, sample)` via
+//! [`crate::parallel::seed_split`], and returns its loss value plus
+//! per-parameter gradients. The main thread averages the gradients in
+//! sample order and injects them into the live parameters through a
+//! surrogate loss `Σᵢ⟨θᵢ, ḡᵢ⟩`, whose `backward()` deposits exactly the
+//! accumulated Monte-Carlo gradient. Because the per-sample RNG streams
+//! never depend on scheduling, training results are **bit-identical for
+//! any thread count**.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ptnc_datasets::DataSplit;
-use ptnc_nn::{accuracy, cross_entropy, ReduceLrOnPlateau, TrainReport, Trainer};
+use ptnc_datasets::{DataSplit, Dataset};
+use ptnc_nn::{
+    accuracy, cross_entropy, EpochCtx, FnObjective, ReduceLrOnPlateau, TrainObjective, TrainReport,
+    Trainer,
+};
 use ptnc_tensor::Tensor;
 
 use crate::eval::{dataset_to_steps, perturb_dataset};
 use crate::models::{FilterOrder, PrintedModel};
+use crate::parallel::{rng_for, streams, ModelTemplate, ParallelRunner, RawSteps};
 use crate::pdk::Pdk;
 use crate::variation::VariationConfig;
 
 /// Configuration of one training run.
+///
+/// Construct via the presets ([`TrainConfig::baseline_ptpnc`],
+/// [`TrainConfig::adapt_pnc`]) or the builder ([`TrainConfig::builder`],
+/// [`TrainConfig::to_builder`]); the struct is `#[non_exhaustive]`, so raw
+/// literals no longer compile outside this module.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct TrainConfig {
     /// Hidden width of the 2-layer network.
     pub hidden: usize,
@@ -105,6 +129,19 @@ impl TrainConfig {
         }
     }
 
+    /// Starts a builder from the baseline preset at the given hidden width.
+    pub fn builder(hidden: usize) -> TrainConfigBuilder {
+        TrainConfigBuilder {
+            cfg: Self::baseline_ptpnc(hidden),
+        }
+    }
+
+    /// Turns an existing configuration (e.g. a preset) back into a builder
+    /// for field-level tweaks.
+    pub fn to_builder(&self) -> TrainConfigBuilder {
+        TrainConfigBuilder { cfg: self.clone() }
+    }
+
     /// Overrides the epoch budget (used by the scaled-down benches).
     pub fn with_epochs(mut self, max_epochs: usize) -> Self {
         self.max_epochs = max_epochs;
@@ -119,6 +156,79 @@ impl TrainConfig {
     }
 }
 
+/// Builder for [`TrainConfig`] — the only way to set individual fields
+/// outside this crate.
+///
+/// ```
+/// use adapt_pnc::training::TrainConfig;
+///
+/// let cfg = TrainConfig::builder(8)
+///     .variation_aware(true)
+///     .mc_samples(2)
+///     .max_epochs(50)
+///     .build();
+/// assert!(cfg.variation_aware);
+/// assert_eq!(cfg.mc_samples, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainConfigBuilder {
+    cfg: TrainConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.cfg.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl TrainConfigBuilder {
+    builder_setters! {
+        /// Hidden width of the 2-layer network.
+        hidden: usize,
+        /// Filter order (SO-LF ⇔ `FilterOrder::Second`).
+        filter_order: FilterOrder,
+        /// Toggles variation-aware Monte-Carlo training.
+        variation_aware: bool,
+        /// Monte-Carlo samples per epoch when variation-aware.
+        mc_samples: usize,
+        /// Toggles augmented training.
+        augmented: bool,
+        /// Augmentation pipeline strength in `[0, 1]`.
+        augment_strength: f64,
+        /// Weight of the conductance-sum (power) regularizer.
+        power_reg: f64,
+        /// Fraction of the epoch budget with the power term active.
+        power_phase_frac: f64,
+        /// Hard epoch cap.
+        max_epochs: usize,
+        /// Plateau patience (epochs) before halving the learning rate.
+        patience: usize,
+        /// Initial learning rate.
+        initial_lr: f64,
+        /// Learning-rate floor that stops training.
+        min_lr: f64,
+        /// Variation distributions used during training.
+        variation: VariationConfig,
+        /// Nominal coupling factor μ the filters are designed at.
+        mu_nominal: f64,
+        /// Printable ranges.
+        pdk: Pdk,
+    }
+
+    /// Finalizes the configuration.
+    #[must_use]
+    pub fn build(self) -> TrainConfig {
+        self.cfg
+    }
+}
+
 /// A trained printed model plus its training report.
 #[derive(Debug, Clone)]
 pub struct TrainedModel {
@@ -130,14 +240,211 @@ pub struct TrainedModel {
     pub val_accuracy: f64,
 }
 
+/// Packs `(epoch, sample)` into one counter-based stream index — the two
+/// halves of a `u64`, so no two pairs collide for any realistic epoch or
+/// sample count.
+fn mc_index(epoch: usize, sample: usize) -> u64 {
+    ((epoch as u64) << 32) | sample as u64
+}
+
+/// Evaluates `samples` Monte-Carlo variation draws of the cross-entropy in
+/// parallel, each on a thread-local replica with its own
+/// `(master_seed, epoch, sample)` RNG stream. Returns the mean loss value
+/// and (when `with_grads`) the per-parameter gradients averaged in sample
+/// order — deterministic for any thread count.
+#[allow(clippy::too_many_arguments)]
+fn mc_samples_parallel(
+    runner: &ParallelRunner,
+    master_seed: u64,
+    stream: u64,
+    epoch: usize,
+    samples: usize,
+    template: &ModelTemplate,
+    raw_steps: &RawSteps,
+    labels: &[usize],
+    variation: &VariationConfig,
+    with_grads: bool,
+) -> (f64, Vec<Vec<f64>>) {
+    assert!(samples > 0, "need at least one Monte-Carlo sample");
+    let results: Vec<(f64, Vec<Vec<f64>>)> =
+        runner.run((0..samples).collect(), |_, sample: usize| {
+            let replica = template.instantiate();
+            let steps = raw_steps.to_tensors();
+            let mut rng = rng_for(master_seed, stream, mc_index(epoch, sample));
+            let noise = replica.sample_noise(variation, &mut rng);
+            let ce = cross_entropy(&replica.forward(&steps, Some(&noise)), labels);
+            if with_grads {
+                ce.backward();
+                let grads = replica
+                    .parameters()
+                    .iter()
+                    .map(|p| p.grad_opt().unwrap_or_else(|| vec![0.0; p.len()]))
+                    .collect();
+                (ce.item(), grads)
+            } else {
+                (ce.item(), Vec::new())
+            }
+        });
+
+    let mean_ce = results.iter().map(|(ce, _)| ce).sum::<f64>() / samples as f64;
+    if !with_grads {
+        return (mean_ce, Vec::new());
+    }
+    let mut mean_grads: Vec<Vec<f64>> = results[0].1.iter().map(|g| vec![0.0; g.len()]).collect();
+    for (_, grads) in &results {
+        for (acc, g) in mean_grads.iter_mut().zip(grads) {
+            for (a, v) in acc.iter_mut().zip(g) {
+                *a += v;
+            }
+        }
+    }
+    for g in &mut mean_grads {
+        for v in g.iter_mut() {
+            *v /= samples as f64;
+        }
+    }
+    (mean_ce, mean_grads)
+}
+
+/// The printed-model training objective: assembles the per-epoch batch,
+/// fans the Monte-Carlo variation samples out through the epoch's runner,
+/// and keeps the validation/selection objective aligned with training.
+struct PrintedObjective {
+    cfg: TrainConfig,
+    model: PrintedModel,
+    template: ModelTemplate,
+    train_set: Dataset,
+    clean_train_steps: Vec<Tensor>,
+    clean_train_labels: Vec<usize>,
+    val_steps: Vec<Tensor>,
+    val_labels: Vec<usize>,
+    raw_val: RawSteps,
+    power_start_epoch: usize,
+}
+
+impl PrintedObjective {
+    /// The power-regularization term on the live graph (differentiable).
+    fn power_term(&self) -> Tensor {
+        // Static power ∝ Σg; θ is in g_unit units, so scale accordingly.
+        self.model
+            .conductance_sum()
+            .mul_scalar(self.cfg.pdk.g_unit * self.cfg.power_reg)
+    }
+}
+
+impl TrainObjective for PrintedObjective {
+    fn train_loss(&mut self, ctx: &mut EpochCtx<'_>) -> Tensor {
+        // Assemble this epoch's batch: originals plus (when augmenting) a
+        // freshly drawn augmented copy. The augmentation seed is the only
+        // sequential draw per epoch — thread-count independent.
+        let (train_steps, train_labels) = if self.cfg.augmented {
+            let aug = perturb_dataset(&self.train_set, self.cfg.augment_strength, ctx.rng.gen());
+            let combined = self.train_set.merged_with(&aug);
+            dataset_to_steps(&combined)
+        } else {
+            (
+                self.clean_train_steps.clone(),
+                self.clean_train_labels.clone(),
+            )
+        };
+
+        let ce = if self.cfg.variation_aware {
+            self.template.refresh(&self.model);
+            let raw_steps = RawSteps::capture(&train_steps);
+            let (mean_ce, mean_grads) = mc_samples_parallel(
+                ctx.runner,
+                ctx.master_seed,
+                streams::TRAIN_MC,
+                ctx.epoch,
+                self.cfg.mc_samples,
+                &self.template,
+                &raw_steps,
+                &train_labels,
+                &self.cfg.variation,
+                true,
+            );
+            // Inject the accumulated replica gradients into the live
+            // parameters: d/dθ Σ⟨θ, ḡ⟩ = ḡ, and subtracting the detached
+            // value re-centers the loss at the true mean cross-entropy.
+            let params = self.model.parameters();
+            let mut surrogate = Tensor::scalar(0.0);
+            for (p, g) in params.iter().zip(&mean_grads) {
+                let grad = Tensor::from_vec(p.dims(), g.clone());
+                surrogate = surrogate.add(&p.mul(&grad).sum_all());
+            }
+            surrogate.sub(&surrogate.detach()).add_scalar(mean_ce)
+        } else {
+            cross_entropy(&self.model.forward_nominal(&train_steps), &train_labels)
+        };
+
+        if self.cfg.power_reg > 0.0 && ctx.epoch >= self.power_start_epoch {
+            // Power phase: accuracy has been learned; now descend along the
+            // crossbar's scale-invariant direction.
+            ce.add(&self.power_term())
+        } else {
+            ce
+        }
+    }
+
+    fn val_loss(&mut self, ctx: &mut EpochCtx<'_>) -> f64 {
+        // Validation under the same regime as training. Averaging the same
+        // number of variation draws as the training objective keeps the
+        // best-snapshot selection from chasing lucky single draws.
+        let ce = if self.cfg.variation_aware {
+            self.template.refresh(&self.model);
+            let (mean_ce, _) = mc_samples_parallel(
+                ctx.runner,
+                ctx.master_seed,
+                streams::VAL_MC,
+                ctx.epoch,
+                self.cfg.mc_samples,
+                &self.template,
+                &self.raw_val,
+                &self.val_labels,
+                &self.cfg.variation,
+                false,
+            );
+            mean_ce
+        } else {
+            cross_entropy(
+                &self.model.forward_nominal(&self.val_steps),
+                &self.val_labels,
+            )
+            .item()
+        };
+        // Keep the selection objective aligned with training: otherwise the
+        // best-on-validation snapshot would systematically prefer the early,
+        // high-conductance (high-power) epochs.
+        ce + self.cfg.power_reg * self.cfg.pdk.g_unit * self.model.conductance_sum().item()
+    }
+
+    fn project(&mut self, _params: &[Tensor]) {
+        self.model.project(&self.cfg.pdk);
+    }
+}
+
 /// Trains a printed model on a data split with the given configuration and
-/// seed (the paper repeats this over seeds 0..9 and keeps the top models).
+/// seed, using an environment-sized [`ParallelRunner`] (`PNC_THREADS`) for
+/// the per-epoch Monte-Carlo fan-out. See [`train_with_runner`].
+pub fn train(split: &DataSplit, config: &TrainConfig, seed: u64) -> TrainedModel {
+    train_with_runner(split, config, seed, &ParallelRunner::from_env())
+}
+
+/// Trains a printed model on a data split with the given configuration,
+/// seed and fan-out runner (the paper repeats this over seeds 0..9 and
+/// keeps the top models). Results are bit-identical for any runner thread
+/// count.
 ///
 /// # Panics
 ///
 /// Panics if the split's class counts are inconsistent or the config is
 /// degenerate (`mc_samples == 0` while variation-aware).
-pub fn train(split: &DataSplit, config: &TrainConfig, seed: u64) -> TrainedModel {
+pub fn train_with_runner(
+    split: &DataSplit,
+    config: &TrainConfig,
+    seed: u64,
+    runner: &ParallelRunner,
+) -> TrainedModel {
     assert!(
         !config.variation_aware || config.mc_samples > 0,
         "variation-aware training needs mc_samples > 0"
@@ -174,83 +481,33 @@ pub fn train(split: &DataSplit, config: &TrainConfig, seed: u64) -> TrainedModel
         &mut init_rng,
     );
 
-    // --- loss closures ---------------------------------------------------
-    let cfg = config.clone();
-    let m = model.clone();
+    // --- objective -----------------------------------------------------
     let power_start_epoch =
         ((1.0 - config.power_phase_frac.clamp(0.0, 1.0)) * config.max_epochs as f64) as usize;
-    let epoch_counter = std::cell::Cell::new(0usize);
-    let train_loss = move |rng: &mut StdRng| -> Tensor {
-        let epoch = epoch_counter.get();
-        epoch_counter.set(epoch + 1);
-        // Assemble this epoch's batch: originals plus (when augmenting) a
-        // freshly drawn augmented copy.
-        let (train_steps, train_labels) = if cfg.augmented {
-            let aug = perturb_dataset(&train_set, cfg.augment_strength, rng.gen());
-            let combined = train_set.merged_with(&aug);
-            dataset_to_steps(&combined)
-        } else {
-            (clean_train_steps.clone(), clean_train_labels.clone())
-        };
-        let ce = if cfg.variation_aware {
-            let mut acc = Tensor::scalar(0.0);
-            for _ in 0..cfg.mc_samples {
-                let noise = m.sample_noise(&cfg.variation, rng);
-                let logits = m.forward(&train_steps, Some(&noise));
-                acc = acc.add(&cross_entropy(&logits, &train_labels));
-            }
-            acc.div_scalar(cfg.mc_samples as f64)
-        } else {
-            cross_entropy(&m.forward_nominal(&train_steps), &train_labels)
-        };
-        if cfg.power_reg > 0.0 && epoch >= power_start_epoch {
-            // Power phase: accuracy has been learned; now descend along the
-            // crossbar's scale-invariant direction. Static power ∝ Σg; θ is
-            // in g_unit units, so scale accordingly.
-            let power = m.conductance_sum().mul_scalar(cfg.pdk.g_unit);
-            ce.add(&power.mul_scalar(cfg.power_reg))
-        } else {
-            ce
-        }
+    let raw_val = RawSteps::capture(&val_steps);
+    let mut objective = PrintedObjective {
+        cfg: config.clone(),
+        model: model.clone(),
+        template: ModelTemplate::capture(&model),
+        train_set,
+        clean_train_steps,
+        clean_train_labels,
+        val_steps: val_steps.clone(),
+        val_labels: val_labels.clone(),
+        raw_val,
+        power_start_epoch,
     };
-
-    let m = model.clone();
-    let cfg2 = config.clone();
-    let val_steps2 = val_steps.clone();
-    let val_labels2 = val_labels.clone();
-    let val_loss = move |rng: &mut StdRng| -> f64 {
-        // Validation under the same regime as training. Averaging the same
-        // number of variation draws as the training objective keeps the
-        // best-snapshot selection from chasing lucky single draws.
-        let ce = if cfg2.variation_aware {
-            let mut acc = 0.0;
-            for _ in 0..cfg2.mc_samples {
-                let noise = m.sample_noise(&cfg2.variation, rng);
-                let logits = m.forward(&val_steps2, Some(&noise));
-                acc += cross_entropy(&logits, &val_labels2).item();
-            }
-            acc / cfg2.mc_samples as f64
-        } else {
-            cross_entropy(&m.forward_nominal(&val_steps2), &val_labels2).item()
-        };
-        // Keep the selection objective aligned with training: otherwise the
-        // best-on-validation snapshot would systematically prefer the early,
-        // high-conductance (high-power) epochs.
-        ce + cfg2.power_reg * cfg2.pdk.g_unit * m.conductance_sum().item()
-    };
-
-    let pdk = config.pdk;
-    let m = model.clone();
-    let project = move |_params: &[Tensor]| m.project(&pdk);
 
     // --- loop ---------------------------------------------------------
-    let trainer = Trainer::new(config.max_epochs, seed).with_schedule(ReduceLrOnPlateau::new(
-        config.initial_lr,
-        0.5,
-        config.patience,
-        config.min_lr,
-    ));
-    let report = trainer.fit(model.parameters(), train_loss, val_loss, project);
+    let trainer = Trainer::new(config.max_epochs, seed)
+        .with_schedule(ReduceLrOnPlateau::new(
+            config.initial_lr,
+            0.5,
+            config.patience,
+            config.min_lr,
+        ))
+        .with_runner(runner.clone());
+    let report = trainer.run(model.parameters(), &mut objective);
 
     let val_accuracy = accuracy(&model.forward_nominal(&val_steps), &val_labels);
     TrainedModel {
@@ -260,13 +517,26 @@ pub fn train(split: &DataSplit, config: &TrainConfig, seed: u64) -> TrainedModel
     }
 }
 
-/// Trains the Elman RNN reference on the same split, returning its test-ready
-/// model and validation accuracy (paper Table I column 1).
+/// Trains the Elman RNN reference with an environment-sized runner. See
+/// [`train_elman_with_runner`].
 pub fn train_elman(
     split: &DataSplit,
     hidden: usize,
     max_epochs: usize,
     seed: u64,
+) -> (ptnc_nn::ElmanRnn, TrainReport) {
+    train_elman_with_runner(split, hidden, max_epochs, seed, &ParallelRunner::from_env())
+}
+
+/// Trains the Elman RNN reference on the same split through the same
+/// [`Trainer`]/[`TrainObjective`] loop as the printed models, returning its
+/// test-ready model and training report (paper Table I column 1).
+pub fn train_elman_with_runner(
+    split: &DataSplit,
+    hidden: usize,
+    max_epochs: usize,
+    seed: u64,
+    runner: &ParallelRunner,
 ) -> (ptnc_nn::ElmanRnn, TrainReport) {
     let (train_steps, train_labels) = dataset_to_steps(&split.train);
     let (val_steps, val_labels) = dataset_to_steps(&split.val);
@@ -275,16 +545,22 @@ pub fn train_elman(
     let model = ptnc_nn::ElmanRnn::new(1, hidden, classes, &mut init_rng);
 
     let m = model.clone();
-    let train_loss =
-        move |_rng: &mut StdRng| cross_entropy(&m.forward(&train_steps), &train_labels);
-    let m = model.clone();
-    let val_loss = move |_rng: &mut StdRng| {
-        cross_entropy(&m.forward(&val_steps), &val_labels).item()
-    };
-
+    let m2 = model.clone();
     let trainer = Trainer::new(max_epochs, seed)
-        .with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 30, 1e-3));
-    let report = trainer.fit(model.parameters(), train_loss, val_loss, |_| {});
+        .with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 30, 1e-3))
+        .with_runner(runner.clone());
+    let report = trainer.run(
+        model.parameters(),
+        &mut FnObjective {
+            train: move |_: &mut EpochCtx<'_>| {
+                cross_entropy(&m.forward(&train_steps), &train_labels)
+            },
+            val: move |_: &mut EpochCtx<'_>| {
+                cross_entropy(&m2.forward(&val_steps), &val_labels).item()
+            },
+            project: |_: &[Tensor]| {},
+        },
+    );
     (model, report)
 }
 
@@ -296,7 +572,11 @@ pub fn seeds(count: usize) -> Vec<u64> {
 /// Deterministic helper: picks the indices of the `k` best scores.
 pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }
@@ -318,11 +598,7 @@ mod tests {
     }
 
     fn quick_config() -> TrainConfig {
-        TrainConfig {
-            max_epochs: 40,
-            patience: 15,
-            ..TrainConfig::baseline_ptpnc(4)
-        }
+        TrainConfig::builder(4).max_epochs(40).patience(15).build()
     }
 
     #[test]
@@ -339,11 +615,11 @@ mod tests {
     #[test]
     fn adapt_config_trains_and_respects_ranges() {
         let split = quick_split("GPOVY");
-        let cfg = TrainConfig {
-            max_epochs: 15,
-            mc_samples: 2,
-            ..TrainConfig::adapt_pnc(4)
-        };
+        let cfg = TrainConfig::adapt_pnc(4)
+            .to_builder()
+            .max_epochs(15)
+            .mc_samples(2)
+            .build();
         let trained = train(&split, &cfg, 0);
         // All parameters must sit inside printable ranges after training.
         let pdk = Pdk::paper_default();
@@ -373,6 +649,40 @@ mod tests {
     }
 
     #[test]
+    fn variation_aware_training_is_thread_count_invariant() {
+        let split = quick_split("Slope");
+        let cfg = TrainConfig::adapt_pnc(3)
+            .to_builder()
+            .max_epochs(6)
+            .mc_samples(3)
+            .build();
+        let serial = train_with_runner(&split, &cfg, 1, &ParallelRunner::serial());
+        let parallel =
+            train_with_runner(&split, &cfg, 1, &ParallelRunner::serial().with_threads(4));
+        assert_eq!(
+            serial.report.val_history, parallel.report.val_history,
+            "loss histories diverged across thread counts"
+        );
+        for (a, b) in serial
+            .model
+            .parameters()
+            .iter()
+            .zip(parallel.model.parameters())
+        {
+            assert_eq!(a.to_vec(), b.to_vec(), "parameters diverged");
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_presets() {
+        let preset = TrainConfig::adapt_pnc(6);
+        assert_eq!(preset.to_builder().build(), preset);
+        let tweaked = preset.to_builder().power_reg(0.0).build();
+        assert_eq!(tweaked.power_reg, 0.0);
+        assert_eq!(tweaked.mc_samples, preset.mc_samples);
+    }
+
+    #[test]
     fn elman_reference_trains() {
         let split = quick_split("GPOVY");
         let (model, _report) = train_elman(&split, 8, 60, 0);
@@ -391,10 +701,12 @@ mod tests {
         let split = quick_split("Slope");
         // Adam drifts conductances down at ~lr per epoch once the power
         // term dominates, so give it enough epochs to show a clear drop.
-        let mut low = quick_config().with_epochs(150);
-        low.power_reg = 0.0;
-        let mut high = low.clone();
-        high.power_reg = 20_000.0;
+        let low = quick_config()
+            .to_builder()
+            .max_epochs(150)
+            .power_reg(0.0)
+            .build();
+        let high = low.to_builder().power_reg(20_000.0).build();
         let a = train(&split, &low, 0);
         let b = train(&split, &high, 0);
         let ga = a.model.conductance_sum().item();

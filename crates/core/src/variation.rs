@@ -58,7 +58,9 @@ impl VariationConfig {
     /// Samples a μ tensor of the given shape.
     pub fn mu(&self, dims: &[usize], rng: &mut impl Rng) -> Tensor {
         let n: usize = dims.iter().product();
-        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(self.mu_lo..=self.mu_hi)).collect();
+        let data: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(self.mu_lo..=self.mu_hi))
+            .collect();
         Tensor::from_vec(dims, data)
     }
 

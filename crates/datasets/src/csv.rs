@@ -55,7 +55,10 @@ pub fn from_csv(name: &str, text: &str) -> Result<Dataset, ParseCsvError> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| ParseCsvError::BadLine { line: idx + 1, message };
+        let err = |message: String| ParseCsvError::BadLine {
+            line: idx + 1,
+            message,
+        };
         let mut fields = line.split(',').map(str::trim);
         let label_raw: i64 = fields
             .next()
@@ -63,7 +66,10 @@ pub fn from_csv(name: &str, text: &str) -> Result<Dataset, ParseCsvError> {
             .parse()
             .map_err(|e| err(format!("bad label: {e}")))?;
         let values: Result<Vec<f64>, _> = fields
-            .map(|f| f.parse::<f64>().map_err(|e| err(format!("bad value {f:?}: {e}"))))
+            .map(|f| {
+                f.parse::<f64>()
+                    .map_err(|e| err(format!("bad value {f:?}: {e}")))
+            })
             .collect();
         let values = values?;
         if values.is_empty() {
@@ -71,7 +77,10 @@ pub fn from_csv(name: &str, text: &str) -> Result<Dataset, ParseCsvError> {
         }
         if let Some(n) = expected_len {
             if values.len() != n {
-                return Err(err(format!("series length {} differs from first ({n})", values.len())));
+                return Err(err(format!(
+                    "series length {} differs from first ({n})",
+                    values.len()
+                )));
             }
         } else {
             expected_len = Some(values.len());
@@ -170,8 +179,9 @@ mod tests {
         let csv: String = (0..20)
             .map(|i| {
                 let label = i % 2;
-                let vals: Vec<String> =
-                    (0..32).map(|k| format!("{}", (k as f64 * 0.3).sin() + label as f64)).collect();
+                let vals: Vec<String> = (0..32)
+                    .map(|k| format!("{}", (k as f64 * 0.3).sin() + label as f64))
+                    .collect();
                 format!("{label},{}\n", vals.join(","))
             })
             .collect();

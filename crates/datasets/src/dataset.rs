@@ -39,7 +39,10 @@ impl Dataset {
     /// Panics if `items` is empty, lengths are ragged, or a label is out of
     /// range.
     pub fn new(name: impl Into<String>, num_classes: usize, items: Vec<LabeledSeries>) -> Self {
-        assert!(!items.is_empty(), "dataset must contain at least one series");
+        assert!(
+            !items.is_empty(),
+            "dataset must contain at least one series"
+        );
         assert!(num_classes >= 2, "need at least two classes");
         let len = items[0].values.len();
         for (i, it) in items.iter().enumerate() {
@@ -231,11 +234,7 @@ mod tests {
         assert_eq!(a.train.items()[0], b.train.items()[0]);
         let c = toy(50).shuffle_split(0.6, 0.2, 8);
         // Different seed gives a different shuffle with overwhelming odds.
-        let same = a
-            .train
-            .iter()
-            .zip(c.train.iter())
-            .all(|(x, y)| x == y);
+        let same = a.train.iter().zip(c.train.iter()).all(|(x, y)| x == y);
         assert!(!same);
     }
 

@@ -34,9 +34,9 @@ fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
             0.0
         } else {
             match class {
-                0 => 1.0,                     // cylinder: flat plateau
-                1 => (t - a) / (b - a),       // bell: linear rise
-                _ => (b - t) / (b - a),       // funnel: linear fall
+                0 => 1.0,               // cylinder: flat plateau
+                1 => (t - a) / (b - a), // bell: linear rise
+                _ => (b - t) / (b - a), // funnel: linear fall
             }
         };
         v.push((6.0 + eta) * profile + randn(rng));
@@ -64,7 +64,7 @@ mod tests {
         // of a bell is lower than its second half; vice versa for a funnel.
         let mut rng = StdRng::seed_from_u64(1);
         let ds = generate(&mut rng, 200);
-        let mut halves = vec![(0.0, 0.0); 3];
+        let mut halves = [(0.0, 0.0); 3];
         for it in ds.iter() {
             let n = it.values.len();
             let first: f64 = it.values[..n / 2].iter().sum();

@@ -65,9 +65,9 @@ mod tests {
 
     #[test]
     fn harmonic_rows_are_distinct() {
-        for a in 0..5 {
-            for b in (a + 1)..5 {
-                assert_ne!(HARMONICS[a], HARMONICS[b]);
+        for (a, row) in HARMONICS.iter().enumerate() {
+            for other in HARMONICS.iter().skip(a + 1) {
+                assert_ne!(row, other);
             }
         }
     }

@@ -10,7 +10,7 @@
 
 use rand::Rng;
 
-use super::util::{add_noise, bump, random_time_warp, randn};
+use super::util::{add_noise, bump, randn, random_time_warp};
 use crate::dataset::{Dataset, LabeledSeries};
 
 /// Raw series length before preprocessing.
@@ -111,7 +111,7 @@ mod tests {
         let ds = generate(PhalanxKind::Dptw, &mut StdRng::seed_from_u64(1), 80);
         // Mean late-window amplitude should grow with the ordinal class.
         let mut late = vec![0.0; 6];
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for it in ds.iter() {
             let n = it.values.len();
             late[it.label] += it.values[(2 * n / 3)..].iter().sum::<f64>();

@@ -65,6 +65,10 @@ mod tests {
         let neg = tail[0] / counts[0] as f64;
         let pos = tail[1] / counts[1] as f64;
         assert!(pos > neg, "positivity trials must drift above negativity");
-        assert!(pos - neg < 0.8, "separation should stay faint, got {}", pos - neg);
+        assert!(
+            pos - neg < 0.8,
+            "separation should stay faint, got {}",
+            pos - neg
+        );
     }
 }

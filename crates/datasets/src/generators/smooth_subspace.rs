@@ -25,9 +25,9 @@ pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
 fn one(rng: &mut impl Rng, class: usize) -> Vec<f64> {
     // Smooth polynomial/sinusoid basis; class-specific mean coefficients.
     let means: [[f64; 3]; 3] = [
-        [1.0, 0.2, -0.4],  // class 0: dominated by the constant+slope
-        [-0.3, 1.1, 0.3],  // class 1: dominated by the half-sine
-        [0.2, -0.4, 1.2],  // class 2: dominated by the full sine
+        [1.0, 0.2, -0.4], // class 0: dominated by the constant+slope
+        [-0.3, 1.1, 0.3], // class 1: dominated by the half-sine
+        [0.2, -0.4, 1.2], // class 2: dominated by the full sine
     ];
     let coeff: Vec<f64> = means[class]
         .iter()
@@ -79,7 +79,11 @@ mod tests {
             }
         }
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(dist(&means[0], &means[1]) > 1.0);
         assert!(dist(&means[1], &means[2]) > 1.0);

@@ -23,12 +23,12 @@ pub fn generate(rng: &mut impl Rng, samples_per_class: usize) -> Dataset {
 fn prototype(class: usize, t: f64) -> f64 {
     use std::f64::consts::PI;
     match class {
-        0 => (PI * t).sin(),                                   // single arch
-        1 => (2.0 * PI * t).sin(),                             // S-curve
-        2 => bump(t, 0.3, 0.09) + bump(t, 0.7, 0.09),          // double bump
-        3 => 2.0 * t - 1.0 + 0.8 * bump(t, 0.5, 0.07),         // ramp + spike
-        4 => (3.0 * PI * t).sin() * (1.0 - t),                 // damped wiggle
-        _ => 1.0 - 2.0 * (2.0 * t - 1.0).abs(),                // triangle
+        0 => (PI * t).sin(),                           // single arch
+        1 => (2.0 * PI * t).sin(),                     // S-curve
+        2 => bump(t, 0.3, 0.09) + bump(t, 0.7, 0.09),  // double bump
+        3 => 2.0 * t - 1.0 + 0.8 * bump(t, 0.5, 0.07), // ramp + spike
+        4 => (3.0 * PI * t).sin() * (1.0 - t),         // damped wiggle
+        _ => 1.0 - 2.0 * (2.0 * t - 1.0).abs(),        // triangle
     }
 }
 

@@ -56,7 +56,8 @@ pub fn random_time_warp(v: &[f64], strength: f64, rng: &mut impl Rng) -> Vec<f64
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let t = i as f64 / (n - 1) as f64;
-        let warped = t + strength * (2.0 * std::f64::consts::PI * cycles * t + phase).sin() * t * (1.0 - t);
+        let warped =
+            t + strength * (2.0 * std::f64::consts::PI * cycles * t + phase).sin() * t * (1.0 - t);
         let pos = warped.clamp(0.0, 1.0) * (n - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = (lo + 1).min(n - 1);

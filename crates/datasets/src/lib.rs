@@ -25,8 +25,8 @@
 pub mod csv;
 mod dataset;
 pub mod generators;
-pub mod preprocess;
 pub mod multivariate;
+pub mod preprocess;
 mod registry;
 pub mod stats;
 
@@ -48,8 +48,21 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "CBF", "DPTW", "FRT", "FST", "GPAS", "GPMVF", "GPOVY", "MPOAG", "MSRT",
-                "PowerCons", "PPOC", "SRSCP2", "Slope", "SmoothS", "Symbols"
+                "CBF",
+                "DPTW",
+                "FRT",
+                "FST",
+                "GPAS",
+                "GPMVF",
+                "GPOVY",
+                "MPOAG",
+                "MSRT",
+                "PowerCons",
+                "PPOC",
+                "SRSCP2",
+                "Slope",
+                "SmoothS",
+                "Symbols"
             ]
         );
     }

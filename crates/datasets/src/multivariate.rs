@@ -29,10 +29,7 @@ impl MultiSeries {
         assert!(!channels.is_empty(), "need at least one channel");
         let len = channels[0].len();
         assert!(len > 0, "empty channel");
-        assert!(
-            channels.iter().all(|c| c.len() == len),
-            "ragged channels"
-        );
+        assert!(channels.iter().all(|c| c.len() == len), "ragged channels");
         MultiSeries { channels, label }
     }
 
@@ -250,6 +247,9 @@ mod tests {
             }
         }
         let humid_acc = correct as f64 / ds.len() as f64;
-        assert!(humid_acc < 0.9, "humidity alone should be ambiguous: {humid_acc}");
+        assert!(
+            humid_acc < 0.9,
+            "humidity alone should be ambiguous: {humid_acc}"
+        );
     }
 }

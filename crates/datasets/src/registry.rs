@@ -59,21 +59,96 @@ pub struct BenchmarkSpec {
 }
 
 const SPECS: [BenchmarkSpec; 15] = [
-    BenchmarkSpec { name: "CBF", classes: 3, samples_per_class: 60, kind: GeneratorKind::Cbf },
-    BenchmarkSpec { name: "DPTW", classes: 6, samples_per_class: 30, kind: GeneratorKind::Dptw },
-    BenchmarkSpec { name: "FRT", classes: 2, samples_per_class: 90, kind: GeneratorKind::Frt },
-    BenchmarkSpec { name: "FST", classes: 2, samples_per_class: 25, kind: GeneratorKind::Fst },
-    BenchmarkSpec { name: "GPAS", classes: 2, samples_per_class: 80, kind: GeneratorKind::Gpas },
-    BenchmarkSpec { name: "GPMVF", classes: 2, samples_per_class: 80, kind: GeneratorKind::Gpmvf },
-    BenchmarkSpec { name: "GPOVY", classes: 2, samples_per_class: 80, kind: GeneratorKind::Gpovy },
-    BenchmarkSpec { name: "MPOAG", classes: 3, samples_per_class: 50, kind: GeneratorKind::Mpoag },
-    BenchmarkSpec { name: "MSRT", classes: 5, samples_per_class: 40, kind: GeneratorKind::Msrt },
-    BenchmarkSpec { name: "PowerCons", classes: 2, samples_per_class: 90, kind: GeneratorKind::PowerCons },
-    BenchmarkSpec { name: "PPOC", classes: 2, samples_per_class: 75, kind: GeneratorKind::Ppoc },
-    BenchmarkSpec { name: "SRSCP2", classes: 2, samples_per_class: 90, kind: GeneratorKind::Srscp2 },
-    BenchmarkSpec { name: "Slope", classes: 2, samples_per_class: 80, kind: GeneratorKind::Slope },
-    BenchmarkSpec { name: "SmoothS", classes: 3, samples_per_class: 50, kind: GeneratorKind::SmoothS },
-    BenchmarkSpec { name: "Symbols", classes: 6, samples_per_class: 30, kind: GeneratorKind::Symbols },
+    BenchmarkSpec {
+        name: "CBF",
+        classes: 3,
+        samples_per_class: 60,
+        kind: GeneratorKind::Cbf,
+    },
+    BenchmarkSpec {
+        name: "DPTW",
+        classes: 6,
+        samples_per_class: 30,
+        kind: GeneratorKind::Dptw,
+    },
+    BenchmarkSpec {
+        name: "FRT",
+        classes: 2,
+        samples_per_class: 90,
+        kind: GeneratorKind::Frt,
+    },
+    BenchmarkSpec {
+        name: "FST",
+        classes: 2,
+        samples_per_class: 25,
+        kind: GeneratorKind::Fst,
+    },
+    BenchmarkSpec {
+        name: "GPAS",
+        classes: 2,
+        samples_per_class: 80,
+        kind: GeneratorKind::Gpas,
+    },
+    BenchmarkSpec {
+        name: "GPMVF",
+        classes: 2,
+        samples_per_class: 80,
+        kind: GeneratorKind::Gpmvf,
+    },
+    BenchmarkSpec {
+        name: "GPOVY",
+        classes: 2,
+        samples_per_class: 80,
+        kind: GeneratorKind::Gpovy,
+    },
+    BenchmarkSpec {
+        name: "MPOAG",
+        classes: 3,
+        samples_per_class: 50,
+        kind: GeneratorKind::Mpoag,
+    },
+    BenchmarkSpec {
+        name: "MSRT",
+        classes: 5,
+        samples_per_class: 40,
+        kind: GeneratorKind::Msrt,
+    },
+    BenchmarkSpec {
+        name: "PowerCons",
+        classes: 2,
+        samples_per_class: 90,
+        kind: GeneratorKind::PowerCons,
+    },
+    BenchmarkSpec {
+        name: "PPOC",
+        classes: 2,
+        samples_per_class: 75,
+        kind: GeneratorKind::Ppoc,
+    },
+    BenchmarkSpec {
+        name: "SRSCP2",
+        classes: 2,
+        samples_per_class: 90,
+        kind: GeneratorKind::Srscp2,
+    },
+    BenchmarkSpec {
+        name: "Slope",
+        classes: 2,
+        samples_per_class: 80,
+        kind: GeneratorKind::Slope,
+    },
+    BenchmarkSpec {
+        name: "SmoothS",
+        classes: 3,
+        samples_per_class: 50,
+        kind: GeneratorKind::SmoothS,
+    },
+    BenchmarkSpec {
+        name: "Symbols",
+        classes: 6,
+        samples_per_class: 30,
+        kind: GeneratorKind::Symbols,
+    },
 ];
 
 /// All 15 benchmark specs in Table I order.
@@ -85,10 +160,14 @@ pub fn all_specs() -> &'static [BenchmarkSpec] {
 pub fn benchmark(spec: &BenchmarkSpec, seed: u64) -> Dataset {
     // Offset the RNG stream per benchmark so equal seeds still decorrelate
     // the datasets.
-    let stream = spec.name.bytes().fold(0u64, |acc, b| {
-        acc.wrapping_mul(31).wrapping_add(b as u64)
-    });
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream));
+    let stream = spec
+        .name
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    );
     let n = spec.samples_per_class;
     match spec.kind {
         GeneratorKind::Cbf => cbf::generate(&mut rng, n),

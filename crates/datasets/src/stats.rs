@@ -103,8 +103,14 @@ mod tests {
         let easy = separability(&prepared("GPOVY"));
         let mid = separability(&prepared("GPMVF"));
         let hard = separability(&prepared("GPAS"));
-        assert!(easy > mid, "GPOVY ({easy:.3}) should separate better than GPMVF ({mid:.3})");
-        assert!(mid > hard, "GPMVF ({mid:.3}) should separate better than GPAS ({hard:.3})");
+        assert!(
+            easy > mid,
+            "GPOVY ({easy:.3}) should separate better than GPMVF ({mid:.3})"
+        );
+        assert!(
+            mid > hard,
+            "GPMVF ({mid:.3}) should separate better than GPAS ({hard:.3})"
+        );
     }
 
     #[test]
@@ -116,7 +122,10 @@ mod tests {
     #[test]
     fn gpovy_is_easy_for_one_nn() {
         let acc = one_nn_accuracy(&prepared("GPOVY"));
-        assert!(acc > 0.8, "GPOVY should be nearly separable, 1-NN got {acc:.3}");
+        assert!(
+            acc > 0.8,
+            "GPOVY should be nearly separable, 1-NN got {acc:.3}"
+        );
     }
 
     #[test]

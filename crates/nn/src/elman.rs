@@ -29,7 +29,10 @@ impl ElmanRnn {
     ///
     /// Panics if any dimension is zero.
     pub fn new(input_dim: usize, hidden: usize, classes: usize, rng: &mut impl Rng) -> Self {
-        assert!(input_dim > 0 && hidden > 0 && classes > 0, "zero-sized model");
+        assert!(
+            input_dim > 0 && hidden > 0 && classes > 0,
+            "zero-sized model"
+        );
         let input_maps = vec![
             Linear::new(input_dim, hidden, rng),
             Linear::new(hidden, hidden, rng),
@@ -60,7 +63,9 @@ impl ElmanRnn {
     pub fn forward(&self, steps: &[Tensor]) -> Tensor {
         assert!(!steps.is_empty(), "empty input sequence");
         let batch = steps[0].dims()[0];
-        let mut h: Vec<Tensor> = (0..2).map(|_| Tensor::zeros(&[batch, self.hidden])).collect();
+        let mut h: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::zeros(&[batch, self.hidden]))
+            .collect();
         for x in steps {
             let mut layer_in = x.clone();
             for (l, input_map) in self.input_maps.iter().enumerate() {

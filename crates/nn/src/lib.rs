@@ -12,9 +12,10 @@
 //! * [`metrics::ConfusionMatrix`] with per-class precision/recall/F1,
 //! * [`ReduceLrOnPlateau`] — halve after 100 epochs without validation
 //!   improvement, stop below 1e-5 (paper §IV-A3),
-//! * [`Trainer`] — a full-batch training loop driven by closures, so printed
-//!   models with Monte-Carlo variation sampling train with the same loop as
-//!   the RNN reference,
+//! * [`Trainer`] — a full-batch training loop driven by a [`TrainObjective`],
+//!   so printed models with Monte-Carlo variation sampling train with the
+//!   same loop (and the same deterministic fan-out runner) as the RNN
+//!   reference,
 //! * [`tune::grid_search`] — the deterministic hyper-parameter search used in
 //!   place of Ray Tune.
 //!
@@ -44,6 +45,6 @@ pub use elman::ElmanRnn;
 pub use layers::Linear;
 pub use loss::{accuracy, cross_entropy, one_hot};
 pub use optim::AdamW;
-pub use sgd::Sgd;
 pub use schedule::{ReduceLrOnPlateau, ScheduleAction};
-pub use trainer::{TrainReport, Trainer};
+pub use sgd::Sgd;
+pub use trainer::{EpochCtx, FnObjective, TrainObjective, TrainReport, Trainer};

@@ -92,24 +92,30 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradcheck() {
-        let logits = Tensor::leaf(&[3, 4], vec![
-            0.2, -0.1, 0.5, 0.3, -0.4, 0.9, 0.0, 0.1, 0.7, -0.6, 0.2, -0.2,
-        ]);
+        let logits = Tensor::leaf(
+            &[3, 4],
+            vec![
+                0.2, -0.1, 0.5, 0.3, -0.4, 0.9, 0.0, 0.1, 0.7, -0.6, 0.2, -0.2,
+            ],
+        );
         gradcheck::check(
             || cross_entropy(&logits, &[2, 1, 0]),
-            &[logits.clone()],
+            std::slice::from_ref(&logits),
             1e-6,
         );
     }
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits = Tensor::from_vec(&[4, 2], vec![
-            1.0, 0.0, // -> 0
-            0.0, 1.0, // -> 1
-            1.0, 0.0, // -> 0
-            0.0, 1.0, // -> 1
-        ]);
+        let logits = Tensor::from_vec(
+            &[4, 2],
+            vec![
+                1.0, 0.0, // -> 0
+                0.0, 1.0, // -> 1
+                1.0, 0.0, // -> 0
+                0.0, 1.0, // -> 1
+            ],
+        );
         assert_eq!(accuracy(&logits, &[0, 1, 1, 1]), 0.75);
     }
 

@@ -98,7 +98,13 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "true\\pred {}", (0..self.classes).map(|c| format!("{c:>5}")).collect::<String>())?;
+        writeln!(
+            f,
+            "true\\pred {}",
+            (0..self.classes)
+                .map(|c| format!("{c:>5}"))
+                .collect::<String>()
+        )?;
         for t in 0..self.classes {
             write!(f, "{t:>9} ")?;
             for p in 0..self.classes {

@@ -152,8 +152,14 @@ mod tests {
     fn skips_params_without_grad() {
         let used = Tensor::leaf(&[1], vec![1.0]);
         let unused = Tensor::leaf(&[1], vec![5.0]);
-        let mut opt =
-            AdamW::with_config(vec![used.clone(), unused.clone()], 0.1, 0.9, 0.999, 1e-8, 0.0);
+        let mut opt = AdamW::with_config(
+            vec![used.clone(), unused.clone()],
+            0.1,
+            0.9,
+            0.999,
+            1e-8,
+            0.0,
+        );
         opt.zero_grad();
         used.square().sum_all().backward();
         opt.step();

@@ -40,7 +40,10 @@ impl ReduceLrOnPlateau {
     /// `patience > 0`.
     pub fn new(initial_lr: f64, factor: f64, patience: usize, min_lr: f64) -> Self {
         assert!(factor > 0.0 && factor < 1.0, "factor must be in (0, 1)");
-        assert!(initial_lr > min_lr && min_lr > 0.0, "need initial_lr > min_lr > 0");
+        assert!(
+            initial_lr > min_lr && min_lr > 0.0,
+            "need initial_lr > min_lr > 0"
+        );
         assert!(patience > 0, "patience must be positive");
         ReduceLrOnPlateau {
             lr: initial_lr,

@@ -1,14 +1,17 @@
-//! A closure-driven full-batch training loop.
+//! The objective-driven full-batch training loop.
 //!
-//! The loop is model-agnostic: the training loss (which may internally apply
-//! data augmentation and Monte-Carlo variation sampling) and the validation
-//! loss are both supplied as closures over an explicit RNG, so the printed
-//! models and the Elman reference share one loop with identical scheduling
-//! and early stopping.
+//! The loop is model-agnostic: a [`TrainObjective`] builds the (stochastic)
+//! training-loss graph and evaluates the validation loss, both against an
+//! [`EpochCtx`] that carries the epoch number, the run's master seed, a
+//! shared [`ParallelRunner`] and the loop's sequential RNG. Printed models
+//! with Monte-Carlo variation sampling and the Elman reference share one
+//! loop with identical scheduling and early stopping — and both can fan
+//! their per-epoch Monte-Carlo work out through the runner.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ptnc_runner::ParallelRunner;
 use ptnc_tensor::Tensor;
 
 use crate::optim::AdamW;
@@ -27,16 +30,85 @@ pub struct TrainReport {
     pub val_history: Vec<f64>,
 }
 
+/// Per-epoch context handed to a [`TrainObjective`].
+///
+/// Objectives that Monte-Carlo sample should derive per-sample RNG streams
+/// from `(master_seed, epoch, sample)` via [`ptnc_runner::seed_split`]
+/// rather than drawing from `rng`, so their results stay bit-identical
+/// regardless of how many threads the `runner` fans out to. `rng` remains
+/// for strictly sequential draws (e.g. one augmentation seed per epoch).
+pub struct EpochCtx<'a> {
+    /// The 0-based epoch this call belongs to.
+    pub epoch: usize,
+    /// The training run's master seed.
+    pub master_seed: u64,
+    /// The shared fan-out runner for parallel Monte-Carlo work.
+    pub runner: &'a ParallelRunner,
+    /// The loop's sequential RNG (one stream per training run).
+    pub rng: &'a mut StdRng,
+}
+
+/// A training objective: the pair of losses (plus an optional parameter
+/// projection) that drive one [`Trainer`] run.
+///
+/// Replaces the twin loss closures of the old `Trainer::fit` API with a
+/// single value that can hold state (cached batches, model replicas) across
+/// epochs.
+pub trait TrainObjective {
+    /// Builds this epoch's training-loss graph. Only `backward()` is called
+    /// on the result; its value is never read by the loop.
+    fn train_loss(&mut self, ctx: &mut EpochCtx<'_>) -> Tensor;
+
+    /// Evaluates this epoch's validation loss (no graph needed).
+    fn val_loss(&mut self, ctx: &mut EpochCtx<'_>) -> f64;
+
+    /// In-place parameter projection applied after every optimizer step
+    /// (printable component ranges). Defaults to a no-op.
+    fn project(&mut self, _params: &[Tensor]) {}
+}
+
+/// Adapts a pair of closures (plus a projection) into a [`TrainObjective`]
+/// — the migration path from the old closure-based `fit` API.
+pub struct FnObjective<T, V, P> {
+    /// Builds the training-loss graph.
+    pub train: T,
+    /// Evaluates the validation loss.
+    pub val: V,
+    /// Projects parameters after each step.
+    pub project: P,
+}
+
+impl<T, V, P> TrainObjective for FnObjective<T, V, P>
+where
+    T: FnMut(&mut EpochCtx<'_>) -> Tensor,
+    V: FnMut(&mut EpochCtx<'_>) -> f64,
+    P: FnMut(&[Tensor]),
+{
+    fn train_loss(&mut self, ctx: &mut EpochCtx<'_>) -> Tensor {
+        (self.train)(ctx)
+    }
+
+    fn val_loss(&mut self, ctx: &mut EpochCtx<'_>) -> f64 {
+        (self.val)(ctx)
+    }
+
+    fn project(&mut self, params: &[Tensor]) {
+        (self.project)(params)
+    }
+}
+
 /// Full-batch trainer with plateau scheduling, a hard epoch cap and
 /// best-on-validation parameter snapshotting.
 pub struct Trainer {
     schedule: ReduceLrOnPlateau,
     max_epochs: usize,
     seed: u64,
+    runner: ParallelRunner,
 }
 
 impl Trainer {
-    /// Creates a trainer with the paper's schedule and the given epoch cap.
+    /// Creates a trainer with the paper's schedule, the given epoch cap and
+    /// an environment-sized [`ParallelRunner`].
     ///
     /// # Panics
     ///
@@ -47,6 +119,7 @@ impl Trainer {
             schedule: ReduceLrOnPlateau::paper_default(),
             max_epochs,
             seed,
+            runner: ParallelRunner::from_env(),
         }
     }
 
@@ -56,21 +129,17 @@ impl Trainer {
         self
     }
 
-    /// Runs the loop.
+    /// Overrides the fan-out runner handed to the objective each epoch.
+    pub fn with_runner(mut self, runner: ParallelRunner) -> Self {
+        self.runner = runner;
+        self
+    }
+
+    /// Runs the loop against a [`TrainObjective`].
     ///
-    /// * `params` — trainable leaves (snapshotted at the best epoch and
-    ///   restored at the end),
-    /// * `train_loss` — builds the (stochastic) training-loss graph,
-    /// * `val_loss` — evaluates the validation loss (no graph needed),
-    /// * `project` — optional in-place parameter projection applied after
-    ///   every optimizer step (printable component ranges).
-    pub fn fit(
-        &self,
-        params: Vec<Tensor>,
-        mut train_loss: impl FnMut(&mut StdRng) -> Tensor,
-        mut val_loss: impl FnMut(&mut StdRng) -> f64,
-        mut project: impl FnMut(&[Tensor]),
-    ) -> TrainReport {
+    /// `params` are the trainable leaves: snapshotted at the best-validation
+    /// epoch and restored at the end.
+    pub fn run(&self, params: Vec<Tensor>, objective: &mut impl TrainObjective) -> TrainReport {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut opt = AdamW::new(params.clone(), self.schedule.lr());
         let mut schedule = self.schedule.clone();
@@ -84,12 +153,22 @@ impl Trainer {
         for epoch in 0..self.max_epochs {
             epochs = epoch + 1;
             opt.zero_grad();
-            let loss = train_loss(&mut rng);
+            let loss = objective.train_loss(&mut EpochCtx {
+                epoch,
+                master_seed: self.seed,
+                runner: &self.runner,
+                rng: &mut rng,
+            });
             loss.backward();
             opt.step();
-            project(&params);
+            objective.project(&params);
 
-            let v = val_loss(&mut rng);
+            let v = objective.val_loss(&mut EpochCtx {
+                epoch,
+                master_seed: self.seed,
+                runner: &self.runner,
+                rng: &mut rng,
+            });
             val_history.push(v);
             if v < best_val {
                 best_val = v;
@@ -116,6 +195,25 @@ impl Trainer {
             val_history,
         }
     }
+
+    /// Runs the loop from a pair of loss closures.
+    #[deprecated(note = "use `Trainer::run` with a `TrainObjective`")]
+    pub fn fit(
+        &self,
+        params: Vec<Tensor>,
+        mut train_loss: impl FnMut(&mut StdRng) -> Tensor,
+        mut val_loss: impl FnMut(&mut StdRng) -> f64,
+        project: impl FnMut(&[Tensor]),
+    ) -> TrainReport {
+        self.run(
+            params,
+            &mut FnObjective {
+                train: move |ctx: &mut EpochCtx<'_>| train_loss(ctx.rng),
+                val: move |ctx: &mut EpochCtx<'_>| val_loss(ctx.rng),
+                project,
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -126,17 +224,17 @@ mod tests {
     #[test]
     fn fits_a_quadratic() {
         let x = Tensor::leaf(&[1], vec![0.0]);
-        let trainer = Trainer::new(300, 0)
-            .with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 50, 1e-6));
+        let trainer =
+            Trainer::new(300, 0).with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 50, 1e-6));
         let x2 = x.clone();
-        let report = trainer.fit(
+        let x3 = x.clone();
+        let report = trainer.run(
             vec![x.clone()],
-            move |_| x2.sub_scalar(2.0).square().sum_all(),
-            {
-                let x = x.clone();
-                move |_| (x.item() - 2.0).powi(2)
+            &mut FnObjective {
+                train: move |_: &mut EpochCtx<'_>| x2.sub_scalar(2.0).square().sum_all(),
+                val: move |_: &mut EpochCtx<'_>| (x3.item() - 2.0).powi(2),
+                project: |_: &[Tensor]| {},
             },
-            |_| {},
         );
         assert!((x.item() - 2.0).abs() < 1e-2, "x = {}", x.item());
         assert!(report.best_val_loss < 1e-4);
@@ -148,17 +246,16 @@ mod tests {
         // Craft a val loss that is best at epoch 0 and worse afterwards; the
         // trainer must restore the epoch-0 parameters.
         let x = Tensor::leaf(&[1], vec![1.0]);
-        let mut epoch = 0usize;
         let trainer = Trainer::new(10, 0);
         let x2 = x.clone();
-        trainer.fit(
+        trainer.run(
             vec![x.clone()],
-            move |_| x2.square().sum_all(), // pushes x toward 0
-            move |_| {
-                epoch += 1;
-                epoch as f64 // strictly increasing: epoch 0 is best
+            &mut FnObjective {
+                train: move |_: &mut EpochCtx<'_>| x2.square().sum_all(), // pushes x toward 0
+                // Strictly increasing with the epoch: epoch 0 is best.
+                val: |ctx: &mut EpochCtx<'_>| ctx.epoch as f64 + 1.0,
+                project: |_: &[Tensor]| {},
             },
-            |_| {},
         );
         // x after the first step, before later updates.
         assert!(x.item() < 1.0 && x.item() > 0.5);
@@ -169,14 +266,16 @@ mod tests {
         let x = Tensor::leaf(&[1], vec![5.0]);
         let trainer = Trainer::new(5, 0);
         let x2 = x.clone();
-        trainer.fit(
+        trainer.run(
             vec![x.clone()],
-            move |_| x2.square().sum_all(),
-            |_| 0.0,
-            |params| {
-                for p in params {
-                    p.map_data_in_place(|v| v.clamp(4.9, 5.1));
-                }
+            &mut FnObjective {
+                train: move |_: &mut EpochCtx<'_>| x2.square().sum_all(),
+                val: |_: &mut EpochCtx<'_>| 0.0,
+                project: |params: &[Tensor]| {
+                    for p in params {
+                        p.map_data_in_place(|v| v.clamp(4.9, 5.1));
+                    }
+                },
             },
         );
         assert!((4.9..=5.1).contains(&x.item()));
@@ -185,16 +284,60 @@ mod tests {
     #[test]
     fn stops_when_lr_floor_hit() {
         let x = Tensor::leaf(&[1], vec![1.0]);
-        let trainer = Trainer::new(10_000, 0)
-            .with_schedule(ReduceLrOnPlateau::new(0.1, 0.5, 1, 0.05));
+        let trainer =
+            Trainer::new(10_000, 0).with_schedule(ReduceLrOnPlateau::new(0.1, 0.5, 1, 0.05));
         let x2 = x.clone();
-        let report = trainer.fit(
+        let report = trainer.run(
             vec![x],
-            move |_| x2.square().sum_all(),
-            |_| 1.0, // never improves → plateau every epoch
-            |_| {},
+            &mut FnObjective {
+                train: move |_: &mut EpochCtx<'_>| x2.square().sum_all(),
+                val: |_: &mut EpochCtx<'_>| 1.0, // never improves → plateau every epoch
+                project: |_: &[Tensor]| {},
+            },
         );
         // patience 1, halving from 0.1: stops after 2 plateau reductions.
         assert!(report.epochs < 10, "ran {} epochs", report.epochs);
+    }
+
+    #[test]
+    fn ctx_exposes_seed_epoch_and_runner() {
+        let x = Tensor::leaf(&[1], vec![0.0]);
+        let trainer = Trainer::new(3, 41).with_runner(ParallelRunner::serial());
+        let x2 = x.clone();
+        let mut seen = Vec::new();
+        let seen_ref = &mut seen;
+        trainer.run(
+            vec![x.clone()],
+            &mut FnObjective {
+                train: move |ctx: &mut EpochCtx<'_>| {
+                    assert_eq!(ctx.master_seed, 41);
+                    assert_eq!(ctx.runner.threads(), 1);
+                    x2.square().sum_all()
+                },
+                val: move |ctx: &mut EpochCtx<'_>| {
+                    seen_ref.push(ctx.epoch);
+                    0.0
+                },
+                project: |_: &[Tensor]| {},
+            },
+        );
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fit_still_works() {
+        let x = Tensor::leaf(&[1], vec![0.0]);
+        let trainer =
+            Trainer::new(200, 0).with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 50, 1e-6));
+        let x2 = x.clone();
+        let x3 = x.clone();
+        trainer.fit(
+            vec![x.clone()],
+            move |_| x2.sub_scalar(1.0).square().sum_all(),
+            move |_| (x3.item() - 1.0).powi(2),
+            |_| {},
+        );
+        assert!((x.item() - 1.0).abs() < 0.05);
     }
 }

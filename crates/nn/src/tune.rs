@@ -35,7 +35,11 @@ pub fn grid_search<C>(
     let mut best = 0;
     for (i, config) in configs.into_iter().enumerate() {
         let score = eval(&config);
-        if score > points.get(best).map_or(f64::NEG_INFINITY, |p: &GridPoint<C>| p.score) {
+        if score
+            > points
+                .get(best)
+                .map_or(f64::NEG_INFINITY, |p: &GridPoint<C>| p.score)
+        {
             best = i;
         }
         points.push(GridPoint { config, score });

@@ -111,7 +111,12 @@ impl<'c> AcAnalysis<'c> {
                 Element::Resistor { a: na, b: nb, ohms } => {
                     stamp_admittance(&mut a, *na, *nb, Complex::real(1.0 / ohms));
                 }
-                Element::Capacitor { a: na, b: nb, farads, .. } => {
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                    ..
+                } => {
                     stamp_admittance(&mut a, *na, *nb, Complex::imag(omega * farads));
                 }
                 Element::VoltageSource { pos, neg, .. } => {
@@ -132,10 +137,21 @@ impl<'c> AcAnalysis<'c> {
                 Element::CurrentSource { .. } => {
                     // Independent current sources are AC-open (zero stimulus).
                 }
-                Element::Vccs { out_pos, out_neg, ctrl_pos, ctrl_neg, gm } => {
+                Element::Vccs {
+                    out_pos,
+                    out_neg,
+                    ctrl_pos,
+                    ctrl_neg,
+                    gm,
+                } => {
                     stamp_vccs(&mut a, *out_pos, *out_neg, *ctrl_pos, *ctrl_neg, *gm);
                 }
-                Element::Egt { drain, gate, source, model } => {
+                Element::Egt {
+                    drain,
+                    gate,
+                    source,
+                    model,
+                } => {
                     let vgs = v_of(*gate) - v_of(*source);
                     let vds = v_of(*drain) - v_of(*source);
                     stamp_admittance(&mut a, *drain, *source, Complex::real(model.gds(vgs, vds)));
@@ -163,7 +179,10 @@ impl<'c> AcAnalysis<'c> {
         f_stop: f64,
         points_per_decade: usize,
     ) -> Result<AcSweep, SpiceError> {
-        assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+        assert!(
+            f_start > 0.0 && f_stop > f_start,
+            "need 0 < f_start < f_stop"
+        );
         assert!(points_per_decade > 0, "points_per_decade must be positive");
         let decades = (f_stop / f_start).log10();
         let total = (decades * points_per_decade as f64).ceil() as usize + 1;

@@ -116,6 +116,8 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division by reciprocal is the numerically standard complex divide.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Complex) -> Complex {
         self * o.recip()
     }

@@ -82,10 +82,21 @@ pub(crate) fn assemble(
                     z[r] -= i;
                 }
             }
-            Element::Vccs { out_pos, out_neg, ctrl_pos, ctrl_neg, gm } => {
+            Element::Vccs {
+                out_pos,
+                out_neg,
+                ctrl_pos,
+                ctrl_neg,
+                gm,
+            } => {
                 stamp_vccs(c, &mut a, *out_pos, *out_neg, *ctrl_pos, *ctrl_neg, *gm);
             }
-            Element::Egt { drain, gate, source, model } => {
+            Element::Egt {
+                drain,
+                gate,
+                source,
+                model,
+            } => {
                 // Newton companion: Id ≈ Id0 + gm·ΔVgs + gds·ΔVds
                 let vgs = v_of(*gate) - v_of(*source);
                 let vds = v_of(*drain) - v_of(*source);
@@ -340,7 +351,10 @@ mod tests {
         let pr = op.resistor_power(&c);
         let ps = op.source_power(&c);
         assert!((pr - 4e-3).abs() < 1e-9);
-        assert!((pr - ps).abs() < 1e-12, "source power {ps} != dissipated {pr}");
+        assert!(
+            (pr - ps).abs() < 1e-12,
+            "source power {ps} != dissipated {pr}"
+        );
     }
 
     #[test]

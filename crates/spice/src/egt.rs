@@ -104,7 +104,10 @@ mod tests {
         let m = EgtModel::default();
         let id = m.id(0.8, 0.8);
         assert!(id > 1e-6, "on-current {id} too small");
-        assert!(id < 1e-3, "on-current {id} implausibly large for printed EGT");
+        assert!(
+            id < 1e-3,
+            "on-current {id} implausibly large for printed EGT"
+        );
     }
 
     #[test]

@@ -125,8 +125,8 @@ impl<T: Field> Matrix<T> {
         let mut x = vec![T::zero(); n];
         for row in (0..n).rev() {
             let mut acc = b[row];
-            for j in row + 1..n {
-                acc = acc - self.at(row, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(row + 1) {
+                acc = acc - self.at(row, j) * xj;
             }
             x[row] = acc / self.at(row, row);
         }
@@ -202,7 +202,9 @@ mod tests {
         let mut m = Matrix::<f64>::zeros(n);
         let mut seed = 42u64;
         let mut rand = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
@@ -214,12 +216,9 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
         let a = m.clone();
         let x = m.solve(b.clone()).unwrap();
-        for i in 0..n {
-            let mut acc = 0.0;
-            for j in 0..n {
-                acc += a.at(i, j) * x[j];
-            }
-            assert!((acc - b[i]).abs() < 1e-9);
+        for (i, &bi) in b.iter().enumerate() {
+            let acc: f64 = x.iter().enumerate().map(|(j, &xj)| a.at(i, j) * xj).sum();
+            assert!((acc - bi).abs() < 1e-9);
         }
     }
 }

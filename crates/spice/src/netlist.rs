@@ -181,7 +181,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not finite and positive.
     pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) -> &mut Self {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive, got {ohms}");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive, got {ohms}"
+        );
         self.check_node(a);
         self.check_node(b);
         self.elements.push(Element::Resistor { a, b, ohms });
@@ -200,7 +203,12 @@ impl Circuit {
         );
         self.check_node(a);
         self.check_node(b);
-        self.elements.push(Element::Capacitor { a, b, farads, ic: None });
+        self.elements.push(Element::Capacitor {
+            a,
+            b,
+            farads,
+            ic: None,
+        });
         self
     }
 
@@ -216,7 +224,12 @@ impl Circuit {
         );
         self.check_node(a);
         self.check_node(b);
-        self.elements.push(Element::Capacitor { a, b, farads, ic: Some(ic) });
+        self.elements.push(Element::Capacitor {
+            a,
+            b,
+            farads,
+            ic: Some(ic),
+        });
         self
     }
 
@@ -224,7 +237,8 @@ impl Circuit {
     pub fn vsource(&mut self, pos: Node, neg: Node, waveform: Waveform) -> &mut Self {
         self.check_node(pos);
         self.check_node(neg);
-        self.elements.push(Element::VoltageSource { pos, neg, waveform });
+        self.elements
+            .push(Element::VoltageSource { pos, neg, waveform });
         self
     }
 
@@ -232,7 +246,8 @@ impl Circuit {
     pub fn isource(&mut self, pos: Node, neg: Node, waveform: Waveform) -> &mut Self {
         self.check_node(pos);
         self.check_node(neg);
-        self.elements.push(Element::CurrentSource { pos, neg, waveform });
+        self.elements
+            .push(Element::CurrentSource { pos, neg, waveform });
         self
     }
 
@@ -263,7 +278,12 @@ impl Circuit {
         for n in [drain, gate, source] {
             self.check_node(n);
         }
-        self.elements.push(Element::Egt { drain, gate, source, model });
+        self.elements.push(Element::Egt {
+            drain,
+            gate,
+            source,
+            model,
+        });
         self
     }
 

@@ -75,7 +75,8 @@ pub fn parse_value(token: &str) -> Result<f64, String> {
             }
         }
     }
-    t.parse::<f64>().map_err(|e| format!("bad value {token:?}: {e}"))
+    t.parse::<f64>()
+        .map_err(|e| format!("bad value {token:?}: {e}"))
 }
 
 /// Parses a SPICE netlist into a [`Circuit`].
@@ -129,13 +130,19 @@ pub fn parse_netlist(source: &str) -> Result<ParsedCircuit, SpiceError> {
         match kind {
             'R' => {
                 if args.len() != 3 {
-                    return Err(err(line_no, format!("resistor needs 3 fields, got {}", args.len())));
+                    return Err(err(
+                        line_no,
+                        format!("resistor needs 3 fields, got {}", args.len()),
+                    ));
                 }
                 let a = get_node(&mut circuit, args[0]);
                 let b = get_node(&mut circuit, args[1]);
                 let ohms = parse_value(args[2]).map_err(|m| err(line_no, m))?;
                 if !(ohms.is_finite() && ohms > 0.0) {
-                    return Err(err(line_no, format!("resistance must be positive, got {ohms}")));
+                    return Err(err(
+                        line_no,
+                        format!("resistance must be positive, got {ohms}"),
+                    ));
                 }
                 circuit.resistor(a, b, ohms);
             }
@@ -147,7 +154,10 @@ pub fn parse_netlist(source: &str) -> Result<ParsedCircuit, SpiceError> {
                 let b = get_node(&mut circuit, args[1]);
                 let farads = parse_value(args[2]).map_err(|m| err(line_no, m))?;
                 if !(farads.is_finite() && farads > 0.0) {
-                    return Err(err(line_no, format!("capacitance must be positive, got {farads}")));
+                    return Err(err(
+                        line_no,
+                        format!("capacitance must be positive, got {farads}"),
+                    ));
                 }
                 let mut ic = None;
                 for extra in &args[3..] {
@@ -186,7 +196,10 @@ pub fn parse_netlist(source: &str) -> Result<ParsedCircuit, SpiceError> {
             }
             'M' => {
                 if args.len() < 4 || !args[3].eq_ignore_ascii_case("egt") {
-                    return Err(err(line_no, "transistor card must be: M d g s EGT [vth=..] [beta=..]".into()));
+                    return Err(err(
+                        line_no,
+                        "transistor card must be: M d g s EGT [vth=..] [beta=..]".into(),
+                    ));
                 }
                 let d = get_node(&mut circuit, args[0]);
                 let g = get_node(&mut circuit, args[1]);
@@ -249,7 +262,10 @@ fn paren_values(tokens: &[&str], expected: usize) -> Result<Vec<f64>, String> {
         .filter(|t| *t != "(" && *t != ")")
         .collect();
     if inner.len() != expected {
-        return Err(format!("expected {expected} waveform parameters, got {}", inner.len()));
+        return Err(format!(
+            "expected {expected} waveform parameters, got {}",
+            inner.len()
+        ));
     }
     inner.iter().map(|t| parse_value(t)).collect()
 }
@@ -295,7 +311,9 @@ C1 out 0 1u ic=0.25
 ";
         let parsed = parse_netlist(src).unwrap();
         let out = parsed.node("out").unwrap();
-        let res = TransientAnalysis::new(&parsed.circuit).run(1e-3, 1e-5).unwrap();
+        let res = TransientAnalysis::new(&parsed.circuit)
+            .run(1e-3, 1e-5)
+            .unwrap();
         // Initial condition honoured: the capacitor holds ≈0.25 V on the
         // first integration steps (index 0 records the pre-IC operating
         // point; the IC takes over from the first companion step).

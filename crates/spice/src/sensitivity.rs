@@ -152,7 +152,10 @@ mod tests {
         c.egt(d, g, Circuit::GROUND, EgtModel::default());
         let sens = dc_sensitivities(&c, d, 0.01).unwrap();
         // Stronger transistor pulls the inverter output lower.
-        let beta = sens.iter().find(|s| s.description.contains("beta")).unwrap();
+        let beta = sens
+            .iter()
+            .find(|s| s.description.contains("beta"))
+            .unwrap();
         assert!(beta.dv_dlnx < 0.0, "{beta:?}");
     }
 

@@ -102,8 +102,7 @@ impl<'c> TransientAnalysis<'c> {
             // Companion parameters for this step. The trapezoidal rule needs
             // a valid capacitor-current history, so its first step runs
             // backward Euler.
-            let trapezoidal =
-                self.integrator == Integrator::Trapezoidal && step > 1;
+            let trapezoidal = self.integrator == Integrator::Trapezoidal && step > 1;
             let geq_ieq: Vec<(f64, f64)> = caps_state
                 .iter()
                 .map(|&(farads, v_prev, i_prev)| {
@@ -181,7 +180,15 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let vout = c.node("out");
-        c.vsource(vin, Circuit::GROUND, Waveform::Step { t0: 0.0, v0: 0.0, v1: 1.0 });
+        c.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Step {
+                t0: 0.0,
+                v0: 0.0,
+                v1: 1.0,
+            },
+        );
         c.resistor(vin, vout, r);
         c.capacitor(vout, Circuit::GROUND, cap);
         (c, vout)
@@ -193,7 +200,9 @@ mod tests {
         let (r, cap) = (1e3, 1e-6);
         let tau = r * cap;
         let (c, vout) = rc_step_circuit(r, cap);
-        let res = TransientAnalysis::new(&c).run(5.0 * tau, tau / 200.0).unwrap();
+        let res = TransientAnalysis::new(&c)
+            .run(5.0 * tau, tau / 200.0)
+            .unwrap();
         for (i, &t) in res.times().iter().enumerate() {
             let expected = 1.0 - (-t / tau).exp();
             let got = res.voltage(vout)[i];
@@ -262,7 +271,9 @@ mod tests {
         let a = c.node("a");
         c.resistor(a, Circuit::GROUND, r);
         c.capacitor_with_ic(a, Circuit::GROUND, cap, 1.0);
-        let res = TransientAnalysis::new(&c).run(3.0 * tau, tau / 500.0).unwrap();
+        let res = TransientAnalysis::new(&c)
+            .run(3.0 * tau, tau / 500.0)
+            .unwrap();
         let at_tau_idx = res
             .times()
             .iter()
@@ -286,12 +297,22 @@ mod tests {
         let vin = c.node("in");
         let mid = c.node("mid");
         let out = c.node("out");
-        c.vsource(vin, Circuit::GROUND, Waveform::Step { t0: 0.0, v0: 0.0, v1: 1.0 });
+        c.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::Step {
+                t0: 0.0,
+                v0: 0.0,
+                v1: 1.0,
+            },
+        );
         c.resistor(vin, mid, r);
         c.capacitor(mid, Circuit::GROUND, cap);
         c.resistor(mid, out, r);
         c.capacitor(out, Circuit::GROUND, cap);
-        let res = TransientAnalysis::new(&c).run(2.0 * tau, tau / 100.0).unwrap();
+        let res = TransientAnalysis::new(&c)
+            .run(2.0 * tau, tau / 100.0)
+            .unwrap();
         let idx = res.times().iter().position(|&t| t >= tau).unwrap();
         let v_mid = res.voltage(mid)[idx];
         let v_out = res.voltage(out)[idx];
@@ -308,15 +329,16 @@ mod tests {
         c.vsource(
             vin,
             Circuit::GROUND,
-            Waveform::Sine { offset: 0.0, amplitude: 1.0, frequency: 10.0 },
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency: 10.0,
+            },
         );
         c.resistor(vin, out, 1e3);
         c.capacitor(out, Circuit::GROUND, 100e-9);
         let res = TransientAnalysis::new(&c).run(0.2, 1e-4).unwrap();
-        let peak = res
-            .voltage(out)
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let peak = res.voltage(out).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(peak > 0.95, "low-frequency sine attenuated: peak {peak}");
     }
 

@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn step_switches() {
-        let w = Waveform::Step { t0: 1.0, v0: 0.0, v1: 2.0 };
+        let w = Waveform::Step {
+            t0: 1.0,
+            v0: 0.0,
+            v1: 2.0,
+        };
         assert_eq!(w.at(0.5), 0.0);
         assert_eq!(w.at(1.0), 2.0);
         assert_eq!(w.dc_value(), 0.0);
@@ -123,7 +127,12 @@ mod tests {
 
     #[test]
     fn pulse_window() {
-        let w = Waveform::Pulse { t0: 1.0, width: 0.5, v0: 0.1, v1: 1.0 };
+        let w = Waveform::Pulse {
+            t0: 1.0,
+            width: 0.5,
+            v0: 0.1,
+            v1: 1.0,
+        };
         assert_eq!(w.at(0.9), 0.1);
         assert_eq!(w.at(1.2), 1.0);
         assert_eq!(w.at(1.6), 0.1);
@@ -131,7 +140,11 @@ mod tests {
 
     #[test]
     fn sine_quarter_period() {
-        let w = Waveform::Sine { offset: 1.0, amplitude: 2.0, frequency: 1.0 };
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency: 1.0,
+        };
         assert!((w.at(0.25) - 3.0).abs() < 1e-12);
         assert_eq!(w.dc_value(), 1.0);
     }

@@ -38,10 +38,7 @@ pub fn check(f: impl Fn() -> Tensor, params: &[Tensor], tol: Scalar) {
     loss.backward();
     let analytic: Vec<Vec<Scalar>> = params
         .iter()
-        .map(|p| {
-            p.grad_opt()
-                .unwrap_or_else(|| vec![0.0; p.len()])
-        })
+        .map(|p| p.grad_opt().unwrap_or_else(|| vec![0.0; p.len()]))
         .collect();
 
     // Numeric gradients by central differences.
@@ -79,9 +76,11 @@ pub fn check(f: impl Fn() -> Tensor, params: &[Tensor], tol: Scalar) {
 pub fn check_unary(op: impl Fn(&Tensor) -> Tensor, points: &[Scalar], tol: Scalar) {
     let x = Tensor::leaf(&[points.len()], points.to_vec());
     // Weight each output differently so per-element errors cannot cancel.
-    let w: Vec<Scalar> = (0..points.len()).map(|i| 0.5 + 0.37 * i as Scalar).collect();
+    let w: Vec<Scalar> = (0..points.len())
+        .map(|i| 0.5 + 0.37 * i as Scalar)
+        .collect();
     let w = Tensor::from_vec(&[points.len()], w);
-    check(|| op(&x).mul(&w).sum_all(), &[x.clone()], tol);
+    check(|| op(&x).mul(&w).sum_all(), std::slice::from_ref(&x), tol);
 }
 
 #[cfg(test)]
@@ -91,7 +90,7 @@ mod tests {
     #[test]
     fn passes_for_correct_gradient() {
         let x = Tensor::leaf(&[3], vec![0.2, -0.8, 1.1]);
-        check(|| x.square().sum_all(), &[x.clone()], 1e-7);
+        check(|| x.square().sum_all(), std::slice::from_ref(&x), 1e-7);
     }
 
     #[test]
@@ -107,6 +106,10 @@ mod tests {
         // detach() deliberately severs the graph: analytic grad is zero while
         // numeric is not.
         let x = Tensor::leaf(&[1], vec![0.7]);
-        check(|| x.detach().square().sum_all(), &[x.clone()], 1e-6);
+        check(
+            || x.detach().square().sum_all(),
+            std::slice::from_ref(&x),
+            1e-6,
+        );
     }
 }

@@ -117,26 +117,31 @@ fn binary_op(
     drop(db);
 
     let (pa, pb) = (a.clone(), b.clone());
-    make_node(out_shape, out, vec![a.clone(), b.clone()], move |out_grad, _| {
-        let da = pa.data();
-        let db = pb.data();
-        let mut ga = vec![0.0; pa.len()];
-        let mut gb = vec![0.0; pb.len()];
-        for (i, &g) in out_grad.iter().enumerate() {
-            let (oa, ob) = plan.offsets(i);
-            let (dga, dgb) = df(da[oa], db[ob], g);
-            ga[oa] += dga;
-            gb[ob] += dgb;
-        }
-        drop(da);
-        drop(db);
-        if pa.inner.requires_grad {
-            pa.accumulate_grad(&ga);
-        }
-        if pb.inner.requires_grad {
-            pb.accumulate_grad(&gb);
-        }
-    })
+    make_node(
+        out_shape,
+        out,
+        vec![a.clone(), b.clone()],
+        move |out_grad, _| {
+            let da = pa.data();
+            let db = pb.data();
+            let mut ga = vec![0.0; pa.len()];
+            let mut gb = vec![0.0; pb.len()];
+            for (i, &g) in out_grad.iter().enumerate() {
+                let (oa, ob) = plan.offsets(i);
+                let (dga, dgb) = df(da[oa], db[ob], g);
+                ga[oa] += dga;
+                gb[ob] += dgb;
+            }
+            drop(da);
+            drop(db);
+            if pa.inner.requires_grad {
+                pa.accumulate_grad(&ga);
+            }
+            if pb.inner.requires_grad {
+                pb.accumulate_grad(&gb);
+            }
+        },
+    )
 }
 
 impl Tensor {
@@ -196,19 +201,29 @@ impl Tensor {
     pub fn add_scalar(&self, s: Scalar) -> Tensor {
         let out: Vec<Scalar> = self.data().iter().map(|&v| v + s).collect();
         let p = self.clone();
-        make_node(self.shape().clone(), out, vec![self.clone()], move |g, _| {
-            p.accumulate_grad(g);
-        })
+        make_node(
+            self.shape().clone(),
+            out,
+            vec![self.clone()],
+            move |g, _| {
+                p.accumulate_grad(g);
+            },
+        )
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: Scalar) -> Tensor {
         let out: Vec<Scalar> = self.data().iter().map(|&v| v * s).collect();
         let p = self.clone();
-        make_node(self.shape().clone(), out, vec![self.clone()], move |g, _| {
-            let scaled: Vec<Scalar> = g.iter().map(|&v| v * s).collect();
-            p.accumulate_grad(&scaled);
-        })
+        make_node(
+            self.shape().clone(),
+            out,
+            vec![self.clone()],
+            move |g, _| {
+                let scaled: Vec<Scalar> = g.iter().map(|&v| v * s).collect();
+                p.accumulate_grad(&scaled);
+            },
+        )
     }
 
     /// Subtracts a scalar from every element.
@@ -292,7 +307,11 @@ mod tests {
     #[test]
     fn scalar_ops() {
         let a = Tensor::leaf(&[2], vec![1.0, 2.0]);
-        let y = a.mul_scalar(3.0).add_scalar(1.0).sub_scalar(0.5).div_scalar(2.0);
+        let y = a
+            .mul_scalar(3.0)
+            .add_scalar(1.0)
+            .sub_scalar(0.5)
+            .div_scalar(2.0);
         assert_close(&y.to_vec(), &[1.75, 3.25]);
         y.sum_all().backward();
         assert_close(&a.grad(), &[1.5, 1.5]);

@@ -146,8 +146,16 @@ mod tests {
     #[test]
     fn max_axis_gradcheck_off_ties() {
         let t = Tensor::leaf(&[2, 3], vec![0.3, -0.7, 0.9, 1.4, 0.1, -0.5]);
-        gradcheck::check(|| t.max_axis(1).square().sum_all(), &[t.clone()], 1e-6);
-        gradcheck::check(|| t.min_axis(0).square().sum_all(), &[t.clone()], 1e-6);
+        gradcheck::check(
+            || t.max_axis(1).square().sum_all(),
+            std::slice::from_ref(&t),
+            1e-6,
+        );
+        gradcheck::check(
+            || t.min_axis(0).square().sum_all(),
+            std::slice::from_ref(&t),
+            1e-6,
+        );
     }
 
     #[test]
@@ -173,7 +181,7 @@ mod tests {
         let t = Tensor::leaf(&[3, 2], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
         gradcheck::check(
             || t.gather_rows(&[1, 1, 2]).square().sum_all(),
-            &[t.clone()],
+            std::slice::from_ref(&t),
             1e-6,
         );
     }

@@ -123,7 +123,13 @@ impl Tensor {
         make_node(
             x.shape().clone(),
             out,
-            vec![x.clone(), eta1.clone(), eta2.clone(), eta3.clone(), eta4.clone()],
+            vec![
+                x.clone(),
+                eta1.clone(),
+                eta2.clone(),
+                eta3.clone(),
+                eta4.clone(),
+            ],
             move |g, _| {
                 let xd = px.data();
                 let (e1, e2, e3, e4) = (p1.data(), p2.data(), p3.data(), p4.data());
@@ -243,7 +249,11 @@ mod tests {
         let a = Tensor::leaf(&[2], vec![0.8, 0.3]);
         let b = Tensor::leaf(&[2], vec![0.2, 0.7]);
         gradcheck::check(
-            || Tensor::filter_step(&state, &a, &input, &b).square().sum_all(),
+            || {
+                Tensor::filter_step(&state, &a, &input, &b)
+                    .square()
+                    .sum_all()
+            },
             &[state.clone(), a.clone(), input.clone(), b.clone()],
             1e-6,
         );

@@ -19,7 +19,11 @@ fn mat_mul_raw(
     let mut out = vec![0.0; n * m];
     for i in 0..n {
         for l in 0..k {
-            let av = if transpose_a { a[l * n + i] } else { a[i * k + l] };
+            let av = if transpose_a {
+                a[l * n + i]
+            } else {
+                a[i * k + l]
+            };
             if av == 0.0 {
                 continue;
             }

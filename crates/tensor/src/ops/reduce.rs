@@ -9,10 +9,15 @@ impl Tensor {
     pub fn sum_all(&self) -> Tensor {
         let total: Scalar = self.data().iter().sum();
         let p = self.clone();
-        make_node(Shape::scalar(), vec![total], vec![self.clone()], move |g, _| {
-            let gx = vec![g[0]; p.len()];
-            p.accumulate_grad(&gx);
-        })
+        make_node(
+            Shape::scalar(),
+            vec![total],
+            vec![self.clone()],
+            move |g, _| {
+                let gx = vec![g[0]; p.len()];
+                p.accumulate_grad(&gx);
+            },
+        )
     }
 
     /// Mean of all elements as a rank-0 tensor.
@@ -171,7 +176,11 @@ mod tests {
     #[test]
     fn mean_axis_gradcheck() {
         let t = Tensor::leaf(&[3, 2], vec![0.1, -0.4, 0.8, 0.3, -0.2, 0.6]);
-        gradcheck::check(|| t.mean_axis(0).square().sum_all(), &[t.clone()], 1e-6);
+        gradcheck::check(
+            || t.mean_axis(0).square().sum_all(),
+            std::slice::from_ref(&t),
+            1e-6,
+        );
     }
 
     #[test]

@@ -227,7 +227,11 @@ mod tests {
     #[test]
     fn select_gradcheck() {
         let x = Tensor::leaf(&[2, 3, 2], (0..12).map(|v| 0.1 * v as f64).collect());
-        gradcheck::check(|| x.select(1, 1).square().sum_all(), &[x.clone()], 1e-6);
+        gradcheck::check(
+            || x.select(1, 1).square().sum_all(),
+            std::slice::from_ref(&x),
+            1e-6,
+        );
     }
 
     #[test]

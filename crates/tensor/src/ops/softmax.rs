@@ -39,17 +39,22 @@ impl Tensor {
         drop(data);
 
         let p = self.clone();
-        make_node(self.shape().clone(), out, vec![self.clone()], move |g, out_data| {
-            let mut gx = vec![0.0; n * c];
-            for i in 0..n {
-                let gsum: Scalar = g[i * c..(i + 1) * c].iter().sum();
-                for j in 0..c {
-                    let sm = out_data[i * c + j].exp();
-                    gx[i * c + j] = g[i * c + j] - sm * gsum;
+        make_node(
+            self.shape().clone(),
+            out,
+            vec![self.clone()],
+            move |g, out_data| {
+                let mut gx = vec![0.0; n * c];
+                for i in 0..n {
+                    let gsum: Scalar = g[i * c..(i + 1) * c].iter().sum();
+                    for j in 0..c {
+                        let sm = out_data[i * c + j].exp();
+                        gx[i * c + j] = g[i * c + j] - sm * gsum;
+                    }
                 }
-            }
-            p.accumulate_grad(&gx);
-        })
+                p.accumulate_grad(&gx);
+            },
+        )
     }
 
     /// Softmax along the last axis of a rank-2 tensor.
@@ -101,7 +106,11 @@ mod tests {
         let x = Tensor::leaf(&[2, 3], vec![0.3, -0.7, 0.1, 1.2, 0.0, -0.5]);
         // A non-uniform downstream function so gsum != 0.
         let w = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 0.5, 0.3, 2.0, -1.0]);
-        gradcheck::check(|| x.log_softmax().mul(&w).sum_all(), &[x.clone()], 1e-6);
+        gradcheck::check(
+            || x.log_softmax().mul(&w).sum_all(),
+            std::slice::from_ref(&x),
+            1e-6,
+        );
     }
 
     #[test]

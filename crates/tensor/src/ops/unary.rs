@@ -14,13 +14,20 @@ fn unary_op(
 ) -> Tensor {
     let out: Vec<Scalar> = x.data().iter().map(|&v| f(v)).collect();
     let p = x.clone();
-    make_node(x.shape().clone(), out, vec![x.clone()], move |g, out_data| {
-        let gx: Vec<Scalar> = {
-            let xd = p.data();
-            (0..xd.len()).map(|i| g[i] * df(xd[i], out_data[i])).collect()
-        };
-        p.accumulate_grad(&gx);
-    })
+    make_node(
+        x.shape().clone(),
+        out,
+        vec![x.clone()],
+        move |g, out_data| {
+            let gx: Vec<Scalar> = {
+                let xd = p.data();
+                (0..xd.len())
+                    .map(|i| g[i] * df(xd[i], out_data[i]))
+                    .collect()
+            };
+            p.accumulate_grad(&gx);
+        },
+    )
 }
 
 impl Tensor {

@@ -132,10 +132,18 @@ impl From<Vec<usize>> for Shape {
 pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Option<Shape> {
     let ndim = a.ndim().max(b.ndim());
     let mut out = vec![0; ndim];
-    for i in 0..ndim {
-        let da = if i < ndim - a.ndim() { 1 } else { a.dim(i - (ndim - a.ndim())) };
-        let db = if i < ndim - b.ndim() { 1 } else { b.dim(i - (ndim - b.ndim())) };
-        out[i] = if da == db {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let da = if i < ndim - a.ndim() {
+            1
+        } else {
+            a.dim(i - (ndim - a.ndim()))
+        };
+        let db = if i < ndim - b.ndim() {
+            1
+        } else {
+            b.dim(i - (ndim - b.ndim()))
+        };
+        *slot = if da == db {
             da
         } else if da == 1 {
             db

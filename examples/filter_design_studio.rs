@@ -24,7 +24,10 @@ fn main() {
             .map(|f| format!("{f:7.3} Hz"))
             .unwrap_or_else(|| "   n/a".into());
         let roll = sweep.rolloff_db_per_decade().unwrap_or(f64::NAN);
-        println!("  R = {r:6.0} Ω, C = {:6.1} µF -> fc = {fc}, {roll:.0} dB/dec", c * 1e6);
+        println!(
+            "  R = {r:6.0} Ω, C = {:6.1} µF -> fc = {fc}, {roll:.0} dB/dec",
+            c * 1e6
+        );
     }
     println!();
 

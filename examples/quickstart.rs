@@ -6,7 +6,6 @@
 //! cargo run --release -p adapt-pnc --example quickstart
 //! ```
 
-use adapt_pnc::eval::{evaluate, EvalCondition};
 use adapt_pnc::experiments::prepare_split;
 use adapt_pnc::hardware::count_devices;
 use adapt_pnc::power::model_power;
@@ -15,7 +14,7 @@ use adapt_pnc::prelude::*;
 fn main() {
     // 1. Data: the synthetic CBF benchmark, preprocessed the paper's way
     //    (resize to 64 samples, normalize to ±1, 60/20/20 split).
-    let spec = ptnc_datasets::all_specs()
+    let spec = all_specs()
         .iter()
         .find(|s| s.name == "CBF")
         .expect("CBF registered");
@@ -30,20 +29,30 @@ fn main() {
 
     // 2. Train the baseline pTPNC (first-order filters, nothing
     //    robustness-aware) and the full ADAPT-pNC (SO-LF + variation-aware
-    //    Monte-Carlo training + data augmentation).
+    //    Monte-Carlo training + data augmentation). Configs come from the
+    //    presets; the builder tweaks individual fields. The runner fans the
+    //    Monte-Carlo samples of each epoch out over `PNC_THREADS` threads —
+    //    the numbers are bit-identical for any thread count.
     let epochs = std::env::var("PNC_EPOCHS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let runner = ParallelRunner::from_env();
+    println!("training on {} thread(s)...", runner.threads());
+    let baseline_cfg = TrainConfig::builder(8).max_epochs(epochs).build();
+    let adapt_cfg = TrainConfig::adapt_pnc(8)
+        .to_builder()
+        .max_epochs(epochs)
+        .build();
     println!("training baseline pTPNC ({epochs} epochs)...");
-    let baseline = train(&split, &TrainConfig::baseline_ptpnc(8).with_epochs(epochs), 0);
+    let baseline = train_with_runner(&split, &baseline_cfg, 0, &runner);
     println!("training ADAPT-pNC ({epochs} epochs)...");
-    let adapt = train(&split, &TrainConfig::adapt_pnc(8).with_epochs(epochs), 0);
+    let adapt = train_with_runner(&split, &adapt_cfg, 0, &runner);
 
     // 3. Evaluate under the paper's Table I condition.
     let condition = EvalCondition::paper_test();
-    let base_acc = evaluate(&baseline.model, &split.test, &condition, 0);
-    let adapt_acc = evaluate(&adapt.model, &split.test, &condition, 0);
+    let base_acc = evaluate_with_runner(&baseline.model, &split.test, &condition, 0, &runner);
+    let adapt_acc = evaluate_with_runner(&adapt.model, &split.test, &condition, 0, &runner);
     println!();
     println!("test accuracy under 10% variation + perturbed inputs:");
     println!("  baseline pTPNC : {base_acc:.3}");

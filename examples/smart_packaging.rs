@@ -57,7 +57,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     println!("training baseline pTPNC and ADAPT-pNC ({epochs} epochs each)...");
-    let baseline = train(&split, &TrainConfig::baseline_ptpnc(6).with_epochs(epochs), 0);
+    let baseline = train(
+        &split,
+        &TrainConfig::baseline_ptpnc(6).with_epochs(epochs),
+        0,
+    );
     let adapt = train(&split, &TrainConfig::adapt_pnc(6).with_epochs(epochs), 0);
 
     let condition = EvalCondition::paper_test();

@@ -28,7 +28,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(150);
-    println!("[1/4] training ADAPT-pNC on {} ({epochs} epochs)...", spec.name);
+    println!(
+        "[1/4] training ADAPT-pNC on {} ({epochs} epochs)...",
+        spec.name
+    );
     let trained = train(&split, &TrainConfig::adapt_pnc(6).with_epochs(epochs), 0);
     let acc = evaluate(&trained.model, &split.test, &EvalCondition::paper_test(), 0);
     println!("      robust test accuracy: {acc:.3}");
@@ -45,18 +48,29 @@ fn main() {
         .zip(&b)
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f64, f64::max);
-    println!("      {} bytes, max logit drift after restore: {drift:.2e}", json.len());
+    println!(
+        "      {} bytes, max logit drift after restore: {drift:.2e}",
+        json.len()
+    );
 
     // 3. Cross-validate one crossbar+SO-LF column against its SPICE netlist.
     println!("[3/4] SPICE cross-validation of layer 2, column 0...");
     // Re-pin the filters to design-rule values (large C) for the check.
     let layer = trained.model.layers()[1].clone();
     for (i, p) in layer.filters().parameters().iter().enumerate() {
-        let v = if i % 2 == 0 { 800.0f64.ln() } else { 1e-4f64.ln() };
+        let v = if i % 2 == 0 {
+            800.0f64.ln()
+        } else {
+            1e-4f64.ln()
+        };
         p.set_data(vec![v; p.len()]);
     }
     let inputs: Vec<Vec<f64>> = (0..40)
-        .map(|k| (0..layer.crossbar().fan_in()).map(|i| (0.3 * (k + i) as f64).sin() * 0.5).collect())
+        .map(|k| {
+            (0..layer.crossbar().fan_in())
+                .map(|i| (0.3 * (k + i) as f64).sin() * 0.5)
+                .collect()
+        })
         .collect();
     match cross_validate_column(&layer, 0, &inputs, &pdk) {
         Ok(cv) => println!(
@@ -87,7 +101,11 @@ fn main() {
             25,
             &mut rng,
         );
-        println!("      {:>4.1}% opens -> yield {:.0}%", open_rate * 100.0, y * 100.0);
+        println!(
+            "      {:>4.1}% opens -> yield {:.0}%",
+            open_rate * 100.0,
+            y * 100.0
+        );
     }
     println!("done.");
 }

@@ -70,7 +70,10 @@ fn stronger_pipelines_move_series_farther() {
     };
     let weak = dist(0.1);
     let strong = dist(0.9);
-    assert!(strong > 2.0 * weak, "strength scaling broken: {weak} vs {strong}");
+    assert!(
+        strong > 2.0 * weak,
+        "strength scaling broken: {weak} vs {strong}"
+    );
 }
 
 #[test]

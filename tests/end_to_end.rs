@@ -7,13 +7,18 @@ use adapt_pnc::training::{train, train_elman, TrainConfig};
 use ptnc_datasets::all_specs;
 
 fn spec(name: &str) -> &'static ptnc_datasets::BenchmarkSpec {
-    all_specs().iter().find(|s| s.name == name).expect("known benchmark")
+    all_specs()
+        .iter()
+        .find(|s| s.name == name)
+        .expect("known benchmark")
 }
 
 #[test]
 fn full_pipeline_learns_an_easy_benchmark() {
     let split = prepare_split(spec("GPOVY"), 0);
-    let cfg = TrainConfig::baseline_ptpnc(5).with_epochs(60);
+    // 120 epochs: seed 0 starts from an unlucky init and needs the extra
+    // budget to converge; every other seed is done well before that.
+    let cfg = TrainConfig::baseline_ptpnc(5).with_epochs(120);
     let trained = train(&split, &cfg, 0);
     let acc = evaluate(&trained.model, &split.test, &EvalCondition::Nominal, 0);
     assert!(acc > 0.7, "nominal accuracy {acc} too low for GPOVY");
@@ -22,10 +27,11 @@ fn full_pipeline_learns_an_easy_benchmark() {
 #[test]
 fn adapt_pipeline_runs_under_all_conditions() {
     let split = prepare_split(spec("Slope"), 0);
-    let cfg = TrainConfig {
-        mc_samples: 2,
-        ..TrainConfig::adapt_pnc(4).with_epochs(25)
-    };
+    let cfg = TrainConfig::adapt_pnc(4)
+        .with_epochs(25)
+        .to_builder()
+        .mc_samples(2)
+        .build();
     let trained = train(&split, &cfg, 0);
     for cond in [
         EvalCondition::Nominal,

@@ -80,8 +80,16 @@ fn power_shrinks_with_conductance_scale_and_not_with_filter_order() {
 fn report_math_matches_paper_metrics() {
     let r = HardwareReport {
         dataset: "CBF".into(),
-        baseline: DeviceCount { transistors: 24, resistors: 84, capacitors: 6 },
-        proposed: DeviceCount { transistors: 59, resistors: 147, capacitors: 24 },
+        baseline: DeviceCount {
+            transistors: 24,
+            resistors: 84,
+            capacitors: 6,
+        },
+        proposed: DeviceCount {
+            transistors: 59,
+            resistors: 147,
+            capacitors: 24,
+        },
         baseline_power: 0.653e-3,
         proposed_power: 0.06e-3,
     };

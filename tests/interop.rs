@@ -23,7 +23,10 @@ fn csv_to_confusion_matrix_pipeline() {
             .map(|k| {
                 let t = k as f64 / 47.0;
                 let signal = if label == 0 { t } else { 1.0 - t };
-                format!("{}", signal + 0.1 * ptnc_tensor::init::normal_sample(&mut rng))
+                format!(
+                    "{}",
+                    signal + 0.1 * ptnc_tensor::init::normal_sample(&mut rng)
+                )
             })
             .collect();
         csv.push_str(&format!("{label},{}\n", vals.join(",")));
@@ -34,7 +37,11 @@ fn csv_to_confusion_matrix_pipeline() {
 
     let (steps, labels) = dataset_to_steps(&split.test);
     let cm = ConfusionMatrix::from_logits(&trained.model.forward_nominal(&steps), &labels);
-    assert!(cm.accuracy() > 0.8, "ramp task should be easy: {}", cm.accuracy());
+    assert!(
+        cm.accuracy() > 0.8,
+        "ramp task should be easy: {}",
+        cm.accuracy()
+    );
     assert!(!cm.is_degenerate());
     assert!(cm.macro_f1() > 0.75);
 
@@ -47,7 +54,10 @@ fn csv_to_confusion_matrix_pipeline() {
 /// same under the paper's randomized test condition (same seed).
 #[test]
 fn persisted_model_scores_identically() {
-    let spec = ptnc_datasets::all_specs().iter().find(|s| s.name == "Slope").unwrap();
+    let spec = ptnc_datasets::all_specs()
+        .iter()
+        .find(|s| s.name == "Slope")
+        .unwrap();
     let split = adapt_pnc::experiments::prepare_split(spec, 0);
     let trained = train(&split, &TrainConfig::adapt_pnc(4).with_epochs(20), 0);
     let restored = persist::from_json(&persist::to_json(&trained.model)).unwrap();
@@ -73,7 +83,9 @@ C2 out 0 100u
 ";
     let parsed = parse_netlist(src).unwrap();
     let out = parsed.node("out").unwrap();
-    let be = TransientAnalysis::new(&parsed.circuit).run(0.9, 1e-3).unwrap();
+    let be = TransientAnalysis::new(&parsed.circuit)
+        .run(0.9, 1e-3)
+        .unwrap();
     let trap = TransientAnalysis::new(&parsed.circuit)
         .integrator(Integrator::Trapezoidal)
         .run(0.9, 1e-3)
@@ -101,12 +113,19 @@ R2 b 0 330k
 ";
     let parsed = parse_netlist(src).unwrap();
     let b_node = parsed.node("b").unwrap();
-    let from_text = DcAnalysis::new(&parsed.circuit).solve().unwrap().voltage(b_node);
+    let from_text = DcAnalysis::new(&parsed.circuit)
+        .solve()
+        .unwrap()
+        .voltage(b_node);
 
     let mut built = ptnc_spice::Circuit::new();
     let a = built.node("a");
     let b = built.node("b");
-    built.vsource(a, ptnc_spice::Circuit::GROUND, ptnc_spice::Waveform::Dc(1.0));
+    built.vsource(
+        a,
+        ptnc_spice::Circuit::GROUND,
+        ptnc_spice::Waveform::Dc(1.0),
+    );
     built.resistor(a, b, 150e3);
     built.resistor(b, ptnc_spice::Circuit::GROUND, 330e3);
     let from_builder = DcAnalysis::new(&built).solve().unwrap().voltage(b);
@@ -120,18 +139,21 @@ R2 b 0 330k
 #[test]
 fn search_winner_round_trips() {
     use adapt_pnc::search::{architecture_search, SearchSpace};
-    let spec = ptnc_datasets::all_specs().iter().find(|s| s.name == "GPOVY").unwrap();
+    let spec = ptnc_datasets::all_specs()
+        .iter()
+        .find(|s| s.name == "GPOVY")
+        .unwrap();
     let split = adapt_pnc::experiments::prepare_split(spec, 0);
     let space = SearchSpace {
         hidden: vec![3],
         orders: vec![adapt_pnc::models::FilterOrder::Second],
     };
     let (candidates, best) = architecture_search(&split, &space, 8, 0);
-    let cfg = TrainConfig {
-        hidden: candidates[best].hidden,
-        filter_order: candidates[best].order,
-        ..TrainConfig::adapt_pnc(candidates[best].hidden).with_epochs(8)
-    };
+    let cfg = TrainConfig::adapt_pnc(candidates[best].hidden)
+        .with_epochs(8)
+        .to_builder()
+        .filter_order(candidates[best].order)
+        .build();
     let trained = train(&split, &cfg, 0);
     let json = persist::to_json(&trained.model);
     assert!(persist::from_json(&json).is_ok());

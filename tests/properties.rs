@@ -1,8 +1,10 @@
-//! Property-based tests (proptest) on the core invariants of every substrate:
+//! Randomized property tests on the core invariants of every substrate:
 //! autodiff correctness, filter stability, crossbar bounds, FFT round-trips,
 //! preprocessing invariants and MNA physicality.
-
-use proptest::prelude::*;
+//!
+//! Formerly written with `proptest`; the offline build container cannot
+//! fetch it, so each property now draws its cases from a seeded
+//! [`StdRng`] — same invariants, fully deterministic, no shrinking.
 
 use adapt_pnc::pdk::Pdk;
 use adapt_pnc::primitives::{FilterBank, FilterOrder, PrintedCrossbar};
@@ -12,91 +14,119 @@ use ptnc_datasets::preprocess::{normalize, resize};
 use ptnc_spice::{Circuit, DcAnalysis, Waveform};
 use ptnc_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, 2..max_len)
+/// Number of random cases per property (matches the old proptest config).
+const CASES: usize = 64;
+
+/// Runs `f` on `CASES` independently seeded RNGs. The property name salts
+/// the seed so different properties never share case streams.
+fn cases(property: &str, f: impl Fn(&mut StdRng)) {
+    let salt = property.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for case in 0..CASES as u64 {
+        let mut rng = StdRng::seed_from_u64(salt ^ case);
+        f(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn finite_series(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(2..max_len);
+    (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
 
-    /// FFT round trip is the identity for arbitrary real series.
-    #[test]
-    fn fft_round_trip(series in finite_series(128)) {
+/// FFT round trip is the identity for arbitrary real series.
+#[test]
+fn fft_round_trip() {
+    cases("fft_round_trip", |rng| {
+        let series = finite_series(rng, 128);
         let n = series.len();
         let back = irfft(rfft(&series), n);
         for (a, b) in series.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
-    }
+    });
+}
 
-    /// Parseval: energy in time equals energy in frequency (power-of-two).
-    #[test]
-    fn fft_parseval(series in prop::collection::vec(-5.0f64..5.0, 64..65usize)) {
+/// Parseval: energy in time equals energy in frequency (power-of-two).
+#[test]
+fn fft_parseval() {
+    cases("fft_parseval", |rng| {
+        let series: Vec<f64> = (0..64).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let spec = rfft(&series);
         let time_energy: f64 = series.iter().map(|v| v * v).sum();
         let freq_energy: f64 =
             spec.iter().map(|(re, im)| re * re + im * im).sum::<f64>() / spec.len() as f64;
-        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
-    }
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    });
+}
 
-    /// resize preserves endpoints and min/max bounds.
-    #[test]
-    fn resize_bounds(series in finite_series(100), target in 2usize..100) {
+/// resize preserves endpoints and min/max bounds.
+#[test]
+fn resize_bounds() {
+    cases("resize_bounds", |rng| {
+        let series = finite_series(rng, 100);
+        let target = rng.gen_range(2usize..100);
         let out = resize(&series, target);
-        prop_assert_eq!(out.len(), target);
-        let (lo, hi) = series.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
-        prop_assert!(out.iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12));
-        prop_assert!((out[0] - series[0]).abs() < 1e-12);
-        prop_assert!((out[target - 1] - series[series.len() - 1]).abs() < 1e-12);
-    }
+        assert_eq!(out.len(), target);
+        let (lo, hi) = series
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        assert!(out.iter().all(|&v| v >= lo - 1e-12 && v <= hi + 1e-12));
+        assert!((out[0] - series[0]).abs() < 1e-12);
+        assert!((out[target - 1] - series[series.len() - 1]).abs() < 1e-12);
+    });
+}
 
-    /// normalize always lands exactly in [-1, 1] and is idempotent-ish.
-    #[test]
-    fn normalize_range_invariant(series in finite_series(100)) {
+/// normalize always lands exactly in [-1, 1] and is idempotent-ish.
+#[test]
+fn normalize_range_invariant() {
+    cases("normalize_range_invariant", |rng| {
+        let series = finite_series(rng, 100);
         let out = normalize(&series);
-        prop_assert!(out.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(out.iter().all(|&v| (-1.0..=1.0).contains(&v)));
         let again = normalize(&out);
         for (a, b) in out.iter().zip(&again) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Every augmentation preserves length and finiteness for any strength in
-    /// its documented range.
-    #[test]
-    fn augmentations_preserve_length(
-        series in finite_series(96),
-        sigma in 0.0f64..1.0,
-        warp in 0.0f64..0.2,
-        crop in 0.3f64..1.0,
-        seed in 0u64..1000,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Every augmentation preserves length and finiteness for any strength in
+/// its documented range.
+#[test]
+fn augmentations_preserve_length() {
+    cases("augmentations_preserve_length", |rng| {
+        let series = finite_series(rng, 96);
+        let sigma = rng.gen_range(0.0..1.0);
+        let warp = rng.gen_range(0.0..0.2);
+        let crop = rng.gen_range(0.3..1.0);
         for t in [
             Box::new(Jitter::new(sigma)) as Box<dyn Augment>,
             Box::new(TimeWarp::new(warp, 4)),
             Box::new(MagnitudeScale::new(0.5, 1.5)),
             Box::new(RandomCrop::new(crop)),
         ] {
-            let out = t.apply(&series, &mut rng);
-            prop_assert_eq!(out.len(), series.len());
-            prop_assert!(out.iter().all(|v| v.is_finite()));
+            let out = t.apply(&series, rng);
+            assert_eq!(out.len(), series.len());
+            assert!(out.iter().all(|v| v.is_finite()));
         }
-    }
+    });
+}
 
-    /// Printed filters are BIBO-stable for any printable R/C and bounded
-    /// inputs: |state| never exceeds the input bound (a, b >= 0, a + b <= 1).
-    #[test]
-    fn filter_is_stable_for_printable_components(
-        log_r in 50.0f64.ln()..1000.0f64.ln(),
-        log_c in 1e-7f64.ln()..1e-4f64.ln(),
-        inputs in prop::collection::vec(-1.0f64..1.0, 1..80),
-    ) {
+/// Printed filters are BIBO-stable for any printable R/C and bounded
+/// inputs: |state| never exceeds the input bound (a, b >= 0, a + b <= 1).
+#[test]
+fn filter_is_stable_for_printable_components() {
+    cases("filter_is_stable_for_printable_components", |rng| {
+        let log_r = rng.gen_range(50.0f64.ln()..1000.0f64.ln());
+        let log_c = rng.gen_range(1e-7f64.ln()..1e-4f64.ln());
+        let len = rng.gen_range(1usize..80);
+        let inputs: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let pdk = Pdk::paper_default();
-        let mut rng = ptnc_tensor::init::rng(0);
-        let fb = FilterBank::new(FilterOrder::Second, 1, &pdk, 1.15, &mut rng);
+        let mut init_rng = ptnc_tensor::init::rng(0);
+        let fb = FilterBank::new(FilterOrder::Second, 1, &pdk, 1.15, &mut init_rng);
         fb.parameters()[0].set_data(vec![log_r]);
         fb.parameters()[1].set_data(vec![log_c]);
         fb.parameters()[2].set_data(vec![log_r]);
@@ -104,34 +134,36 @@ proptest! {
         let steps: Vec<Tensor> = inputs.iter().map(|&v| Tensor::full(&[1, 1], v)).collect();
         let out = fb.forward_sequence(&steps, None);
         for o in &out {
-            prop_assert!(o.item().abs() <= 1.0 + 1e-9);
+            assert!(o.item().abs() <= 1.0 + 1e-9);
         }
-    }
+    });
+}
 
-    /// Crossbar outputs stay within the supply for arbitrary conductances
-    /// (the ratio normalization is a convex-combination bound).
-    #[test]
-    fn crossbar_output_bounded_for_any_theta(
-        theta in prop::collection::vec(-10.0f64..10.0, 6..7usize),
-        x in prop::collection::vec(-1.0f64..1.0, 2..3usize),
-    ) {
+/// Crossbar outputs stay within the supply for arbitrary conductances
+/// (the ratio normalization is a convex-combination bound).
+#[test]
+fn crossbar_output_bounded_for_any_theta() {
+    cases("crossbar_output_bounded_for_any_theta", |rng| {
+        let theta: Vec<f64> = (0..6).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let x: Vec<f64> = (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let pdk = Pdk::paper_default();
-        let mut rng = ptnc_tensor::init::rng(1);
-        let cb = PrintedCrossbar::new(2, 2, &pdk, &mut rng);
+        let mut init_rng = ptnc_tensor::init::rng(1);
+        let cb = PrintedCrossbar::new(2, 2, &pdk, &mut init_rng);
         cb.parameters()[0].set_data(theta[0..4].to_vec());
         cb.parameters()[1].set_data(theta[4..6].to_vec());
         let input = Tensor::from_vec(&[1, 2], x);
         let out = cb.forward(&input, None);
-        prop_assert!(out.data().iter().all(|&v| v.abs() <= 1.0 + 1e-9));
-    }
+        assert!(out.data().iter().all(|&v| v.abs() <= 1.0 + 1e-9));
+    });
+}
 
-    /// Reverse-mode gradients of a random composite expression match
-    /// finite differences.
-    #[test]
-    fn autodiff_matches_finite_differences(
-        a in prop::collection::vec(-2.0f64..2.0, 4..5usize),
-        b in prop::collection::vec(0.2f64..2.0, 4..5usize),
-    ) {
+/// Reverse-mode gradients of a random composite expression match
+/// finite differences.
+#[test]
+fn autodiff_matches_finite_differences() {
+    cases("autodiff_matches_finite_differences", |rng| {
+        let a: Vec<f64> = (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..4).map(|_| rng.gen_range(0.2..2.0)).collect();
         let ta = Tensor::leaf(&[4], a);
         let tb = Tensor::leaf(&[4], b);
         ptnc_tensor::gradcheck::check(
@@ -139,16 +171,17 @@ proptest! {
             &[ta.clone(), tb.clone()],
             1e-5,
         );
-    }
+    });
+}
 
-    /// A resistive divider's output is always between its rails, for any
-    /// printable resistor pair (MNA physicality).
-    #[test]
-    fn divider_output_between_rails(
-        r1 in 1e2f64..1e7,
-        r2 in 1e2f64..1e7,
-        vs in -2.0f64..2.0,
-    ) {
+/// A resistive divider's output is always between its rails, for any
+/// printable resistor pair (MNA physicality).
+#[test]
+fn divider_output_between_rails() {
+    cases("divider_output_between_rails", |rng| {
+        let r1 = rng.gen_range(1e2..1e7);
+        let r2 = rng.gen_range(1e2..1e7);
+        let vs = rng.gen_range(-2.0..2.0);
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
@@ -158,8 +191,7 @@ proptest! {
         let op = DcAnalysis::new(&c).solve().unwrap();
         let v = op.voltage(b);
         let (lo, hi) = if vs < 0.0 { (vs, 0.0) } else { (0.0, vs) };
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
-        // And it matches the divider formula.
-        prop_assert!((v - vs * r2 / (r1 + r2)).abs() < 1e-6 * vs.abs().max(1.0));
-    }
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        assert!((v - vs * r2 / (r1 + r2)).abs() < 1e-6 * vs.abs().max(1.0));
+    });
 }

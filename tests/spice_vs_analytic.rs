@@ -49,7 +49,9 @@ fn ac_matches_analytic_second_order_transfer() {
 fn transient_matches_analytic_rc_charge() {
     let (ckt, out) = lpf_circuit(1, 1e3, 1e-6, None);
     let tau = 1e-3;
-    let res = TransientAnalysis::new(&ckt).run(5.0 * tau, tau / 500.0).unwrap();
+    let res = TransientAnalysis::new(&ckt)
+        .run(5.0 * tau, tau / 500.0)
+        .unwrap();
     for (i, &t) in res.times().iter().enumerate().step_by(100) {
         let expected = 1.0 - (-t / tau).exp();
         assert!(
@@ -99,7 +101,11 @@ fn mu_calibration_reproduces_paper_interval() {
     // Across the printable design corner the paper uses, μ stays in [1, 1.3].
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
-    for &(r, c, load) in &[(600.0, 5e-5, 1.5e3), (1000.0, 1e-4, 3e3), (500.0, 1e-4, 100e3)] {
+    for &(r, c, load) in &[
+        (600.0, 5e-5, 1.5e3),
+        (1000.0, 1e-4, 3e3),
+        (500.0, 1e-4, 100e3),
+    ] {
         let mu = measure_mu(r, c, load, 0.01).unwrap();
         lo = lo.min(mu);
         hi = hi.max(mu);
