@@ -10,9 +10,13 @@
 use adapt_pnc::ablation::{run_arm_with_runner, AblationArm};
 use adapt_pnc::experiments::{prepare_split, ExperimentScale};
 use adapt_pnc::parallel::ParallelRunner;
-use ptnc_bench::{mean, print_row, print_rule, selected_specs};
+use ptnc_bench::{mean, print_row, print_rule, selected_specs, with_run_manifest};
 
 fn main() {
+    with_run_manifest("fig7_ablation", run);
+}
+
+fn run() {
     let scale = ExperimentScale::from_env();
     let runner = ParallelRunner::from_env();
     eprintln!(

@@ -9,9 +9,13 @@
 
 use adapt_pnc::experiments::{table1_row_with_runner, ExperimentScale};
 use adapt_pnc::parallel::ParallelRunner;
-use ptnc_bench::{fmt_pm, mean, print_row, print_rule, selected_specs};
+use ptnc_bench::{fmt_pm, mean, print_row, print_rule, selected_specs, with_run_manifest};
 
 fn main() {
+    with_run_manifest("table1_accuracy", run);
+}
+
+fn run() {
     let scale = ExperimentScale::from_env();
     let runner = ParallelRunner::from_env();
     eprintln!(

@@ -12,9 +12,13 @@ use adapt_pnc::experiments::{prepare_split, ExperimentScale};
 use adapt_pnc::parallel::ParallelRunner;
 use adapt_pnc::training::{train_with_runner, TrainConfig};
 use adapt_pnc::variation::VariationConfig;
-use ptnc_bench::{mean, print_row, print_rule, selected_specs};
+use ptnc_bench::{mean, print_row, print_rule, selected_specs, with_run_manifest};
 
 fn main() {
+    with_run_manifest("variation_sweep", run);
+}
+
+fn run() {
     let scale = ExperimentScale::from_env();
     let runner = ParallelRunner::from_env();
     eprintln!(

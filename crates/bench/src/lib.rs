@@ -4,7 +4,9 @@
 //! Each binary prints its table/figure data to stdout in the paper's row
 //! order. Fidelity is controlled by the `PNC_*` environment variables
 //! documented in [`adapt_pnc::experiments::ExperimentScale`]; additionally
-//! `PNC_DATASETS` (comma-separated names) restricts the benchmark list.
+//! `PNC_DATASETS` (comma-separated names) restricts the benchmark list and
+//! `PNC_TELEMETRY=<path>` dumps a run-manifest JSONL (see
+//! [`with_run_manifest`]).
 
 use ptnc_datasets::{all_specs, BenchmarkSpec};
 
@@ -54,6 +56,44 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+/// Runs an experiment binary's body under a telemetry scope when
+/// `PNC_TELEMETRY=<path>` is set, writing a run-manifest JSONL to `path`:
+/// a `run` header span (binary name plus the `PNC_*` knobs in effect)
+/// followed by every event the run emitted, in deterministic order.
+///
+/// Without the variable the body runs with telemetry disabled and nothing
+/// is written.
+///
+/// # Panics
+///
+/// Panics if the manifest file cannot be written.
+pub fn with_run_manifest<R>(bin: &str, body: impl FnOnce() -> R) -> R {
+    let Ok(path) = std::env::var("PNC_TELEMETRY") else {
+        return body();
+    };
+    let (result, events) = ptnc_telemetry::collect(body);
+    let mut manifest = vec![run_header(bin)];
+    manifest.extend(events);
+    ptnc_telemetry::write_jsonl(&path, &manifest)
+        .unwrap_or_else(|e| panic!("writing telemetry manifest {path}: {e}"));
+    eprintln!(
+        "[{bin}] wrote {} telemetry events to {path}",
+        manifest.len()
+    );
+    result
+}
+
+/// The `run` header event: binary name and the fidelity knobs in effect.
+fn run_header(bin: &str) -> ptnc_telemetry::Event {
+    let mut event = ptnc_telemetry::Event::new(ptnc_telemetry::Kind::Span, "run").field("bin", bin);
+    for knob in ["PNC_DATASETS", "PNC_EPOCHS", "PNC_SEEDS", "PNC_THREADS"] {
+        if let Ok(v) = std::env::var(knob) {
+            event = event.field(knob.to_ascii_lowercase(), v);
+        }
+    }
+    event
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +114,35 @@ mod tests {
     #[test]
     fn mean_works() {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn manifest_disabled_without_env_var() {
+        // The test environment does not set PNC_TELEMETRY: the body runs
+        // with telemetry off and nothing is written.
+        if std::env::var("PNC_TELEMETRY").is_err() {
+            let enabled = with_run_manifest("test_bin", ptnc_telemetry::is_enabled);
+            assert!(!enabled);
+        }
+    }
+
+    #[test]
+    fn manifest_written_when_env_var_set() {
+        let path = std::env::temp_dir().join("ptnc_bench_manifest_test.jsonl");
+        // Only this test touches PNC_TELEMETRY, so the set/remove pair
+        // cannot race with the rest of the suite.
+        std::env::set_var("PNC_TELEMETRY", &path);
+        with_run_manifest("test_bin", || {
+            ptnc_telemetry::counter("test.events", 3);
+        });
+        std::env::remove_var("PNC_TELEMETRY");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut lines = contents.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"name\":\"run\""), "header: {header}");
+        assert!(header.contains("test_bin"), "header: {header}");
+        let body = lines.next().unwrap();
+        assert!(body.contains("test.events"), "body: {body}");
     }
 }

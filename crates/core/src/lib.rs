@@ -52,6 +52,11 @@ pub mod search;
 pub mod training;
 pub mod variation;
 
+/// Structured-event telemetry (spans, counters, gauges, JSONL sinks) —
+/// re-exported so downstream code scopes collection without a direct
+/// `ptnc-telemetry` dependency.
+pub use ptnc_telemetry as telemetry;
+
 /// Convenience re-exports for examples and benches: everything a typical
 /// train-evaluate script needs, including the dataset registry and the
 /// deterministic [`parallel::ParallelRunner`] fan-out layer.

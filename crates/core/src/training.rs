@@ -273,6 +273,9 @@ fn mc_samples_parallel(
             let mut rng = rng_for(master_seed, stream, mc_index(epoch, sample));
             let noise = replica.sample_noise(variation, &mut rng);
             let ce = cross_entropy(&replica.forward(&steps, Some(&noise)), labels);
+            if ptnc_telemetry::is_enabled() {
+                ptnc_telemetry::gauge("train.mc_sample_loss", ce.item());
+            }
             if with_grads {
                 ce.backward();
                 let grads = replica
@@ -412,6 +415,15 @@ impl TrainObjective for PrintedObjective {
             )
             .item()
         };
+        if ptnc_telemetry::is_enabled() {
+            // The nominal accuracy pass is extra work, so only compute it
+            // when a telemetry scope is actually collecting.
+            let acc = accuracy(
+                &self.model.forward_nominal(&self.val_steps),
+                &self.val_labels,
+            );
+            ptnc_telemetry::gauge("train.val_accuracy", acc);
+        }
         // Keep the selection objective aligned with training: otherwise the
         // best-on-validation snapshot would systematically prefer the early,
         // high-conductance (high-power) epochs.

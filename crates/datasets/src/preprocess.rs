@@ -50,12 +50,22 @@ pub fn normalize(values: &[f64]) -> Vec<f64> {
         hi = hi.max(v);
     }
     let span = hi - lo;
+    if !span.is_finite() {
+        // hi - lo overflowed (e.g. ±1e300 inputs): normalize in two halves
+        // so every finite input still lands in [-1, 1].
+        let half = hi / 2.0 - lo / 2.0;
+        return values
+            .iter()
+            .map(|&v| (v / 2.0 - lo / 2.0) / half * 2.0 - 1.0)
+            .collect();
+    }
     if span <= f64::EPSILON {
         return vec![0.0; values.len()];
     }
+    // Divide before scaling: 2·(v − lo) overflows for inputs near ±DBL_MAX.
     values
         .iter()
-        .map(|&v| 2.0 * (v - lo) / span - 1.0)
+        .map(|&v| (v - lo) / span * 2.0 - 1.0)
         .collect()
 }
 
@@ -134,6 +144,23 @@ mod tests {
     #[test]
     fn normalize_constant_series() {
         assert_eq!(normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_extreme_magnitudes_stay_in_range() {
+        // hi - lo overflows f64 here; the pre-fix formula returned ±inf.
+        let out = normalize(&[-1e300, 0.0, 1e300]);
+        assert_eq!(out, vec![-1.0, 0.0, 1.0]);
+        let out = normalize(&[f64::MAX, f64::MIN]);
+        assert_eq!(out, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn resize_degenerate_targets() {
+        // target_len == 1 keeps the first sample.
+        assert_eq!(resize(&[3.0, 7.0, 9.0], 1), vec![3.0]);
+        // A single-sample input repeats to any target length.
+        assert_eq!(resize(&[4.0], 3), vec![4.0, 4.0, 4.0]);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Validation loss per epoch.
     pub val_history: Vec<f64>,
+    /// Optimizer steps skipped because the loss or gradient was non-finite.
+    pub skipped_steps: usize,
+    /// Steps whose gradient was clipped by the global-norm limit.
+    pub clipped_steps: usize,
 }
 
 /// Per-epoch context handed to a [`TrainObjective`].
@@ -97,6 +101,20 @@ where
     }
 }
 
+/// Euclidean norm over every parameter's accumulated gradient (0 when no
+/// gradient reached the parameters). NaN anywhere makes the result NaN.
+fn global_grad_norm(params: &[Tensor]) -> f64 {
+    let mut sq = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad_opt() {
+            for v in g {
+                sq += v * v;
+            }
+        }
+    }
+    sq.sqrt()
+}
+
 /// Full-batch trainer with plateau scheduling, a hard epoch cap and
 /// best-on-validation parameter snapshotting.
 pub struct Trainer {
@@ -104,6 +122,7 @@ pub struct Trainer {
     max_epochs: usize,
     seed: u64,
     runner: ParallelRunner,
+    max_grad_norm: Option<f64>,
 }
 
 impl Trainer {
@@ -120,6 +139,7 @@ impl Trainer {
             max_epochs,
             seed,
             runner: ParallelRunner::from_env(),
+            max_grad_norm: Some(1e3),
         }
     }
 
@@ -132,6 +152,14 @@ impl Trainer {
     /// Overrides the fan-out runner handed to the objective each epoch.
     pub fn with_runner(mut self, runner: ParallelRunner) -> Self {
         self.runner = runner;
+        self
+    }
+
+    /// Overrides the global gradient-norm clip (`None` disables clipping).
+    /// The default of `1e3` only catches pathological spikes; it never
+    /// touches well-behaved runs.
+    pub fn with_max_grad_norm(mut self, limit: Option<f64>) -> Self {
+        self.max_grad_norm = limit;
         self
     }
 
@@ -150,6 +178,8 @@ impl Trainer {
         let mut val_history = Vec::new();
 
         let mut epochs = 0;
+        let mut skipped_steps = 0usize;
+        let mut clipped_steps = 0usize;
         for epoch in 0..self.max_epochs {
             epochs = epoch + 1;
             opt.zero_grad();
@@ -160,8 +190,35 @@ impl Trainer {
                 rng: &mut rng,
             });
             loss.backward();
-            opt.step();
-            objective.project(&params);
+
+            // Non-finite guard: a NaN/Inf loss or gradient skips the
+            // optimizer step entirely (so the AdamW moments stay clean)
+            // instead of poisoning the parameters. Finite but oversized
+            // gradients are clipped by global norm.
+            let loss_value = loss.item();
+            let grad_norm = global_grad_norm(&params);
+            let finite = loss_value.is_finite() && grad_norm.is_finite();
+            if !finite {
+                skipped_steps += 1;
+                if ptnc_telemetry::is_enabled() {
+                    ptnc_telemetry::counter("train.step_skipped", 1);
+                }
+            } else {
+                if let Some(limit) = self.max_grad_norm {
+                    if grad_norm > limit {
+                        let factor = limit / grad_norm;
+                        for p in &params {
+                            p.scale_grad(factor);
+                        }
+                        clipped_steps += 1;
+                        if ptnc_telemetry::is_enabled() {
+                            ptnc_telemetry::counter("train.grad_clipped", 1);
+                        }
+                    }
+                }
+                opt.step();
+                objective.project(&params);
+            }
 
             let v = objective.val_loss(&mut EpochCtx {
                 epoch,
@@ -170,6 +227,15 @@ impl Trainer {
                 rng: &mut rng,
             });
             val_history.push(v);
+            if ptnc_telemetry::is_enabled() {
+                ptnc_telemetry::span("train.epoch")
+                    .field("epoch", epoch)
+                    .field("loss", loss_value)
+                    .field("val_loss", v)
+                    .field("grad_norm", grad_norm)
+                    .field("lr", schedule.lr())
+                    .finish();
+            }
             if v < best_val {
                 best_val = v;
                 best_epoch = epoch;
@@ -193,6 +259,8 @@ impl Trainer {
             best_val_loss: best_val,
             best_epoch,
             val_history,
+            skipped_steps,
+            clipped_steps,
         }
     }
 
@@ -322,6 +390,96 @@ mod tests {
             },
         );
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nan_loss_skips_step_and_leaves_params_intact() {
+        // Every epoch produces a NaN loss: no optimizer step may run, the
+        // parameters must come out bit-identical, and the loop must still
+        // complete all epochs with the skip counter matching.
+        let x = Tensor::leaf(&[1], vec![1.5]);
+        let trainer = Trainer::new(5, 0);
+        let x2 = x.clone();
+        let report = trainer.run(
+            vec![x.clone()],
+            &mut FnObjective {
+                train: move |_: &mut EpochCtx<'_>| x2.mul_scalar(f64::NAN).sum_all(),
+                val: |_: &mut EpochCtx<'_>| 0.0,
+                project: |_: &[Tensor]| panic!("projection must not run on a skipped step"),
+            },
+        );
+        assert_eq!(report.epochs, 5);
+        assert_eq!(report.skipped_steps, 5);
+        assert_eq!(x.item(), 1.5, "parameters must be untouched");
+    }
+
+    #[test]
+    fn nan_epoch_mid_run_is_survivable() {
+        // Epoch 1 of 4 explodes; the surrounding epochs still optimize and
+        // the final parameters are finite.
+        let x = Tensor::leaf(&[1], vec![4.0]);
+        let trainer = Trainer::new(4, 0);
+        let x2 = x.clone();
+        let x3 = x.clone();
+        let report = trainer.run(
+            vec![x.clone()],
+            &mut FnObjective {
+                train: move |ctx: &mut EpochCtx<'_>| {
+                    if ctx.epoch == 1 {
+                        x2.mul_scalar(f64::NAN).sum_all()
+                    } else {
+                        x2.square().sum_all()
+                    }
+                },
+                val: move |_: &mut EpochCtx<'_>| x3.item().powi(2),
+                project: |_: &[Tensor]| {},
+            },
+        );
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.skipped_steps, 1);
+        assert!(x.item().is_finite());
+        assert!(x.item() < 4.0, "healthy epochs should still make progress");
+    }
+
+    #[test]
+    fn oversized_gradient_is_clipped_not_skipped() {
+        let x = Tensor::leaf(&[1], vec![1.0]);
+        let trainer = Trainer::new(1, 0).with_max_grad_norm(Some(1.0));
+        let x2 = x.clone();
+        let report = trainer.run(
+            vec![x.clone()],
+            &mut FnObjective {
+                // d/dx (1e6·x²) = 2e6 at x=1 → far over the norm limit.
+                train: move |_: &mut EpochCtx<'_>| x2.square().mul_scalar(1e6).sum_all(),
+                val: |_: &mut EpochCtx<'_>| 0.0,
+                project: |_: &[Tensor]| {},
+            },
+        );
+        assert_eq!(report.skipped_steps, 0);
+        assert_eq!(report.clipped_steps, 1);
+        assert!(x.item().is_finite());
+    }
+
+    #[test]
+    fn training_emits_epoch_telemetry() {
+        let x = Tensor::leaf(&[1], vec![1.0]);
+        let trainer = Trainer::new(3, 0);
+        let x2 = x.clone();
+        let ((), events) = ptnc_telemetry::collect(|| {
+            trainer.run(
+                vec![x.clone()],
+                &mut FnObjective {
+                    train: move |_: &mut EpochCtx<'_>| x2.square().sum_all(),
+                    val: |_: &mut EpochCtx<'_>| 0.0,
+                    project: |_: &[Tensor]| {},
+                },
+            );
+        });
+        let epochs: Vec<_> = events.iter().filter(|e| e.name == "train.epoch").collect();
+        assert_eq!(epochs.len(), 3);
+        assert!(epochs[0].get("loss").is_some());
+        assert!(epochs[0].get("grad_norm").is_some());
+        assert!(epochs[0].get("lr").is_some());
     }
 
     #[test]

@@ -148,6 +148,12 @@ impl ParallelRunner {
     /// Maps `items` through `f` in parallel, returning outputs in item
     /// order. `f` receives the item index alongside the item.
     ///
+    /// When a telemetry scope is active on the calling thread
+    /// ([`ptnc_telemetry::collect`]), each work item's events are captured
+    /// on its worker and re-emitted here in item order, tagged with an
+    /// `item` field — so the aggregate stream is identical for any thread
+    /// count.
+    ///
     /// # Panics
     ///
     /// Re-raises the first panic of any work item, prefixed with its index.
@@ -158,18 +164,26 @@ impl ParallelRunner {
         F: Fn(usize, I) -> O + Sync,
     {
         let total = items.len();
+        let capture = ptnc_telemetry::is_enabled();
         let done = AtomicUsize::new(0);
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.threads)
             .build()
             .expect("vendored thread pool cannot fail to build");
         let indexed: Vec<(usize, I)> = items.into_iter().enumerate().collect();
-        let results: Vec<Result<O, String>> = pool.install(|| {
+        type Outcome<O> = Result<(O, Vec<ptnc_telemetry::Event>), String>;
+        let results: Vec<Outcome<O>> = pool.install(|| {
             indexed
                 .into_par_iter()
                 .map(|(index, item)| {
-                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(index, item)))
-                        .map_err(|payload| format!("work item {index}: {}", panic_text(&payload)));
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if capture {
+                            ptnc_telemetry::collect(|| f(index, item))
+                        } else {
+                            (f(index, item), Vec::new())
+                        }
+                    }))
+                    .map_err(|payload| format!("work item {index}: {}", panic_text(&payload)));
                     if let Some(label) = &self.progress {
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                         eprintln!("[{label}] {n}/{total}");
@@ -180,7 +194,16 @@ impl ParallelRunner {
         });
         results
             .into_iter()
-            .map(|r| r.unwrap_or_else(|msg| panic!("{msg}")))
+            .enumerate()
+            .map(|(index, r)| {
+                let (out, events) = r.unwrap_or_else(|msg| panic!("{msg}"));
+                if capture {
+                    ptnc_telemetry::emit_all(
+                        events.into_iter().map(|e| e.field("item", index as u64)),
+                    );
+                }
+                out
+            })
             .collect()
     }
 
@@ -271,6 +294,74 @@ mod tests {
                     panic!("injected failure");
                 }
                 i
+            });
+    }
+
+    #[test]
+    fn worker_telemetry_is_reemitted_in_item_order() {
+        let fan_out = |threads: usize| -> Vec<String> {
+            let ((), events) = ptnc_telemetry::collect(|| {
+                ParallelRunner::serial().with_threads(threads).run(
+                    (0..12).collect(),
+                    |i, _x: i32| {
+                        ptnc_telemetry::gauge("work.value", i as f64);
+                    },
+                );
+            });
+            events.iter().map(|e| e.to_json()).collect()
+        };
+        let serial = fan_out(1);
+        assert_eq!(serial.len(), 12);
+        for (i, line) in serial.iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"item\":{i}")),
+                "event {i} lacks its item tag: {line}"
+            );
+        }
+        assert_eq!(serial, fan_out(4), "telemetry order diverged at 4 threads");
+    }
+
+    #[test]
+    fn nested_fan_outs_tag_with_the_outermost_item_index() {
+        // An inner runner inside a work item re-tags with its own index
+        // first; the outer runner's re-tag must replace it, not stack a
+        // duplicate "item" key in the JSON.
+        let ((), events) = ptnc_telemetry::collect(|| {
+            ParallelRunner::serial()
+                .with_threads(2)
+                .run((0..3).collect(), |_, _x: i32| {
+                    ParallelRunner::serial().with_threads(2).run(
+                        (0..2).collect(),
+                        |inner, _y: i32| {
+                            ptnc_telemetry::gauge("nested.value", inner as f64);
+                        },
+                    );
+                });
+        });
+        assert_eq!(events.len(), 6);
+        for (i, event) in events.iter().enumerate() {
+            let line = event.to_json();
+            assert_eq!(
+                line.matches("\"item\":").count(),
+                1,
+                "event {i} must carry exactly one item tag: {line}"
+            );
+            let outer = (i / 2) as u64;
+            assert_eq!(
+                event.get("item"),
+                Some(&ptnc_telemetry::Value::U64(outer)),
+                "event {i} should be tagged with outer item {outer}: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_telemetry_scope_means_no_capture_overhead() {
+        // Outside a collect() scope the fan-out must not create one.
+        ParallelRunner::serial()
+            .with_threads(2)
+            .run((0..4).collect(), |_, _x: i32| {
+                assert!(!ptnc_telemetry::is_enabled());
             });
     }
 

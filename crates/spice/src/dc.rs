@@ -17,12 +17,17 @@ pub(crate) enum CapTreatment<'a> {
 /// Assembles the linearized MNA system `A·x = z` around the guess `x_guess`.
 ///
 /// `time` selects source values: `None` uses each waveform's DC value,
-/// `Some(t)` evaluates waveforms at `t`.
+/// `Some(t)` evaluates waveforms at `t`. `gmin` adds a shunt conductance
+/// from every node to ground (gmin-stepping homotopy); `src_scale` scales
+/// every independent source (source-stepping homotopy). The plain system
+/// is `gmin = 0.0, src_scale = 1.0`.
 pub(crate) fn assemble(
     c: &Circuit,
     time: Option<f64>,
     x_guess: &[f64],
     caps: &CapTreatment<'_>,
+    gmin: f64,
+    src_scale: f64,
 ) -> (Matrix<f64>, Vec<f64>) {
     let n = c.num_unknowns();
     let mut a = Matrix::<f64>::zeros(n);
@@ -34,10 +39,20 @@ pub(crate) fn assemble(
             Some(r) => x_guess[r],
         }
     };
-    let src = |w: &crate::waveform::Waveform| match time {
-        None => w.dc_value(),
-        Some(t) => w.at(t),
+    let src = |w: &crate::waveform::Waveform| {
+        src_scale
+            * match time {
+                None => w.dc_value(),
+                Some(t) => w.at(t),
+            }
     };
+
+    if gmin > 0.0 {
+        // Shunt every node (not the branch-current rows) to ground.
+        for r in 0..c.num_nodes().saturating_sub(1) {
+            a.add_at(r, r, gmin);
+        }
+    }
 
     let mut vsrc_idx = 0usize;
     let mut cap_idx = 0usize;
@@ -158,52 +173,226 @@ fn stamp_vccs(
     }
 }
 
-/// Newton–Raphson solve shared by DC and each transient step.
-pub(crate) fn newton_solve(
+/// Tuning knobs for the Newton solve, shared by DC and transient analyses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Iteration budget per Newton attempt (plain and each homotopy stage).
+    pub max_iter: usize,
+    /// Whether a failed plain Newton solve retries with gmin stepping and,
+    /// if that also fails, source stepping before reporting
+    /// [`SpiceError::NoConvergence`].
+    pub fallback: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_iter: 200,
+            fallback: true,
+        }
+    }
+}
+
+/// Convergence statistics of one Newton solve (including any homotopy
+/// fallback stages). Exposed on [`DcSolution::stats`] and aggregated per
+/// run by the transient engine; also emitted as telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NewtonStats {
+    /// Total Newton iterations across every attempt.
+    pub iterations: usize,
+    /// Final damped update norm (`max |Δx|` after clamping) of the last
+    /// attempt — always finite, also on failure.
+    pub residual: f64,
+    /// Iterations in which the per-component step clamp activated.
+    pub damping_events: usize,
+    /// gmin-homotopy stages attempted (0 when plain Newton converged).
+    pub gmin_steps: usize,
+    /// Source-ramp stages attempted (0 unless gmin stepping also failed).
+    pub source_steps: usize,
+    /// Whether any fallback homotopy was needed.
+    pub fallback: bool,
+    /// Whether the solve converged.
+    pub converged: bool,
+}
+
+const ABS_TOL: f64 = 1e-10;
+const REL_TOL: f64 = 1e-9;
+const MAX_STEP: f64 = 0.5; // volts per Newton iteration, for robustness
+
+/// One damped Newton attempt on the (possibly homotopy-shifted) system.
+struct Attempt {
+    x: Vec<f64>,
+    iterations: usize,
+    residual: f64,
+    damping_events: usize,
+    converged: bool,
+}
+
+fn newton_attempt(
     c: &Circuit,
     time: Option<f64>,
     caps: &CapTreatment<'_>,
     x0: Vec<f64>,
-) -> Result<Vec<f64>, SpiceError> {
-    const MAX_ITER: usize = 200;
-    const ABS_TOL: f64 = 1e-10;
-    const REL_TOL: f64 = 1e-9;
-    const MAX_STEP: f64 = 0.5; // volts per Newton iteration, for robustness
-
+    gmin: f64,
+    src_scale: f64,
+    max_iter: usize,
+) -> Result<Attempt, SpiceError> {
     let has_nonlinear = c
         .elements()
         .iter()
         .any(|e| matches!(e, Element::Egt { .. }));
 
     let mut x = x0;
-    for iter in 0..MAX_ITER {
-        let (a, z) = assemble(c, time, &x, caps);
+    let mut residual = f64::INFINITY;
+    let mut damping_events = 0usize;
+    for iter in 1..=max_iter {
+        let (a, z) = assemble(c, time, &x, caps, gmin, src_scale);
         let x_new = a.solve(z)?;
+        if !has_nonlinear {
+            return Ok(Attempt {
+                x: x_new,
+                iterations: iter,
+                residual: 0.0,
+                damping_events,
+                converged: true,
+            });
+        }
+        // Damped update: clamp each component's move, and judge convergence
+        // on the *clamped* delta — the step actually applied — so the solver
+        // can never declare convergence while still taking MAX_STEP moves.
+        let mut x_next = Vec::with_capacity(x.len());
         let mut max_delta = 0.0f64;
         let mut max_mag = 0.0f64;
+        let mut clamped = false;
         for (xo, xn) in x.iter().zip(&x_new) {
-            max_delta = max_delta.max((xn - xo).abs());
-            max_mag = max_mag.max(xn.abs());
+            let raw = xn - xo;
+            let delta = raw.clamp(-MAX_STEP, MAX_STEP);
+            if delta != raw {
+                clamped = true;
+            }
+            let next = xo + delta;
+            max_delta = max_delta.max(delta.abs());
+            max_mag = max_mag.max(next.abs());
+            x_next.push(next);
         }
-        if !has_nonlinear {
-            return Ok(x_new);
+        if clamped {
+            damping_events += 1;
         }
-        // Damped update.
-        let mut x_next = Vec::with_capacity(x.len());
-        for (xo, xn) in x.iter().zip(&x_new) {
-            let delta = (xn - xo).clamp(-MAX_STEP, MAX_STEP);
-            x_next.push(xo + delta);
+        // A non-finite update means the linearized system blew up; carry the
+        // last finite residual out instead of propagating NaN.
+        if !max_delta.is_finite() {
+            return Ok(Attempt {
+                x,
+                iterations: iter,
+                residual: if residual.is_finite() {
+                    residual
+                } else {
+                    f64::MAX
+                },
+                damping_events,
+                converged: false,
+            });
         }
-        let converged = max_delta <= ABS_TOL + REL_TOL * max_mag;
+        residual = max_delta;
         x = x_next;
-        if converged {
-            return Ok(x);
+        if max_delta <= ABS_TOL + REL_TOL * max_mag {
+            return Ok(Attempt {
+                x,
+                iterations: iter,
+                residual,
+                damping_events,
+                converged: true,
+            });
         }
-        let _ = iter;
     }
+    Ok(Attempt {
+        x,
+        iterations: max_iter,
+        residual,
+        damping_events,
+        converged: false,
+    })
+}
+
+/// Newton–Raphson solve shared by DC and each transient step, with
+/// gmin-stepping and source-stepping homotopy fallbacks.
+///
+/// On `NoConvergence` the reported residual is the final (finite) damped
+/// update norm of the last attempt, so failures are diagnosable.
+pub(crate) fn newton_solve(
+    c: &Circuit,
+    time: Option<f64>,
+    caps: &CapTreatment<'_>,
+    x0: Vec<f64>,
+    options: &SolverOptions,
+) -> Result<(Vec<f64>, NewtonStats), SpiceError> {
+    let mut stats = NewtonStats::default();
+
+    let plain = newton_attempt(c, time, caps, x0.clone(), 0.0, 1.0, options.max_iter)?;
+    stats.iterations += plain.iterations;
+    stats.damping_events += plain.damping_events;
+    stats.residual = plain.residual;
+    if plain.converged {
+        stats.converged = true;
+        return Ok((plain.x, stats));
+    }
+    if !options.fallback {
+        return Err(SpiceError::NoConvergence {
+            iterations: stats.iterations,
+            residual: stats.residual,
+        });
+    }
+    stats.fallback = true;
+
+    // --- gmin stepping -------------------------------------------------
+    // Start from a heavily shunted (nearly linear) system and relax the
+    // shunt by decades, warm-starting each stage; the final stage solves
+    // the original system. Abandon the ladder when a stage fails.
+    let mut x = plain.x;
+    let gmins: Vec<f64> = (2..=11).map(|k| 10f64.powi(-k)).chain([0.0]).collect();
+    for &gmin in &gmins {
+        let attempt = newton_attempt(c, time, caps, x.clone(), gmin, 1.0, options.max_iter)?;
+        stats.gmin_steps += 1;
+        stats.iterations += attempt.iterations;
+        stats.damping_events += attempt.damping_events;
+        stats.residual = attempt.residual;
+        if !attempt.converged {
+            break;
+        }
+        x = attempt.x;
+        if gmin == 0.0 {
+            stats.converged = true;
+            return Ok((x, stats));
+        }
+    }
+
+    // --- source stepping ------------------------------------------------
+    // Ramp every independent source from a small fraction to full value,
+    // warm-starting each stage from the previous solution.
+    let mut x = vec![0.0; c.num_unknowns()];
+    let ramp_stages = 8;
+    let mut ramp_ok = true;
+    for k in 1..=ramp_stages {
+        let scale = k as f64 / ramp_stages as f64;
+        let attempt = newton_attempt(c, time, caps, x.clone(), 0.0, scale, options.max_iter)?;
+        stats.source_steps += 1;
+        stats.iterations += attempt.iterations;
+        stats.damping_events += attempt.damping_events;
+        stats.residual = attempt.residual;
+        if !attempt.converged {
+            ramp_ok = false;
+            break;
+        }
+        x = attempt.x;
+    }
+    if ramp_ok {
+        stats.converged = true;
+        return Ok((x, stats));
+    }
+
     Err(SpiceError::NoConvergence {
-        iterations: MAX_ITER,
-        residual: f64::NAN,
+        iterations: stats.iterations,
+        residual: stats.residual,
     })
 }
 
@@ -211,29 +400,69 @@ pub(crate) fn newton_solve(
 #[derive(Debug)]
 pub struct DcAnalysis<'c> {
     circuit: &'c Circuit,
+    options: SolverOptions,
 }
 
 impl<'c> DcAnalysis<'c> {
-    /// Prepares a DC analysis of `circuit`.
+    /// Prepares a DC analysis of `circuit` with default [`SolverOptions`].
     pub fn new(circuit: &'c Circuit) -> Self {
-        DcAnalysis { circuit }
+        DcAnalysis {
+            circuit,
+            options: SolverOptions::default(),
+        }
+    }
+
+    /// Overrides the Newton solver options (iteration budget, fallback).
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Solves for the operating point with capacitors open and sources at
     /// their DC values.
     ///
+    /// When a telemetry scope is active ([`ptnc_telemetry::collect`]), each
+    /// solve emits a `spice.dc.newton` span with its iteration count, final
+    /// residual, damping activations and fallback stages.
+    ///
     /// # Errors
     ///
     /// [`SpiceError::SingularMatrix`] for ill-formed netlists (floating
-    /// nodes), [`SpiceError::NoConvergence`] if Newton fails.
+    /// nodes), [`SpiceError::NoConvergence`] if Newton fails even after the
+    /// gmin/source-stepping fallbacks (the reported residual is finite).
     pub fn solve(&self) -> Result<DcSolution, SpiceError> {
         let x0 = vec![0.0; self.circuit.num_unknowns()];
-        let x = newton_solve(self.circuit, None, &CapTreatment::Open, x0)?;
+        let result = newton_solve(self.circuit, None, &CapTreatment::Open, x0, &self.options);
+        if ptnc_telemetry::is_enabled() {
+            match &result {
+                Ok((_, stats)) => emit_newton_span("spice.dc.newton", stats),
+                Err(e) => {
+                    ptnc_telemetry::span("spice.dc.newton")
+                        .field("converged", false)
+                        .field("error", e.to_string())
+                        .finish();
+                }
+            }
+        }
+        let (x, stats) = result?;
         Ok(DcSolution {
             x,
             num_nodes: self.circuit.num_nodes(),
+            stats,
         })
     }
+}
+
+pub(crate) fn emit_newton_span(name: &str, stats: &NewtonStats) {
+    ptnc_telemetry::span(name)
+        .field("iterations", stats.iterations)
+        .field("residual", stats.residual)
+        .field("damping_events", stats.damping_events)
+        .field("gmin_steps", stats.gmin_steps)
+        .field("source_steps", stats.source_steps)
+        .field("fallback", stats.fallback)
+        .field("converged", stats.converged)
+        .finish();
 }
 
 /// The solved operating point.
@@ -241,11 +470,22 @@ impl<'c> DcAnalysis<'c> {
 pub struct DcSolution {
     x: Vec<f64>,
     num_nodes: usize,
+    stats: NewtonStats,
 }
 
 impl DcSolution {
     pub(crate) fn from_raw(x: Vec<f64>, num_nodes: usize) -> Self {
-        DcSolution { x, num_nodes }
+        DcSolution {
+            x,
+            num_nodes,
+            stats: NewtonStats::default(),
+        }
+    }
+
+    /// Convergence statistics of the Newton solve that produced this
+    /// operating point.
+    pub fn stats(&self) -> &NewtonStats {
+        &self.stats
     }
 
     /// Node voltage in volts (0 for ground).
@@ -390,6 +630,110 @@ mod tests {
         let on = DcAnalysis::new(&c_on).solve().unwrap().voltage(d_on);
         assert!(off > 0.9, "gate off should leave drain high, got {off}");
         assert!(on < 0.4, "gate on should pull drain low, got {on}");
+    }
+
+    /// An EGT inverter with a tiny iteration budget and fallbacks disabled:
+    /// Newton must report `NoConvergence` with a *finite* residual (the last
+    /// damped update norm), never `NaN`.
+    fn hard_inverter() -> (Circuit, Node) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+        c.vsource(g, Circuit::GROUND, Waveform::Dc(0.6));
+        c.resistor(vdd, d, 100e3);
+        c.egt(d, g, Circuit::GROUND, EgtModel::default());
+        (c, d)
+    }
+
+    #[test]
+    fn no_convergence_carries_finite_residual() {
+        let (c, _) = hard_inverter();
+        let err = DcAnalysis::new(&c)
+            .with_options(SolverOptions {
+                max_iter: 1,
+                fallback: false,
+            })
+            .solve()
+            .unwrap_err();
+        match err {
+            SpiceError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                assert_eq!(iterations, 1);
+                assert!(
+                    residual.is_finite(),
+                    "residual must be finite, got {residual}"
+                );
+                assert!(residual > 0.0, "residual should be nonzero, got {residual}");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_recovers_from_starved_newton() {
+        let (c, d) = hard_inverter();
+        // Plain Newton needs 6 iterations on this circuit; a budget of 5
+        // starves it, but with fallbacks enabled the warm-started gmin
+        // ladder (or, failing that, source stepping) must still reach the
+        // operating point.
+        let op = DcAnalysis::new(&c)
+            .with_options(SolverOptions {
+                max_iter: 5,
+                fallback: true,
+            })
+            .solve()
+            .expect("homotopy fallback should converge");
+        let stats = op.stats();
+        assert!(stats.converged);
+        assert!(
+            stats.fallback,
+            "plain Newton should not converge in 5 iters"
+        );
+        assert!(
+            stats.gmin_steps > 0 || stats.source_steps > 0,
+            "fallback stats should record homotopy stages: {stats:?}"
+        );
+        // Same answer as the unconstrained solve.
+        let reference = DcAnalysis::new(&c).solve().unwrap().voltage(d);
+        assert!(
+            (op.voltage(d) - reference).abs() < 1e-6,
+            "fallback {} vs reference {}",
+            op.voltage(d),
+            reference
+        );
+    }
+
+    #[test]
+    fn converged_solve_exposes_stats() {
+        let (c, _) = hard_inverter();
+        let op = DcAnalysis::new(&c).solve().unwrap();
+        let stats = op.stats();
+        assert!(stats.converged);
+        assert!(stats.iterations > 1, "EGT solve needs Newton iterations");
+        assert!(stats.residual.is_finite());
+        assert!(stats.residual <= ABS_TOL + REL_TOL);
+    }
+
+    #[test]
+    fn dc_solve_emits_telemetry_span() {
+        let (c, _) = hard_inverter();
+        let ((), events) = ptnc_telemetry::collect(|| {
+            DcAnalysis::new(&c).solve().unwrap();
+        });
+        let span = events
+            .iter()
+            .find(|e| e.name == "spice.dc.newton")
+            .expect("newton span emitted");
+        assert_eq!(
+            span.get("converged"),
+            Some(&ptnc_telemetry::Value::Bool(true))
+        );
+        assert!(span.get("iterations").is_some());
+        assert!(span.get("residual").is_some());
     }
 
     #[test]

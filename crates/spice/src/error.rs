@@ -21,6 +21,9 @@ pub enum SpiceError {
     },
     /// The netlist is malformed (described in the message).
     InvalidCircuit(String),
+    /// A result accessor was asked for data from a run with no recorded
+    /// samples (e.g. the final voltage of an empty trace).
+    EmptyTrace,
 }
 
 impl fmt::Display for SpiceError {
@@ -37,6 +40,9 @@ impl fmt::Display for SpiceError {
                 "newton iteration did not converge after {iterations} steps (residual {residual:.3e})"
             ),
             SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SpiceError::EmptyTrace => {
+                write!(f, "no samples recorded (empty trace)")
+            }
         }
     }
 }
@@ -58,6 +64,8 @@ mod tests {
         assert!(e.to_string().contains("50"));
         let e = SpiceError::InvalidCircuit("dangling node".into());
         assert!(e.to_string().contains("dangling"));
+        let e = SpiceError::EmptyTrace;
+        assert!(e.to_string().contains("empty trace"));
     }
 
     #[test]

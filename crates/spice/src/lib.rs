@@ -56,12 +56,12 @@ mod waveform;
 
 pub use ac::{AcAnalysis, AcPoint, AcSweep};
 pub use complex::Complex;
-pub use dc::{DcAnalysis, DcSolution};
+pub use dc::{DcAnalysis, DcSolution, NewtonStats, SolverOptions};
 pub use egt::EgtModel;
 pub use error::SpiceError;
 pub use netlist::{Circuit, Element, Node};
 pub use parser::{parse_netlist, ParsedCircuit};
-pub use transient::{Integrator, TransientAnalysis, TransientResult};
+pub use transient::{Integrator, TransientAnalysis, TransientResult, TransientStats};
 pub use waveform::Waveform;
 
 #[cfg(test)]

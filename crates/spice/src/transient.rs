@@ -1,9 +1,37 @@
 //! Transient analysis with per-step Newton solves and a choice of
 //! integration method (backward Euler or trapezoidal).
 
-use crate::dc::{newton_solve, CapTreatment, DcAnalysis};
+use crate::dc::{newton_solve, CapTreatment, DcAnalysis, SolverOptions};
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, Element, Node};
+
+/// Newton convergence statistics aggregated over every step of a transient
+/// run. Exposed on [`TransientResult::stats`] and emitted as a
+/// `spice.transient` telemetry span when a collection scope is active.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransientStats {
+    /// Time steps integrated (excluding the initial operating point).
+    pub steps: usize,
+    /// Total Newton iterations across all steps.
+    pub newton_iterations: usize,
+    /// Largest final residual over all steps (always finite).
+    pub max_residual: f64,
+    /// Total iterations in which the damping clamp activated.
+    pub damping_events: usize,
+    /// Steps that needed a gmin/source-stepping fallback to converge.
+    pub fallback_steps: usize,
+}
+
+impl TransientStats {
+    fn absorb(&mut self, stats: &crate::dc::NewtonStats) {
+        self.newton_iterations += stats.iterations;
+        self.max_residual = self.max_residual.max(stats.residual);
+        self.damping_events += stats.damping_events;
+        if stats.fallback {
+            self.fallback_steps += 1;
+        }
+    }
+}
 
 /// Fixed-step integration method for capacitors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,6 +53,7 @@ pub enum Integrator {
 pub struct TransientAnalysis<'c> {
     circuit: &'c Circuit,
     integrator: Integrator,
+    options: SolverOptions,
 }
 
 impl<'c> TransientAnalysis<'c> {
@@ -33,12 +62,19 @@ impl<'c> TransientAnalysis<'c> {
         TransientAnalysis {
             circuit,
             integrator: Integrator::BackwardEuler,
+            options: SolverOptions::default(),
         }
     }
 
     /// Selects the integration method.
     pub fn integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Overrides the per-step Newton solver options.
+    pub fn with_options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
         self
     }
 
@@ -97,6 +133,7 @@ impl<'c> TransientAnalysis<'c> {
         times.push(0.0);
         record(&x, &mut traces);
 
+        let mut run_stats = TransientStats::default();
         for step in 1..=steps {
             let t = step as f64 * dt;
             // Companion parameters for this step. The trapezoidal rule needs
@@ -116,7 +153,10 @@ impl<'c> TransientAnalysis<'c> {
                 })
                 .collect();
             let caps = CapTreatment::Companion { geq_ieq: &geq_ieq };
-            x = newton_solve(c, Some(t), &caps, x)?;
+            let (x_new, step_stats) = newton_solve(c, Some(t), &caps, x, &self.options)?;
+            x = x_new;
+            run_stats.steps = step;
+            run_stats.absorb(&step_stats);
 
             // Update per-capacitor voltage and current from the new solution:
             // i_new = geq·v_new − ieq for both companion forms.
@@ -135,7 +175,21 @@ impl<'c> TransientAnalysis<'c> {
             record(&x, &mut traces);
         }
 
-        Ok(TransientResult { times, traces })
+        if ptnc_telemetry::is_enabled() {
+            ptnc_telemetry::span("spice.transient")
+                .field("steps", run_stats.steps)
+                .field("newton_iterations", run_stats.newton_iterations)
+                .field("max_residual", run_stats.max_residual)
+                .field("damping_events", run_stats.damping_events)
+                .field("fallback_steps", run_stats.fallback_steps)
+                .finish();
+        }
+
+        Ok(TransientResult {
+            times,
+            traces,
+            stats: run_stats,
+        })
     }
 }
 
@@ -144,12 +198,18 @@ impl<'c> TransientAnalysis<'c> {
 pub struct TransientResult {
     times: Vec<f64>,
     traces: Vec<Vec<f64>>,
+    stats: TransientStats,
 }
 
 impl TransientResult {
     /// The simulated time points (seconds), including `t = 0`.
     pub fn times(&self) -> &[f64] {
         &self.times
+    }
+
+    /// Newton convergence statistics aggregated over the whole run.
+    pub fn stats(&self) -> &TransientStats {
+        &self.stats
     }
 
     /// Voltage trace of `node`, one sample per time point.
@@ -163,11 +223,16 @@ impl TransientResult {
 
     /// Voltage of `node` at the final time point.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` does not belong to the simulated circuit.
-    pub fn final_voltage(&self, node: Node) -> f64 {
-        *self.traces[node.index()].last().expect("non-empty run")
+    /// [`SpiceError::EmptyTrace`] if the run recorded no samples for `node`
+    /// (including an out-of-range node index).
+    pub fn final_voltage(&self, node: Node) -> Result<f64, SpiceError> {
+        self.traces
+            .get(node.index())
+            .and_then(|t| t.last())
+            .copied()
+            .ok_or(SpiceError::EmptyTrace)
     }
 }
 
@@ -249,7 +314,7 @@ mod tests {
                 .run(2.0 * tau, dt)
                 .unwrap();
             let t = *res.times().last().unwrap();
-            (res.final_voltage(vout) - (1.0 - (-t / tau).exp())).abs()
+            (res.final_voltage(vout).unwrap() - (1.0 - (-t / tau).exp())).abs()
         };
         let coarse = error_at(tau / 10.0);
         let fine = error_at(tau / 20.0);
@@ -340,6 +405,48 @@ mod tests {
         let res = TransientAnalysis::new(&c).run(0.2, 1e-4).unwrap();
         let peak = res.voltage(out).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(peak > 0.95, "low-frequency sine attenuated: peak {peak}");
+    }
+
+    #[test]
+    fn run_reports_aggregate_stats() {
+        let (c, vout) = rc_step_circuit(1e3, 1e-6);
+        let res = TransientAnalysis::new(&c).run(1e-3, 1e-5).unwrap();
+        let stats = res.stats();
+        assert_eq!(stats.steps, 100);
+        assert!(stats.newton_iterations >= stats.steps);
+        assert!(stats.max_residual.is_finite());
+        assert_eq!(stats.fallback_steps, 0);
+        assert!(res.final_voltage(vout).is_ok());
+    }
+
+    #[test]
+    fn final_voltage_of_unknown_node_is_empty_trace() {
+        let (c, _) = rc_step_circuit(1e3, 1e-6);
+        let res = TransientAnalysis::new(&c).run(1e-4, 1e-5).unwrap();
+        // A node index past the simulated circuit has no trace.
+        let mut other = Circuit::new();
+        let bogus = {
+            other.node("x");
+            other.node("y");
+            other.node("z")
+        };
+        assert!(matches!(
+            res.final_voltage(bogus),
+            Err(crate::SpiceError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn transient_emits_telemetry_span() {
+        let (c, _) = rc_step_circuit(1e3, 1e-6);
+        let ((), events) = ptnc_telemetry::collect(|| {
+            TransientAnalysis::new(&c).run(1e-4, 1e-5).unwrap();
+        });
+        let span = events
+            .iter()
+            .find(|e| e.name == "spice.transient")
+            .expect("transient span emitted");
+        assert_eq!(span.get("steps"), Some(&ptnc_telemetry::Value::U64(10)));
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Lightweight structured-event telemetry for the ADAPT-pNC workspace.
+//!
+//! Variation-aware training deliberately drives circuits and optimizers
+//! into extreme regimes — exactly where Newton solves stop converging and
+//! gradients blow up. This crate is the observability substrate those
+//! subsystems report into: a span/counter/gauge event API with a JSONL
+//! sink, **zero external dependencies** (consistent with the offline
+//! `crates/compat/*` policy) and a determinism contract that matches the
+//! rest of the workspace:
+//!
+//! * events carry **no wall-clock timestamps or thread ids** — a 1-thread
+//!   and an N-thread run of the same seeded experiment produce identical
+//!   event streams,
+//! * collection is **scoped and thread-local**: nothing is recorded (and
+//!   nothing allocates) unless the caller opted in with [`collect`],
+//! * the parallel runner re-emits worker-thread events **in item order**,
+//!   so fan-outs aggregate deterministically.
+//!
+//! # Usage
+//!
+//! ```
+//! use ptnc_telemetry as telemetry;
+//!
+//! let (result, events) = telemetry::collect(|| {
+//!     telemetry::counter("solver.fallback", 1);
+//!     telemetry::gauge("train.loss", 0.25);
+//!     telemetry::span("spice.dc")
+//!         .field("iterations", 12u64)
+//!         .field("residual", 1e-11)
+//!         .finish();
+//!     42
+//! });
+//! assert_eq!(result, 42);
+//! assert_eq!(events.len(), 3);
+//! assert_eq!(telemetry::counter_total(&events, "solver.fallback"), 1.0);
+//! let jsonl = telemetry::to_jsonl(&events);
+//! assert_eq!(jsonl.lines().count(), 3);
+//! ```
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// A field value. Non-finite floats serialize as JSON strings (`"NaN"`,
+/// `"inf"`, `"-inf"`) since JSON has no literals for them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string value.
+    Str(String),
+    /// A floating-point value.
+    F64(f64),
+    /// An unsigned integer value.
+    U64(u64),
+    /// A signed integer value.
+    I64(i64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// The three event kinds of the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A completed unit of work with its recorded attributes.
+    Span,
+    /// A monotonic occurrence count (the value is the increment).
+    Counter,
+    /// A point-in-time measurement.
+    Gauge,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Span => "span",
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One structured event: a kind, a dotted name and ordered key/value fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The event kind.
+    pub kind: Kind,
+    /// Dotted event name, e.g. `spice.dc.newton`.
+    pub name: String,
+    /// Fields in insertion order (serialization preserves this order).
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind and name.
+    pub fn new(kind: Kind, name: impl Into<String>) -> Self {
+        Event {
+            kind,
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Sets a field (builder style). If the key is already present its
+    /// value is replaced in place — re-tagging a re-emitted event (as the
+    /// parallel runner does with `item` in nested fan-outs) overwrites the
+    /// key instead of duplicating it.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Sets a field in place, replacing any existing value for the key.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key, value));
+        }
+    }
+
+    /// Looks up a field value by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        push_json_str(&mut out, &self.name);
+        for (k, v) in &self.fields {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            match v {
+                Value::Str(s) => push_json_str(&mut out, s),
+                Value::F64(x) => push_json_f64(&mut out, *x),
+                Value::U64(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::I64(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Bool(x) => out.push_str(if *x { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{}` on f64 is shortest-round-trip and deterministic; integral
+        // values print without a fraction ("2"), which is still valid JSON.
+        let _ = write!(out, "{x}");
+    } else if x.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if x > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped thread-local collection
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static BUFFER: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
+}
+
+/// Whether a [`collect`] scope is active on this thread. Call sites that
+/// would do extra work to *compute* telemetry values (an accuracy pass, a
+/// string render) should gate on this; plain [`emit`] is already a cheap
+/// no-op when disabled.
+pub fn is_enabled() -> bool {
+    BUFFER.with(|b| b.borrow().is_some())
+}
+
+/// Records an event into the active scope; no-op when collection is off.
+pub fn emit(event: Event) {
+    BUFFER.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.push(event);
+        }
+    });
+}
+
+/// Re-emits a batch of already-collected events (e.g. events carried back
+/// from worker threads) into the active scope.
+pub fn emit_all(events: impl IntoIterator<Item = Event>) {
+    BUFFER.with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.extend(events);
+        }
+    });
+}
+
+/// Emits a counter increment.
+pub fn counter(name: impl Into<String>, delta: u64) {
+    emit(Event::new(Kind::Counter, name).field("value", delta));
+}
+
+/// Emits a gauge measurement.
+pub fn gauge(name: impl Into<String>, value: f64) {
+    emit(Event::new(Kind::Gauge, name).field("value", value));
+}
+
+/// Starts a span builder; call [`SpanGuard::finish`] to emit it.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    SpanGuard {
+        event: Event::new(Kind::Span, name),
+    }
+}
+
+/// An in-progress span. Accumulates fields and emits a single
+/// [`Kind::Span`] event on [`finish`](SpanGuard::finish); dropping it
+/// without finishing discards it.
+#[derive(Debug)]
+pub struct SpanGuard {
+    event: Event,
+}
+
+impl SpanGuard {
+    /// Sets a field (builder style); replaces an existing key's value.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.event.set(key, value);
+        self
+    }
+
+    /// Sets a field in place (for spans updated across a loop body);
+    /// replaces an existing key's value.
+    pub fn record(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.event.set(key, value);
+    }
+
+    /// Emits the span into the active scope.
+    pub fn finish(self) {
+        emit(self.event);
+    }
+}
+
+/// Runs `f` with event collection enabled on this thread and returns its
+/// result together with every event emitted during the call.
+///
+/// Scopes nest exclusively: events emitted inside an inner `collect` go to
+/// the inner scope only, and the outer scope resumes afterwards. Worker
+/// threads each have their own (initially disabled) scope — cross-thread
+/// aggregation is the parallel runner's job, which re-emits worker events
+/// in deterministic item order.
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+    let prev = BUFFER.with(|b| b.borrow_mut().replace(Vec::new()));
+    let result = f();
+    let events = BUFFER.with(|b| {
+        let mut slot = b.borrow_mut();
+        let events = slot.take().unwrap_or_default();
+        *slot = prev;
+        events
+    });
+    (result, events)
+}
+
+// ---------------------------------------------------------------------
+// Aggregation and the JSONL sink
+// ---------------------------------------------------------------------
+
+/// Sums the `value` fields of every counter event with the given name.
+pub fn counter_total(events: &[Event], name: &str) -> f64 {
+    events
+        .iter()
+        .filter(|e| e.kind == Kind::Counter && e.name == name)
+        .filter_map(|e| match e.get("value") {
+            Some(Value::U64(v)) => Some(*v as f64),
+            Some(Value::F64(v)) => Some(*v),
+            Some(Value::I64(v)) => Some(*v as f64),
+            _ => None,
+        })
+        .sum()
+}
+
+/// Serializes events as JSONL, one event per line (with trailing newline).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes events as JSONL with lines sorted lexicographically — the
+/// normalized form used to compare event streams across thread counts.
+pub fn to_jsonl_normalized(events: &[Event]) -> String {
+    let mut lines: Vec<String> = events.iter().map(Event::to_json).collect();
+    lines.sort_unstable();
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes events as JSONL to `path` (truncating any existing file).
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or writing the file.
+pub fn write_jsonl(path: impl AsRef<std::path::Path>, events: &[Event]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(to_jsonl(events).as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_records_nothing() {
+        assert!(!is_enabled());
+        counter("x", 1); // silently dropped
+        let ((), events) = collect(|| {});
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn collect_captures_in_emission_order() {
+        let ((), events) = collect(|| {
+            counter("a", 1);
+            gauge("b", 2.5);
+            span("c").field("k", "v").finish();
+        });
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        assert_eq!(events[2].name, "c");
+        assert!(!is_enabled(), "scope must close");
+    }
+
+    #[test]
+    fn nested_scopes_are_exclusive_and_restored() {
+        let ((), outer) = collect(|| {
+            counter("outer.before", 1);
+            let ((), inner) = collect(|| counter("inner", 1));
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].name, "inner");
+            counter("outer.after", 1);
+        });
+        let names: Vec<&str> = outer.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["outer.before", "outer.after"]);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let e = Event::new(Kind::Span, "a\"b")
+            .field("s", "x\n")
+            .field("f", 1.5)
+            .field("u", 7u64)
+            .field("i", -3i64)
+            .field("b", true);
+        assert_eq!(
+            e.to_json(),
+            r#"{"kind":"span","name":"a\"b","s":"x\n","f":1.5,"u":7,"i":-3,"b":true}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_strings() {
+        let e = Event::new(Kind::Gauge, "g")
+            .field("nan", f64::NAN)
+            .field("pinf", f64::INFINITY)
+            .field("ninf", f64::NEG_INFINITY);
+        assert_eq!(
+            e.to_json(),
+            r#"{"kind":"gauge","name":"g","nan":"NaN","pinf":"inf","ninf":"-inf"}"#
+        );
+    }
+
+    #[test]
+    fn field_replaces_existing_key_instead_of_duplicating() {
+        let e = Event::new(Kind::Gauge, "g")
+            .field("item", 3u64)
+            .field("other", 1u64)
+            .field("item", 7u64); // re-tag, as nested fan-outs do
+        assert_eq!(
+            e.to_json(),
+            r#"{"kind":"gauge","name":"g","item":7,"other":1}"#
+        );
+        assert_eq!(e.get("item"), Some(&Value::U64(7)));
+    }
+
+    #[test]
+    fn counter_total_sums_matching_counters() {
+        let events = vec![
+            Event::new(Kind::Counter, "hits").field("value", 2u64),
+            Event::new(Kind::Counter, "misses").field("value", 1u64),
+            Event::new(Kind::Counter, "hits").field("value", 3u64),
+            Event::new(Kind::Gauge, "hits").field("value", 100.0), // not a counter
+        ];
+        assert_eq!(counter_total(&events, "hits"), 5.0);
+        assert_eq!(counter_total(&events, "absent"), 0.0);
+    }
+
+    #[test]
+    fn normalized_jsonl_is_order_independent() {
+        let a = vec![
+            Event::new(Kind::Counter, "x").field("value", 1u64),
+            Event::new(Kind::Gauge, "y").field("value", 2.0),
+        ];
+        let b: Vec<Event> = a.iter().rev().cloned().collect();
+        assert_ne!(to_jsonl(&a), to_jsonl(&b));
+        assert_eq!(to_jsonl_normalized(&a), to_jsonl_normalized(&b));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_a_file() {
+        let events = vec![Event::new(Kind::Counter, "n").field("value", 1u64)];
+        let path = std::env::temp_dir().join("ptnc_telemetry_test.jsonl");
+        write_jsonl(&path, &events).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, to_jsonl(&events));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+}

@@ -31,9 +31,19 @@ impl Tensor {
         for i in 0..n {
             let row = &data[i * c..(i + 1) * c];
             let mx = row.iter().cloned().fold(Scalar::NEG_INFINITY, Scalar::max);
-            let lse = row.iter().map(|&v| (v - mx).exp()).sum::<Scalar>().ln() + mx;
+            if mx == Scalar::NEG_INFINITY {
+                // All-(-inf) row: every class is impossible. Fall back to
+                // the uniform distribution rather than producing NaNs.
+                let uniform = -(c as Scalar).ln();
+                out[i * c..(i + 1) * c].fill(uniform);
+                continue;
+            }
+            let ln_sum = row.iter().map(|&v| (v - mx).exp()).sum::<Scalar>().ln();
             for j in 0..c {
-                out[i * c + j] = row[j] - lse;
+                // Subtract mx from the logit BEFORE ln_sum: at |row[j]| ~
+                // 1e300 the folded form `row[j] - (ln_sum + mx)` absorbs
+                // ln_sum into the rounding error of the addition.
+                out[i * c + j] = (row[j] - mx) - ln_sum;
             }
         }
         drop(data);
@@ -88,6 +98,38 @@ mod tests {
         let s = x.log_softmax().to_vec();
         assert!(s.iter().all(|v| v.is_finite()));
         assert!((s[0] - (0.5f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_for_extreme_magnitudes() {
+        // ±1e300 logits: the pre-fix folded form `row[j] - (ln_sum + mx)`
+        // lost ln_sum entirely and returned 0 for equal extreme rows.
+        for v in [1e300, -1e300] {
+            let x = Tensor::from_vec(&[1, 2], vec![v, v]);
+            let s = x.log_softmax().to_vec();
+            assert!(
+                (s[0] - (0.5f64).ln()).abs() < 1e-12,
+                "logits {v:e}: got {s:?}"
+            );
+        }
+        // Mixed extremes: the dominant entry gets log-prob 0, the other a
+        // huge negative log-prob whose probability underflows to zero.
+        let x = Tensor::from_vec(&[1, 2], vec![1e300, -1e300]);
+        let s = x.log_softmax().to_vec();
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[1], -2e300);
+        assert_eq!(s[1].exp(), 0.0);
+    }
+
+    #[test]
+    fn all_neg_inf_row_is_uniform() {
+        let x = Tensor::from_vec(&[1, 4], vec![f64::NEG_INFINITY; 4]);
+        let ls = x.log_softmax().to_vec();
+        for v in &ls {
+            assert!((v - (-(4f64).ln())).abs() < 1e-12, "got {ls:?}");
+        }
+        let sum: f64 = x.softmax().to_vec().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -248,6 +248,16 @@ impl Tensor {
         *self.inner.grad.borrow_mut() = None;
     }
 
+    /// Scales the accumulated gradient in place (no-op when there is none).
+    /// Used for global gradient-norm clipping.
+    pub fn scale_grad(&self, factor: Scalar) {
+        if let Some(g) = self.inner.grad.borrow_mut().as_mut() {
+            for v in g.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+
     pub(crate) fn accumulate_grad(&self, g: &[Scalar]) {
         debug_assert_eq!(g.len(), self.len());
         let mut slot = self.inner.grad.borrow_mut();

@@ -99,7 +99,7 @@ C2 out 0 100u
         .fold(0.0f64, f64::max);
     assert!(diff < 5e-3, "integrator disagreement {diff}");
     // And the response is rising toward 1 V.
-    assert!(be.final_voltage(out) > 0.9);
+    assert!(be.final_voltage(out).unwrap() > 0.9);
 }
 
 /// The parser accepts the exact netlist `export_column` would describe, and

@@ -93,6 +93,79 @@ fn normalize_range_invariant() {
     });
 }
 
+/// normalize stays finite and in [-1, 1] even when the series mixes
+/// extreme magnitudes whose span overflows `f64` (sensor glitches).
+#[test]
+fn normalize_survives_extreme_magnitudes() {
+    cases("normalize_survives_extreme_magnitudes", |rng| {
+        let mut series = finite_series(rng, 40);
+        // Splice in extreme outliers at random positions.
+        for _ in 0..rng.gen_range(1..4) {
+            let i = rng.gen_range(0..series.len());
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            series[i] = sign * 10f64.powi(rng.gen_range(250..301));
+        }
+        let out = normalize(&series);
+        assert!(
+            out.iter().all(|v| v.is_finite()),
+            "non-finite normalize output for {series:?}: {out:?}"
+        );
+        assert!(out.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    });
+}
+
+/// Degenerate resize shapes are locked in: `target_len == 1` keeps the
+/// first sample, a single-sample input repeats, and a constant series
+/// stays constant at any target length.
+#[test]
+fn resize_degenerate_cases() {
+    cases("resize_degenerate_cases", |rng| {
+        let series = finite_series(rng, 60);
+        assert_eq!(resize(&series, 1), vec![series[0]]);
+        let single = series[0];
+        let target = rng.gen_range(1usize..50);
+        assert_eq!(resize(&[single], target), vec![single; target]);
+        let constant = vec![series[0]; rng.gen_range(2..20)];
+        let out = resize(&constant, target);
+        assert!(out.iter().all(|&v| (v - series[0]).abs() < 1e-12));
+        // And a constant series normalizes to all zeros.
+        assert!(normalize(&constant).iter().all(|&v| v == 0.0));
+    });
+}
+
+/// log_softmax rows stay finite and softmax rows sum to 1 for any mix of
+/// ordinary, all-equal, ±1e300 and -inf entries (all-(-inf) rows fall back
+/// to the uniform distribution).
+#[test]
+fn log_softmax_degenerate_rows() {
+    cases("log_softmax_degenerate_rows", |rng| {
+        let c = rng.gen_range(2usize..6);
+        let mut row: Vec<f64> = (0..c).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        match rng.gen_range(0..4) {
+            0 => row.fill(rng.gen_range(-1e300..1e300)), // all equal, any scale
+            1 => {
+                let i = rng.gen_range(0..c);
+                row[i] = if rng.gen_bool(0.5) { 1e300 } else { -1e300 };
+            }
+            2 => {
+                let i = rng.gen_range(0..c);
+                row[i] = f64::NEG_INFINITY;
+            }
+            _ => row.fill(f64::NEG_INFINITY),
+        }
+        let x = Tensor::from_vec(&[1, c], row.clone());
+        let ls = x.log_softmax().to_vec();
+        // Log-probabilities are never NaN and never positive beyond
+        // rounding; the probabilities sum to 1.
+        assert!(
+            ls.iter().all(|v| !v.is_nan() && *v <= 1e-12),
+            "row {row:?} -> {ls:?}"
+        );
+        let sum: f64 = x.softmax().to_vec().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "row {row:?} sums to {sum}");
+    });
+}
+
 /// Every augmentation preserves length and finiteness for any strength in
 /// its documented range.
 #[test]

@@ -1,0 +1,99 @@
+//! The determinism contract of the telemetry layer: a seeded run emits the
+//! same event stream no matter how many threads the fan-out uses.
+//!
+//! Events carry no timestamps or thread ids, and the [`ParallelRunner`]
+//! captures each work item's events on its worker and re-emits them on the
+//! caller thread in item order — so the JSONL of a 1-thread run and an
+//! N-thread run must be byte-identical, not merely equivalent.
+
+use adapt_pnc::prelude::*;
+use adapt_pnc::telemetry;
+
+fn quick_split(name: &str) -> DataSplit {
+    let ds = Preprocess::paper_default().apply(&benchmark_by_name(name, 0).unwrap());
+    ds.shuffle_split(0.6, 0.2, 0)
+}
+
+/// One seeded variation-aware training run under a telemetry scope,
+/// serialized to JSONL.
+fn training_telemetry(split: &DataSplit, threads: usize) -> String {
+    let cfg = TrainConfig::adapt_pnc(4)
+        .to_builder()
+        .max_epochs(4)
+        .mc_samples(3)
+        .build();
+    let runner = ParallelRunner::serial().with_threads(threads);
+    let (_, events) = telemetry::collect(|| train_with_runner(split, &cfg, 0, &runner));
+    telemetry::to_jsonl(&events)
+}
+
+#[test]
+fn training_telemetry_is_identical_across_thread_counts() {
+    let split = quick_split("GPOVY");
+    let serial = training_telemetry(&split, 1);
+    assert!(
+        serial.contains("train.epoch"),
+        "training should emit per-epoch spans"
+    );
+    assert!(
+        serial.contains("train.mc_sample_loss"),
+        "MC fan-out should emit per-sample losses"
+    );
+    for threads in [2, 4] {
+        let parallel = training_telemetry(&split, threads);
+        assert_eq!(
+            serial, parallel,
+            "telemetry stream diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn spice_telemetry_flows_through_parallel_evaluation() {
+    // DC solves inside runner work items surface in the caller's scope,
+    // tagged with their item index, in item order.
+    use ptnc_spice::{Circuit, DcAnalysis, EgtModel, Waveform};
+    let solve_one = |vin: f64| {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.vsource(vdd, Circuit::GROUND, Waveform::Dc(1.0));
+        c.vsource(g, Circuit::GROUND, Waveform::Dc(vin));
+        c.resistor(vdd, d, 100e3);
+        c.egt(d, g, Circuit::GROUND, EgtModel::default());
+        DcAnalysis::new(&c).solve().unwrap().voltage(d)
+    };
+    let run = |threads: usize| -> String {
+        let runner = ParallelRunner::serial().with_threads(threads);
+        let (_, events) = telemetry::collect(|| {
+            runner.run(vec![0.0, 0.3, 0.6, 0.9], |_, vin| solve_one(vin));
+        });
+        telemetry::to_jsonl(&events)
+    };
+    let serial = run(1);
+    assert_eq!(
+        serial.matches("spice.dc.newton").count(),
+        4,
+        "one span per solve: {serial}"
+    );
+    for (i, line) in serial.lines().enumerate() {
+        assert!(
+            line.contains(&format!("\"item\":{i}")),
+            "line {i} lacks its item tag: {line}"
+        );
+    }
+    assert_eq!(serial, run(4), "spice telemetry diverged at 4 threads");
+}
+
+#[test]
+fn normalized_jsonl_is_sorted_and_stable() {
+    let events = vec![
+        telemetry::Event::new(telemetry::Kind::Gauge, "zeta").field("value", 1.0),
+        telemetry::Event::new(telemetry::Kind::Gauge, "alpha").field("value", 2.0),
+    ];
+    let normalized = telemetry::to_jsonl_normalized(&events);
+    let lines: Vec<&str> = normalized.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0] < lines[1], "normalized lines must be sorted");
+}
