@@ -76,6 +76,24 @@ pub fn de_field<T: Deserialize>(content: &Content, name: &str) -> Result<T, Stri
     }
 }
 
+/// Derive-macro helper for `#[serde(default)]` / `#[serde(default = "path")]`
+/// fields: a missing key yields `default()` instead of an error, so old
+/// on-disk artifacts keep deserializing after the struct grows a field.
+///
+/// # Errors
+///
+/// Returns an error if the field is present but has the wrong shape.
+pub fn de_field_default<T: Deserialize>(
+    content: &Content,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, String> {
+    match content.get(name) {
+        Some(v) => T::from_content(v).map_err(|e| format!("field `{name}`: {e}")),
+        None => Ok(default()),
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -9,9 +9,49 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct FieldShape {
+    name: String,
+    /// `#[serde(default)]` → `Some(None)`; `#[serde(default = "path")]` →
+    /// `Some(Some(path))`; no attribute → `None`.
+    default: Option<Option<String>>,
+}
+
 struct StructShape {
     name: String,
-    fields: Vec<String>,
+    fields: Vec<FieldShape>,
+}
+
+/// Recognizes a field-level `#[serde(default)]` or
+/// `#[serde(default = "path")]` helper attribute (the `#` has already been
+/// consumed; `group` is the bracketed part).
+fn parse_serde_default(group: &TokenTree) -> Option<Option<String>> {
+    let TokenTree::Group(attr) = group else {
+        return None;
+    };
+    let mut toks = attr.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return None;
+    };
+    let mut inner = args.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match inner.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let path = lit.to_string();
+                Some(Some(path.trim_matches('"').to_string()))
+            }
+            _ => None,
+        },
+        Some(_) => None,
+    }
 }
 
 /// Parses `struct Name { field: Type, ... }` out of a derive input stream.
@@ -61,10 +101,15 @@ fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
     let mut fields = Vec::new();
     let mut toks = body.stream().into_iter().peekable();
     loop {
-        // Skip attributes.
+        // Consume attributes, remembering any `#[serde(default ...)]`.
+        let mut default = None;
         while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             toks.next();
-            toks.next(); // the [...] group
+            if let Some(group) = toks.next() {
+                if let Some(d) = parse_serde_default(&group) {
+                    default = Some(d);
+                }
+            }
         }
         // Skip visibility (`pub` or `pub(crate)`).
         if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
@@ -86,7 +131,10 @@ fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
                 ))
             }
         }
-        fields.push(field.to_string());
+        fields.push(FieldShape {
+            name: field.to_string(),
+            default,
+        });
         // Consume the type up to the next top-level comma, tracking angle
         // depth so `Vec<HashMap<K, V>>`-style commas don't end the field.
         let mut angle: i32 = 0;
@@ -108,7 +156,7 @@ fn compile_error(msg: &str) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Serialize` (value-tree based).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = match parse_struct(input) {
         Ok(s) => s,
@@ -117,7 +165,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let entries: String = shape
         .fields
         .iter()
-        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .map(|f| {
+            let f = &f.name;
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+        })
         .collect();
     format!(
         "impl ::serde::Serialize for {name} {{\n\
@@ -132,7 +183,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize` (value-tree based).
-#[proc_macro_derive(Deserialize)]
+/// `#[serde(default)]` and `#[serde(default = "path")]` field attributes
+/// are honored: a missing key falls back to the default instead of
+/// erroring, so serialized artifacts can gain fields over time.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_struct(input) {
         Ok(s) => s,
@@ -141,7 +195,19 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let fields: String = shape
         .fields
         .iter()
-        .map(|f| format!("{f}: ::serde::de_field(content, \"{f}\")?,"))
+        .map(|f| {
+            let name = &f.name;
+            match &f.default {
+                None => format!("{name}: ::serde::de_field(content, \"{name}\")?,"),
+                Some(None) => format!(
+                    "{name}: ::serde::de_field_default(content, \"{name}\", \
+                     ::core::default::Default::default)?,"
+                ),
+                Some(Some(path)) => {
+                    format!("{name}: ::serde::de_field_default(content, \"{name}\", {path})?,")
+                }
+            }
+        })
         .collect();
     format!(
         "impl ::serde::Deserialize for {name} {{\n\

@@ -11,9 +11,52 @@ use ptnc_datasets::Dataset;
 use ptnc_nn::accuracy;
 use ptnc_tensor::Tensor;
 
+use ptnc_infer::VariationSample;
+
 use crate::models::PrintedModel;
 use crate::parallel::{rng_for, streams, ModelTemplate, ParallelRunner, RawSteps};
+use crate::serve;
 use crate::variation::VariationConfig;
+
+/// Which forward-pass implementation the Monte-Carlo variation trials run
+/// on. Both paths consume the per-trial RNG streams identically, so they
+/// see the same noise and (ties aside, which argmax breaks identically)
+/// produce the same accuracy — the graph-free path is simply faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferPath {
+    /// The compiled allocation-free runtime (`ptnc-infer`) — the default.
+    GraphFree,
+    /// The reverse-mode autograd graph — kept for A/B validation.
+    Autograd,
+}
+
+impl InferPath {
+    /// Reads the `PNC_INFER` environment variable: unset or `graphfree`
+    /// selects the compiled runtime, `autograd` the design-time graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value, so typos fail loudly instead of
+    /// silently benchmarking the wrong path.
+    pub fn from_env() -> Self {
+        match std::env::var("PNC_INFER") {
+            Err(_) => InferPath::GraphFree,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "" | "graphfree" | "graph-free" => InferPath::GraphFree,
+                "autograd" => InferPath::Autograd,
+                other => panic!("PNC_INFER must be `graphfree` or `autograd`, got `{other}`"),
+            },
+        }
+    }
+
+    /// Short label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InferPath::GraphFree => "graphfree",
+            InferPath::Autograd => "autograd",
+        }
+    }
+}
 
 /// Converts a multivariate dataset into a time-major sequence of
 /// `[N, channels]` tensors plus the label vector — for multi-sensor pTPBs
@@ -158,6 +201,70 @@ fn variation_trials(
     seed: u64,
     runner: &ParallelRunner,
 ) -> f64 {
+    match InferPath::from_env() {
+        InferPath::GraphFree => {
+            variation_trials_graphfree(model, steps, labels, config, trials, seed, runner)
+        }
+        InferPath::Autograd =>
+        {
+            #[allow(deprecated)]
+            variation_trials_autograd(model, steps, labels, config, trials, seed, runner)
+        }
+    }
+}
+
+/// Monte-Carlo variation trials on the compiled graph-free runtime: the
+/// model is frozen once, each trial compiles a cheap perturbed instance
+/// from its seed-split noise sample and scores the whole batch through
+/// preallocated buffers.
+#[allow(clippy::too_many_arguments)]
+fn variation_trials_graphfree(
+    model: &PrintedModel,
+    steps: &[Tensor],
+    labels: &[usize],
+    config: &VariationConfig,
+    trials: usize,
+    seed: u64,
+    runner: &ParallelRunner,
+) -> f64 {
+    assert!(trials > 0, "need at least one variation trial");
+    let engine = serve::freeze(model).expect("cannot freeze model with non-finite parameters");
+    let flat = serve::flatten_steps(steps);
+    let batch = steps[0].dims()[0];
+    let classes = engine.spec().classes;
+    let dist = (config).into();
+    let accs = runner.run((0..trials).collect(), |_, trial: usize| {
+        let mut rng = rng_for(seed, streams::EVAL_TRIAL, trial as u64);
+        let sample = VariationSample::draw(engine.spec(), &dist, &mut rng);
+        let instance = engine.perturbed(&sample);
+        ptnc_telemetry::counter("infer.trial.graphfree", 1);
+        ptnc_infer::accuracy(&instance.run_batch(&flat, batch), classes, labels)
+    });
+    accs.iter().sum::<f64>() / trials as f64
+}
+
+/// Monte-Carlo variation trials through the reverse-mode autograd graph:
+/// each trial rebuilds a thread-local tensor replica and runs the full
+/// design-time forward pass.
+///
+/// Kept for A/B validation of the compiled runtime (`PNC_INFER=autograd`);
+/// production evaluation uses the graph-free path, which produces the same
+/// accuracies without tape-node allocation.
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluation runs on the graph-free runtime by default; \
+            set PNC_INFER=autograd (or call this directly) only for A/B validation"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn variation_trials_autograd(
+    model: &PrintedModel,
+    steps: &[Tensor],
+    labels: &[usize],
+    config: &VariationConfig,
+    trials: usize,
+    seed: u64,
+    runner: &ParallelRunner,
+) -> f64 {
     assert!(trials > 0, "need at least one variation trial");
     let template = ModelTemplate::capture(model);
     let raw_steps = RawSteps::capture(steps);
@@ -166,6 +273,7 @@ fn variation_trials(
         let steps = raw_steps.to_tensors();
         let mut rng = rng_for(seed, streams::EVAL_TRIAL, trial as u64);
         let noise = replica.sample_noise(config, &mut rng);
+        ptnc_telemetry::counter("infer.trial.autograd", 1);
         accuracy(&replica.forward(&steps, Some(&noise)), labels)
     });
     accs.iter().sum::<f64>() / trials as f64
@@ -244,6 +352,26 @@ mod tests {
             evaluate(&model, &ds, &cond, 7),
             evaluate(&model, &ds, &cond, 7)
         );
+    }
+
+    #[test]
+    fn graphfree_and_autograd_paths_agree() {
+        let ds = small_dataset();
+        let mut rng = init::rng(2);
+        let model = crate::models::PrintedModel::adapt_pnc(1, 4, 3, &mut rng);
+        let (steps, labels) = dataset_to_steps(&ds);
+        let config = VariationConfig::paper_default();
+        let runner = ParallelRunner::serial();
+        let fast = variation_trials_graphfree(&model, &steps, &labels, &config, 3, 5, &runner);
+        #[allow(deprecated)]
+        let slow = variation_trials_autograd(&model, &steps, &labels, &config, 3, 5, &runner);
+        assert_eq!(fast, slow, "A/B paths must score identically");
+    }
+
+    #[test]
+    fn infer_path_labels() {
+        assert_eq!(InferPath::GraphFree.label(), "graphfree");
+        assert_eq!(InferPath::Autograd.label(), "autograd");
     }
 
     #[test]

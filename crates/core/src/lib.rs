@@ -49,8 +49,13 @@ pub mod persist;
 pub mod power;
 pub mod primitives;
 pub mod search;
+pub mod serve;
 pub mod training;
 pub mod variation;
+
+/// The graph-free inference runtime — re-exported so downstream code can
+/// name `InferModel` and friends without a direct `ptnc-infer` dependency.
+pub use ptnc_infer as infer;
 
 /// Structured-event telemetry (spans, counters, gauges, JSONL sinks) —
 /// re-exported so downstream code scopes collection without a direct
@@ -61,11 +66,14 @@ pub use ptnc_telemetry as telemetry;
 /// train-evaluate script needs, including the dataset registry and the
 /// deterministic [`parallel::ParallelRunner`] fan-out layer.
 pub mod prelude {
-    pub use crate::eval::{dataset_to_steps, evaluate, evaluate_with_runner, EvalCondition};
+    pub use crate::eval::{
+        dataset_to_steps, evaluate, evaluate_with_runner, EvalCondition, InferPath,
+    };
     pub use crate::hardware::{DeviceCount, HardwareReport};
     pub use crate::models::{FilterOrder, PrintedModel};
     pub use crate::parallel::{rng_for, seed_split, streams, ParallelRunner};
     pub use crate::pdk::Pdk;
+    pub use crate::serve::{compile_snapshot, freeze};
     pub use crate::training::{
         train, train_with_runner, TrainConfig, TrainConfigBuilder, TrainedModel,
     };

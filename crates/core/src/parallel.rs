@@ -18,6 +18,7 @@
 
 pub use ptnc_runner::{rng_for, seed_split, streams, ParallelRunner};
 
+use ptnc_nn::FrozenParams;
 use ptnc_tensor::Tensor;
 
 use crate::models::{FilterOrder, PrintedModel};
@@ -38,7 +39,7 @@ pub struct ModelTemplate {
     order: FilterOrder,
     mu_nominal: f64,
     dt: f64,
-    params: Vec<Vec<f64>>,
+    params: FrozenParams,
 }
 
 impl ModelTemplate {
@@ -51,8 +52,13 @@ impl ModelTemplate {
             order: model.order(),
             mu_nominal: model.mu_nominal(),
             dt: model.layers()[0].filters().dt(),
-            params: model.parameters().iter().map(|p| p.to_vec()).collect(),
+            params: FrozenParams::capture(&model.parameters()),
         }
+    }
+
+    /// The captured parameter values (frozen, plain data).
+    pub fn params(&self) -> &FrozenParams {
+        &self.params
     }
 
     /// Rebuilds a replica with fresh (thread-local) tensors. The scaffold is
@@ -73,19 +79,14 @@ impl ModelTemplate {
             self.mu_nominal,
             &mut rng,
         );
-        for (p, data) in model.parameters().iter().zip(&self.params) {
-            assert_eq!(p.len(), data.len(), "template/parameter shape mismatch");
-            p.set_data(data.clone());
-        }
+        self.params.restore_into(&model.parameters());
         model
     }
 
     /// Refreshes the captured parameter values from `model` (e.g. once per
     /// epoch, after an optimizer step) without re-reading the architecture.
     pub fn refresh(&mut self, model: &PrintedModel) {
-        for (slot, p) in self.params.iter_mut().zip(model.parameters()) {
-            *slot = p.to_vec();
-        }
+        self.params.refresh(&model.parameters());
     }
 }
 

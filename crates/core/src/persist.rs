@@ -7,9 +7,23 @@ use serde::{Deserialize, Serialize};
 use crate::models::{FilterOrder, PrintedModel};
 use crate::pdk::Pdk;
 
+/// The snapshot format version this build writes and understands.
+///
+/// Bump when the on-disk layout changes incompatibly; [`restore`] rejects
+/// snapshots from a newer format instead of misinterpreting them.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+fn default_format_version() -> u32 {
+    // Snapshots written before the field existed are format 1.
+    SNAPSHOT_FORMAT_VERSION
+}
+
 /// A serializable snapshot of a trained printed model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelSnapshot {
+    /// On-disk format version (see [`SNAPSHOT_FORMAT_VERSION`]).
+    #[serde(default = "default_format_version")]
+    pub format_version: u32,
     /// Input feature count.
     pub input_dim: usize,
     /// Hidden width.
@@ -28,6 +42,8 @@ pub struct ModelSnapshot {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RestoreError {
+    /// The snapshot declares a format this build does not understand.
+    UnsupportedVersion(u32),
     /// The stored filter stage count is not 1, 2 or 3.
     BadFilterOrder(usize),
     /// Parameter list length differs from the rebuilt architecture.
@@ -46,11 +62,22 @@ pub enum RestoreError {
         /// Elements found.
         found: usize,
     },
+    /// One parameter tensor contains a NaN or infinity (reported when
+    /// compiling a snapshot for inference, which demands finite weights).
+    NonFiniteParameter {
+        /// Index in the parameter list.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RestoreError::UnsupportedVersion(v) => write!(
+                f,
+                "snapshot format version {v} is not supported \
+                 (this build reads version {SNAPSHOT_FORMAT_VERSION})"
+            ),
             RestoreError::BadFilterOrder(n) => write!(f, "unsupported filter stage count {n}"),
             RestoreError::ParameterCountMismatch { expected, found } => {
                 write!(
@@ -66,6 +93,9 @@ impl std::fmt::Display for RestoreError {
                 f,
                 "parameter {index} has {found} elements, architecture needs {expected}"
             ),
+            RestoreError::NonFiniteParameter { index } => {
+                write!(f, "parameter {index} contains a non-finite value")
+            }
         }
     }
 }
@@ -75,6 +105,7 @@ impl std::error::Error for RestoreError {}
 /// Captures a model's architecture and every component value.
 pub fn snapshot(model: &PrintedModel) -> ModelSnapshot {
     ModelSnapshot {
+        format_version: SNAPSHOT_FORMAT_VERSION,
         input_dim: model.input_dim(),
         hidden: model.hidden(),
         classes: model.num_classes(),
@@ -91,6 +122,9 @@ pub fn snapshot(model: &PrintedModel) -> ModelSnapshot {
 /// Returns [`RestoreError`] when the snapshot is inconsistent with the
 /// architecture it declares.
 pub fn restore(snap: &ModelSnapshot) -> Result<PrintedModel, RestoreError> {
+    if snap.format_version != SNAPSHOT_FORMAT_VERSION {
+        return Err(RestoreError::UnsupportedVersion(snap.format_version));
+    }
     let order = match snap.filter_stages {
         1 => FilterOrder::First,
         2 => FilterOrder::Second,
@@ -222,5 +256,66 @@ mod tests {
     #[test]
     fn malformed_json_reports_error() {
         assert!(from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn snapshot_declares_current_format_version() {
+        let snap = snapshot(&model());
+        assert_eq!(snap.format_version, SNAPSHOT_FORMAT_VERSION);
+        assert!(to_json(&model()).contains("\"format_version\": 1"));
+    }
+
+    #[test]
+    fn unknown_format_version_rejected() {
+        let mut snap = snapshot(&model());
+        snap.format_version = 99;
+        let err = restore(&snap).unwrap_err();
+        assert!(matches!(err, RestoreError::UnsupportedVersion(99)));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn legacy_json_without_version_defaults_to_one() {
+        // Snapshots written before the field existed must keep loading.
+        let json = to_json(&model());
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.contains("format_version"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!stripped.contains("format_version"));
+        let snap: ModelSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(snap.format_version, 1);
+        assert!(restore(&snap).is_ok());
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical_across_orders() {
+        for (seed, order) in [
+            (1u64, FilterOrder::First),
+            (2, FilterOrder::Second),
+            (3, FilterOrder::Third),
+        ] {
+            let m = PrintedModel::new(2, 4, 3, order, &Pdk::paper_default(), &mut init::rng(seed));
+            let snap = snapshot(&m);
+            // The design file must never carry non-finite component values.
+            for p in &snap.parameters {
+                assert!(
+                    p.iter().all(|v| v.is_finite()),
+                    "{order:?} snapshot has NaN"
+                );
+            }
+            let json = serde_json::to_string(&snap).unwrap();
+            let back: ModelSnapshot = serde_json::from_str(&json).unwrap();
+            // Bit-identical parameters: JSON floats print shortest-round-trip.
+            assert_eq!(back, snap, "{order:?} snapshot changed across JSON");
+            let restored = restore(&back).unwrap();
+            let direct: Vec<Vec<f64>> = m.parameters().iter().map(|p| p.to_vec()).collect();
+            let loaded: Vec<Vec<f64>> = restored.parameters().iter().map(|p| p.to_vec()).collect();
+            assert_eq!(
+                direct, loaded,
+                "{order:?} parameters changed across restore"
+            );
+        }
     }
 }

@@ -1,0 +1,185 @@
+//! Freezing design-time models into the graph-free serving runtime
+//! ([`ptnc_infer`]).
+//!
+//! The inference crate is deliberately independent of the tensor stack, so
+//! this module owns the conversion in both directions: a live
+//! [`PrintedModel`] or an on-disk [`ModelSnapshot`] compiles into an
+//! [`InferModel`], and a design-time [`VariationConfig`] maps onto the
+//! runtime's [`VariationDistribution`]. The frozen model reproduces the
+//! autograd forward pass operation-for-operation (see the `infer_parity`
+//! integration tests).
+
+use ptnc_infer::{BuildError, InferModel, InferSpec, VariationDistribution};
+use ptnc_nn::FrozenParams;
+
+use crate::models::PrintedModel;
+use crate::pdk::LOGIT_SCALE;
+use crate::persist::{ModelSnapshot, RestoreError, SNAPSHOT_FORMAT_VERSION};
+use crate::variation::VariationConfig;
+
+impl From<&VariationConfig> for VariationDistribution {
+    fn from(cfg: &VariationConfig) -> Self {
+        VariationDistribution {
+            delta: cfg.delta,
+            mu_lo: cfg.mu_lo,
+            mu_hi: cfg.mu_hi,
+            v0_amp: cfg.v0_amp,
+        }
+    }
+}
+
+/// The inference-runtime spec describing `model`'s architecture.
+pub fn spec_for(model: &PrintedModel) -> InferSpec {
+    InferSpec {
+        input_dim: model.input_dim(),
+        hidden: model.hidden(),
+        classes: model.num_classes(),
+        stages: model.order().stages(),
+        mu_nominal: model.mu_nominal(),
+        dt: model.layers()[0].filters().dt(),
+        logit_scale: LOGIT_SCALE,
+    }
+}
+
+/// Freezes a live model into the graph-free inference runtime.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] only if the model carries non-finite parameters
+/// (a structurally valid live model always has consistent shapes).
+pub fn freeze(model: &PrintedModel) -> Result<InferModel, BuildError> {
+    let frozen = FrozenParams::capture(&model.parameters());
+    InferModel::build(spec_for(model), frozen.values())
+}
+
+/// Compiles an on-disk snapshot directly into the inference runtime,
+/// without building a design-time scaffold model first.
+///
+/// Uses the default PDK's Δt (snapshots do not record it), matching
+/// [`crate::persist::restore`].
+///
+/// # Errors
+///
+/// Returns [`RestoreError`] when the snapshot declares an unsupported
+/// format or is inconsistent with its own architecture.
+pub fn compile_snapshot(snap: &ModelSnapshot) -> Result<InferModel, RestoreError> {
+    if snap.format_version != SNAPSHOT_FORMAT_VERSION {
+        return Err(RestoreError::UnsupportedVersion(snap.format_version));
+    }
+    if !(1..=3).contains(&snap.filter_stages) {
+        return Err(RestoreError::BadFilterOrder(snap.filter_stages));
+    }
+    let spec = InferSpec {
+        input_dim: snap.input_dim,
+        hidden: snap.hidden,
+        classes: snap.classes,
+        stages: snap.filter_stages,
+        mu_nominal: snap.mu_nominal,
+        dt: crate::pdk::Pdk::paper_default().dt,
+        logit_scale: LOGIT_SCALE,
+    };
+    InferModel::build(spec, &snap.parameters).map_err(|e| match e {
+        BuildError::BadStageCount(n) => RestoreError::BadFilterOrder(n),
+        BuildError::ParameterCountMismatch { expected, found } => {
+            RestoreError::ParameterCountMismatch { expected, found }
+        }
+        BuildError::ParameterShapeMismatch {
+            index,
+            expected,
+            found,
+        } => RestoreError::ParameterShapeMismatch {
+            index,
+            expected,
+            found,
+        },
+        BuildError::NonFiniteParameter { index } => RestoreError::NonFiniteParameter { index },
+        // ZeroDimension and future variants: a zero-sized snapshot cannot
+        // match any parameter count, so surface it as a count mismatch.
+        _ => RestoreError::ParameterCountMismatch {
+            expected: 0,
+            found: snap.parameters.len(),
+        },
+    })
+}
+
+/// Flattens a time-major tensor sequence (each step `[batch, dim]`) into
+/// the contiguous layout [`InferModel::run_batch`] consumes.
+///
+/// # Panics
+///
+/// Panics if `steps` is empty.
+pub fn flatten_steps(steps: &[ptnc_tensor::Tensor]) -> Vec<f64> {
+    assert!(!steps.is_empty(), "empty input sequence");
+    let mut flat = Vec::with_capacity(steps.len() * steps[0].len());
+    for s in steps {
+        flat.extend_from_slice(&s.to_vec());
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::snapshot;
+    use ptnc_tensor::{init, Tensor};
+
+    fn model() -> PrintedModel {
+        PrintedModel::adapt_pnc(2, 4, 3, &mut init::rng(11))
+    }
+
+    fn steps() -> Vec<Tensor> {
+        (0..10)
+            .map(|k| Tensor::full(&[3, 2], (k as f64 * 0.5).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn freeze_matches_autograd_forward() {
+        let m = model();
+        let engine = freeze(&m).unwrap();
+        let expected = m.forward_nominal(&steps()).to_vec();
+        let got = engine.run_batch(&flatten_steps(&steps()), 3);
+        for (a, b) in expected.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compile_snapshot_matches_freeze() {
+        let m = model();
+        let direct = freeze(&m).unwrap();
+        let compiled = compile_snapshot(&snapshot(&m)).unwrap();
+        let flat = flatten_steps(&steps());
+        assert_eq!(direct.run_batch(&flat, 3), compiled.run_batch(&flat, 3));
+    }
+
+    #[test]
+    fn compile_snapshot_rejects_bad_version() {
+        let mut snap = snapshot(&model());
+        snap.format_version = 7;
+        assert!(matches!(
+            compile_snapshot(&snap),
+            Err(RestoreError::UnsupportedVersion(7))
+        ));
+    }
+
+    #[test]
+    fn compile_snapshot_rejects_non_finite() {
+        let mut snap = snapshot(&model());
+        snap.parameters[2][0] = f64::INFINITY;
+        assert!(matches!(
+            compile_snapshot(&snap),
+            Err(RestoreError::NonFiniteParameter { index: 2 })
+        ));
+    }
+
+    #[test]
+    fn distribution_conversion_copies_fields() {
+        let cfg = VariationConfig::paper_default();
+        let dist = VariationDistribution::from(&cfg);
+        assert_eq!(dist.delta, cfg.delta);
+        assert_eq!(dist.mu_lo, cfg.mu_lo);
+        assert_eq!(dist.mu_hi, cfg.mu_hi);
+        assert_eq!(dist.v0_amp, cfg.v0_amp);
+    }
+}

@@ -240,6 +240,24 @@ pub struct TrainedModel {
     pub val_accuracy: f64,
 }
 
+impl TrainedModel {
+    /// Captures the trained model as a serializable design file.
+    pub fn snapshot(&self) -> crate::persist::ModelSnapshot {
+        crate::persist::snapshot(&self.model)
+    }
+
+    /// Freezes the trained model into the graph-free inference runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ptnc_infer::BuildError`] only if training left a
+    /// non-finite parameter (the non-finite guards make that an error
+    /// earlier, during training itself).
+    pub fn freeze(&self) -> Result<ptnc_infer::InferModel, ptnc_infer::BuildError> {
+        crate::serve::freeze(&self.model)
+    }
+}
+
 /// Packs `(epoch, sample)` into one counter-based stream index — the two
 /// halves of a `u64`, so no two pairs collide for any realistic epoch or
 /// sample count.

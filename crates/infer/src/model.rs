@@ -1,0 +1,676 @@
+//! The compiled inference model: flat weight buffers, precompiled filter
+//! coefficients, and the allocation-free batched forward pass.
+
+use crate::variation::{LayerVariation, VariationSample};
+
+/// Architecture and operating constants of a frozen 2-layer printed
+/// temporal-processing model — everything needed to interpret a flat
+/// parameter list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferSpec {
+    /// Input feature count.
+    pub input_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Class count.
+    pub classes: usize,
+    /// RC stages per learnable filter (1, 2 or 3).
+    pub stages: usize,
+    /// Nominal crossbar-coupling factor μ the filters were designed at.
+    pub mu_nominal: f64,
+    /// Temporal discretization Δt of the filter recurrence (s).
+    pub dt: f64,
+    /// Sense-stage scale applied to the final-step voltages.
+    pub logit_scale: f64,
+}
+
+impl InferSpec {
+    /// `(fan_in, fan_out)` of the two layers.
+    pub fn layer_dims(&self) -> [(usize, usize); 2] {
+        [(self.input_dim, self.hidden), (self.hidden, self.classes)]
+    }
+
+    /// Parameter tensors per layer: `θ_w, θ_b, θ_d`, then `log R, log C`
+    /// per stage, then the four `ptanh` η vectors.
+    pub fn params_per_layer(&self) -> usize {
+        3 + 2 * self.stages + 4
+    }
+
+    /// Total parameter tensors in model order.
+    pub fn param_count(&self) -> usize {
+        2 * self.params_per_layer()
+    }
+
+    /// Element counts of every parameter tensor, in model parameter order
+    /// (the order `PrintedModel::parameters` exposes).
+    pub fn param_lens(&self) -> Vec<usize> {
+        let mut lens = Vec::with_capacity(self.param_count());
+        for (fan_in, fan_out) in self.layer_dims() {
+            lens.push(fan_in * fan_out); // θ_w
+            lens.push(fan_out); // θ_b
+            lens.push(fan_out); // θ_d
+            for _ in 0..self.stages {
+                lens.push(fan_out); // log R
+                lens.push(fan_out); // log C
+            }
+            for _ in 0..4 {
+                lens.push(fan_out); // η₁..η₄
+            }
+        }
+        lens
+    }
+}
+
+/// Errors when compiling a parameter list into an [`InferModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A dimension of the spec is zero.
+    ZeroDimension,
+    /// The stage count is not 1, 2 or 3.
+    BadStageCount(usize),
+    /// Parameter list length differs from the declared architecture.
+    ParameterCountMismatch {
+        /// Parameters the architecture needs.
+        expected: usize,
+        /// Parameters found.
+        found: usize,
+    },
+    /// One parameter tensor has the wrong number of elements.
+    ParameterShapeMismatch {
+        /// Index in the parameter list.
+        index: usize,
+        /// Elements expected.
+        expected: usize,
+        /// Elements found.
+        found: usize,
+    },
+    /// One parameter tensor contains a NaN or infinity — a frozen model
+    /// must never serve non-finite weights.
+    NonFiniteParameter {
+        /// Index in the parameter list.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ZeroDimension => write!(f, "zero-sized model dimension"),
+            BuildError::BadStageCount(n) => write!(f, "unsupported filter stage count {n}"),
+            BuildError::ParameterCountMismatch { expected, found } => write!(
+                f,
+                "parameter list has {found} tensors, architecture needs {expected}"
+            ),
+            BuildError::ParameterShapeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {index} has {found} elements, architecture needs {expected}"
+            ),
+            BuildError::NonFiniteParameter { index } => {
+                write!(f, "parameter {index} contains a non-finite value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Raw (uncompiled) per-layer weights, kept so perturbed instances always
+/// compile from the nominal values.
+#[derive(Debug, Clone)]
+struct LayerParams {
+    fan_in: usize,
+    fan_out: usize,
+    theta_w: Vec<f64>,
+    theta_b: Vec<f64>,
+    theta_d: Vec<f64>,
+    /// Nominal stage resistances `exp(log R)`, `[stage][filter]`.
+    r: Vec<Vec<f64>>,
+    /// Nominal stage capacitances `exp(log C)`, `[stage][filter]`.
+    c: Vec<Vec<f64>>,
+    eta: [Vec<f64>; 4],
+}
+
+/// One layer compiled for execution: effective conductances, the column
+/// normalization `G`, per-stage filter recurrence coefficients and initial
+/// voltages, and the (possibly perturbed) η vectors.
+#[derive(Debug, Clone)]
+struct CompiledLayer {
+    fan_in: usize,
+    fan_out: usize,
+    /// Effective `θ_w` `[fan_in × fan_out]` (noise applied if any).
+    w: Vec<f64>,
+    /// Effective `θ_b` `[fan_out]`.
+    b: Vec<f64>,
+    /// Column conductance sum `G` `[fan_out]`.
+    g: Vec<f64>,
+    /// Filter decay coefficient `a = RC/(μRC + Δt)` per stage `[fan_out]`.
+    a: Vec<Vec<f64>>,
+    /// Filter input coefficient `b = Δt/(μRC + Δt)` per stage `[fan_out]`.
+    bc: Vec<Vec<f64>>,
+    /// Initial stage voltage per stage `[fan_out]`.
+    v0: Vec<Vec<f64>>,
+    /// Effective η₁..η₄ `[fan_out]` each.
+    eta: [Vec<f64>; 4],
+}
+
+impl CompiledLayer {
+    /// Compiles a layer at nominal conditions or under one variation
+    /// sample, replicating the design-time arithmetic exactly: `G` sums
+    /// `|θ_w|` row-by-row before adding `|θ_b|`, `|θ_d|` and the `1e-12`
+    /// floor, and the filter coefficients use `denom⁻¹·Δt` for `b` (the
+    /// autograd expression) rather than the algebraically equal `Δt/denom`.
+    fn compile(p: &LayerParams, spec: &InferSpec, noise: Option<&LayerVariation>) -> Self {
+        let (fan_in, fan_out) = (p.fan_in, p.fan_out);
+        let mut w = p.theta_w.clone();
+        let mut b = p.theta_b.clone();
+        let mut d = p.theta_d.clone();
+        if let Some(n) = noise {
+            for (v, e) in w.iter_mut().zip(&n.eps_w) {
+                *v *= e;
+            }
+            for (v, e) in b.iter_mut().zip(&n.eps_b) {
+                *v *= e;
+            }
+            for (v, e) in d.iter_mut().zip(&n.eps_d) {
+                *v *= e;
+            }
+        }
+        let mut g = vec![0.0; fan_out];
+        for i in 0..fan_in {
+            for (j, gj) in g.iter_mut().enumerate() {
+                *gj += w[i * fan_out + j].abs();
+            }
+        }
+        for (j, gj) in g.iter_mut().enumerate() {
+            *gj += b[j].abs();
+            *gj += d[j].abs();
+            *gj += 1e-12;
+        }
+
+        let mut a = Vec::with_capacity(spec.stages);
+        let mut bc = Vec::with_capacity(spec.stages);
+        let mut v0 = Vec::with_capacity(spec.stages);
+        for s in 0..spec.stages {
+            let mut a_s = vec![0.0; fan_out];
+            let mut bc_s = vec![0.0; fan_out];
+            for j in 0..fan_out {
+                let mut r = p.r[s][j];
+                let mut c = p.c[s][j];
+                if let Some(n) = noise {
+                    r *= n.eps_r[s][j];
+                    c *= n.eps_c[s][j];
+                }
+                let rc = r * c;
+                let mu = match noise {
+                    Some(n) => n.mu[s][j],
+                    None => spec.mu_nominal,
+                };
+                let denom = mu * rc + spec.dt;
+                a_s[j] = rc / denom;
+                bc_s[j] = denom.powf(-1.0) * spec.dt;
+            }
+            a.push(a_s);
+            bc.push(bc_s);
+            v0.push(match noise {
+                Some(n) => n.v0[s].clone(),
+                None => vec![0.0; fan_out],
+            });
+        }
+
+        let eta = std::array::from_fn(|k| {
+            let mut e = p.eta[k].clone();
+            if let Some(n) = noise {
+                for (v, eps) in e.iter_mut().zip(&n.eps_eta[k]) {
+                    *v *= eps;
+                }
+            }
+            e
+        });
+
+        CompiledLayer {
+            fan_in,
+            fan_out,
+            w,
+            b,
+            g,
+            a,
+            bc,
+            v0,
+            eta,
+        }
+    }
+
+    /// One timestep through the layer: crossbar → filter stages → ptanh.
+    /// `src` is `[batch × fan_in]`; the activation lands in
+    /// `act[..batch × fan_out]`. `states` holds one `[batch × fan_out]`
+    /// buffer per stage and is updated in place.
+    fn step(
+        &self,
+        src: &[f64],
+        batch: usize,
+        xb: &mut [f64],
+        states: &mut [Vec<f64>],
+        act: &mut [f64],
+    ) {
+        let (i_dim, o_dim) = (self.fan_in, self.fan_out);
+        let xb = &mut xb[..batch * o_dim];
+        // Crossbar: y = (x·θ_w + θ_b) / G, accumulated over fan_in in
+        // ascending order (the mat-mul kernel's order).
+        for bi in 0..batch {
+            let row = &src[bi * i_dim..(bi + 1) * i_dim];
+            let out_row = &mut xb[bi * o_dim..(bi + 1) * o_dim];
+            out_row.fill(0.0);
+            for (i, &xv) in row.iter().enumerate() {
+                let w_row = &self.w[i * o_dim..(i + 1) * o_dim];
+                for (o, &wv) in out_row.iter_mut().zip(w_row) {
+                    *o += xv * wv;
+                }
+            }
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = (*o + self.b[j]) / self.g[j];
+            }
+        }
+        // Filter stages: state ← a⊙state + b⊙input, chained.
+        for s in 0..states.len() {
+            let (prev, rest) = states.split_at_mut(s);
+            let state = &mut rest[0][..batch * o_dim];
+            let input: &[f64] = if s == 0 { xb } else { &prev[s - 1] };
+            for (idx, st) in state.iter_mut().enumerate() {
+                let j = idx % o_dim;
+                *st = self.a[s][j] * *st + self.bc[s][j] * input[idx];
+            }
+        }
+        // ptanh: η₁ + η₂·tanh((V − η₃)·η₄).
+        let last = &states[states.len() - 1];
+        let (e1, e2, e3, e4) = (&self.eta[0], &self.eta[1], &self.eta[2], &self.eta[3]);
+        for (idx, out) in act[..batch * o_dim].iter_mut().enumerate() {
+            let j = idx % o_dim;
+            *out = e1[j] + e2[j] * ((last[idx] - e3[j]) * e4[j]).tanh();
+        }
+    }
+}
+
+/// Preallocated, reusable working memory for one batch size. Create once
+/// with [`InferModel::make_scratch`] and reuse across forwards — the hot
+/// loop performs no allocation.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    batch: usize,
+    /// Crossbar output buffer, `[batch × max_width]`.
+    xb: Vec<f64>,
+    /// Hidden-layer activation, `[batch × hidden]`.
+    hidden_act: Vec<f64>,
+    /// Class-layer activation, `[batch × classes]`.
+    class_act: Vec<f64>,
+    /// Filter states, `[layer][stage][batch × fan_out]`.
+    states: [Vec<Vec<f64>>; 2],
+}
+
+impl Scratch {
+    /// The batch size this scratch was sized for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+/// A frozen, graph-free printed model: plain weight buffers plus a
+/// compiled execution plan. Plain data throughout, so it is `Send + Sync`
+/// and one instance can serve every worker thread of a Monte-Carlo
+/// fan-out.
+#[derive(Debug, Clone)]
+pub struct InferModel {
+    spec: InferSpec,
+    raw: [LayerParams; 2],
+    layers: [CompiledLayer; 2],
+}
+
+impl InferModel {
+    /// Compiles a flat parameter list (in `PrintedModel::parameters`
+    /// order) into an executable model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the parameters are inconsistent with
+    /// the declared architecture or contain non-finite values.
+    pub fn build(spec: InferSpec, params: &[Vec<f64>]) -> Result<Self, BuildError> {
+        if spec.input_dim == 0 || spec.hidden == 0 || spec.classes == 0 {
+            return Err(BuildError::ZeroDimension);
+        }
+        if !(1..=3).contains(&spec.stages) {
+            return Err(BuildError::BadStageCount(spec.stages));
+        }
+        let lens = spec.param_lens();
+        if params.len() != lens.len() {
+            return Err(BuildError::ParameterCountMismatch {
+                expected: lens.len(),
+                found: params.len(),
+            });
+        }
+        for (index, (p, &expected)) in params.iter().zip(&lens).enumerate() {
+            if p.len() != expected {
+                return Err(BuildError::ParameterShapeMismatch {
+                    index,
+                    expected,
+                    found: p.len(),
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(BuildError::NonFiniteParameter { index });
+            }
+        }
+
+        let per_layer = spec.params_per_layer();
+        let raw: [LayerParams; 2] = std::array::from_fn(|l| {
+            let (fan_in, fan_out) = spec.layer_dims()[l];
+            let base = l * per_layer;
+            let mut r = Vec::with_capacity(spec.stages);
+            let mut c = Vec::with_capacity(spec.stages);
+            for s in 0..spec.stages {
+                r.push(params[base + 3 + 2 * s].iter().map(|v| v.exp()).collect());
+                c.push(
+                    params[base + 3 + 2 * s + 1]
+                        .iter()
+                        .map(|v| v.exp())
+                        .collect(),
+                );
+            }
+            let eta_base = base + 3 + 2 * spec.stages;
+            LayerParams {
+                fan_in,
+                fan_out,
+                theta_w: params[base].clone(),
+                theta_b: params[base + 1].clone(),
+                theta_d: params[base + 2].clone(),
+                r,
+                c,
+                eta: std::array::from_fn(|k| params[eta_base + k].clone()),
+            }
+        });
+        let layers = std::array::from_fn(|l| CompiledLayer::compile(&raw[l], &spec, None));
+        Ok(InferModel { spec, raw, layers })
+    }
+
+    /// The architecture this model was compiled for.
+    pub fn spec(&self) -> &InferSpec {
+        &self.spec
+    }
+
+    /// Compiles a per-trial instance under one variation sample. The raw
+    /// weights are shared nominal values, so perturbing a perturbed
+    /// instance yields the same result as perturbing the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's shape does not match this architecture
+    /// (samples drawn via [`VariationSample::draw`] on the same spec
+    /// always match).
+    pub fn perturbed(&self, sample: &VariationSample) -> InferModel {
+        assert_eq!(
+            sample.layers.len(),
+            2,
+            "variation sample must cover both layers"
+        );
+        for (l, (raw, lv)) in self.raw.iter().zip(&sample.layers).enumerate() {
+            assert_eq!(
+                lv.eps_w.len(),
+                raw.fan_in * raw.fan_out,
+                "layer {l} crossbar variation shape mismatch"
+            );
+            assert_eq!(
+                lv.eps_r.len(),
+                self.spec.stages,
+                "layer {l} filter variation stage mismatch"
+            );
+        }
+        let layers = std::array::from_fn(|l| {
+            CompiledLayer::compile(&self.raw[l], &self.spec, Some(&sample.layers[l]))
+        });
+        InferModel {
+            spec: self.spec,
+            raw: self.raw.clone(),
+            layers,
+        }
+    }
+
+    /// Allocates working memory for batches of exactly `batch` sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn make_scratch(&self, batch: usize) -> Scratch {
+        assert!(batch > 0, "zero batch size");
+        let max_w = self.spec.hidden.max(self.spec.classes);
+        Scratch {
+            batch,
+            xb: vec![0.0; batch * max_w],
+            hidden_act: vec![0.0; batch * self.spec.hidden],
+            class_act: vec![0.0; batch * self.spec.classes],
+            states: std::array::from_fn(|l| {
+                let fan_out = self.spec.layer_dims()[l].1;
+                vec![vec![0.0; batch * fan_out]; self.spec.stages]
+            }),
+        }
+    }
+
+    /// Resets the filter states in `scratch` to this instance's initial
+    /// stage voltages (zero at nominal, the sampled V₀ when perturbed).
+    pub(crate) fn reset_states(&self, scratch: &mut Scratch) {
+        for (layer, states) in self.layers.iter().zip(scratch.states.iter_mut()) {
+            for (s, state) in states.iter_mut().enumerate() {
+                for (idx, st) in state.iter_mut().enumerate() {
+                    *st = layer.v0[s][idx % layer.fan_out];
+                }
+            }
+        }
+    }
+
+    /// Advances every layer by one timestep. `src` is `[batch × input_dim]`;
+    /// afterwards `scratch.class_act` holds the final-layer activation.
+    pub(crate) fn advance(&self, src: &[f64], scratch: &mut Scratch) {
+        let batch = scratch.batch;
+        let (st0, st1) = scratch.states.split_at_mut(1);
+        self.layers[0].step(
+            src,
+            batch,
+            &mut scratch.xb,
+            &mut st0[0],
+            &mut scratch.hidden_act,
+        );
+        self.layers[1].step(
+            &scratch.hidden_act,
+            batch,
+            &mut scratch.xb,
+            &mut st1[0],
+            &mut scratch.class_act,
+        );
+    }
+
+    /// Writes the sense-stage logits (final-layer activation × logit
+    /// scale) into `out`.
+    pub(crate) fn read_logits(&self, scratch: &Scratch, out: &mut [f64]) {
+        for (o, &v) in out.iter_mut().zip(&scratch.class_act) {
+            *o = v * self.spec.logit_scale;
+        }
+    }
+
+    /// Runs `batch` sequences through the model using preallocated
+    /// scratch, writing final-step logits `[batch × classes]` into `out`.
+    ///
+    /// `steps` is time-major contiguous data: timestep `t`, sequence `b`,
+    /// feature `i` lives at `((t * batch) + b) * input_dim + i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or not a whole number of timesteps, if
+    /// `scratch` was sized for a different batch, or if `out` is not
+    /// `[batch × classes]`.
+    pub fn run_batch_into(
+        &self,
+        steps: &[f64],
+        batch: usize,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        let step_len = batch * self.spec.input_dim;
+        assert!(
+            !steps.is_empty() && step_len > 0 && steps.len().is_multiple_of(step_len),
+            "steps length {} is not a positive multiple of batch {batch} x input_dim {}",
+            steps.len(),
+            self.spec.input_dim
+        );
+        assert_eq!(scratch.batch, batch, "scratch sized for a different batch");
+        assert_eq!(
+            out.len(),
+            batch * self.spec.classes,
+            "output buffer must be [batch x classes]"
+        );
+        self.reset_states(scratch);
+        for chunk in steps.chunks_exact(step_len) {
+            self.advance(chunk, scratch);
+        }
+        self.read_logits(scratch, out);
+    }
+
+    /// Convenience wrapper around [`InferModel::run_batch_into`] that
+    /// allocates its own scratch and output.
+    pub fn run_batch(&self, steps: &[f64], batch: usize) -> Vec<f64> {
+        let mut scratch = self.make_scratch(batch);
+        let mut out = vec![0.0; batch * self.spec.classes];
+        self.run_batch_into(steps, batch, &mut scratch, &mut out);
+        out
+    }
+
+    /// Opens an incremental streaming session over `batch` parallel
+    /// sequences (one timestep per [`StreamState::step`] call).
+    pub fn stream(&self, batch: usize) -> crate::StreamState<'_> {
+        crate::StreamState::new(self, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-specified spec: 1 input, 2 hidden, 2 classes, order 1.
+    fn tiny_spec() -> InferSpec {
+        InferSpec {
+            input_dim: 1,
+            hidden: 2,
+            classes: 2,
+            stages: 1,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        }
+    }
+
+    fn tiny_params(spec: &InferSpec) -> Vec<Vec<f64>> {
+        spec.param_lens()
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| (0..n).map(|i| 0.2 + 0.1 * (k + i) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn build_validates_shapes() {
+        let spec = tiny_spec();
+        let mut params = tiny_params(&spec);
+        assert!(InferModel::build(spec, &params).is_ok());
+
+        params[0].push(1.0);
+        assert!(matches!(
+            InferModel::build(spec, &params),
+            Err(BuildError::ParameterShapeMismatch { index: 0, .. })
+        ));
+        params[0].pop();
+
+        params.pop();
+        assert!(matches!(
+            InferModel::build(spec, &params),
+            Err(BuildError::ParameterCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_non_finite() {
+        let spec = tiny_spec();
+        let mut params = tiny_params(&spec);
+        params[1][0] = f64::NAN;
+        assert!(matches!(
+            InferModel::build(spec, &params),
+            Err(BuildError::NonFiniteParameter { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_bad_stage_count() {
+        let mut spec = tiny_spec();
+        spec.stages = 4;
+        assert!(matches!(
+            InferModel::build(spec, &tiny_params(&spec)),
+            Err(BuildError::BadStageCount(4))
+        ));
+    }
+
+    #[test]
+    fn batched_equals_per_sequence() {
+        let spec = tiny_spec();
+        let model = InferModel::build(spec, &tiny_params(&spec)).unwrap();
+        // 3 sequences of 8 steps, time-major.
+        let t_len = 8;
+        let batch = 3;
+        let series: Vec<Vec<f64>> = (0..batch)
+            .map(|b| (0..t_len).map(|t| ((b + t) as f64 * 0.37).sin()).collect())
+            .collect();
+        let mut steps = vec![0.0; t_len * batch];
+        for (t, chunk) in steps.chunks_exact_mut(batch).enumerate() {
+            for (b, slot) in chunk.iter_mut().enumerate() {
+                *slot = series[b][t];
+            }
+        }
+        let batched = model.run_batch(&steps, batch);
+        for (b, s) in series.iter().enumerate() {
+            let single = model.run_batch(s, 1);
+            assert_eq!(
+                single,
+                batched[b * spec.classes..(b + 1) * spec.classes].to_vec(),
+                "sequence {b} diverged from its batched run"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let spec = tiny_spec();
+        let model = InferModel::build(spec, &tiny_params(&spec)).unwrap();
+        let steps: Vec<f64> = (0..16).map(|t| (t as f64 * 0.21).cos()).collect();
+        let mut scratch = model.make_scratch(1);
+        let mut first = vec![0.0; spec.classes];
+        let mut second = vec![0.0; spec.classes];
+        model.run_batch_into(&steps, 1, &mut scratch, &mut first);
+        model.run_batch_into(&steps, 1, &mut scratch, &mut second);
+        assert_eq!(first, second, "scratch reuse must not leak state");
+    }
+
+    #[test]
+    fn logit_scale_is_applied() {
+        let spec = tiny_spec();
+        let mut scaled = spec;
+        scaled.logit_scale = 8.0;
+        let params = tiny_params(&spec);
+        let a = InferModel::build(spec, &params).unwrap();
+        let b = InferModel::build(scaled, &params).unwrap();
+        let steps = [0.4, -0.2, 0.9];
+        let la = a.run_batch(&steps, 1);
+        let lb = b.run_batch(&steps, 1);
+        for (x, y) in la.iter().zip(&lb) {
+            assert!((y - 2.0 * x).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Incremental (one-timestep-per-call) inference for online sensor input.
+
+use crate::model::{InferModel, Scratch};
+
+/// A streaming session over `batch` parallel sequences: each
+/// [`StreamState::step`] call advances the filter states by one timestep
+/// and returns the logits *as of that step*. Feeding a whole sequence step
+/// by step yields exactly the final logits of
+/// [`InferModel::run_batch`](crate::InferModel::run_batch) on the same
+/// data — the recurrence is identical, only the call granularity differs.
+#[derive(Debug)]
+pub struct StreamState<'m> {
+    model: &'m InferModel,
+    scratch: Scratch,
+    logits: Vec<f64>,
+    steps_seen: usize,
+}
+
+impl<'m> StreamState<'m> {
+    pub(crate) fn new(model: &'m InferModel, batch: usize) -> Self {
+        let mut scratch = model.make_scratch(batch);
+        model.reset_states(&mut scratch);
+        let logits = vec![0.0; batch * model.spec().classes];
+        StreamState {
+            model,
+            scratch,
+            logits,
+            steps_seen: 0,
+        }
+    }
+
+    /// The batch size this stream was opened for.
+    pub fn batch(&self) -> usize {
+        self.scratch.batch()
+    }
+
+    /// Timesteps consumed since creation or the last [`StreamState::reset`].
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// Advances one timestep. `input` is `[batch × input_dim]`; the
+    /// returned slice holds the current logits `[batch × classes]`, valid
+    /// until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong length.
+    pub fn step(&mut self, input: &[f64]) -> &[f64] {
+        let spec = self.model.spec();
+        assert_eq!(
+            input.len(),
+            self.scratch.batch() * spec.input_dim,
+            "stream step expects [batch {} x input_dim {}], got {} values",
+            self.scratch.batch(),
+            spec.input_dim,
+            input.len()
+        );
+        self.model.advance(input, &mut self.scratch);
+        self.model.read_logits(&self.scratch, &mut self.logits);
+        self.steps_seen += 1;
+        &self.logits
+    }
+
+    /// Rewinds the filter states to their initial voltages, ready for a
+    /// fresh sequence. No allocation.
+    pub fn reset(&mut self) {
+        self.model.reset_states(&mut self.scratch);
+        self.steps_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{InferModel, InferSpec};
+
+    fn model() -> InferModel {
+        let spec = InferSpec {
+            input_dim: 2,
+            hidden: 3,
+            classes: 2,
+            stages: 2,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        };
+        let params: Vec<Vec<f64>> = spec
+            .param_lens()
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| (0..n).map(|i| 0.15 + 0.07 * (k + i) as f64).collect())
+            .collect();
+        InferModel::build(spec, &params).unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_batched_final_logits() {
+        let m = model();
+        let t_len = 12;
+        let steps: Vec<f64> = (0..t_len * 2).map(|i| (i as f64 * 0.31).sin()).collect();
+        let batched = m.run_batch(&steps, 1);
+        let mut stream = m.stream(1);
+        let mut last = Vec::new();
+        for chunk in steps.chunks_exact(2) {
+            last = stream.step(chunk).to_vec();
+        }
+        assert_eq!(stream.steps_seen(), t_len);
+        assert_eq!(last, batched, "stream final logits must equal batched");
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let m = model();
+        let steps: Vec<f64> = (0..10).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut stream = m.stream(1);
+        let mut first = Vec::new();
+        for chunk in steps.chunks_exact(2) {
+            first = stream.step(chunk).to_vec();
+        }
+        stream.reset();
+        assert_eq!(stream.steps_seen(), 0);
+        let mut second = Vec::new();
+        for chunk in steps.chunks_exact(2) {
+            second = stream.step(chunk).to_vec();
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream step expects")]
+    fn wrong_input_width_panics() {
+        let m = model();
+        m.stream(1).step(&[0.1, 0.2, 0.3]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Monte-Carlo variation samples for perturbed inference instances.
+//!
+//! [`VariationSample::draw`] consumes a seeded RNG in **exactly** the order
+//! the design-time model samples its `ModelNoise` (per layer: crossbar
+//! ε_w/ε_b/ε_d, then filter ε_R per stage, ε_C per stage, μ per stage, V₀
+//! per stage, then the four `ptanh` η multipliers). With the same generator
+//! seed, a trial therefore sees bit-identical noise on the autograd and
+//! graph-free paths — the property the A/B parity tests pin down.
+
+use rand::Rng;
+
+use crate::model::InferSpec;
+
+/// The distributional assumptions of the variation model: multiplicative
+/// component variation `ε ~ U[1−δ, 1+δ]`, coupling factor `μ ~ U[lo, hi]`,
+/// and filter initial voltage `V₀ ~ U[−amp, +amp]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationDistribution {
+    /// Relative component variation δ (printing precision).
+    pub delta: f64,
+    /// Lower bound of the coupling factor μ.
+    pub mu_lo: f64,
+    /// Upper bound of the coupling factor μ.
+    pub mu_hi: f64,
+    /// Amplitude of the random initial filter voltage (V).
+    pub v0_amp: f64,
+}
+
+impl VariationDistribution {
+    /// The paper's evaluation point: ±10 % components, μ ∈ [1, 1.3],
+    /// V₀ ∈ ±0.05 V.
+    pub fn paper_default() -> Self {
+        VariationDistribution {
+            delta: 0.10,
+            mu_lo: 1.0,
+            mu_hi: 1.3,
+            v0_amp: 0.05,
+        }
+    }
+
+    fn epsilon(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n)
+            .map(|_| rng.gen_range((1.0 - self.delta)..=(1.0 + self.delta)))
+            .collect()
+    }
+
+    fn mu(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n)
+            .map(|_| rng.gen_range(self.mu_lo..=self.mu_hi))
+            .collect()
+    }
+
+    fn v0(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n)
+            .map(|_| rng.gen_range(-self.v0_amp..=self.v0_amp))
+            .collect()
+    }
+}
+
+impl Default for VariationDistribution {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One joint variation sample for one layer.
+#[derive(Debug, Clone)]
+pub struct LayerVariation {
+    /// ε for the input conductances, `[fan_in × fan_out]` row-major.
+    pub eps_w: Vec<f64>,
+    /// ε for the bias conductances, `[fan_out]`.
+    pub eps_b: Vec<f64>,
+    /// ε for the dummy conductances, `[fan_out]`.
+    pub eps_d: Vec<f64>,
+    /// ε for each stage's resistors, `[stage][fan_out]`.
+    pub eps_r: Vec<Vec<f64>>,
+    /// ε for each stage's capacitors, `[stage][fan_out]`.
+    pub eps_c: Vec<Vec<f64>>,
+    /// Coupling factor μ per stage, `[stage][fan_out]`.
+    pub mu: Vec<Vec<f64>>,
+    /// Initial stage voltage per stage, `[stage][fan_out]`.
+    pub v0: Vec<Vec<f64>>,
+    /// ε for the four `ptanh` η vectors, each `[fan_out]`.
+    pub eps_eta: [Vec<f64>; 4],
+}
+
+/// One joint variation sample for a whole 2-layer model.
+#[derive(Debug, Clone)]
+pub struct VariationSample {
+    /// Per-layer samples, first layer first.
+    pub layers: Vec<LayerVariation>,
+}
+
+impl VariationSample {
+    /// Draws one joint sample for the architecture in `spec`, consuming
+    /// `rng` in the design-time `sample_noise` order (see module docs).
+    pub fn draw(spec: &InferSpec, dist: &VariationDistribution, rng: &mut impl Rng) -> Self {
+        let layers = spec
+            .layer_dims()
+            .iter()
+            .map(|&(fan_in, fan_out)| {
+                let eps_w = dist.epsilon(fan_in * fan_out, rng);
+                let eps_b = dist.epsilon(fan_out, rng);
+                let eps_d = dist.epsilon(fan_out, rng);
+                let eps_r = (0..spec.stages)
+                    .map(|_| dist.epsilon(fan_out, rng))
+                    .collect();
+                let eps_c = (0..spec.stages)
+                    .map(|_| dist.epsilon(fan_out, rng))
+                    .collect();
+                let mu = (0..spec.stages).map(|_| dist.mu(fan_out, rng)).collect();
+                let v0 = (0..spec.stages).map(|_| dist.v0(fan_out, rng)).collect();
+                let eps_eta = std::array::from_fn(|_| dist.epsilon(fan_out, rng));
+                LayerVariation {
+                    eps_w,
+                    eps_b,
+                    eps_d,
+                    eps_r,
+                    eps_c,
+                    mu,
+                    v0,
+                    eps_eta,
+                }
+            })
+            .collect();
+        VariationSample { layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> InferSpec {
+        InferSpec {
+            input_dim: 3,
+            hidden: 4,
+            classes: 2,
+            stages: 2,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        }
+    }
+
+    #[test]
+    fn draw_shapes_match_spec() {
+        let s = spec();
+        let mut rng = StdRng::seed_from_u64(0);
+        let sample = VariationSample::draw(&s, &VariationDistribution::paper_default(), &mut rng);
+        assert_eq!(sample.layers.len(), 2);
+        let l0 = &sample.layers[0];
+        assert_eq!(l0.eps_w.len(), 12);
+        assert_eq!(l0.eps_b.len(), 4);
+        assert_eq!(l0.eps_r.len(), 2);
+        assert_eq!(l0.eps_r[0].len(), 4);
+        assert_eq!(l0.eps_eta[3].len(), 4);
+        let l1 = &sample.layers[1];
+        assert_eq!(l1.eps_w.len(), 8);
+        assert_eq!(l1.v0[1].len(), 2);
+    }
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        let s = spec();
+        let dist = VariationDistribution::paper_default();
+        let a = VariationSample::draw(&s, &dist, &mut StdRng::seed_from_u64(9));
+        let b = VariationSample::draw(&s, &dist, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.layers[1].eps_w, b.layers[1].eps_w);
+        assert_eq!(a.layers[0].mu, b.layers[0].mu);
+    }
+
+    #[test]
+    fn draws_respect_bounds() {
+        let s = spec();
+        let dist = VariationDistribution::paper_default();
+        let sample = VariationSample::draw(&s, &dist, &mut StdRng::seed_from_u64(3));
+        for layer in &sample.layers {
+            assert!(layer.eps_w.iter().all(|&v| (0.9..=1.1).contains(&v)));
+            for stage in &layer.mu {
+                assert!(stage.iter().all(|&v| (1.0..=1.3).contains(&v)));
+            }
+            for stage in &layer.v0 {
+                assert!(stage.iter().all(|&v| v.abs() <= 0.05));
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Freezing trained parameter state into plain data (`Send + Sync`) for
+//! export: thread-local replicas, persistence and graph-free inference all
+//! consume the same [`FrozenParams`] capture.
+
+use ptnc_tensor::Tensor;
+
+/// A plain-data copy of a parameter list: every tensor's shape and values,
+/// in the order the model exposes them. Unlike the tensors themselves
+/// (`Rc`-based autodiff handles), this is `Send + Sync` and can cross
+/// threads or be compiled into an inference model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenParams {
+    shapes: Vec<Vec<usize>>,
+    values: Vec<Vec<f64>>,
+}
+
+impl FrozenParams {
+    /// Copies shapes and data out of a parameter list.
+    pub fn capture(params: &[Tensor]) -> Self {
+        FrozenParams {
+            shapes: params.iter().map(|p| p.dims().to_vec()).collect(),
+            values: params.iter().map(|p| p.to_vec()).collect(),
+        }
+    }
+
+    /// Number of parameter tensors captured.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The captured shapes, in capture order.
+    pub fn shapes(&self) -> &[Vec<usize>] {
+        &self.shapes
+    }
+
+    /// The captured values, in capture order.
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// Writes the captured values back into a matching parameter list
+    /// (e.g. a freshly built scaffold model on another thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` does not match the capture tensor-for-tensor.
+    pub fn restore_into(&self, params: &[Tensor]) {
+        assert_eq!(
+            params.len(),
+            self.values.len(),
+            "frozen capture has {} tensors, target has {}",
+            self.values.len(),
+            params.len()
+        );
+        for (i, (p, data)) in params.iter().zip(&self.values).enumerate() {
+            assert_eq!(
+                p.len(),
+                data.len(),
+                "parameter {i} shape mismatch between capture and target"
+            );
+            p.set_data(data.clone());
+        }
+    }
+
+    /// Re-reads the values from `params` (e.g. after an optimizer step)
+    /// without touching the recorded shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` does not match the capture tensor-for-tensor.
+    pub fn refresh(&mut self, params: &[Tensor]) {
+        assert_eq!(
+            params.len(),
+            self.values.len(),
+            "frozen capture has {} tensors, refresh source has {}",
+            self.values.len(),
+            params.len()
+        );
+        for (slot, p) in self.values.iter_mut().zip(params) {
+            assert_eq!(slot.len(), p.len(), "refresh shape mismatch");
+            *slot = p.to_vec();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Vec<Tensor> {
+        vec![
+            Tensor::leaf(&[2, 3], (0..6).map(|i| i as f64).collect()),
+            Tensor::leaf(&[3], vec![0.5, -0.5, 1.5]),
+        ]
+    }
+
+    #[test]
+    fn capture_round_trips() {
+        let src = params();
+        let frozen = FrozenParams::capture(&src);
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(frozen.shapes()[0], vec![2, 3]);
+        let dst = params();
+        dst[1].set_data(vec![9.0, 9.0, 9.0]);
+        frozen.restore_into(&dst);
+        assert_eq!(dst[1].to_vec(), vec![0.5, -0.5, 1.5]);
+    }
+
+    #[test]
+    fn refresh_tracks_updates() {
+        let src = params();
+        let mut frozen = FrozenParams::capture(&src);
+        src[0].set_data(vec![7.0; 6]);
+        frozen.refresh(&src);
+        assert_eq!(frozen.values()[0], vec![7.0; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_rejects_mismatched_target() {
+        let frozen = FrozenParams::capture(&params());
+        let bad = vec![
+            Tensor::leaf(&[2, 3], vec![0.0; 6]),
+            Tensor::leaf(&[4], vec![0.0; 4]),
+        ];
+        frozen.restore_into(&bad);
+    }
+}

@@ -32,6 +32,7 @@
 //! ```
 
 mod elman;
+mod export;
 mod layers;
 mod loss;
 pub mod metrics;
@@ -42,6 +43,7 @@ mod trainer;
 pub mod tune;
 
 pub use elman::ElmanRnn;
+pub use export::FrozenParams;
 pub use layers::Linear;
 pub use loss::{accuracy, cross_entropy, one_hot};
 pub use optim::AdamW;
