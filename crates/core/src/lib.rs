@@ -48,6 +48,7 @@ pub mod pdk;
 pub mod persist;
 pub mod power;
 pub mod primitives;
+pub mod robustness;
 pub mod search;
 pub mod serve;
 pub mod training;
@@ -62,6 +63,11 @@ pub use ptnc_infer as infer;
 /// `ptnc-telemetry` dependency.
 pub use ptnc_telemetry as telemetry;
 
+/// Deterministic temporal fault injection and device-drift models —
+/// re-exported so downstream code can build fault schedules without a
+/// direct `ptnc-faultsim` dependency.
+pub use ptnc_faultsim as faultsim;
+
 /// Convenience re-exports for examples and benches: everything a typical
 /// train-evaluate script needs, including the dataset registry and the
 /// deterministic [`parallel::ParallelRunner`] fan-out layer.
@@ -73,6 +79,7 @@ pub mod prelude {
     pub use crate::models::{FilterOrder, PrintedModel};
     pub use crate::parallel::{rng_for, seed_split, streams, ParallelRunner};
     pub use crate::pdk::Pdk;
+    pub use crate::robustness::{sensor_fault_sweep, RobustnessConfig, SweepPoint};
     pub use crate::serve::{compile_snapshot, freeze};
     pub use crate::training::{
         train, train_with_runner, TrainConfig, TrainConfigBuilder, TrainedModel,

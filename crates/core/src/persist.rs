@@ -102,6 +102,42 @@ impl std::fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
+/// Errors when loading a model from its serialized form: either the JSON
+/// itself is malformed, or the decoded snapshot is inconsistent with the
+/// architecture it declares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// The payload is not valid snapshot JSON.
+    Json(String),
+    /// The snapshot decoded but could not be restored.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Json(msg) => write!(f, "malformed snapshot JSON: {msg}"),
+            PersistError::Restore(e) => write!(f, "invalid snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Json(_) => None,
+            PersistError::Restore(e) => Some(e),
+        }
+    }
+}
+
+impl From<RestoreError> for PersistError {
+    fn from(e: RestoreError) -> Self {
+        PersistError::Restore(e)
+    }
+}
+
 /// Captures a model's architecture and every component value.
 pub fn snapshot(model: &PrintedModel) -> ModelSnapshot {
     ModelSnapshot {
@@ -175,11 +211,56 @@ pub fn to_json(model: &PrintedModel) -> String {
 ///
 /// # Errors
 ///
-/// Returns a message for malformed JSON, or a [`RestoreError`] description
-/// for inconsistent snapshots.
-pub fn from_json(json: &str) -> Result<PrintedModel, String> {
-    let snap: ModelSnapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
-    restore(&snap).map_err(|e| e.to_string())
+/// Returns [`PersistError::Json`] for malformed JSON, or wraps the
+/// [`RestoreError`] for snapshots inconsistent with their declared
+/// architecture.
+pub fn from_json(json: &str) -> Result<PrintedModel, PersistError> {
+    let snap: ModelSnapshot =
+        serde_json::from_str(json).map_err(|e| PersistError::Json(e.to_string()))?;
+    restore(&snap).map_err(PersistError::from)
+}
+
+/// Writes `bytes` to `path` atomically: the data lands in a temporary
+/// sibling first, is fsynced, and only then renamed over the target — a
+/// crash mid-write leaves either the old file or the new one, never a
+/// truncated design file.
+///
+/// # Errors
+///
+/// Propagates I/O errors; the temporary file is removed on failure.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return write;
+    }
+    // Persist the rename itself; not all filesystems support fsync on a
+    // directory handle, so failures here are non-fatal.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a model with [`to_json`] and writes it atomically (see
+/// [`write_atomic`]) — the way bench binaries persist trained models.
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`write_atomic`].
+pub fn save_json_atomic(model: &PrintedModel, path: &std::path::Path) -> std::io::Result<()> {
+    write_atomic(path, to_json(model).as_bytes())
 }
 
 #[cfg(test)]
@@ -256,6 +337,49 @@ mod tests {
     #[test]
     fn malformed_json_reports_error() {
         assert!(from_json("{not json").is_err());
+        assert!(matches!(
+            from_json("{not json").unwrap_err(),
+            PersistError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_snapshot_wraps_restore_error() {
+        use std::error::Error;
+        let mut snap = snapshot(&model());
+        snap.filter_stages = 9;
+        let json = serde_json::to_string(&snap).unwrap();
+        let err = from_json(&json).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::Restore(RestoreError::BadFilterOrder(9))
+        ));
+        // The underlying restore failure stays reachable via source().
+        assert!(err.source().unwrap().to_string().contains("stage count 9"));
+    }
+
+    #[test]
+    fn atomic_save_round_trips_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("ptnc-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let m = model();
+        save_json_atomic(&m, &path).unwrap();
+        assert!(!dir.join("model.json.tmp").exists());
+        let restored = from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let a = m.forward_nominal(&steps()).to_vec();
+        let b = restored.forward_nominal(&steps()).to_vec();
+        assert_eq!(a, b);
+        // Overwriting an existing file is also atomic and lands cleanly.
+        save_json_atomic(&m, &path).unwrap();
+        assert!(from_json(&std::fs::read_to_string(&path).unwrap()).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_into_missing_directory_fails_cleanly() {
+        let path = std::path::Path::new("/nonexistent-ptnc-dir/model.json");
+        assert!(write_atomic(path, b"{}").is_err());
     }
 
     #[test]

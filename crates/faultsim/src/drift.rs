@@ -1,0 +1,159 @@
+//! Slow device-conductance drift layered on variation samples.
+
+use ptnc_infer::VariationSample;
+
+use crate::signed_unit;
+
+/// Multiplicative conductance aging: every printed crossbar conductance
+/// (`θ_w`, `θ_b`, `θ_d`) of a variation sample drifts along its own fixed
+/// direction at `rate` relative change per timestep, saturating at ±50 %
+/// total drift. Filter R/C, μ and V₀ are untouched — the model targets the
+/// electro-chemical aging of printed conductors, which the related
+/// reliability literature identifies as the dominant slow mechanism.
+///
+/// Drift composes with [`ptnc_infer::InferModel::perturbed`]: age a base
+/// sample with [`ConductanceDrift::drifted`] and compile the result, so a
+/// Monte-Carlo trial can be evaluated at any point of its service life.
+/// Directions are counter-based on `(seed, layer, tensor, element)` —
+/// deterministic and thread-count independent, like every other random
+/// decision in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductanceDrift {
+    /// Relative conductance change per timestep (≥ 0).
+    pub rate: f64,
+    /// Seed of the per-element drift directions.
+    pub seed: u64,
+}
+
+/// Hard cap on total relative drift; printed conductors age, they do not
+/// vanish.
+const MAX_DRIFT: f64 = 0.5;
+
+impl ConductanceDrift {
+    /// Builds a drift model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "drift rate must be finite and non-negative, got {rate}"
+        );
+        ConductanceDrift { rate, seed }
+    }
+
+    /// Total relative drift amplitude after `step` timesteps (saturates at
+    /// ±50 %).
+    pub fn amplitude(&self, step: u64) -> f64 {
+        (self.rate * step as f64).min(MAX_DRIFT)
+    }
+
+    /// Returns `base` aged by `step` timesteps. With `rate == 0` or
+    /// `step == 0` the result is bit-identical to `base`.
+    pub fn drifted(&self, base: &VariationSample, step: u64) -> VariationSample {
+        let amp = self.amplitude(step);
+        let mut sample = base.clone();
+        if amp == 0.0 {
+            return sample;
+        }
+        for (layer, lv) in sample.layers.iter_mut().enumerate() {
+            let l = layer as u64;
+            for (tensor, eps) in [
+                (0u64, &mut lv.eps_w),
+                (1, &mut lv.eps_b),
+                (2, &mut lv.eps_d),
+            ] {
+                for (j, e) in eps.iter_mut().enumerate() {
+                    let dir = signed_unit(self.seed, l, tensor, j as u64);
+                    *e *= 1.0 + amp * dir;
+                }
+            }
+        }
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_infer::{InferSpec, VariationDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> (InferSpec, VariationSample) {
+        let spec = InferSpec {
+            input_dim: 2,
+            hidden: 3,
+            classes: 2,
+            stages: 2,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        };
+        let sample = VariationSample::draw(
+            &spec,
+            &VariationDistribution::paper_default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        (spec, sample)
+    }
+
+    #[test]
+    fn zero_rate_and_zero_step_are_bit_identical() {
+        let (_, sample) = base();
+        let frozen = ConductanceDrift::new(0.0, 7).drifted(&sample, 1_000_000);
+        assert_eq!(frozen.layers[0].eps_w, sample.layers[0].eps_w);
+        let young = ConductanceDrift::new(1e-3, 7).drifted(&sample, 0);
+        assert_eq!(young.layers[1].eps_b, sample.layers[1].eps_b);
+    }
+
+    #[test]
+    fn drift_moves_only_conductances() {
+        let (_, sample) = base();
+        let aged = ConductanceDrift::new(1e-3, 3).drifted(&sample, 200);
+        assert_ne!(aged.layers[0].eps_w, sample.layers[0].eps_w);
+        assert_eq!(aged.layers[0].eps_r, sample.layers[0].eps_r);
+        assert_eq!(aged.layers[0].eps_c, sample.layers[0].eps_c);
+        assert_eq!(aged.layers[0].mu, sample.layers[0].mu);
+        assert_eq!(aged.layers[0].v0, sample.layers[0].v0);
+        assert_eq!(aged.layers[0].eps_eta, sample.layers[0].eps_eta);
+    }
+
+    #[test]
+    fn drift_saturates_at_the_cap() {
+        let drift = ConductanceDrift::new(1e-2, 5);
+        assert_eq!(drift.amplitude(1_000_000), 0.5);
+        let (_, sample) = base();
+        let aged = drift.drifted(&sample, 1_000_000);
+        for (e, b) in aged.layers[0].eps_w.iter().zip(&sample.layers[0].eps_w) {
+            let factor = e / b;
+            assert!((0.5..=1.5).contains(&factor), "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn aging_is_deterministic_and_progressive() {
+        let (_, sample) = base();
+        let drift = ConductanceDrift::new(2e-4, 11);
+        let a = drift.drifted(&sample, 500);
+        let b = drift.drifted(&sample, 500);
+        assert_eq!(a.layers[0].eps_w, b.layers[0].eps_w);
+        // Older devices drift further along the same directions.
+        let older = drift.drifted(&sample, 1500);
+        for ((young, old), base) in a.layers[0]
+            .eps_w
+            .iter()
+            .zip(&older.layers[0].eps_w)
+            .zip(&sample.layers[0].eps_w)
+        {
+            assert!((old - base).abs() >= (young - base).abs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drift rate")]
+    fn negative_rate_panics() {
+        ConductanceDrift::new(-1.0, 0);
+    }
+}

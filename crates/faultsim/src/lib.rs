@@ -1,0 +1,114 @@
+//! # ptnc-faultsim — deterministic temporal fault injection
+//!
+//! The static defect model in `adapt_pnc::faults` samples a circuit's
+//! manufacturing faults *once per instance*; nothing in the workspace
+//! modeled faults that **evolve while the circuit runs** — a sensor that
+//! drops samples, a baseline that drifts with temperature, conductances
+//! that age. This crate closes that gap for the serving runtime:
+//!
+//! * [`FaultSchedule`] / [`FaultInjector`] — per-timestep sensor faults
+//!   (dropout, burst loss, additive spikes, baseline drift, quantization,
+//!   stuck sensors) applied to input streams,
+//! * [`ConductanceDrift`] — slow multiplicative device drift layered on a
+//!   [`VariationSample`](ptnc_infer::VariationSample), so an
+//!   [`InferModel::perturbed`](ptnc_infer::InferModel::perturbed) instance
+//!   can be aged to any point in time.
+//!
+//! ## Determinism contract
+//!
+//! Every random decision is **counter-based**: the value injected into
+//! channel `c` at timestep `t` is a pure function of
+//! `(schedule seed, fault kind, c, t)` via a SplitMix64-style avalanche
+//! ([`mix4`]). There is no draw-order coupling between channels, timesteps
+//! or work items, so a fault sweep fanned out across any number of threads
+//! (`PNC_THREADS`) produces bit-identical corrupted streams — the same
+//! contract the Monte-Carlo engine in `ptnc-runner` guarantees for
+//! variation sampling.
+//!
+//! Severity `0.0` is an exact no-op for every fault kind: a zero-severity
+//! schedule leaves the input bytes untouched, which the integration tests
+//! pin down against the clean inference path.
+
+mod drift;
+mod schedule;
+
+pub use drift::ConductanceDrift;
+pub use schedule::{FaultInjector, FaultKind, FaultSchedule, FaultSpec};
+
+/// Counter-based avalanche over `(seed, a, b, c)` — three rounds of the
+/// SplitMix64 finalizer, folding in one word per round (the same
+/// construction as `ptnc_runner::seed_split`, extended to three counters).
+/// A pure function: no draw-order state, statistically independent outputs
+/// for distinct input quadruples.
+#[must_use]
+pub fn mix4(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed;
+    for word in [
+        a ^ 0x9E37_79B9_7F4A_7C15,
+        b ^ 0xD1B5_4A32_D192_ED03,
+        c ^ 0x8EBC_6AF0_9C88_C6E3,
+    ] {
+        z = z.wrapping_add(word).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Uniform `f64` in `[0, 1)` from a counter quadruple (53 mantissa bits).
+#[must_use]
+pub fn unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    (mix4(seed, a, b, c) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f64` in `[-1, 1)` from a counter quadruple.
+#[must_use]
+pub fn signed_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    2.0 * unit(seed, a, b, c) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix4_is_collision_free_on_a_dense_grid() {
+        let mut seen = HashSet::new();
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                for c in 0..32u64 {
+                    assert!(seen.insert(mix4(7, a, b, c)), "collision at {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix4_decorrelates_seeds() {
+        assert_ne!(mix4(0, 1, 2, 3), mix4(1, 1, 2, 3));
+        assert_ne!(mix4(0, 1, 2, 3), mix4(0, 2, 1, 3));
+    }
+
+    #[test]
+    fn unit_stays_in_range_and_is_roughly_uniform() {
+        let n = 4096;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = unit(11, 0, i, 0);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn signed_unit_covers_both_signs() {
+        let values: Vec<f64> = (0..64).map(|i| signed_unit(3, i, 0, 0)).collect();
+        assert!(values.iter().any(|&v| v < 0.0));
+        assert!(values.iter().any(|&v| v > 0.0));
+        assert!(values.iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,469 @@
+//! Per-timestep sensor-fault models and the streaming injector.
+
+use crate::{mix4, signed_unit, unit};
+
+/// The temporal sensor-fault taxonomy. Every kind maps a *severity* in
+/// `[0, 1]` onto its own physical parameters (rates, amplitudes, bit
+/// depths); severity `0` is an exact no-op for every kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Individual samples go missing (reported as NaN, as an ADC flagging
+    /// an invalid conversion would).
+    Dropout,
+    /// Consecutive runs of samples go missing — a loose connector or a
+    /// saturated transmission window.
+    BurstLoss,
+    /// Additive high-amplitude spikes — electro-static discharge or
+    /// switching transients coupling into the sensor line.
+    SpikeNoise,
+    /// A slowly saturating additive baseline offset — temperature drift of
+    /// the analog front-end.
+    BaselineDrift,
+    /// Coarse re-quantization — the effective ADC resolution collapses
+    /// from 8 bits toward 1 bit as severity rises.
+    Quantization,
+    /// The channel freezes: from a random onset time it repeats its last
+    /// reported value forever.
+    StuckSensor,
+}
+
+impl FaultKind {
+    /// Every fault kind, in taxonomy order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Dropout,
+        FaultKind::BurstLoss,
+        FaultKind::SpikeNoise,
+        FaultKind::BaselineDrift,
+        FaultKind::Quantization,
+        FaultKind::StuckSensor,
+    ];
+
+    /// Short label for tables and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Dropout => "dropout",
+            FaultKind::BurstLoss => "burst_loss",
+            FaultKind::SpikeNoise => "spike_noise",
+            FaultKind::BaselineDrift => "baseline_drift",
+            FaultKind::Quantization => "quantization",
+            FaultKind::StuckSensor => "stuck_sensor",
+        }
+    }
+
+    /// Counter-stream namespace, so different kinds never share random
+    /// decisions even at equal `(channel, timestep)`.
+    fn stream(self) -> u64 {
+        match self {
+            FaultKind::Dropout => 0x6472_6F70,
+            FaultKind::BurstLoss => 0x6275_7273,
+            FaultKind::SpikeNoise => 0x7370_696B,
+            FaultKind::BaselineDrift => 0x6264_7266,
+            FaultKind::Quantization => 0x7175_616E,
+            FaultKind::StuckSensor => 0x7374_636B,
+        }
+    }
+}
+
+/// One fault model at one severity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Which fault model to apply.
+    pub kind: FaultKind,
+    /// Severity in `[0, 1]`; `0` disables the fault exactly.
+    pub severity: f64,
+}
+
+impl FaultSpec {
+    /// Builds a spec, validating the severity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is not in `[0, 1]`.
+    pub fn new(kind: FaultKind, severity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&severity),
+            "fault severity must be in [0, 1], got {severity}"
+        );
+        FaultSpec { kind, severity }
+    }
+}
+
+/// A deterministic fault scenario: a seed plus an ordered list of fault
+/// models. Schedules are plain data (`Send + Sync`) — share one across a
+/// fan-out and open one [`FaultInjector`] per stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultSchedule {
+    /// An empty (clean) schedule under the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault model (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_fault(mut self, kind: FaultKind, severity: f64) -> Self {
+        self.faults.push(FaultSpec::new(kind, severity));
+        self
+    }
+
+    /// The seed all counter streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault models, in application order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether every fault has severity `0` (the schedule is an exact
+    /// no-op).
+    pub fn is_noop(&self) -> bool {
+        self.faults.iter().all(|f| f.severity <= 0.0)
+    }
+
+    /// Opens an injector over `channels` sensor channels whose *global*
+    /// ids start at `first_channel`. Global ids are what make a fan-out
+    /// deterministic: sequence `b` of a batched dataset gets channels
+    /// `b * input_dim .. (b + 1) * input_dim` no matter which worker
+    /// processes it.
+    pub fn injector(&self, first_channel: usize, channels: usize) -> FaultInjector<'_> {
+        assert!(channels > 0, "zero-channel injector");
+        FaultInjector {
+            schedule: self,
+            first_channel,
+            channels,
+            t: 0,
+            burst_left: vec![0; self.faults.len() * channels],
+            stuck: vec![None; self.faults.len() * channels],
+            last_out: vec![0.0; channels],
+        }
+    }
+}
+
+/// Streaming fault application over one group of channels. Call
+/// [`FaultInjector::corrupt`] once per timestep, in order; stateless kinds
+/// (dropout, spikes, drift, quantization) are pure functions of
+/// `(seed, kind, channel, t)`, while burst and stuck-sensor faults carry
+/// the minimal per-channel state their physics requires.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<'s> {
+    schedule: &'s FaultSchedule,
+    first_channel: usize,
+    channels: usize,
+    t: usize,
+    /// Remaining lost samples of an active burst, `[spec][channel]`.
+    burst_left: Vec<u32>,
+    /// Held value of a stuck channel, `[spec][channel]`.
+    stuck: Vec<Option<f64>>,
+    /// Last finite reported value per channel (what a stuck ADC repeats).
+    last_out: Vec<f64>,
+}
+
+impl<'s> FaultInjector<'s> {
+    /// The number of channels this injector corrupts per call.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Timesteps corrupted since creation or [`FaultInjector::reset`].
+    pub fn timestep(&self) -> usize {
+        self.t
+    }
+
+    /// Rewinds all per-channel state for a fresh sequence.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.burst_left.fill(0);
+        self.stuck.fill(None);
+        self.last_out.fill(0.0);
+    }
+
+    /// Applies every scheduled fault to one timestep of sensor readings
+    /// (in schedule order) and advances the internal clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not hold exactly one reading per channel.
+    pub fn corrupt(&mut self, values: &mut [f64]) {
+        assert_eq!(
+            values.len(),
+            self.channels,
+            "injector opened for {} channels, got {} readings",
+            self.channels,
+            values.len()
+        );
+        let seed = self.schedule.seed;
+        let t = self.t as u64;
+        for (k, spec) in self.schedule.faults.iter().enumerate() {
+            if spec.severity <= 0.0 {
+                continue;
+            }
+            let s = spec.severity;
+            // Namespacing by spec index keeps two same-kind entries in one
+            // schedule statistically independent.
+            let word = spec.kind.stream() ^ ((k as u64) << 32);
+            for (i, v) in values.iter_mut().enumerate() {
+                let ch = (self.first_channel + i) as u64;
+                let state = k * self.channels + i;
+                match spec.kind {
+                    FaultKind::Dropout => {
+                        if unit(seed, word, ch, t) < 0.25 * s {
+                            *v = f64::NAN;
+                        }
+                    }
+                    FaultKind::BurstLoss => {
+                        if self.burst_left[state] > 0 {
+                            self.burst_left[state] -= 1;
+                            *v = f64::NAN;
+                        } else if unit(seed, word, ch, t) < 0.02 * s {
+                            let len = 2.0 + unit(seed, word ^ 1, ch, t) * 28.0 * s;
+                            self.burst_left[state] = len as u32;
+                            *v = f64::NAN;
+                        }
+                    }
+                    FaultKind::SpikeNoise => {
+                        if unit(seed, word, ch, t) < 0.08 * s {
+                            let sign = if mix4(seed, word ^ 1, ch, t) & 1 == 0 {
+                                1.0
+                            } else {
+                                -1.0
+                            };
+                            *v += sign * (1.5 + 6.0 * unit(seed, word ^ 2, ch, t)) * s;
+                        }
+                    }
+                    FaultKind::BaselineDrift => {
+                        // Per-channel direction (t-slot u64::MAX is reserved
+                        // for it), saturating ramp over ~300 steps.
+                        let dir = signed_unit(seed, word, ch, u64::MAX);
+                        *v += dir * 2.5 * s * (1.0 - (-(t as f64) / 96.0).exp());
+                    }
+                    FaultKind::Quantization => {
+                        if v.is_finite() {
+                            // 8 effective bits at s→0 down to 1 bit at s=1,
+                            // over a ±4 full-scale range.
+                            let levels = (2f64).powf(8.0 * (1.0 - s)).round().max(2.0);
+                            let step = 8.0 / levels;
+                            *v = (*v / step).round() * step;
+                        }
+                    }
+                    FaultKind::StuckSensor => {
+                        if let Some(held) = self.stuck[state] {
+                            *v = held;
+                        } else if unit(seed, word, ch, t) < 0.015 * s {
+                            let held = if self.last_out[i].is_finite() {
+                                self.last_out[i]
+                            } else if v.is_finite() {
+                                *v
+                            } else {
+                                0.0
+                            };
+                            self.stuck[state] = Some(held);
+                            *v = held;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, v) in values.iter().enumerate() {
+            if v.is_finite() {
+                self.last_out[i] = *v;
+            }
+        }
+        self.t += 1;
+    }
+
+    /// Corrupts a whole time-major sequence in place: `data` is
+    /// `[timesteps × channels]` contiguous, exactly as one stream of the
+    /// inference runtime consumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a whole number of timesteps.
+    pub fn corrupt_sequence(&mut self, data: &mut [f64]) {
+        assert!(
+            data.len().is_multiple_of(self.channels),
+            "sequence length {} is not a multiple of {} channels",
+            data.len(),
+            self.channels
+        );
+        for step in data.chunks_exact_mut(self.channels) {
+            self.corrupt(step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn zero_severity_is_an_exact_noop() {
+        let schedule = FaultKind::ALL
+            .iter()
+            .fold(FaultSchedule::new(9), |s, &k| s.with_fault(k, 0.0));
+        assert!(schedule.is_noop());
+        let mut injector = schedule.injector(0, 2);
+        let original = clean(64);
+        let mut data = original.clone();
+        injector.corrupt_sequence(&mut data);
+        assert_eq!(data, original, "severity 0 must not touch a single bit");
+    }
+
+    #[test]
+    fn injection_is_bit_identical_across_injector_instances() {
+        let schedule = FaultSchedule::new(3)
+            .with_fault(FaultKind::Dropout, 0.5)
+            .with_fault(FaultKind::SpikeNoise, 0.8)
+            .with_fault(FaultKind::StuckSensor, 0.6);
+        let mut a = clean(128);
+        let mut b = clean(128);
+        schedule.injector(4, 1).corrupt_sequence(&mut a);
+        schedule.injector(4, 1).corrupt_sequence(&mut b);
+        // Bit-level comparison: NaN placeholders must match too.
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn channels_are_independent_of_grouping() {
+        // Corrupting channels {0,1} together equals corrupting each alone
+        // with its global id — the property batched fan-outs rely on.
+        let schedule = FaultSchedule::new(5)
+            .with_fault(FaultKind::Dropout, 0.7)
+            .with_fault(FaultKind::BaselineDrift, 0.5);
+        let t_len = 40;
+        let mut joint: Vec<f64> = (0..t_len * 2).map(|i| (i as f64 * 0.21).cos()).collect();
+        schedule.injector(0, 2).corrupt_sequence(&mut joint);
+        for ch in 0..2usize {
+            let mut solo: Vec<f64> = (0..t_len)
+                .map(|t| ((t * 2 + ch) as f64 * 0.21).cos())
+                .collect();
+            schedule.injector(ch, 1).corrupt_sequence(&mut solo);
+            let from_joint: Vec<f64> = (0..t_len).map(|t| joint[t * 2 + ch]).collect();
+            assert_eq!(
+                solo.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                from_joint.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "channel {ch} depends on grouping"
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_rate_tracks_severity() {
+        let schedule = FaultSchedule::new(1).with_fault(FaultKind::Dropout, 1.0);
+        let mut data = clean(4000);
+        schedule.injector(0, 1).corrupt_sequence(&mut data);
+        let lost = data.iter().filter(|v| v.is_nan()).count() as f64 / 4000.0;
+        assert!((0.2..0.3).contains(&lost), "loss rate {lost} at severity 1");
+    }
+
+    #[test]
+    fn burst_loss_produces_consecutive_runs() {
+        let schedule = FaultSchedule::new(2).with_fault(FaultKind::BurstLoss, 1.0);
+        let mut data = clean(2000);
+        schedule.injector(0, 1).corrupt_sequence(&mut data);
+        let mut best_run = 0usize;
+        let mut run = 0usize;
+        for v in &data {
+            if v.is_nan() {
+                run += 1;
+                best_run = best_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best_run >= 3, "longest burst {best_run} too short");
+    }
+
+    #[test]
+    fn stuck_sensor_freezes_forever() {
+        let schedule = FaultSchedule::new(4).with_fault(FaultKind::StuckSensor, 1.0);
+        let mut data = clean(2000);
+        schedule.injector(0, 1).corrupt_sequence(&mut data);
+        // With hazard 1.5 %/step over 2000 steps, sticking is certain for
+        // this seed; once two consecutive equal values appear after onset,
+        // the tail must be constant.
+        let onset = data
+            .windows(2)
+            .position(|w| w[0] == w[1])
+            .expect("channel never stuck");
+        let held = data[onset];
+        assert!(data[onset..].iter().all(|&v| v == held));
+    }
+
+    #[test]
+    fn quantization_collapses_to_sign_at_full_severity() {
+        let schedule = FaultSchedule::new(6).with_fault(FaultKind::Quantization, 1.0);
+        let mut data = clean(100);
+        schedule.injector(0, 1).corrupt_sequence(&mut data);
+        let mut distinct: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 3, "expected ≤3 levels, got {distinct:?}");
+    }
+
+    #[test]
+    fn baseline_drift_saturates() {
+        let schedule = FaultSchedule::new(8).with_fault(FaultKind::BaselineDrift, 1.0);
+        let mut data = vec![0.0; 1000];
+        schedule.injector(0, 1).corrupt_sequence(&mut data);
+        assert!(data[0].abs() < 0.05, "drift must start near zero");
+        assert!(
+            data[999].abs() > data[100].abs(),
+            "drift must keep accumulating"
+        );
+        assert!(data[999].abs() <= 2.5, "drift must stay bounded");
+        // The ramp saturates: late increments are tiny compared to early ones.
+        assert!((data[999] - data[900]).abs() < (data[200] - data[101]).abs());
+        // Monotone ramp toward the channel direction.
+        assert_eq!(data[999].signum(), data[500].signum());
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let schedule = FaultSchedule::new(12)
+            .with_fault(FaultKind::BurstLoss, 0.9)
+            .with_fault(FaultKind::StuckSensor, 0.9);
+        let mut injector = schedule.injector(0, 3);
+        let mut a = clean(300);
+        injector.corrupt_sequence(&mut a);
+        injector.reset();
+        let mut b = clean(300);
+        injector.corrupt_sequence(&mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_out_of_range_panics() {
+        FaultSpec::new(FaultKind::Dropout, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn wrong_width_panics() {
+        let schedule = FaultSchedule::new(0).with_fault(FaultKind::Dropout, 0.5);
+        schedule.injector(0, 2).corrupt(&mut [0.0]);
+    }
+}

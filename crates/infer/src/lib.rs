@@ -11,12 +11,13 @@
 //! per-step allocation.
 //!
 //! The crate is deliberately free of any dependency on the tensor or core
-//! crates (only the vendored `rand` for variation sampling), so the
+//! crates (only the vendored `rand` for variation sampling and the
+//! zero-dependency `ptnc-telemetry` for guard-health counters), so the
 //! dependency arrow points *from* the design-time stack *to* the runtime:
 //! `adapt-pnc` freezes models into this crate's types and routes its
 //! Monte-Carlo evaluation through them.
 //!
-//! ## The three execution modes
+//! ## The execution modes
 //!
 //! * **Batched** — [`InferModel::run_batch`] processes `B` sequences at
 //!   once with batch-major inner loops (the serving fast path).
@@ -27,6 +28,12 @@
 //!   instance from a [`VariationSample`], so Monte-Carlo variation trials
 //!   share one frozen model across threads (`InferModel` is plain data and
 //!   therefore `Send + Sync`).
+//! * **Guarded** — [`InferModel::guarded_stream`] and
+//!   [`InferModel::run_batch_guarded`] place an [`InputGuard`] in front of
+//!   the recurrence: NaN/Inf/out-of-range samples are repaired by a
+//!   configurable [`DegradePolicy`] before they can poison filter state,
+//!   and each stream carries a [`Health`] classification derived from its
+//!   recent fault density.
 //!
 //! ## Numerical parity
 //!
@@ -39,10 +46,12 @@
 //! samples its `ModelNoise`, so a seeded trial sees identical noise on
 //! both paths.
 
+mod guard;
 mod model;
 mod stream;
 mod variation;
 
+pub use guard::{DegradePolicy, GuardConfig, GuardStats, GuardedStream, Health, InputGuard};
 pub use model::{BuildError, InferModel, InferSpec, Scratch};
 pub use stream::StreamState;
 pub use variation::{LayerVariation, VariationDistribution, VariationSample};

@@ -316,6 +316,17 @@ impl Scratch {
     pub fn batch(&self) -> usize {
         self.batch
     }
+
+    /// Whether every filter-state value is finite. One non-finite input
+    /// sample poisons the `a⊙state + b⊙input` recurrence permanently, so
+    /// watchdogs (and the guarded-path tests) use this to audit state
+    /// health between forwards.
+    pub fn states_are_finite(&self) -> bool {
+        self.states
+            .iter()
+            .flatten()
+            .all(|stage| stage.iter().all(|v| v.is_finite()))
+    }
 }
 
 /// A frozen, graph-free printed model: plain weight buffers plus a

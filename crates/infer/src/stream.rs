@@ -39,9 +39,32 @@ impl<'m> StreamState<'m> {
         self.steps_seen
     }
 
+    /// Whether every internal filter-state value is finite. See the
+    /// poisoning hazard on [`StreamState::step`]; this accessor lets
+    /// callers audit state health between steps without tearing the
+    /// session down.
+    pub fn state_is_finite(&self) -> bool {
+        self.scratch.states_are_finite()
+    }
+
     /// Advances one timestep. `input` is `[batch × input_dim]`; the
     /// returned slice holds the current logits `[batch × classes]`, valid
     /// until the next call.
+    ///
+    /// # NaN poisoning hazard
+    ///
+    /// This path trusts its inputs: samples flow straight into the
+    /// `a⊙state + b⊙input` filter recurrence, and because the decayed
+    /// previous state is part of every update, a **single** NaN or ±∞
+    /// sample contaminates the affected filter states *permanently* —
+    /// every later logit of that sequence is NaN no matter how clean the
+    /// subsequent input is, until [`StreamState::reset`]. Feed this API
+    /// only data you have validated yourself; for raw sensor streams that
+    /// can drop out or glitch, use the guarded path
+    /// ([`InferModel::guarded_stream`](crate::InferModel::guarded_stream)
+    /// or
+    /// [`InferModel::run_batch_guarded`](crate::InferModel::run_batch_guarded)),
+    /// which repairs invalid samples before they can touch filter state.
     ///
     /// # Panics
     ///

@@ -1,0 +1,255 @@
+//! Runtime sensor-fault injection and graceful degradation: zero-severity
+//! schedules are exact no-ops, the guarded inference path keeps every
+//! internal value finite under arbitrary fault schedules (the invariant
+//! the unguarded path cannot offer — one NaN poisons its filter states
+//! permanently), and the robustness sweep is byte-identical across thread
+//! counts.
+
+use adapt_pnc::faultsim::{FaultKind, FaultSchedule};
+use adapt_pnc::infer::{DegradePolicy, GuardConfig, Health, InputGuard};
+use adapt_pnc::prelude::*;
+use adapt_pnc::robustness::to_jsonl;
+use adapt_pnc::{serve, telemetry};
+use ptnc_tensor::{init, Tensor};
+
+const ORDERS: [FilterOrder; 3] = [FilterOrder::First, FilterOrder::Second, FilterOrder::Third];
+
+fn model_with_order(order: FilterOrder, seed: u64) -> PrintedModel {
+    PrintedModel::new(2, 5, 3, order, &Pdk::paper_default(), &mut init::rng(seed))
+}
+
+/// A deterministic time-varying sequence of `[batch, dim]` steps.
+fn seeded_steps(t: usize, batch: usize, dim: usize) -> Vec<Tensor> {
+    (0..t)
+        .map(|k| {
+            let data: Vec<f64> = (0..batch * dim)
+                .map(|i| ((k * batch * dim + i) as f64 * 0.37).sin())
+                .collect();
+            Tensor::from_vec(&[batch, dim], data)
+        })
+        .collect()
+}
+
+/// A schedule carrying every fault kind at the given severity.
+fn full_schedule(seed: u64, severity: f64) -> FaultSchedule {
+    FaultKind::ALL
+        .into_iter()
+        .fold(FaultSchedule::new(seed), |s, kind| {
+            s.with_fault(kind, severity)
+        })
+}
+
+#[test]
+fn zero_severity_schedule_is_bit_identical_batched_and_streaming() {
+    for (k, order) in ORDERS.into_iter().enumerate() {
+        let model = model_with_order(order, 80 + k as u64);
+        let engine = serve::freeze(&model).unwrap();
+        let steps = seeded_steps(13, 3, 2);
+        let flat = serve::flatten_steps(&steps);
+
+        // Severity 0 must not move a single bit of the input...
+        let mut injected = flat.clone();
+        full_schedule(5, 0.0)
+            .injector(0, 3 * 2)
+            .corrupt_sequence(&mut injected);
+        assert_eq!(
+            flat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            injected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{order:?}: zero-severity schedule altered the input"
+        );
+
+        // ...and the guarded path must not move a single bit of the output.
+        let clean = engine.run_batch(&flat, 3);
+        let mut guard = InputGuard::new(GuardConfig::default_policy(), 3, 2);
+        let guarded = engine.run_batch_guarded(&injected, 3, &mut guard);
+        assert_eq!(clean, guarded, "{order:?}: guarded batched diverged");
+        assert_eq!(guard.stats().repaired, 0);
+
+        let mut stream = engine.guarded_stream(3, GuardConfig::default_policy());
+        let mut last = Vec::new();
+        for s in &steps {
+            last = stream.step(&s.to_vec()).to_vec();
+        }
+        assert_eq!(clean, last, "{order:?}: guarded streaming diverged");
+        assert_eq!(stream.health(), &[Health::Healthy; 3]);
+    }
+}
+
+/// Regression for the documented `StreamState::step` hazard: one NaN
+/// sample poisons the unguarded recurrence forever, while the guarded
+/// path repairs it and recovers to healthy on clean data.
+#[test]
+fn unguarded_stream_poisons_where_guarded_recovers() {
+    let model = model_with_order(FilterOrder::Second, 90);
+    let engine = serve::freeze(&model).unwrap();
+    let poisoned_step = [f64::NAN, 0.2];
+    let clean_step = [0.4, -0.3];
+
+    let mut raw = engine.stream(1);
+    raw.step(&poisoned_step);
+    assert!(!raw.state_is_finite(), "one NaN must poison raw state");
+    for _ in 0..50 {
+        raw.step(&clean_step);
+    }
+    assert!(
+        raw.step(&clean_step).iter().all(|v| v.is_nan()),
+        "raw logits must stay NaN no matter how much clean data follows"
+    );
+    assert!(!raw.state_is_finite());
+
+    let mut guarded = engine.guarded_stream(1, GuardConfig::default_policy());
+    guarded.step(&poisoned_step);
+    assert!(guarded.state_is_finite(), "guard let a NaN into the state");
+    let mut last = Vec::new();
+    for _ in 0..50 {
+        last = guarded.step(&clean_step).to_vec();
+    }
+    assert!(last.iter().all(|v| v.is_finite()));
+    assert_eq!(guarded.health(), &[Health::Healthy], "stream must recover");
+    assert_eq!(guarded.stats().nonfinite, 1);
+
+    // After recovery the guarded stream converges to the clean trajectory:
+    // compare against a fresh stream fed only clean data for long enough
+    // that the poisoned step's transient has decayed.
+    let mut reference = engine.stream(1);
+    let mut expect = Vec::new();
+    reference.step(&clean_step); // align step counts
+    for _ in 0..50 {
+        expect = reference.step(&clean_step).to_vec();
+    }
+    for (a, b) in last.iter().zip(&expect) {
+        assert!((a - b).abs() < 1e-6, "guarded {a} vs clean {b}");
+    }
+}
+
+/// The guarded-path invariant, property-style: for *any* fault schedule —
+/// including ones that turn most of the input into NaN/Inf bursts — every
+/// internal filter state and every returned logit stays finite, on all
+/// three policies, batched and streaming, and health transitions surface
+/// as telemetry counters.
+#[test]
+fn guarded_inference_stays_finite_under_arbitrary_fault_schedules() {
+    let model = model_with_order(FilterOrder::Second, 100);
+    let engine = serve::freeze(&model).unwrap();
+    let steps = seeded_steps(40, 2, 2);
+    let flat = serve::flatten_steps(&steps);
+    let policies = [
+        DegradePolicy::Clamp,
+        DegradePolicy::HoldLast,
+        DegradePolicy::MedianOfLast(7),
+    ];
+    for schedule_seed in 0..6u64 {
+        let mut injected = flat.clone();
+        full_schedule(schedule_seed, 1.0)
+            .injector(0, 2 * 2)
+            .corrupt_sequence(&mut injected);
+        // Harden the fault model further: periodic hand-placed Inf/NaN
+        // bursts on top of the schedule, plus huge out-of-range spikes.
+        for (i, v) in injected.iter_mut().enumerate() {
+            match (i + schedule_seed as usize) % 11 {
+                0 => *v = f64::INFINITY,
+                3 => *v = f64::NEG_INFINITY,
+                5 => *v = f64::NAN,
+                7 => *v = 1e12,
+                _ => {}
+            }
+        }
+        for policy in policies {
+            let cfg = GuardConfig::default_policy().with_policy(policy);
+            let mut guard = InputGuard::new(cfg, 2, 2);
+            let (logits, events) = telemetry::collect(|| {
+                let batched = engine.run_batch_guarded(&injected, 2, &mut guard);
+                let mut stream = engine.guarded_stream(2, cfg);
+                let mut last = Vec::new();
+                for chunk in injected.chunks_exact(4) {
+                    last = stream.step(chunk).to_vec();
+                    assert!(
+                        stream.state_is_finite(),
+                        "seed {schedule_seed} {policy:?}: state poisoned mid-stream"
+                    );
+                }
+                assert_eq!(batched, last, "guarded stream must equal guarded batch");
+                batched
+            });
+            assert!(
+                logits.iter().all(|v| v.is_finite()),
+                "seed {schedule_seed} {policy:?}: non-finite logits {logits:?}"
+            );
+            assert!(guard.stats().repaired > 0, "schedule injected nothing");
+            // This fault mix is dense enough that streams must leave
+            // Healthy, and every transition must surface as a counter.
+            let reported = telemetry::counter_total(&events, "infer.guard.to_degraded")
+                + telemetry::counter_total(&events, "infer.guard.to_faulted")
+                + telemetry::counter_total(&events, "infer.guard.to_healthy");
+            assert!(
+                reported >= 1.0,
+                "seed {schedule_seed} {policy:?}: no health transitions reported"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_injected_sweep_is_byte_identical_across_thread_counts() {
+    let raw = benchmark_by_name("CBF", 0).unwrap();
+    let test = Preprocess::paper_default()
+        .apply(&raw)
+        .shuffle_split(0.6, 0.2, 0)
+        .test;
+    // Univariate dataset → input_dim 1 models, one per filter order.
+    let models: Vec<(String, _)> = [
+        ("baseline_ptpnc", FilterOrder::First),
+        ("adapt_pnc", FilterOrder::Second),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(k, (name, order))| {
+        let m = PrintedModel::new(
+            1,
+            4,
+            3,
+            *order,
+            &Pdk::paper_default(),
+            &mut init::rng(110 + k as u64),
+        );
+        (name.to_string(), serve::freeze(&m).unwrap())
+    })
+    .collect();
+    let cfg = RobustnessConfig {
+        kinds: vec![
+            FaultKind::Dropout,
+            FaultKind::SpikeNoise,
+            FaultKind::StuckSensor,
+        ],
+        severities: vec![0.5, 1.0],
+        drift_rates: vec![1e-4],
+        trials: 2,
+        ..RobustnessConfig::smoke()
+    };
+    let serial = sensor_fault_sweep(&models, &test, &cfg, &ParallelRunner::serial());
+    let baseline = to_jsonl(&serial);
+    assert_eq!(serial.len(), 2 * cfg.points_per_model());
+    for threads in [2, 5] {
+        let runner = ParallelRunner::serial().with_threads(threads);
+        let parallel = sensor_fault_sweep(&models, &test, &cfg, &runner);
+        assert_eq!(
+            baseline,
+            to_jsonl(&parallel),
+            "sweep JSONL must be byte-identical at {threads} threads"
+        );
+    }
+}
+
+/// The acceptance floor on the shipped grid: the smoke config (what CI
+/// runs) already covers at least 4 fault kinds at 3 severities.
+#[test]
+fn smoke_grid_meets_coverage_floor() {
+    let cfg = RobustnessConfig::smoke();
+    assert!(cfg.kinds.len() >= 4, "only {} fault kinds", cfg.kinds.len());
+    assert!(
+        cfg.severities.len() >= 3,
+        "only {} severities",
+        cfg.severities.len()
+    );
+    assert!(!cfg.drift_rates.is_empty());
+}
