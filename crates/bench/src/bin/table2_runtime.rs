@@ -7,6 +7,10 @@
 //! both one training epoch and one full-test-set inference per model,
 //! averaged over datasets.
 //!
+//! Per-epoch training cost comes from the trainer's own epoch clock
+//! ([`ptnc_nn::timing`]), so dataset preparation and model setup are
+//! excluded and the numbers match what `train_throughput` reports.
+//!
 //! ```text
 //! cargo run -p ptnc-bench --release --bin table2_runtime
 //! ```
@@ -18,6 +22,7 @@ use adapt_pnc::experiments::{prepare_split, ExperimentScale};
 use adapt_pnc::models::PrintedModel;
 use adapt_pnc::training::{train, train_elman, TrainConfig};
 use ptnc_bench::{mean, print_row, print_rule, selected_specs};
+use ptnc_nn::timing;
 use ptnc_tensor::init;
 
 fn main() {
@@ -37,20 +42,20 @@ fn main() {
         let split = prepare_split(spec, 0);
         let (steps, _labels) = dataset_to_steps(&split.test);
 
-        // --- per-epoch training cost ---------------------------------
-        let t0 = Instant::now();
+        // --- per-epoch training cost (trainer epoch clock) ------------
+        timing::begin_capture();
         let (elman, _) = train_elman(&split, scale.hidden, timing_epochs, 0);
-        elman_train.push(t0.elapsed().as_secs_f64() / timing_epochs as f64);
+        elman_train.push(timing::end_capture().seconds_per_epoch());
 
-        let t0 = Instant::now();
+        timing::begin_capture();
         let base = train(
             &split,
             &TrainConfig::baseline_ptpnc(scale.hidden).with_epochs(timing_epochs),
             0,
         );
-        base_train.push(t0.elapsed().as_secs_f64() / timing_epochs as f64);
+        base_train.push(timing::end_capture().seconds_per_epoch());
 
-        let t0 = Instant::now();
+        timing::begin_capture();
         let adapt = train(
             &split,
             &TrainConfig::adapt_pnc(scale.hidden)
@@ -60,7 +65,7 @@ fn main() {
                 .build(),
             0,
         );
-        adapt_train.push(t0.elapsed().as_secs_f64() / timing_epochs as f64);
+        adapt_train.push(timing::end_capture().seconds_per_epoch());
 
         // --- test-set inference cost ----------------------------------
         let t0 = Instant::now();

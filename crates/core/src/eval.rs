@@ -274,6 +274,8 @@ pub fn variation_trials_autograd(
         let mut rng = rng_for(seed, streams::EVAL_TRIAL, trial as u64);
         let noise = replica.sample_noise(config, &mut rng);
         ptnc_telemetry::counter("infer.trial.autograd", 1);
+        // Accuracy trials never backpropagate — skip tape recording.
+        let _tape_off = ptnc_tensor::no_grad();
         accuracy(&replica.forward(&steps, Some(&noise)), labels)
     });
     accs.iter().sum::<f64>() / trials as f64

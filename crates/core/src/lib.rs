@@ -76,7 +76,7 @@ pub mod prelude {
         dataset_to_steps, evaluate, evaluate_with_runner, EvalCondition, InferPath,
     };
     pub use crate::hardware::{DeviceCount, HardwareReport};
-    pub use crate::models::{FilterOrder, PrintedModel};
+    pub use crate::models::{FilterOrder, ForwardMode, PrintedModel};
     pub use crate::parallel::{rng_for, seed_split, streams, ParallelRunner};
     pub use crate::pdk::Pdk;
     pub use crate::robustness::{sensor_fault_sweep, RobustnessConfig, SweepPoint};

@@ -42,18 +42,70 @@ impl Ptpb {
 
     /// Processes a sequence of `[batch, fan_in]` tensors into a sequence of
     /// `[batch, fan_out]` tensors.
+    ///
+    /// The noise-perturbed effective conductances and η are materialized once
+    /// and shared by every time step.
     pub fn forward_sequence(&self, steps: &[Tensor], noise: Option<&LayerNoise>) -> Vec<Tensor> {
+        let eff = self.crossbar.effective(noise.map(|n| &n.crossbar));
         let weighted: Vec<Tensor> = steps
             .iter()
-            .map(|x| self.crossbar.forward(x, noise.map(|n| &n.crossbar)))
+            .map(|x| self.crossbar.forward_with(x, &eff))
             .collect();
         let filtered = self
             .filters
             .forward_sequence(&weighted, noise.map(|n| &n.filter));
+        let eta = self.activation.effective_eta(noise.map(|n| &n.ptanh));
         filtered
             .iter()
-            .map(|v| self.activation.forward(v, noise.map(|n| &n.ptanh)))
+            .map(|v| self.activation.forward_with(v, &eta))
             .collect()
+    }
+
+    /// Processes a stacked time-major sequence `[steps·batch, fan_in]`
+    /// through the block as **four** fused graph nodes (crossbar matmul,
+    /// bias/normalization, SO-LF scan, ptanh), instead of `4·steps` per-step
+    /// nodes. Values and parameter gradients are bit-identical to
+    /// [`Ptpb::forward_sequence`].
+    pub fn forward_stacked(
+        &self,
+        stacked: &Tensor,
+        steps: usize,
+        noise: Option<&LayerNoise>,
+    ) -> Tensor {
+        let eff = self.crossbar.effective(noise.map(|n| &n.crossbar));
+        let co = self.filters.coefficients(noise.map(|n| &n.filter));
+        let eta = self.activation.effective_eta(noise.map(|n| &n.ptanh));
+        let weighted = Tensor::bias_div_scan(
+            &Tensor::matmul_scan(stacked, &eff.tw, steps),
+            &eff.tb,
+            &eff.g,
+            steps,
+        );
+        let filtered = self.filters.forward_scan(&weighted, steps, &co);
+        Tensor::ptanh_scan(&filtered, &eta[0], &eta[1], &eta[2], &eta[3], steps)
+    }
+
+    /// Final-layer variant of [`Ptpb::forward_stacked`]: only the last time
+    /// step survives the filter scan and feeds a single `[batch, fan_out]`
+    /// activation — interior read-outs are dead in the per-step graph, so
+    /// none are materialized.
+    pub fn forward_stacked_last(
+        &self,
+        stacked: &Tensor,
+        steps: usize,
+        noise: Option<&LayerNoise>,
+    ) -> Tensor {
+        let eff = self.crossbar.effective(noise.map(|n| &n.crossbar));
+        let co = self.filters.coefficients(noise.map(|n| &n.filter));
+        let eta = self.activation.effective_eta(noise.map(|n| &n.ptanh));
+        let weighted = Tensor::bias_div_scan(
+            &Tensor::matmul_scan(stacked, &eff.tw, steps),
+            &eff.tb,
+            &eff.g,
+            steps,
+        );
+        let filtered = self.filters.forward_scan_last(&weighted, steps, &co);
+        self.activation.forward_with(&filtered, &eta)
     }
 
     /// All trainable parameters of the block.
@@ -93,6 +145,31 @@ impl Ptpb {
     /// The block's activation bank.
     pub fn activation(&self) -> &PtanhActivation {
         &self.activation
+    }
+}
+
+/// How a training/inference forward pass records the autograd tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardMode {
+    /// One graph node per primitive per time step (the original tape).
+    Unfused,
+    /// Whole-sequence scan kernels: one node per primitive per layer,
+    /// bit-identical values and gradients, far fewer allocations.
+    Fused,
+}
+
+impl ForwardMode {
+    /// Reads the mode from `PNC_TRAIN_FUSED` (default: fused). Set
+    /// `PNC_TRAIN_FUSED=0` to fall back to the per-step tape.
+    pub fn from_env() -> Self {
+        match std::env::var("PNC_TRAIN_FUSED") {
+            Ok(v)
+                if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") =>
+            {
+                ForwardMode::Unfused
+            }
+            _ => ForwardMode::Fused,
+        }
     }
 }
 
@@ -231,6 +308,23 @@ impl PrintedModel {
     /// Panics if `steps` is empty or the noise has the wrong number of
     /// layers.
     pub fn forward(&self, steps: &[Tensor], noise: Option<&ModelNoise>) -> Tensor {
+        self.forward_with_mode(steps, noise, ForwardMode::from_env())
+    }
+
+    /// Forward pass with an explicit tape-recording mode. Both modes produce
+    /// bit-identical logits and parameter gradients; [`ForwardMode::Fused`]
+    /// records O(layers) instead of O(layers·steps) graph nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or the noise has the wrong number of
+    /// layers.
+    pub fn forward_with_mode(
+        &self,
+        steps: &[Tensor],
+        noise: Option<&ModelNoise>,
+        mode: ForwardMode,
+    ) -> Tensor {
         assert!(!steps.is_empty(), "empty input sequence");
         if let Some(n) = noise {
             assert_eq!(
@@ -239,13 +333,57 @@ impl PrintedModel {
                 "noise layer count mismatch"
             );
         }
-        let mut seq: Vec<Tensor> = steps.to_vec();
-        for (i, layer) in self.layers.iter().enumerate() {
-            seq = layer.forward_sequence(&seq, noise.map(|n| &n.layers[i]));
+        match mode {
+            ForwardMode::Unfused => {
+                let mut seq: Vec<Tensor> = steps.to_vec();
+                for (i, layer) in self.layers.iter().enumerate() {
+                    seq = layer.forward_sequence(&seq, noise.map(|n| &n.layers[i]));
+                }
+                seq.last()
+                    .expect("non-empty sequence")
+                    .mul_scalar(LOGIT_SCALE)
+            }
+            ForwardMode::Fused => {
+                self.forward_time_major(&Tensor::concat(steps, 0), steps.len(), noise)
+            }
         }
-        seq.last()
-            .expect("non-empty sequence")
-            .mul_scalar(LOGIT_SCALE)
+    }
+
+    /// Fused forward on an already time-major stacked input `[steps·batch, d]`
+    /// (step `t` occupies rows `t·batch..(t+1)·batch`, exactly the layout of
+    /// `Tensor::concat(steps, 0)`). This is the allocation-lean entry the
+    /// Monte-Carlo training loop uses: workers hold inputs as raw `f64`
+    /// buffers and stack once instead of building one tensor per time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero, does not divide the row count, or the
+    /// noise has the wrong number of layers.
+    pub fn forward_time_major(
+        &self,
+        stacked: &Tensor,
+        steps: usize,
+        noise: Option<&ModelNoise>,
+    ) -> Tensor {
+        assert!(steps > 0, "empty input sequence");
+        if let Some(n) = noise {
+            assert_eq!(
+                n.layers.len(),
+                self.layers.len(),
+                "noise layer count mismatch"
+            );
+        }
+        let mut stacked = stacked.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let ln = noise.map(|n| &n.layers[i]);
+            stacked = if i == last {
+                layer.forward_stacked_last(&stacked, steps, ln)
+            } else {
+                layer.forward_stacked(&stacked, steps, ln)
+            };
+        }
+        stacked.mul_scalar(LOGIT_SCALE)
     }
 
     /// Forward pass at nominal (variation-free) conditions.
@@ -346,6 +484,40 @@ mod tests {
         m.forward_nominal(&s).square().sum_all().backward();
         for (i, p) in m.parameters().iter().enumerate() {
             assert!(p.grad_opt().is_some(), "parameter {i} missing gradient");
+        }
+    }
+
+    #[test]
+    fn fused_mode_matches_unfused_bitwise() {
+        for order in [FilterOrder::First, FilterOrder::Second, FilterOrder::Third] {
+            let mut rng = init::rng(8);
+            let m = PrintedModel::new(2, 4, 3, order, &Pdk::paper_default(), &mut rng);
+            let s: Vec<Tensor> = (0..10)
+                .map(|k| Tensor::full(&[3, 2], (k as f64 * 0.7).sin()))
+                .collect();
+            let noise = m.sample_noise(&VariationConfig::paper_default(), &mut rng);
+
+            let a = m.forward_with_mode(&s, Some(&noise), ForwardMode::Unfused);
+            let b = m.forward_with_mode(&s, Some(&noise), ForwardMode::Fused);
+            assert_eq!(a.to_vec(), b.to_vec(), "{order:?}: logits diverged");
+
+            a.square().sum_all().backward();
+            let unfused_grads: Vec<Vec<f64>> = m.parameters().iter().map(|p| p.grad()).collect();
+            for p in m.parameters() {
+                p.zero_grad();
+            }
+            b.square().sum_all().backward();
+            for ((p, want), i) in m.parameters().iter().zip(&unfused_grads).zip(0..) {
+                assert_eq!(&p.grad(), want, "{order:?}: parameter {i} grad diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_mode_env_default_is_fused() {
+        // No env override in the test process ⇒ fused.
+        if std::env::var("PNC_TRAIN_FUSED").is_err() {
+            assert_eq!(ForwardMode::from_env(), ForwardMode::Fused);
         }
     }
 

@@ -119,6 +119,22 @@ impl RawSteps {
             .map(|data| Tensor::from_vec(&self.dims, data.clone()))
             .collect()
     }
+
+    /// Rebuilds the sequence as a single time-major stacked tensor
+    /// `[steps·batch, d]` — the layout `Tensor::concat(steps, 0)` produces —
+    /// plus the step count. The fused training path takes this directly
+    /// into [`PrintedModel::forward_time_major`](crate::models::PrintedModel::forward_time_major)
+    /// instead of materialising one tensor per time step.
+    pub fn to_stacked(&self) -> (Tensor, usize) {
+        let steps = self.steps.len();
+        let mut data = Vec::with_capacity(steps * self.steps[0].len());
+        for s in &self.steps {
+            data.extend_from_slice(s);
+        }
+        let mut dims = self.dims.clone();
+        dims[0] *= steps;
+        (Tensor::from_vec(&dims, data), steps)
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,18 @@ pub struct CrossbarNoise {
     pub eps_d: Tensor,
 }
 
+/// Noise-perturbed conductances and their column normalization, materialized
+/// once per forward pass (one sub-graph shared by every time step).
+#[derive(Debug, Clone)]
+pub struct CrossbarEffective {
+    /// Effective signed input conductances `[fan_in, fan_out]`.
+    pub tw: Tensor,
+    /// Effective signed bias conductances `[fan_out]`.
+    pub tb: Tensor,
+    /// Column normalization `G = Σ|θ_w| + |θ_b| + |θ_d|` `[fan_out]`.
+    pub g: Tensor,
+}
+
 /// A printed crossbar layer with learnable surrogate conductances.
 ///
 /// Conductances are stored in units of [`Pdk::g_unit`] (µS by default) so the
@@ -94,13 +106,13 @@ impl PrintedCrossbar {
     ///
     /// Panics if the input shape does not match.
     pub fn forward(&self, x: &Tensor, noise: Option<&CrossbarNoise>) -> Tensor {
-        assert_eq!(
-            x.dims()[1],
-            self.fan_in,
-            "crossbar expects fan_in {}, got {:?}",
-            self.fan_in,
-            x.dims()
-        );
+        self.forward_with(x, &self.effective(noise))
+    }
+
+    /// Materializes the noise-perturbed conductances and their column
+    /// normalization once, so a whole input sequence can reuse them instead
+    /// of rebuilding the `G` sub-graph per time step.
+    pub fn effective(&self, noise: Option<&CrossbarNoise>) -> CrossbarEffective {
         let (tw, tb, td) = match noise {
             None => (
                 self.theta_w.clone(),
@@ -120,9 +132,25 @@ impl PrintedCrossbar {
             .add(&tb.abs())
             .add(&td.abs())
             .add_scalar(1e-12);
+        CrossbarEffective { tw, tb, g }
+    }
+
+    /// Applies the crossbar using pre-materialized effective conductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match.
+    pub fn forward_with(&self, x: &Tensor, eff: &CrossbarEffective) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.fan_in,
+            "crossbar expects fan_in {}, got {:?}",
+            self.fan_in,
+            x.dims()
+        );
         // V_out = (x·θ_w + θ_b) / G   (signs realize the inverters);
         // fused bias-add + column normalization kernel.
-        Tensor::bias_div(&x.matmul(&tw), &tb, &g)
+        Tensor::bias_div(&x.matmul(&eff.tw), &eff.tb, &eff.g)
     }
 
     /// The trainable parameters `[θ_w, θ_b, θ_d]`.

@@ -66,6 +66,18 @@ pub struct FilterNoise {
     pub v0: Vec<Tensor>,
 }
 
+/// Per-stage recurrence coefficients and initial voltages for one variation
+/// sample, materialized once per forward pass.
+#[derive(Debug, Clone)]
+pub struct FilterCoefficients {
+    /// Decay factors `a = RC/(μRC + Δt)` per stage, each `[width]`.
+    pub a: Vec<Tensor>,
+    /// Input factors `b = Δt/(μRC + Δt)` per stage, each `[width]`.
+    pub b: Vec<Tensor>,
+    /// Initial stage voltages per stage, each `[width]` (zero at nominal).
+    pub v0: Vec<Tensor>,
+}
+
 /// A bank of `width` independent learnable low-pass filters.
 #[derive(Debug, Clone)]
 pub struct FilterBank {
@@ -149,6 +161,42 @@ impl FilterBank {
         self.order.stages() * self.width
     }
 
+    /// Materializes the per-stage recurrence coefficients `a`, `b` and the
+    /// initial voltages `V₀` (each `[width]`) for one variation sample — the
+    /// sub-graph shared by every time step of a forward pass. Differentiable
+    /// through R and C; μ and V₀ are not trainable (§III-A).
+    pub fn coefficients(&self, noise: Option<&FilterNoise>) -> FilterCoefficients {
+        let stages = self.order.stages();
+        let mut coeff_a = Vec::with_capacity(stages);
+        let mut coeff_b = Vec::with_capacity(stages);
+        let mut v0s = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let mut r = self.log_r[s].exp();
+            let mut c = self.log_c[s].exp();
+            if let Some(n) = noise {
+                r = r.mul(&n.eps_r[s]);
+                c = c.mul(&n.eps_c[s]);
+            }
+            let rc = r.mul(&c);
+            let mu = match noise {
+                Some(n) => n.mu[s].clone(),
+                None => Tensor::full(&[self.width], self.mu_nominal),
+            };
+            let denom = mu.mul(&rc).add_scalar(self.dt);
+            coeff_a.push(rc.div(&denom));
+            coeff_b.push(denom.powf(-1.0).mul_scalar(self.dt));
+            v0s.push(match noise {
+                Some(n) => n.v0[s].clone(),
+                None => Tensor::zeros(&[self.width]),
+            });
+        }
+        FilterCoefficients {
+            a: coeff_a,
+            b: coeff_b,
+            v0: v0s,
+        }
+    }
+
     /// Filters a sequence of `[batch, width]` tensors, returning the filtered
     /// sequence (same length). Differentiable through R and C.
     ///
@@ -166,46 +214,51 @@ impl FilterBank {
         );
         let batch = steps[0].dims()[0];
         let stages = self.order.stages();
-
-        // Per-stage recurrence coefficients a, b : [width].
-        let mut coeff_a = Vec::with_capacity(stages);
-        let mut coeff_b = Vec::with_capacity(stages);
-        let mut states = Vec::with_capacity(stages);
-        for s in 0..stages {
-            let mut r = self.log_r[s].exp();
-            let mut c = self.log_c[s].exp();
-            if let Some(n) = noise {
-                r = r.mul(&n.eps_r[s]);
-                c = c.mul(&n.eps_c[s]);
-            }
-            let rc = r.mul(&c);
-            let mu = match noise {
-                Some(n) => n.mu[s].clone(),
-                None => Tensor::full(&[self.width], self.mu_nominal),
-            };
-            let denom = mu.mul(&rc).add_scalar(self.dt);
-            coeff_a.push(rc.div(&denom));
-            coeff_b.push(denom.powf(-1.0).mul_scalar(self.dt));
-            // Initial stage voltage broadcast over the batch.
-            let v0 = match noise {
-                Some(n) => n.v0[s].clone(),
-                None => Tensor::zeros(&[self.width]),
-            };
-            states.push(Tensor::zeros(&[batch, self.width]).add(&v0));
-        }
+        let co = self.coefficients(noise);
+        // Initial stage voltages broadcast over the batch.
+        let mut states: Vec<Tensor> = co
+            .v0
+            .iter()
+            .map(|v0| Tensor::zeros(&[batch, self.width]).add(v0))
+            .collect();
 
         let mut out = Vec::with_capacity(steps.len());
         for x in steps {
             let mut stage_in = x.clone();
-            for s in 0..stages {
+            for (state, (a, b)) in states.iter_mut().zip(co.a.iter().zip(&co.b)) {
                 // Fused a⊙state + b⊙input kernel (one node per stage-step).
-                let next = Tensor::filter_step(&states[s], &coeff_a[s], &stage_in, &coeff_b[s]);
-                states[s] = next;
-                stage_in = states[s].clone();
+                *state = Tensor::filter_step(state, a, &stage_in, b);
+                stage_in = state.clone();
             }
             out.push(states[stages - 1].clone());
         }
         out
+    }
+
+    /// Filters a whole stacked sequence `[steps·batch, width]` (time-major)
+    /// as **one** graph node, returning every step's output. Bit-identical to
+    /// [`FilterBank::forward_sequence`] in values and gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stacked shape does not match the bank.
+    pub fn forward_scan(&self, stacked: &Tensor, steps: usize, co: &FilterCoefficients) -> Tensor {
+        Tensor::filter_scan(stacked, &co.a, &co.b, &co.v0, steps)
+    }
+
+    /// Like [`FilterBank::forward_scan`] but returns only the final time step
+    /// `[batch, width]` — the classification read-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stacked shape does not match the bank.
+    pub fn forward_scan_last(
+        &self,
+        stacked: &Tensor,
+        steps: usize,
+        co: &FilterCoefficients,
+    ) -> Tensor {
+        Tensor::filter_scan_last(stacked, &co.a, &co.b, &co.v0, steps)
     }
 
     /// The trainable parameters (log R then log C per stage).

@@ -57,14 +57,14 @@ impl PtanhActivation {
     ///
     /// Panics if the input width does not match.
     pub fn forward(&self, x: &Tensor, noise: Option<&PtanhNoise>) -> Tensor {
-        assert_eq!(
-            x.dims()[1],
-            self.width,
-            "ptanh bank width {} does not match input {:?}",
-            self.width,
-            x.dims()
-        );
-        let eta: Vec<Tensor> = match noise {
+        self.forward_with(x, &self.effective_eta(noise))
+    }
+
+    /// Materializes the noise-perturbed η tensors once, so a whole input
+    /// sequence can reuse them instead of rebuilding the `η·ε` nodes per
+    /// time step.
+    pub fn effective_eta(&self, noise: Option<&PtanhNoise>) -> Vec<Tensor> {
+        match noise {
             None => self.eta.to_vec(),
             Some(n) => self
                 .eta
@@ -72,7 +72,22 @@ impl PtanhActivation {
                 .zip(&n.eps)
                 .map(|(e, eps)| e.mul(eps))
                 .collect(),
-        };
+        }
+    }
+
+    /// Applies the bank using pre-materialized effective η.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match.
+    pub fn forward_with(&self, x: &Tensor, eta: &[Tensor]) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.width,
+            "ptanh bank width {} does not match input {:?}",
+            self.width,
+            x.dims()
+        );
         // η₁ + η₂·tanh((x − η₃)·η₄) with row-broadcast η (fused kernel).
         Tensor::ptanh(x, &eta[0], &eta[1], &eta[2], &eta[3])
     }

@@ -39,6 +39,7 @@ pub mod metrics;
 mod optim;
 mod schedule;
 mod sgd;
+pub mod timing;
 mod trainer;
 pub mod tune;
 

@@ -1,0 +1,130 @@
+//! Programmatic epoch-timing capture for training benchmarks.
+//!
+//! [`Trainer::run`](crate::Trainer::run) measures wall-clock time per epoch
+//! **only** while a capture scope is active on the calling thread, so
+//! ordinary training (and every determinism test) never touches the clock
+//! and [`TrainReport`](crate::TrainReport) stays free of wall-clock fields.
+//! Benchmarks wrap training runs in [`begin_capture`]/[`end_capture`] and
+//! read epochs-per-second from the returned [`EpochCapture`].
+//!
+//! The capture state is thread-local: the trainer loop runs on the calling
+//! thread (only the Monte-Carlo fan-out uses workers), so nested or parallel
+//! benchmark runs on different threads do not interfere.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static EPOCHS: Cell<usize> = const { Cell::new(0) };
+    static SECONDS: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Accumulated epoch timings of one capture scope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochCapture {
+    /// Epochs timed inside the scope.
+    pub epochs: usize,
+    /// Total wall-clock seconds spent in those epochs.
+    pub seconds: f64,
+}
+
+impl EpochCapture {
+    /// Epochs per second (0 when nothing was timed).
+    pub fn epochs_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.epochs as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean seconds per epoch (0 when nothing was timed).
+    pub fn seconds_per_epoch(&self) -> f64 {
+        if self.epochs > 0 {
+            self.seconds / self.epochs as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Starts (or restarts) an epoch-timing capture scope on this thread.
+pub fn begin_capture() {
+    CAPTURING.with(|c| c.set(true));
+    EPOCHS.with(|c| c.set(0));
+    SECONDS.with(|c| c.set(0.0));
+}
+
+/// Ends the capture scope and returns the accumulated timings.
+pub fn end_capture() -> EpochCapture {
+    CAPTURING.with(|c| c.set(false));
+    EpochCapture {
+        epochs: EPOCHS.with(|c| c.get()),
+        seconds: SECONDS.with(|c| c.get()),
+    }
+}
+
+/// Whether an epoch-timing capture scope is active on this thread.
+pub fn is_capturing() -> bool {
+    CAPTURING.with(|c| c.get())
+}
+
+/// A started timer when capturing, `None` otherwise — the trainer calls this
+/// at the top of each epoch so idle runs never touch the clock.
+pub fn epoch_timer() -> Option<Instant> {
+    if is_capturing() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Records one epoch's wall-clock duration into the active scope (no-op when
+/// not capturing).
+pub fn record_epoch(seconds: f64) {
+    if is_capturing() {
+        EPOCHS.with(|c| c.set(c.get() + 1));
+        SECONDS.with(|c| c.set(c.get() + seconds));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_accumulates_epochs() {
+        begin_capture();
+        assert!(is_capturing());
+        record_epoch(0.5);
+        record_epoch(0.25);
+        let cap = end_capture();
+        assert!(!is_capturing());
+        assert_eq!(cap.epochs, 2);
+        assert!((cap.seconds - 0.75).abs() < 1e-12);
+        assert!((cap.seconds_per_epoch() - 0.375).abs() < 1e-12);
+        assert!((cap.epochs_per_sec() - 2.0 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_outside_scope_is_noop() {
+        let _ = end_capture(); // ensure closed
+        record_epoch(10.0);
+        begin_capture();
+        let cap = end_capture();
+        assert_eq!(cap.epochs, 0);
+        assert_eq!(cap.seconds, 0.0);
+        assert_eq!(cap.epochs_per_sec(), 0.0);
+        assert_eq!(cap.seconds_per_epoch(), 0.0);
+    }
+
+    #[test]
+    fn timer_only_exists_while_capturing() {
+        let _ = end_capture();
+        assert!(epoch_timer().is_none());
+        begin_capture();
+        assert!(epoch_timer().is_some());
+        let _ = end_capture();
+    }
+}

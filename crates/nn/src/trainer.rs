@@ -181,6 +181,9 @@ impl Trainer {
         let mut skipped_steps = 0usize;
         let mut clipped_steps = 0usize;
         for epoch in 0..self.max_epochs {
+            // Some(started timer) only inside a benchmark capture scope —
+            // ordinary runs never read the clock.
+            let epoch_timer = crate::timing::epoch_timer();
             epochs = epoch + 1;
             opt.zero_grad();
             let loss = objective.train_loss(&mut EpochCtx {
@@ -242,6 +245,9 @@ impl Trainer {
                 for (snap, p) in best_snapshot.iter_mut().zip(&params) {
                     *snap = p.to_vec();
                 }
+            }
+            if let Some(t0) = epoch_timer {
+                crate::timing::record_epoch(t0.elapsed().as_secs_f64());
             }
             match schedule.observe(v) {
                 ScheduleAction::Continue => {}

@@ -68,6 +68,54 @@ pub fn check(f: impl Fn() -> Tensor, params: &[Tensor], tol: Scalar) {
     }
 }
 
+/// Verifies that two computation-graph variants of the same scalar loss
+/// (e.g. fused scan kernels vs the per-step node chain) produce matching
+/// analytic gradients on paired parameter lists.
+///
+/// Both closures are rebuilt and back-propagated from scratch; gradients are
+/// compared element-wise in the normalized metric `|a − b| / max(1, |a|,
+/// |b|)`. Use `tol = 0.0` to demand bitwise identity.
+///
+/// # Panics
+///
+/// Panics if the losses' values differ, the parameter lists are not paired
+/// shape-for-shape, or any gradient element disagrees beyond `tol`.
+pub fn compare(
+    f: impl Fn() -> Tensor,
+    g: impl Fn() -> Tensor,
+    params_f: &[Tensor],
+    params_g: &[Tensor],
+    tol: Scalar,
+) {
+    assert_eq!(
+        params_f.len(),
+        params_g.len(),
+        "parameter lists must be paired"
+    );
+    for p in params_f.iter().chain(params_g) {
+        p.zero_grad();
+    }
+    let (lf, lg) = (f(), g());
+    assert_eq!(lf.len(), 1, "compare target must be scalar");
+    assert_eq!(lg.len(), 1, "compare target must be scalar");
+    assert_eq!(lf.item(), lg.item(), "loss values differ between variants");
+    lf.backward();
+    lg.backward();
+    for (pi, (pf, pg)) in params_f.iter().zip(params_g).enumerate() {
+        assert_eq!(pf.len(), pg.len(), "param {pi} length mismatch");
+        let (ga, gb) = (pf.grad(), pg.grad());
+        for i in 0..ga.len() {
+            let (a, b) = (ga[i], gb[i]);
+            let denom = a.abs().max(b.abs()).max(1.0);
+            let err = (a - b).abs() / denom;
+            assert!(
+                err <= tol,
+                "gradient divergence: param {pi} element {i}: {a} vs {b}, err={err}"
+            );
+        }
+    }
+}
+
 /// Convenience wrapper checking a single unary op at the given probe points.
 ///
 /// # Panics

@@ -1,5 +1,6 @@
 //! Reverse-mode differentiation over the dynamically recorded graph.
 
+use std::cell::Cell;
 use std::collections::HashSet;
 
 use crate::tensor::Tensor;
@@ -9,6 +10,36 @@ use crate::Scalar;
 /// and value (`out_data`) and is responsible for accumulating adjoints into
 /// the parent tensors it captured at record time.
 pub(crate) type BackwardFn = Box<dyn Fn(&[Scalar], &[Scalar])>;
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether ops on this thread currently record backward rules.
+pub fn is_grad_enabled() -> bool {
+    GRAD_ENABLED.with(|c| c.get())
+}
+
+/// Disables tape recording on this thread until the returned guard drops.
+/// Forward values are unchanged; ops simply skip closures, stashes and
+/// parent retention, so gradient-free evaluation (validation losses, model
+/// selection) costs pure math. Guards nest.
+#[must_use = "tape recording re-enables when the guard drops"]
+pub fn no_grad() -> NoGradGuard {
+    let was = GRAD_ENABLED.with(|c| c.replace(false));
+    NoGradGuard { was }
+}
+
+/// RAII guard of [`no_grad`]; restores the previous recording state on drop.
+pub struct NoGradGuard {
+    was: bool,
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        GRAD_ENABLED.with(|c| c.set(self.was));
+    }
+}
 
 impl Tensor {
     /// Runs reverse-mode differentiation from this tensor.
@@ -48,20 +79,28 @@ impl Tensor {
         let order = topological_order(self);
         self.accumulate_grad(seed);
         for node in order.iter().rev() {
-            let grad = match node.inner.grad.borrow().clone() {
-                Some(g) => g,
-                None => continue, // branch not reached by the adjoint
+            // Borrow, don't clone: a backward closure only ever touches its
+            // *parents'* `data`/`grad` cells, never the output node's own
+            // (the output tensor does not exist when the closure is created,
+            // so it cannot be captured), so holding these borrows across the
+            // call cannot conflict.
+            let grad = node.inner.grad.borrow();
+            let Some(grad) = grad.as_deref() else {
+                continue; // branch not reached by the adjoint
             };
             if let Some(backward) = &node.inner.backward {
-                let data = node.inner.data.borrow().clone();
-                backward(&grad, &data);
+                let data = node.inner.data.borrow();
+                backward(grad, &data);
             }
         }
         // Free intermediate gradients so repeated backward calls on fresh
-        // graphs do not read stale adjoints; keep leaves (parameters).
+        // graphs do not read stale adjoints; keep leaves (parameters). The
+        // freed buffers go back to the pool for the next pass.
         for node in order {
             if node.inner.backward.is_some() {
-                *node.inner.grad.borrow_mut() = None;
+                if let Some(g) = node.inner.grad.borrow_mut().take() {
+                    crate::pool::recycle(g);
+                }
             }
         }
     }
@@ -92,6 +131,36 @@ fn topological_order(root: &Tensor) -> Vec<Tensor> {
 #[cfg(test)]
 mod tests {
     use crate::Tensor;
+
+    #[test]
+    fn no_grad_skips_recording_but_not_values() {
+        let x = Tensor::leaf(&[2], vec![1.0, 3.0]);
+        let with_tape = x.mul_scalar(2.0).mul(&x).sum_all();
+        let without_tape = {
+            let _guard = crate::no_grad();
+            x.mul_scalar(2.0).mul(&x).sum_all()
+        };
+        assert_eq!(with_tape.item(), without_tape.item());
+        without_tape.backward(); // detached root: a no-op
+        assert_eq!(x.grad_opt(), None);
+        with_tape.backward(); // recording was restored by the guard drop
+        assert_eq!(x.grad(), vec![4.0, 12.0]);
+    }
+
+    #[test]
+    fn no_grad_guards_nest() {
+        assert!(crate::is_grad_enabled());
+        {
+            let _outer = crate::no_grad();
+            assert!(!crate::is_grad_enabled());
+            {
+                let _inner = crate::no_grad();
+                assert!(!crate::is_grad_enabled());
+            }
+            assert!(!crate::is_grad_enabled());
+        }
+        assert!(crate::is_grad_enabled());
+    }
 
     #[test]
     fn chain_rule_two_ops() {

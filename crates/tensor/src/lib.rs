@@ -10,7 +10,9 @@
 //!   the nonlinearities used by printed circuits (`tanh`, `abs`, `exp`, `ln`),
 //!   and a numerically stable fused [`Tensor::log_softmax`],
 //! * numerical gradient checking ([`gradcheck`]) used extensively by the test
-//!   suite.
+//!   suite,
+//! * a buffer [`pool`] that recycles tape allocations across the repeated
+//!   forward/backward passes of Monte-Carlo training.
 //!
 //! The design mirrors a miniature PyTorch: leaf tensors created with
 //! [`Tensor::leaf`] (or [`Tensor::from_vec`] + [`Tensor::requires_grad`])
@@ -37,7 +39,9 @@ mod tensor;
 
 pub mod gradcheck;
 pub mod init;
+pub mod pool;
 
+pub use graph::{is_grad_enabled, no_grad, NoGradGuard};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
 

@@ -5,7 +5,7 @@ use std::rc::Rc;
 use crate::ops::make_node;
 use crate::shape::{broadcast_offset, broadcast_shapes, indices};
 use crate::tensor::Tensor;
-use crate::{Scalar, Shape};
+use crate::{pool, Scalar, Shape};
 
 /// How each output element maps to source elements of the two inputs.
 enum BroadcastPlan {
@@ -94,22 +94,22 @@ fn binary_op(
     let da = a.data();
     let db = b.data();
     let n = out_shape.len();
-    let mut out = Vec::with_capacity(n);
+    let mut out = pool::take_uninit(n);
     match &plan {
         BroadcastPlan::SameShape => {
-            for i in 0..n {
-                out.push(f(da[i], db[i]));
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f(da[i], db[i]);
             }
         }
         BroadcastPlan::RowBroadcastB { cols } => {
-            for i in 0..n {
-                out.push(f(da[i], db[i % cols]));
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f(da[i], db[i % cols]);
             }
         }
         _ => {
-            for i in 0..n {
+            for (i, o) in out.iter_mut().enumerate() {
                 let (oa, ob) = plan.offsets(i);
-                out.push(f(da[oa], db[ob]));
+                *o = f(da[oa], db[ob]);
             }
         }
     }
@@ -124,8 +124,8 @@ fn binary_op(
         move |out_grad, _| {
             let da = pa.data();
             let db = pb.data();
-            let mut ga = vec![0.0; pa.len()];
-            let mut gb = vec![0.0; pb.len()];
+            let mut ga = pool::take_zeroed(pa.len());
+            let mut gb = pool::take_zeroed(pb.len());
             for (i, &g) in out_grad.iter().enumerate() {
                 let (oa, ob) = plan.offsets(i);
                 let (dga, dgb) = df(da[oa], db[ob], g);
@@ -135,10 +135,14 @@ fn binary_op(
             drop(da);
             drop(db);
             if pa.inner.requires_grad {
-                pa.accumulate_grad(&ga);
+                pa.accumulate_grad_owned(ga);
+            } else {
+                pool::recycle(ga);
             }
             if pb.inner.requires_grad {
-                pb.accumulate_grad(&gb);
+                pb.accumulate_grad_owned(gb);
+            } else {
+                pool::recycle(gb);
             }
         },
     )
@@ -199,7 +203,10 @@ impl Tensor {
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: Scalar) -> Tensor {
-        let out: Vec<Scalar> = self.data().iter().map(|&v| v + s).collect();
+        let out = {
+            let d = self.data();
+            pool::filled_with(d.len(), |i| d[i] + s)
+        };
         let p = self.clone();
         make_node(
             self.shape().clone(),
@@ -213,15 +220,18 @@ impl Tensor {
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: Scalar) -> Tensor {
-        let out: Vec<Scalar> = self.data().iter().map(|&v| v * s).collect();
+        let out = {
+            let d = self.data();
+            pool::filled_with(d.len(), |i| d[i] * s)
+        };
         let p = self.clone();
         make_node(
             self.shape().clone(),
             out,
             vec![self.clone()],
             move |g, _| {
-                let scaled: Vec<Scalar> = g.iter().map(|&v| v * s).collect();
-                p.accumulate_grad(&scaled);
+                let scaled = pool::filled_with(g.len(), |i| g[i] * s);
+                p.accumulate_grad_owned(scaled);
             },
         )
     }

@@ -8,7 +8,7 @@
 
 use crate::ops::make_node;
 use crate::tensor::Tensor;
-use crate::Scalar;
+use crate::{pool, Scalar};
 
 /// Checks that `row` is a `[cols]` vector matching `x`'s last axis.
 fn expect_row(x: &Tensor, row: &Tensor, what: &str) -> usize {
@@ -43,9 +43,7 @@ impl Tensor {
             let id = input.data();
             let ad = a.data();
             let bd = b.data();
-            (0..n)
-                .map(|i| ad[i % cols] * sd[i] + bd[i % cols] * id[i])
-                .collect()
+            pool::filled_with(n, |i| ad[i % cols] * sd[i] + bd[i % cols] * id[i])
         };
 
         let (ps, pa, pi, pb) = (state.clone(), a.clone(), input.clone(), b.clone());
@@ -59,32 +57,32 @@ impl Tensor {
                 let ad = pa.data();
                 let bd = pb.data();
                 if ps.inner.requires_grad {
-                    let gs: Vec<Scalar> = (0..n).map(|i| g[i] * ad[i % cols]).collect();
+                    let gs = pool::filled_with(n, |i| g[i] * ad[i % cols]);
                     drop(ad);
-                    ps.accumulate_grad(&gs);
+                    ps.accumulate_grad_owned(gs);
                 } else {
                     drop(ad);
                 }
                 if pi.inner.requires_grad {
-                    let gi: Vec<Scalar> = (0..n).map(|i| g[i] * bd[i % cols]).collect();
+                    let gi = pool::filled_with(n, |i| g[i] * bd[i % cols]);
                     drop(bd);
-                    pi.accumulate_grad(&gi);
+                    pi.accumulate_grad_owned(gi);
                 } else {
                     drop(bd);
                 }
                 if pa.inner.requires_grad {
-                    let mut ga = vec![0.0; cols];
+                    let mut ga = pool::take_zeroed(cols);
                     for i in 0..n {
                         ga[i % cols] += g[i] * sd[i];
                     }
-                    pa.accumulate_grad(&ga);
+                    pa.accumulate_grad_owned(ga);
                 }
                 if pb.inner.requires_grad {
-                    let mut gb = vec![0.0; cols];
+                    let mut gb = pool::take_zeroed(cols);
                     for i in 0..n {
                         gb[i % cols] += g[i] * id[i];
                     }
-                    pb.accumulate_grad(&gb);
+                    pb.accumulate_grad_owned(gb);
                 }
             },
         )
@@ -105,12 +103,10 @@ impl Tensor {
         let out: Vec<Scalar> = {
             let xd = x.data();
             let (e1, e2, e3, e4) = (eta1.data(), eta2.data(), eta3.data(), eta4.data());
-            (0..n)
-                .map(|i| {
-                    let j = i % cols;
-                    e1[j] + e2[j] * ((xd[i] - e3[j]) * e4[j]).tanh()
-                })
-                .collect()
+            pool::filled_with(n, |i| {
+                let j = i % cols;
+                e1[j] + e2[j] * ((xd[i] - e3[j]) * e4[j]).tanh()
+            })
         };
 
         let (px, p1, p2, p3, p4) = (
@@ -133,11 +129,11 @@ impl Tensor {
             move |g, _| {
                 let xd = px.data();
                 let (e1, e2, e3, e4) = (p1.data(), p2.data(), p3.data(), p4.data());
-                let mut gx = vec![0.0; n];
-                let mut g1 = vec![0.0; cols];
-                let mut g2 = vec![0.0; cols];
-                let mut g3 = vec![0.0; cols];
-                let mut g4 = vec![0.0; cols];
+                let mut gx = pool::take_uninit(n);
+                let mut g1 = pool::take_zeroed(cols);
+                let mut g2 = pool::take_zeroed(cols);
+                let mut g3 = pool::take_zeroed(cols);
+                let mut g4 = pool::take_zeroed(cols);
                 for i in 0..n {
                     let j = i % cols;
                     let z = (xd[i] - e3[j]) * e4[j];
@@ -152,19 +148,21 @@ impl Tensor {
                 let _ = e1;
                 drop(xd);
                 if px.inner.requires_grad {
-                    px.accumulate_grad(&gx);
+                    px.accumulate_grad_owned(gx);
+                } else {
+                    pool::recycle(gx);
                 }
                 if p1.inner.requires_grad {
-                    p1.accumulate_grad(&g1);
+                    p1.accumulate_grad_owned(g1);
                 }
                 if p2.inner.requires_grad {
-                    p2.accumulate_grad(&g2);
+                    p2.accumulate_grad_owned(g2);
                 }
                 if p3.inner.requires_grad {
-                    p3.accumulate_grad(&g3);
+                    p3.accumulate_grad_owned(g3);
                 }
                 if p4.inner.requires_grad {
-                    p4.accumulate_grad(&g4);
+                    p4.accumulate_grad_owned(g4);
                 }
             },
         )
@@ -184,35 +182,40 @@ impl Tensor {
             let xd = x.data();
             let bd = b.data();
             let gd = g.data();
-            (0..n)
-                .map(|i| (xd[i] + bd[i % cols]) / gd[i % cols])
-                .collect()
+            pool::filled_with(n, |i| (xd[i] + bd[i % cols]) / gd[i % cols])
         };
         let (px, pb, pg) = (x.clone(), b.clone(), g.clone());
+        // Parent order is [g, b, x] — deliberately: the reverse-DFS over the
+        // graph posts a node's first parent deepest, so putting the divisor's
+        // conductance-sum chain *first* makes its backward closures run after
+        // every matmul consumer of the crossbar weights. That keeps the
+        // accumulation order into shared weight tensors identical between the
+        // per-step graph and the whole-sequence scan ops, which the
+        // fused-vs-unfused bit-identity contract relies on.
         make_node(
             x.shape().clone(),
             out,
-            vec![x.clone(), b.clone(), g.clone()],
+            vec![g.clone(), b.clone(), x.clone()],
             move |grad, out_data| {
                 let gd = pg.data();
                 if px.inner.requires_grad {
-                    let gx: Vec<Scalar> = (0..n).map(|i| grad[i] / gd[i % cols]).collect();
-                    px.accumulate_grad(&gx);
+                    let gx = pool::filled_with(n, |i| grad[i] / gd[i % cols]);
+                    px.accumulate_grad_owned(gx);
                 }
                 if pb.inner.requires_grad {
-                    let mut gb = vec![0.0; cols];
+                    let mut gb = pool::take_zeroed(cols);
                     for i in 0..n {
                         gb[i % cols] += grad[i] / gd[i % cols];
                     }
-                    pb.accumulate_grad(&gb);
+                    pb.accumulate_grad_owned(gb);
                 }
                 if pg.inner.requires_grad {
                     // d/dg [(x+b)/g] = −(x+b)/g² = −out/g
-                    let mut gg = vec![0.0; cols];
+                    let mut gg = pool::take_zeroed(cols);
                     for i in 0..n {
                         gg[i % cols] += -grad[i] * out_data[i] / gd[i % cols];
                     }
-                    pg.accumulate_grad(&gg);
+                    pg.accumulate_grad_owned(gg);
                 }
             },
         )

@@ -2,9 +2,9 @@
 
 use crate::ops::make_node;
 use crate::tensor::Tensor;
-use crate::{Scalar, Shape};
+use crate::{pool, Scalar, Shape};
 
-fn mat_mul_raw(
+pub(crate) fn mat_mul_raw(
     a: &[Scalar],
     b: &[Scalar],
     n: usize,
@@ -16,7 +16,7 @@ fn mat_mul_raw(
     // out[i,j] = sum_l A[i,l] * B[l,j] with optional transposes of the
     // *stored* operands: if transpose_a, the stored a is [k, n]; if
     // transpose_b, the stored b is [m, k].
-    let mut out = vec![0.0; n * m];
+    let mut out = pool::take_zeroed(n * m);
     for i in 0..n {
         for l in 0..k {
             let av = if transpose_a {
@@ -78,12 +78,12 @@ impl Tensor {
                 // dA = G · Bᵀ : [n,m] × [m,k]
                 if pa.inner.requires_grad {
                     let ga = mat_mul_raw(g, &pb.data(), n, m, k, false, true);
-                    pa.accumulate_grad(&ga);
+                    pa.accumulate_grad_owned(ga);
                 }
                 // dB = Aᵀ · G : [k,n] × [n,m]
                 if pb.inner.requires_grad {
                     let gb = mat_mul_raw(&pa.data(), g, k, n, m, true, false);
-                    pb.accumulate_grad(&gb);
+                    pb.accumulate_grad_owned(gb);
                 }
             },
         )

@@ -12,13 +12,17 @@
 //! * [`softmax`] — numerically stable fused `log_softmax`,
 //! * [`shape_ops`] — reshape/transpose/select/concat/stack,
 //! * [`fused`] — single-node kernels for the printed-circuit hot paths
-//!   (`filter_step`, `ptanh`, `bias_div`).
+//!   (`filter_step`, `ptanh`, `bias_div`),
+//! * [`scan`] — whole-sequence BPTT kernels (`matmul_scan`, `bias_div_scan`,
+//!   `filter_scan`, `filter_scan_last`, `ptanh_scan`) that record the entire
+//!   T-step recurrence as one node with analytic, bit-parity backward rules.
 
 pub(crate) mod elementwise;
 pub(crate) mod extrema;
 pub(crate) mod fused;
 pub(crate) mod matmul;
 pub(crate) mod reduce;
+pub(crate) mod scan;
 pub(crate) mod shape_ops;
 pub(crate) mod softmax;
 pub(crate) mod unary;
@@ -35,7 +39,8 @@ pub(crate) fn make_node(
     parents: Vec<Tensor>,
     backward: impl Fn(&[Scalar], &[Scalar]) + 'static,
 ) -> Tensor {
-    let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
+    let requires_grad =
+        crate::graph::is_grad_enabled() && parents.iter().any(|p| p.inner.requires_grad);
     if requires_grad {
         let parents_for_sort = parents.clone();
         let bw: BackwardFn = Box::new(backward);

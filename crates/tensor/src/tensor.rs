@@ -209,7 +209,8 @@ impl Tensor {
     /// Panics if `data` has the wrong length.
     pub fn set_data(&self, data: Vec<Scalar>) {
         assert_eq!(data.len(), self.len(), "set_data length mismatch");
-        *self.inner.data.borrow_mut() = data;
+        let old = std::mem::replace(&mut *self.inner.data.borrow_mut(), data);
+        crate::pool::recycle(old);
     }
 
     /// Applies `f` to every element of the buffer in place.
@@ -245,7 +246,9 @@ impl Tensor {
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        if let Some(g) = self.inner.grad.borrow_mut().take() {
+            crate::pool::recycle(g);
+        }
     }
 
     /// Scales the accumulated gradient in place (no-op when there is none).
@@ -267,7 +270,27 @@ impl Tensor {
                     *a += b;
                 }
             }
-            None => *slot = Some(g.to_vec()),
+            None => *slot = Some(crate::pool::take_copy(g)),
+        }
+    }
+
+    /// Like [`Tensor::accumulate_grad`] but takes ownership of the buffer:
+    /// the first contribution is *moved* into the gradient slot (zero-copy)
+    /// and later contributions are added then recycled. Numerically identical
+    /// to `accumulate_grad` — the first contribution has copy semantics in
+    /// both, so −0.0 totals are preserved bit-for-bit.
+    pub(crate) fn accumulate_grad_owned(&self, g: Vec<Scalar>) {
+        debug_assert_eq!(g.len(), self.len());
+        let mut slot = self.inner.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(acc) => {
+                for (a, &b) in acc.iter_mut().zip(&g) {
+                    *a += b;
+                }
+                drop(slot);
+                crate::pool::recycle(g);
+            }
+            None => *slot = Some(g),
         }
     }
 }
@@ -277,6 +300,13 @@ impl Drop for Inner {
     /// layer, thousands of nodes) would otherwise overflow the stack through
     /// recursive `Rc` drops.
     fn drop(&mut self) {
+        // Reclaim this node's buffers for the pool first: the teardown loop
+        // below re-enters this Drop with `parents` already emptied, so
+        // reclamation must happen before the early return.
+        crate::pool::recycle(std::mem::take(self.data.get_mut()));
+        if let Some(g) = self.grad.get_mut().take() {
+            crate::pool::recycle(g);
+        }
         if self.parents.is_empty() {
             return;
         }

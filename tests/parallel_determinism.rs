@@ -15,34 +15,47 @@ fn quick_split(name: &str) -> DataSplit {
 }
 
 #[test]
-fn variation_aware_training_is_identical_across_thread_counts() {
+fn variation_aware_training_is_identical_across_thread_counts_and_tapes() {
+    // The reference run: fused tape, serial runner. Every other point of the
+    // (threads × tape-mode) grid must reproduce it bit-for-bit — the fused
+    // scan kernels fold gradients in exactly the per-step accumulation
+    // order, and the counter-based RNG streams never depend on scheduling.
     let split = quick_split("GPOVY");
-    let cfg = TrainConfig::adapt_pnc(4)
+    let base = TrainConfig::adapt_pnc(4)
         .to_builder()
         .max_epochs(8)
-        .mc_samples(3)
-        .build();
+        .mc_samples(3);
 
-    let serial = train_with_runner(&split, &cfg, 0, &ParallelRunner::serial());
-    for threads in [2, 4] {
-        let runner = ParallelRunner::serial().with_threads(threads);
-        let parallel = train_with_runner(&split, &cfg, 0, &runner);
-        assert_eq!(
-            serial.report.val_history, parallel.report.val_history,
-            "validation history diverged at {threads} threads"
-        );
-        assert_eq!(serial.report.best_epoch, parallel.report.best_epoch);
-        for (a, b) in serial
-            .model
-            .parameters()
-            .iter()
-            .zip(parallel.model.parameters())
-        {
+    let reference = train_with_runner(
+        &split,
+        &base.clone().train_fused(true).build(),
+        0,
+        &ParallelRunner::serial(),
+    );
+    for fused in [true, false] {
+        let cfg = base.clone().train_fused(fused).build();
+        for threads in [1, 2, 5] {
+            if fused && threads == 1 {
+                continue; // the reference itself
+            }
+            let runner = ParallelRunner::serial().with_threads(threads);
+            let run = train_with_runner(&split, &cfg, 0, &runner);
             assert_eq!(
-                a.to_vec(),
-                b.to_vec(),
-                "trained parameters diverged at {threads} threads"
+                reference.report, run.report,
+                "training report diverged at {threads} threads, fused={fused}"
             );
+            for (a, b) in reference
+                .model
+                .parameters()
+                .iter()
+                .zip(run.model.parameters())
+            {
+                assert_eq!(
+                    a.to_vec(),
+                    b.to_vec(),
+                    "trained parameters diverged at {threads} threads, fused={fused}"
+                );
+            }
         }
     }
 }
