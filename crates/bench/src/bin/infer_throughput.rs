@@ -131,7 +131,9 @@ fn run() {
         &Pdk::paper_default(),
         &mut init::rng(0),
     );
-    let engine = serve::freeze(&model).expect("fresh model has finite parameters");
+    let engine = serve::ServeModel::from_live(&model)
+        .expect("fresh model has finite parameters")
+        .into_engine();
 
     // One shared input pool: `seqs` univariate sequences of `steps` samples.
     let series: Vec<Vec<f64>> = (0..wl.seqs)
@@ -169,20 +171,24 @@ fn run() {
     });
 
     // Path 2: graph-free, one sequence per forward, scratch reused.
-    let mut scratch = engine.make_scratch(1);
+    let mut scratch = engine.make_scratch(1).expect("batch of one");
     let mut out = vec![0.0; wl.classes];
     let mut seq = 0;
     let graphfree = measure("graphfree", wl.seqs, 1, || {
-        engine.run_batch_into(&series[seq % wl.seqs], 1, &mut scratch, &mut out);
+        engine
+            .run_batch_into(&series[seq % wl.seqs], 1, &mut scratch, &mut out)
+            .expect("buffers sized above");
         sink += out[0];
         seq += 1;
     });
 
     // Path 3: graph-free batched, all sequences per forward.
-    let mut scratch = engine.make_scratch(wl.seqs);
+    let mut scratch = engine.make_scratch(wl.seqs).expect("non-zero batch");
     let mut out = vec![0.0; wl.seqs * wl.classes];
     let batched = measure("batched", 4, wl.seqs, || {
-        engine.run_batch_into(&batched_steps, wl.seqs, &mut scratch, &mut out);
+        engine
+            .run_batch_into(&batched_steps, wl.seqs, &mut scratch, &mut out)
+            .expect("buffers sized above");
         sink += out[0];
     });
 

@@ -1,0 +1,343 @@
+//! Serving-layer load generator: drives the `ptnc-serve` micro-batching
+//! scheduler with many concurrent client streams and reports
+//!
+//! * request latency (p50/p99, from the server's own per-tenant histograms),
+//! * aggregate timesteps/sec across all streams,
+//! * heap allocations per request end to end (submit → wait),
+//! * allocations per batched forward on the worker hot path (must be 0),
+//! * snapshot hot-reload swap latency under this load.
+//!
+//! ```text
+//! cargo run -p ptnc-bench --release --bin serve_throughput
+//! PNC_SMOKE=1 PNC_TELEMETRY=BENCH_serve.jsonl cargo run -p ptnc-bench --release --bin serve_throughput
+//! ```
+//!
+//! Knobs: `PNC_SMOKE=1` shrinks the workload for CI; `PNC_SERVE_STREAMS`
+//! (client threads), `PNC_SERVE_REQUESTS` (requests per stream),
+//! `PNC_SERVE_STEPS` (timesteps per request), `PNC_SERVE_BATCH_WINDOW`
+//! (batching window, µs) and `PNC_SERVE_HIDDEN` override it.
+//! `PNC_SERVE_ENFORCE=1` exits non-zero if the batched forward allocates,
+//! if any request fails, or if a hot swap never lands (the CI gate). A
+//! JSON summary is written to `PNC_SERVE_JSON` (default `BENCH_serve.json`);
+//! spans/gauges go to the `serve` telemetry scope when
+//! `PNC_TELEMETRY=<path>` is set.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::persist;
+use adapt_pnc::serve::ServeModel;
+use ptnc_bench::{print_row, print_rule, with_run_manifest};
+use ptnc_serve::{BatchConfig, MicroBatcher, ModelRegistry, ReloadOutcome, Server};
+use ptnc_tensor::init;
+
+/// System allocator wrapped with an allocation counter, so the harness can
+/// report per-request and per-forward allocation counts.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic
+// side effect and does not affect allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got `{v}`")),
+    }
+}
+
+const DIM: usize = 3;
+const CLASSES: usize = 4;
+
+struct Workload {
+    streams: usize,
+    requests: usize,
+    steps: usize,
+    window_micros: usize,
+    hidden: usize,
+}
+
+impl Workload {
+    fn from_env() -> Self {
+        let smoke = std::env::var("PNC_SMOKE").is_ok_and(|v| v != "0");
+        let (streams, requests, steps, hidden) = if smoke {
+            (4, 32, 24, 4)
+        } else {
+            (8, 200, 64, 6)
+        };
+        Workload {
+            streams: env_usize("PNC_SERVE_STREAMS", streams),
+            requests: env_usize("PNC_SERVE_REQUESTS", requests),
+            steps: env_usize("PNC_SERVE_STEPS", steps),
+            window_micros: env_usize("PNC_SERVE_BATCH_WINDOW", 200),
+            hidden: env_usize("PNC_SERVE_HIDDEN", hidden),
+        }
+    }
+}
+
+fn snapshot_json(hidden: usize, seed: u64) -> String {
+    persist::to_json(&PrintedModel::adapt_pnc(
+        DIM,
+        hidden,
+        CLASSES,
+        &mut init::rng(seed),
+    ))
+}
+
+fn request_steps(stream: usize, t: usize) -> Vec<f64> {
+    (0..t * DIM)
+        .map(|i| ((stream * 211 + i) as f64 * 0.19).sin())
+        .collect()
+}
+
+/// Steady-state allocations per `begin → load → forward` round on the
+/// worker hot path, measured on a standalone [`MicroBatcher`].
+fn forward_allocs(engine: &adapt_pnc::infer::InferModel, cfg: &BatchConfig, t: usize) -> f64 {
+    const ROUNDS: u64 = 32;
+    let mut mb = MicroBatcher::new(engine, cfg).expect("bench config is valid");
+    let lanes: Vec<Vec<f64>> = (0..cfg.max_batch).map(|l| request_steps(l, t)).collect();
+    let round = |mb: &mut MicroBatcher| {
+        mb.begin(t).expect("t fits the staging window");
+        for (lane, steps) in lanes.iter().enumerate() {
+            mb.load_lane(lane, steps).expect("lane fits the batch");
+        }
+        mb.forward(engine).expect("buffers sized at construction");
+        assert!(mb.lane_logits(0).iter().all(|v| v.is_finite()));
+    };
+    round(&mut mb); // warm-up
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..ROUNDS {
+        round(&mut mb);
+    }
+    (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / ROUNDS as f64
+}
+
+struct LoadResult {
+    completed: u64,
+    failed: u64,
+    elapsed: Duration,
+    allocs_per_request: f64,
+    swap_reports: Vec<u64>,
+    swaps_attempted: u64,
+}
+
+/// Hammers the server from `wl.streams` client threads while the main
+/// thread flips the snapshot file and polls the registry — the swap
+/// latency is measured under live traffic, not on an idle server.
+fn drive_load(server: &Server, reg: &Arc<ModelRegistry>, wl: &Workload) -> LoadResult {
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let alloc_start = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..wl.streams {
+            let completed = Arc::clone(&completed);
+            let failed = Arc::clone(&failed);
+            scope.spawn(move || {
+                let steps = request_steps(s, wl.steps);
+                let tenant = format!("stream-{s}");
+                for _ in 0..wl.requests {
+                    match server.infer(&tenant, &steps) {
+                        Ok(_) => completed.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - alloc_start;
+
+    // Hot swaps under a fresh burst of the same traffic.
+    let mut swap_reports = Vec::new();
+    let mut swaps_attempted = 0u64;
+    std::thread::scope(|scope| {
+        for s in 0..wl.streams.min(2) {
+            scope.spawn(move || {
+                let steps = request_steps(s, wl.steps);
+                for _ in 0..wl.requests.min(32) {
+                    let _ = server.infer("reload-burst", &steps);
+                }
+            });
+        }
+        for flip in 0..4u64 {
+            let json = snapshot_json(wl.hidden, 100 + flip);
+            persist::write_atomic(reg.path(), json.as_bytes()).expect("rewrite snapshot");
+            swaps_attempted += 1;
+            match reg.poll() {
+                ReloadOutcome::Swapped(report) => swap_reports.push(report.swap_micros),
+                other => panic!("hot swap {flip} failed under load: {other:?}"),
+            }
+        }
+    });
+
+    let done = completed.load(Ordering::Relaxed);
+    LoadResult {
+        completed: done,
+        failed: failed.load(Ordering::Relaxed),
+        elapsed,
+        allocs_per_request: allocs as f64 / done.max(1) as f64,
+        swap_reports,
+        swaps_attempted,
+    }
+}
+
+fn main() {
+    with_run_manifest("serve_throughput", run);
+}
+
+fn run() {
+    let wl = Workload::from_env();
+    eprintln!(
+        "serve_throughput: {} streams x {} requests x {} steps, hidden {}, window {}µs",
+        wl.streams, wl.requests, wl.steps, wl.hidden, wl.window_micros
+    );
+
+    let dir = std::env::temp_dir().join(format!("ptnc-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("model.json");
+    persist::write_atomic(&path, snapshot_json(wl.hidden, 1).as_bytes()).expect("seed snapshot");
+
+    let reg = Arc::new(ModelRegistry::open(&path).expect("open registry"));
+    let cfg = BatchConfig {
+        max_batch: wl.streams.clamp(2, 32),
+        max_steps: wl.steps.max(64),
+        batch_window: Duration::from_micros(wl.window_micros as u64),
+        ..BatchConfig::default()
+    };
+    // Worker hot path in isolation (measured before any server thread
+    // exists, so no other thread can perturb the allocation counter).
+    let direct = ServeModel::from_file(&path)
+        .expect("snapshot compiles")
+        .into_engine();
+    let allocs_per_forward = forward_allocs(&direct, &cfg, wl.steps);
+
+    let server = Server::start(Arc::clone(&reg), cfg).expect("start server");
+    let load = drive_load(&server, &reg, &wl);
+
+    let timesteps = load.completed * wl.steps as u64;
+    let timesteps_per_sec = timesteps as f64 / load.elapsed.as_secs_f64().max(1e-9);
+    let requests_per_sec = load.completed as f64 / load.elapsed.as_secs_f64().max(1e-9);
+    let snaps = server.stats().snapshots();
+    let stream_snaps: Vec<_> = snaps
+        .iter()
+        .filter(|s| s.tenant.starts_with("stream-"))
+        .collect();
+    let p50 = stream_snaps.iter().map(|s| s.p50_micros).max().unwrap_or(0);
+    let p99 = stream_snaps.iter().map(|s| s.p99_micros).max().unwrap_or(0);
+    let swap_best = load.swap_reports.iter().copied().min().unwrap_or(0);
+    let swap_worst = load.swap_reports.iter().copied().max().unwrap_or(0);
+    let mean_fill = server.mean_batch_fill();
+    let batches = server.batches();
+
+    let widths = [26usize, 14];
+    print_row(&["metric", "value"].map(String::from), &widths);
+    print_rule(&widths);
+    let rows: [(&str, String); 9] = [
+        ("requests completed", load.completed.to_string()),
+        ("requests failed", load.failed.to_string()),
+        ("requests/sec", format!("{requests_per_sec:.1}")),
+        ("timesteps/sec", format!("{timesteps_per_sec:.0}")),
+        ("latency p50 (µs)", p50.to_string()),
+        ("latency p99 (µs)", p99.to_string()),
+        ("allocs/request", format!("{:.1}", load.allocs_per_request)),
+        ("allocs/batched forward", format!("{allocs_per_forward:.2}")),
+        ("mean batch fill", format!("{mean_fill:.2}")),
+    ];
+    for (k, v) in &rows {
+        print_row(&[k.to_string(), v.clone()], &widths);
+    }
+    println!();
+    println!(
+        "hot reload under load: {}/{} swaps landed, swap lock held {swap_best}–{swap_worst}µs",
+        load.swap_reports.len(),
+        load.swaps_attempted
+    );
+
+    ptnc_telemetry::gauge("serve.requests_per_sec", requests_per_sec);
+    ptnc_telemetry::gauge("serve.timesteps_per_sec", timesteps_per_sec);
+    ptnc_telemetry::gauge("serve.latency.p50_micros", p50 as f64);
+    ptnc_telemetry::gauge("serve.latency.p99_micros", p99 as f64);
+    ptnc_telemetry::gauge("serve.allocs_per_request", load.allocs_per_request);
+    ptnc_telemetry::gauge("serve.allocs_per_forward", allocs_per_forward);
+    ptnc_telemetry::gauge("serve.mean_batch_fill", mean_fill);
+    ptnc_telemetry::gauge("serve.swap_micros.worst", swap_worst as f64);
+    server.stats().emit_telemetry();
+
+    let json_path = std::env::var("PNC_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"streams\": {},\n  \"requests_per_stream\": {},\n  \"steps_per_request\": {},\n  \"hidden\": {},\n  \"batch_window_micros\": {},\n  \"max_batch\": {},\n  \"requests_completed\": {},\n  \"requests_failed\": {},\n  \"requests_per_sec\": {:.3},\n  \"timesteps_per_sec\": {:.1},\n  \"latency_p50_micros\": {},\n  \"latency_p99_micros\": {},\n  \"allocs_per_request\": {:.2},\n  \"allocs_per_batched_forward\": {:.2},\n  \"mean_batch_fill\": {:.3},\n  \"batches\": {},\n  \"hot_swaps_landed\": {},\n  \"hot_swaps_attempted\": {},\n  \"swap_lock_micros_best\": {},\n  \"swap_lock_micros_worst\": {}\n}}\n",
+        wl.streams,
+        wl.requests,
+        wl.steps,
+        wl.hidden,
+        wl.window_micros,
+        cfg.max_batch,
+        load.completed,
+        load.failed,
+        requests_per_sec,
+        timesteps_per_sec,
+        p50,
+        p99,
+        load.allocs_per_request,
+        allocs_per_forward,
+        mean_fill,
+        batches,
+        load.swap_reports.len(),
+        load.swaps_attempted,
+        swap_best,
+        swap_worst,
+    );
+    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    eprintln!("wrote {json_path}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if std::env::var("PNC_SERVE_ENFORCE").is_ok_and(|v| v != "0") {
+        let mut gate_failed = false;
+        if allocs_per_forward != 0.0 {
+            eprintln!("PNC_SERVE_ENFORCE: batched forward allocates ({allocs_per_forward:.2}/forward) — failing");
+            gate_failed = true;
+        }
+        if load.failed > 0 || load.completed == 0 {
+            eprintln!(
+                "PNC_SERVE_ENFORCE: {}/{} requests failed — failing",
+                load.failed,
+                load.completed + load.failed
+            );
+            gate_failed = true;
+        }
+        if load.swap_reports.len() as u64 != load.swaps_attempted {
+            eprintln!("PNC_SERVE_ENFORCE: hot swap failed under load — failing");
+            gate_failed = true;
+        }
+        if gate_failed {
+            std::process::exit(1);
+        }
+    }
+}

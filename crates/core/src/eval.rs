@@ -205,9 +205,7 @@ fn variation_trials(
         InferPath::GraphFree => {
             variation_trials_graphfree(model, steps, labels, config, trials, seed, runner)
         }
-        InferPath::Autograd =>
-        {
-            #[allow(deprecated)]
+        InferPath::Autograd => {
             variation_trials_autograd(model, steps, labels, config, trials, seed, runner)
         }
     }
@@ -228,17 +226,24 @@ fn variation_trials_graphfree(
     runner: &ParallelRunner,
 ) -> f64 {
     assert!(trials > 0, "need at least one variation trial");
-    let engine = serve::freeze(model).expect("cannot freeze model with non-finite parameters");
-    let flat = serve::flatten_steps(steps);
+    let engine = serve::ServeModel::from_live(model)
+        .expect("cannot freeze model with non-finite parameters")
+        .into_engine();
+    let flat = serve::ServeModel::flatten_steps(steps).expect("non-empty step sequence");
     let batch = steps[0].dims()[0];
     let classes = engine.spec().classes;
     let dist = (config).into();
     let accs = runner.run((0..trials).collect(), |_, trial: usize| {
         let mut rng = rng_for(seed, streams::EVAL_TRIAL, trial as u64);
         let sample = VariationSample::draw(engine.spec(), &dist, &mut rng);
-        let instance = engine.perturbed(&sample);
+        let instance = engine
+            .perturbed(&sample)
+            .expect("sample drawn on this engine's spec");
         ptnc_telemetry::counter("infer.trial.graphfree", 1);
-        ptnc_infer::accuracy(&instance.run_batch(&flat, batch), classes, labels)
+        let logits = instance
+            .run_batch(&flat, batch)
+            .expect("steps flattened for this batch");
+        ptnc_infer::accuracy(&logits, classes, labels)
     });
     accs.iter().sum::<f64>() / trials as f64
 }
@@ -247,14 +252,10 @@ fn variation_trials_graphfree(
 /// each trial rebuilds a thread-local tensor replica and runs the full
 /// design-time forward pass.
 ///
-/// Kept for A/B validation of the compiled runtime (`PNC_INFER=autograd`);
-/// production evaluation uses the graph-free path, which produces the same
-/// accuracies without tape-node allocation.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluation runs on the graph-free runtime by default; \
-            set PNC_INFER=autograd (or call this directly) only for A/B validation"
-)]
+/// This is the reference implementation the compiled runtime is validated
+/// against (`PNC_INFER=autograd`, the `graphfree_and_autograd_paths_agree`
+/// test). Production evaluation uses the graph-free path, which produces
+/// the same accuracies without tape-node allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn variation_trials_autograd(
     model: &PrintedModel,
@@ -365,7 +366,6 @@ mod tests {
         let config = VariationConfig::paper_default();
         let runner = ParallelRunner::serial();
         let fast = variation_trials_graphfree(&model, &steps, &labels, &config, 3, 5, &runner);
-        #[allow(deprecated)]
         let slow = variation_trials_autograd(&model, &steps, &labels, &config, 3, 5, &runner);
         assert_eq!(fast, slow, "A/B paths must score identically");
     }

@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::parallel::{rng_for, seed_split, streams, ParallelRunner};
     pub use crate::pdk::Pdk;
     pub use crate::robustness::{sensor_fault_sweep, RobustnessConfig, SweepPoint};
-    pub use crate::serve::{compile_snapshot, freeze};
+    pub use crate::serve::{ServeError, ServeModel};
     pub use crate::training::{
         train, train_with_runner, TrainConfig, TrainConfigBuilder, TrainedModel,
     };

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::eval::dataset_to_steps;
 use crate::parallel::{rng_for, streams, ParallelRunner};
-use crate::serve::flatten_steps;
+use crate::serve::ServeModel;
 use crate::variation::VariationConfig;
 
 /// Grid and scoring parameters of a robustness sweep.
@@ -124,8 +124,9 @@ pub fn to_jsonl(points: &[SweepPoint]) -> String {
 ///
 /// # Panics
 ///
-/// Panics if `test` is empty, `cfg.trials` is zero, the grid is empty, or
-/// a model's input width does not match the dataset.
+/// Panics if `test` is empty, `cfg.trials` is zero, the grid is empty,
+/// `cfg.guard` is internally inconsistent, or a model's input width does
+/// not match the dataset.
 pub fn sensor_fault_sweep(
     models: &[(String, InferModel)],
     test: &Dataset,
@@ -137,8 +138,9 @@ pub fn sensor_fault_sweep(
     assert!(cfg.trials > 0, "need at least one variation trial");
     assert!(cfg.points_per_model() > 0, "empty fault grid");
     let (steps, labels) = dataset_to_steps(test);
-    let clean = flatten_steps(&steps);
+    let clean = ServeModel::flatten_steps(&steps).expect("non-empty test set");
     let batch = test.len();
+    cfg.guard.validate().expect("inconsistent guard config");
 
     // Expand the grid up front so one work item = one point.
     enum Stress {
@@ -186,21 +188,32 @@ pub fn sensor_fault_sweep(
         let mut clean_acc = 0.0;
         let mut unguarded_acc = 0.0;
         let mut guarded_acc = 0.0;
-        let mut guard = InputGuard::new(cfg.guard, batch, dim);
+        let mut guard = InputGuard::new(cfg.guard, batch, dim).expect("config validated above");
         for trial in 0..cfg.trials {
             let mut rng = rng_for(cfg.seed, streams::EVAL_TRIAL, trial as u64);
             let mut sample = VariationSample::draw(engine.spec(), &dist, &mut rng);
             if let Some(d) = &drift {
                 sample = d.drifted(&sample, cfg.drift_age_steps);
             }
-            let instance = engine.perturbed(&sample);
-            clean_acc += accuracy(&instance.run_batch(&clean, batch), classes, &labels);
-            unguarded_acc += accuracy(&instance.run_batch(&faulted, batch), classes, &labels);
+            let instance = engine
+                .perturbed(&sample)
+                .expect("sample drawn on this engine's spec");
+            let score = |logits: &[f64]| accuracy(logits, classes, &labels);
+            clean_acc += score(
+                &instance
+                    .run_batch(&clean, batch)
+                    .expect("steps flattened for this batch"),
+            );
+            unguarded_acc += score(
+                &instance
+                    .run_batch(&faulted, batch)
+                    .expect("faulted buffer mirrors the clean one"),
+            );
             guard.reset();
-            guarded_acc += accuracy(
-                &instance.run_batch_guarded(&faulted, batch, &mut guard),
-                classes,
-                &labels,
+            guarded_acc += score(
+                &instance
+                    .run_batch_guarded(&faulted, batch, &mut guard)
+                    .expect("guard sized for this batch"),
             );
         }
         let n = cfg.trials as f64;
@@ -238,7 +251,6 @@ pub fn sensor_fault_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::freeze;
     use ptnc_datasets::benchmark_by_name;
     use ptnc_datasets::preprocess::Preprocess;
     use ptnc_tensor::init;
@@ -249,7 +261,10 @@ mod tests {
         let test = ds.shuffle_split(0.6, 0.2, 0).test;
         let model = crate::models::PrintedModel::adapt_pnc(1, 4, 3, &mut init::rng(3));
         (
-            vec![("adapt_pnc".to_string(), freeze(&model).unwrap())],
+            vec![(
+                "adapt_pnc".to_string(),
+                ServeModel::from_live(&model).unwrap().into_engine(),
+            )],
             test,
         )
     }

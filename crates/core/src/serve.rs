@@ -8,13 +8,21 @@
 //! runtime's [`VariationDistribution`]. The frozen model reproduces the
 //! autograd forward pass operation-for-operation (see the `infer_parity`
 //! integration tests).
+//!
+//! The one entry point is [`ServeModel`]: a builder that compiles from a
+//! live model, a decoded snapshot, snapshot JSON, or a snapshot file, and
+//! reports every failure through a single [`ServeError`]. The loose free
+//! functions (`freeze`, `compile_snapshot`, `spec_for`, `flatten_steps`)
+//! are deprecated shims over it.
+
+use std::path::Path;
 
 use ptnc_infer::{BuildError, InferModel, InferSpec, VariationDistribution};
 use ptnc_nn::FrozenParams;
 
 use crate::models::PrintedModel;
 use crate::pdk::LOGIT_SCALE;
-use crate::persist::{ModelSnapshot, RestoreError, SNAPSHOT_FORMAT_VERSION};
+use crate::persist::{ModelSnapshot, PersistError, RestoreError, SNAPSHOT_FORMAT_VERSION};
 use crate::variation::VariationConfig;
 
 impl From<&VariationConfig> for VariationDistribution {
@@ -28,17 +36,301 @@ impl From<&VariationConfig> for VariationDistribution {
     }
 }
 
-/// The inference-runtime spec describing `model`'s architecture.
-pub fn spec_for(model: &PrintedModel) -> InferSpec {
-    InferSpec {
-        input_dim: model.input_dim(),
-        hidden: model.hidden(),
-        classes: model.num_classes(),
-        stages: model.order().stages(),
-        mu_nominal: model.mu_nominal(),
-        dt: model.layers()[0].filters().dt(),
-        logit_scale: LOGIT_SCALE,
+/// Everything that can go wrong turning a design-time artifact into a
+/// servable model, unified: compiling a live model ([`BuildError`]),
+/// decoding/validating a snapshot ([`RestoreError`], [`PersistError`]),
+/// and reading a snapshot file from disk.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The parameter list is inconsistent with the declared architecture.
+    Build(BuildError),
+    /// The snapshot is inconsistent with its own declared architecture, or
+    /// declares an unsupported format version.
+    Restore(RestoreError),
+    /// The snapshot JSON itself is malformed.
+    Persist(PersistError),
+    /// The snapshot file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An empty step sequence was given to [`ServeModel::flatten_steps`].
+    EmptySteps,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Build(e) => write!(f, "cannot compile model: {e}"),
+            ServeError::Restore(e) => write!(f, "invalid snapshot: {e}"),
+            ServeError::Persist(e) => write!(f, "{e}"),
+            ServeError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            ServeError::EmptySteps => write!(f, "empty input sequence"),
+        }
     }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Build(e) => Some(e),
+            ServeError::Restore(e) => Some(e),
+            ServeError::Persist(e) => Some(e),
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::EmptySteps => None,
+        }
+    }
+}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}
+
+impl From<RestoreError> for ServeError {
+    fn from(e: RestoreError) -> Self {
+        ServeError::Restore(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        // A snapshot that decoded but failed validation is a restore
+        // problem; keep the variant flat so callers match one place.
+        match e {
+            PersistError::Restore(r) => ServeError::Restore(r),
+            other => ServeError::Persist(other),
+        }
+    }
+}
+
+/// Optional overrides for quantities a snapshot does not record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeModelBuilder {
+    dt: Option<f64>,
+    logit_scale: Option<f64>,
+}
+
+impl ServeModelBuilder {
+    /// Overrides the filter discretization Δt (defaults to the paper PDK's
+    /// Δt for snapshots, the live model's own Δt otherwise).
+    #[must_use]
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+
+    /// Overrides the sense-stage logit scale (defaults to the PDK's).
+    #[must_use]
+    pub fn logit_scale(mut self, scale: f64) -> Self {
+        self.logit_scale = Some(scale);
+        self
+    }
+
+    /// Compiles a live design-time model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Build`] if the model carries non-finite parameters (a
+    /// structurally valid live model always has consistent shapes).
+    pub fn from_live(self, model: &PrintedModel) -> Result<ServeModel, ServeError> {
+        let mut spec = ServeModel::spec_of(model);
+        if let Some(dt) = self.dt {
+            spec.dt = dt;
+        }
+        if let Some(scale) = self.logit_scale {
+            spec.logit_scale = scale;
+        }
+        let frozen = FrozenParams::capture(&model.parameters());
+        let engine = InferModel::build(spec, frozen.values())?;
+        Ok(ServeModel { spec, engine })
+    }
+
+    /// Compiles a decoded on-disk snapshot directly, without building a
+    /// design-time scaffold model first. Uses the default PDK's Δt unless
+    /// overridden (snapshots do not record it), matching
+    /// [`crate::persist::restore`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Restore`] when the snapshot declares an unsupported
+    /// format or is inconsistent with its own architecture.
+    pub fn from_snapshot(self, snap: &ModelSnapshot) -> Result<ServeModel, ServeError> {
+        if snap.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(RestoreError::UnsupportedVersion(snap.format_version).into());
+        }
+        if !(1..=3).contains(&snap.filter_stages) {
+            return Err(RestoreError::BadFilterOrder(snap.filter_stages).into());
+        }
+        let spec = InferSpec {
+            input_dim: snap.input_dim,
+            hidden: snap.hidden,
+            classes: snap.classes,
+            stages: snap.filter_stages,
+            mu_nominal: snap.mu_nominal,
+            dt: self.dt.unwrap_or(crate::pdk::Pdk::paper_default().dt),
+            logit_scale: self.logit_scale.unwrap_or(LOGIT_SCALE),
+        };
+        let engine = InferModel::build(spec, &snap.parameters).map_err(|e| match e {
+            BuildError::BadStageCount(n) => RestoreError::BadFilterOrder(n),
+            BuildError::ParameterCountMismatch { expected, found } => {
+                RestoreError::ParameterCountMismatch { expected, found }
+            }
+            BuildError::ParameterShapeMismatch {
+                index,
+                expected,
+                found,
+            } => RestoreError::ParameterShapeMismatch {
+                index,
+                expected,
+                found,
+            },
+            BuildError::NonFiniteParameter { index } => RestoreError::NonFiniteParameter { index },
+            // ZeroDimension and future variants: a zero-sized snapshot
+            // cannot match any parameter count, so surface it as a count
+            // mismatch.
+            _ => RestoreError::ParameterCountMismatch {
+                expected: 0,
+                found: snap.parameters.len(),
+            },
+        })?;
+        Ok(ServeModel { spec, engine })
+    }
+
+    /// Decodes snapshot JSON and compiles it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Persist`] for malformed JSON, otherwise the errors of
+    /// [`ServeModelBuilder::from_snapshot`].
+    pub fn from_json(self, json: &str) -> Result<ServeModel, ServeError> {
+        let snap: ModelSnapshot =
+            serde_json::from_str(json).map_err(|e| PersistError::Json(e.to_string()))?;
+        self.from_snapshot(&snap)
+    }
+
+    /// Reads a snapshot file, decodes and compiles it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for read failures, otherwise the errors of
+    /// [`ServeModelBuilder::from_json`].
+    pub fn from_file(self, path: &Path) -> Result<ServeModel, ServeError> {
+        let json = std::fs::read_to_string(path).map_err(|source| ServeError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        self.from_json(&json)
+    }
+}
+
+/// A design-time model compiled for the serving runtime: the graph-free
+/// engine plus the [`InferSpec`] it was compiled at. Build one with
+/// [`ServeModel::builder`] (or the `from_*` shortcuts), then hand the
+/// engine to batched/streaming/perturbed inference or a serving layer.
+#[derive(Debug, Clone)]
+pub struct ServeModel {
+    spec: InferSpec,
+    engine: InferModel,
+}
+
+impl ServeModel {
+    /// Starts a builder (for Δt / logit-scale overrides).
+    pub fn builder() -> ServeModelBuilder {
+        ServeModelBuilder::default()
+    }
+
+    /// Compiles a live model at default settings.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeModelBuilder::from_live`].
+    pub fn from_live(model: &PrintedModel) -> Result<Self, ServeError> {
+        Self::builder().from_live(model)
+    }
+
+    /// Compiles a decoded snapshot at default settings.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeModelBuilder::from_snapshot`].
+    pub fn from_snapshot(snap: &ModelSnapshot) -> Result<Self, ServeError> {
+        Self::builder().from_snapshot(snap)
+    }
+
+    /// Decodes and compiles snapshot JSON at default settings.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeModelBuilder::from_json`].
+    pub fn from_json(json: &str) -> Result<Self, ServeError> {
+        Self::builder().from_json(json)
+    }
+
+    /// Reads, decodes and compiles a snapshot file at default settings.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeModelBuilder::from_file`].
+    pub fn from_file(path: &Path) -> Result<Self, ServeError> {
+        Self::builder().from_file(path)
+    }
+
+    /// The spec the engine was compiled at.
+    pub fn spec(&self) -> &InferSpec {
+        &self.spec
+    }
+
+    /// The compiled inference engine.
+    pub fn engine(&self) -> &InferModel {
+        &self.engine
+    }
+
+    /// Unwraps into the compiled engine (plain data, `Send + Sync`).
+    pub fn into_engine(self) -> InferModel {
+        self.engine
+    }
+
+    /// The inference-runtime spec describing `model`'s architecture, at
+    /// default (non-overridden) Δt and logit scale.
+    pub fn spec_of(model: &PrintedModel) -> InferSpec {
+        InferSpec {
+            input_dim: model.input_dim(),
+            hidden: model.hidden(),
+            classes: model.num_classes(),
+            stages: model.order().stages(),
+            mu_nominal: model.mu_nominal(),
+            dt: model.layers()[0].filters().dt(),
+            logit_scale: LOGIT_SCALE,
+        }
+    }
+
+    /// Flattens a time-major tensor sequence (each step `[batch, dim]`)
+    /// into the contiguous layout [`InferModel::run_batch`] consumes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptySteps`] if `steps` is empty.
+    pub fn flatten_steps(steps: &[ptnc_tensor::Tensor]) -> Result<Vec<f64>, ServeError> {
+        if steps.is_empty() {
+            return Err(ServeError::EmptySteps);
+        }
+        let mut flat = Vec::with_capacity(steps.len() * steps[0].len());
+        for s in steps {
+            flat.extend_from_slice(&s.to_vec());
+        }
+        Ok(flat)
+    }
+}
+
+/// The inference-runtime spec describing `model`'s architecture.
+#[deprecated(note = "use `ServeModel::spec_of`")]
+pub fn spec_for(model: &PrintedModel) -> InferSpec {
+    ServeModel::spec_of(model)
 }
 
 /// Freezes a live model into the graph-free inference runtime.
@@ -47,59 +339,28 @@ pub fn spec_for(model: &PrintedModel) -> InferSpec {
 ///
 /// Returns [`BuildError`] only if the model carries non-finite parameters
 /// (a structurally valid live model always has consistent shapes).
+#[deprecated(note = "use `ServeModel::from_live`")]
 pub fn freeze(model: &PrintedModel) -> Result<InferModel, BuildError> {
     let frozen = FrozenParams::capture(&model.parameters());
-    InferModel::build(spec_for(model), frozen.values())
+    InferModel::build(ServeModel::spec_of(model), frozen.values())
 }
 
 /// Compiles an on-disk snapshot directly into the inference runtime,
 /// without building a design-time scaffold model first.
 ///
-/// Uses the default PDK's Δt (snapshots do not record it), matching
-/// [`crate::persist::restore`].
-///
 /// # Errors
 ///
 /// Returns [`RestoreError`] when the snapshot declares an unsupported
 /// format or is inconsistent with its own architecture.
+#[deprecated(note = "use `ServeModel::from_snapshot`")]
 pub fn compile_snapshot(snap: &ModelSnapshot) -> Result<InferModel, RestoreError> {
-    if snap.format_version != SNAPSHOT_FORMAT_VERSION {
-        return Err(RestoreError::UnsupportedVersion(snap.format_version));
-    }
-    if !(1..=3).contains(&snap.filter_stages) {
-        return Err(RestoreError::BadFilterOrder(snap.filter_stages));
-    }
-    let spec = InferSpec {
-        input_dim: snap.input_dim,
-        hidden: snap.hidden,
-        classes: snap.classes,
-        stages: snap.filter_stages,
-        mu_nominal: snap.mu_nominal,
-        dt: crate::pdk::Pdk::paper_default().dt,
-        logit_scale: LOGIT_SCALE,
-    };
-    InferModel::build(spec, &snap.parameters).map_err(|e| match e {
-        BuildError::BadStageCount(n) => RestoreError::BadFilterOrder(n),
-        BuildError::ParameterCountMismatch { expected, found } => {
-            RestoreError::ParameterCountMismatch { expected, found }
-        }
-        BuildError::ParameterShapeMismatch {
-            index,
-            expected,
-            found,
-        } => RestoreError::ParameterShapeMismatch {
-            index,
-            expected,
-            found,
-        },
-        BuildError::NonFiniteParameter { index } => RestoreError::NonFiniteParameter { index },
-        // ZeroDimension and future variants: a zero-sized snapshot cannot
-        // match any parameter count, so surface it as a count mismatch.
-        _ => RestoreError::ParameterCountMismatch {
-            expected: 0,
-            found: snap.parameters.len(),
-        },
-    })
+    ServeModel::from_snapshot(snap)
+        .map(ServeModel::into_engine)
+        .map_err(|e| match e {
+            ServeError::Restore(r) => r,
+            // from_snapshot only fails through the restore path.
+            other => unreachable!("snapshot compile produced {other}"),
+        })
 }
 
 /// Flattens a time-major tensor sequence (each step `[batch, dim]`) into
@@ -108,13 +369,9 @@ pub fn compile_snapshot(snap: &ModelSnapshot) -> Result<InferModel, RestoreError
 /// # Panics
 ///
 /// Panics if `steps` is empty.
+#[deprecated(note = "use `ServeModel::flatten_steps`")]
 pub fn flatten_steps(steps: &[ptnc_tensor::Tensor]) -> Vec<f64> {
-    assert!(!steps.is_empty(), "empty input sequence");
-    let mut flat = Vec::with_capacity(steps.len() * steps[0].len());
-    for s in steps {
-        flat.extend_from_slice(&s.to_vec());
-    }
-    flat
+    ServeModel::flatten_steps(steps).expect("empty input sequence")
 }
 
 #[cfg(test)]
@@ -134,43 +391,126 @@ mod tests {
     }
 
     #[test]
-    fn freeze_matches_autograd_forward() {
+    fn from_live_matches_autograd_forward() {
         let m = model();
-        let engine = freeze(&m).unwrap();
+        let served = ServeModel::from_live(&m).unwrap();
         let expected = m.forward_nominal(&steps()).to_vec();
-        let got = engine.run_batch(&flatten_steps(&steps()), 3);
+        let flat = ServeModel::flatten_steps(&steps()).unwrap();
+        let got = served.engine().run_batch(&flat, 3).unwrap();
         for (a, b) in expected.iter().zip(&got) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
 
     #[test]
-    fn compile_snapshot_matches_freeze() {
+    fn from_snapshot_matches_from_live() {
         let m = model();
-        let direct = freeze(&m).unwrap();
-        let compiled = compile_snapshot(&snapshot(&m)).unwrap();
-        let flat = flatten_steps(&steps());
-        assert_eq!(direct.run_batch(&flat, 3), compiled.run_batch(&flat, 3));
+        let direct = ServeModel::from_live(&m).unwrap();
+        let compiled = ServeModel::from_snapshot(&snapshot(&m)).unwrap();
+        assert_eq!(direct.spec(), compiled.spec());
+        let flat = ServeModel::flatten_steps(&steps()).unwrap();
+        assert_eq!(
+            direct.engine().run_batch(&flat, 3).unwrap(),
+            compiled.engine().run_batch(&flat, 3).unwrap()
+        );
     }
 
     #[test]
-    fn compile_snapshot_rejects_bad_version() {
+    fn from_json_and_from_file_round_trip() {
+        let m = model();
+        let json = crate::persist::to_json(&m);
+        let via_json = ServeModel::from_json(&json).unwrap();
+        let dir = std::env::temp_dir().join(format!("ptnc-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        crate::persist::write_atomic(&path, json.as_bytes()).unwrap();
+        let via_file = ServeModel::from_file(&path).unwrap();
+        let flat = ServeModel::flatten_steps(&steps()).unwrap();
+        assert_eq!(
+            via_json.engine().run_batch(&flat, 3).unwrap(),
+            via_file.engine().run_batch(&flat, 3).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builder_overrides_take_effect() {
+        let m = model();
+        let default = ServeModel::from_live(&m).unwrap();
+        let scaled = ServeModel::builder()
+            .logit_scale(2.0 * default.spec().logit_scale)
+            .from_live(&m)
+            .unwrap();
+        let flat = ServeModel::flatten_steps(&steps()).unwrap();
+        let a = default.engine().run_batch(&flat, 3).unwrap();
+        let b = scaled.engine().run_batch(&flat, 3).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((y - 2.0 * x).abs() < 1e-12);
+        }
+        let snap = snapshot(&m);
+        let dt = ServeModel::builder().dt(0.5).from_snapshot(&snap).unwrap();
+        assert_eq!(dt.spec().dt, 0.5);
+    }
+
+    #[test]
+    fn bad_version_is_a_restore_error() {
         let mut snap = snapshot(&model());
         snap.format_version = 7;
         assert!(matches!(
-            compile_snapshot(&snap),
-            Err(RestoreError::UnsupportedVersion(7))
+            ServeModel::from_snapshot(&snap),
+            Err(ServeError::Restore(RestoreError::UnsupportedVersion(7)))
         ));
     }
 
     #[test]
-    fn compile_snapshot_rejects_non_finite() {
+    fn non_finite_is_a_restore_error() {
         let mut snap = snapshot(&model());
         snap.parameters[2][0] = f64::INFINITY;
         assert!(matches!(
-            compile_snapshot(&snap),
-            Err(RestoreError::NonFiniteParameter { index: 2 })
+            ServeModel::from_snapshot(&snap),
+            Err(ServeError::Restore(RestoreError::NonFiniteParameter {
+                index: 2
+            }))
         ));
+    }
+
+    #[test]
+    fn malformed_json_is_a_persist_error() {
+        let err = ServeModel::from_json("{not json").unwrap_err();
+        assert!(matches!(err, ServeError::Persist(PersistError::Json(_))));
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = ServeModel::from_file(Path::new("/nonexistent-ptnc/m.json")).unwrap_err();
+        assert!(matches!(err, ServeError::Io { .. }));
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn empty_steps_is_a_typed_error() {
+        assert!(matches!(
+            ServeModel::flatten_steps(&[]),
+            Err(ServeError::EmptySteps)
+        ));
+    }
+
+    #[test]
+    fn error_conversions_unify() {
+        let e: ServeError = BuildError::ZeroDimension.into();
+        assert!(matches!(e, ServeError::Build(_)));
+        let e: ServeError = RestoreError::UnsupportedVersion(9).into();
+        assert!(matches!(e, ServeError::Restore(_)));
+        // PersistError::Restore flattens to the Restore variant.
+        let e: ServeError = PersistError::Restore(RestoreError::BadFilterOrder(9)).into();
+        assert!(matches!(
+            e,
+            ServeError::Restore(RestoreError::BadFilterOrder(9))
+        ));
+        let e: ServeError = PersistError::Json("bad".into()).into();
+        assert!(matches!(e, ServeError::Persist(_)));
     }
 
     #[test]

@@ -258,11 +258,11 @@ impl TrainedModel {
     ///
     /// # Errors
     ///
-    /// Returns a [`ptnc_infer::BuildError`] only if training left a
-    /// non-finite parameter (the non-finite guards make that an error
-    /// earlier, during training itself).
-    pub fn freeze(&self) -> Result<ptnc_infer::InferModel, ptnc_infer::BuildError> {
-        crate::serve::freeze(&self.model)
+    /// Returns [`ServeError::Build`](crate::serve::ServeError::Build) only
+    /// if training left a non-finite parameter (the non-finite guards make
+    /// that an error earlier, during training itself).
+    pub fn freeze(&self) -> Result<ptnc_infer::InferModel, crate::serve::ServeError> {
+        crate::serve::ServeModel::from_live(&self.model).map(crate::serve::ServeModel::into_engine)
     }
 }
 

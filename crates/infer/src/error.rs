@@ -1,0 +1,122 @@
+//! The typed error surface of the inference request path.
+//!
+//! Serving infrastructure cannot sit on an API that panics: a malformed
+//! request must shed with an error the caller can classify, count and
+//! report, not take the worker thread down. Every public entry point of
+//! this crate that consumes caller-shaped data — batch sizes, step
+//! buffers, scratch/output buffers, variation samples, guard
+//! configurations — validates its input and returns [`InferError`]
+//! instead of asserting.
+
+/// Why an inference request was rejected. Construction-time model
+/// problems (bad parameter lists) are [`BuildError`](crate::BuildError);
+/// this enum covers everything a *request* against an already-compiled
+/// model can get wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InferError {
+    /// A batch size of zero was requested.
+    ZeroBatch,
+    /// A buffer has the wrong number of elements for its role.
+    ShapeMismatch {
+        /// Which buffer is wrong (`"steps"`, `"step input"`,
+        /// `"output buffer"`, `"scratch batch"`, `"guard batch"`, …).
+        what: &'static str,
+        /// Elements (or batch size) the model expects. For `"steps"` this
+        /// is the length of one timestep — the buffer must be a positive
+        /// multiple of it.
+        expected: usize,
+        /// Elements (or batch size) found.
+        found: usize,
+    },
+    /// A variation sample or companion object was drawn for a different
+    /// architecture than the model it was applied to.
+    SpecMismatch {
+        /// Which architectural quantity disagrees (`"variation layers"`,
+        /// `"crossbar variation"`, `"filter stages"`, …).
+        what: &'static str,
+        /// Value this model's spec requires.
+        expected: usize,
+        /// Value the sample carries.
+        found: usize,
+    },
+    /// A [`GuardConfig`](crate::GuardConfig) is internally inconsistent.
+    InvalidGuardConfig {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::ZeroBatch => write!(f, "zero batch size"),
+            InferError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                if *what == "steps" {
+                    write!(
+                        f,
+                        "steps length {found} is not a positive multiple of \
+                         one timestep ({expected} values)"
+                    )
+                } else {
+                    write!(f, "{what}: expected {expected}, got {found}")
+                }
+            }
+            InferError::SpecMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what}: sample has {found}, architecture needs {expected}"
+            ),
+            InferError::InvalidGuardConfig { reason } => {
+                write!(f, "invalid guard config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = InferError::ShapeMismatch {
+            what: "output buffer",
+            expected: 8,
+            found: 3,
+        };
+        assert_eq!(e.to_string(), "output buffer: expected 8, got 3");
+        let e = InferError::ShapeMismatch {
+            what: "steps",
+            expected: 4,
+            found: 7,
+        };
+        assert!(e.to_string().contains("positive multiple"));
+        assert!(InferError::ZeroBatch.to_string().contains("zero batch"));
+        let e = InferError::SpecMismatch {
+            what: "variation layers",
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("architecture needs 2"));
+        let e = InferError::InvalidGuardConfig {
+            reason: "zero-length health window",
+        };
+        assert!(e.to_string().contains("health window"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(InferError::ZeroBatch);
+        assert!(e.source().is_none());
+    }
+}

@@ -18,6 +18,7 @@
 //! `infer.guard.to_healthy`) when a collection scope is active; aggregate
 //! numbers are available synchronously via [`GuardStats`].
 
+use crate::error::InferError;
 use crate::model::{InferModel, Scratch};
 use crate::stream::StreamState;
 
@@ -79,23 +80,37 @@ impl GuardConfig {
         self
     }
 
-    fn validate(&self) {
-        assert!(
-            self.lo.is_finite() && self.hi.is_finite() && self.lo < self.hi,
-            "guard range [{}, {}] must be a finite non-empty interval",
-            self.lo,
-            self.hi
-        );
-        assert!(self.window > 0, "zero-length health window");
-        assert!(
-            (0.0..=1.0).contains(&self.degraded_frac)
-                && (0.0..=1.0).contains(&self.faulted_frac)
-                && self.degraded_frac <= self.faulted_frac,
-            "health thresholds must satisfy 0 <= degraded <= faulted <= 1"
-        );
-        if let DegradePolicy::MedianOfLast(k) = self.policy {
-            assert!(k > 0, "median-of-last-0 is not a policy");
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::InvalidGuardConfig`] naming the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), InferError> {
+        if !(self.lo.is_finite() && self.hi.is_finite() && self.lo < self.hi) {
+            return Err(InferError::InvalidGuardConfig {
+                reason: "guard range must be a finite non-empty interval",
+            });
         }
+        if self.window == 0 {
+            return Err(InferError::InvalidGuardConfig {
+                reason: "zero-length health window",
+            });
+        }
+        if !((0.0..=1.0).contains(&self.degraded_frac)
+            && (0.0..=1.0).contains(&self.faulted_frac)
+            && self.degraded_frac <= self.faulted_frac)
+        {
+            return Err(InferError::InvalidGuardConfig {
+                reason: "health thresholds must satisfy 0 <= degraded <= faulted <= 1",
+            });
+        }
+        if matches!(self.policy, DegradePolicy::MedianOfLast(0)) {
+            return Err(InferError::InvalidGuardConfig {
+                reason: "median-of-last-0 is not a policy",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -181,19 +196,22 @@ pub struct InputGuard {
 impl InputGuard {
     /// Builds a guard for `batch` streams of `dim` channels each.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch` or `dim` is zero or the config is inconsistent.
-    pub fn new(cfg: GuardConfig, batch: usize, dim: usize) -> Self {
-        cfg.validate();
-        assert!(batch > 0 && dim > 0, "zero-sized guard");
+    /// Returns [`InferError::ZeroBatch`] if `batch` or `dim` is zero and
+    /// [`InferError::InvalidGuardConfig`] if the config is inconsistent.
+    pub fn new(cfg: GuardConfig, batch: usize, dim: usize) -> Result<Self, InferError> {
+        cfg.validate()?;
+        if batch == 0 || dim == 0 {
+            return Err(InferError::ZeroBatch);
+        }
         let channels = batch * dim;
         let k = match cfg.policy {
             DegradePolicy::MedianOfLast(k) => k,
             _ => 0,
         };
         let midpoint = 0.5 * (cfg.lo + cfg.hi);
-        InputGuard {
+        Ok(InputGuard {
             cfg,
             batch,
             dim,
@@ -208,7 +226,7 @@ impl InputGuard {
             health: vec![Health::Healthy; batch],
             steps: 0,
             stats: GuardStats::default(),
-        }
+        })
     }
 
     /// The configuration in effect.
@@ -250,18 +268,18 @@ impl InputGuard {
     /// samples pass through bit-unchanged; after the call every value is
     /// finite and within `[lo, hi]` — the guarded-path invariant.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input` has the wrong length.
-    pub fn sanitize(&mut self, input: &mut [f64]) {
-        assert_eq!(
-            input.len(),
-            self.batch * self.dim,
-            "guard sized for [batch {} x dim {}], got {} values",
-            self.batch,
-            self.dim,
-            input.len()
-        );
+    /// Returns [`InferError::ShapeMismatch`] if `input` has the wrong
+    /// length; no guard state changes on error.
+    pub fn sanitize(&mut self, input: &mut [f64]) -> Result<(), InferError> {
+        if input.len() != self.batch * self.dim {
+            return Err(InferError::ShapeMismatch {
+                what: "guard input",
+                expected: self.batch * self.dim,
+                found: input.len(),
+            });
+        }
         let k = match self.cfg.policy {
             DegradePolicy::MedianOfLast(k) => k,
             _ => 0,
@@ -297,6 +315,7 @@ impl InputGuard {
             self.update_health(b, stream_faulty);
         }
         self.steps += 1;
+        Ok(())
     }
 
     /// The repaired value for channel `ch` whose reading `v` was rejected.
@@ -381,13 +400,17 @@ pub struct GuardedStream<'m> {
 }
 
 impl<'m> GuardedStream<'m> {
-    pub(crate) fn new(model: &'m InferModel, batch: usize, cfg: GuardConfig) -> Self {
+    pub(crate) fn new(
+        model: &'m InferModel,
+        batch: usize,
+        cfg: GuardConfig,
+    ) -> Result<Self, InferError> {
         let dim = model.spec().input_dim;
-        GuardedStream {
-            inner: StreamState::new(model, batch),
-            guard: InputGuard::new(cfg, batch, dim),
+        Ok(GuardedStream {
+            inner: StreamState::new(model, batch)?,
+            guard: InputGuard::new(cfg, batch, dim)?,
             buf: vec![0.0; batch * dim],
-        }
+        })
     }
 
     /// The batch size this stream was opened for.
@@ -422,13 +445,27 @@ impl<'m> GuardedStream<'m> {
     /// to the recurrence. The returned logits are valid until the next
     /// call and always finite.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input` has the wrong length.
-    pub fn step(&mut self, input: &[f64]) -> &[f64] {
-        self.buf.copy_from_slice_checked(input);
-        self.guard.sanitize(&mut self.buf);
+    /// Returns [`InferError::ShapeMismatch`] if `input` has the wrong
+    /// length; neither guard nor filter state changes on error.
+    pub fn step(&mut self, input: &[f64]) -> Result<&[f64], InferError> {
+        if input.len() != self.buf.len() {
+            return Err(InferError::ShapeMismatch {
+                what: "step input",
+                expected: self.buf.len(),
+                found: input.len(),
+            });
+        }
+        self.buf.copy_from_slice(input);
+        self.guard.sanitize(&mut self.buf)?;
         self.inner.step(&self.buf)
+    }
+
+    /// Panicking shim over [`GuardedStream::step`].
+    #[deprecated(note = "use the fallible `step`, which returns `InferError`")]
+    pub fn step_or_panic(&mut self, input: &[f64]) -> &[f64] {
+        self.step(input).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Rewinds filter states, guard state and health for a fresh sequence.
@@ -438,30 +475,19 @@ impl<'m> GuardedStream<'m> {
     }
 }
 
-/// `copy_from_slice` with the stream's own panic message on length
-/// mismatch (the unguarded path asserts inside `step`; the guarded path
-/// must fail before mutating guard state).
-trait CopyChecked {
-    fn copy_from_slice_checked(&mut self, src: &[f64]);
-}
-
-impl CopyChecked for Vec<f64> {
-    fn copy_from_slice_checked(&mut self, src: &[f64]) {
-        assert_eq!(
-            src.len(),
-            self.len(),
-            "guarded stream step expects {} values, got {}",
-            self.len(),
-            src.len()
-        );
-        self.copy_from_slice(src);
-    }
-}
-
 impl InferModel {
     /// Opens a guarded incremental session over `batch` parallel streams
     /// (one timestep per [`GuardedStream::step`] call).
-    pub fn guarded_stream(&self, batch: usize, cfg: GuardConfig) -> GuardedStream<'_> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::ZeroBatch`] if `batch` is zero and
+    /// [`InferError::InvalidGuardConfig`] if `cfg` is inconsistent.
+    pub fn guarded_stream(
+        &self,
+        batch: usize,
+        cfg: GuardConfig,
+    ) -> Result<GuardedStream<'_>, InferError> {
         GuardedStream::new(self, batch, cfg)
     }
 
@@ -471,41 +497,57 @@ impl InferModel {
     /// for arbitrary input. `guard` accumulates stats and per-stream
     /// health across the run (reset it between unrelated runs).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `steps` is empty or not a whole number of timesteps, or
-    /// if `guard` was sized for a different `[batch × input_dim]`.
+    /// Returns [`InferError::ZeroBatch`] if `batch` is zero and
+    /// [`InferError::ShapeMismatch`] if `steps` is empty or not a whole
+    /// number of timesteps, or if `guard` was sized for a different
+    /// `[batch × input_dim]`. Guard state is untouched on error.
     pub fn run_batch_guarded(
         &self,
         steps: &[f64],
         batch: usize,
         guard: &mut InputGuard,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, InferError> {
+        if batch == 0 {
+            return Err(InferError::ZeroBatch);
+        }
         let dim = self.spec().input_dim;
         let step_len = batch * dim;
-        assert!(
-            !steps.is_empty() && step_len > 0 && steps.len().is_multiple_of(step_len),
-            "steps length {} is not a positive multiple of batch {batch} x input_dim {dim}",
-            steps.len(),
-        );
-        assert_eq!(
-            (guard.batch, guard.dim),
-            (batch, dim),
-            "guard sized for [{} x {}], run is [{batch} x {dim}]",
-            guard.batch,
-            guard.dim
-        );
-        let mut scratch: Scratch = self.make_scratch(batch);
+        if steps.is_empty() || !steps.len().is_multiple_of(step_len) {
+            return Err(InferError::ShapeMismatch {
+                what: "steps",
+                expected: step_len,
+                found: steps.len(),
+            });
+        }
+        if guard.batch != batch {
+            return Err(InferError::ShapeMismatch {
+                what: "guard batch",
+                expected: batch,
+                found: guard.batch,
+            });
+        }
+        if guard.dim != dim {
+            return Err(InferError::ShapeMismatch {
+                what: "guard dim",
+                expected: dim,
+                found: guard.dim,
+            });
+        }
+        let mut scratch: Scratch = self.make_scratch(batch)?;
         self.reset_states(&mut scratch);
         let mut buf = vec![0.0; step_len];
         for chunk in steps.chunks_exact(step_len) {
             buf.copy_from_slice(chunk);
-            guard.sanitize(&mut buf);
+            guard
+                .sanitize(&mut buf)
+                .expect("buffer sized to the guard above");
             self.advance(&buf, &mut scratch);
         }
         let mut out = vec![0.0; batch * self.spec().classes];
         self.read_logits(&scratch, &mut out);
-        out
+        Ok(out)
     }
 }
 
@@ -537,9 +579,9 @@ mod tests {
     fn clean_input_passes_through_bit_identical() {
         let m = model();
         let steps: Vec<f64> = (0..48).map(|i| (i as f64 * 0.3).sin()).collect();
-        let clean = m.run_batch(&steps, 1);
-        let mut guard = InputGuard::new(GuardConfig::default_policy(), 1, 2);
-        let guarded = m.run_batch_guarded(&steps, 1, &mut guard);
+        let clean = m.run_batch(&steps, 1).unwrap();
+        let mut guard = InputGuard::new(GuardConfig::default_policy(), 1, 2).unwrap();
+        let guarded = m.run_batch_guarded(&steps, 1, &mut guard).unwrap();
         assert_eq!(clean, guarded, "guard must not disturb valid input");
         assert_eq!(guard.stats().repaired, 0);
         assert_eq!(guard.health(), &[Health::Healthy]);
@@ -548,10 +590,10 @@ mod tests {
     #[test]
     fn nan_never_reaches_filter_state() {
         let m = model();
-        let mut stream = m.guarded_stream(1, GuardConfig::default_policy());
+        let mut stream = m.guarded_stream(1, GuardConfig::default_policy()).unwrap();
         for t in 0..64 {
             let x = if t % 3 == 0 { f64::NAN } else { 0.2 };
-            let logits = stream.step(&[x, f64::INFINITY]);
+            let logits = stream.step(&[x, f64::INFINITY]).unwrap();
             assert!(logits.iter().all(|v| v.is_finite()), "step {t}");
             assert!(stream.state_is_finite(), "state poisoned at step {t}");
         }
@@ -560,11 +602,11 @@ mod tests {
 
     #[test]
     fn hold_last_repeats_last_good_value() {
-        let mut guard = InputGuard::new(GuardConfig::default_policy(), 1, 1);
+        let mut guard = InputGuard::new(GuardConfig::default_policy(), 1, 1).unwrap();
         let mut a = [1.5];
-        guard.sanitize(&mut a);
+        guard.sanitize(&mut a).unwrap();
         let mut b = [f64::NAN];
-        guard.sanitize(&mut b);
+        guard.sanitize(&mut b).unwrap();
         assert_eq!(b[0], 1.5);
         assert_eq!(guard.stats().repaired, 1);
     }
@@ -572,9 +614,9 @@ mod tests {
     #[test]
     fn clamp_snaps_to_bounds() {
         let cfg = GuardConfig::default_policy().with_policy(DegradePolicy::Clamp);
-        let mut guard = InputGuard::new(cfg, 1, 4);
+        let mut guard = InputGuard::new(cfg, 1, 4).unwrap();
         let mut v = [100.0, f64::NEG_INFINITY, f64::NAN, -0.5];
-        guard.sanitize(&mut v);
+        guard.sanitize(&mut v).unwrap();
         assert_eq!(v[0], 6.0);
         assert_eq!(v[1], -6.0);
         assert_eq!(v[2], 0.0, "NaN falls back to midpoint before good data");
@@ -584,21 +626,21 @@ mod tests {
     #[test]
     fn median_policy_resists_spikes() {
         let cfg = GuardConfig::default_policy().with_policy(DegradePolicy::MedianOfLast(5));
-        let mut guard = InputGuard::new(cfg, 1, 1);
+        let mut guard = InputGuard::new(cfg, 1, 1).unwrap();
         for x in [1.0, 2.0, 100.0f64.min(3.0), 2.0, 1.0] {
-            guard.sanitize(&mut [x]);
+            guard.sanitize(&mut [x]).unwrap();
         }
         let mut v = [f64::NAN];
-        guard.sanitize(&mut v);
+        guard.sanitize(&mut v).unwrap();
         assert_eq!(v[0], 2.0, "median of 1,2,3,2,1");
         // Even history length averages the middle pair.
         let cfg = GuardConfig::default_policy().with_policy(DegradePolicy::MedianOfLast(4));
-        let mut guard = InputGuard::new(cfg, 1, 1);
+        let mut guard = InputGuard::new(cfg, 1, 1).unwrap();
         for x in [1.0, 2.0] {
-            guard.sanitize(&mut [x]);
+            guard.sanitize(&mut [x]).unwrap();
         }
         let mut v = [f64::INFINITY];
-        guard.sanitize(&mut v);
+        guard.sanitize(&mut v).unwrap();
         assert_eq!(v[0], 1.5);
     }
 
@@ -608,20 +650,20 @@ mod tests {
             window: 8,
             ..GuardConfig::default_policy()
         };
-        let mut guard = InputGuard::new(cfg, 1, 1);
+        let mut guard = InputGuard::new(cfg, 1, 1).unwrap();
         // Healthy on clean data.
         for _ in 0..8 {
-            guard.sanitize(&mut [0.1]);
+            guard.sanitize(&mut [0.1]).unwrap();
         }
         assert_eq!(guard.health(), &[Health::Healthy]);
         // A solid NaN burst drives the stream to Faulted...
         for _ in 0..8 {
-            guard.sanitize(&mut [f64::NAN]);
+            guard.sanitize(&mut [f64::NAN]).unwrap();
         }
         assert_eq!(guard.health(), &[Health::Faulted]);
         // ...and clean data flushes the window back to Healthy.
         for _ in 0..8 {
-            guard.sanitize(&mut [0.1]);
+            guard.sanitize(&mut [0.1]).unwrap();
         }
         assert_eq!(guard.health(), &[Health::Healthy]);
         assert!(guard.stats().transitions >= 2);
@@ -634,12 +676,12 @@ mod tests {
                 window: 4,
                 ..GuardConfig::default_policy()
             };
-            let mut guard = InputGuard::new(cfg, 1, 1);
+            let mut guard = InputGuard::new(cfg, 1, 1).unwrap();
             for _ in 0..4 {
-                guard.sanitize(&mut [f64::NAN]);
+                guard.sanitize(&mut [f64::NAN]).unwrap();
             }
             for _ in 0..8 {
-                guard.sanitize(&mut [0.0]);
+                guard.sanitize(&mut [0.0]).unwrap();
             }
         });
         assert!(ptnc_telemetry::counter_total(&events, "infer.guard.to_faulted") >= 1.0);
@@ -649,10 +691,10 @@ mod tests {
     #[test]
     fn per_stream_health_is_independent() {
         let m = model();
-        let mut stream = m.guarded_stream(2, GuardConfig::default_policy());
+        let mut stream = m.guarded_stream(2, GuardConfig::default_policy()).unwrap();
         for _ in 0..32 {
             // Stream 0 clean, stream 1 all-NaN.
-            stream.step(&[0.3, -0.1, f64::NAN, f64::NAN]);
+            stream.step(&[0.3, -0.1, f64::NAN, f64::NAN]).unwrap();
         }
         assert_eq!(stream.health()[0], Health::Healthy);
         assert_eq!(stream.health()[1], Health::Faulted);
@@ -661,7 +703,7 @@ mod tests {
     #[test]
     fn guarded_reset_replays_identically() {
         let m = model();
-        let mut stream = m.guarded_stream(1, GuardConfig::default_policy());
+        let mut stream = m.guarded_stream(1, GuardConfig::default_policy()).unwrap();
         let inputs: Vec<[f64; 2]> = (0..20)
             .map(|t| {
                 if t % 4 == 0 {
@@ -673,33 +715,52 @@ mod tests {
             .collect();
         let mut first = Vec::new();
         for x in &inputs {
-            first = stream.step(x).to_vec();
+            first = stream.step(x).unwrap().to_vec();
         }
         stream.reset();
         assert_eq!(stream.stats().samples, 0);
         let mut second = Vec::new();
         for x in &inputs {
-            second = stream.step(x).to_vec();
+            second = stream.step(x).unwrap().to_vec();
         }
         assert_eq!(first, second);
     }
 
     #[test]
-    #[should_panic(expected = "guarded stream step expects")]
-    fn wrong_width_panics() {
+    fn wrong_width_is_a_typed_error() {
         let m = model();
-        m.guarded_stream(1, GuardConfig::default_policy())
-            .step(&[0.0]);
+        let mut stream = m.guarded_stream(1, GuardConfig::default_policy()).unwrap();
+        assert_eq!(
+            stream.step(&[0.0]).unwrap_err(),
+            InferError::ShapeMismatch {
+                what: "step input",
+                expected: 2,
+                found: 1,
+            }
+        );
+        assert_eq!(stream.stats().samples, 0, "failed step must not count");
     }
 
     #[test]
-    #[should_panic(expected = "thresholds")]
-    fn inconsistent_thresholds_panic() {
+    fn inconsistent_thresholds_are_a_typed_error() {
         let cfg = GuardConfig {
             degraded_frac: 0.9,
             faulted_frac: 0.1,
             ..GuardConfig::default_policy()
         };
-        InputGuard::new(cfg, 1, 1);
+        assert!(matches!(
+            InputGuard::new(cfg, 1, 1),
+            Err(InferError::InvalidGuardConfig { reason })
+                if reason.contains("thresholds")
+        ));
+        assert!(matches!(
+            InputGuard::new(GuardConfig::default_policy(), 0, 1),
+            Err(InferError::ZeroBatch)
+        ));
+        let median0 = GuardConfig::default_policy().with_policy(DegradePolicy::MedianOfLast(0));
+        assert!(matches!(
+            InputGuard::new(median0, 1, 1),
+            Err(InferError::InvalidGuardConfig { .. })
+        ));
     }
 }

@@ -45,12 +45,22 @@
 //! draws its multipliers in exactly the order the design-time model
 //! samples its `ModelNoise`, so a seeded trial sees identical noise on
 //! both paths.
+//!
+//! ## Fallible request path
+//!
+//! Every request-shaped entry point — batched runs, scratch allocation,
+//! streaming steps, guard construction — validates its input and returns
+//! a typed [`InferError`] instead of panicking, so a serving layer can
+//! shed malformed requests without losing the worker. The panicking
+//! spellings survive one release as `*_or_panic` deprecated shims.
 
+mod error;
 mod guard;
 mod model;
 mod stream;
 mod variation;
 
+pub use error::InferError;
 pub use guard::{DegradePolicy, GuardConfig, GuardStats, GuardedStream, Health, InputGuard};
 pub use model::{BuildError, InferModel, InferSpec, Scratch};
 pub use stream::StreamState;

@@ -1,6 +1,12 @@
 //! The compiled inference model: flat weight buffers, precompiled filter
 //! coefficients, and the allocation-free batched forward pass.
+//!
+//! Every request-shaped entry point ([`InferModel::run_batch_into`] and
+//! friends) validates its input and returns [`InferError`] — the serving
+//! layer sheds malformed requests instead of panicking. The panicking
+//! spellings survive one release as `*_or_panic` deprecated shims.
 
+use crate::error::InferError;
 use crate::variation::{LayerVariation, VariationSample};
 
 /// Architecture and operating constants of a frozen 2-layer printed
@@ -415,48 +421,62 @@ impl InferModel {
     /// weights are shared nominal values, so perturbing a perturbed
     /// instance yields the same result as perturbing the original.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the sample's shape does not match this architecture
-    /// (samples drawn via [`VariationSample::draw`] on the same spec
-    /// always match).
-    pub fn perturbed(&self, sample: &VariationSample) -> InferModel {
-        assert_eq!(
-            sample.layers.len(),
-            2,
-            "variation sample must cover both layers"
-        );
-        for (l, (raw, lv)) in self.raw.iter().zip(&sample.layers).enumerate() {
-            assert_eq!(
-                lv.eps_w.len(),
-                raw.fan_in * raw.fan_out,
-                "layer {l} crossbar variation shape mismatch"
-            );
-            assert_eq!(
-                lv.eps_r.len(),
-                self.spec.stages,
-                "layer {l} filter variation stage mismatch"
-            );
+    /// Returns [`InferError::SpecMismatch`] if the sample's shape does not
+    /// match this architecture (samples drawn via [`VariationSample::draw`]
+    /// on the same spec always match).
+    pub fn perturbed(&self, sample: &VariationSample) -> Result<InferModel, InferError> {
+        if sample.layers.len() != 2 {
+            return Err(InferError::SpecMismatch {
+                what: "variation layers",
+                expected: 2,
+                found: sample.layers.len(),
+            });
+        }
+        for (raw, lv) in self.raw.iter().zip(&sample.layers) {
+            if lv.eps_w.len() != raw.fan_in * raw.fan_out {
+                return Err(InferError::SpecMismatch {
+                    what: "crossbar variation",
+                    expected: raw.fan_in * raw.fan_out,
+                    found: lv.eps_w.len(),
+                });
+            }
+            if lv.eps_r.len() != self.spec.stages {
+                return Err(InferError::SpecMismatch {
+                    what: "filter stages",
+                    expected: self.spec.stages,
+                    found: lv.eps_r.len(),
+                });
+            }
         }
         let layers = std::array::from_fn(|l| {
             CompiledLayer::compile(&self.raw[l], &self.spec, Some(&sample.layers[l]))
         });
-        InferModel {
+        Ok(InferModel {
             spec: self.spec,
             raw: self.raw.clone(),
             layers,
-        }
+        })
+    }
+
+    /// Panicking shim over [`InferModel::perturbed`].
+    #[deprecated(note = "use the fallible `perturbed`, which returns `InferError`")]
+    pub fn perturbed_or_panic(&self, sample: &VariationSample) -> InferModel {
+        self.perturbed(sample).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocates working memory for batches of exactly `batch` sequences.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch == 0`.
-    pub fn make_scratch(&self, batch: usize) -> Scratch {
-        assert!(batch > 0, "zero batch size");
+    /// Returns [`InferError::ZeroBatch`] if `batch == 0`.
+    pub fn make_scratch(&self, batch: usize) -> Result<Scratch, InferError> {
+        if batch == 0 {
+            return Err(InferError::ZeroBatch);
+        }
         let max_w = self.spec.hidden.max(self.spec.classes);
-        Scratch {
+        Ok(Scratch {
             batch,
             xb: vec![0.0; batch * max_w],
             hidden_act: vec![0.0; batch * self.spec.hidden],
@@ -465,7 +485,13 @@ impl InferModel {
                 let fan_out = self.spec.layer_dims()[l].1;
                 vec![vec![0.0; batch * fan_out]; self.spec.stages]
             }),
-        }
+        })
+    }
+
+    /// Panicking shim over [`InferModel::make_scratch`].
+    #[deprecated(note = "use the fallible `make_scratch`, which returns `InferError`")]
+    pub fn make_scratch_or_panic(&self, batch: usize) -> Scratch {
+        self.make_scratch(batch).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Resets the filter states in `scratch` to this instance's initial
@@ -515,51 +541,100 @@ impl InferModel {
     /// `steps` is time-major contiguous data: timestep `t`, sequence `b`,
     /// feature `i` lives at `((t * batch) + b) * input_dim + i`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `steps` is empty or not a whole number of timesteps, if
-    /// `scratch` was sized for a different batch, or if `out` is not
-    /// `[batch × classes]`.
+    /// Returns [`InferError::ZeroBatch`] if `batch == 0`, and
+    /// [`InferError::ShapeMismatch`] if `steps` is empty or not a whole
+    /// number of timesteps, if `scratch` was sized for a different batch,
+    /// or if `out` is not `[batch × classes]`. On error nothing is
+    /// written: `scratch` and `out` are untouched.
     pub fn run_batch_into(
         &self,
         steps: &[f64],
         batch: usize,
         scratch: &mut Scratch,
         out: &mut [f64],
-    ) {
+    ) -> Result<(), InferError> {
+        if batch == 0 {
+            return Err(InferError::ZeroBatch);
+        }
         let step_len = batch * self.spec.input_dim;
-        assert!(
-            !steps.is_empty() && step_len > 0 && steps.len().is_multiple_of(step_len),
-            "steps length {} is not a positive multiple of batch {batch} x input_dim {}",
-            steps.len(),
-            self.spec.input_dim
-        );
-        assert_eq!(scratch.batch, batch, "scratch sized for a different batch");
-        assert_eq!(
-            out.len(),
-            batch * self.spec.classes,
-            "output buffer must be [batch x classes]"
-        );
+        if steps.is_empty() || !steps.len().is_multiple_of(step_len) {
+            return Err(InferError::ShapeMismatch {
+                what: "steps",
+                expected: step_len,
+                found: steps.len(),
+            });
+        }
+        if scratch.batch != batch {
+            return Err(InferError::ShapeMismatch {
+                what: "scratch batch",
+                expected: batch,
+                found: scratch.batch,
+            });
+        }
+        if out.len() != batch * self.spec.classes {
+            return Err(InferError::ShapeMismatch {
+                what: "output buffer",
+                expected: batch * self.spec.classes,
+                found: out.len(),
+            });
+        }
         self.reset_states(scratch);
         for chunk in steps.chunks_exact(step_len) {
             self.advance(chunk, scratch);
         }
         self.read_logits(scratch, out);
+        Ok(())
+    }
+
+    /// Panicking shim over [`InferModel::run_batch_into`].
+    #[deprecated(note = "use the fallible `run_batch_into`, which returns `InferError`")]
+    pub fn run_batch_into_or_panic(
+        &self,
+        steps: &[f64],
+        batch: usize,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        self.run_batch_into(steps, batch, scratch, out)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Convenience wrapper around [`InferModel::run_batch_into`] that
     /// allocates its own scratch and output.
-    pub fn run_batch(&self, steps: &[f64], batch: usize) -> Vec<f64> {
-        let mut scratch = self.make_scratch(batch);
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`InferError`]s as [`InferModel::run_batch_into`].
+    pub fn run_batch(&self, steps: &[f64], batch: usize) -> Result<Vec<f64>, InferError> {
+        let mut scratch = self.make_scratch(batch)?;
         let mut out = vec![0.0; batch * self.spec.classes];
-        self.run_batch_into(steps, batch, &mut scratch, &mut out);
-        out
+        self.run_batch_into(steps, batch, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Panicking shim over [`InferModel::run_batch`].
+    #[deprecated(note = "use the fallible `run_batch`, which returns `InferError`")]
+    pub fn run_batch_or_panic(&self, steps: &[f64], batch: usize) -> Vec<f64> {
+        self.run_batch(steps, batch)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Opens an incremental streaming session over `batch` parallel
     /// sequences (one timestep per [`StreamState::step`] call).
-    pub fn stream(&self, batch: usize) -> crate::StreamState<'_> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::ZeroBatch`] if `batch == 0`.
+    pub fn stream(&self, batch: usize) -> Result<crate::StreamState<'_>, InferError> {
         crate::StreamState::new(self, batch)
+    }
+
+    /// Panicking shim over [`InferModel::stream`].
+    #[deprecated(note = "use the fallible `stream`, which returns `InferError`")]
+    pub fn stream_or_panic(&self, batch: usize) -> crate::StreamState<'_> {
+        self.stream(batch).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -645,9 +720,9 @@ mod tests {
                 *slot = series[b][t];
             }
         }
-        let batched = model.run_batch(&steps, batch);
+        let batched = model.run_batch(&steps, batch).unwrap();
         for (b, s) in series.iter().enumerate() {
-            let single = model.run_batch(s, 1);
+            let single = model.run_batch(s, 1).unwrap();
             assert_eq!(
                 single,
                 batched[b * spec.classes..(b + 1) * spec.classes].to_vec(),
@@ -661,11 +736,15 @@ mod tests {
         let spec = tiny_spec();
         let model = InferModel::build(spec, &tiny_params(&spec)).unwrap();
         let steps: Vec<f64> = (0..16).map(|t| (t as f64 * 0.21).cos()).collect();
-        let mut scratch = model.make_scratch(1);
+        let mut scratch = model.make_scratch(1).unwrap();
         let mut first = vec![0.0; spec.classes];
         let mut second = vec![0.0; spec.classes];
-        model.run_batch_into(&steps, 1, &mut scratch, &mut first);
-        model.run_batch_into(&steps, 1, &mut scratch, &mut second);
+        model
+            .run_batch_into(&steps, 1, &mut scratch, &mut first)
+            .unwrap();
+        model
+            .run_batch_into(&steps, 1, &mut scratch, &mut second)
+            .unwrap();
         assert_eq!(first, second, "scratch reuse must not leak state");
     }
 
@@ -678,8 +757,8 @@ mod tests {
         let a = InferModel::build(spec, &params).unwrap();
         let b = InferModel::build(scaled, &params).unwrap();
         let steps = [0.4, -0.2, 0.9];
-        let la = a.run_batch(&steps, 1);
-        let lb = b.run_batch(&steps, 1);
+        let la = a.run_batch(&steps, 1).unwrap();
+        let lb = b.run_batch(&steps, 1).unwrap();
         for (x, y) in la.iter().zip(&lb) {
             assert!((y - 2.0 * x).abs() < 1e-15);
         }

@@ -1,5 +1,6 @@
 //! Incremental (one-timestep-per-call) inference for online sensor input.
 
+use crate::error::InferError;
 use crate::model::{InferModel, Scratch};
 
 /// A streaming session over `batch` parallel sequences: each
@@ -17,16 +18,16 @@ pub struct StreamState<'m> {
 }
 
 impl<'m> StreamState<'m> {
-    pub(crate) fn new(model: &'m InferModel, batch: usize) -> Self {
-        let mut scratch = model.make_scratch(batch);
+    pub(crate) fn new(model: &'m InferModel, batch: usize) -> Result<Self, InferError> {
+        let mut scratch = model.make_scratch(batch)?;
         model.reset_states(&mut scratch);
         let logits = vec![0.0; batch * model.spec().classes];
-        StreamState {
+        Ok(StreamState {
             model,
             scratch,
             logits,
             steps_seen: 0,
-        }
+        })
     }
 
     /// The batch size this stream was opened for.
@@ -66,23 +67,30 @@ impl<'m> StreamState<'m> {
     /// [`InferModel::run_batch_guarded`](crate::InferModel::run_batch_guarded)),
     /// which repairs invalid samples before they can touch filter state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input` has the wrong length.
-    pub fn step(&mut self, input: &[f64]) -> &[f64] {
+    /// Returns [`InferError::ShapeMismatch`] if `input` has the wrong
+    /// length; filter state is untouched on error.
+    pub fn step(&mut self, input: &[f64]) -> Result<&[f64], InferError> {
         let spec = self.model.spec();
-        assert_eq!(
-            input.len(),
-            self.scratch.batch() * spec.input_dim,
-            "stream step expects [batch {} x input_dim {}], got {} values",
-            self.scratch.batch(),
-            spec.input_dim,
-            input.len()
-        );
+        let expected = self.scratch.batch() * spec.input_dim;
+        if input.len() != expected {
+            return Err(InferError::ShapeMismatch {
+                what: "step input",
+                expected,
+                found: input.len(),
+            });
+        }
         self.model.advance(input, &mut self.scratch);
         self.model.read_logits(&self.scratch, &mut self.logits);
         self.steps_seen += 1;
-        &self.logits
+        Ok(&self.logits)
+    }
+
+    /// Panicking shim over [`StreamState::step`].
+    #[deprecated(note = "use the fallible `step`, which returns `InferError`")]
+    pub fn step_or_panic(&mut self, input: &[f64]) -> &[f64] {
+        self.step(input).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Rewinds the filter states to their initial voltages, ready for a
@@ -121,11 +129,11 @@ mod tests {
         let m = model();
         let t_len = 12;
         let steps: Vec<f64> = (0..t_len * 2).map(|i| (i as f64 * 0.31).sin()).collect();
-        let batched = m.run_batch(&steps, 1);
-        let mut stream = m.stream(1);
+        let batched = m.run_batch(&steps, 1).unwrap();
+        let mut stream = m.stream(1).unwrap();
         let mut last = Vec::new();
         for chunk in steps.chunks_exact(2) {
-            last = stream.step(chunk).to_vec();
+            last = stream.step(chunk).unwrap().to_vec();
         }
         assert_eq!(stream.steps_seen(), t_len);
         assert_eq!(last, batched, "stream final logits must equal batched");
@@ -135,24 +143,34 @@ mod tests {
     fn reset_replays_identically() {
         let m = model();
         let steps: Vec<f64> = (0..10).map(|i| (i as f64 * 0.7).cos()).collect();
-        let mut stream = m.stream(1);
+        let mut stream = m.stream(1).unwrap();
         let mut first = Vec::new();
         for chunk in steps.chunks_exact(2) {
-            first = stream.step(chunk).to_vec();
+            first = stream.step(chunk).unwrap().to_vec();
         }
         stream.reset();
         assert_eq!(stream.steps_seen(), 0);
         let mut second = Vec::new();
         for chunk in steps.chunks_exact(2) {
-            second = stream.step(chunk).to_vec();
+            second = stream.step(chunk).unwrap().to_vec();
         }
         assert_eq!(first, second);
     }
 
     #[test]
-    #[should_panic(expected = "stream step expects")]
-    fn wrong_input_width_panics() {
+    fn wrong_input_width_is_a_typed_error() {
+        use crate::error::InferError;
         let m = model();
-        m.stream(1).step(&[0.1, 0.2, 0.3]);
+        let mut stream = m.stream(1).unwrap();
+        assert_eq!(
+            stream.step(&[0.1, 0.2, 0.3]).unwrap_err(),
+            InferError::ShapeMismatch {
+                what: "step input",
+                expected: 2,
+                found: 3,
+            }
+        );
+        assert_eq!(stream.steps_seen(), 0, "failed step must not advance");
+        assert_eq!(m.stream(0).unwrap_err(), InferError::ZeroBatch);
     }
 }

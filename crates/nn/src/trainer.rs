@@ -269,25 +269,6 @@ impl Trainer {
             clipped_steps,
         }
     }
-
-    /// Runs the loop from a pair of loss closures.
-    #[deprecated(note = "use `Trainer::run` with a `TrainObjective`")]
-    pub fn fit(
-        &self,
-        params: Vec<Tensor>,
-        mut train_loss: impl FnMut(&mut StdRng) -> Tensor,
-        mut val_loss: impl FnMut(&mut StdRng) -> f64,
-        project: impl FnMut(&[Tensor]),
-    ) -> TrainReport {
-        self.run(
-            params,
-            &mut FnObjective {
-                train: move |ctx: &mut EpochCtx<'_>| train_loss(ctx.rng),
-                val: move |ctx: &mut EpochCtx<'_>| val_loss(ctx.rng),
-                project,
-            },
-        )
-    }
 }
 
 #[cfg(test)]
@@ -489,18 +470,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_fit_still_works() {
+    fn closure_objective_fits_without_a_named_objective_type() {
+        // The migration target of the removed closure-based `fit` API: the
+        // same twin-closure shape, expressed through `FnObjective`.
         let x = Tensor::leaf(&[1], vec![0.0]);
         let trainer =
             Trainer::new(200, 0).with_schedule(ReduceLrOnPlateau::new(0.05, 0.5, 50, 1e-6));
         let x2 = x.clone();
         let x3 = x.clone();
-        trainer.fit(
+        trainer.run(
             vec![x.clone()],
-            move |_| x2.sub_scalar(1.0).square().sum_all(),
-            move |_| (x3.item() - 1.0).powi(2),
-            |_| {},
+            &mut FnObjective {
+                train: move |_: &mut EpochCtx<'_>| x2.sub_scalar(1.0).square().sum_all(),
+                val: move |_: &mut EpochCtx<'_>| (x3.item() - 1.0).powi(2),
+                project: |_: &[Tensor]| {},
+            },
         );
         assert!((x.item() - 1.0).abs() < 0.05);
     }

@@ -1,0 +1,688 @@
+//! Dynamic micro-batching: many concurrent logical streams, each
+//! submitting full sequences, coalesced into wide `run_batch_into` calls
+//! on a fixed worker pool.
+//!
+//! ## Shape of the problem
+//!
+//! A printed-sensor fleet is many cheap frontends and one shared compute
+//! tier: requests are short univariate/multivariate windows, and the
+//! compiled runtime is an order of magnitude faster per sequence when it
+//! runs tens of lanes per forward (`infer_throughput`'s batched path). The
+//! scheduler here buys that batch width at bounded latency cost:
+//!
+//! - **Bounded queue, explicit shedding.** [`Server::submit`] never blocks
+//!   on a full queue; it returns [`ServingError::Backpressure`]
+//!   immediately. The client — not the server — owns the retry policy.
+//! - **Equal-length front runs.** A batch is the contiguous run of
+//!   equal-length requests at the queue front (up to `max_batch`).
+//!   Homogeneous traffic (the common fleet case: fixed sensor window)
+//!   forms full batches; mixed traffic degrades to smaller batches but
+//!   stays FIFO-fair and allocation-free to assemble.
+//! - **Batch window.** When the front run is still short of `max_batch`, a
+//!   worker waits up to `batch_window` for more arrivals before running a
+//!   partial batch — the classic latency/throughput knob.
+//! - **Fixed buffers, zero steady-state allocation.** Every worker owns a
+//!   [`MicroBatcher`] whose staging, scratch, and output buffers are sized
+//!   once from (`max_steps`, `max_batch`, spec); forwards run at full
+//!   `max_batch` width with unused lanes padded, so no buffer ever
+//!   resizes. The per-request result vector is preallocated at submit
+//!   time, inside the request's own [`Ticket`].
+//!
+//! Submission is split from completion (`submit` returns a [`Ticket`];
+//! [`Ticket::wait`] blocks) so a single client thread can keep thousands
+//! of logical streams in flight — that multiplexing is what lets batches
+//! actually form on a small machine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ptnc_infer::{GuardConfig, Health, InferError, InferModel, InputGuard, Scratch};
+
+use crate::error::ServingError;
+use crate::registry::ModelRegistry;
+use crate::stats::{StatsRegistry, TenantStats};
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Lanes per forward — the width worker buffers are sized to.
+    pub max_batch: usize,
+    /// Longest request sequence accepted, in timesteps (staging is
+    /// preallocated for `max_steps × max_batch × dim`).
+    pub max_steps: usize,
+    /// Pending-request queue bound; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// How long a worker waits for a partial batch to fill before running
+    /// it anyway.
+    pub batch_window: Duration,
+    /// Worker threads.
+    pub workers: usize,
+    /// When set, every request's input is sanitized through an
+    /// [`InputGuard`] with this config before it reaches the filters.
+    pub guard: Option<GuardConfig>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_steps: 512,
+            queue_capacity: 1024,
+            batch_window: Duration::from_micros(200),
+            workers: 1,
+            guard: None,
+        }
+    }
+}
+
+impl BatchConfig {
+    fn validate(&self) -> Result<(), ServingError> {
+        if self.max_batch == 0 {
+            return Err(ServingError::Config {
+                reason: "max_batch must be at least 1",
+            });
+        }
+        if self.max_steps == 0 {
+            return Err(ServingError::Config {
+                reason: "max_steps must be at least 1",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServingError::Config {
+                reason: "queue_capacity must be at least 1",
+            });
+        }
+        if self.workers == 0 {
+            return Err(ServingError::Config {
+                reason: "need at least one worker",
+            });
+        }
+        if let Some(g) = &self.guard {
+            g.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// The single-threaded batching core one worker owns: fixed staging /
+/// scratch / output buffers plus an optional input guard, all sized once.
+/// Public so the steady-state loop can be driven (and its allocation
+/// behavior measured) outside the thread pool — `serve_throughput` pins
+/// the 0-allocs-per-forward claim on exactly this type.
+pub struct MicroBatcher {
+    dim: usize,
+    classes: usize,
+    max_batch: usize,
+    max_steps: usize,
+    /// Time-major staging `[t][max_batch][dim]`, always forwarded at full
+    /// `max_batch` width.
+    staging: Vec<f64>,
+    out: Vec<f64>,
+    scratch: Scratch,
+    guard: Option<InputGuard>,
+    /// Timesteps loaded by the last `begin`.
+    t: usize,
+}
+
+impl MicroBatcher {
+    /// Sizes buffers for `model`'s spec and the given knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Config`] / [`ServingError::BadRequest`] on invalid
+    /// knobs or guard config.
+    pub fn new(model: &InferModel, cfg: &BatchConfig) -> Result<Self, ServingError> {
+        cfg.validate()?;
+        let spec = model.spec();
+        let guard = match &cfg.guard {
+            Some(g) => Some(InputGuard::new(*g, cfg.max_batch, spec.input_dim)?),
+            None => None,
+        };
+        Ok(MicroBatcher {
+            dim: spec.input_dim,
+            classes: spec.classes,
+            max_batch: cfg.max_batch,
+            max_steps: cfg.max_steps,
+            staging: vec![0.0; cfg.max_steps * cfg.max_batch * spec.input_dim],
+            out: vec![0.0; cfg.max_batch * spec.classes],
+            scratch: model.make_scratch(cfg.max_batch)?,
+            guard,
+            t: 0,
+        })
+    }
+
+    /// Starts a batch of `t`-step sequences: clears stale lane data so
+    /// padded lanes feed neutral zeros (in particular to the guard's
+    /// health tracking).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::TooManySteps`] beyond the staging window,
+    /// [`ServingError::BadRequest`] on zero steps.
+    pub fn begin(&mut self, t: usize) -> Result<(), ServingError> {
+        if t == 0 {
+            return Err(InferError::ZeroBatch.into());
+        }
+        if t > self.max_steps {
+            return Err(ServingError::TooManySteps {
+                steps: t,
+                max: self.max_steps,
+            });
+        }
+        self.t = t;
+        self.staging[..t * self.max_batch * self.dim].fill(0.0);
+        Ok(())
+    }
+
+    /// Copies one request (`t × dim` values, time-major) into `lane`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadRequest`] on a lane out of range or a length
+    /// that is not exactly `t × dim`.
+    pub fn load_lane(&mut self, lane: usize, steps: &[f64]) -> Result<(), ServingError> {
+        if lane >= self.max_batch {
+            return Err(InferError::ShapeMismatch {
+                what: "batch lane",
+                expected: self.max_batch,
+                found: lane,
+            }
+            .into());
+        }
+        if steps.len() != self.t * self.dim {
+            return Err(InferError::ShapeMismatch {
+                what: "lane steps",
+                expected: self.t * self.dim,
+                found: steps.len(),
+            }
+            .into());
+        }
+        let row = self.max_batch * self.dim;
+        for (k, src) in steps.chunks_exact(self.dim).enumerate() {
+            let at = k * row + lane * self.dim;
+            self.staging[at..at + self.dim].copy_from_slice(src);
+        }
+        Ok(())
+    }
+
+    /// Runs the loaded batch through `model` at full width (padded lanes
+    /// compute on zeros and are simply never read back). With a guard
+    /// configured, every staged timestep is sanitized in place first, so
+    /// NaN/Inf bursts in one request cannot poison the shared forward.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadRequest`] if `model`'s spec disagrees with the
+    /// buffers (cannot happen through [`Server`], which pins the spec via
+    /// the registry).
+    pub fn forward(&mut self, model: &InferModel) -> Result<(), ServingError> {
+        let used = self.t * self.max_batch * self.dim;
+        if let Some(g) = &mut self.guard {
+            g.reset();
+            for step in self.staging[..used].chunks_exact_mut(self.max_batch * self.dim) {
+                g.sanitize(step)?;
+            }
+        }
+        model.run_batch_into(
+            &self.staging[..used],
+            self.max_batch,
+            &mut self.scratch,
+            &mut self.out,
+        )?;
+        Ok(())
+    }
+
+    /// Logits of `lane` after [`forward`](Self::forward).
+    pub fn lane_logits(&self, lane: usize) -> &[f64] {
+        &self.out[lane * self.classes..(lane + 1) * self.classes]
+    }
+
+    /// End-of-batch guard health of `lane` ([`Health::Healthy`] when no
+    /// guard is configured).
+    pub fn lane_health(&self, lane: usize) -> Health {
+        self.guard
+            .as_ref()
+            .map_or(Health::Healthy, |g| g.health()[lane])
+    }
+
+    /// Samples the guard repaired in the last batch (0 without a guard).
+    pub fn repaired_last_batch(&self) -> u64 {
+        self.guard.as_ref().map_or(0, |g| g.stats().repaired)
+    }
+
+    /// Lane capacity.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Staging window in timesteps.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+}
+
+enum SlotState {
+    Pending(Vec<f64>),
+    Done(Vec<f64>),
+    Failed(ServingError),
+    Taken,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn complete(&self, fill: impl FnOnce(&mut [f64])) {
+        let mut st = self.state.lock().expect("slot lock poisoned");
+        if let SlotState::Pending(mut buf) = std::mem::replace(&mut *st, SlotState::Taken) {
+            fill(&mut buf);
+            *st = SlotState::Done(buf);
+        }
+        self.ready.notify_all();
+    }
+
+    fn fail(&self, err: ServingError) {
+        let mut st = self.state.lock().expect("slot lock poisoned");
+        *st = SlotState::Failed(err);
+        self.ready.notify_all();
+    }
+}
+
+/// A pending request: block on [`wait`](Ticket::wait) to get the logits.
+/// Dropping the ticket abandons the result (the request still runs).
+pub struct Ticket {
+    slot: Arc<Slot>,
+    /// Timesteps submitted — useful for client-side accounting.
+    pub timesteps: usize,
+}
+
+impl Ticket {
+    /// Blocks until the request completes or fails.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the scheduler failed the request with — in steady state
+    /// only [`ServingError::ShuttingDown`].
+    pub fn wait(self) -> Result<Vec<f64>, ServingError> {
+        let mut st = self.slot.state.lock().expect("slot lock poisoned");
+        loop {
+            match &*st {
+                SlotState::Pending(_) => {
+                    st = self.slot.ready.wait(st).expect("slot lock poisoned");
+                }
+                SlotState::Failed(e) => return Err(*e),
+                SlotState::Done(_) | SlotState::Taken => {
+                    match std::mem::replace(&mut *st, SlotState::Taken) {
+                        SlotState::Done(buf) => return Ok(buf),
+                        _ => unreachable!("ticket waited twice"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Request {
+    steps: Vec<f64>,
+    t: usize,
+    slot: Arc<Slot>,
+    tenant: Arc<TenantStats>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: BatchConfig,
+    dim: usize,
+    classes: usize,
+    queue: Mutex<VecDeque<Request>>,
+    arrivals: Condvar,
+    shutdown: AtomicBool,
+    stats: StatsRegistry,
+    batches: AtomicU64,
+    batched_lanes: AtomicU64,
+    guard_repaired: AtomicU64,
+}
+
+/// The serving front end: owns the worker pool, the bounded queue, and
+/// per-tenant statistics. Models come from a shared [`ModelRegistry`], so
+/// snapshot hot-reloads take effect between batches without stopping
+/// traffic.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Validates `cfg`, sizes per-worker buffers against the registry's
+    /// current spec, and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::Config`] / [`ServingError::BadRequest`] on invalid
+    /// knobs.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: BatchConfig) -> Result<Self, ServingError> {
+        cfg.validate()?;
+        let model = registry.current();
+        let spec = *model.spec();
+        let shared = Arc::new(Shared {
+            registry,
+            cfg,
+            dim: spec.input_dim,
+            classes: spec.classes,
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
+            arrivals: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatsRegistry::default(),
+            batches: AtomicU64::new(0),
+            batched_lanes: AtomicU64::new(0),
+            guard_repaired: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let mb = MicroBatcher::new(&model, &cfg)?;
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ptnc-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, mb))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Ok(Server { shared, workers })
+    }
+
+    /// Enqueues one request (`steps` is `t × dim` time-major values for a
+    /// single logical stream) and returns a [`Ticket`] for its logits.
+    /// Never blocks: a full queue sheds the request instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadRequest`] / [`ServingError::TooManySteps`] on a
+    /// malformed payload, [`ServingError::Backpressure`] when the queue is
+    /// full, [`ServingError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, tenant: &str, steps: &[f64]) -> Result<Ticket, ServingError> {
+        let stats = self.shared.stats.tenant(tenant);
+        match self.try_enqueue(&stats, steps) {
+            Ok(ticket) => Ok(ticket),
+            Err(e) => {
+                match e {
+                    ServingError::Backpressure { .. } => stats.record_shed(),
+                    ServingError::BadRequest(_) | ServingError::TooManySteps { .. } => {
+                        stats.record_rejected()
+                    }
+                    _ => {}
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_enqueue(&self, stats: &Arc<TenantStats>, steps: &[f64]) -> Result<Ticket, ServingError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServingError::ShuttingDown);
+        }
+        if steps.is_empty() || !steps.len().is_multiple_of(shared.dim) {
+            return Err(InferError::ShapeMismatch {
+                what: "steps",
+                expected: shared.dim,
+                found: steps.len(),
+            }
+            .into());
+        }
+        let t = steps.len() / shared.dim;
+        if t > shared.cfg.max_steps {
+            return Err(ServingError::TooManySteps {
+                steps: t,
+                max: shared.cfg.max_steps,
+            });
+        }
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending(vec![0.0; shared.classes])),
+            ready: Condvar::new(),
+        });
+        let request = Request {
+            steps: steps.to_vec(),
+            t,
+            slot: Arc::clone(&slot),
+            tenant: Arc::clone(stats),
+            enqueued: Instant::now(),
+        };
+        {
+            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            if q.len() >= shared.cfg.queue_capacity {
+                return Err(ServingError::Backpressure {
+                    depth: q.len(),
+                    capacity: shared.cfg.queue_capacity,
+                });
+            }
+            q.push_back(request);
+        }
+        shared.arrivals.notify_one();
+        Ok(Ticket { slot, timesteps: t })
+    }
+
+    /// Submit-and-wait convenience for tests and simple clients.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::submit`] and [`Ticket::wait`].
+    pub fn infer(&self, tenant: &str, steps: &[f64]) -> Result<Vec<f64>, ServingError> {
+        self.submit(tenant, steps)?.wait()
+    }
+
+    /// Per-tenant statistics.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.shared.stats
+    }
+
+    /// The registry this server draws models from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Requests currently queued (racy; for monitoring only).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock poisoned").len()
+    }
+
+    /// Batches run so far.
+    pub fn batches(&self) -> u64 {
+        self.shared.batches.load(Ordering::Relaxed)
+    }
+
+    /// Mean lanes per batch so far (0.0 before the first batch).
+    pub fn mean_batch_fill(&self) -> f64 {
+        let b = self.shared.batches.load(Ordering::Relaxed);
+        if b == 0 {
+            0.0
+        } else {
+            self.shared.batched_lanes.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+
+    /// Input samples the guard repaired across all batches.
+    pub fn guard_repaired(&self) -> u64 {
+        self.shared.guard_repaired.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting work, fails queued requests with
+    /// [`ServingError::ShuttingDown`], and joins the workers (in-flight
+    /// batches complete normally).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock poisoned");
+            for r in q.drain(..) {
+                r.slot.fail(ServingError::ShuttingDown);
+            }
+        }
+        self.shared.arrivals.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Length of the contiguous equal-`t` run at the queue front, capped.
+fn front_run(q: &VecDeque<Request>, t: usize, cap: usize) -> usize {
+    q.iter().take(cap).take_while(|r| r.t == t).count()
+}
+
+fn worker_loop(shared: &Shared, mut mb: MicroBatcher) {
+    let max_batch = shared.cfg.max_batch;
+    // Reused across iterations; holds at most `max_batch` requests.
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    'serve: loop {
+        batch.clear();
+        {
+            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.arrivals.wait(q).expect("queue lock poisoned");
+            }
+            let t = q.front().expect("nonempty queue").t;
+            // Hold for the window while the front run is still short.
+            if shared.cfg.batch_window > Duration::ZERO {
+                let deadline = Instant::now() + shared.cfg.batch_window;
+                while front_run(&q, t, max_batch) < max_batch
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .arrivals
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue lock poisoned");
+                    q = guard;
+                    // Another worker may have drained the queue meanwhile.
+                    match q.front() {
+                        Some(front) if front.t == t => {}
+                        _ => continue 'serve,
+                    }
+                }
+            }
+            while batch.len() < max_batch {
+                match q.front() {
+                    Some(front) if front.t == t => {
+                        batch.push(q.pop_front().expect("nonempty queue"));
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        run_batch(shared, &mut mb, &mut batch);
+        // If more work is queued, other workers may be asleep after a
+        // notify_one landed here while this worker was busy.
+        shared.arrivals.notify_one();
+    }
+}
+
+fn run_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Request>) {
+    let t = batch[0].t;
+    let prepared = mb.begin(t).and_then(|()| {
+        for (lane, r) in batch.iter().enumerate() {
+            mb.load_lane(lane, &r.steps)?;
+        }
+        let model = shared.registry.current();
+        mb.forward(&model)
+    });
+    match prepared {
+        Ok(()) => {
+            shared.batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .batched_lanes
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            shared
+                .guard_repaired
+                .fetch_add(mb.repaired_last_batch(), Ordering::Relaxed);
+            for (lane, r) in batch.drain(..).enumerate() {
+                let health = mb.lane_health(lane);
+                r.tenant
+                    .record_guard(health == Health::Degraded, health == Health::Faulted);
+                let micros = r.enqueued.elapsed().as_micros() as u64;
+                r.tenant.record_completed(r.t, micros);
+                let logits = mb.lane_logits(lane);
+                r.slot.complete(|buf| buf.copy_from_slice(logits));
+            }
+        }
+        Err(e) => {
+            // Shapes are validated at submit and the registry pins the
+            // spec, so this is unreachable in practice — but a scheduler
+            // must degrade to failed requests, never to a poisoned worker.
+            for r in batch.drain(..) {
+                r.tenant.record_rejected();
+                r.slot.fail(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_is_typed() {
+        let bad = BatchConfig {
+            max_batch: 0,
+            ..BatchConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(ServingError::Config { .. })));
+        let bad = BatchConfig {
+            workers: 0,
+            ..BatchConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(ServingError::Config { .. })));
+        assert!(BatchConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn front_run_respects_cap_and_breaks_on_length_change() {
+        let slot = || {
+            Arc::new(Slot {
+                state: Mutex::new(SlotState::Pending(Vec::new())),
+                ready: Condvar::new(),
+            })
+        };
+        let stats = Arc::new(TenantStats::default());
+        let req = |t: usize| Request {
+            steps: vec![0.0; t],
+            t,
+            slot: slot(),
+            tenant: Arc::clone(&stats),
+            enqueued: Instant::now(),
+        };
+        let q: VecDeque<Request> = [req(4), req(4), req(4), req(2), req(4)].into();
+        assert_eq!(front_run(&q, 4, 16), 3);
+        assert_eq!(front_run(&q, 4, 2), 2);
+        assert_eq!(front_run(&q, 2, 16), 0);
+    }
+}

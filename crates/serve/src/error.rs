@@ -1,0 +1,112 @@
+//! Typed rejection surface of the serving layer.
+//!
+//! A serving layer must never block unboundedly and never panic on
+//! malformed traffic: every request either completes with logits or comes
+//! back with a [`ServingError`] the client can classify (shed and retry
+//! later, fix the request shape, or give up because the server is going
+//! away). Hot-reload failures are a separate surface ([`ReloadError`],
+//! in the registry module) because they concern operators, not clients.
+
+use ptnc_infer::InferError;
+
+/// Why a request was rejected (or a server failed to start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServingError {
+    /// The bounded request queue is full — the request was shed, not
+    /// enqueued. Back off and retry.
+    Backpressure {
+        /// Requests currently queued.
+        depth: usize,
+        /// Queue capacity the server was started with.
+        capacity: usize,
+    },
+    /// The request payload is malformed for the served model (wrong step
+    /// width, zero length, …).
+    BadRequest(InferError),
+    /// The request sequence is longer than the preallocated per-worker
+    /// staging window.
+    TooManySteps {
+        /// Timesteps in the request.
+        steps: usize,
+        /// Maximum the server accepts (`BatchConfig::max_steps`).
+        max: usize,
+    },
+    /// The server is shutting down; queued requests are failed, not run.
+    ShuttingDown,
+    /// The server/batcher configuration is invalid (zero batch capacity,
+    /// zero workers, …).
+    Config {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::Backpressure { depth, capacity } => {
+                write!(f, "queue full ({depth}/{capacity}): request shed")
+            }
+            ServingError::BadRequest(e) => write!(f, "bad request: {e}"),
+            ServingError::TooManySteps { steps, max } => {
+                write!(
+                    f,
+                    "request has {steps} timesteps, server accepts at most {max}"
+                )
+            }
+            ServingError::ShuttingDown => write!(f, "server is shutting down"),
+            ServingError::Config { reason } => write!(f, "invalid serving config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServingError::BadRequest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InferError> for ServingError {
+    fn from(e: InferError) -> Self {
+        ServingError::BadRequest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServingError::Backpressure {
+            depth: 64,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("shed"));
+        let e = ServingError::TooManySteps {
+            steps: 999,
+            max: 256,
+        };
+        assert!(e.to_string().contains("999"));
+        let e: ServingError = InferError::ZeroBatch.into();
+        assert!(e.to_string().contains("bad request"));
+        assert!(ServingError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServingError::Config {
+            reason: "zero workers"
+        }
+        .to_string()
+        .contains("zero workers"));
+    }
+
+    #[test]
+    fn source_chains_to_infer_error() {
+        use std::error::Error;
+        let e = ServingError::BadRequest(InferError::ZeroBatch);
+        assert!(e.source().is_some());
+        assert!(ServingError::ShuttingDown.source().is_none());
+    }
+}

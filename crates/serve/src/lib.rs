@@ -1,0 +1,43 @@
+//! `ptnc-serve` — the serving layer for printed neuromorphic models.
+//!
+//! ADAPT-pNC's deployment story is a fleet of cheap printed sensor
+//! frontends feeding a shared compute tier. This crate hosts that tier on
+//! top of the graph-free runtime ([`ptnc_infer`]):
+//!
+//! - [`ModelRegistry`] — owns the live [`InferModel`](ptnc_infer::InferModel),
+//!   watches a snapshot file, and atomically hot-swaps recompiled
+//!   snapshots under traffic (old-or-new, never torn; invalid or
+//!   architecture-changing snapshots are rejected while the previous model
+//!   keeps serving).
+//! - [`Server`] — a dynamic micro-batching scheduler: many concurrent
+//!   logical streams submit sequences through a bounded queue, a fixed
+//!   worker pool coalesces them into wide zero-allocation forwards, and
+//!   overload sheds with a typed [`ServingError::Backpressure`] instead of
+//!   blocking.
+//! - [`StatsRegistry`] — per-tenant counters (p50/p99 latency,
+//!   timesteps/sec inputs, shed/rejected counts, guard health), rendered
+//!   through the deterministic [`ptnc_telemetry`] JSONL machinery.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ptnc_serve::{BatchConfig, ModelRegistry, Server};
+//!
+//! let registry = Arc::new(ModelRegistry::open("model.json".as_ref())?);
+//! let server = Server::start(Arc::clone(&registry), BatchConfig::default())?;
+//! let ticket = server.submit("tenant-a", &[0.1, 0.2, 0.3, 0.4])?;
+//! let logits = ticket.wait()?;
+//! # let _ = logits;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod error;
+mod registry;
+mod stats;
+
+pub use batcher::{BatchConfig, MicroBatcher, Server, Ticket};
+pub use error::ServingError;
+pub use registry::{ModelRegistry, ReloadError, ReloadOutcome, ReloadReport, Watcher};
+pub use stats::{StatsRegistry, TenantSnapshot, TenantStats};

@@ -1,0 +1,272 @@
+//! Snapshot hot-reload: a registry that owns the live [`InferModel`] and
+//! atomically swaps in recompiled snapshots under traffic.
+//!
+//! The registry watches one snapshot file (written with the repo's
+//! `write_atomic` temp-sibling + rename protocol, so readers never observe
+//! a half-written file). [`ModelRegistry::poll`] re-reads it, skips work
+//! when the bytes are unchanged (FNV-1a fingerprint), recompiles through
+//! [`ServeModel`], and — only if the new engine passes validation *and*
+//! keeps the architecture spec identical — swaps the shared
+//! `Arc<InferModel>` under a write lock. Requests hold plain `Arc` clones,
+//! so a swap is torn-state-free by construction: every in-flight forward
+//! finishes on the engine it started with, and every new request sees
+//! either the complete old model or the complete new one.
+//!
+//! Spec equality is enforced on swap because the batching workers size
+//! their scratch/staging buffers from the spec once at startup; a reload
+//! that changed the architecture would invalidate them. Shipping a new
+//! architecture is a deliberate redeploy, not a hot reload.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use adapt_pnc::serve::{ServeError, ServeModel};
+use ptnc_infer::InferModel;
+
+/// FNV-1a over the raw snapshot bytes — cheap, deterministic, good enough
+/// to answer "did the file change since last poll".
+fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a poll did not swap the model in. The previous model keeps serving
+/// in every case.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReloadError {
+    /// The snapshot file could not be read.
+    Io(String),
+    /// The snapshot failed to decode or compile (malformed JSON,
+    /// unsupported format version, inconsistent parameters, …).
+    Invalid(ServeError),
+    /// The snapshot compiled but describes a different architecture than
+    /// the one being served; hot reload only swaps weights-compatible
+    /// models.
+    SpecChanged,
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Io(e) => write!(f, "cannot read snapshot: {e}"),
+            ReloadError::Invalid(e) => write!(f, "snapshot rejected: {e}"),
+            ReloadError::SpecChanged => {
+                write!(
+                    f,
+                    "snapshot changes the architecture; redeploy instead of hot-reloading"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What one successful swap did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadReport {
+    /// Monotonic model version after the swap (initial load is 1).
+    pub version: u64,
+    /// Time the swap held the write lock, in microseconds — the window in
+    /// which new requests briefly queue on the registry lock.
+    pub swap_micros: u64,
+}
+
+/// Outcome of one [`ModelRegistry::poll`].
+#[derive(Debug)]
+pub enum ReloadOutcome {
+    /// Snapshot bytes are identical to the active model's — nothing to do.
+    Unchanged,
+    /// A new snapshot compiled, validated, and went live.
+    Swapped(ReloadReport),
+    /// The candidate snapshot was rejected; the previous model keeps
+    /// serving.
+    Rejected(ReloadError),
+}
+
+/// Shared owner of the live model. Cheap to clone handles out of
+/// (`current` is one `Arc` clone under a read lock), safe to swap under
+/// concurrent traffic.
+pub struct ModelRegistry {
+    path: PathBuf,
+    current: RwLock<Arc<InferModel>>,
+    active_fingerprint: AtomicU64,
+    version: AtomicU64,
+    last_swap_micros: AtomicU64,
+    reloads_rejected: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Loads the initial model from `path` (must be a valid snapshot —
+    /// there is nothing to keep serving if the first load fails).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] of [`ServeModel::from_file`].
+    pub fn open(path: &Path) -> Result<Self, ServeError> {
+        let bytes = std::fs::read(path).map_err(|source| ServeError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let json = String::from_utf8_lossy(&bytes);
+        let model = ServeModel::from_json(&json)?;
+        Ok(ModelRegistry {
+            path: path.to_path_buf(),
+            current: RwLock::new(Arc::new(model.into_engine())),
+            active_fingerprint: AtomicU64::new(fingerprint(&bytes)),
+            version: AtomicU64::new(1),
+            last_swap_micros: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The live model. Hold the returned `Arc` for the duration of one
+    /// request; re-fetch per request so reloads take effect.
+    pub fn current(&self) -> Arc<InferModel> {
+        self.current.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Monotonic model version (1 after the initial load, +1 per swap).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Microseconds the most recent swap held the write lock (0 before the
+    /// first swap).
+    pub fn last_swap_micros(&self) -> u64 {
+        self.last_swap_micros.load(Ordering::Relaxed)
+    }
+
+    /// Polls rejected since startup (bad or architecture-changing
+    /// snapshots).
+    pub fn reloads_rejected(&self) -> u64 {
+        self.reloads_rejected.load(Ordering::Relaxed)
+    }
+
+    /// The snapshot path being watched.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-reads the watched snapshot and swaps it in if it changed and is
+    /// valid. Compilation happens outside any lock; the write lock is held
+    /// only for the pointer swap itself.
+    pub fn poll(&self) -> ReloadOutcome {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) => return self.reject(ReloadError::Io(e.to_string())),
+        };
+        let fp = fingerprint(&bytes);
+        if fp == self.active_fingerprint.load(Ordering::Acquire) {
+            return ReloadOutcome::Unchanged;
+        }
+        let json = String::from_utf8_lossy(&bytes);
+        let candidate = match ServeModel::from_json(&json) {
+            Ok(m) => m,
+            Err(e) => return self.reject(ReloadError::Invalid(e)),
+        };
+        if candidate.spec() != self.current().spec() {
+            return self.reject(ReloadError::SpecChanged);
+        }
+        let engine = Arc::new(candidate.into_engine());
+        let t0 = Instant::now();
+        {
+            let mut live = self.current.write().expect("registry lock poisoned");
+            *live = engine;
+        }
+        let swap_micros = t0.elapsed().as_micros() as u64;
+        self.active_fingerprint.store(fp, Ordering::Release);
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.last_swap_micros.store(swap_micros, Ordering::Relaxed);
+        ptnc_telemetry::counter("serve.reload.swapped", 1);
+        ptnc_telemetry::gauge("serve.reload.swap_micros", swap_micros as f64);
+        ReloadOutcome::Swapped(ReloadReport {
+            version,
+            swap_micros,
+        })
+    }
+
+    fn reject(&self, err: ReloadError) -> ReloadOutcome {
+        self.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+        ptnc_telemetry::counter("serve.reload.rejected", 1);
+        ReloadOutcome::Rejected(err)
+    }
+
+    /// Spawns a background thread that [`poll`](Self::poll)s every
+    /// `interval` until the returned handle is dropped.
+    pub fn watch(self: &Arc<Self>, interval: Duration) -> Watcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ptnc-serve-watch".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    let _ = registry.poll();
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn watcher thread");
+        Watcher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("path", &self.path)
+            .field("version", &self.version())
+            .field("reloads_rejected", &self.reloads_rejected())
+            .finish()
+    }
+}
+
+/// Handle to a background polling thread; dropping it stops the thread.
+pub struct Watcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Watcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+    }
+
+    #[test]
+    fn reload_error_display() {
+        assert!(ReloadError::Io("gone".into()).to_string().contains("gone"));
+        assert!(ReloadError::SpecChanged.to_string().contains("redeploy"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-tenant serving statistics: lock-free counters and a log₂ latency
+//! histogram, aggregated on the worker threads and rendered into the
+//! repo's deterministic telemetry stream from whoever owns the
+//! [`ptnc_telemetry`] collection scope.
+//!
+//! Workers cannot emit telemetry directly — the JSONL sink is scoped to
+//! the thread that called [`ptnc_telemetry::collect`] — so everything here
+//! is plain atomics updated from any thread, with
+//! [`StatsRegistry::emit_telemetry`] turning a consistent snapshot into
+//! events on the collecting thread.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Power-of-two latency buckets: bucket *k* counts observations whose
+/// microsecond value has bit length *k* (0 µs lands in bucket 0). 64
+/// buckets cover the full `u64` range; quantiles are read back as the
+/// upper edge of the answering bucket, so they are conservative (never
+/// report faster than reality) within a 2× resolution.
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&self, micros: u64) {
+        let k = (64 - micros.leading_zeros() as usize).min(63);
+        self.buckets[k].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> [u64; 64] {
+        std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed))
+    }
+
+    /// Upper bucket edge in µs at quantile `q` of the snapshot counts.
+    fn quantile(counts: &[u64; 64], q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (k, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if k == 0 { 0 } else { (1u64 << k) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Live counters for one tenant. All methods are callable from any thread.
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    requests: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    timesteps: AtomicU64,
+    degraded_lanes: AtomicU64,
+    faulted_lanes: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl TenantStats {
+    pub(crate) fn record_completed(&self, timesteps: usize, latency_micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.timesteps
+            .fetch_add(timesteps as u64, Ordering::Relaxed);
+        self.latency.record(latency_micros);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_guard(&self, degraded: bool, faulted: bool) {
+        if degraded {
+            self.degraded_lanes.fetch_add(1, Ordering::Relaxed);
+        }
+        if faulted {
+            self.faulted_lanes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Consistent-enough point-in-time copy (individual counters are each
+    /// atomic; cross-counter skew is bounded by in-flight requests).
+    pub fn snapshot(&self, tenant: &str) -> TenantSnapshot {
+        let counts = self.latency.snapshot();
+        TenantSnapshot {
+            tenant: tenant.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timesteps: self.timesteps.load(Ordering::Relaxed),
+            degraded_lanes: self.degraded_lanes.load(Ordering::Relaxed),
+            faulted_lanes: self.faulted_lanes.load(Ordering::Relaxed),
+            p50_micros: LatencyHistogram::quantile(&counts, 0.50),
+            p99_micros: LatencyHistogram::quantile(&counts, 0.99),
+        }
+    }
+}
+
+/// Point-in-time view of one tenant's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Requests rejected as malformed.
+    pub rejected: u64,
+    /// Total timesteps served.
+    pub timesteps: u64,
+    /// Completed requests whose lane ended degraded.
+    pub degraded_lanes: u64,
+    /// Completed requests whose lane ended faulted.
+    pub faulted_lanes: u64,
+    /// Median completion latency (upper bucket edge, µs).
+    pub p50_micros: u64,
+    /// 99th-percentile completion latency (upper bucket edge, µs).
+    pub p99_micros: u64,
+}
+
+/// All tenants, keyed by name. `BTreeMap` so snapshots and telemetry come
+/// out in deterministic (lexicographic) order.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    tenants: Mutex<BTreeMap<String, Arc<TenantStats>>>,
+}
+
+impl StatsRegistry {
+    /// The stats cell for `tenant`, created on first use.
+    pub fn tenant(&self, tenant: &str) -> Arc<TenantStats> {
+        let mut map = self.tenants.lock().expect("stats lock poisoned");
+        if let Some(t) = map.get(tenant) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(TenantStats::default());
+        map.insert(tenant.to_string(), Arc::clone(&t));
+        t
+    }
+
+    /// Snapshots of every tenant, in name order.
+    pub fn snapshots(&self) -> Vec<TenantSnapshot> {
+        let map = self.tenants.lock().expect("stats lock poisoned");
+        map.iter().map(|(name, t)| t.snapshot(name)).collect()
+    }
+
+    /// Emits one `serve.tenant` span per tenant into the calling thread's
+    /// telemetry scope.
+    pub fn emit_telemetry(&self) {
+        for s in self.snapshots() {
+            ptnc_telemetry::span("serve.tenant")
+                .field("tenant", s.tenant.as_str())
+                .field("requests", s.requests)
+                .field("shed", s.shed)
+                .field("rejected", s.rejected)
+                .field("timesteps", s.timesteps)
+                .field("degraded_lanes", s.degraded_lanes)
+                .field("faulted_lanes", s.faulted_lanes)
+                .field("p50_micros", s.p50_micros)
+                .field("p99_micros", s.p99_micros)
+                .finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_conservative_upper_edges() {
+        let h = LatencyHistogram::default();
+        for v in [0u64, 1, 1, 3, 3, 3, 120, 120, 900, 100_000] {
+            h.record(v);
+        }
+        let counts = h.snapshot();
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        let p50 = LatencyHistogram::quantile(&counts, 0.50);
+        // 5th of 10 sorted values is 3 → bucket upper edge 3.
+        assert_eq!(p50, 3);
+        let p99 = LatencyHistogram::quantile(&counts, 0.99);
+        assert!(p99 >= 100_000, "p99 edge {p99} below the observed max");
+        // Every quantile dominates the true value it answers for: the
+        // 10th percentile is the recorded 0, the 20th the recorded 1.
+        assert_eq!(LatencyHistogram::quantile(&counts, 0.1), 0);
+        assert!(LatencyHistogram::quantile(&counts, 0.2) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let counts = [0u64; 64];
+        assert_eq!(LatencyHistogram::quantile(&counts, 0.99), 0);
+    }
+
+    #[test]
+    fn tenants_are_deterministically_ordered() {
+        let reg = StatsRegistry::default();
+        reg.tenant("zeta").record_completed(10, 5);
+        reg.tenant("alpha").record_shed();
+        reg.tenant("mid").record_rejected();
+        let snaps = reg.snapshots();
+        let names: Vec<_> = snaps.iter().map(|s| s.tenant.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        assert_eq!(snaps[0].shed, 1);
+        assert_eq!(snaps[1].rejected, 1);
+        assert_eq!(snaps[2].requests, 1);
+        assert_eq!(snaps[2].timesteps, 10);
+    }
+
+    #[test]
+    fn tenant_cells_are_shared() {
+        let reg = StatsRegistry::default();
+        let a = reg.tenant("t");
+        let b = reg.tenant("t");
+        a.record_completed(3, 1);
+        b.record_completed(4, 1);
+        assert_eq!(reg.snapshots()[0].timesteps, 7);
+    }
+
+    #[test]
+    fn telemetry_emission_is_scoped_and_ordered() {
+        let reg = StatsRegistry::default();
+        reg.tenant("b").record_completed(2, 10);
+        reg.tenant("a").record_completed(1, 10);
+        let ((), events) = ptnc_telemetry::collect(|| reg.emit_telemetry());
+        assert_eq!(events.len(), 2);
+        use ptnc_telemetry::Value;
+        assert_eq!(events[0].get("tenant"), Some(&Value::Str("a".into())));
+        assert_eq!(events[1].get("tenant"), Some(&Value::Str("b".into())));
+    }
+}

@@ -1,0 +1,240 @@
+//! Snapshot hot-reload under traffic: swaps are atomic (concurrent
+//! requests observe the complete old model or the complete new one, never
+//! a torn mix), and bad candidate snapshots — corrupt bytes, unsupported
+//! format versions, architecture changes — are rejected while the
+//! previous model keeps serving.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::persist::{self, ModelSnapshot, RestoreError};
+use adapt_pnc::serve::{ServeError, ServeModel};
+use ptnc_serve::{BatchConfig, ModelRegistry, ReloadError, ReloadOutcome, Server};
+use ptnc_tensor::init;
+
+const DIM: usize = 2;
+const T: usize = 12;
+
+fn model_json(seed: u64) -> String {
+    let m = PrintedModel::adapt_pnc(DIM, 4, 3, &mut init::rng(seed));
+    persist::to_json(&m)
+}
+
+fn write_snapshot(path: &Path, json: &str) {
+    persist::write_atomic(path, json.as_bytes()).unwrap();
+}
+
+fn scratch_file(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptnc-hot-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{test}.json"))
+}
+
+fn steps() -> Vec<f64> {
+    (0..T * DIM).map(|i| (i as f64 * 0.31).sin()).collect()
+}
+
+/// Reference logits for a snapshot, computed outside the registry.
+fn reference(json: &str) -> Vec<f64> {
+    ServeModel::from_json(json)
+        .unwrap()
+        .engine()
+        .run_batch(&steps(), 1)
+        .unwrap()
+}
+
+#[test]
+fn poll_is_unchanged_until_the_file_changes() {
+    let path = scratch_file("unchanged");
+    let a = model_json(1);
+    write_snapshot(&path, &a);
+    let reg = ModelRegistry::open(&path).unwrap();
+    assert_eq!(reg.version(), 1);
+    assert!(matches!(reg.poll(), ReloadOutcome::Unchanged));
+    assert!(matches!(reg.poll(), ReloadOutcome::Unchanged));
+    assert_eq!(reg.version(), 1);
+    assert_eq!(reg.reloads_rejected(), 0);
+}
+
+#[test]
+fn swap_goes_live_and_reports_latency() {
+    let path = scratch_file("swap");
+    let a = model_json(2);
+    let b = model_json(3);
+    write_snapshot(&path, &a);
+    let reg = ModelRegistry::open(&path).unwrap();
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), reference(&a));
+
+    write_snapshot(&path, &b);
+    match reg.poll() {
+        ReloadOutcome::Swapped(report) => assert_eq!(report.version, 2),
+        other => panic!("expected swap, got {other:?}"),
+    }
+    assert_eq!(reg.version(), 2);
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), reference(&b));
+}
+
+#[test]
+fn concurrent_requests_see_old_or_new_never_torn() {
+    let path = scratch_file("torn");
+    let a = model_json(4);
+    let b = model_json(5);
+    write_snapshot(&path, &a);
+    let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+    let ref_a = reference(&a);
+    let ref_b = reference(&b);
+    assert_ne!(ref_a, ref_b, "fixture models must disagree");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            let (ref_a, ref_b) = (ref_a.clone(), ref_b.clone());
+            std::thread::spawn(move || {
+                let input = steps();
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let engine = reg.current();
+                    let out = engine.run_batch(&input, 1).unwrap();
+                    assert!(
+                        out == ref_a || out == ref_b,
+                        "torn model state: logits match neither snapshot"
+                    );
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for flip in 0..24 {
+        let json = if flip % 2 == 0 { &b } else { &a };
+        write_snapshot(&path, json);
+        match reg.poll() {
+            ReloadOutcome::Swapped(_) => {}
+            other => panic!("flip {flip}: expected swap, got {other:?}"),
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for h in hammers {
+        let checked = h.join().unwrap();
+        assert!(checked > 0, "hammer thread never exercised the registry");
+    }
+    assert_eq!(reg.version(), 25);
+}
+
+#[test]
+fn corrupt_and_unsupported_snapshots_are_rejected_and_serving_continues() {
+    let path = scratch_file("rejects");
+    let a = model_json(6);
+    write_snapshot(&path, &a);
+    let reg = ModelRegistry::open(&path).unwrap();
+    let ref_a = reference(&a);
+
+    // Corrupt bytes: rejected as malformed JSON.
+    write_snapshot(&path, "{definitely not a snapshot");
+    match reg.poll() {
+        ReloadOutcome::Rejected(ReloadError::Invalid(ServeError::Persist(_))) => {}
+        other => panic!("expected persist rejection, got {other:?}"),
+    }
+    assert_eq!(reg.version(), 1);
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), ref_a);
+
+    // Unsupported format version: typed restore rejection.
+    let mut snap: ModelSnapshot = serde_json::from_str(&a).unwrap();
+    snap.format_version = 9;
+    write_snapshot(&path, &serde_json::to_string(&snap).unwrap());
+    match reg.poll() {
+        ReloadOutcome::Rejected(ReloadError::Invalid(ServeError::Restore(
+            RestoreError::UnsupportedVersion(9),
+        ))) => {}
+        other => panic!("expected unsupported-version rejection, got {other:?}"),
+    }
+
+    // Non-finite parameters: typed restore rejection. JSON cannot carry
+    // NaN/inf literals (the writer rejects them), so plant a sentinel and
+    // swap in an overflowing literal, which parses back as `inf`.
+    let mut snap: ModelSnapshot = serde_json::from_str(&a).unwrap();
+    snap.parameters[0][0] = 123456789.5;
+    let poisoned = serde_json::to_string(&snap)
+        .unwrap()
+        .replace("123456789.5", "1e999");
+    write_snapshot(&path, &poisoned);
+    match reg.poll() {
+        ReloadOutcome::Rejected(ReloadError::Invalid(ServeError::Restore(
+            RestoreError::NonFiniteParameter { .. },
+        ))) => {}
+        other => panic!("expected non-finite rejection, got {other:?}"),
+    }
+
+    // Architecture change: compiles fine but must not hot-swap.
+    let wider = persist::to_json(&PrintedModel::adapt_pnc(DIM, 6, 3, &mut init::rng(7)));
+    write_snapshot(&path, &wider);
+    match reg.poll() {
+        ReloadOutcome::Rejected(ReloadError::SpecChanged) => {}
+        other => panic!("expected spec-change rejection, got {other:?}"),
+    }
+
+    assert_eq!(reg.reloads_rejected(), 4);
+    assert_eq!(
+        reg.version(),
+        1,
+        "no rejected candidate may bump the version"
+    );
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), ref_a);
+
+    // A good snapshot afterwards still goes live.
+    let b = model_json(8);
+    write_snapshot(&path, &b);
+    assert!(matches!(reg.poll(), ReloadOutcome::Swapped(_)));
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), reference(&b));
+}
+
+#[test]
+fn watcher_thread_picks_up_new_snapshots() {
+    let path = scratch_file("watcher");
+    let a = model_json(9);
+    write_snapshot(&path, &a);
+    let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+    let watcher = reg.watch(Duration::from_millis(5));
+
+    write_snapshot(&path, &model_json(10));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while reg.version() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "watcher never picked up the swap"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(watcher);
+    assert!(reg.version() >= 2);
+}
+
+#[test]
+fn served_traffic_switches_models_across_a_reload() {
+    let path = scratch_file("served");
+    let a = model_json(11);
+    let b = model_json(12);
+    write_snapshot(&path, &a);
+    let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+    let server = Server::start(
+        Arc::clone(&reg),
+        BatchConfig {
+            max_batch: 4,
+            batch_window: Duration::from_micros(50),
+            ..BatchConfig::default()
+        },
+    )
+    .unwrap();
+
+    assert_eq!(server.infer("edge", &steps()).unwrap(), reference(&a));
+    write_snapshot(&path, &b);
+    assert!(matches!(reg.poll(), ReloadOutcome::Swapped(_)));
+    assert_eq!(server.infer("edge", &steps()).unwrap(), reference(&b));
+    server.shutdown();
+}

@@ -1,0 +1,98 @@
+//! Pins the zero-allocation claim on the worker hot path: once a
+//! [`MicroBatcher`] is built, `begin → load_lane → forward` performs no
+//! heap allocation in steady state — with or without the input guard —
+//! under a counting global allocator.
+//!
+//! This lives in its own test binary because `#[global_allocator]` is
+//! process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::serve::ServeModel;
+use ptnc_infer::GuardConfig;
+use ptnc_serve::{BatchConfig, MicroBatcher};
+use ptnc_tensor::init;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic
+// side effect and does not affect allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DIM: usize = 3;
+
+fn steady_state_allocs(guard: Option<GuardConfig>) -> u64 {
+    let model = PrintedModel::adapt_pnc(DIM, 6, 4, &mut init::rng(7));
+    let engine = ServeModel::from_live(&model).unwrap().into_engine();
+    let cfg = BatchConfig {
+        max_batch: 8,
+        max_steps: 64,
+        guard,
+        ..BatchConfig::default()
+    };
+    let mut mb = MicroBatcher::new(&engine, &cfg).unwrap();
+    let lanes: Vec<Vec<f64>> = (0..cfg.max_batch)
+        .map(|lane| {
+            (0..48 * DIM)
+                .map(|i| ((lane * 97 + i) as f64 * 0.17).sin())
+                .collect()
+        })
+        .collect();
+
+    let round = |mb: &mut MicroBatcher| {
+        mb.begin(48).unwrap();
+        for (lane, steps) in lanes.iter().enumerate() {
+            mb.load_lane(lane, steps).unwrap();
+        }
+        mb.forward(&engine).unwrap();
+        // Touch the outputs so the forward cannot be optimized away.
+        assert!(mb.lane_logits(0).iter().all(|v| v.is_finite()));
+    };
+
+    // Warm up once (lazy thread-locals, first-use buffers), then measure.
+    round(&mut mb);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..32 {
+        round(&mut mb);
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn batched_forward_is_allocation_free_in_steady_state() {
+    assert_eq!(
+        steady_state_allocs(None),
+        0,
+        "unguarded begin/load/forward must not touch the heap"
+    );
+}
+
+#[test]
+fn guarded_forward_is_allocation_free_in_steady_state() {
+    assert_eq!(
+        steady_state_allocs(Some(GuardConfig::default_policy())),
+        0,
+        "guarded begin/load/forward must not touch the heap"
+    );
+}

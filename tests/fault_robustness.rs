@@ -43,9 +43,9 @@ fn full_schedule(seed: u64, severity: f64) -> FaultSchedule {
 fn zero_severity_schedule_is_bit_identical_batched_and_streaming() {
     for (k, order) in ORDERS.into_iter().enumerate() {
         let model = model_with_order(order, 80 + k as u64);
-        let engine = serve::freeze(&model).unwrap();
+        let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
         let steps = seeded_steps(13, 3, 2);
-        let flat = serve::flatten_steps(&steps);
+        let flat = serve::ServeModel::flatten_steps(&steps).unwrap();
 
         // Severity 0 must not move a single bit of the input...
         let mut injected = flat.clone();
@@ -59,16 +59,18 @@ fn zero_severity_schedule_is_bit_identical_batched_and_streaming() {
         );
 
         // ...and the guarded path must not move a single bit of the output.
-        let clean = engine.run_batch(&flat, 3);
-        let mut guard = InputGuard::new(GuardConfig::default_policy(), 3, 2);
-        let guarded = engine.run_batch_guarded(&injected, 3, &mut guard);
+        let clean = engine.run_batch(&flat, 3).unwrap();
+        let mut guard = InputGuard::new(GuardConfig::default_policy(), 3, 2).unwrap();
+        let guarded = engine.run_batch_guarded(&injected, 3, &mut guard).unwrap();
         assert_eq!(clean, guarded, "{order:?}: guarded batched diverged");
         assert_eq!(guard.stats().repaired, 0);
 
-        let mut stream = engine.guarded_stream(3, GuardConfig::default_policy());
+        let mut stream = engine
+            .guarded_stream(3, GuardConfig::default_policy())
+            .unwrap();
         let mut last = Vec::new();
         for s in &steps {
-            last = stream.step(&s.to_vec()).to_vec();
+            last = stream.step(&s.to_vec()).unwrap().to_vec();
         }
         assert_eq!(clean, last, "{order:?}: guarded streaming diverged");
         assert_eq!(stream.health(), &[Health::Healthy; 3]);
@@ -81,28 +83,30 @@ fn zero_severity_schedule_is_bit_identical_batched_and_streaming() {
 #[test]
 fn unguarded_stream_poisons_where_guarded_recovers() {
     let model = model_with_order(FilterOrder::Second, 90);
-    let engine = serve::freeze(&model).unwrap();
+    let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
     let poisoned_step = [f64::NAN, 0.2];
     let clean_step = [0.4, -0.3];
 
-    let mut raw = engine.stream(1);
-    raw.step(&poisoned_step);
+    let mut raw = engine.stream(1).unwrap();
+    raw.step(&poisoned_step).unwrap();
     assert!(!raw.state_is_finite(), "one NaN must poison raw state");
     for _ in 0..50 {
-        raw.step(&clean_step);
+        raw.step(&clean_step).unwrap();
     }
     assert!(
-        raw.step(&clean_step).iter().all(|v| v.is_nan()),
+        raw.step(&clean_step).unwrap().iter().all(|v| v.is_nan()),
         "raw logits must stay NaN no matter how much clean data follows"
     );
     assert!(!raw.state_is_finite());
 
-    let mut guarded = engine.guarded_stream(1, GuardConfig::default_policy());
-    guarded.step(&poisoned_step);
+    let mut guarded = engine
+        .guarded_stream(1, GuardConfig::default_policy())
+        .unwrap();
+    guarded.step(&poisoned_step).unwrap();
     assert!(guarded.state_is_finite(), "guard let a NaN into the state");
     let mut last = Vec::new();
     for _ in 0..50 {
-        last = guarded.step(&clean_step).to_vec();
+        last = guarded.step(&clean_step).unwrap().to_vec();
     }
     assert!(last.iter().all(|v| v.is_finite()));
     assert_eq!(guarded.health(), &[Health::Healthy], "stream must recover");
@@ -111,11 +115,11 @@ fn unguarded_stream_poisons_where_guarded_recovers() {
     // After recovery the guarded stream converges to the clean trajectory:
     // compare against a fresh stream fed only clean data for long enough
     // that the poisoned step's transient has decayed.
-    let mut reference = engine.stream(1);
+    let mut reference = engine.stream(1).unwrap();
     let mut expect = Vec::new();
-    reference.step(&clean_step); // align step counts
+    reference.step(&clean_step).unwrap(); // align step counts
     for _ in 0..50 {
-        expect = reference.step(&clean_step).to_vec();
+        expect = reference.step(&clean_step).unwrap().to_vec();
     }
     for (a, b) in last.iter().zip(&expect) {
         assert!((a - b).abs() < 1e-6, "guarded {a} vs clean {b}");
@@ -130,9 +134,9 @@ fn unguarded_stream_poisons_where_guarded_recovers() {
 #[test]
 fn guarded_inference_stays_finite_under_arbitrary_fault_schedules() {
     let model = model_with_order(FilterOrder::Second, 100);
-    let engine = serve::freeze(&model).unwrap();
+    let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
     let steps = seeded_steps(40, 2, 2);
-    let flat = serve::flatten_steps(&steps);
+    let flat = serve::ServeModel::flatten_steps(&steps).unwrap();
     let policies = [
         DegradePolicy::Clamp,
         DegradePolicy::HoldLast,
@@ -156,13 +160,13 @@ fn guarded_inference_stays_finite_under_arbitrary_fault_schedules() {
         }
         for policy in policies {
             let cfg = GuardConfig::default_policy().with_policy(policy);
-            let mut guard = InputGuard::new(cfg, 2, 2);
+            let mut guard = InputGuard::new(cfg, 2, 2).unwrap();
             let (logits, events) = telemetry::collect(|| {
-                let batched = engine.run_batch_guarded(&injected, 2, &mut guard);
-                let mut stream = engine.guarded_stream(2, cfg);
+                let batched = engine.run_batch_guarded(&injected, 2, &mut guard).unwrap();
+                let mut stream = engine.guarded_stream(2, cfg).unwrap();
                 let mut last = Vec::new();
                 for chunk in injected.chunks_exact(4) {
-                    last = stream.step(chunk).to_vec();
+                    last = stream.step(chunk).unwrap().to_vec();
                     assert!(
                         stream.state_is_finite(),
                         "seed {schedule_seed} {policy:?}: state poisoned mid-stream"
@@ -212,7 +216,10 @@ fn fault_injected_sweep_is_byte_identical_across_thread_counts() {
             &Pdk::paper_default(),
             &mut init::rng(110 + k as u64),
         );
-        (name.to_string(), serve::freeze(&m).unwrap())
+        (
+            name.to_string(),
+            serve::ServeModel::from_live(&m).unwrap().into_engine(),
+        )
     })
     .collect();
     let cfg = RobustnessConfig {

@@ -42,9 +42,10 @@ fn batched_parity_all_orders() {
     for (k, order) in ORDERS.into_iter().enumerate() {
         let model = model_with_order(order, 20 + k as u64);
         let steps = seeded_steps(14, 4, 2);
-        let engine = serve::freeze(&model).unwrap();
+        let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
         let expected = model.forward_nominal(&steps).to_vec();
-        let got = engine.run_batch(&serve::flatten_steps(&steps), 4);
+        let flat = serve::ServeModel::flatten_steps(&steps).unwrap();
+        let got = engine.run_batch(&flat, 4).unwrap();
         assert_close(&expected, &got, &format!("{order:?} batched"));
     }
 }
@@ -54,12 +55,12 @@ fn streaming_parity_all_orders() {
     for (k, order) in ORDERS.into_iter().enumerate() {
         let model = model_with_order(order, 30 + k as u64);
         let steps = seeded_steps(11, 3, 2);
-        let engine = serve::freeze(&model).unwrap();
+        let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
         let expected = model.forward_nominal(&steps).to_vec();
-        let mut stream = engine.stream(3);
+        let mut stream = engine.stream(3).unwrap();
         let mut last = Vec::new();
         for s in &steps {
-            last = stream.step(&s.to_vec()).to_vec();
+            last = stream.step(&s.to_vec()).unwrap().to_vec();
         }
         assert_close(&expected, &last, &format!("{order:?} streaming"));
     }
@@ -70,12 +71,13 @@ fn streaming_equals_batched_exactly() {
     for (k, order) in ORDERS.into_iter().enumerate() {
         let model = model_with_order(order, 40 + k as u64);
         let steps = seeded_steps(9, 2, 2);
-        let engine = serve::freeze(&model).unwrap();
-        let batched = engine.run_batch(&serve::flatten_steps(&steps), 2);
-        let mut stream = engine.stream(2);
+        let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
+        let flat = serve::ServeModel::flatten_steps(&steps).unwrap();
+        let batched = engine.run_batch(&flat, 2).unwrap();
+        let mut stream = engine.stream(2).unwrap();
         let mut last = Vec::new();
         for s in &steps {
-            last = stream.step(&s.to_vec()).to_vec();
+            last = stream.step(&s.to_vec()).unwrap().to_vec();
         }
         // Same recurrence, same arithmetic: bitwise equality, not just 1e-9.
         assert_eq!(batched, last, "{order:?}: stream must equal batch bitwise");
@@ -87,7 +89,8 @@ fn perturbed_parity_all_orders() {
     for (k, order) in ORDERS.into_iter().enumerate() {
         let model = model_with_order(order, 50 + k as u64);
         let steps = seeded_steps(12, 3, 2);
-        let engine = serve::freeze(&model).unwrap();
+        let engine = serve::ServeModel::from_live(&model).unwrap().into_engine();
+        let flat = serve::ServeModel::flatten_steps(&steps).unwrap();
         let dist = (&VariationConfig::paper_default()).into();
         for trial in 0..3u64 {
             // Identical RNG stream on both paths → identical noise draw.
@@ -99,7 +102,9 @@ fn perturbed_parity_all_orders() {
             let expected = model.forward(&steps, Some(&noise)).to_vec();
             let got = engine
                 .perturbed(&sample)
-                .run_batch(&serve::flatten_steps(&steps), 3);
+                .unwrap()
+                .run_batch(&flat, 3)
+                .unwrap();
             assert_close(
                 &expected,
                 &got,
@@ -113,14 +118,13 @@ fn perturbed_parity_all_orders() {
 fn compiled_snapshot_serves_identically() {
     let model = model_with_order(FilterOrder::Second, 60);
     let steps = seeded_steps(10, 2, 2);
-    let flat = serve::flatten_steps(&steps);
-    let live = serve::freeze(&model).unwrap();
+    let flat = serve::ServeModel::flatten_steps(&steps).unwrap();
+    let live = serve::ServeModel::from_live(&model).unwrap().into_engine();
     let json = adapt_pnc::persist::to_json(&model);
-    let snap = serde_json::from_str(&json).unwrap();
-    let loaded = serve::compile_snapshot(&snap).unwrap();
+    let loaded = serve::ServeModel::from_json(&json).unwrap().into_engine();
     assert_eq!(
-        live.run_batch(&flat, 2),
-        loaded.run_batch(&flat, 2),
+        live.run_batch(&flat, 2).unwrap(),
+        loaded.run_batch(&flat, 2).unwrap(),
         "snapshot round trip must not change served logits"
     );
 }
