@@ -12,12 +12,20 @@
 //! PNC_SMOKE=1 PNC_TELEMETRY=BENCH_serve.jsonl cargo run -p ptnc-bench --release --bin serve_throughput
 //! ```
 //!
+//! A second phase exercises **resident stream sessions**: it opens
+//! `PNC_SERVE_SESSIONS` concurrent logical streams (default 100k, smoke
+//! 2k; `0` skips the phase), feeds each `PNC_SERVE_SESSION_CHUNKS` chunks
+//! of `PNC_SERVE_CHUNK_STEPS` timesteps through the session batching
+//! path, and spot-checks that chunked session logits are bitwise equal to
+//! the one-shot batched run of the concatenated window.
+//!
 //! Knobs: `PNC_SMOKE=1` shrinks the workload for CI; `PNC_SERVE_STREAMS`
 //! (client threads), `PNC_SERVE_REQUESTS` (requests per stream),
 //! `PNC_SERVE_STEPS` (timesteps per request), `PNC_SERVE_BATCH_WINDOW`
 //! (batching window, µs) and `PNC_SERVE_HIDDEN` override it.
 //! `PNC_SERVE_ENFORCE=1` exits non-zero if the batched forward allocates,
-//! if any request fails, or if a hot swap never lands (the CI gate). A
+//! if any request or session chunk fails, if the session parity
+//! spot-check diverges, or if a hot swap never lands (the CI gate). A
 //! JSON summary is written to `PNC_SERVE_JSON` (default `BENCH_serve.json`);
 //! spans/gauges go to the `serve` telemetry scope when
 //! `PNC_TELEMETRY=<path>` is set.
@@ -31,7 +39,10 @@ use adapt_pnc::models::PrintedModel;
 use adapt_pnc::persist;
 use adapt_pnc::serve::ServeModel;
 use ptnc_bench::{print_row, print_rule, with_run_manifest};
-use ptnc_serve::{BatchConfig, MicroBatcher, ModelRegistry, ReloadOutcome, Server};
+use ptnc_serve::{
+    BatchConfig, MicroBatcher, ModelRegistry, ReloadOutcome, ReloadPolicy, Server, ServingError,
+    SessionId,
+};
 use ptnc_tensor::init;
 
 /// System allocator wrapped with an allocation counter, so the harness can
@@ -79,15 +90,21 @@ struct Workload {
     steps: usize,
     window_micros: usize,
     hidden: usize,
+    /// Concurrent logical streams in the session phase (0 skips it).
+    sessions: usize,
+    /// Chunk submissions per session.
+    session_chunks: usize,
+    /// Timesteps per chunk.
+    chunk_steps: usize,
 }
 
 impl Workload {
     fn from_env() -> Self {
         let smoke = std::env::var("PNC_SMOKE").is_ok_and(|v| v != "0");
-        let (streams, requests, steps, hidden) = if smoke {
-            (4, 32, 24, 4)
+        let (streams, requests, steps, hidden, sessions, session_chunks) = if smoke {
+            (4, 32, 24, 4, 2_000, 2)
         } else {
-            (8, 200, 64, 6)
+            (8, 200, 64, 6, 100_000, 3)
         };
         Workload {
             streams: env_usize("PNC_SERVE_STREAMS", streams),
@@ -95,6 +112,9 @@ impl Workload {
             steps: env_usize("PNC_SERVE_STEPS", steps),
             window_micros: env_usize("PNC_SERVE_BATCH_WINDOW", 200),
             hidden: env_usize("PNC_SERVE_HIDDEN", hidden),
+            sessions: env_usize("PNC_SERVE_SESSIONS", sessions),
+            session_chunks: env_usize("PNC_SERVE_SESSION_CHUNKS", session_chunks),
+            chunk_steps: env_usize("PNC_SERVE_CHUNK_STEPS", 8),
         }
     }
 }
@@ -132,6 +152,39 @@ fn forward_allocs(engine: &adapt_pnc::infer::InferModel, cfg: &BatchConfig, t: u
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..ROUNDS {
         round(&mut mb);
+    }
+    (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / ROUNDS as f64
+}
+
+/// Steady-state allocations per resident-session round (`begin →
+/// load/import → forward_resident → export`) on a standalone
+/// [`MicroBatcher`] — the session analog of [`forward_allocs`].
+fn session_forward_allocs(
+    engine: &Arc<adapt_pnc::infer::InferModel>,
+    cfg: &BatchConfig,
+    t: usize,
+) -> f64 {
+    const ROUNDS: u64 = 32;
+    let mut mb = MicroBatcher::new(engine, cfg).expect("bench config is valid");
+    let mut sessions: Vec<_> = (0..cfg.max_batch).map(|_| engine.session()).collect();
+    let lanes: Vec<Vec<f64>> = (0..cfg.max_batch).map(|l| request_steps(l, t)).collect();
+    let round = |mb: &mut MicroBatcher, sessions: &mut [adapt_pnc::infer::StreamSession]| {
+        mb.begin(t).expect("t fits the staging window");
+        for (lane, (steps, session)) in lanes.iter().zip(sessions.iter()).enumerate() {
+            mb.load_lane(lane, steps).expect("lane fits the batch");
+            mb.import_session(lane, session).expect("same engine");
+        }
+        mb.forward_resident(engine)
+            .expect("buffers sized at construction");
+        for (lane, session) in sessions.iter_mut().enumerate() {
+            mb.export_session(lane, session).expect("same engine");
+        }
+        assert!(mb.lane_logits(0).iter().all(|v| v.is_finite()));
+    };
+    round(&mut mb, &mut sessions); // warm-up
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..ROUNDS {
+        round(&mut mb, &mut sessions);
     }
     (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / ROUNDS as f64
 }
@@ -206,6 +259,128 @@ fn drive_load(server: &Server, reg: &Arc<ModelRegistry>, wl: &Workload) -> LoadR
     }
 }
 
+fn session_chunk(stream: usize, round: usize, t: usize) -> Vec<f64> {
+    (0..t * DIM)
+        .map(|i| ((stream * 131 + round * 977 + i) as f64 * 0.23).sin())
+        .collect()
+}
+
+struct SessionLoad {
+    opened: u64,
+    open_elapsed: Duration,
+    chunks_completed: u64,
+    chunks_failed: u64,
+    elapsed: Duration,
+    allocs_per_chunk: f64,
+    parity_checked: usize,
+    parity_ok: bool,
+}
+
+/// Opens `wl.sessions` resident logical streams, then feeds each
+/// `wl.session_chunks` chunks from `wl.streams` client threads in bounded
+/// waves (submit a group of chunks, wait their tickets, move on) so every
+/// session keeps at most one chunk in flight while the scheduler coalesces
+/// chunks *across* sessions into full batches. Ends with a parity
+/// spot-check: a chunked session must reproduce the one-shot run of the
+/// concatenated window bit for bit.
+fn drive_sessions(server: &Server, wl: &Workload) -> Option<SessionLoad> {
+    if wl.sessions == 0 || wl.session_chunks == 0 {
+        return None;
+    }
+    let open_start = Instant::now();
+    let ids: Vec<SessionId> = (0..wl.sessions)
+        .map(|s| {
+            server
+                .open_session(&format!("cohort-{}", s % 8), ReloadPolicy::PinOld)
+                .expect("session capacity sized for the workload")
+        })
+        .collect();
+    let open_elapsed = open_start.elapsed();
+    assert_eq!(server.open_sessions(), wl.sessions);
+
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let alloc_start = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let shard_len = ids.len().div_ceil(wl.streams.max(1));
+    std::thread::scope(|scope| {
+        for (shard_idx, shard) in ids.chunks(shard_len).enumerate() {
+            let completed = &completed;
+            let failed = &failed;
+            scope.spawn(move || {
+                let base = shard_idx * shard_len;
+                // Bounded in-flight wave per thread so one shard can never
+                // saturate the shared queue on its own.
+                let wave = 64.min(shard.len()).max(1);
+                for round in 0..wl.session_chunks {
+                    for (g, group) in shard.chunks(wave).enumerate() {
+                        let mut tickets = Vec::with_capacity(group.len());
+                        for (k, id) in group.iter().enumerate() {
+                            let chunk = session_chunk(base + g * wave + k, round, wl.chunk_steps);
+                            loop {
+                                match server.submit_chunk(*id, &chunk) {
+                                    Ok(t) => break tickets.push(t),
+                                    Err(ServingError::Backpressure { .. }) => {
+                                        std::thread::yield_now();
+                                    }
+                                    Err(_) => {
+                                        failed.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        for t in tickets {
+                            match t.wait() {
+                                Ok(_) => completed.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - alloc_start;
+    let done = completed.load(Ordering::Relaxed);
+
+    // Parity spot-check against the server's own one-shot path (both run
+    // on the engine the sessions pinned — no reloads happen in between).
+    let parity_checked = 3usize;
+    let mut parity_ok = true;
+    for p in 0..parity_checked {
+        let id = server
+            .open_session("parity", ReloadPolicy::PinOld)
+            .expect("parity session opens");
+        let mut window = Vec::new();
+        let mut last = Vec::new();
+        for round in 0..wl.session_chunks {
+            let chunk = session_chunk(1_000_000 + p, round, wl.chunk_steps);
+            window.extend_from_slice(&chunk);
+            last = server
+                .submit_chunk(id, &chunk)
+                .expect("parity chunk accepted")
+                .wait()
+                .expect("parity chunk completes");
+        }
+        let oneshot = server.infer("parity", &window).expect("one-shot completes");
+        parity_ok &= last == oneshot;
+        server.close_session(id);
+    }
+
+    Some(SessionLoad {
+        opened: ids.len() as u64,
+        open_elapsed,
+        chunks_completed: done,
+        chunks_failed: failed.load(Ordering::Relaxed),
+        elapsed,
+        allocs_per_chunk: allocs as f64 / done.max(1) as f64,
+        parity_checked,
+        parity_ok,
+    })
+}
+
 fn main() {
     with_run_manifest("serve_throughput", run);
 }
@@ -213,8 +388,16 @@ fn main() {
 fn run() {
     let wl = Workload::from_env();
     eprintln!(
-        "serve_throughput: {} streams x {} requests x {} steps, hidden {}, window {}µs",
-        wl.streams, wl.requests, wl.steps, wl.hidden, wl.window_micros
+        "serve_throughput: {} streams x {} requests x {} steps, hidden {}, window {}µs, \
+         {} sessions x {} chunks x {} steps",
+        wl.streams,
+        wl.requests,
+        wl.steps,
+        wl.hidden,
+        wl.window_micros,
+        wl.sessions,
+        wl.session_chunks,
+        wl.chunk_steps
     );
 
     let dir = std::env::temp_dir().join(format!("ptnc-serve-bench-{}", std::process::id()));
@@ -225,19 +408,24 @@ fn run() {
     let reg = Arc::new(ModelRegistry::open(&path).expect("open registry"));
     let cfg = BatchConfig {
         max_batch: wl.streams.clamp(2, 32),
-        max_steps: wl.steps.max(64),
+        // Cover both one-shot requests and the concatenated parity window.
+        max_steps: wl.steps.max(64).max(wl.session_chunks * wl.chunk_steps),
         batch_window: Duration::from_micros(wl.window_micros as u64),
+        max_sessions: wl.sessions.max(1) + 16,
         ..BatchConfig::default()
     };
     // Worker hot path in isolation (measured before any server thread
     // exists, so no other thread can perturb the allocation counter).
     let direct = ServeModel::from_file(&path)
         .expect("snapshot compiles")
-        .into_engine();
+        .into_shared_engine();
     let allocs_per_forward = forward_allocs(&direct, &cfg, wl.steps);
+    let session_allocs_per_forward = session_forward_allocs(&direct, &cfg, wl.chunk_steps.max(1));
+    drop(direct);
 
     let server = Server::start(Arc::clone(&reg), cfg).expect("start server");
     let load = drive_load(&server, &reg, &wl);
+    let sessions = drive_sessions(&server, &wl);
 
     let timesteps = load.completed * wl.steps as u64;
     let timesteps_per_sec = timesteps as f64 / load.elapsed.as_secs_f64().max(1e-9);
@@ -271,12 +459,44 @@ fn run() {
     for (k, v) in &rows {
         print_row(&[k.to_string(), v.clone()], &widths);
     }
+    if let Some(sl) = &sessions {
+        let chunks_per_sec = sl.chunks_completed as f64 / sl.elapsed.as_secs_f64().max(1e-9);
+        let session_steps_per_sec = chunks_per_sec * wl.chunk_steps as f64;
+        let session_rows: [(&str, String); 7] = [
+            ("sessions (concurrent)", sl.opened.to_string()),
+            (
+                "session opens (ms)",
+                sl.open_elapsed.as_millis().to_string(),
+            ),
+            ("session chunks done", sl.chunks_completed.to_string()),
+            ("session chunks failed", sl.chunks_failed.to_string()),
+            ("session chunks/sec", format!("{chunks_per_sec:.1}")),
+            (
+                "session timesteps/sec",
+                format!("{session_steps_per_sec:.0}"),
+            ),
+            (
+                "allocs/session forward",
+                format!("{session_allocs_per_forward:.2}"),
+            ),
+        ];
+        for (k, v) in &session_rows {
+            print_row(&[k.to_string(), v.clone()], &widths);
+        }
+    }
     println!();
     println!(
         "hot reload under load: {}/{} swaps landed, swap lock held {swap_best}–{swap_worst}µs",
         load.swap_reports.len(),
         load.swaps_attempted
     );
+    if let Some(sl) = &sessions {
+        println!(
+            "session parity: {}/{} chunked streams bitwise-equal to one-shot",
+            if sl.parity_ok { sl.parity_checked } else { 0 },
+            sl.parity_checked
+        );
+    }
 
     ptnc_telemetry::gauge("serve.requests_per_sec", requests_per_sec);
     ptnc_telemetry::gauge("serve.timesteps_per_sec", timesteps_per_sec);
@@ -286,11 +506,41 @@ fn run() {
     ptnc_telemetry::gauge("serve.allocs_per_forward", allocs_per_forward);
     ptnc_telemetry::gauge("serve.mean_batch_fill", mean_fill);
     ptnc_telemetry::gauge("serve.swap_micros.worst", swap_worst as f64);
+    if let Some(sl) = &sessions {
+        let chunks_per_sec = sl.chunks_completed as f64 / sl.elapsed.as_secs_f64().max(1e-9);
+        ptnc_telemetry::gauge("serve.sessions.concurrent", sl.opened as f64);
+        ptnc_telemetry::gauge("serve.sessions.chunks_per_sec", chunks_per_sec);
+        ptnc_telemetry::gauge(
+            "serve.sessions.allocs_per_forward",
+            session_allocs_per_forward,
+        );
+    }
     server.stats().emit_telemetry();
 
     let json_path = std::env::var("PNC_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let sessions_json = match &sessions {
+        None => "null".to_string(),
+        Some(sl) => {
+            let chunks_per_sec = sl.chunks_completed as f64 / sl.elapsed.as_secs_f64().max(1e-9);
+            format!(
+                "{{\n    \"concurrent_streams\": {},\n    \"chunks_per_stream\": {},\n    \"chunk_steps\": {},\n    \"open_millis\": {},\n    \"chunks_completed\": {},\n    \"chunks_failed\": {},\n    \"chunks_per_sec\": {:.1},\n    \"timesteps_per_sec\": {:.1},\n    \"allocs_per_chunk\": {:.2},\n    \"allocs_per_session_forward\": {:.2},\n    \"parity_checked\": {},\n    \"parity_ok\": {}\n  }}",
+                sl.opened,
+                wl.session_chunks,
+                wl.chunk_steps,
+                sl.open_elapsed.as_millis(),
+                sl.chunks_completed,
+                sl.chunks_failed,
+                chunks_per_sec,
+                chunks_per_sec * wl.chunk_steps as f64,
+                sl.allocs_per_chunk,
+                session_allocs_per_forward,
+                sl.parity_checked,
+                sl.parity_ok,
+            )
+        }
+    };
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"streams\": {},\n  \"requests_per_stream\": {},\n  \"steps_per_request\": {},\n  \"hidden\": {},\n  \"batch_window_micros\": {},\n  \"max_batch\": {},\n  \"requests_completed\": {},\n  \"requests_failed\": {},\n  \"requests_per_sec\": {:.3},\n  \"timesteps_per_sec\": {:.1},\n  \"latency_p50_micros\": {},\n  \"latency_p99_micros\": {},\n  \"allocs_per_request\": {:.2},\n  \"allocs_per_batched_forward\": {:.2},\n  \"mean_batch_fill\": {:.3},\n  \"batches\": {},\n  \"hot_swaps_landed\": {},\n  \"hot_swaps_attempted\": {},\n  \"swap_lock_micros_best\": {},\n  \"swap_lock_micros_worst\": {}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"streams\": {},\n  \"requests_per_stream\": {},\n  \"steps_per_request\": {},\n  \"hidden\": {},\n  \"batch_window_micros\": {},\n  \"max_batch\": {},\n  \"requests_completed\": {},\n  \"requests_failed\": {},\n  \"requests_per_sec\": {:.3},\n  \"timesteps_per_sec\": {:.1},\n  \"latency_p50_micros\": {},\n  \"latency_p99_micros\": {},\n  \"allocs_per_request\": {:.2},\n  \"allocs_per_batched_forward\": {:.2},\n  \"mean_batch_fill\": {:.3},\n  \"batches\": {},\n  \"hot_swaps_landed\": {},\n  \"hot_swaps_attempted\": {},\n  \"swap_lock_micros_best\": {},\n  \"swap_lock_micros_worst\": {},\n  \"sessions\": {}\n}}\n",
         wl.streams,
         wl.requests,
         wl.steps,
@@ -311,6 +561,7 @@ fn run() {
         load.swaps_attempted,
         swap_best,
         swap_worst,
+        sessions_json,
     );
     std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
     eprintln!("wrote {json_path}");
@@ -335,6 +586,27 @@ fn run() {
         if load.swap_reports.len() as u64 != load.swaps_attempted {
             eprintln!("PNC_SERVE_ENFORCE: hot swap failed under load — failing");
             gate_failed = true;
+        }
+        if session_allocs_per_forward != 0.0 {
+            eprintln!(
+                "PNC_SERVE_ENFORCE: session forward allocates \
+                 ({session_allocs_per_forward:.2}/forward) — failing"
+            );
+            gate_failed = true;
+        }
+        if let Some(sl) = &sessions {
+            if sl.chunks_failed > 0 || sl.chunks_completed == 0 {
+                eprintln!(
+                    "PNC_SERVE_ENFORCE: {}/{} session chunks failed — failing",
+                    sl.chunks_failed,
+                    sl.chunks_completed + sl.chunks_failed
+                );
+                gate_failed = true;
+            }
+            if !sl.parity_ok {
+                eprintln!("PNC_SERVE_ENFORCE: session parity spot-check diverged — failing");
+                gate_failed = true;
+            }
         }
         if gate_failed {
             std::process::exit(1);

@@ -295,6 +295,13 @@ impl ServeModel {
         self.engine
     }
 
+    /// Unwraps into a shared handle on the compiled engine — the form the
+    /// serving tier's registry swaps and long-lived stream sessions
+    /// ([`ptnc_infer::StreamSession`]) pin across hot reloads.
+    pub fn into_shared_engine(self) -> std::sync::Arc<InferModel> {
+        std::sync::Arc::new(self.engine)
+    }
+
     /// The inference-runtime spec describing `model`'s architecture, at
     /// default (non-overridden) Δt and logit scale.
     pub fn spec_of(model: &PrintedModel) -> InferSpec {

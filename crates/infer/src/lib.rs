@@ -24,6 +24,12 @@
 //! * **Streaming** — [`StreamState`] advances one timestep per call for
 //!   online sensor input; feeding a sequence step by step produces exactly
 //!   the logits of the batched run.
+//! * **Sessions** — [`StreamSession`] is the owned, `Arc`-backed spelling
+//!   of streaming for serving tiers: resident filter state persists
+//!   between chunk submissions ([`InferModel::run_chunk_into`]), can be
+//!   gathered into / scattered out of shared [`Scratch`] lanes for batched
+//!   forwards, and survives model hot-reloads (pin-old vs reset-on-reload
+//!   is the caller's policy via [`StreamSession::adopt_model`]).
 //! * **Perturbed** — [`InferModel::perturbed`] compiles a cheap per-trial
 //!   instance from a [`VariationSample`], so Monte-Carlo variation trials
 //!   share one frozen model across threads (`InferModel` is plain data and
@@ -57,12 +63,14 @@
 mod error;
 mod guard;
 mod model;
+mod session;
 mod stream;
 mod variation;
 
 pub use error::InferError;
 pub use guard::{DegradePolicy, GuardConfig, GuardStats, GuardedStream, Health, InputGuard};
 pub use model::{BuildError, InferModel, InferSpec, Scratch};
+pub use session::StreamSession;
 pub use stream::StreamState;
 pub use variation::{LayerVariation, VariationDistribution, VariationSample};
 

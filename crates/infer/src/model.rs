@@ -323,6 +323,81 @@ impl Scratch {
         self.batch
     }
 
+    /// Length of one lane's flat resident filter state: the values of
+    /// every `[layer][stage]` buffer that belong to a single batch lane,
+    /// in `[layer][stage][filter]` order. Sessions persist exactly this
+    /// many `f64`s between submissions.
+    pub fn lane_state_len(&self) -> usize {
+        self.states
+            .iter()
+            .flatten()
+            .map(|stage| stage.len() / self.batch)
+            .sum()
+    }
+
+    /// Copies lane `lane`'s filter states into `out` (flat
+    /// `[layer][stage][filter]` order, [`Scratch::lane_state_len`] values).
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::ShapeMismatch`] on a lane out of range or an `out`
+    /// of the wrong length; nothing is written on error.
+    pub fn export_lane_state(&self, lane: usize, out: &mut [f64]) -> Result<(), InferError> {
+        if lane >= self.batch {
+            return Err(InferError::ShapeMismatch {
+                what: "state lane",
+                expected: self.batch,
+                found: lane,
+            });
+        }
+        if out.len() != self.lane_state_len() {
+            return Err(InferError::ShapeMismatch {
+                what: "lane state",
+                expected: self.lane_state_len(),
+                found: out.len(),
+            });
+        }
+        let mut at = 0;
+        for stage in self.states.iter().flatten() {
+            let fan_out = stage.len() / self.batch;
+            out[at..at + fan_out].copy_from_slice(&stage[lane * fan_out..(lane + 1) * fan_out]);
+            at += fan_out;
+        }
+        Ok(())
+    }
+
+    /// Writes a flat lane state (as produced by
+    /// [`Scratch::export_lane_state`]) into lane `lane`'s filter states.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::ShapeMismatch`] on a lane out of range or a `state`
+    /// of the wrong length; the scratch is untouched on error.
+    pub fn import_lane_state(&mut self, lane: usize, state: &[f64]) -> Result<(), InferError> {
+        if lane >= self.batch {
+            return Err(InferError::ShapeMismatch {
+                what: "state lane",
+                expected: self.batch,
+                found: lane,
+            });
+        }
+        if state.len() != self.lane_state_len() {
+            return Err(InferError::ShapeMismatch {
+                what: "lane state",
+                expected: self.lane_state_len(),
+                found: state.len(),
+            });
+        }
+        let batch = self.batch;
+        let mut at = 0;
+        for stage in self.states.iter_mut().flatten() {
+            let fan_out = stage.len() / batch;
+            stage[lane * fan_out..(lane + 1) * fan_out].copy_from_slice(&state[at..at + fan_out]);
+            at += fan_out;
+        }
+        Ok(())
+    }
+
     /// Whether every filter-state value is finite. One non-finite input
     /// sample poisons the `a⊙state + b⊙input` recurrence permanently, so
     /// watchdogs (and the guarded-path tests) use this to audit state
@@ -494,6 +569,39 @@ impl InferModel {
         self.make_scratch(batch).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Length of one stream's flat resident filter state
+    /// (`stages × (hidden + classes)` values) — what a session persists
+    /// between submissions.
+    pub fn lane_state_len(&self) -> usize {
+        self.spec.stages * (self.spec.hidden + self.spec.classes)
+    }
+
+    /// Writes this instance's initial stage voltages (zero at nominal, the
+    /// sampled V₀ when perturbed) into a flat lane state, in the
+    /// `[layer][stage][filter]` order of [`Scratch::export_lane_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::ShapeMismatch`] if `state` is not
+    /// [`lane_state_len`](Self::lane_state_len) long.
+    pub fn reset_lane_state(&self, state: &mut [f64]) -> Result<(), InferError> {
+        if state.len() != self.lane_state_len() {
+            return Err(InferError::ShapeMismatch {
+                what: "lane state",
+                expected: self.lane_state_len(),
+                found: state.len(),
+            });
+        }
+        let mut at = 0;
+        for layer in &self.layers {
+            for v0 in &layer.v0 {
+                state[at..at + layer.fan_out].copy_from_slice(v0);
+                at += layer.fan_out;
+            }
+        }
+        Ok(())
+    }
+
     /// Resets the filter states in `scratch` to this instance's initial
     /// stage voltages (zero at nominal, the sampled V₀ when perturbed).
     pub(crate) fn reset_states(&self, scratch: &mut Scratch) {
@@ -555,6 +663,56 @@ impl InferModel {
         scratch: &mut Scratch,
         out: &mut [f64],
     ) -> Result<(), InferError> {
+        self.validate_batch(steps, batch, scratch, out)?;
+        self.reset_states(scratch);
+        let step_len = batch * self.spec.input_dim;
+        for chunk in steps.chunks_exact(step_len) {
+            self.advance(chunk, scratch);
+        }
+        self.read_logits(scratch, out);
+        Ok(())
+    }
+
+    /// Like [`InferModel::run_batch_into`] but **resumes from the filter
+    /// states already resident in `scratch`** instead of resetting them —
+    /// the batched spelling of [`StreamState::step`](crate::StreamState)
+    /// for windows split across submissions. Feeding a window in chunks
+    /// through this call (states carried between calls) produces exactly
+    /// the logits of one [`run_batch_into`](Self::run_batch_into) on the
+    /// concatenated window, because the per-lane recurrence is identical;
+    /// only the call granularity differs.
+    ///
+    /// Callers own state initialization: start a fresh stream from
+    /// [`InferModel::reset_lane_state`] (or a scratch that just ran
+    /// `run_batch_into`, which ends in a post-window state).
+    ///
+    /// # Errors
+    ///
+    /// The same [`InferError`]s as [`InferModel::run_batch_into`]; on
+    /// error nothing is written and the resident states are untouched.
+    pub fn run_chunk_into(
+        &self,
+        steps: &[f64],
+        batch: usize,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) -> Result<(), InferError> {
+        self.validate_batch(steps, batch, scratch, out)?;
+        let step_len = batch * self.spec.input_dim;
+        for chunk in steps.chunks_exact(step_len) {
+            self.advance(chunk, scratch);
+        }
+        self.read_logits(scratch, out);
+        Ok(())
+    }
+
+    fn validate_batch(
+        &self,
+        steps: &[f64],
+        batch: usize,
+        scratch: &Scratch,
+        out: &[f64],
+    ) -> Result<(), InferError> {
         if batch == 0 {
             return Err(InferError::ZeroBatch);
         }
@@ -580,11 +738,6 @@ impl InferModel {
                 found: out.len(),
             });
         }
-        self.reset_states(scratch);
-        for chunk in steps.chunks_exact(step_len) {
-            self.advance(chunk, scratch);
-        }
-        self.read_logits(scratch, out);
         Ok(())
     }
 

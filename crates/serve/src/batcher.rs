@@ -32,16 +32,38 @@
 //! [`Ticket::wait`] blocks) so a single client thread can keep thousands
 //! of logical streams in flight — that multiplexing is what lets batches
 //! actually form on a small machine.
+//!
+//! ## Resident sessions
+//!
+//! One-shot requests re-run their whole window from a cold filter state.
+//! For continuous streams the server also offers sessions
+//! ([`Server::open_session`] / [`Server::submit_chunk`]): the stream's
+//! SO-LF filter state stays resident between submissions, and workers
+//! coalesce chunk submissions from many sessions into one batched forward
+//! by gathering the resident states into the scratch lanes
+//! ([`MicroBatcher::import_session`]), running a no-reset forward
+//! ([`MicroBatcher::forward_resident`]), and scattering the advanced
+//! states back ([`MicroBatcher::export_session`]) — so session steady
+//! state is as wide and allocation-free as one-shot serving. Lanes are
+//! independent through the whole forward (the crossbar mixes features
+//! within a lane, never across lanes), so a padded lane's stale resident
+//! state cannot contaminate live lanes and is simply never read back.
+//!
+//! Session batches group by *engine identity* (`Arc::ptr_eq`): under a
+//! hot reload, pinned-old sessions and already-adopted sessions run in
+//! separate batches, and session and one-shot requests never mix (the
+//! one-shot path resets all lane states; the session path must not).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use ptnc_infer::{GuardConfig, Health, InferError, InferModel, InputGuard, Scratch};
+use ptnc_infer::{GuardConfig, Health, InferError, InferModel, InputGuard, Scratch, StreamSession};
 
 use crate::error::ServingError;
 use crate::registry::ModelRegistry;
+use crate::session::{ReloadPolicy, SessionCell, SessionId, SessionRegistry, SessionSnapshot};
 use crate::stats::{StatsRegistry, TenantStats};
 
 /// Scheduler knobs.
@@ -62,6 +84,15 @@ pub struct BatchConfig {
     /// When set, every request's input is sanitized through an
     /// [`InputGuard`] with this config before it reaches the filters.
     pub guard: Option<GuardConfig>,
+    /// Most sessions open at once. A session is ~`lane_state_len` f64s
+    /// plus bookkeeping, so the default (2²⁰) costs tens of MB for paper
+    /// architectures — sized for the million-stream north star, bounded so
+    /// leaked client sessions cannot grow server memory without limit.
+    pub max_sessions: usize,
+    /// Sessions idle at least this long may be evicted when
+    /// [`Server::open_session`] finds the registry at capacity (and by
+    /// explicit [`Server::sweep_idle_sessions`] calls).
+    pub session_idle_timeout: Duration,
 }
 
 impl Default for BatchConfig {
@@ -73,6 +104,8 @@ impl Default for BatchConfig {
             batch_window: Duration::from_micros(200),
             workers: 1,
             guard: None,
+            max_sessions: 1 << 20,
+            session_idle_timeout: Duration::from_secs(300),
         }
     }
 }
@@ -97,6 +130,11 @@ impl BatchConfig {
         if self.workers == 0 {
             return Err(ServingError::Config {
                 reason: "need at least one worker",
+            });
+        }
+        if self.max_sessions == 0 {
+            return Err(ServingError::Config {
+                reason: "max_sessions must be at least 1",
             });
         }
         if let Some(g) = &self.guard {
@@ -234,6 +272,69 @@ impl MicroBatcher {
         Ok(())
     }
 
+    /// Runs the loaded batch *without* resetting filter states — the
+    /// session path. Lanes must have been populated with resident states
+    /// via [`import_session`](Self::import_session) first; padded lanes
+    /// keep whatever state the previous batch left (lanes are mutually
+    /// independent through the forward, and padded lanes are never read
+    /// back, so stale — even non-finite — padding is harmless). Guard
+    /// sanitation is identical to [`forward`](Self::forward).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadRequest`] if `model`'s spec disagrees with the
+    /// buffers (cannot happen through [`Server`], which batches by engine
+    /// identity).
+    pub fn forward_resident(&mut self, model: &InferModel) -> Result<(), ServingError> {
+        let used = self.t * self.max_batch * self.dim;
+        if let Some(g) = &mut self.guard {
+            g.reset();
+            for step in self.staging[..used].chunks_exact_mut(self.max_batch * self.dim) {
+                g.sanitize(step)?;
+            }
+        }
+        model.run_chunk_into(
+            &self.staging[..used],
+            self.max_batch,
+            &mut self.scratch,
+            &mut self.out,
+        )?;
+        Ok(())
+    }
+
+    /// Gathers `session`'s resident filter state into scratch lane `lane`
+    /// ahead of a [`forward_resident`](Self::forward_resident).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadRequest`] on a lane out of range or a session
+    /// from a different architecture.
+    pub fn import_session(
+        &mut self,
+        lane: usize,
+        session: &StreamSession,
+    ) -> Result<(), ServingError> {
+        session.load_into(&mut self.scratch, lane)?;
+        Ok(())
+    }
+
+    /// Scatters scratch lane `lane`'s advanced filter state back into
+    /// `session` after a [`forward_resident`](Self::forward_resident),
+    /// accounting the batch's timesteps to the session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::BadRequest`] on a lane out of range or a session
+    /// from a different architecture (the session is untouched).
+    pub fn export_session(
+        &self,
+        lane: usize,
+        session: &mut StreamSession,
+    ) -> Result<(), ServingError> {
+        session.store_from(&self.scratch, lane, self.t)?;
+        Ok(())
+    }
+
     /// Logits of `lane` after [`forward`](Self::forward).
     pub fn lane_logits(&self, lane: usize) -> &[f64] {
         &self.out[lane * self.classes..(lane + 1) * self.classes]
@@ -324,6 +425,52 @@ impl Ticket {
             }
         }
     }
+
+    /// Like [`wait`](Ticket::wait), but gives up after `timeout` and hands
+    /// the ticket back (`Err(self)`) so the caller can keep waiting or
+    /// drop it — which is what lets a liveness test assert "this request
+    /// completes promptly" without being able to hang forever itself.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout; the request outcome is otherwise
+    /// `Ok(inner)` with the same result `wait` would return.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Vec<f64>, ServingError>, Ticket> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.slot.state.lock().expect("slot lock poisoned");
+        loop {
+            match &*st {
+                SlotState::Pending(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        drop(st);
+                        return Err(self);
+                    }
+                    let (guard, _) = self
+                        .slot
+                        .ready
+                        .wait_timeout(st, deadline - now)
+                        .expect("slot lock poisoned");
+                    st = guard;
+                }
+                SlotState::Failed(e) => return Ok(Err(*e)),
+                SlotState::Done(_) | SlotState::Taken => {
+                    return match std::mem::replace(&mut *st, SlotState::Taken) {
+                        SlotState::Done(buf) => Ok(Ok(buf)),
+                        _ => unreachable!("ticket waited twice"),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Session context riding with a chunk request: the cell whose resident
+/// state the chunk advances, and the engine it was resolved to run on
+/// (resolved once at submit time so every chunk of the batch agrees).
+struct SessionLane {
+    cell: Arc<SessionCell>,
+    model: Arc<InferModel>,
 }
 
 struct Request {
@@ -332,6 +479,46 @@ struct Request {
     slot: Arc<Slot>,
     tenant: Arc<TenantStats>,
     enqueued: Instant,
+    /// `None` for one-shot requests; `Some` for session chunks.
+    session: Option<SessionLane>,
+}
+
+impl Request {
+    fn fail(self, err: ServingError) {
+        if let Some(s) = &self.session {
+            s.cell.in_flight.store(false, Ordering::Release);
+        }
+        self.slot.fail(err);
+    }
+}
+
+/// What makes two queued requests batchable together: same timestep count,
+/// and either both one-shot or both session chunks resolved to the *same*
+/// engine (pointer identity — a pinned-old session must not share a
+/// forward with sessions already on the reloaded model).
+enum BatchKey {
+    OneShot { t: usize },
+    Session { t: usize, model: Arc<InferModel> },
+}
+
+impl BatchKey {
+    fn of(r: &Request) -> BatchKey {
+        match &r.session {
+            None => BatchKey::OneShot { t: r.t },
+            Some(s) => BatchKey::Session {
+                t: r.t,
+                model: Arc::clone(&s.model),
+            },
+        }
+    }
+
+    fn matches(&self, r: &Request) -> bool {
+        match (self, &r.session) {
+            (BatchKey::OneShot { t }, None) => r.t == *t,
+            (BatchKey::Session { t, model }, Some(s)) => r.t == *t && Arc::ptr_eq(model, &s.model),
+            _ => false,
+        }
+    }
 }
 
 struct Shared {
@@ -343,9 +530,57 @@ struct Shared {
     arrivals: Condvar,
     shutdown: AtomicBool,
     stats: StatsRegistry,
+    sessions: SessionRegistry,
     batches: AtomicU64,
     batched_lanes: AtomicU64,
     guard_repaired: AtomicU64,
+}
+
+impl Shared {
+    /// The one place requests enter the queue. The shutdown flag is
+    /// re-checked *inside* the queue-lock critical section: `shutdown`
+    /// sets the flag and then drains this queue under the same lock, so
+    /// any enqueue that raced past an earlier flag check is either
+    /// ordered before the drain (and gets drained + failed) or sees the
+    /// flag here and is shed — a request can never be stranded behind the
+    /// drain with its ticket blocking forever.
+    fn enqueue(&self, request: Request) -> Result<(), ServingError> {
+        {
+            let mut q = self.queue.lock().expect("queue lock poisoned");
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(ServingError::ShuttingDown);
+            }
+            if q.len() >= self.cfg.queue_capacity {
+                return Err(ServingError::Backpressure {
+                    depth: q.len(),
+                    capacity: self.cfg.queue_capacity,
+                });
+            }
+            q.push_back(request);
+        }
+        self.arrivals.notify_one();
+        Ok(())
+    }
+
+    /// Validates a time-major payload and returns its timestep count.
+    fn validate_steps(&self, steps: &[f64]) -> Result<usize, ServingError> {
+        if steps.is_empty() || !steps.len().is_multiple_of(self.dim) {
+            return Err(InferError::ShapeMismatch {
+                what: "steps",
+                expected: self.dim,
+                found: steps.len(),
+            }
+            .into());
+        }
+        let t = steps.len() / self.dim;
+        if t > self.cfg.max_steps {
+            return Err(ServingError::TooManySteps {
+                steps: t,
+                max: self.cfg.max_steps,
+            });
+        }
+        Ok(t)
+    }
 }
 
 /// The serving front end: owns the worker pool, the bounded queue, and
@@ -378,6 +613,7 @@ impl Server {
             arrivals: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: StatsRegistry::default(),
+            sessions: SessionRegistry::new(cfg.max_sessions, cfg.session_idle_timeout),
             batches: AtomicU64::new(0),
             batched_lanes: AtomicU64::new(0),
             guard_repaired: AtomicU64::new(0),
@@ -407,19 +643,8 @@ impl Server {
     /// full, [`ServingError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, tenant: &str, steps: &[f64]) -> Result<Ticket, ServingError> {
         let stats = self.shared.stats.tenant(tenant);
-        match self.try_enqueue(&stats, steps) {
-            Ok(ticket) => Ok(ticket),
-            Err(e) => {
-                match e {
-                    ServingError::Backpressure { .. } => stats.record_shed(),
-                    ServingError::BadRequest(_) | ServingError::TooManySteps { .. } => {
-                        stats.record_rejected()
-                    }
-                    _ => {}
-                }
-                Err(e)
-            }
-        }
+        self.try_enqueue(&stats, steps)
+            .inspect_err(|e| record_submit_error(&stats, e))
     }
 
     fn try_enqueue(&self, stats: &Arc<TenantStats>, steps: &[f64]) -> Result<Ticket, ServingError> {
@@ -427,44 +652,172 @@ impl Server {
         if shared.shutdown.load(Ordering::Acquire) {
             return Err(ServingError::ShuttingDown);
         }
-        if steps.is_empty() || !steps.len().is_multiple_of(shared.dim) {
-            return Err(InferError::ShapeMismatch {
-                what: "steps",
-                expected: shared.dim,
-                found: steps.len(),
-            }
-            .into());
-        }
-        let t = steps.len() / shared.dim;
-        if t > shared.cfg.max_steps {
-            return Err(ServingError::TooManySteps {
-                steps: t,
-                max: shared.cfg.max_steps,
-            });
-        }
+        let t = shared.validate_steps(steps)?;
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState::Pending(vec![0.0; shared.classes])),
             ready: Condvar::new(),
         });
-        let request = Request {
+        shared.enqueue(Request {
             steps: steps.to_vec(),
             t,
             slot: Arc::clone(&slot),
             tenant: Arc::clone(stats),
             enqueued: Instant::now(),
-        };
-        {
-            let mut q = shared.queue.lock().expect("queue lock poisoned");
-            if q.len() >= shared.cfg.queue_capacity {
-                return Err(ServingError::Backpressure {
-                    depth: q.len(),
-                    capacity: shared.cfg.queue_capacity,
-                });
-            }
-            q.push_back(request);
-        }
-        shared.arrivals.notify_one();
+            session: None,
+        })?;
         Ok(Ticket { slot, timesteps: t })
+    }
+
+    /// Opens a resident session for `tenant`: the stream's filter state is
+    /// initialized once and then carried across
+    /// [`submit_chunk`](Self::submit_chunk) calls until the session is
+    /// closed or evicted. `policy` decides what the session does when the
+    /// model registry hot-swaps a snapshot mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::SessionLimit`] when the server is at capacity and
+    /// no session has been idle past the configured timeout;
+    /// [`ServingError::ShuttingDown`] after shutdown began.
+    pub fn open_session(
+        &self,
+        tenant: &str,
+        policy: ReloadPolicy,
+    ) -> Result<SessionId, ServingError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServingError::ShuttingDown);
+        }
+        let stats = self.shared.stats.tenant(tenant);
+        let model = self.shared.registry.current();
+        let (id, _) = self.shared.sessions.open(stats, policy, model)?;
+        Ok(id)
+    }
+
+    /// Submits the next chunk of session `id` (`steps` is `t × dim`
+    /// time-major values continuing the stream). The session's resident
+    /// filter state carries across chunks, so submitting a window in `k`
+    /// chunks yields exactly the logits of a one-shot submission of the
+    /// concatenated window. One chunk may be in flight per session at a
+    /// time — wait on the previous [`Ticket`] first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::UnknownSession`] for a closed/evicted/never-opened
+    /// id, [`ServingError::SessionBusy`] while a previous chunk is in
+    /// flight, plus every error [`Server::submit`] can return.
+    pub fn submit_chunk(&self, id: SessionId, steps: &[f64]) -> Result<Ticket, ServingError> {
+        let shared = &self.shared;
+        let Some(cell) = shared.sessions.get(id) else {
+            return Err(ServingError::UnknownSession);
+        };
+        let stats = Arc::clone(&cell.tenant);
+        self.try_enqueue_chunk(&cell, steps)
+            .inspect_err(|e| record_submit_error(&stats, e))
+    }
+
+    fn try_enqueue_chunk(
+        &self,
+        cell: &Arc<SessionCell>,
+        steps: &[f64],
+    ) -> Result<Ticket, ServingError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServingError::ShuttingDown);
+        }
+        let t = shared.validate_steps(steps)?;
+        // Exactly one chunk in flight per session: the resident state is a
+        // strict sequence, so a second submission before the first's
+        // ticket resolves is a client ordering bug, not a queueing matter.
+        if cell
+            .in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(ServingError::SessionBusy);
+        }
+        // From here on every error path must release the in-flight claim.
+        let resolve = || -> Result<Arc<InferModel>, ServingError> {
+            let current = shared.registry.current();
+            let mut stream = cell.stream.lock().expect("session lock poisoned");
+            if stream.runs_on(&current) {
+                return Ok(current);
+            }
+            match cell.policy {
+                // Pin-old: keep running the engine this session started
+                // its window on; the stream's Arc keeps it alive.
+                ReloadPolicy::PinOld => Ok(Arc::clone(stream.model())),
+                // Reset-on-reload: adopt the new engine now and restart
+                // the window (resident state resets inside adopt_model).
+                ReloadPolicy::ResetOnReload => {
+                    stream.adopt_model(Arc::clone(&current))?;
+                    Ok(current)
+                }
+            }
+        };
+        let model = match resolve() {
+            Ok(m) => m,
+            Err(e) => {
+                cell.in_flight.store(false, Ordering::Release);
+                return Err(e);
+            }
+        };
+        cell.touch(shared.sessions.now_ms());
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending(vec![0.0; shared.classes])),
+            ready: Condvar::new(),
+        });
+        let enqueued = shared.enqueue(Request {
+            steps: steps.to_vec(),
+            t,
+            slot: Arc::clone(&slot),
+            tenant: Arc::clone(&cell.tenant),
+            enqueued: Instant::now(),
+            session: Some(SessionLane {
+                cell: Arc::clone(cell),
+                model,
+            }),
+        });
+        if let Err(e) = enqueued {
+            cell.in_flight.store(false, Ordering::Release);
+            return Err(e);
+        }
+        Ok(Ticket { slot, timesteps: t })
+    }
+
+    /// Closes session `id`; returns whether it was open. An in-flight
+    /// chunk still completes (its ticket resolves normally) but the
+    /// resident state dies with the session.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.shared.sessions.close(id)
+    }
+
+    /// Point-in-time view of one session's bookkeeping (`None` if the id
+    /// is not open).
+    pub fn session_snapshot(&self, id: SessionId) -> Option<SessionSnapshot> {
+        self.shared.sessions.snapshot(id)
+    }
+
+    /// Sessions currently open.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.sessions.len()
+    }
+
+    /// Sessions opened since the server started.
+    pub fn sessions_opened(&self) -> u64 {
+        self.shared.sessions.opened()
+    }
+
+    /// Sessions evicted for idleness since the server started.
+    pub fn sessions_evicted(&self) -> u64 {
+        self.shared.sessions.evicted()
+    }
+
+    /// Evicts sessions idle at least `max_idle` (in-flight sessions are
+    /// never evicted); returns how many were removed. The same sweep runs
+    /// implicitly when [`open_session`](Self::open_session) hits the
+    /// capacity limit, using the configured idle timeout.
+    pub fn sweep_idle_sessions(&self, max_idle: Duration) -> usize {
+        self.shared.sessions.sweep_idle(max_idle)
     }
 
     /// Submit-and-wait convenience for tests and simple clients.
@@ -518,15 +871,31 @@ impl Server {
         self.shutdown_inner();
     }
 
-    fn shutdown_inner(&mut self) {
+    /// The non-joining half of [`shutdown`](Self::shutdown): sets the
+    /// shutdown flag and fails everything queued, without waiting for the
+    /// workers — callable through a shared reference, so any thread (a
+    /// signal handler, a supervisor) can initiate shutdown while others
+    /// still hold the server. Workers exit once drained; `shutdown` or
+    /// `Drop` still joins them. Idempotent.
+    ///
+    /// The flag is set before the drain and re-checked by every enqueue
+    /// *inside* the queue-lock critical section, so a `submit` racing
+    /// this call either lands before the drain (and its ticket fails with
+    /// [`ServingError::ShuttingDown`]) or is shed at submission — an
+    /// accepted ticket can never be stranded un-resolved.
+    pub fn begin_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         {
             let mut q = self.shared.queue.lock().expect("queue lock poisoned");
             for r in q.drain(..) {
-                r.slot.fail(ServingError::ShuttingDown);
+                r.fail(ServingError::ShuttingDown);
             }
         }
         self.shared.arrivals.notify_all();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.begin_shutdown();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -541,9 +910,20 @@ impl Drop for Server {
     }
 }
 
-/// Length of the contiguous equal-`t` run at the queue front, capped.
-fn front_run(q: &VecDeque<Request>, t: usize, cap: usize) -> usize {
-    q.iter().take(cap).take_while(|r| r.t == t).count()
+/// Tenant-side accounting for a failed submit, shared by the one-shot and
+/// session submission paths.
+fn record_submit_error(stats: &TenantStats, e: &ServingError) {
+    match e {
+        ServingError::Backpressure { .. } => stats.record_shed(),
+        ServingError::BadRequest(_) | ServingError::TooManySteps { .. } => stats.record_rejected(),
+        _ => {}
+    }
+}
+
+/// Length of the contiguous batch-compatible run at the queue front,
+/// capped.
+fn front_run(q: &VecDeque<Request>, key: &BatchKey, cap: usize) -> usize {
+    q.iter().take(cap).take_while(|r| key.matches(r)).count()
 }
 
 fn worker_loop(shared: &Shared, mut mb: MicroBatcher) {
@@ -563,11 +943,11 @@ fn worker_loop(shared: &Shared, mut mb: MicroBatcher) {
                 }
                 q = shared.arrivals.wait(q).expect("queue lock poisoned");
             }
-            let t = q.front().expect("nonempty queue").t;
+            let key = BatchKey::of(q.front().expect("nonempty queue"));
             // Hold for the window while the front run is still short.
             if shared.cfg.batch_window > Duration::ZERO {
                 let deadline = Instant::now() + shared.cfg.batch_window;
-                while front_run(&q, t, max_batch) < max_batch
+                while front_run(&q, &key, max_batch) < max_batch
                     && !shared.shutdown.load(Ordering::Acquire)
                 {
                     let now = Instant::now();
@@ -581,14 +961,14 @@ fn worker_loop(shared: &Shared, mut mb: MicroBatcher) {
                     q = guard;
                     // Another worker may have drained the queue meanwhile.
                     match q.front() {
-                        Some(front) if front.t == t => {}
+                        Some(front) if key.matches(front) => {}
                         _ => continue 'serve,
                     }
                 }
             }
             while batch.len() < max_batch {
                 match q.front() {
-                    Some(front) if front.t == t => {
+                    Some(front) if key.matches(front) => {
                         batch.push(q.pop_front().expect("nonempty queue"));
                     }
                     _ => break,
@@ -598,11 +978,24 @@ fn worker_loop(shared: &Shared, mut mb: MicroBatcher) {
         if batch.is_empty() {
             continue;
         }
-        run_batch(shared, &mut mb, &mut batch);
+        if batch[0].session.is_some() {
+            run_session_batch(shared, &mut mb, &mut batch);
+        } else {
+            run_batch(shared, &mut mb, &mut batch);
+        }
         // If more work is queued, other workers may be asleep after a
         // notify_one landed here while this worker was busy.
         shared.arrivals.notify_one();
     }
+}
+
+fn finish_lane(mb: &MicroBatcher, lane: usize, r: &Request) -> Health {
+    let health = mb.lane_health(lane);
+    r.tenant
+        .record_guard(health == Health::Degraded, health == Health::Faulted);
+    let micros = r.enqueued.elapsed().as_micros() as u64;
+    r.tenant.record_completed(r.t, micros);
+    health
 }
 
 fn run_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Request>) {
@@ -624,11 +1017,7 @@ fn run_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Request>) {
                 .guard_repaired
                 .fetch_add(mb.repaired_last_batch(), Ordering::Relaxed);
             for (lane, r) in batch.drain(..).enumerate() {
-                let health = mb.lane_health(lane);
-                r.tenant
-                    .record_guard(health == Health::Degraded, health == Health::Faulted);
-                let micros = r.enqueued.elapsed().as_micros() as u64;
-                r.tenant.record_completed(r.t, micros);
+                finish_lane(mb, lane, &r);
                 let logits = mb.lane_logits(lane);
                 r.slot.complete(|buf| buf.copy_from_slice(logits));
             }
@@ -639,7 +1028,70 @@ fn run_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Request>) {
             // must degrade to failed requests, never to a poisoned worker.
             for r in batch.drain(..) {
                 r.tenant.record_rejected();
-                r.slot.fail(e);
+                r.fail(e);
+            }
+        }
+    }
+}
+
+/// The session fast path: gather every lane's resident filter state into
+/// the shared scratch, run one no-reset forward on the batch's common
+/// engine, scatter the advanced states back, and only then release each
+/// session's in-flight claim and complete its ticket (so a client that
+/// submits its next chunk upon ticket completion always observes the
+/// updated resident state).
+fn run_session_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Request>) {
+    let t = batch[0].t;
+    let model = Arc::clone(
+        &batch[0]
+            .session
+            .as_ref()
+            .expect("session batch has session context")
+            .model,
+    );
+    let prepared = mb.begin(t).and_then(|()| {
+        for (lane, r) in batch.iter().enumerate() {
+            mb.load_lane(lane, &r.steps)?;
+            let sess = r.session.as_ref().expect("session batch");
+            let stream = sess.cell.stream.lock().expect("session lock poisoned");
+            mb.import_session(lane, &stream)?;
+        }
+        mb.forward_resident(&model)
+    });
+    match prepared {
+        Ok(()) => {
+            shared.batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .batched_lanes
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            shared
+                .guard_repaired
+                .fetch_add(mb.repaired_last_batch(), Ordering::Relaxed);
+            let now_ms = shared.sessions.now_ms();
+            for (lane, r) in batch.drain(..).enumerate() {
+                let health = finish_lane(mb, lane, &r);
+                r.tenant.record_session_chunk();
+                let sess = r.session.as_ref().expect("session batch");
+                {
+                    let mut stream = sess.cell.stream.lock().expect("session lock poisoned");
+                    // A concurrently closed/evicted session still answers
+                    // this last ticket, but its state dies with the cell.
+                    if !sess.cell.closed.load(Ordering::Acquire) {
+                        mb.export_session(lane, &mut stream)
+                            .expect("scratch and session share the batch's engine spec");
+                    }
+                }
+                sess.cell.note_batch(health);
+                sess.cell.touch(now_ms);
+                sess.cell.in_flight.store(false, Ordering::Release);
+                let logits = mb.lane_logits(lane);
+                r.slot.complete(|buf| buf.copy_from_slice(logits));
+            }
+        }
+        Err(e) => {
+            for r in batch.drain(..) {
+                r.tenant.record_rejected();
+                r.fail(e);
             }
         }
     }
@@ -679,10 +1131,11 @@ mod tests {
             slot: slot(),
             tenant: Arc::clone(&stats),
             enqueued: Instant::now(),
+            session: None,
         };
         let q: VecDeque<Request> = [req(4), req(4), req(4), req(2), req(4)].into();
-        assert_eq!(front_run(&q, 4, 16), 3);
-        assert_eq!(front_run(&q, 4, 2), 2);
-        assert_eq!(front_run(&q, 2, 16), 0);
+        assert_eq!(front_run(&q, &BatchKey::OneShot { t: 4 }, 16), 3);
+        assert_eq!(front_run(&q, &BatchKey::OneShot { t: 4 }, 2), 2);
+        assert_eq!(front_run(&q, &BatchKey::OneShot { t: 2 }, 16), 0);
     }
 }

@@ -40,6 +40,19 @@ pub enum ServingError {
         /// What is wrong with the configuration.
         reason: &'static str,
     },
+    /// The session id does not name an open session (never opened, closed,
+    /// or evicted after idling).
+    UnknownSession,
+    /// The session already has a chunk in flight. Chunks of one stream are
+    /// strictly ordered, so wait for the previous ticket before submitting
+    /// the next chunk.
+    SessionBusy,
+    /// The server is at its session capacity and no idle session could be
+    /// evicted to make room.
+    SessionLimit {
+        /// Open-session capacity the server was started with.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServingError {
@@ -57,6 +70,16 @@ impl std::fmt::Display for ServingError {
             }
             ServingError::ShuttingDown => write!(f, "server is shutting down"),
             ServingError::Config { reason } => write!(f, "invalid serving config: {reason}"),
+            ServingError::UnknownSession => write!(f, "no such session (closed or evicted?)"),
+            ServingError::SessionBusy => {
+                write!(
+                    f,
+                    "session already has a chunk in flight; wait for its ticket"
+                )
+            }
+            ServingError::SessionLimit { capacity } => {
+                write!(f, "session capacity {capacity} reached and nothing is idle")
+            }
         }
     }
 }
@@ -100,6 +123,11 @@ mod tests {
         }
         .to_string()
         .contains("zero workers"));
+        assert!(ServingError::UnknownSession.to_string().contains("session"));
+        assert!(ServingError::SessionBusy.to_string().contains("in flight"));
+        assert!(ServingError::SessionLimit { capacity: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

@@ -14,9 +14,16 @@
 //!   worker pool coalesces them into wide zero-allocation forwards, and
 //!   overload sheds with a typed [`ServingError::Backpressure`] instead of
 //!   blocking.
+//! - **Sessions** — a client opens a logical stream once
+//!   ([`Server::open_session`]) and then submits incremental chunks
+//!   ([`Server::submit_chunk`]); the stream's SO-LF filter state stays
+//!   resident between submissions, many sessions' states are gathered into
+//!   one batched forward, and each session picks a [`ReloadPolicy`] for
+//!   what happens when a snapshot hot-swap lands mid-stream.
 //! - [`StatsRegistry`] — per-tenant counters (p50/p99 latency,
-//!   timesteps/sec inputs, shed/rejected counts, guard health), rendered
-//!   through the deterministic [`ptnc_telemetry`] JSONL machinery.
+//!   timesteps/sec inputs, shed/rejected counts, session chunks, guard
+//!   health), rendered through the deterministic [`ptnc_telemetry`] JSONL
+//!   machinery.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -35,9 +42,11 @@
 mod batcher;
 mod error;
 mod registry;
+mod session;
 mod stats;
 
 pub use batcher::{BatchConfig, MicroBatcher, Server, Ticket};
 pub use error::ServingError;
 pub use registry::{ModelRegistry, ReloadError, ReloadOutcome, ReloadReport, Watcher};
+pub use session::{ReloadPolicy, SessionId, SessionSnapshot};
 pub use stats::{StatsRegistry, TenantSnapshot, TenantStats};

@@ -18,8 +18,8 @@
 //! architecture is a deliberate redeploy, not a hot reload.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use adapt_pnc::serve::{ServeError, ServeModel};
@@ -104,6 +104,15 @@ pub enum ReloadOutcome {
 pub struct ModelRegistry {
     path: PathBuf,
     current: RwLock<Arc<InferModel>>,
+    /// Serializes [`poll`](Self::poll): a manual poll racing the watcher
+    /// thread must not compile the same snapshot twice or interleave
+    /// fingerprint/version/swap updates (two unserialized polls could
+    /// swap in file-read order rather than completion order, leaving the
+    /// older bytes live with a double-incremented version). The guarded
+    /// value is the fingerprint of the last *rejected* snapshot, so a
+    /// corrupt file is read+compiled+rejected once, then reported
+    /// [`ReloadOutcome::Unchanged`] until its bytes actually change.
+    reload: Mutex<Option<u64>>,
     active_fingerprint: AtomicU64,
     version: AtomicU64,
     last_swap_micros: AtomicU64,
@@ -127,6 +136,7 @@ impl ModelRegistry {
         Ok(ModelRegistry {
             path: path.to_path_buf(),
             current: RwLock::new(Arc::new(model.into_engine())),
+            reload: Mutex::new(None),
             active_fingerprint: AtomicU64::new(fingerprint(&bytes)),
             version: AtomicU64::new(1),
             last_swap_micros: AtomicU64::new(0),
@@ -163,23 +173,40 @@ impl ModelRegistry {
     }
 
     /// Re-reads the watched snapshot and swaps it in if it changed and is
-    /// valid. Compilation happens outside any lock; the write lock is held
-    /// only for the pointer swap itself.
+    /// valid. Polls are serialized behind the reload mutex (so a manual
+    /// poll and the watcher thread never compile the same bytes twice, and
+    /// fingerprint/version/swap update atomically with respect to each
+    /// other); serving traffic is not blocked — the `current` write lock
+    /// is still held only for the pointer swap itself.
     pub fn poll(&self) -> ReloadOutcome {
+        let mut rejected_fp = self.reload.lock().expect("reload lock poisoned");
         let bytes = match std::fs::read(&self.path) {
             Ok(b) => b,
+            // Io errors are transient (snapshot mid-rename, permissions
+            // flapping) — not cached, so the next tick retries the read.
             Err(e) => return self.reject(ReloadError::Io(e.to_string())),
         };
         let fp = fingerprint(&bytes);
         if fp == self.active_fingerprint.load(Ordering::Acquire) {
+            // The active bytes are (back) on disk; forget any rejection.
+            *rejected_fp = None;
+            return ReloadOutcome::Unchanged;
+        }
+        if *rejected_fp == Some(fp) {
+            // Already read, parsed, and rejected exactly these bytes —
+            // don't recompile (or re-count the rejection) every tick.
             return ReloadOutcome::Unchanged;
         }
         let json = String::from_utf8_lossy(&bytes);
         let candidate = match ServeModel::from_json(&json) {
             Ok(m) => m,
-            Err(e) => return self.reject(ReloadError::Invalid(e)),
+            Err(e) => {
+                *rejected_fp = Some(fp);
+                return self.reject(ReloadError::Invalid(e));
+            }
         };
         if candidate.spec() != self.current().spec() {
+            *rejected_fp = Some(fp);
             return self.reject(ReloadError::SpecChanged);
         }
         let engine = Arc::new(candidate.into_engine());
@@ -190,6 +217,7 @@ impl ModelRegistry {
         }
         let swap_micros = t0.elapsed().as_micros() as u64;
         self.active_fingerprint.store(fp, Ordering::Release);
+        *rejected_fp = None;
         let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
         self.last_swap_micros.store(swap_micros, Ordering::Relaxed);
         ptnc_telemetry::counter("serve.reload.swapped", 1);
@@ -207,17 +235,26 @@ impl ModelRegistry {
     }
 
     /// Spawns a background thread that [`poll`](Self::poll)s every
-    /// `interval` until the returned handle is dropped.
+    /// `interval` until the returned handle is dropped. The wait between
+    /// polls is interruptible, so dropping the [`Watcher`] returns
+    /// promptly instead of blocking up to a full `interval` on join.
     pub fn watch(self: &Arc<Self>, interval: Duration) -> Watcher {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let registry = Arc::clone(self);
-        let flag = Arc::clone(&stop);
+        let pair = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("ptnc-serve-watch".into())
             .spawn(move || {
-                while !flag.load(Ordering::Acquire) {
+                let (flag, wake) = &*pair;
+                loop {
                     let _ = registry.poll();
-                    std::thread::sleep(interval);
+                    let stopped = flag.lock().expect("watcher lock poisoned");
+                    let (stopped, _) = wake
+                        .wait_timeout_while(stopped, interval, |s| !*s)
+                        .expect("watcher lock poisoned");
+                    if *stopped {
+                        return;
+                    }
                 }
             })
             .expect("spawn watcher thread");
@@ -238,15 +275,18 @@ impl std::fmt::Debug for ModelRegistry {
     }
 }
 
-/// Handle to a background polling thread; dropping it stops the thread.
+/// Handle to a background polling thread; dropping it stops the thread
+/// promptly (the inter-poll wait is interrupted, not slept out).
 pub struct Watcher {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Drop for Watcher {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("watcher lock poisoned") = true;
+        wake.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

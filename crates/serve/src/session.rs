@@ -1,0 +1,399 @@
+//! Resident stream sessions: long-lived logical streams whose SO-LF
+//! filter state stays on the server between submissions.
+//!
+//! The one-shot [`Server::submit`](crate::Server::submit) path re-runs a
+//! request's whole window from a cold filter state — correct, but wasteful
+//! for the paper's actual deployment shape, a *continuous* sensor stream.
+//! A session is opened once ([`Server::open_session`](crate::Server)) and
+//! then fed incremental chunks; between submissions its filter state lives
+//! in a [`StreamSession`] inside the registry here, and the worker pool
+//! gathers many sessions' states into the scratch lanes of one batched
+//! forward (scattering them back afterwards), so session steady state is
+//! as wide and allocation-free as one-shot serving.
+//!
+//! ## Hot reload semantics
+//!
+//! Each session picks a [`ReloadPolicy`] at open time. Filter state is
+//! only meaningful under the coefficients that produced it, so when the
+//! model registry swaps in a new snapshot a session must either keep the
+//! engine it started on (*pin-old*: the session's `Arc` keeps the old
+//! compiled model alive until the session closes) or adopt the new engine
+//! and restart its window (*reset-on-reload*). The policy is resolved at
+//! submission time; chunks already queued run on the model they were
+//! resolved against.
+//!
+//! ## Liveness
+//!
+//! Sessions are cheap (a few hundred bytes each) but they are server-side
+//! state, so the registry enforces a capacity
+//! ([`BatchConfig::max_sessions`](crate::BatchConfig)) and supports idle
+//! eviction: opening a session at capacity first sweeps sessions idle
+//! longer than the configured timeout, and operators can sweep explicitly
+//! via [`Server::sweep_idle_sessions`](crate::Server).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ptnc_infer::{Health, InferModel, StreamSession};
+
+use crate::error::ServingError;
+use crate::stats::TenantStats;
+
+/// Opaque handle to one open session. Copyable — clients typically hold
+/// many thousands of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id (stable for the lifetime of the server).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// What a session does when the model registry hot-swaps a new snapshot
+/// between its submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReloadPolicy {
+    /// Keep serving on the engine the session last resolved — the
+    /// session's `Arc` pins the old compiled model alive, so a window
+    /// split across a reload stays bitwise consistent. The price is that
+    /// pinned sessions hold old model memory until they close or reset.
+    #[default]
+    PinOld,
+    /// Adopt the new engine at the next submission and reset the resident
+    /// filter state (state under old coefficients is meaningless under
+    /// new ones). The in-progress window restarts.
+    ResetOnReload,
+}
+
+/// Health encoding for the lock-free per-session cell.
+fn health_to_u8(h: Health) -> u8 {
+    match h {
+        Health::Healthy => 0,
+        Health::Degraded => 1,
+        Health::Faulted => 2,
+    }
+}
+
+fn health_from_u8(v: u8) -> Health {
+    match v {
+        0 => Health::Healthy,
+        1 => Health::Degraded,
+        _ => Health::Faulted,
+    }
+}
+
+/// Server-side state of one session: the resident stream (model pin +
+/// filter state) under a mutex, plus lock-free bookkeeping the scheduler
+/// and sweeper read without contending on the stream.
+pub(crate) struct SessionCell {
+    pub(crate) id: u64,
+    pub(crate) policy: ReloadPolicy,
+    pub(crate) tenant: Arc<TenantStats>,
+    pub(crate) stream: Mutex<StreamSession>,
+    /// One submission in flight at a time: chunks of a stream are ordered,
+    /// so a second submission before the first completes is a client bug
+    /// ([`ServingError::SessionBusy`]) rather than a reorder hazard.
+    pub(crate) in_flight: AtomicBool,
+    /// Set when the session is closed or evicted; late completions still
+    /// run but their state update is discarded with the cell.
+    pub(crate) closed: AtomicBool,
+    /// Milliseconds since the registry epoch of the last submit/complete.
+    last_active_ms: AtomicU64,
+    chunks: AtomicU64,
+    degraded_batches: AtomicU64,
+    faulted_batches: AtomicU64,
+    health: AtomicU8,
+}
+
+impl SessionCell {
+    pub(crate) fn touch(&self, now_ms: u64) {
+        self.last_active_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one batched chunk for this session's lane.
+    pub(crate) fn note_batch(&self, health: Health) {
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        match health {
+            Health::Healthy => {}
+            Health::Degraded => {
+                self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+            }
+            Health::Faulted => {
+                self.faulted_batches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.health.store(health_to_u8(health), Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of one session's bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// The session.
+    pub id: SessionId,
+    /// Its reload policy.
+    pub policy: ReloadPolicy,
+    /// Timesteps consumed since open (or the last reload reset).
+    pub steps_seen: u64,
+    /// Chunk submissions completed.
+    pub chunks: u64,
+    /// Guard health of the most recent chunk ([`Health::Healthy`] when the
+    /// server runs without a guard).
+    pub health: Health,
+    /// Chunks whose lane ended degraded.
+    pub degraded_batches: u64,
+    /// Chunks whose lane ended faulted.
+    pub faulted_batches: u64,
+    /// Time since the session last submitted or completed a chunk.
+    pub idle: Duration,
+}
+
+/// Owner of every open session, keyed by id.
+pub(crate) struct SessionRegistry {
+    epoch: Instant,
+    capacity: usize,
+    idle_timeout: Duration,
+    next_id: AtomicU64,
+    map: Mutex<HashMap<u64, Arc<SessionCell>>>,
+    opened: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionRegistry {
+    pub(crate) fn new(capacity: usize, idle_timeout: Duration) -> Self {
+        SessionRegistry {
+            epoch: Instant::now(),
+            capacity,
+            idle_timeout,
+            next_id: AtomicU64::new(0),
+            map: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Opens a session on `model`. At capacity, sessions idle longer than
+    /// the configured timeout are evicted first; if none can be, the open
+    /// is refused with [`ServingError::SessionLimit`].
+    pub(crate) fn open(
+        &self,
+        tenant: Arc<TenantStats>,
+        policy: ReloadPolicy,
+        model: Arc<InferModel>,
+    ) -> Result<(SessionId, Arc<SessionCell>), ServingError> {
+        let now = self.now_ms();
+        let mut map = self.map.lock().expect("session map poisoned");
+        if map.len() >= self.capacity {
+            self.sweep_idle_locked(&mut map, self.idle_timeout);
+        }
+        if map.len() >= self.capacity {
+            return Err(ServingError::SessionLimit {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let cell = Arc::new(SessionCell {
+            id,
+            policy,
+            tenant,
+            stream: Mutex::new(StreamSession::new(model)),
+            in_flight: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            last_active_ms: AtomicU64::new(now),
+            chunks: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
+            faulted_batches: AtomicU64::new(0),
+            health: AtomicU8::new(0),
+        });
+        map.insert(id, Arc::clone(&cell));
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Ok((SessionId(id), cell))
+    }
+
+    pub(crate) fn get(&self, id: SessionId) -> Option<Arc<SessionCell>> {
+        self.map
+            .lock()
+            .expect("session map poisoned")
+            .get(&id.0)
+            .cloned()
+    }
+
+    /// Closes `id`; returns whether it was open. In-flight chunks complete
+    /// normally but their state update dies with the cell.
+    pub(crate) fn close(&self, id: SessionId) -> bool {
+        let cell = self.map.lock().expect("session map poisoned").remove(&id.0);
+        match cell {
+            Some(c) => {
+                c.closed.store(true, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts sessions idle for longer than `max_idle` (in-flight sessions
+    /// are never evicted). Returns how many were removed.
+    pub(crate) fn sweep_idle(&self, max_idle: Duration) -> usize {
+        let mut map = self.map.lock().expect("session map poisoned");
+        self.sweep_idle_locked(&mut map, max_idle)
+    }
+
+    fn sweep_idle_locked(
+        &self,
+        map: &mut HashMap<u64, Arc<SessionCell>>,
+        max_idle: Duration,
+    ) -> usize {
+        let now = self.now_ms();
+        let cutoff_ms = max_idle.as_millis() as u64;
+        let before = map.len();
+        map.retain(|_, cell| {
+            let idle = now.saturating_sub(cell.last_active_ms.load(Ordering::Relaxed));
+            let evict = idle >= cutoff_ms && !cell.in_flight.load(Ordering::Acquire);
+            if evict {
+                cell.closed.store(true, Ordering::Release);
+            }
+            !evict
+        });
+        let evicted = before - map.len();
+        self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().expect("session map poisoned").len()
+    }
+
+    pub(crate) fn opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn snapshot(&self, id: SessionId) -> Option<SessionSnapshot> {
+        let cell = self.get(id)?;
+        let steps_seen = cell
+            .stream
+            .lock()
+            .expect("session lock poisoned")
+            .steps_seen();
+        let idle_ms = self
+            .now_ms()
+            .saturating_sub(cell.last_active_ms.load(Ordering::Relaxed));
+        Some(SessionSnapshot {
+            id: SessionId(cell.id),
+            policy: cell.policy,
+            steps_seen,
+            chunks: cell.chunks.load(Ordering::Relaxed),
+            health: health_from_u8(cell.health.load(Ordering::Relaxed)),
+            degraded_batches: cell.degraded_batches.load(Ordering::Relaxed),
+            faulted_batches: cell.faulted_batches.load(Ordering::Relaxed),
+            idle: Duration::from_millis(idle_ms),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_infer::InferSpec;
+
+    fn model() -> Arc<InferModel> {
+        let spec = InferSpec {
+            input_dim: 1,
+            hidden: 2,
+            classes: 2,
+            stages: 1,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        };
+        let params: Vec<Vec<f64>> = spec.param_lens().iter().map(|&n| vec![0.3; n]).collect();
+        Arc::new(InferModel::build(spec, &params).unwrap())
+    }
+
+    fn registry(capacity: usize) -> SessionRegistry {
+        SessionRegistry::new(capacity, Duration::from_secs(300))
+    }
+
+    #[test]
+    fn open_close_and_capacity() {
+        let reg = registry(2);
+        let tenant = Arc::new(TenantStats::default());
+        let (a, _) = reg
+            .open(Arc::clone(&tenant), ReloadPolicy::PinOld, model())
+            .unwrap();
+        let (b, _) = reg
+            .open(Arc::clone(&tenant), ReloadPolicy::PinOld, model())
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        // Full, and nothing is idle long enough to evict.
+        assert!(matches!(
+            reg.open(Arc::clone(&tenant), ReloadPolicy::PinOld, model()),
+            Err(ServingError::SessionLimit { capacity: 2 })
+        ));
+        assert!(reg.close(a));
+        assert!(!reg.close(a), "double close must report not-open");
+        assert!(reg
+            .open(tenant, ReloadPolicy::ResetOnReload, model())
+            .is_ok());
+        assert_eq!(reg.opened(), 3);
+    }
+
+    #[test]
+    fn sweep_evicts_only_idle_non_inflight_sessions() {
+        let reg = registry(8);
+        let tenant = Arc::new(TenantStats::default());
+        let (idle, _) = reg
+            .open(Arc::clone(&tenant), ReloadPolicy::PinOld, model())
+            .unwrap();
+        let (busy, busy_cell) = reg
+            .open(Arc::clone(&tenant), ReloadPolicy::PinOld, model())
+            .unwrap();
+        let (fresh, fresh_cell) = reg.open(tenant, ReloadPolicy::PinOld, model()).unwrap();
+        busy_cell.in_flight.store(true, Ordering::Release);
+        // Make `fresh` recently active, the others stale.
+        std::thread::sleep(Duration::from_millis(5));
+        fresh_cell.touch(reg.now_ms());
+        assert_eq!(reg.sweep_idle(Duration::from_millis(3)), 1);
+        assert!(reg.get(idle).is_none(), "idle session must be evicted");
+        assert!(reg.get(busy).is_some(), "in-flight session must survive");
+        assert!(reg.get(fresh).is_some(), "active session must survive");
+        assert_eq!(reg.evicted(), 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_batch_notes() {
+        let reg = registry(4);
+        let (id, cell) = reg
+            .open(
+                Arc::new(TenantStats::default()),
+                ReloadPolicy::PinOld,
+                model(),
+            )
+            .unwrap();
+        cell.note_batch(Health::Degraded);
+        cell.note_batch(Health::Healthy);
+        let snap = reg.snapshot(id).unwrap();
+        assert_eq!(snap.chunks, 2);
+        assert_eq!(snap.degraded_batches, 1);
+        assert_eq!(snap.health, Health::Healthy);
+        assert!(reg.snapshot(SessionId(999)).is_none());
+    }
+}

@@ -63,6 +63,7 @@ impl LatencyHistogram {
 #[derive(Debug, Default)]
 pub struct TenantStats {
     requests: AtomicU64,
+    session_chunks: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
     timesteps: AtomicU64,
@@ -77,6 +78,13 @@ impl TenantStats {
         self.timesteps
             .fetch_add(timesteps as u64, Ordering::Relaxed);
         self.latency.record(latency_micros);
+    }
+
+    /// A completed session chunk is also a completed request
+    /// ([`record_completed`](Self::record_completed) is called alongside);
+    /// this counter just tells the two traffic shapes apart.
+    pub(crate) fn record_session_chunk(&self) {
+        self.session_chunks.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_shed(&self) {
@@ -103,6 +111,7 @@ impl TenantStats {
         TenantSnapshot {
             tenant: tenant.to_string(),
             requests: self.requests.load(Ordering::Relaxed),
+            session_chunks: self.session_chunks.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             timesteps: self.timesteps.load(Ordering::Relaxed),
@@ -119,8 +128,11 @@ impl TenantStats {
 pub struct TenantSnapshot {
     /// Tenant name.
     pub tenant: String,
-    /// Requests completed successfully.
+    /// Requests completed successfully (one-shot submissions and session
+    /// chunks alike).
     pub requests: u64,
+    /// Completed requests that were resident-session chunks.
+    pub session_chunks: u64,
     /// Requests shed by backpressure.
     pub shed: u64,
     /// Requests rejected as malformed.
@@ -169,6 +181,7 @@ impl StatsRegistry {
             ptnc_telemetry::span("serve.tenant")
                 .field("tenant", s.tenant.as_str())
                 .field("requests", s.requests)
+                .field("session_chunks", s.session_chunks)
                 .field("shed", s.shed)
                 .field("rejected", s.rejected)
                 .field("timesteps", s.timesteps)
@@ -232,7 +245,9 @@ mod tests {
         let b = reg.tenant("t");
         a.record_completed(3, 1);
         b.record_completed(4, 1);
+        b.record_session_chunk();
         assert_eq!(reg.snapshots()[0].timesteps, 7);
+        assert_eq!(reg.snapshots()[0].session_chunks, 1);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Regression tests for the four serving-layer liveness/reload races:
+//!
+//! 1. `submit` racing `shutdown` could enqueue a request after the
+//!    shutdown drain and strand its ticket forever (the shutdown flag was
+//!    only checked before the queue lock).
+//! 2. A rejected snapshot was re-read, re-parsed, and re-compiled on
+//!    every poll, spamming the rejection counter.
+//! 3. Two concurrent `poll()` calls could compile the same bytes twice
+//!    and double-increment the version.
+//! 4. Dropping a `Watcher` blocked up to a full poll interval on join.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::persist;
+use ptnc_serve::{BatchConfig, ModelRegistry, ReloadOutcome, Server, ServingError};
+use ptnc_tensor::init;
+
+const DIM: usize = 2;
+
+fn model_json(seed: u64) -> String {
+    let m = PrintedModel::adapt_pnc(DIM, 4, 3, &mut init::rng(seed));
+    persist::to_json(&m)
+}
+
+fn scratch_file(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptnc-races-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{test}.json"))
+}
+
+fn write_snapshot(path: &Path, json: &str) {
+    persist::write_atomic(path, json.as_bytes()).unwrap();
+}
+
+fn steps(t: usize) -> Vec<f64> {
+    (0..t * DIM).map(|i| (i as f64 * 0.31).sin()).collect()
+}
+
+/// Race 1: every ticket accepted by `submit` must resolve — completed or
+/// failed with `ShuttingDown` — even when the submission lands exactly in
+/// the shutdown window. Before the fix, a request enqueued between the
+/// drain and the worker join was stranded and `wait` blocked forever.
+#[test]
+fn submit_racing_shutdown_never_strands_a_ticket() {
+    for round in 0..12u64 {
+        let path = scratch_file(&format!("shutdown-race-{round}"));
+        write_snapshot(&path, &model_json(round));
+        let server = Arc::new(
+            Server::start(
+                Arc::new(ModelRegistry::open(&path).unwrap()),
+                BatchConfig {
+                    max_batch: 4,
+                    batch_window: Duration::from_micros(50),
+                    workers: 2,
+                    ..BatchConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let go = Arc::new(AtomicBool::new(false));
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let go = Arc::clone(&go);
+                std::thread::spawn(move || {
+                    while !go.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    let mut tickets = Vec::new();
+                    for _ in 0..400 {
+                        match server.submit("race", &steps(3)) {
+                            Ok(t) => tickets.push(t),
+                            Err(ServingError::ShuttingDown | ServingError::Backpressure { .. }) => {
+                            }
+                            Err(other) => panic!("unexpected rejection: {other}"),
+                        }
+                    }
+                    tickets
+                })
+            })
+            .collect();
+        go.store(true, Ordering::Release);
+        // Shut down mid-burst, at a different point each round so the
+        // drain lands in different phases of the submit storm.
+        std::thread::sleep(Duration::from_micros(30 * round));
+        server.begin_shutdown();
+        for h in submitters {
+            for t in h.join().unwrap() {
+                match t.wait_timeout(Duration::from_secs(10)) {
+                    Ok(Ok(_)) | Ok(Err(ServingError::ShuttingDown)) => {}
+                    Ok(Err(other)) => panic!("unexpected failure: {other}"),
+                    Err(_) => panic!("round {round}: accepted ticket never resolved"),
+                }
+            }
+        }
+    }
+}
+
+/// Race 2: a corrupt snapshot is read, parsed, and rejected exactly once;
+/// until its bytes change, subsequent polls are `Unchanged` (no
+/// recompilation, no rejection-counter spam).
+#[test]
+fn rejected_snapshot_is_not_recompiled_every_poll() {
+    let path = scratch_file("rejected-cache");
+    let good = model_json(100);
+    write_snapshot(&path, &good);
+    let reg = ModelRegistry::open(&path).unwrap();
+
+    write_snapshot(&path, "{not a snapshot, attempt one");
+    assert!(matches!(reg.poll(), ReloadOutcome::Rejected(_)));
+    assert_eq!(reg.reloads_rejected(), 1);
+    for _ in 0..8 {
+        assert!(
+            matches!(reg.poll(), ReloadOutcome::Unchanged),
+            "identical rejected bytes must poll as Unchanged"
+        );
+    }
+    assert_eq!(
+        reg.reloads_rejected(),
+        1,
+        "cached rejection must not re-count"
+    );
+
+    // Different bad bytes: one fresh rejection, then cached again.
+    write_snapshot(&path, "{not a snapshot, attempt two");
+    assert!(matches!(reg.poll(), ReloadOutcome::Rejected(_)));
+    assert!(matches!(reg.poll(), ReloadOutcome::Unchanged));
+    assert_eq!(reg.reloads_rejected(), 2);
+
+    // A good snapshot afterwards still swaps in.
+    write_snapshot(&path, &model_json(101));
+    assert!(matches!(reg.poll(), ReloadOutcome::Swapped(_)));
+    assert_eq!(reg.version(), 2);
+
+    // Restoring the previously rejected bytes re-rejects (the cache was
+    // cleared by the successful swap) — rejection is per-bytes, not
+    // sticky forever.
+    write_snapshot(&path, "{not a snapshot, attempt two");
+    assert!(matches!(reg.poll(), ReloadOutcome::Rejected(_)));
+}
+
+/// Race 3: N threads polling the same new snapshot concurrently produce
+/// exactly one swap and one version bump — reloads are serialized, never
+/// double-compiled or double-counted.
+#[test]
+fn concurrent_polls_swap_exactly_once() {
+    let path = scratch_file("poll-once");
+    write_snapshot(&path, &model_json(110));
+    let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+
+    for round in 0..6 {
+        write_snapshot(&path, &model_json(111 + round));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let swaps: usize = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match reg.poll() {
+                        ReloadOutcome::Swapped(_) => 1usize,
+                        ReloadOutcome::Unchanged => 0,
+                        ReloadOutcome::Rejected(e) => panic!("unexpected rejection: {e}"),
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(swaps, 1, "round {round}: exactly one poll must swap");
+        assert_eq!(reg.version(), 2 + round, "version must bump exactly once");
+    }
+}
+
+/// Race 4: dropping a watcher with a long poll interval returns promptly
+/// (the inter-poll wait is interrupted, not slept out).
+#[test]
+fn watcher_drop_is_prompt_despite_long_interval() {
+    let path = scratch_file("prompt-drop");
+    write_snapshot(&path, &model_json(120));
+    let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+    let watcher = reg.watch(Duration::from_secs(60));
+    // Give the thread time to finish its first poll and park in the wait.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    drop(watcher);
+    let took = t0.elapsed();
+    assert!(
+        took < Duration::from_secs(5),
+        "watcher drop blocked {took:?} against a 60 s interval"
+    );
+}

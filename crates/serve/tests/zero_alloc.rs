@@ -1,7 +1,8 @@
 //! Pins the zero-allocation claim on the worker hot path: once a
 //! [`MicroBatcher`] is built, `begin → load_lane → forward` performs no
-//! heap allocation in steady state — with or without the input guard —
-//! under a counting global allocator.
+//! heap allocation in steady state — with or without the input guard, and
+//! on the resident-session path (`import_session → forward_resident →
+//! export_session`) just the same — under a counting global allocator.
 //!
 //! This lives in its own test binary because `#[global_allocator]` is
 //! process-wide.
@@ -94,5 +95,72 @@ fn guarded_forward_is_allocation_free_in_steady_state() {
         steady_state_allocs(Some(GuardConfig::default_policy())),
         0,
         "guarded begin/load/forward must not touch the heap"
+    );
+}
+
+/// The session steady state: resident states of more logical streams than
+/// lanes are gathered into the scratch, advanced by a no-reset forward,
+/// and scattered back — with zero allocations per batched forward.
+fn session_steady_state_allocs(guard: Option<GuardConfig>) -> u64 {
+    use std::sync::Arc;
+
+    let model = PrintedModel::adapt_pnc(DIM, 6, 4, &mut init::rng(7));
+    let engine: Arc<_> = ServeModel::from_live(&model).unwrap().into_shared_engine();
+    let cfg = BatchConfig {
+        max_batch: 8,
+        max_steps: 64,
+        guard,
+        ..BatchConfig::default()
+    };
+    let mut mb = MicroBatcher::new(&engine, &cfg).unwrap();
+    // Twice as many resident sessions as lanes: every batch re-gathers a
+    // different subset, as the scheduler does for 100k+ streams.
+    let mut sessions: Vec<_> = (0..2 * cfg.max_batch).map(|_| engine.session()).collect();
+    let chunks: Vec<Vec<f64>> = (0..2 * cfg.max_batch)
+        .map(|s| {
+            (0..12 * DIM)
+                .map(|i| ((s * 97 + i) as f64 * 0.17).sin())
+                .collect()
+        })
+        .collect();
+
+    let round = |mb: &mut MicroBatcher, sessions: &mut [ptnc_infer::StreamSession], base: usize| {
+        mb.begin(12).unwrap();
+        for lane in 0..cfg.max_batch {
+            let s = base + lane;
+            mb.load_lane(lane, &chunks[s]).unwrap();
+            mb.import_session(lane, &sessions[s]).unwrap();
+        }
+        mb.forward_resident(&engine).unwrap();
+        for lane in 0..cfg.max_batch {
+            mb.export_session(lane, &mut sessions[base + lane]).unwrap();
+        }
+        assert!(mb.lane_logits(0).iter().all(|v| v.is_finite()));
+    };
+
+    // Warm up once (lazy thread-locals, first-use buffers), then measure.
+    round(&mut mb, &mut sessions, 0);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for k in 0..32 {
+        round(&mut mb, &mut sessions, (k % 2) * cfg.max_batch);
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn session_forward_is_allocation_free_in_steady_state() {
+    assert_eq!(
+        session_steady_state_allocs(None),
+        0,
+        "import/forward_resident/export must not touch the heap"
+    );
+}
+
+#[test]
+fn guarded_session_forward_is_allocation_free_in_steady_state() {
+    assert_eq!(
+        session_steady_state_allocs(Some(GuardConfig::default_policy())),
+        0,
+        "guarded session forwards must not touch the heap"
     );
 }
