@@ -1,0 +1,177 @@
+//! Bounded, seeded replay capture.
+//!
+//! The adaptation loop needs recent labeled traffic to refit against, but
+//! cannot grow without bound on an edge device. [`ReplayBuffer`] keeps a
+//! uniform sample of everything pushed through it using deterministic
+//! reservoir sampling: item `k` (0-based) replaces slot
+//! `mix4(seed, stream, k, _) % (k + 1)` when that lands inside the
+//! reservoir, so the kept set is a pure function of `(seed, push
+//! sequence)` — bit-identical across runs and thread counts, never a
+//! function of wall-clock time.
+
+use ptnc_faultsim::mix4;
+
+/// Domain-separation word for reservoir slot draws ("rply").
+const REPLAY_STREAM: u64 = 0x7270_6C79;
+
+/// One captured window of traffic: the raw flattened steps a stream
+/// submitted, and the label (or pseudo-label) to refit against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledWindow {
+    /// Stream index the window was captured from.
+    pub stream: usize,
+    /// Flattened `[timesteps × input_dim]` samples, time-major.
+    pub steps: Vec<f64>,
+    /// Class label, ground truth or pseudo-label.
+    pub label: usize,
+}
+
+/// Bounded deterministic reservoir of [`LabeledWindow`]s.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    seed: u64,
+    capacity: usize,
+    seen: u64,
+    windows: Vec<LabeledWindow>,
+}
+
+impl ReplayBuffer {
+    /// An empty reservoir holding at most `capacity` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            seed,
+            capacity,
+            seen: 0,
+            windows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one window to the reservoir. Until the buffer fills every
+    /// window is kept; afterwards window `k` replaces a deterministic slot
+    /// with probability `capacity / (k + 1)`, preserving a uniform sample
+    /// over everything ever offered.
+    pub fn push(&mut self, window: LabeledWindow) {
+        let k = self.seen;
+        self.seen += 1;
+        if self.windows.len() < self.capacity {
+            self.windows.push(window);
+            return;
+        }
+        let slot = mix4(self.seed, REPLAY_STREAM, window.stream as u64, k) % (k + 1);
+        if (slot as usize) < self.capacity {
+            self.windows[slot as usize] = window;
+        }
+    }
+
+    /// The currently retained windows, in slot order.
+    pub fn windows(&self) -> &[LabeledWindow] {
+        &self.windows
+    }
+
+    /// Number of retained windows (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total windows ever offered, kept or not.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum windows retained at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops all retained windows and the offer count.
+    pub fn clear(&mut self) {
+        self.windows.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(stream: usize, label: usize) -> LabeledWindow {
+        LabeledWindow {
+            stream,
+            steps: vec![stream as f64, label as f64],
+            label,
+        }
+    }
+
+    #[test]
+    fn fills_then_stays_bounded() {
+        let mut buf = ReplayBuffer::new(4, 7);
+        for i in 0..100 {
+            buf.push(window(i % 3, i));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.capacity(), 4);
+        assert_eq!(buf.total_seen(), 100);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed_and_sequence() {
+        let run = |seed| {
+            let mut buf = ReplayBuffer::new(8, seed);
+            for i in 0..500 {
+                buf.push(window(i % 5, i));
+            }
+            buf.windows().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(
+            run(42),
+            run(43),
+            "different seeds should retain different samples"
+        );
+    }
+
+    #[test]
+    fn reservoir_keeps_a_spread_over_the_whole_sequence() {
+        let mut buf = ReplayBuffer::new(16, 1);
+        for i in 0..2000 {
+            buf.push(window(0, i));
+        }
+        let labels: Vec<usize> = buf.windows().iter().map(|w| w.label).collect();
+        // A pure FIFO would hold only the last 16; a uniform reservoir
+        // keeps early items with probability 16/2000 each, so across 16
+        // slots some spread into the first half is overwhelmingly likely.
+        assert!(
+            labels.iter().any(|&l| l < 1000),
+            "no early windows survived: {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|&l| l >= 1000),
+            "no late windows survived: {labels:?}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_contents_and_count() {
+        let mut buf = ReplayBuffer::new(2, 0);
+        buf.push(window(0, 0));
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.total_seen(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end adaptation loop against a live server: drifted traffic
+//! trips the detector, the refit publishes through the registry while
+//! requests and resident sessions keep flowing, and the swap is visible
+//! to subsequent traffic without any torn or lost request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adapt_pnc::models::PrintedModel;
+use adapt_pnc::persist;
+use adapt_pnc::serve::ServeModel;
+use ptnc_adapt::{AdaptConfig, AdaptController, DetectorConfig, RefitConfig};
+use ptnc_serve::{BatchConfig, ModelRegistry, ReloadOutcome, ReloadPolicy, Server};
+use ptnc_tensor::init;
+
+const DIM: usize = 2;
+const CLASSES: usize = 3;
+const T: usize = 10;
+
+fn model_json(seed: u64) -> String {
+    persist::to_json(&PrintedModel::adapt_pnc(
+        DIM,
+        4,
+        CLASSES,
+        &mut init::rng(seed),
+    ))
+}
+
+fn scratch_file(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptnc-adapt-loop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{test}.json"))
+}
+
+fn window(seed: u64, w: u64) -> Vec<f64> {
+    (0..T * DIM)
+        .map(|i| (ptnc_faultsim::unit(seed, w, i as u64, 0) * 2.0 - 1.0) * 0.8)
+        .collect()
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0
+}
+
+#[test]
+fn detect_refit_hot_swap_lands_under_live_traffic() {
+    let path = scratch_file("live");
+    let deployed = model_json(11);
+    std::fs::write(&path, &deployed).unwrap();
+    let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+    let server = Server::start(
+        Arc::clone(&reg),
+        BatchConfig {
+            max_batch: 4,
+            batch_window: Duration::from_micros(100),
+            ..BatchConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Background traffic hammers the server for the whole exercise; every
+    // request must complete against a coherent engine.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let server_reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut served = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let engine = server_reg.current();
+                let out = engine.run_batch(&window(21, served % 8), 1).unwrap();
+                assert!(out.iter().all(|v| v.is_finite()), "non-finite logits");
+                served += 1;
+            }
+            served
+        })
+    };
+
+    // A resident session that pins the pre-adaptation engine.
+    let pinned = server.open_session("edge", ReloadPolicy::PinOld).unwrap();
+    let pinned_before = server
+        .submit_chunk(pinned, &window(31, 0))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // Labels come from a same-architecture reference device: the deployed
+    // unit should match it after refitting its filters.
+    let labeler = ServeModel::from_json(&model_json(12)).unwrap();
+    let mut ctl = AdaptController::new(
+        AdaptConfig {
+            detector: DetectorConfig {
+                baseline_window: 8,
+                ..DetectorConfig::default()
+            },
+            refit: RefitConfig {
+                steps: 20,
+                ..RefitConfig::default()
+            },
+            replay_capacity: 16,
+            min_replay: 6,
+            ..AdaptConfig::default()
+        },
+        2,
+    );
+    for w in 0..8u64 {
+        let steps = window(41, w);
+        let label = argmax(&labeler.engine().run_batch(&steps, 1).unwrap());
+        ctl.record_window((w % 2) as usize, steps, label);
+    }
+    // Healthy baseline, then a fault-fraction spike trips stream 0.
+    for i in 0..16 {
+        ctl.observe_state(0, 1.0 + 0.05 * (i as f64).sin());
+    }
+    assert!(ctl.observe_fault_fraction(0, 0.75));
+    assert!(ctl.should_adapt());
+
+    let outcome = ctl.adapt(&reg).unwrap();
+    assert!(matches!(outcome.reload, ReloadOutcome::Swapped(_)));
+    assert!(outcome.report.steps_taken > 0);
+    server.note_adaptation("edge");
+
+    // Fresh one-shot traffic sees exactly the adapted snapshot.
+    let adapted_json = std::fs::read_to_string(&path).unwrap();
+    assert_ne!(adapted_json, deployed);
+    let adapted_ref = ServeModel::from_json(&adapted_json).unwrap();
+    let probe = window(51, 0);
+    assert_eq!(
+        server.infer("edge", &probe).unwrap(),
+        adapted_ref.engine().run_batch(&probe, 1).unwrap()
+    );
+
+    // The pinned session still runs bitwise on the old engine.
+    let pinned_after = server
+        .submit_chunk(pinned, &window(31, 0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let old_ref = ServeModel::from_json(&deployed).unwrap();
+    let mut scratch = old_ref.engine().make_scratch(1).unwrap();
+    let mut expect_1 = vec![0.0; CLASSES];
+    old_ref
+        .engine()
+        .run_chunk_into(&window(31, 0), 1, &mut scratch, &mut expect_1)
+        .unwrap();
+    assert_eq!(pinned_before, expect_1);
+    let mut expect_2 = vec![0.0; CLASSES];
+    old_ref
+        .engine()
+        .run_chunk_into(&window(31, 0), 1, &mut scratch, &mut expect_2)
+        .unwrap();
+    assert_eq!(pinned_after, expect_2, "pinned session left its old engine");
+
+    // Adaptation telemetry landed on the tenant.
+    let snap = server.stats().snapshots();
+    let edge = snap.iter().find(|s| s.tenant == "edge").unwrap();
+    assert_eq!(edge.adaptations, 1);
+
+    stop.store(true, Ordering::Release);
+    assert!(hammer.join().unwrap() > 0, "hammer never exercised traffic");
+    server.shutdown();
+}

@@ -20,7 +20,7 @@
 //! signal, not sampling jitter.
 
 use ptnc_datasets::Dataset;
-use ptnc_faultsim::{ConductanceDrift, FaultKind, FaultSchedule, FaultSpec};
+use ptnc_faultsim::{ConductanceDrift, FaultKind, FaultSchedule, FaultSpec, ProgressiveDrift};
 use ptnc_infer::{accuracy, GuardConfig, Health, InferModel, InputGuard, VariationSample};
 use serde::{Deserialize, Serialize};
 
@@ -248,6 +248,134 @@ pub fn sensor_fault_sweep(
     })
 }
 
+/// Scoring parameters of an accuracy-over-time curve
+/// ([`drift_accuracy_curve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveConfig {
+    /// Degradation rounds to score.
+    pub rounds: usize,
+    /// Monte-Carlo variation instances averaged per round.
+    pub trials: usize,
+    /// Variation distributions the instances are drawn from.
+    pub variation: VariationConfig,
+    /// Seed for the variation draws (common random numbers across rounds,
+    /// so curve shape is degradation signal, not sampling jitter).
+    pub seed: u64,
+}
+
+impl CurveConfig {
+    /// Paper-sized curve: the default sweep's trial count per round.
+    pub fn paper_default() -> Self {
+        CurveConfig {
+            rounds: 12,
+            trials: 5,
+            variation: VariationConfig::paper_default(),
+            seed: 0,
+        }
+    }
+
+    /// A CI-sized curve.
+    pub fn smoke() -> Self {
+        CurveConfig {
+            rounds: 6,
+            trials: 2,
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// One round of an accuracy-over-time curve under progressive
+/// degradation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Degradation round (0 = pristine schedule start).
+    pub round: usize,
+    /// Largest ramped fault severity scheduled this round.
+    pub severity: f64,
+    /// Device age (timesteps) the variation instances were drifted to.
+    pub device_age: u64,
+    /// Mean accuracy over the variation trials.
+    pub accuracy: f64,
+    /// Logit entries that came back non-finite across all trials —
+    /// non-zero means the degradation broke numerics, not just accuracy.
+    pub non_finite_logits: usize,
+}
+
+/// Scores `engine_at(round)` against `test` for each round of a
+/// [`ProgressiveDrift`] schedule: inputs are corrupted by the round's
+/// ramped fault schedule and variation instances aged by the round's
+/// device age, so the curve tracks a deployment degrading in place.
+///
+/// `engine_at` is consulted once per round, which is what lets callers
+/// compare a frozen deployment (return the same engine every round)
+/// against an adapting one (return whatever the adaptation loop last
+/// published — see `ptnc-adapt`).
+///
+/// # Panics
+///
+/// Panics if `test` is empty, `cfg.rounds` or `cfg.trials` is zero, or an
+/// engine's input width does not match the univariate sweep layout.
+pub fn drift_accuracy_curve(
+    mut engine_at: impl FnMut(usize) -> std::sync::Arc<InferModel>,
+    test: &Dataset,
+    schedule: &ProgressiveDrift,
+    cfg: &CurveConfig,
+) -> Vec<CurvePoint> {
+    assert!(test.len() > 0, "empty test set");
+    assert!(cfg.rounds > 0, "need at least one round");
+    assert!(cfg.trials > 0, "need at least one variation trial");
+    let (steps, labels) = dataset_to_steps(test);
+    let clean = ServeModel::flatten_steps(&steps).expect("non-empty test set");
+    let batch = test.len();
+    let dist = (&cfg.variation).into();
+
+    (0..cfg.rounds)
+        .map(|round| {
+            let r = round as u64;
+            let engine = engine_at(round);
+            let dim = engine.spec().input_dim;
+            assert_eq!(dim, 1, "univariate curve on a {dim}-input model");
+            let classes = engine.spec().classes;
+
+            let mut faulted = clean.clone();
+            schedule
+                .schedule_at(r)
+                .injector(0, batch * dim)
+                .corrupt_sequence(&mut faulted);
+
+            let mut acc = 0.0;
+            let mut non_finite = 0usize;
+            for trial in 0..cfg.trials {
+                let mut rng = rng_for(cfg.seed, streams::EVAL_TRIAL, trial as u64);
+                let sample = VariationSample::draw(engine.spec(), &dist, &mut rng);
+                let aged = schedule.sample_at(&sample, r);
+                let instance = engine
+                    .perturbed(&aged)
+                    .expect("sample drawn on this engine's spec");
+                let logits = instance
+                    .run_batch(&faulted, batch)
+                    .expect("faulted buffer mirrors the clean one");
+                non_finite += logits.iter().filter(|v| !v.is_finite()).count();
+                acc += accuracy(&logits, classes, &labels);
+            }
+            let point = CurvePoint {
+                round,
+                severity: schedule
+                    .faults()
+                    .iter()
+                    .map(|(_, ramp)| ramp.severity_at(r))
+                    .fold(0.0, f64::max),
+                device_age: schedule.age_at(r),
+                accuracy: acc / cfg.trials as f64,
+                non_finite_logits: non_finite,
+            };
+            ptnc_telemetry::counter("robustness.curve_point", 1);
+            ptnc_telemetry::gauge("robustness.curve_accuracy", point.accuracy);
+            point
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +428,37 @@ mod tests {
         assert_eq!(p.clean_accuracy, p.unguarded_accuracy);
         assert_eq!(p.clean_accuracy, p.guarded_accuracy);
         assert_eq!(p.repaired_fraction, 0.0);
+    }
+
+    #[test]
+    fn drift_curve_degrades_a_frozen_model_and_is_deterministic() {
+        use ptnc_faultsim::DriftRamp;
+        use std::sync::Arc;
+        let (models, test) = fixture();
+        let engine = Arc::new(models.into_iter().next().unwrap().1);
+        let schedule = ProgressiveDrift::new(9)
+            .with_fault(FaultKind::SpikeNoise, DriftRamp::new(0.0, 1.0, 6))
+            .with_fault(FaultKind::BaselineDrift, DriftRamp::new(0.0, 0.8, 6))
+            .with_device_drift(ConductanceDrift::new(1e-4, 9), 500);
+        let cfg = CurveConfig {
+            rounds: 7,
+            trials: 1,
+            ..CurveConfig::smoke()
+        };
+        let run = || drift_accuracy_curve(|_| Arc::clone(&engine), &test, &schedule, &cfg);
+        let curve = run();
+        assert_eq!(curve.len(), 7);
+        assert_eq!(curve[0].severity, 0.0);
+        assert_eq!(curve[0].device_age, 0);
+        assert_eq!(curve[6].severity, 1.0);
+        assert_eq!(curve[6].device_age, 3_000);
+        assert!(
+            curve[6].accuracy < curve[0].accuracy,
+            "full-severity round should underperform the pristine round: {} vs {}",
+            curve[6].accuracy,
+            curve[0].accuracy
+        );
+        assert_eq!(run(), curve, "curve diverged between identical runs");
     }
 
     #[test]

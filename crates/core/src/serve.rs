@@ -11,9 +11,7 @@
 //!
 //! The one entry point is [`ServeModel`]: a builder that compiles from a
 //! live model, a decoded snapshot, snapshot JSON, or a snapshot file, and
-//! reports every failure through a single [`ServeError`]. The loose free
-//! functions (`freeze`, `compile_snapshot`, `spec_for`, `flatten_steps`)
-//! are deprecated shims over it.
+//! reports every failure through a single [`ServeError`].
 
 use std::path::Path;
 
@@ -332,53 +330,6 @@ impl ServeModel {
         }
         Ok(flat)
     }
-}
-
-/// The inference-runtime spec describing `model`'s architecture.
-#[deprecated(note = "use `ServeModel::spec_of`")]
-pub fn spec_for(model: &PrintedModel) -> InferSpec {
-    ServeModel::spec_of(model)
-}
-
-/// Freezes a live model into the graph-free inference runtime.
-///
-/// # Errors
-///
-/// Returns [`BuildError`] only if the model carries non-finite parameters
-/// (a structurally valid live model always has consistent shapes).
-#[deprecated(note = "use `ServeModel::from_live`")]
-pub fn freeze(model: &PrintedModel) -> Result<InferModel, BuildError> {
-    let frozen = FrozenParams::capture(&model.parameters());
-    InferModel::build(ServeModel::spec_of(model), frozen.values())
-}
-
-/// Compiles an on-disk snapshot directly into the inference runtime,
-/// without building a design-time scaffold model first.
-///
-/// # Errors
-///
-/// Returns [`RestoreError`] when the snapshot declares an unsupported
-/// format or is inconsistent with its own architecture.
-#[deprecated(note = "use `ServeModel::from_snapshot`")]
-pub fn compile_snapshot(snap: &ModelSnapshot) -> Result<InferModel, RestoreError> {
-    ServeModel::from_snapshot(snap)
-        .map(ServeModel::into_engine)
-        .map_err(|e| match e {
-            ServeError::Restore(r) => r,
-            // from_snapshot only fails through the restore path.
-            other => unreachable!("snapshot compile produced {other}"),
-        })
-}
-
-/// Flattens a time-major tensor sequence (each step `[batch, dim]`) into
-/// the contiguous layout [`InferModel::run_batch`] consumes.
-///
-/// # Panics
-///
-/// Panics if `steps` is empty.
-#[deprecated(note = "use `ServeModel::flatten_steps`")]
-pub fn flatten_steps(steps: &[ptnc_tensor::Tensor]) -> Vec<f64> {
-    ServeModel::flatten_steps(steps).expect("empty input sequence")
 }
 
 #[cfg(test)]

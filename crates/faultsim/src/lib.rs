@@ -12,7 +12,10 @@
 //! * [`ConductanceDrift`] — slow multiplicative device drift layered on a
 //!   [`VariationSample`](ptnc_infer::VariationSample), so an
 //!   [`InferModel::perturbed`](ptnc_infer::InferModel::perturbed) instance
-//!   can be aged to any point in time.
+//!   can be aged to any point in time,
+//! * [`ProgressiveDrift`] — round-indexed degradation timelines that ramp
+//!   sensor-fault severity ([`DriftRamp`]) and accumulate device age over
+//!   adaptation rounds, the scenario driver for closed-loop adaptation.
 //!
 //! ## Determinism contract
 //!
@@ -30,9 +33,11 @@
 //! pin down against the clean inference path.
 
 mod drift;
+mod progressive;
 mod schedule;
 
 pub use drift::ConductanceDrift;
+pub use progressive::{DriftRamp, ProgressiveDrift};
 pub use schedule::{FaultInjector, FaultKind, FaultSchedule, FaultSpec};
 
 /// Counter-based avalanche over `(seed, a, b, c)` — three rounds of the

@@ -1,0 +1,223 @@
+//! Progressive degradation schedules: fault severity and device age that
+//! ramp over *adaptation rounds* rather than timesteps.
+//!
+//! The per-timestep models in this crate ([`FaultSchedule`],
+//! [`ConductanceDrift`]) describe what happens *within* one window of
+//! sensor data. The closed-loop adaptation runtime needs the level above:
+//! a deployment timeline where each round of traffic is a little worse
+//! than the last — the baseline drifts further, the conductances age more
+//! — so a drift detector has something to detect and a refit engine
+//! something to chase. [`ProgressiveDrift`] is that timeline: a pure
+//! function from round index to `(FaultSchedule, device age)`, counter-
+//! seeded per round so every round's corruption is deterministic and
+//! independent of which thread evaluates it.
+
+use crate::drift::ConductanceDrift;
+use crate::mix4;
+use crate::schedule::{FaultKind, FaultSchedule};
+use ptnc_infer::VariationSample;
+
+/// A linear severity ramp over adaptation rounds, clamped to its
+/// endpoints: `start` at round 0, `end` at and beyond `rounds`, linearly
+/// interpolated in between.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftRamp {
+    /// Severity at round 0 (in `[0, 1]`).
+    pub start: f64,
+    /// Severity at and beyond `rounds` (in `[0, 1]`).
+    pub end: f64,
+    /// Rounds over which the ramp runs; `0` means the ramp is already at
+    /// `end` from round 0.
+    pub rounds: u64,
+}
+
+impl DriftRamp {
+    /// Builds a ramp, validating both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` or `end` is outside `[0, 1]`.
+    pub fn new(start: f64, end: f64, rounds: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end),
+            "ramp severities must be in [0, 1], got {start}..{end}"
+        );
+        DriftRamp { start, end, rounds }
+    }
+
+    /// Severity at round `round` — always in `[0, 1]` by construction.
+    pub fn severity_at(&self, round: u64) -> f64 {
+        if self.rounds == 0 || round >= self.rounds {
+            return self.end;
+        }
+        let frac = round as f64 / self.rounds as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+/// A progressive degradation timeline for one deployment: sensor faults
+/// whose severity follows a [`DriftRamp`] over rounds, plus device
+/// conductances that age by a fixed number of timesteps per round.
+///
+/// Everything is a pure function of `(seed, round)`:
+/// [`ProgressiveDrift::schedule_at`] derives each round's fault-schedule
+/// seed via [`mix4`], so round `r` corrupts data identically no matter
+/// which thread, process or re-run evaluates it — the same determinism
+/// contract as the rest of this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveDrift {
+    seed: u64,
+    faults: Vec<(FaultKind, DriftRamp)>,
+    device: Option<ConductanceDrift>,
+    age_per_round: u64,
+}
+
+/// Counter-stream word reserved for per-round schedule seeds.
+const ROUND_STREAM: u64 = 0x7072_6F67; // "prog"
+
+impl ProgressiveDrift {
+    /// An empty timeline (no faults, no aging) under the given seed.
+    pub fn new(seed: u64) -> Self {
+        ProgressiveDrift {
+            seed,
+            faults: Vec::new(),
+            device: None,
+            age_per_round: 0,
+        }
+    }
+
+    /// Adds a sensor-fault ramp (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, kind: FaultKind, ramp: DriftRamp) -> Self {
+        self.faults.push((kind, ramp));
+        self
+    }
+
+    /// Adds device conductance aging of `age_per_round` timesteps per
+    /// round under `drift` (builder style).
+    #[must_use]
+    pub fn with_device_drift(mut self, drift: ConductanceDrift, age_per_round: u64) -> Self {
+        self.device = Some(drift);
+        self.age_per_round = age_per_round;
+        self
+    }
+
+    /// The seed all per-round schedules derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault ramps, in application order.
+    pub fn faults(&self) -> &[(FaultKind, DriftRamp)] {
+        &self.faults
+    }
+
+    /// The sensor-fault schedule in effect during round `round`. Each
+    /// round gets its own derived seed, so the *pattern* of corruption
+    /// changes between rounds while staying bit-reproducible within one.
+    pub fn schedule_at(&self, round: u64) -> FaultSchedule {
+        let round_seed = mix4(self.seed, ROUND_STREAM, round, 0);
+        self.faults
+            .iter()
+            .fold(FaultSchedule::new(round_seed), |s, &(kind, ramp)| {
+                s.with_fault(kind, ramp.severity_at(round))
+            })
+    }
+
+    /// Device age (timesteps of conductance drift) at the *start* of round
+    /// `round`.
+    pub fn age_at(&self, round: u64) -> u64 {
+        self.age_per_round.saturating_mul(round)
+    }
+
+    /// `base` aged to round `round` under the device-drift model.
+    /// Bit-identical to `base` when no device drift is configured (or at
+    /// round 0).
+    pub fn sample_at(&self, base: &VariationSample, round: u64) -> VariationSample {
+        match &self.device {
+            Some(drift) => drift.drifted(base, self.age_at(round)),
+            None => base.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptnc_infer::{InferSpec, VariationDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ramp_interpolates_and_clamps() {
+        let ramp = DriftRamp::new(0.2, 0.8, 6);
+        assert_eq!(ramp.severity_at(0), 0.2);
+        assert_eq!(ramp.severity_at(3), 0.5);
+        assert_eq!(ramp.severity_at(6), 0.8);
+        assert_eq!(ramp.severity_at(100), 0.8);
+        // Degenerate ramp: immediately at the endpoint.
+        assert_eq!(DriftRamp::new(0.1, 0.9, 0).severity_at(0), 0.9);
+        // Downward ramps (recovery scenarios) work too.
+        assert_eq!(DriftRamp::new(0.8, 0.0, 4).severity_at(2), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp severities")]
+    fn out_of_range_ramp_panics() {
+        DriftRamp::new(0.0, 1.5, 4);
+    }
+
+    #[test]
+    fn schedules_ramp_severity_and_vary_seed_per_round() {
+        let prog = ProgressiveDrift::new(17)
+            .with_fault(FaultKind::BaselineDrift, DriftRamp::new(0.0, 1.0, 10))
+            .with_fault(FaultKind::Dropout, DriftRamp::new(0.1, 0.1, 1));
+        let early = prog.schedule_at(0);
+        let late = prog.schedule_at(10);
+        assert_eq!(early.faults()[0].severity, 0.0);
+        assert_eq!(late.faults()[0].severity, 1.0);
+        assert_eq!(early.faults()[1].severity, 0.1);
+        assert_ne!(early.seed(), late.seed(), "rounds must not share a seed");
+        // Same round twice: identical schedule (pure function of round).
+        assert_eq!(prog.schedule_at(4), prog.schedule_at(4));
+    }
+
+    #[test]
+    fn round_zero_with_zero_start_is_a_noop_schedule() {
+        let prog = ProgressiveDrift::new(3)
+            .with_fault(FaultKind::BaselineDrift, DriftRamp::new(0.0, 0.9, 8));
+        assert!(prog.schedule_at(0).is_noop());
+        assert!(!prog.schedule_at(8).is_noop());
+    }
+
+    #[test]
+    fn device_aging_accumulates_per_round() {
+        let spec = InferSpec {
+            input_dim: 2,
+            hidden: 3,
+            classes: 2,
+            stages: 2,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        };
+        let base = VariationSample::draw(
+            &spec,
+            &VariationDistribution::paper_default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let prog = ProgressiveDrift::new(5).with_device_drift(ConductanceDrift::new(1e-4, 9), 250);
+        assert_eq!(prog.age_at(0), 0);
+        assert_eq!(prog.age_at(4), 1000);
+        let young = prog.sample_at(&base, 0);
+        assert_eq!(young.layers[0].eps_w, base.layers[0].eps_w);
+        let old = prog.sample_at(&base, 4);
+        assert_ne!(old.layers[0].eps_w, base.layers[0].eps_w);
+        // Without device drift, every round returns the base bit-identically.
+        let frozen = ProgressiveDrift::new(5);
+        assert_eq!(
+            frozen.sample_at(&base, 100).layers[0].eps_w,
+            base.layers[0].eps_w
+        );
+    }
+}

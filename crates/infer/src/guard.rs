@@ -249,6 +249,29 @@ impl InputGuard {
         self.steps
     }
 
+    /// Fraction of faulty timesteps in stream `stream`'s current health
+    /// window — the raw statistic behind the [`Health`] classification,
+    /// exported so drift detectors can watch degradation *before* it
+    /// crosses a health threshold. `0.0` before any step is sanitized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::ShapeMismatch`] if `stream` is out of range.
+    pub fn fault_fraction(&self, stream: usize) -> Result<f64, InferError> {
+        if stream >= self.batch {
+            return Err(InferError::ShapeMismatch {
+                what: "guard stream",
+                expected: self.batch,
+                found: stream,
+            });
+        }
+        if self.steps == 0 {
+            return Ok(0.0);
+        }
+        let seen = self.steps.min(self.cfg.window);
+        Ok(f64::from(self.fault_count[stream]) / seen as f64)
+    }
+
     /// Clears all state (counters included) for a fresh sequence.
     pub fn reset(&mut self) {
         let midpoint = 0.5 * (self.cfg.lo + self.cfg.hi);
@@ -433,6 +456,16 @@ impl<'m> GuardedStream<'m> {
         self.guard.stats()
     }
 
+    /// Fault fraction of stream `stream`'s current health window (see
+    /// [`InputGuard::fault_fraction`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::ShapeMismatch`] if `stream` is out of range.
+    pub fn fault_fraction(&self, stream: usize) -> Result<f64, InferError> {
+        self.guard.fault_fraction(stream)
+    }
+
     /// Whether every internal filter state is finite. The guarded path
     /// keeps this `true` by construction; the accessor exists so tests and
     /// watchdogs can verify the invariant directly.
@@ -460,12 +493,6 @@ impl<'m> GuardedStream<'m> {
         self.buf.copy_from_slice(input);
         self.guard.sanitize(&mut self.buf)?;
         self.inner.step(&self.buf)
-    }
-
-    /// Panicking shim over [`GuardedStream::step`].
-    #[deprecated(note = "use the fallible `step`, which returns `InferError`")]
-    pub fn step_or_panic(&mut self, input: &[f64]) -> &[f64] {
-        self.step(input).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Rewinds filter states, guard state and health for a fresh sequence.
@@ -686,6 +713,27 @@ mod tests {
         });
         assert!(ptnc_telemetry::counter_total(&events, "infer.guard.to_faulted") >= 1.0);
         assert!(ptnc_telemetry::counter_total(&events, "infer.guard.to_healthy") >= 1.0);
+    }
+
+    #[test]
+    fn fault_fraction_tracks_window_density() {
+        let cfg = GuardConfig {
+            window: 4,
+            ..GuardConfig::default_policy()
+        };
+        let mut guard = InputGuard::new(cfg, 2, 1).unwrap();
+        assert_eq!(guard.fault_fraction(0).unwrap(), 0.0, "no steps yet");
+        // Stream 0 clean, stream 1 faulty every other step.
+        for t in 0..4 {
+            let s1 = if t % 2 == 0 { f64::NAN } else { 0.1 };
+            guard.sanitize(&mut [0.2, s1]).unwrap();
+        }
+        assert_eq!(guard.fault_fraction(0).unwrap(), 0.0);
+        assert_eq!(guard.fault_fraction(1).unwrap(), 0.5);
+        assert!(matches!(
+            guard.fault_fraction(2),
+            Err(InferError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -57,8 +57,7 @@
 //! Every request-shaped entry point — batched runs, scratch allocation,
 //! streaming steps, guard construction — validates its input and returns
 //! a typed [`InferError`] instead of panicking, so a serving layer can
-//! shed malformed requests without losing the worker. The panicking
-//! spellings survive one release as `*_or_panic` deprecated shims.
+//! shed malformed requests without losing the worker.
 
 mod error;
 mod guard;

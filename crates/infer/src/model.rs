@@ -3,8 +3,7 @@
 //!
 //! Every request-shaped entry point ([`InferModel::run_batch_into`] and
 //! friends) validates its input and returns [`InferError`] — the serving
-//! layer sheds malformed requests instead of panicking. The panicking
-//! spellings survive one release as `*_or_panic` deprecated shims.
+//! layer sheds malformed requests instead of panicking.
 
 use crate::error::InferError;
 use crate::variation::{LayerVariation, VariationSample};
@@ -398,6 +397,38 @@ impl Scratch {
         Ok(())
     }
 
+    /// Root-mean-square of lane `lane`'s resident filter-state values — a
+    /// cheap scalar summary of filter excitation that drift detectors can
+    /// track over time. NaN states propagate into the result (a non-finite
+    /// RMS is itself a detection signal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::ShapeMismatch`] if `lane` is out of range.
+    pub fn lane_state_rms(&self, lane: usize) -> Result<f64, InferError> {
+        if lane >= self.batch {
+            return Err(InferError::ShapeMismatch {
+                what: "state lane",
+                expected: self.batch,
+                found: lane,
+            });
+        }
+        let mut sum_sq = 0.0;
+        let mut n = 0usize;
+        for stage in self.states.iter().flatten() {
+            let fan_out = stage.len() / self.batch;
+            for &v in &stage[lane * fan_out..(lane + 1) * fan_out] {
+                sum_sq += v * v;
+                n += 1;
+            }
+        }
+        Ok(if n == 0 {
+            0.0
+        } else {
+            (sum_sq / n as f64).sqrt()
+        })
+    }
+
     /// Whether every filter-state value is finite. One non-finite input
     /// sample poisons the `a⊙state + b⊙input` recurrence permanently, so
     /// watchdogs (and the guarded-path tests) use this to audit state
@@ -535,12 +566,6 @@ impl InferModel {
         })
     }
 
-    /// Panicking shim over [`InferModel::perturbed`].
-    #[deprecated(note = "use the fallible `perturbed`, which returns `InferError`")]
-    pub fn perturbed_or_panic(&self, sample: &VariationSample) -> InferModel {
-        self.perturbed(sample).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Allocates working memory for batches of exactly `batch` sequences.
     ///
     /// # Errors
@@ -561,12 +586,6 @@ impl InferModel {
                 vec![vec![0.0; batch * fan_out]; self.spec.stages]
             }),
         })
-    }
-
-    /// Panicking shim over [`InferModel::make_scratch`].
-    #[deprecated(note = "use the fallible `make_scratch`, which returns `InferError`")]
-    pub fn make_scratch_or_panic(&self, batch: usize) -> Scratch {
-        self.make_scratch(batch).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Length of one stream's flat resident filter state
@@ -741,19 +760,6 @@ impl InferModel {
         Ok(())
     }
 
-    /// Panicking shim over [`InferModel::run_batch_into`].
-    #[deprecated(note = "use the fallible `run_batch_into`, which returns `InferError`")]
-    pub fn run_batch_into_or_panic(
-        &self,
-        steps: &[f64],
-        batch: usize,
-        scratch: &mut Scratch,
-        out: &mut [f64],
-    ) {
-        self.run_batch_into(steps, batch, scratch, out)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
     /// Convenience wrapper around [`InferModel::run_batch_into`] that
     /// allocates its own scratch and output.
     ///
@@ -767,13 +773,6 @@ impl InferModel {
         Ok(out)
     }
 
-    /// Panicking shim over [`InferModel::run_batch`].
-    #[deprecated(note = "use the fallible `run_batch`, which returns `InferError`")]
-    pub fn run_batch_or_panic(&self, steps: &[f64], batch: usize) -> Vec<f64> {
-        self.run_batch(steps, batch)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Opens an incremental streaming session over `batch` parallel
     /// sequences (one timestep per [`StreamState::step`] call).
     ///
@@ -782,12 +781,6 @@ impl InferModel {
     /// Returns [`InferError::ZeroBatch`] if `batch == 0`.
     pub fn stream(&self, batch: usize) -> Result<crate::StreamState<'_>, InferError> {
         crate::StreamState::new(self, batch)
-    }
-
-    /// Panicking shim over [`InferModel::stream`].
-    #[deprecated(note = "use the fallible `stream`, which returns `InferError`")]
-    pub fn stream_or_panic(&self, batch: usize) -> crate::StreamState<'_> {
-        self.stream(batch).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

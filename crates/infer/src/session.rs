@@ -81,6 +81,19 @@ impl StreamSession {
         self.state.iter().all(|v| v.is_finite())
     }
 
+    /// Root-mean-square of the resident filter state — a cheap scalar
+    /// summary of filter excitation. Drift detectors watch this between
+    /// submissions: a sustained shift in state RMS under stationary input
+    /// statistics is a degradation signal long before accuracy collapses.
+    /// Non-finite states yield a non-finite RMS (itself a trigger).
+    pub fn state_rms(&self) -> f64 {
+        if self.state.is_empty() {
+            return 0.0;
+        }
+        let sum_sq: f64 = self.state.iter().map(|v| v * v).sum();
+        (sum_sq / self.state.len() as f64).sqrt()
+    }
+
     /// Rewinds the resident state to the model's initial stage voltages,
     /// ready for a fresh window. No allocation.
     pub fn reset(&mut self) {
@@ -279,6 +292,28 @@ mod tests {
             Err(InferError::SpecMismatch { .. })
         ));
         assert!(session.runs_on(&other));
+    }
+
+    #[test]
+    fn state_rms_summarizes_resident_state() {
+        let m = model(1);
+        let mut session = m.session();
+        assert_eq!(session.state_rms(), 0.0, "nominal initial state is zero");
+        let mut scratch = m.make_scratch(1).unwrap();
+        let mut out = vec![0.0; 2];
+        session
+            .run_chunk(&window(12), &mut scratch, &mut out)
+            .unwrap();
+        let expected = {
+            let s = session.state();
+            (s.iter().map(|v| v * v).sum::<f64>() / s.len() as f64).sqrt()
+        };
+        assert_eq!(session.state_rms(), expected);
+        assert!(session.state_rms() > 0.0);
+        // The scratch-lane spelling agrees with the session spelling.
+        session.load_into(&mut scratch, 0).unwrap();
+        assert_eq!(scratch.lane_state_rms(0).unwrap(), expected);
+        assert!(scratch.lane_state_rms(9).is_err());
     }
 
     #[test]

@@ -87,12 +87,6 @@ impl<'m> StreamState<'m> {
         Ok(&self.logits)
     }
 
-    /// Panicking shim over [`StreamState::step`].
-    #[deprecated(note = "use the fallible `step`, which returns `InferError`")]
-    pub fn step_or_panic(&mut self, input: &[f64]) -> &[f64] {
-        self.step(input).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Rewinds the filter states to their initial voltages, ready for a
     /// fresh sequence. No allocation.
     pub fn reset(&mut self) {

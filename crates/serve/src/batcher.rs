@@ -93,6 +93,12 @@ pub struct BatchConfig {
     /// [`Server::open_session`] finds the registry at capacity (and by
     /// explicit [`Server::sweep_idle_sessions`] calls).
     pub session_idle_timeout: Duration,
+    /// When set, a background sweeper thread evicts sessions idle past
+    /// `session_idle_timeout` every this often — so abandoned sessions are
+    /// reclaimed even when nobody hits the capacity limit or calls
+    /// [`Server::sweep_idle_sessions`] explicitly. `None` disables the
+    /// thread (sweeps then happen only at capacity or on demand).
+    pub session_sweep_interval: Option<Duration>,
 }
 
 impl Default for BatchConfig {
@@ -106,6 +112,7 @@ impl Default for BatchConfig {
             guard: None,
             max_sessions: 1 << 20,
             session_idle_timeout: Duration::from_secs(300),
+            session_sweep_interval: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -135,6 +142,11 @@ impl BatchConfig {
         if self.max_sessions == 0 {
             return Err(ServingError::Config {
                 reason: "max_sessions must be at least 1",
+            });
+        }
+        if self.session_sweep_interval == Some(Duration::ZERO) {
+            return Err(ServingError::Config {
+                reason: "session_sweep_interval must be positive when set",
             });
         }
         if let Some(g) = &self.guard {
@@ -590,6 +602,54 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    sweeper: Option<Sweeper>,
+}
+
+/// Background idle-session sweeper: same interruptible-wait shape as the
+/// registry [`Watcher`](crate::Watcher), so stopping it never sleeps out a
+/// full interval.
+struct Sweeper {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sweeper {
+    fn spawn(shared: &Arc<Shared>, interval: Duration) -> Sweeper {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair = Arc::clone(&stop);
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("ptnc-serve-sweep".into())
+            .spawn(move || {
+                let (flag, wake) = &*pair;
+                loop {
+                    {
+                        let stopped = flag.lock().expect("sweeper lock poisoned");
+                        let (stopped, _) = wake
+                            .wait_timeout_while(stopped, interval, |s| !*s)
+                            .expect("sweeper lock poisoned");
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    shared.sessions.sweep_idle(shared.cfg.session_idle_timeout);
+                }
+            })
+            .expect("spawn sweeper thread");
+        Sweeper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("sweeper lock poisoned") = true;
+        wake.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Server {
@@ -629,7 +689,14 @@ impl Server {
                     .expect("spawn worker thread"),
             );
         }
-        Ok(Server { shared, workers })
+        let sweeper = cfg
+            .session_sweep_interval
+            .map(|interval| Sweeper::spawn(&shared, interval));
+        Ok(Server {
+            shared,
+            workers,
+            sweeper,
+        })
     }
 
     /// Enqueues one request (`steps` is `t × dim` time-major values for a
@@ -834,6 +901,14 @@ impl Server {
         &self.shared.stats
     }
 
+    /// Records one completed adaptation round (detect → refit → redeploy)
+    /// against `tenant`'s counters — called by the closed-loop adaptation
+    /// runtime after it swaps a refit snapshot through this server's
+    /// registry.
+    pub fn note_adaptation(&self, tenant: &str) {
+        self.shared.stats.tenant(tenant).record_adaptation();
+    }
+
     /// The registry this server draws models from.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.shared.registry
@@ -896,6 +971,9 @@ impl Server {
 
     fn shutdown_inner(&mut self) {
         self.begin_shutdown();
+        if let Some(mut s) = self.sweeper.take() {
+            s.stop();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -904,7 +982,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
+        if !self.workers.is_empty() || self.sweeper.is_some() {
             self.shutdown_inner();
         }
     }

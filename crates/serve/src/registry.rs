@@ -228,6 +228,25 @@ impl ModelRegistry {
         })
     }
 
+    /// Publishes a new snapshot through the registry: atomically writes
+    /// `json` to the watched path (temp-sibling + rename, so a racing
+    /// watcher poll never reads half a file), then [`poll`](Self::poll)s
+    /// it in. This is the redeploy half of the closed adaptation loop — a
+    /// refit engine hands its result here and the swap goes through the
+    /// exact same validation (parse, compile, spec-equality) as any
+    /// disk-originated reload, under the same serialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write error if the snapshot cannot be persisted; the
+    /// live model and the on-disk snapshot are both unchanged in that
+    /// case. A snapshot that persists but fails validation surfaces as
+    /// [`ReloadOutcome::Rejected`] in the `Ok` value.
+    pub fn redeploy_json(&self, json: &str) -> std::io::Result<ReloadOutcome> {
+        adapt_pnc::persist::write_atomic(&self.path, json.as_bytes())?;
+        Ok(self.poll())
+    }
+
     fn reject(&self, err: ReloadError) -> ReloadOutcome {
         self.reloads_rejected.fetch_add(1, Ordering::Relaxed);
         ptnc_telemetry::counter("serve.reload.rejected", 1);

@@ -69,6 +69,7 @@ pub struct TenantStats {
     timesteps: AtomicU64,
     degraded_lanes: AtomicU64,
     faulted_lanes: AtomicU64,
+    adaptations: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -95,6 +96,13 @@ impl TenantStats {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one completed adaptation round (detect → refit → redeploy)
+    /// attributed to this tenant. Public because the adaptation runtime
+    /// lives outside this crate and closes the loop through the registry.
+    pub fn record_adaptation(&self) {
+        self.adaptations.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_guard(&self, degraded: bool, faulted: bool) {
         if degraded {
             self.degraded_lanes.fetch_add(1, Ordering::Relaxed);
@@ -117,6 +125,7 @@ impl TenantStats {
             timesteps: self.timesteps.load(Ordering::Relaxed),
             degraded_lanes: self.degraded_lanes.load(Ordering::Relaxed),
             faulted_lanes: self.faulted_lanes.load(Ordering::Relaxed),
+            adaptations: self.adaptations.load(Ordering::Relaxed),
             p50_micros: LatencyHistogram::quantile(&counts, 0.50),
             p99_micros: LatencyHistogram::quantile(&counts, 0.99),
         }
@@ -143,6 +152,9 @@ pub struct TenantSnapshot {
     pub degraded_lanes: u64,
     /// Completed requests whose lane ended faulted.
     pub faulted_lanes: u64,
+    /// Adaptation rounds (detect → refit → redeploy) completed for this
+    /// tenant.
+    pub adaptations: u64,
     /// Median completion latency (upper bucket edge, µs).
     pub p50_micros: u64,
     /// 99th-percentile completion latency (upper bucket edge, µs).
@@ -187,6 +199,7 @@ impl StatsRegistry {
                 .field("timesteps", s.timesteps)
                 .field("degraded_lanes", s.degraded_lanes)
                 .field("faulted_lanes", s.faulted_lanes)
+                .field("adaptations", s.adaptations)
                 .field("p50_micros", s.p50_micros)
                 .field("p99_micros", s.p99_micros)
                 .finish();
@@ -248,6 +261,17 @@ mod tests {
         b.record_session_chunk();
         assert_eq!(reg.snapshots()[0].timesteps, 7);
         assert_eq!(reg.snapshots()[0].session_chunks, 1);
+    }
+
+    #[test]
+    fn adaptations_are_counted_and_emitted() {
+        let reg = StatsRegistry::default();
+        reg.tenant("edge").record_adaptation();
+        reg.tenant("edge").record_adaptation();
+        assert_eq!(reg.snapshots()[0].adaptations, 2);
+        let ((), events) = ptnc_telemetry::collect(|| reg.emit_telemetry());
+        use ptnc_telemetry::Value;
+        assert_eq!(events[0].get("adaptations"), Some(&Value::U64(2)));
     }
 
     #[test]

@@ -47,6 +47,38 @@ fn reference(json: &str) -> Vec<f64> {
 }
 
 #[test]
+fn redeploy_json_persists_and_swaps_in_one_call() {
+    let path = scratch_file("redeploy");
+    let a = model_json(17);
+    let b = model_json(18);
+    write_snapshot(&path, &a);
+    let reg = ModelRegistry::open(&path).unwrap();
+
+    // Publish new weights through the registry: the file and the live
+    // engine update together.
+    match reg.redeploy_json(&b).unwrap() {
+        ReloadOutcome::Swapped(report) => assert_eq!(report.version, 2),
+        other => panic!("expected swap, got {other:?}"),
+    }
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), reference(&b));
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), b);
+
+    // Redeploying the already-live bytes is a no-op, not a version bump.
+    assert!(matches!(
+        reg.redeploy_json(&b).unwrap(),
+        ReloadOutcome::Unchanged
+    ));
+    assert_eq!(reg.version(), 2);
+
+    // A bad candidate is persisted but rejected; the old engine serves on.
+    assert!(matches!(
+        reg.redeploy_json("not json").unwrap(),
+        ReloadOutcome::Rejected(_)
+    ));
+    assert_eq!(reg.current().run_batch(&steps(), 1).unwrap(), reference(&b));
+}
+
+#[test]
 fn poll_is_unchanged_until_the_file_changes() {
     let path = scratch_file("unchanged");
     let a = model_json(1);

@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 
 use adapt_pnc::models::PrintedModel;
 use adapt_pnc::persist;
-use ptnc_serve::{BatchConfig, ModelRegistry, ReloadOutcome, Server, ServingError};
+use ptnc_serve::{
+    BatchConfig, ModelRegistry, ReloadOutcome, ReloadPolicy, Server, ServingError, SessionId,
+};
 use ptnc_tensor::init;
 
 const DIM: usize = 2;
@@ -97,6 +99,167 @@ fn submit_racing_shutdown_never_strands_a_ticket() {
                 }
             }
         }
+    }
+}
+
+/// Race 5: session lifecycle vs capacity eviction. Churner threads open,
+/// use, and abandon sessions against a tiny `max_sessions` budget with an
+/// aggressive idle timeout, while submitter threads hammer whatever
+/// session ids they can see — including ones the capacity sweeper has
+/// already evicted. Every outcome must be a completed request or a typed
+/// error (`UnknownSession` for evicted ids, `SessionBusy`,
+/// `Backpressure`, `SessionLimit`, `ShuttingDown`); no panic, no stale
+/// logits, no stranded ticket.
+#[test]
+fn session_churn_vs_capacity_eviction_yields_typed_errors_never_panics() {
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    let path = scratch_file("session-churn");
+    write_snapshot(&path, &model_json(130));
+    let server = Arc::new(
+        Server::start(
+            Arc::new(ModelRegistry::open(&path).unwrap()),
+            BatchConfig {
+                max_batch: 4,
+                batch_window: Duration::from_micros(50),
+                workers: 2,
+                max_sessions: 4,
+                session_idle_timeout: Duration::from_millis(1),
+                session_sweep_interval: Some(Duration::from_millis(2)),
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    // Churners publish every id they open; submitters deliberately read
+    // stale entries, so eviction races are exercised on purpose.
+    let seen: Arc<Mutex<Vec<SessionId>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let unknown_hits = Arc::new(AtomicU64::new(0));
+
+    let churners: Vec<_> = (0..3u64)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    match server.open_session("churn", ReloadPolicy::default()) {
+                        Ok(id) => {
+                            seen.lock().unwrap().push(id);
+                            if (c + i) % 3 == 0 {
+                                // Abandon: only the sweeper can reclaim it.
+                                continue;
+                            }
+                            match server.submit_chunk(id, &steps(2)) {
+                                Ok(t) => {
+                                    let _ = t.wait();
+                                }
+                                Err(
+                                    ServingError::UnknownSession
+                                    | ServingError::SessionBusy
+                                    | ServingError::Backpressure { .. },
+                                ) => {}
+                                Err(other) => panic!("churner chunk rejected oddly: {other}"),
+                            }
+                            if (c + i) % 2 == 0 {
+                                server.close_session(id);
+                            }
+                        }
+                        Err(ServingError::SessionLimit { .. }) => {
+                            // Let abandoned sessions age past the idle
+                            // timeout so the next open's capacity sweep
+                            // can reclaim them.
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(other) => panic!("open_session failed oddly: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let submitters: Vec<_> = (0..3u64)
+        .map(|s| {
+            let server = Arc::clone(&server);
+            let seen = Arc::clone(&seen);
+            let stop = Arc::clone(&stop);
+            let unknown_hits = Arc::clone(&unknown_hits);
+            std::thread::spawn(move || {
+                let mut n = s;
+                while !stop.load(Ordering::Acquire) {
+                    let id = {
+                        let ids = seen.lock().unwrap();
+                        if ids.is_empty() {
+                            drop(ids);
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        // Walk the full history, stale ids included.
+                        ids[(n as usize) % ids.len()]
+                    };
+                    n = n.wrapping_add(1);
+                    match server.submit_chunk(id, &steps(2)) {
+                        Ok(t) => match t.wait_timeout(Duration::from_secs(10)) {
+                            Ok(Ok(logits)) => {
+                                assert!(
+                                    logits.iter().all(|v| v.is_finite()),
+                                    "accepted chunk returned non-finite logits"
+                                );
+                            }
+                            Ok(Err(ServingError::ShuttingDown)) => {}
+                            Ok(Err(other)) => panic!("ticket failed oddly: {other}"),
+                            Err(_) => panic!("accepted session chunk never resolved"),
+                        },
+                        Err(ServingError::UnknownSession) => {
+                            unknown_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(
+                            ServingError::SessionBusy
+                            | ServingError::Backpressure { .. }
+                            | ServingError::ShuttingDown,
+                        ) => {}
+                        Err(other) => panic!("submit_chunk rejected oddly: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in churners {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    for h in submitters {
+        h.join().unwrap();
+    }
+
+    assert!(
+        server.sessions_evicted() > 0,
+        "capacity pressure never evicted a session — the race went unexercised"
+    );
+    assert!(
+        unknown_hits.load(Ordering::Relaxed) > 0,
+        "no submitter ever hit an evicted/closed session — the race went unexercised"
+    );
+    // The registry stays consistent after the storm: a fresh session
+    // opens (once the leftovers age past the idle timeout) and serves.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let id = loop {
+        match server.open_session("churn", ReloadPolicy::default()) {
+            Ok(id) => break id,
+            Err(ServingError::SessionLimit { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(other) => panic!("post-storm open_session failed: {other}"),
+        }
+    };
+    let out = server.submit_chunk(id, &steps(2)).unwrap().wait().unwrap();
+    assert!(out.iter().all(|v| v.is_finite()));
+    match Arc::try_unwrap(server) {
+        Ok(server) => server.shutdown(),
+        Err(_) => panic!("all server clones should have joined"),
     }
 }
 

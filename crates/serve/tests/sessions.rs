@@ -294,6 +294,51 @@ fn session_capacity_sweeps_idle_sessions_before_refusing() {
 }
 
 #[test]
+fn background_sweeper_evicts_idle_sessions_without_explicit_sweep() {
+    let path = scratch_file("auto-sweep");
+    write_snapshot(&path, &model_json(FilterOrder::Second, 81));
+    let server = Server::start(
+        Arc::new(ModelRegistry::open(&path).unwrap()),
+        BatchConfig {
+            session_idle_timeout: Duration::from_millis(30),
+            session_sweep_interval: Some(Duration::from_millis(10)),
+            ..quick_config()
+        },
+    )
+    .unwrap();
+
+    let id = server.open_session("plant", ReloadPolicy::PinOld).unwrap();
+    assert_eq!(server.open_sessions(), 1);
+    // No capacity pressure, no manual sweep_idle_sessions call: the
+    // background sweeper alone must reclaim the idle session.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.open_sessions() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sweeper never evicted the idle session"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.sessions_evicted(), 1);
+    assert!(matches!(
+        server.submit_chunk(id, &stream_steps(0, 4)),
+        Err(ServingError::UnknownSession)
+    ));
+    // A fresh, active session is untouched by the next sweep ticks.
+    let busy = server.open_session("plant", ReloadPolicy::PinOld).unwrap();
+    for _ in 0..4 {
+        server
+            .submit_chunk(busy, &stream_steps(1, 4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(8));
+    }
+    assert_eq!(server.open_sessions(), 1, "active session was swept");
+    server.shutdown();
+}
+
+#[test]
 fn session_guard_health_is_tracked_per_session() {
     let path = scratch_file("guard");
     write_snapshot(&path, &model_json(FilterOrder::Second, 71));
