@@ -14,6 +14,7 @@
 /// model can get wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
+#[must_use = "an InferError tells the caller what was malformed — classify it, don't drop it"]
 pub enum InferError {
     /// A batch size of zero was requested.
     ZeroBatch,

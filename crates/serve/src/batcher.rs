@@ -376,9 +376,22 @@ impl MicroBatcher {
     }
 }
 
+/// Everything a completed request resolves to: the logits plus the guard
+/// health its lane ended the batch with ([`Health::Healthy`] when the
+/// server runs without a guard). Transport layers forward the health to
+/// remote clients alongside the logits, so a fleet frontend can tell "the
+/// answer" apart from "the answer, but your sensor looks broken".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Class logits for the submitted window.
+    pub logits: Vec<f64>,
+    /// End-of-batch guard health of the request's lane.
+    pub health: Health,
+}
+
 enum SlotState {
     Pending(Vec<f64>),
-    Done(Vec<f64>),
+    Done(Vec<f64>, Health),
     Failed(ServingError),
     Taken,
 }
@@ -389,11 +402,11 @@ struct Slot {
 }
 
 impl Slot {
-    fn complete(&self, fill: impl FnOnce(&mut [f64])) {
+    fn complete(&self, health: Health, fill: impl FnOnce(&mut [f64])) {
         let mut st = self.state.lock().expect("slot lock poisoned");
         if let SlotState::Pending(mut buf) = std::mem::replace(&mut *st, SlotState::Taken) {
             fill(&mut buf);
-            *st = SlotState::Done(buf);
+            *st = SlotState::Done(buf, health);
         }
         self.ready.notify_all();
     }
@@ -407,6 +420,7 @@ impl Slot {
 
 /// A pending request: block on [`wait`](Ticket::wait) to get the logits.
 /// Dropping the ticket abandons the result (the request still runs).
+#[must_use = "a dropped ticket abandons its request's result"]
 pub struct Ticket {
     slot: Arc<Slot>,
     /// Timesteps submitted — useful for client-side accounting.
@@ -421,6 +435,16 @@ impl Ticket {
     /// Whatever the scheduler failed the request with — in steady state
     /// only [`ServingError::ShuttingDown`].
     pub fn wait(self) -> Result<Vec<f64>, ServingError> {
+        self.wait_outcome().map(|c| c.logits)
+    }
+
+    /// Blocks like [`wait`](Ticket::wait) but returns the full
+    /// [`Completion`] — logits plus the lane's end-of-batch guard health.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`wait`](Ticket::wait).
+    pub fn wait_outcome(self) -> Result<Completion, ServingError> {
         let mut st = self.slot.state.lock().expect("slot lock poisoned");
         loop {
             match &*st {
@@ -428,9 +452,14 @@ impl Ticket {
                     st = self.slot.ready.wait(st).expect("slot lock poisoned");
                 }
                 SlotState::Failed(e) => return Err(*e),
-                SlotState::Done(_) | SlotState::Taken => {
+                SlotState::Done(..) | SlotState::Taken => {
                     match std::mem::replace(&mut *st, SlotState::Taken) {
-                        SlotState::Done(buf) => return Ok(buf),
+                        SlotState::Done(buf, health) => {
+                            return Ok(Completion {
+                                logits: buf,
+                                health,
+                            })
+                        }
                         _ => unreachable!("ticket waited twice"),
                     }
                 }
@@ -448,6 +477,22 @@ impl Ticket {
     /// `Err(self)` on timeout; the request outcome is otherwise
     /// `Ok(inner)` with the same result `wait` would return.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Vec<f64>, ServingError>, Ticket> {
+        self.wait_outcome_timeout(timeout)
+            .map(|outcome| outcome.map(|c| c.logits))
+    }
+
+    /// [`wait_timeout`](Ticket::wait_timeout) with the full
+    /// [`Completion`] — the bounded wait transport handlers use so a
+    /// stalled worker can never hang a connection thread.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout; otherwise `Ok(inner)` with the same result
+    /// [`wait_outcome`](Ticket::wait_outcome) would return.
+    pub fn wait_outcome_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<Completion, ServingError>, Ticket> {
         let deadline = Instant::now() + timeout;
         let mut st = self.slot.state.lock().expect("slot lock poisoned");
         loop {
@@ -466,9 +511,12 @@ impl Ticket {
                     st = guard;
                 }
                 SlotState::Failed(e) => return Ok(Err(*e)),
-                SlotState::Done(_) | SlotState::Taken => {
+                SlotState::Done(..) | SlotState::Taken => {
                     return match std::mem::replace(&mut *st, SlotState::Taken) {
-                        SlotState::Done(buf) => Ok(Ok(buf)),
+                        SlotState::Done(buf, health) => Ok(Ok(Completion {
+                            logits: buf,
+                            health,
+                        })),
                         _ => unreachable!("ticket waited twice"),
                     };
                 }
@@ -1095,9 +1143,9 @@ fn run_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Request>) {
                 .guard_repaired
                 .fetch_add(mb.repaired_last_batch(), Ordering::Relaxed);
             for (lane, r) in batch.drain(..).enumerate() {
-                finish_lane(mb, lane, &r);
+                let health = finish_lane(mb, lane, &r);
                 let logits = mb.lane_logits(lane);
-                r.slot.complete(|buf| buf.copy_from_slice(logits));
+                r.slot.complete(health, |buf| buf.copy_from_slice(logits));
             }
         }
         Err(e) => {
@@ -1163,7 +1211,7 @@ fn run_session_batch(shared: &Shared, mb: &mut MicroBatcher, batch: &mut Vec<Req
                 sess.cell.touch(now_ms);
                 sess.cell.in_flight.store(false, Ordering::Release);
                 let logits = mb.lane_logits(lane);
-                r.slot.complete(|buf| buf.copy_from_slice(logits));
+                r.slot.complete(health, |buf| buf.copy_from_slice(logits));
             }
         }
         Err(e) => {

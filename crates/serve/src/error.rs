@@ -12,6 +12,7 @@ use ptnc_infer::InferError;
 /// Why a request was rejected (or a server failed to start).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
+#[must_use = "a ServingError tells the client how to react — classify it, don't drop it"]
 pub enum ServingError {
     /// The bounded request queue is full — the request was shed, not
     /// enqueued. Back off and retry.

@@ -45,7 +45,7 @@ mod registry;
 mod session;
 mod stats;
 
-pub use batcher::{BatchConfig, MicroBatcher, Server, Ticket};
+pub use batcher::{BatchConfig, Completion, MicroBatcher, Server, Ticket};
 pub use error::ServingError;
 pub use registry::{ModelRegistry, ReloadError, ReloadOutcome, ReloadReport, Watcher};
 pub use session::{ReloadPolicy, SessionId, SessionSnapshot};

@@ -40,6 +40,7 @@ fn fingerprint(bytes: &[u8]) -> u64 {
 /// in every case.
 #[derive(Debug)]
 #[non_exhaustive]
+#[must_use = "a ReloadError says why the old model is still live — report it, don't drop it"]
 pub enum ReloadError {
     /// The snapshot file could not be read.
     Io(String),
@@ -78,6 +79,7 @@ impl std::error::Error for ReloadError {
 
 /// What one successful swap did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a ReloadReport carries the swap version and lock timing operators monitor"]
 pub struct ReloadReport {
     /// Monotonic model version after the swap (initial load is 1).
     pub version: u64,
@@ -117,6 +119,7 @@ pub struct ModelRegistry {
     version: AtomicU64,
     last_swap_micros: AtomicU64,
     reloads_rejected: AtomicU64,
+    reload_io_errors: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -141,6 +144,7 @@ impl ModelRegistry {
             version: AtomicU64::new(1),
             last_swap_micros: AtomicU64::new(0),
             reloads_rejected: AtomicU64::new(0),
+            reload_io_errors: AtomicU64::new(0),
         })
     }
 
@@ -167,6 +171,17 @@ impl ModelRegistry {
         self.reloads_rejected.load(Ordering::Relaxed)
     }
 
+    /// Polls that failed to *read* the snapshot file since startup
+    /// (deleted file, permissions flapping, disk trouble). These were
+    /// previously visible only in each poll's [`ReloadOutcome`] — which
+    /// the background [`Watcher`] discards — so a registry pointed at a
+    /// vanished file could spin silently forever. The counter (and the
+    /// `serve.reload.error` telemetry counter emitted alongside) makes
+    /// the failure observable no matter who polls.
+    pub fn reload_io_errors(&self) -> u64 {
+        self.reload_io_errors.load(Ordering::Relaxed)
+    }
+
     /// The snapshot path being watched.
     pub fn path(&self) -> &Path {
         &self.path
@@ -184,7 +199,11 @@ impl ModelRegistry {
             Ok(b) => b,
             // Io errors are transient (snapshot mid-rename, permissions
             // flapping) — not cached, so the next tick retries the read.
-            Err(e) => return self.reject(ReloadError::Io(e.to_string())),
+            Err(e) => {
+                self.reload_io_errors.fetch_add(1, Ordering::Relaxed);
+                ptnc_telemetry::counter("serve.reload.error", 1);
+                return self.reject(ReloadError::Io(e.to_string()));
+            }
         };
         let fp = fingerprint(&bytes);
         if fp == self.active_fingerprint.load(Ordering::Acquire) {
@@ -327,5 +346,60 @@ mod tests {
     fn reload_error_display() {
         assert!(ReloadError::Io("gone".into()).to_string().contains("gone"));
         assert!(ReloadError::SpecChanged.to_string().contains("redeploy"));
+    }
+
+    /// Watcher-satellite regression: a poll that cannot *read* the
+    /// snapshot must bump the dedicated I/O-error counter and emit a
+    /// `serve.reload.error` telemetry counter — previously the background
+    /// watcher discarded the `ReloadOutcome` and the failure was
+    /// invisible.
+    #[test]
+    fn poll_io_errors_are_counted_and_emitted() {
+        let dir = std::env::temp_dir().join(format!("ptnc-reload-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let json = adapt_pnc::persist::to_json(&adapt_pnc::models::PrintedModel::adapt_pnc(
+            1,
+            2,
+            2,
+            &mut ptnc_tensor::init::rng(7),
+        ));
+        adapt_pnc::persist::write_atomic(&path, json.as_bytes()).unwrap();
+        let reg = Arc::new(ModelRegistry::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+
+        // A direct poll inside a telemetry scope: typed Io rejection,
+        // counter bumped, event emitted.
+        let ((), events) = ptnc_telemetry::collect(|| {
+            assert!(matches!(
+                reg.poll(),
+                ReloadOutcome::Rejected(ReloadError::Io(_))
+            ));
+        });
+        assert_eq!(reg.reload_io_errors(), 1);
+        assert_eq!(reg.reloads_rejected(), 1);
+        assert_eq!(
+            ptnc_telemetry::counter_total(&events, "serve.reload.error"),
+            1.0
+        );
+
+        // The background watcher path: its polls land on the same counter
+        // even though the watcher thread discards each ReloadOutcome.
+        let watcher = reg.watch(Duration::from_millis(2));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while reg.reload_io_errors() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(watcher);
+        assert!(
+            reg.reload_io_errors() >= 2,
+            "watcher polls must count I/O errors"
+        );
+
+        // Restoring the file clears the failure mode: the same bytes are
+        // recognized as the active model again.
+        adapt_pnc::persist::write_atomic(&path, json.as_bytes()).unwrap();
+        assert!(matches!(reg.poll(), ReloadOutcome::Unchanged));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

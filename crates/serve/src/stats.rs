@@ -74,7 +74,11 @@ pub struct TenantStats {
 }
 
 impl TenantStats {
-    pub(crate) fn record_completed(&self, timesteps: usize, latency_micros: u64) {
+    /// Records one completed request: `timesteps` served at
+    /// `latency_micros` end-to-end latency. Public so transport layers
+    /// (`ptnc-wire`) can keep the same counters per *connection* that the
+    /// scheduler keeps per tenant.
+    pub fn record_completed(&self, timesteps: usize, latency_micros: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.timesteps
             .fetch_add(timesteps as u64, Ordering::Relaxed);
@@ -88,11 +92,15 @@ impl TenantStats {
         self.session_chunks.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_shed(&self) {
+    /// Records one request shed by backpressure/overload. Public for
+    /// transport layers (see [`record_completed`](Self::record_completed)).
+    pub fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_rejected(&self) {
+    /// Records one request rejected as malformed. Public for transport
+    /// layers (see [`record_completed`](Self::record_completed)).
+    pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -103,7 +111,10 @@ impl TenantStats {
         self.adaptations.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_guard(&self, degraded: bool, faulted: bool) {
+    /// Records one completed request's end-of-batch guard health. Public
+    /// for transport layers (see
+    /// [`record_completed`](Self::record_completed)).
+    pub fn record_guard(&self, degraded: bool, faulted: bool) {
         if degraded {
             self.degraded_lanes.fetch_add(1, Ordering::Relaxed);
         }

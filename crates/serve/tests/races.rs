@@ -358,3 +358,76 @@ fn watcher_drop_is_prompt_despite_long_interval() {
         "watcher drop blocked {took:?} against a 60 s interval"
     );
 }
+
+/// Race 5 (wire-transport hardening): `Ticket::wait_timeout` racing
+/// `begin_shutdown` must always resolve — either the request's outcome
+/// or a clean timeout handing the ticket back — and may never hang or
+/// panic. Transport handler threads sit in exactly this wait while a
+/// drain fires, so a hole here would hang a connection forever.
+#[test]
+fn wait_timeout_racing_begin_shutdown_never_hangs() {
+    for round in 0..10u64 {
+        let path = scratch_file(&format!("wait-timeout-shutdown-{round}"));
+        write_snapshot(&path, &model_json(round + 40));
+        let server = Arc::new(
+            Server::start(
+                Arc::new(ModelRegistry::open(&path).unwrap()),
+                BatchConfig {
+                    max_batch: 8,
+                    // A wide window keeps requests parked in the queue so
+                    // the shutdown drain races live waiters, not
+                    // already-completed slots.
+                    batch_window: Duration::from_millis(50),
+                    workers: 1,
+                    ..BatchConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let mut tickets = Vec::new();
+        for _ in 0..16 {
+            tickets.push(server.submit("race", &steps(3)).unwrap());
+        }
+        let shutter = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                // Land the drain in the middle of the wait_timeout churn.
+                std::thread::sleep(Duration::from_micros(300 * round));
+                server.begin_shutdown();
+            })
+        };
+        let watchdog = Instant::now();
+        let mut resolved = 0usize;
+        for mut ticket in tickets {
+            // Spin tiny waits so the drain interleaves with many
+            // timeout/retry transitions per ticket.
+            loop {
+                assert!(
+                    watchdog.elapsed() < Duration::from_secs(30),
+                    "round {round}: a ticket wait is stuck across begin_shutdown"
+                );
+                match ticket.wait_timeout(Duration::from_micros(50)) {
+                    Ok(Ok(logits)) => {
+                        assert!(!logits.is_empty());
+                        resolved += 1;
+                        break;
+                    }
+                    Ok(Err(e)) => {
+                        assert!(
+                            matches!(e, ServingError::ShuttingDown),
+                            "round {round}: unexpected failure {e}"
+                        );
+                        resolved += 1;
+                        break;
+                    }
+                    Err(back) => ticket = back,
+                }
+            }
+        }
+        assert_eq!(
+            resolved, 16,
+            "round {round}: every accepted ticket must resolve"
+        );
+        shutter.join().unwrap();
+    }
+}

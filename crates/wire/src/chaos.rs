@@ -1,0 +1,418 @@
+//! A deterministic chaos proxy: a TCP forwarder that injects byte-level
+//! faults on a counter-based random stream, so a "flaky network" test is
+//! exactly reproducible from its seed.
+//!
+//! The proxy sits between a [`WireClient`](crate::client::WireClient)
+//! and a [`WireServer`](crate::server::WireServer) and decides, for
+//! every chunk of bytes it relays, whether to misbehave. Decisions come
+//! from [`ptnc_faultsim::unit`] keyed on `(seed, direction ⊕ purpose,
+//! connection, chunk)` — the same counter-based scheme the fault
+//! simulator uses for device faults — so runs never depend on thread
+//! timing for *which* fault fires, only for inter-chunk boundaries
+//! (which the protocol must tolerate anyway: TCP never promised to
+//! preserve write boundaries).
+//!
+//! Fault kinds, and the protocol property each one attacks:
+//!
+//! - [`Split`](FaultKind::Split): a chunk is relayed in two writes with a
+//!   pause between — *must be invisible* (framing cannot assume whole
+//!   frames per read).
+//! - [`Delay`](FaultKind::Delay): a bounded stall — exercises deadline
+//!   slicing without killing the exchange.
+//! - [`Corrupt`](FaultKind::Corrupt): one bit flipped — the CRC must
+//!   reject the frame; no torn payload may ever decode.
+//! - [`Truncate`](FaultKind::Truncate): a prefix is relayed, then both
+//!   sides close — a reader must time out or see EOF, never hang.
+//! - [`Duplicate`](FaultKind::Duplicate): a chunk relayed twice — desyncs
+//!   the stream; the receiver must detect garbage framing and close.
+//! - [`DropConn`](FaultKind::DropConn): both sides close immediately —
+//!   the client must reconnect and (for sessions) report the restart.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ptnc_faultsim::{mix4, unit};
+
+use crate::conn::Endpoint;
+use crate::error::WireError;
+
+/// Stream-id words for the decision draws (arbitrary, distinct).
+const STREAM_FIRE: u64 = 0x6669_7265; // "fire"
+const STREAM_KIND: u64 = 0x6B69_6E64; // "kind"
+const STREAM_POSN: u64 = 0x706F_736E; // "posn"
+
+/// What the proxy may do to one relayed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Stall the chunk for a bounded time, then relay it intact.
+    Delay,
+    /// Relay the chunk in two writes with a pause between.
+    Split,
+    /// Flip one bit of the chunk.
+    Corrupt,
+    /// Relay a prefix of the chunk, then kill the connection.
+    Truncate,
+    /// Relay the chunk twice.
+    Duplicate,
+    /// Kill the connection without relaying the chunk.
+    DropConn,
+}
+
+impl FaultKind {
+    /// Every kind, in the order the `kind` draw indexes them.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Delay,
+        FaultKind::Split,
+        FaultKind::Corrupt,
+        FaultKind::Truncate,
+        FaultKind::Duplicate,
+        FaultKind::DropConn,
+    ];
+}
+
+/// Chaos schedule: which kinds may fire and how often.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for every decision draw.
+    pub seed: u64,
+    /// Per-chunk fault probability in [0, 1]. `0.0` is a bit-exact
+    /// passthrough proxy.
+    pub severity: f64,
+    /// The kinds this schedule draws from (uniformly, by a second draw).
+    /// Empty behaves like `severity = 0.0`.
+    pub kinds: Vec<FaultKind>,
+    /// Upper bound for `Delay` stalls.
+    pub max_delay: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            severity: 0.0,
+            kinds: FaultKind::ALL.to_vec(),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Per-kind injection counters plus totals.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    connections: AtomicU64,
+    chunks: AtomicU64,
+    delays: AtomicU64,
+    splits: AtomicU64,
+    corruptions: AtomicU64,
+    truncations: AtomicU64,
+    duplicates: AtomicU64,
+    drops: AtomicU64,
+}
+
+/// Point-in-time copy of [`ChaosStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStatsSnapshot {
+    /// Connections proxied.
+    pub connections: u64,
+    /// Chunks relayed (faulted or not), both directions.
+    pub chunks: u64,
+    /// `Delay` faults fired.
+    pub delays: u64,
+    /// `Split` faults fired.
+    pub splits: u64,
+    /// `Corrupt` faults fired.
+    pub corruptions: u64,
+    /// `Truncate` faults fired.
+    pub truncations: u64,
+    /// `Duplicate` faults fired.
+    pub duplicates: u64,
+    /// `DropConn` faults fired.
+    pub drops: u64,
+}
+
+impl ChaosStatsSnapshot {
+    /// Total faults fired across all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.delays
+            + self.splits
+            + self.corruptions
+            + self.truncations
+            + self.duplicates
+            + self.drops
+    }
+}
+
+struct ProxyShared {
+    cfg: ChaosConfig,
+    backend: SocketAddr,
+    stop: AtomicBool,
+    next_conn: AtomicU64,
+    stats: ChaosStats,
+}
+
+/// A chaos proxy bound to an ephemeral loopback port. Point the client
+/// at [`endpoint`](Self::endpoint); the proxy relays to the real server
+/// and misbehaves on schedule.
+pub struct ChaosProxy {
+    shared: Arc<ProxyShared>,
+    endpoint: Endpoint,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy in front of `backend` (the wire server's TCP
+    /// endpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the loopback bind fails, or when `backend`
+    /// is not a TCP endpoint (unix sockets are proxied the same way in
+    /// spirit but TCP covers the chaos grid).
+    pub fn start(backend: &Endpoint, cfg: ChaosConfig) -> Result<ChaosProxy, WireError> {
+        let Endpoint::Tcp(backend) = backend else {
+            return Err(WireError::Io {
+                what: "chaos bind",
+                detail: "the chaos proxy fronts TCP endpoints only".to_string(),
+            });
+        };
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| WireError::io("chaos bind", &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| WireError::io("chaos bind", &e))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| WireError::io("chaos bind", &e))?;
+        let shared = Arc::new(ProxyShared {
+            cfg,
+            backend: *backend,
+            stop: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            stats: ChaosStats::default(),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("ptnc-chaos-accept".into())
+            .spawn(move || accept_loop(&loop_shared, &listener))
+            .expect("spawn chaos accept thread");
+        Ok(ChaosProxy {
+            shared,
+            endpoint: Endpoint::Tcp(bound),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The endpoint clients should connect to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> ChaosStatsSnapshot {
+        let s = &self.shared.stats;
+        ChaosStatsSnapshot {
+            connections: s.connections.load(Ordering::Relaxed),
+            chunks: s.chunks.load(Ordering::Relaxed),
+            delays: s.delays.load(Ordering::Relaxed),
+            splits: s.splits.load(Ordering::Relaxed),
+            corruptions: s.corruptions.load(Ordering::Relaxed),
+            truncations: s.truncations.load(Ordering::Relaxed),
+            duplicates: s.duplicates.load(Ordering::Relaxed),
+            drops: s.drops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and tears the proxy down. Live relays notice the
+    /// stop flag within their read timeout and close.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<ProxyShared>, listener: &TcpListener) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                spawn_relay(shared, client, conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn spawn_relay(shared: &Arc<ProxyShared>, client: TcpStream, conn: u64) {
+    let Ok(server) = TcpStream::connect(shared.backend) else {
+        let _ = client.shutdown(std::net::Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nonblocking(false);
+    // Two pump threads, one per direction; either side dying (or a
+    // DropConn/Truncate fault) closes both sockets, which makes the
+    // sibling pump's read fail and exit too.
+    for (dir, from, to) in [
+        (0u64, client.try_clone(), server.try_clone()),
+        (1u64, server.try_clone(), client.try_clone()),
+    ] {
+        let (Ok(from), Ok(to)) = (from, to) else {
+            let _ = client.shutdown(std::net::Shutdown::Both);
+            let _ = server.shutdown(std::net::Shutdown::Both);
+            return;
+        };
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("ptnc-chaos-{conn}-{dir}"))
+            .spawn(move || pump(&shared, from, to, conn, dir))
+            .expect("spawn chaos pump thread");
+    }
+}
+
+/// Relays `from` → `to`, misbehaving per the schedule. Runs until either
+/// socket dies, a killing fault fires, or the proxy stops.
+fn pump(shared: &ProxyShared, mut from: TcpStream, mut to: TcpStream, conn: u64, dir: u64) {
+    let cfg = &shared.cfg;
+    let _ = from.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut buf = [0u8; 4096];
+    let mut chunk_idx = 0u64;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        shared.stats.chunks.fetch_add(1, Ordering::Relaxed);
+        let chunk = &mut buf[..n];
+        chunk_idx += 1;
+
+        let fires = !cfg.kinds.is_empty()
+            && unit(cfg.seed, STREAM_FIRE ^ dir, conn, chunk_idx) < cfg.severity;
+        if !fires {
+            if to.write_all(chunk).is_err() {
+                break;
+            }
+            continue;
+        }
+
+        let kind = cfg.kinds[(mix4(cfg.seed, STREAM_KIND ^ dir, conn, chunk_idx)
+            % cfg.kinds.len() as u64) as usize];
+        let posn = mix4(cfg.seed, STREAM_POSN ^ dir, conn, chunk_idx);
+        match kind {
+            FaultKind::Delay => {
+                shared.stats.delays.fetch_add(1, Ordering::Relaxed);
+                let frac = unit(cfg.seed, STREAM_POSN ^ dir, conn, chunk_idx);
+                std::thread::sleep(cfg.max_delay.mul_f64(frac));
+                if to.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            FaultKind::Split => {
+                shared.stats.splits.fetch_add(1, Ordering::Relaxed);
+                let cut = 1 + (posn as usize) % n.max(1);
+                let cut = cut.min(n);
+                if to.write_all(&chunk[..cut]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                if to.write_all(&chunk[cut..]).is_err() {
+                    break;
+                }
+            }
+            FaultKind::Corrupt => {
+                shared.stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                let bit = (posn as usize) % (n * 8);
+                chunk[bit / 8] ^= 1 << (bit % 8);
+                if to.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            FaultKind::Truncate => {
+                shared.stats.truncations.fetch_add(1, Ordering::Relaxed);
+                let keep = (posn as usize) % n;
+                let _ = to.write_all(&chunk[..keep]);
+                break;
+            }
+            FaultKind::Duplicate => {
+                shared.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(chunk).is_err() || to.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            FaultKind::DropConn => {
+                shared.stats.drops.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    // Close both halves so the peer and the sibling pump observe the
+    // failure instead of waiting on a half-dead connection.
+    let _ = from.shutdown(std::net::Shutdown::Both);
+    let _ = to.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_stream_is_deterministic_and_severity_scales() {
+        let count = |severity: f64| {
+            (0..10_000u64)
+                .filter(|&i| unit(42, STREAM_FIRE, 0, i) < severity)
+                .count()
+        };
+        assert_eq!(count(0.0), 0);
+        assert_eq!(count(1.0), 10_000);
+        let lo = count(0.05);
+        let hi = count(0.5);
+        assert!(
+            lo > 0 && hi > lo,
+            "severity must scale firing rate ({lo} vs {hi})"
+        );
+        // Same seed, same schedule — bit-for-bit.
+        assert_eq!(count(0.25), count(0.25));
+    }
+
+    #[test]
+    fn kind_draw_covers_every_kind() {
+        let mut seen = [false; 6];
+        for i in 0..10_000u64 {
+            let k = (mix4(7, STREAM_KIND, 3, i) % FaultKind::ALL.len() as u64) as usize;
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "10k draws must hit all kinds");
+    }
+}

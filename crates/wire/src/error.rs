@@ -1,0 +1,217 @@
+//! Client-facing error taxonomy for the wire transport.
+//!
+//! Everything a [`WireClient`](crate::client::WireClient) call can
+//! observe collapses into one enum so callers can pattern-match a
+//! recovery strategy instead of string-matching I/O errors. The split
+//! that matters operationally is [`WireError::is_retryable`]: transients
+//! (congestion, drains, torn connections) say *try again after backoff*;
+//! everything else says *your request or your session is gone — change
+//! something before retrying*.
+
+use std::time::Duration;
+
+use crate::frame::FrameError;
+use crate::proto::{ErrorCode, ProtoError};
+
+/// Why a wire operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a WireError tells the caller whether to retry, reconnect, or give up — classify it, don't drop it"]
+pub enum WireError {
+    /// The underlying socket failed (connect, read, or write). The
+    /// connection is dead; the client reconnects on the next attempt.
+    Io {
+        /// Which operation failed.
+        what: &'static str,
+        /// The OS error, stringified (kept `Eq`-comparable for tests).
+        detail: String,
+    },
+    /// An operation exceeded its deadline. The connection is closed —
+    /// after a timeout the stream position is unknowable, so the only
+    /// safe resync point is a fresh connection.
+    Timeout {
+        /// Which operation timed out.
+        what: &'static str,
+    },
+    /// The peer sent bytes that are not a valid frame (bad magic,
+    /// version, type, or CRC). The stream is desynced and gets closed.
+    Frame(FrameError),
+    /// The peer sent a well-framed payload that does not decode.
+    Proto(ProtoError),
+    /// The server's admission gate shed this connection before any
+    /// request ran.
+    Overloaded {
+        /// Connections live at the gate when it shed us.
+        active: u32,
+        /// The server's configured connection capacity.
+        capacity: u32,
+    },
+    /// The server announced a graceful drain and will serve nothing more
+    /// on this connection.
+    GoingAway,
+    /// The server rejected the request with a typed code.
+    Server {
+        /// Machine-readable rejection code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// The circuit breaker is open: recent attempts failed hard enough
+    /// that the client refuses to touch the network until the cooldown
+    /// elapses.
+    CircuitOpen {
+        /// Time until the breaker half-opens.
+        retry_in: Duration,
+    },
+    /// The session's server-side state was lost (the connection died and
+    /// was re-established). The session was transparently re-opened, but
+    /// its filter state restarted — resubmit the stream from a point
+    /// that makes sense for the caller's window accounting.
+    SessionRestarted {
+        /// Client-side reconnect epoch the session now lives in.
+        epoch: u64,
+    },
+    /// A retried operation exhausted its attempt budget. Carries the
+    /// final attempt's error.
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The error that killed the last attempt.
+        last: Box<WireError>,
+    },
+    /// The session handle does not name a live client-side session
+    /// (never opened or already closed locally).
+    UnknownHandle,
+}
+
+impl WireError {
+    /// Whether retrying the same operation (after backoff, possibly on a
+    /// fresh connection) can succeed. Transport failures and congestion
+    /// are retryable; structural rejections and protocol violations are
+    /// not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            // A framing failure on the *client* means the response bytes
+            // were torn in transit (the CRC or header check caught it) —
+            // that is wire noise, and a fresh connection fixes it.
+            WireError::Io { .. }
+            | WireError::Timeout { .. }
+            | WireError::Frame(_)
+            | WireError::Overloaded { .. }
+            | WireError::GoingAway => true,
+            WireError::Server { code, .. } => code.is_retryable(),
+            WireError::Proto(_)
+            | WireError::CircuitOpen { .. }
+            | WireError::SessionRestarted { .. }
+            | WireError::RetriesExhausted { .. }
+            | WireError::UnknownHandle => false,
+        }
+    }
+
+    pub(crate) fn io(what: &'static str, e: &std::io::Error) -> WireError {
+        // Timeouts surface as WouldBlock (unix) or TimedOut depending on
+        // platform and socket mode; fold both into the typed deadline
+        // error so callers never match on platform strings.
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            WireError::Timeout { what }
+        } else {
+            WireError::Io {
+                what,
+                detail: e.to_string(),
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io { what, detail } => write!(f, "i/o failure during {what}: {detail}"),
+            WireError::Timeout { what } => write!(f, "deadline exceeded during {what}"),
+            WireError::Frame(e) => write!(f, "framing violation: {e}"),
+            WireError::Proto(e) => write!(f, "protocol violation: {e}"),
+            WireError::Overloaded { active, capacity } => {
+                write!(f, "server overloaded ({active}/{capacity} connections)")
+            }
+            WireError::GoingAway => write!(f, "server is draining (going away)"),
+            WireError::Server { code, detail } => {
+                write!(f, "server rejected request ({code:?}): {detail}")
+            }
+            WireError::CircuitOpen { retry_in } => {
+                write!(f, "circuit breaker open, retry in {retry_in:?}")
+            }
+            WireError::SessionRestarted { epoch } => {
+                write!(f, "session state restarted on reconnect (epoch {epoch})")
+            }
+            WireError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+            WireError::UnknownHandle => write!(f, "unknown client-side session handle"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for WireError {
+    fn from(e: ProtoError) -> Self {
+        WireError::Proto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_split_matches_recovery_semantics() {
+        assert!(WireError::Timeout { what: "read" }.is_retryable());
+        assert!(WireError::GoingAway.is_retryable());
+        assert!(WireError::Overloaded {
+            active: 1,
+            capacity: 1
+        }
+        .is_retryable());
+        assert!(WireError::Server {
+            code: ErrorCode::Backpressure,
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(!WireError::Server {
+            code: ErrorCode::BadRequest,
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(!WireError::SessionRestarted { epoch: 1 }.is_retryable());
+        assert!(!WireError::UnknownHandle.is_retryable());
+        assert!(!WireError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(WireError::Timeout { what: "read" })
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn io_timeouts_fold_into_typed_deadline() {
+        let e = std::io::Error::new(std::io::ErrorKind::TimedOut, "t");
+        assert_eq!(
+            WireError::io("read", &e),
+            WireError::Timeout { what: "read" }
+        );
+        let e = std::io::Error::new(std::io::ErrorKind::WouldBlock, "w");
+        assert_eq!(
+            WireError::io("read", &e),
+            WireError::Timeout { what: "read" }
+        );
+        let e = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "r");
+        assert!(matches!(WireError::io("read", &e), WireError::Io { .. }));
+    }
+}

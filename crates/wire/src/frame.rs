@@ -1,0 +1,386 @@
+//! The length-prefixed, versioned, checksummed frame layer.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic       0x504E_4357 ("PNCW"), big-endian on the wire
+//! 4       1     version     protocol version (currently 1)
+//! 5       1     frame type  FrameType discriminant
+//! 6       2     reserved    must be zero (room for flags)
+//! 8       8     request id  little-endian; responses echo the request's
+//! 16      4     payload len little-endian byte count
+//! 20      4     crc32       IEEE CRC-32 of the payload bytes
+//! 24      n     payload     frame-type-specific encoding (see proto)
+//! ```
+//!
+//! The header is fixed at [`HEADER_LEN`] bytes so a reader always knows
+//! how much to read before it can validate anything. Validation order is
+//! magic → version → frame type → reserved → length bound → (after the
+//! payload arrives) CRC; the first failure yields a typed
+//! [`FrameError`] and the connection is closed — a byte stream that has
+//! lost framing cannot be resynchronized, and a fresh connection is
+//! cheaper than heuristic recovery. The CRC is what turns "the network
+//! flipped a bit" from a silent wrong answer into a typed reject: a torn
+//! or corrupted frame is *never* accepted.
+
+/// `"PNCW"` — printed-neuromorphic-circuit wire.
+pub const MAGIC: u32 = 0x504E_4357;
+
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Every frame type in protocol version 1. Requests flow client→server,
+/// responses server→client; the high bit distinguishes them so a peer can
+/// reject a misdirected frame without decoding its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// One-shot inference request (tenant + time-major window).
+    Submit = 0x01,
+    /// Open a resident session (tenant + reload policy).
+    OpenSession = 0x02,
+    /// Advance a resident session by one chunk.
+    SubmitChunk = 0x03,
+    /// Close a resident session.
+    CloseSession = 0x04,
+    /// Liveness probe.
+    Ping = 0x05,
+    /// Logits + guard health answering `Submit`/`SubmitChunk`.
+    Logits = 0x81,
+    /// Session id answering `OpenSession`.
+    SessionOpened = 0x82,
+    /// Whether the session was open, answering `CloseSession`.
+    SessionClosed = 0x83,
+    /// Liveness answer.
+    Pong = 0x84,
+    /// Typed rejection of the request with the echoed id.
+    Error = 0xE0,
+    /// Admission-gate shed: the server is at connection capacity.
+    Overloaded = 0xE1,
+    /// Graceful drain: the server is going away; no more requests will be
+    /// answered on this connection.
+    GoingAway = 0xE2,
+}
+
+impl FrameType {
+    /// Decodes a wire discriminant.
+    pub fn from_u8(v: u8) -> Option<FrameType> {
+        Some(match v {
+            0x01 => FrameType::Submit,
+            0x02 => FrameType::OpenSession,
+            0x03 => FrameType::SubmitChunk,
+            0x04 => FrameType::CloseSession,
+            0x05 => FrameType::Ping,
+            0x81 => FrameType::Logits,
+            0x82 => FrameType::SessionOpened,
+            0x83 => FrameType::SessionClosed,
+            0x84 => FrameType::Pong,
+            0xE0 => FrameType::Error,
+            0xE1 => FrameType::Overloaded,
+            0xE2 => FrameType::GoingAway,
+            _ => return None,
+        })
+    }
+
+    /// Whether this frame type flows client→server.
+    pub fn is_request(self) -> bool {
+        (self as u8) & 0x80 == 0
+    }
+}
+
+/// Why a received byte sequence is not a valid frame. Every variant means
+/// the stream can no longer be trusted and the connection must close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a FrameError means the stream lost framing — close the connection"]
+pub enum FrameError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// What arrived instead.
+        found: u32,
+    },
+    /// The peer speaks a protocol version this build does not.
+    BadVersion {
+        /// Version byte received.
+        found: u8,
+    },
+    /// Unknown frame-type discriminant.
+    BadType {
+        /// Type byte received.
+        found: u8,
+    },
+    /// Reserved header bytes were nonzero.
+    BadReserved,
+    /// The declared payload length exceeds the receiver's configured
+    /// maximum — either an attack or lost framing.
+    TooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// Receiver's cap.
+        max: u32,
+    },
+    /// The payload arrived but its CRC-32 does not match the header: the
+    /// frame was torn or corrupted in flight and is rejected.
+    CrcMismatch {
+        /// Checksum from the header.
+        declared: u32,
+        /// Checksum of the bytes that actually arrived.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => write!(f, "bad magic 0x{found:08X}"),
+            FrameError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (speaking {PROTOCOL_VERSION})"
+                )
+            }
+            FrameError::BadType { found } => write!(f, "unknown frame type 0x{found:02X}"),
+            FrameError::BadReserved => write!(f, "nonzero reserved header bytes"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::CrcMismatch { declared, computed } => write!(
+                f,
+                "payload CRC 0x{computed:08X} does not match declared 0x{declared:08X}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the zlib/ethernet polynomial).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A decoded frame header, ready to have its payload read and checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The frame type.
+    pub frame_type: FrameType,
+    /// Correlates responses with requests.
+    pub request_id: u64,
+    /// Payload byte count.
+    pub payload_len: u32,
+    /// Declared payload CRC-32.
+    pub crc: u32,
+}
+
+/// Encodes a complete frame (header + payload) into `out`, which is
+/// cleared first. Infallible: every (type, id, payload) triple is
+/// encodable.
+pub fn encode_frame(out: &mut Vec<u8>, frame_type: FrameType, request_id: u64, payload: &[u8]) {
+    out.clear();
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(frame_type as u8);
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Validates and decodes a [`HEADER_LEN`]-byte header. `max_payload`
+/// bounds the length a receiver is willing to buffer.
+///
+/// # Errors
+///
+/// The first [`FrameError`] in validation order (magic, version, type,
+/// reserved, length).
+pub fn decode_header(
+    bytes: &[u8; HEADER_LEN],
+    max_payload: u32,
+) -> Result<FrameHeader, FrameError> {
+    let magic = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    if bytes[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion { found: bytes[4] });
+    }
+    let Some(frame_type) = FrameType::from_u8(bytes[5]) else {
+        return Err(FrameError::BadType { found: bytes[5] });
+    };
+    if bytes[6] != 0 || bytes[7] != 0 {
+        return Err(FrameError::BadReserved);
+    }
+    let request_id = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if payload_len > max_payload {
+        return Err(FrameError::TooLarge {
+            len: payload_len,
+            max: max_payload,
+        });
+    }
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    Ok(FrameHeader {
+        frame_type,
+        request_id,
+        payload_len,
+        crc,
+    })
+}
+
+/// Checks a received payload against its header's CRC.
+///
+/// # Errors
+///
+/// [`FrameError::CrcMismatch`] when the bytes were torn or corrupted.
+pub fn check_payload(header: &FrameHeader, payload: &[u8]) -> Result<(), FrameError> {
+    let computed = crc32(payload);
+    if computed != header.crc {
+        return Err(FrameError::CrcMismatch {
+            declared: header.crc,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_everything() {
+        let payload = [7u8, 0, 255, 42, 1, 2, 3];
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, FrameType::Submit, 0xDEAD_BEEF_1234, &payload);
+        assert_eq!(buf.len(), HEADER_LEN + payload.len());
+        let header = decode_header(buf[..HEADER_LEN].try_into().unwrap(), 1024).unwrap();
+        assert_eq!(header.frame_type, FrameType::Submit);
+        assert_eq!(header.request_id, 0xDEAD_BEEF_1234);
+        assert_eq!(header.payload_len as usize, payload.len());
+        check_payload(&header, &buf[HEADER_LEN..]).unwrap();
+    }
+
+    #[test]
+    fn every_corrupted_payload_byte_is_rejected() {
+        let payload: Vec<u8> = (0..64u8).collect();
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, FrameType::Logits, 9, &payload);
+        let header = decode_header(buf[..HEADER_LEN].try_into().unwrap(), 1024).unwrap();
+        for i in 0..payload.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut torn = buf[HEADER_LEN..].to_vec();
+                torn[i] ^= bit;
+                assert!(
+                    matches!(
+                        check_payload(&header, &torn),
+                        Err(FrameError::CrcMismatch { .. })
+                    ),
+                    "flip of bit {bit:#04x} at byte {i} must be caught"
+                );
+            }
+        }
+        // Truncation is caught too.
+        let short = &buf[HEADER_LEN..buf.len() - 1];
+        assert!(check_payload(&header, short).is_err());
+    }
+
+    #[test]
+    fn header_validation_order_is_typed() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, FrameType::Ping, 1, &[]);
+        let ok: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+
+        let mut bad = ok;
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode_header(&bad, 64),
+            Err(FrameError::BadMagic { .. })
+        ));
+
+        let mut bad = ok;
+        bad[4] = 99;
+        assert!(matches!(
+            decode_header(&bad, 64),
+            Err(FrameError::BadVersion { found: 99 })
+        ));
+
+        let mut bad = ok;
+        bad[5] = 0x7F;
+        assert!(matches!(
+            decode_header(&bad, 64),
+            Err(FrameError::BadType { found: 0x7F })
+        ));
+
+        let mut bad = ok;
+        bad[6] = 1;
+        assert!(matches!(
+            decode_header(&bad, 64),
+            Err(FrameError::BadReserved)
+        ));
+
+        let mut bad = ok;
+        bad[16..20].copy_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            decode_header(&bad, 64),
+            Err(FrameError::TooLarge {
+                len: 1_000_000,
+                max: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn request_response_split_follows_the_high_bit() {
+        assert!(FrameType::Submit.is_request());
+        assert!(FrameType::Ping.is_request());
+        assert!(!FrameType::Logits.is_request());
+        assert!(!FrameType::GoingAway.is_request());
+        for v in 0..=255u8 {
+            if let Some(t) = FrameType::from_u8(v) {
+                assert_eq!(t as u8, v, "discriminant must roundtrip");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fault-tolerant wire transport for `ptnc-serve`.
+//!
+//! The serving layer (`ptnc-serve`) schedules printed-neuromorphic
+//! inference in-process: callers hold a [`ptnc_serve::Server`] and wait
+//! on tickets. This crate puts that API on a socket without giving up
+//! the robustness story — every failure mode a real network adds
+//! (partial writes, torn frames, stalled peers, dropped connections,
+//! overload) maps to a typed, bounded, recoverable outcome:
+//!
+//! - [`frame`] — a length-prefixed, versioned binary framing with a
+//!   CRC32 payload check: magic, protocol version, frame type, request
+//!   id, length, checksum. Corruption is detected per frame; a torn
+//!   frame can never decode.
+//! - [`proto`] — explicit little-endian payload encodings for the
+//!   one-shot submit and resident-session APIs; `f64`s travel as bit
+//!   patterns, so wire answers are bitwise equal to in-process answers.
+//! - [`server`] — [`server::WireServer`]: an accept loop over TCP or
+//!   unix sockets with a max-connections admission gate, per-connection
+//!   read/write/request deadlines, per-connection latency and
+//!   guard-health counters folded into the scheduler's
+//!   [`ptnc_serve::StatsRegistry`], and a graceful drain that finishes
+//!   in-flight requests and says goodbye before closing.
+//! - [`client`] — [`client::WireClient`]: per-request deadlines, bounded
+//!   exponential backoff with deterministic seeded jitter, automatic
+//!   reconnect, a trip/half-open/close circuit breaker, and honest
+//!   session semantics across reconnects
+//!   ([`error::WireError::SessionRestarted`]).
+//! - [`chaos`] — [`chaos::ChaosProxy`]: a deterministic fault-injecting
+//!   forwarder (drop/delay/duplicate/truncate/corrupt/split), keyed by
+//!   the same counter-based random streams as the fault simulator, that
+//!   turns "does this survive a bad network?" into a reproducible test
+//!   grid.
+//!
+//! The invariants the chaos grid pins: no panics, no hung waiters
+//! (every blocking path has a deadline), no torn frame ever accepted
+//! (CRC), and every response the client returns `Ok` is bitwise equal
+//! to what an in-process call would have produced.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod client;
+mod conn;
+pub mod error;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStatsSnapshot, FaultKind};
+pub use client::{ClientStats, SessionHandle, WireClient, WireClientConfig};
+pub use conn::Endpoint;
+pub use error::WireError;
+pub use frame::{FrameError, FrameType, HEADER_LEN, MAGIC, PROTOCOL_VERSION};
+pub use proto::{ErrorCode, ProtoError, Request, Response};
+pub use server::{WireServer, WireServerConfig, WireStatsSnapshot};

@@ -1,0 +1,617 @@
+//! Payload encodings for every frame type: a small, explicit,
+//! little-endian binary format with no self-describing overhead.
+//!
+//! Numbers are little-endian; `f64` values travel as their IEEE-754 bit
+//! patterns, so a logits vector is *bitwise* identical on both ends — the
+//! transport parity tests lean on this (a response served over the wire
+//! must equal the in-process answer bit for bit, or something tore it).
+//! Strings are UTF-8 with a `u16` length prefix; sample vectors carry a
+//! `u32` element count. Decoding is strict: trailing bytes, short
+//! buffers, bad enum discriminants, and non-UTF-8 tenants are all typed
+//! [`ProtoError`]s, never panics — the decoder runs on attacker-shaped
+//! bytes that already passed the CRC (corruption is caught a layer
+//! below; this layer catches *well-checksummed nonsense*).
+
+use ptnc_infer::Health;
+use ptnc_serve::{ReloadPolicy, ServingError};
+
+use crate::frame::FrameType;
+
+/// A structurally invalid payload (the CRC matched, so these bytes were
+/// sent like this on purpose — or the peer is broken).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a ProtoError means the peer sent nonsense — reject the request"]
+pub struct ProtoError {
+    /// What was wrong, for the error frame's detail string.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.what)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Typed rejection codes carried by [`Response::Error`] frames — the wire
+/// projection of [`ServingError`] plus the transport-local outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Queue full; back off and retry ([`ServingError::Backpressure`]).
+    Backpressure = 1,
+    /// Malformed request for the served model.
+    BadRequest = 2,
+    /// Request longer than the server's staging window.
+    TooManySteps = 3,
+    /// The server is shutting down.
+    ShuttingDown = 4,
+    /// No such session (closed, evicted, or never opened).
+    UnknownSession = 5,
+    /// The session already has a chunk in flight.
+    SessionBusy = 6,
+    /// Session capacity reached and nothing is idle.
+    SessionLimit = 7,
+    /// The request payload failed to decode.
+    Malformed = 8,
+    /// The server-side wait for the scheduler exceeded its deadline.
+    Deadline = 9,
+    /// Anything the server cannot classify better.
+    Internal = 10,
+}
+
+impl ErrorCode {
+    /// Decodes a wire discriminant.
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Backpressure,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::TooManySteps,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::UnknownSession,
+            6 => ErrorCode::SessionBusy,
+            7 => ErrorCode::SessionLimit,
+            8 => ErrorCode::Malformed,
+            9 => ErrorCode::Deadline,
+            10 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client may safely retry the same request after backoff.
+    /// Permanent rejections (malformed payloads, capacity policy) are
+    /// not retryable; congestion and lifecycle transients are.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Backpressure | ErrorCode::Deadline | ErrorCode::Internal
+        )
+    }
+}
+
+/// Projects a scheduler rejection onto its wire code.
+pub fn code_of(e: &ServingError) -> ErrorCode {
+    match e {
+        ServingError::Backpressure { .. } => ErrorCode::Backpressure,
+        ServingError::BadRequest(_) => ErrorCode::BadRequest,
+        ServingError::TooManySteps { .. } => ErrorCode::TooManySteps,
+        ServingError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServingError::UnknownSession => ErrorCode::UnknownSession,
+        ServingError::SessionBusy => ErrorCode::SessionBusy,
+        ServingError::SessionLimit { .. } => ErrorCode::SessionLimit,
+        _ => ErrorCode::Internal,
+    }
+}
+
+fn health_to_u8(h: Health) -> u8 {
+    match h {
+        Health::Healthy => 0,
+        Health::Degraded => 1,
+        Health::Faulted => 2,
+    }
+}
+
+fn health_from_u8(v: u8) -> Option<Health> {
+    Some(match v {
+        0 => Health::Healthy,
+        1 => Health::Degraded,
+        2 => Health::Faulted,
+        _ => return None,
+    })
+}
+
+fn policy_to_u8(p: ReloadPolicy) -> u8 {
+    match p {
+        ReloadPolicy::PinOld => 0,
+        ReloadPolicy::ResetOnReload => 1,
+    }
+}
+
+fn policy_from_u8(v: u8) -> Option<ReloadPolicy> {
+    Some(match v {
+        0 => ReloadPolicy::PinOld,
+        1 => ReloadPolicy::ResetOnReload,
+        _ => return None,
+    })
+}
+
+/// Client→server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One-shot inference of a full window.
+    Submit {
+        /// Tenant the request is accounted to.
+        tenant: String,
+        /// Time-major samples (`t × dim` values).
+        steps: Vec<f64>,
+    },
+    /// Open a resident session.
+    OpenSession {
+        /// Tenant the session is accounted to.
+        tenant: String,
+        /// Hot-reload policy for the session.
+        policy: ReloadPolicy,
+    },
+    /// Advance a session by one chunk.
+    SubmitChunk {
+        /// Server-issued session id.
+        session: u64,
+        /// Time-major samples continuing the stream.
+        steps: Vec<f64>,
+    },
+    /// Close a session.
+    CloseSession {
+        /// Server-issued session id.
+        session: u64,
+    },
+    /// Liveness probe (also the circuit breaker's half-open probe).
+    Ping,
+}
+
+/// Server→client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Logits plus end-of-batch guard health.
+    Logits {
+        /// Class logits, bitwise as computed.
+        logits: Vec<f64>,
+        /// Guard health of the request's lane.
+        health: Health,
+    },
+    /// Session opened.
+    SessionOpened {
+        /// Server-issued session id.
+        session: u64,
+    },
+    /// Session close acknowledged.
+    SessionClosed {
+        /// Whether the id named an open session.
+        was_open: bool,
+    },
+    /// Liveness answer.
+    Pong,
+    /// Typed rejection.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Admission-gate shed.
+    Overloaded {
+        /// Connections currently live.
+        active: u32,
+        /// Configured connection capacity.
+        capacity: u32,
+    },
+    /// Graceful drain announcement.
+    GoingAway,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtoError> {
+        let end = self.at.checked_add(n).ok_or(ProtoError { what })?;
+        if end > self.bytes.len() {
+            return Err(ProtoError { what });
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, ProtoError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError { what })
+    }
+
+    fn f64s(&mut self, what: &'static str) -> Result<Vec<f64>, ProtoError> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n.checked_mul(8).ok_or(ProtoError { what })?, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    fn finish(&self, what: &'static str) -> Result<(), ProtoError> {
+        if self.at != self.bytes.len() {
+            return Err(ProtoError { what });
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "length checked by callers");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl Request {
+    /// The frame type carrying this request.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Request::Submit { .. } => FrameType::Submit,
+            Request::OpenSession { .. } => FrameType::OpenSession,
+            Request::SubmitChunk { .. } => FrameType::SubmitChunk,
+            Request::CloseSession { .. } => FrameType::CloseSession,
+            Request::Ping => FrameType::Ping,
+        }
+    }
+
+    /// Encodes the payload into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] when a field exceeds its wire width (tenant longer
+    /// than `u16::MAX` bytes, more than `u32::MAX` samples).
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), ProtoError> {
+        out.clear();
+        match self {
+            Request::Submit { tenant, steps } => {
+                check_widths(tenant, steps)?;
+                put_string(out, tenant);
+                put_f64s(out, steps);
+            }
+            Request::OpenSession { tenant, policy } => {
+                check_widths(tenant, &[])?;
+                put_string(out, tenant);
+                out.push(policy_to_u8(*policy));
+            }
+            Request::SubmitChunk { session, steps } => {
+                check_widths("", steps)?;
+                out.extend_from_slice(&session.to_le_bytes());
+                put_f64s(out, steps);
+            }
+            Request::CloseSession { session } => {
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+            Request::Ping => {}
+        }
+        Ok(())
+    }
+
+    /// Decodes a request payload of the given frame type.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on short, oversize, or structurally invalid bytes —
+    /// including a *response* frame type arriving where a request belongs.
+    pub fn decode(frame_type: FrameType, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let req = match frame_type {
+            FrameType::Submit => Request::Submit {
+                tenant: c.string("submit tenant")?,
+                steps: c.f64s("submit steps")?,
+            },
+            FrameType::OpenSession => Request::OpenSession {
+                tenant: c.string("open-session tenant")?,
+                policy: policy_from_u8(c.u8("open-session policy")?).ok_or(ProtoError {
+                    what: "open-session policy discriminant",
+                })?,
+            },
+            FrameType::SubmitChunk => Request::SubmitChunk {
+                session: c.u64("chunk session id")?,
+                steps: c.f64s("chunk steps")?,
+            },
+            FrameType::CloseSession => Request::CloseSession {
+                session: c.u64("close session id")?,
+            },
+            FrameType::Ping => Request::Ping,
+            _ => {
+                return Err(ProtoError {
+                    what: "response frame type in request position",
+                })
+            }
+        };
+        c.finish("trailing request bytes")?;
+        Ok(req)
+    }
+}
+
+fn check_widths(tenant: &str, steps: &[f64]) -> Result<(), ProtoError> {
+    if tenant.len() > u16::MAX as usize {
+        return Err(ProtoError {
+            what: "tenant name exceeds u16 length prefix",
+        });
+    }
+    if steps.len() > u32::MAX as usize {
+        return Err(ProtoError {
+            what: "sample count exceeds u32 length prefix",
+        });
+    }
+    Ok(())
+}
+
+impl Response {
+    /// The frame type carrying this response.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Response::Logits { .. } => FrameType::Logits,
+            Response::SessionOpened { .. } => FrameType::SessionOpened,
+            Response::SessionClosed { .. } => FrameType::SessionClosed,
+            Response::Pong => FrameType::Pong,
+            Response::Error { .. } => FrameType::Error,
+            Response::Overloaded { .. } => FrameType::Overloaded,
+            Response::GoingAway => FrameType::GoingAway,
+        }
+    }
+
+    /// Encodes the payload into `out` (cleared first). Detail strings
+    /// longer than the `u16` prefix are truncated at a char boundary
+    /// rather than failing — an error path must not create a second
+    /// error.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            Response::Logits { logits, health } => {
+                out.push(health_to_u8(*health));
+                put_f64s(out, logits);
+            }
+            Response::SessionOpened { session } => {
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+            Response::SessionClosed { was_open } => out.push(u8::from(*was_open)),
+            Response::Pong => {}
+            Response::Error { code, detail } => {
+                out.push(*code as u8);
+                let mut end = detail.len().min(u16::MAX as usize);
+                while !detail.is_char_boundary(end) {
+                    end -= 1;
+                }
+                put_string(out, &detail[..end]);
+            }
+            Response::Overloaded { active, capacity } => {
+                out.extend_from_slice(&active.to_le_bytes());
+                out.extend_from_slice(&capacity.to_le_bytes());
+            }
+            Response::GoingAway => {}
+        }
+    }
+
+    /// Decodes a response payload of the given frame type.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on short, oversize, or structurally invalid bytes —
+    /// including a *request* frame type arriving where a response belongs.
+    pub fn decode(frame_type: FrameType, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let resp = match frame_type {
+            FrameType::Logits => Response::Logits {
+                health: health_from_u8(c.u8("logits health")?).ok_or(ProtoError {
+                    what: "logits health discriminant",
+                })?,
+                logits: c.f64s("logits values")?,
+            },
+            FrameType::SessionOpened => Response::SessionOpened {
+                session: c.u64("opened session id")?,
+            },
+            FrameType::SessionClosed => Response::SessionClosed {
+                was_open: c.u8("session-closed flag")? != 0,
+            },
+            FrameType::Pong => Response::Pong,
+            FrameType::Error => Response::Error {
+                code: ErrorCode::from_u8(c.u8("error code")?).ok_or(ProtoError {
+                    what: "error code discriminant",
+                })?,
+                detail: c.string("error detail")?,
+            },
+            FrameType::Overloaded => Response::Overloaded {
+                active: c.u32("overloaded active")?,
+                capacity: c.u32("overloaded capacity")?,
+            },
+            FrameType::GoingAway => Response::GoingAway,
+            _ => {
+                return Err(ProtoError {
+                    what: "request frame type in response position",
+                })
+            }
+        };
+        c.finish("trailing response bytes")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        req.encode(&mut buf).unwrap();
+        let back = Request::decode(req.frame_type(), &buf).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        resp.encode(&mut buf);
+        let back = Response::decode(resp.frame_type(), &buf).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip_bitwise() {
+        roundtrip_request(Request::Submit {
+            tenant: "edge-λ".into(),
+            steps: vec![0.1, -2.5e300, f64::MIN_POSITIVE, 0.0, -0.0],
+        });
+        roundtrip_request(Request::OpenSession {
+            tenant: "fleet".into(),
+            policy: ReloadPolicy::ResetOnReload,
+        });
+        roundtrip_request(Request::SubmitChunk {
+            session: u64::MAX,
+            steps: vec![1.0; 7],
+        });
+        roundtrip_request(Request::CloseSession { session: 3 });
+        roundtrip_request(Request::Ping);
+    }
+
+    #[test]
+    fn responses_roundtrip_bitwise() {
+        roundtrip_response(Response::Logits {
+            logits: vec![1.5, -0.25, 1e-308],
+            health: Health::Degraded,
+        });
+        roundtrip_response(Response::SessionOpened { session: 42 });
+        roundtrip_response(Response::SessionClosed { was_open: true });
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Backpressure,
+            detail: "queue full (64/64)".into(),
+        });
+        roundtrip_response(Response::Overloaded {
+            active: 128,
+            capacity: 128,
+        });
+        roundtrip_response(Response::GoingAway);
+    }
+
+    #[test]
+    fn nan_payloads_survive_bitwise() {
+        // NaN != NaN, so compare bit patterns instead of values.
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let req = Request::Submit {
+            tenant: "t".into(),
+            steps: vec![weird],
+        };
+        let mut buf = Vec::new();
+        req.encode(&mut buf).unwrap();
+        match Request::decode(FrameType::Submit, &buf).unwrap() {
+            Request::Submit { steps, .. } => {
+                assert_eq!(steps[0].to_bits(), weird.to_bits());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_decoding_rejects_structural_nonsense() {
+        // Short buffer.
+        assert!(Request::decode(FrameType::Submit, &[0, 1]).is_err());
+        // Trailing bytes.
+        let mut buf = Vec::new();
+        Request::Ping.encode(&mut buf).unwrap();
+        buf.push(0);
+        assert!(Request::decode(FrameType::Ping, &buf).is_err());
+        // Bad policy discriminant.
+        let mut buf = Vec::new();
+        Request::OpenSession {
+            tenant: "t".into(),
+            policy: ReloadPolicy::PinOld,
+        }
+        .encode(&mut buf)
+        .unwrap();
+        *buf.last_mut().unwrap() = 9;
+        assert!(Request::decode(FrameType::OpenSession, &buf).is_err());
+        // Declared sample count larger than the buffer.
+        let mut buf = Vec::new();
+        Request::SubmitChunk {
+            session: 1,
+            steps: vec![1.0],
+        }
+        .encode(&mut buf)
+        .unwrap();
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(FrameType::SubmitChunk, &buf).is_err());
+        // Role confusion both ways.
+        assert!(Request::decode(FrameType::Logits, &[]).is_err());
+        assert!(Response::decode(FrameType::Submit, &[]).is_err());
+        // Bad health / error-code discriminants.
+        assert!(Response::decode(FrameType::Logits, &[7, 0, 0, 0, 0]).is_err());
+        assert!(Response::decode(FrameType::Error, &[99, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn error_code_retryability_is_conservative() {
+        assert!(ErrorCode::Backpressure.is_retryable());
+        assert!(ErrorCode::Deadline.is_retryable());
+        assert!(!ErrorCode::BadRequest.is_retryable());
+        assert!(!ErrorCode::UnknownSession.is_retryable());
+        assert!(!ErrorCode::ShuttingDown.is_retryable());
+        for v in 1..=10u8 {
+            assert_eq!(ErrorCode::from_u8(v).unwrap() as u8, v);
+        }
+        assert!(ErrorCode::from_u8(0).is_none());
+        assert!(ErrorCode::from_u8(11).is_none());
+    }
+
+    #[test]
+    fn oversize_error_detail_is_truncated_not_fatal() {
+        let resp = Response::Error {
+            code: ErrorCode::Internal,
+            detail: "é".repeat(40_000), // 80k bytes > u16::MAX
+        };
+        let mut buf = Vec::new();
+        resp.encode(&mut buf);
+        match Response::decode(FrameType::Error, &buf).unwrap() {
+            Response::Error { detail, .. } => {
+                assert!(detail.len() <= u16::MAX as usize);
+                assert!(!detail.is_empty());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}
