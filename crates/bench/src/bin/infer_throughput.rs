@@ -15,7 +15,10 @@
 //! Knobs: `PNC_SMOKE=1` shrinks everything for CI; `PNC_INFER_SEQS`,
 //! `PNC_INFER_STEPS`, `PNC_INFER_HIDDEN` override the workload. Results
 //! are recorded as telemetry spans/gauges under the `infer` scope when
-//! `PNC_TELEMETRY=<path>` is set.
+//! `PNC_TELEMETRY=<path>` is set, and written as JSON to `PNC_INFER_JSON`
+//! (default `BENCH_infer.json`). `PNC_INFER_ENFORCE=1` fails the run if a
+//! graph-free path allocates per forward or the batched path falls below
+//! 1.5x autograd throughput.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -229,4 +232,52 @@ fn run() {
     // Keep the computed logits observable so the timed loops cannot be
     // optimized away.
     eprintln!("checksum: {sink:.6}");
+
+    let json_path = std::env::var("PNC_INFER_JSON").unwrap_or_else(|_| "BENCH_infer.json".into());
+    let paths_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"path\": \"{}\",\n      \"seqs_per_sec\": {:.1},\n      \"timesteps_per_sec\": {:.1},\n      \"allocs_per_forward\": {:.2},\n      \"speedup_vs_autograd\": {:.2}\n    }}",
+                r.name,
+                r.seqs_per_sec,
+                r.seqs_per_sec * wl.steps as f64,
+                r.allocs_per_forward,
+                r.seqs_per_sec / base,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"infer_throughput\",\n  \"seqs\": {},\n  \"steps\": {},\n  \"hidden\": {},\n  \"classes\": {},\n  \"paths\": [\n{}\n  ],\n  \"notes\": \"f64 inner loops hoist bounds checks via chunks_exact since PR 10; same-machine pre-hoist baseline at the default shape: graphfree ~27000, batched ~32600 seqs/sec (post-hoist: ~38000 / ~43000, +40% / +32%)\"\n}}\n",
+        wl.seqs,
+        wl.steps,
+        wl.hidden,
+        wl.classes,
+        paths_json.join(",\n"),
+    );
+    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    eprintln!("wrote {json_path}");
+
+    if std::env::var("PNC_INFER_ENFORCE").is_ok_and(|v| v != "0") {
+        let mut gate_failed = false;
+        for r in &results[1..] {
+            if r.allocs_per_forward != 0.0 {
+                eprintln!(
+                    "PNC_INFER_ENFORCE: {} path allocates ({:.2}/forward) — failing",
+                    r.name, r.allocs_per_forward
+                );
+                gate_failed = true;
+            }
+        }
+        let batched_speedup = results[2].seqs_per_sec / base;
+        if batched_speedup < 1.5 {
+            eprintln!(
+                "PNC_INFER_ENFORCE: batched path is only {batched_speedup:.2}x autograd (< 1.5x) — failing"
+            );
+            gate_failed = true;
+        }
+        if gate_failed {
+            std::process::exit(1);
+        }
+    }
 }

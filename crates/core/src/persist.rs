@@ -34,6 +34,13 @@ pub struct ModelSnapshot {
     pub filter_stages: usize,
     /// Nominal coupling factor μ the filters were designed at.
     pub mu_nominal: f64,
+    /// Optional serving-precision hint: the canonical name of the kernel
+    /// precision to compile the snapshot at (`"f64"`, `"f32"`,
+    /// `"i32q24"`, …). Absent or `null` — including every snapshot written
+    /// before the field existed — means the reference `f64`, so parity and
+    /// bitwise guarantees of default deployments are untouched.
+    #[serde(default)]
+    pub precision: Option<String>,
     /// Every parameter tensor's data, in [`PrintedModel::parameters`] order.
     pub parameters: Vec<Vec<f64>>,
 }
@@ -68,6 +75,9 @@ pub enum RestoreError {
         /// Index in the parameter list.
         index: usize,
     },
+    /// The snapshot's `precision` hint is not a known precision name, or
+    /// names a fixed-point format this architecture cannot execute.
+    BadPrecision(String),
 }
 
 impl std::fmt::Display for RestoreError {
@@ -95,6 +105,9 @@ impl std::fmt::Display for RestoreError {
             ),
             RestoreError::NonFiniteParameter { index } => {
                 write!(f, "parameter {index} contains a non-finite value")
+            }
+            RestoreError::BadPrecision(hint) => {
+                write!(f, "unusable precision hint {hint:?}")
             }
         }
     }
@@ -147,6 +160,7 @@ pub fn snapshot(model: &PrintedModel) -> ModelSnapshot {
         classes: model.num_classes(),
         filter_stages: model.order().stages(),
         mu_nominal: model.mu_nominal(),
+        precision: None,
         parameters: model.parameters().iter().map(|p| p.to_vec()).collect(),
     }
 }
@@ -396,6 +410,30 @@ mod tests {
         let err = restore(&snap).unwrap_err();
         assert!(matches!(err, RestoreError::UnsupportedVersion(99)));
         assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn precision_hint_round_trips_and_defaults_to_none() {
+        let mut snap = snapshot(&model());
+        assert_eq!(snap.precision, None);
+        // A fresh snapshot serializes a null hint, and legacy JSON with no
+        // `precision` key at all decodes to None as well.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ModelSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.precision, None);
+        let stripped: String = to_json(&model())
+            .lines()
+            .filter(|l| !l.contains("precision"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let legacy: ModelSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(legacy.precision, None);
+        // An explicit hint survives the round trip.
+        snap.precision = Some("i32q24".into());
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ModelSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.precision.as_deref(), Some("i32q24"));
+        assert!(restore(&back).is_ok(), "hint must not affect restore");
     }
 
     #[test]

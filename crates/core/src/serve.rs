@@ -15,7 +15,7 @@
 
 use std::path::Path;
 
-use ptnc_infer::{BuildError, InferModel, InferSpec, VariationDistribution};
+use ptnc_infer::{BuildError, InferModel, InferSpec, Precision, VariationDistribution};
 use ptnc_nn::FrozenParams;
 
 use crate::models::PrintedModel;
@@ -111,6 +111,7 @@ impl From<PersistError> for ServeError {
 pub struct ServeModelBuilder {
     dt: Option<f64>,
     logit_scale: Option<f64>,
+    precision: Option<Precision>,
 }
 
 impl ServeModelBuilder {
@@ -129,6 +130,15 @@ impl ServeModelBuilder {
         self
     }
 
+    /// Compiles the engine's kernels at the given [`Precision`]. When not
+    /// set, snapshots follow their own `precision` hint and everything
+    /// else defaults to the reference `f64`.
+    #[must_use]
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
     /// Compiles a live design-time model.
     ///
     /// # Errors
@@ -144,7 +154,11 @@ impl ServeModelBuilder {
             spec.logit_scale = scale;
         }
         let frozen = FrozenParams::capture(&model.parameters());
-        let engine = InferModel::build(spec, frozen.values())?;
+        let engine = InferModel::build_with_precision(
+            spec,
+            frozen.values(),
+            self.precision.unwrap_or_default(),
+        )?;
         Ok(ServeModel { spec, engine })
     }
 
@@ -156,7 +170,9 @@ impl ServeModelBuilder {
     /// # Errors
     ///
     /// [`ServeError::Restore`] when the snapshot declares an unsupported
-    /// format or is inconsistent with its own architecture.
+    /// format, is inconsistent with its own architecture, or carries a
+    /// `precision` hint that cannot be parsed or executed
+    /// ([`RestoreError::BadPrecision`]).
     pub fn from_snapshot(self, snap: &ModelSnapshot) -> Result<ServeModel, ServeError> {
         if snap.format_version != SNAPSHOT_FORMAT_VERSION {
             return Err(RestoreError::UnsupportedVersion(snap.format_version).into());
@@ -164,6 +180,14 @@ impl ServeModelBuilder {
         if !(1..=3).contains(&snap.filter_stages) {
             return Err(RestoreError::BadFilterOrder(snap.filter_stages).into());
         }
+        // An explicit builder override beats the snapshot's own hint.
+        let precision = match (self.precision, &snap.precision) {
+            (Some(p), _) => p,
+            (None, Some(hint)) => hint
+                .parse::<Precision>()
+                .map_err(|_| RestoreError::BadPrecision(hint.clone()))?,
+            (None, None) => Precision::F64,
+        };
         let spec = InferSpec {
             input_dim: snap.input_dim,
             hidden: snap.hidden,
@@ -173,29 +197,36 @@ impl ServeModelBuilder {
             dt: self.dt.unwrap_or(crate::pdk::Pdk::paper_default().dt),
             logit_scale: self.logit_scale.unwrap_or(LOGIT_SCALE),
         };
-        let engine = InferModel::build(spec, &snap.parameters).map_err(|e| match e {
-            BuildError::BadStageCount(n) => RestoreError::BadFilterOrder(n),
-            BuildError::ParameterCountMismatch { expected, found } => {
-                RestoreError::ParameterCountMismatch { expected, found }
-            }
-            BuildError::ParameterShapeMismatch {
-                index,
-                expected,
-                found,
-            } => RestoreError::ParameterShapeMismatch {
-                index,
-                expected,
-                found,
+        let engine = InferModel::build_with_precision(spec, &snap.parameters, precision).map_err(
+            |e| match e {
+                BuildError::BadStageCount(n) => RestoreError::BadFilterOrder(n),
+                BuildError::BadQFormat { .. } | BuildError::QFormatOverflow { .. } => {
+                    RestoreError::BadPrecision(precision.name())
+                }
+                BuildError::ParameterCountMismatch { expected, found } => {
+                    RestoreError::ParameterCountMismatch { expected, found }
+                }
+                BuildError::ParameterShapeMismatch {
+                    index,
+                    expected,
+                    found,
+                } => RestoreError::ParameterShapeMismatch {
+                    index,
+                    expected,
+                    found,
+                },
+                BuildError::NonFiniteParameter { index } => {
+                    RestoreError::NonFiniteParameter { index }
+                }
+                // ZeroDimension and future variants: a zero-sized snapshot
+                // cannot match any parameter count, so surface it as a count
+                // mismatch.
+                _ => RestoreError::ParameterCountMismatch {
+                    expected: 0,
+                    found: snap.parameters.len(),
+                },
             },
-            BuildError::NonFiniteParameter { index } => RestoreError::NonFiniteParameter { index },
-            // ZeroDimension and future variants: a zero-sized snapshot
-            // cannot match any parameter count, so surface it as a count
-            // mismatch.
-            _ => RestoreError::ParameterCountMismatch {
-                expected: 0,
-                found: snap.parameters.len(),
-            },
-        })?;
+        )?;
         Ok(ServeModel { spec, engine })
     }
 
@@ -281,6 +312,11 @@ impl ServeModel {
     /// The spec the engine was compiled at.
     pub fn spec(&self) -> &InferSpec {
         &self.spec
+    }
+
+    /// The precision the engine's kernels were compiled at.
+    pub fn precision(&self) -> Precision {
+        self.engine.precision()
     }
 
     /// The compiled inference engine.
@@ -408,6 +444,51 @@ mod tests {
         let snap = snapshot(&m);
         let dt = ServeModel::builder().dt(0.5).from_snapshot(&snap).unwrap();
         assert_eq!(dt.spec().dt, 0.5);
+    }
+
+    #[test]
+    fn snapshot_precision_hint_selects_backend() {
+        let m = model();
+        let mut snap = snapshot(&m);
+        // No hint → reference f64.
+        let default = ServeModel::from_snapshot(&snap).unwrap();
+        assert_eq!(default.precision(), Precision::F64);
+        // Hint selects the quantized backend and its logits stay close to
+        // the reference.
+        snap.precision = Some("f32".into());
+        let quantized = ServeModel::from_snapshot(&snap).unwrap();
+        assert_eq!(quantized.precision(), Precision::F32);
+        let flat = ServeModel::flatten_steps(&steps()).unwrap();
+        let a = default.engine().run_batch(&flat, 3).unwrap();
+        let b = quantized.engine().run_batch(&flat, 3).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        // Builder override beats the snapshot hint.
+        let overridden = ServeModel::builder()
+            .precision(Precision::F64)
+            .from_snapshot(&snap)
+            .unwrap();
+        assert_eq!(overridden.precision(), Precision::F64);
+        assert_eq!(a, overridden.engine().run_batch(&flat, 3).unwrap());
+        // From-live compiles quantized too.
+        let live = ServeModel::builder()
+            .precision("i32q24".parse().unwrap())
+            .from_live(&m)
+            .unwrap();
+        assert_eq!(live.precision().name(), "i32q24");
+    }
+
+    #[test]
+    fn bad_precision_hint_is_a_restore_error() {
+        let mut snap = snapshot(&model());
+        snap.precision = Some("f16".into());
+        let err = ServeModel::from_snapshot(&snap).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Restore(RestoreError::BadPrecision(_))
+        ));
+        assert!(err.to_string().contains("f16"));
     }
 
     #[test]

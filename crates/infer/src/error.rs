@@ -46,6 +46,16 @@ pub enum InferError {
         /// Human-readable description of the inconsistency.
         reason: &'static str,
     },
+    /// A [`Scratch`](crate::Scratch) compiled at one precision was handed
+    /// to a model compiled at another — the buffer layouts (and for
+    /// quantized backends the number formats) are incompatible, so the
+    /// request sheds instead of reinterpreting memory.
+    PrecisionMismatch {
+        /// Precision of the model serving the request.
+        expected: crate::Precision,
+        /// Precision the scratch was created at.
+        found: crate::Precision,
+    },
 }
 
 impl std::fmt::Display for InferError {
@@ -78,6 +88,10 @@ impl std::fmt::Display for InferError {
             InferError::InvalidGuardConfig { reason } => {
                 write!(f, "invalid guard config: {reason}")
             }
+            InferError::PrecisionMismatch { expected, found } => write!(
+                f,
+                "scratch precision {found} does not match model precision {expected}"
+            ),
         }
     }
 }
@@ -113,6 +127,12 @@ mod tests {
             reason: "zero-length health window",
         };
         assert!(e.to_string().contains("health window"));
+        let e = InferError::PrecisionMismatch {
+            expected: crate::Precision::F64,
+            found: crate::Precision::F32,
+        };
+        assert!(e.to_string().contains("f32"));
+        assert!(e.to_string().contains("f64"));
     }
 
     #[test]

@@ -62,6 +62,7 @@
 mod error;
 mod guard;
 mod model;
+mod precision;
 mod session;
 mod stream;
 mod variation;
@@ -69,6 +70,7 @@ mod variation;
 pub use error::InferError;
 pub use guard::{DegradePolicy, GuardConfig, GuardStats, GuardedStream, Health, InputGuard};
 pub use model::{BuildError, InferModel, InferSpec, Scratch};
+pub use precision::{Precision, PrecisionParseError, QFormat};
 pub use session::StreamSession;
 pub use stream::StreamState;
 pub use variation::{LayerVariation, VariationDistribution, VariationSample};

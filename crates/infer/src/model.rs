@@ -6,6 +6,7 @@
 //! layer sheds malformed requests instead of panicking.
 
 use crate::error::InferError;
+use crate::precision::{KernelF32, KernelI32, Precision, ScratchF32, ScratchI32};
 use crate::variation::{LayerVariation, VariationSample};
 
 /// Architecture and operating constants of a frozen 2-layer printed
@@ -96,6 +97,19 @@ pub enum BuildError {
         /// Index in the parameter list.
         index: usize,
     },
+    /// A fixed-point format outside the supported fractional-bit range.
+    BadQFormat {
+        /// Fractional bits requested.
+        frac_bits: u32,
+    },
+    /// A fixed-point format too fine for this architecture's fan-in: the
+    /// crossbar's `i64` accumulator could overflow.
+    QFormatOverflow {
+        /// Fractional bits requested.
+        frac_bits: u32,
+        /// Finest format the architecture supports.
+        max_frac_bits: u32,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -118,6 +132,17 @@ impl std::fmt::Display for BuildError {
             BuildError::NonFiniteParameter { index } => {
                 write!(f, "parameter {index} contains a non-finite value")
             }
+            BuildError::BadQFormat { frac_bits } => {
+                write!(f, "unsupported fixed-point format q{frac_bits}")
+            }
+            BuildError::QFormatOverflow {
+                frac_bits,
+                max_frac_bits,
+            } => write!(
+                f,
+                "fixed-point format q{frac_bits} too fine for this fan-in \
+                 (accumulator overflow; finest supported is q{max_frac_bits})"
+            ),
         }
     }
 }
@@ -144,23 +169,23 @@ struct LayerParams {
 /// normalization `G`, per-stage filter recurrence coefficients and initial
 /// voltages, and the (possibly perturbed) η vectors.
 #[derive(Debug, Clone)]
-struct CompiledLayer {
-    fan_in: usize,
-    fan_out: usize,
+pub(crate) struct CompiledLayer {
+    pub(crate) fan_in: usize,
+    pub(crate) fan_out: usize,
     /// Effective `θ_w` `[fan_in × fan_out]` (noise applied if any).
-    w: Vec<f64>,
+    pub(crate) w: Vec<f64>,
     /// Effective `θ_b` `[fan_out]`.
-    b: Vec<f64>,
+    pub(crate) b: Vec<f64>,
     /// Column conductance sum `G` `[fan_out]`.
-    g: Vec<f64>,
+    pub(crate) g: Vec<f64>,
     /// Filter decay coefficient `a = RC/(μRC + Δt)` per stage `[fan_out]`.
-    a: Vec<Vec<f64>>,
+    pub(crate) a: Vec<Vec<f64>>,
     /// Filter input coefficient `b = Δt/(μRC + Δt)` per stage `[fan_out]`.
-    bc: Vec<Vec<f64>>,
+    pub(crate) bc: Vec<Vec<f64>>,
     /// Initial stage voltage per stage `[fan_out]`.
-    v0: Vec<Vec<f64>>,
+    pub(crate) v0: Vec<Vec<f64>>,
     /// Effective η₁..η₄ `[fan_out]` each.
-    eta: [Vec<f64>; 4],
+    pub(crate) eta: [Vec<f64>; 4],
 }
 
 impl CompiledLayer {
@@ -276,26 +301,41 @@ impl CompiledLayer {
                     *o += xv * wv;
                 }
             }
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = (*o + self.b[j]) / self.g[j];
+            for ((o, &bj), &gj) in out_row.iter_mut().zip(&self.b).zip(&self.g) {
+                *o = (*o + bj) / gj;
             }
         }
-        // Filter stages: state ← a⊙state + b⊙input, chained.
+        // Filter stages: state ← a⊙state + b⊙input, chained. Lane rows are
+        // pre-split with `chunks_exact` so the inner loop zips coefficient
+        // slices instead of indexing `idx % o_dim` — identical arithmetic,
+        // no modulo or bounds checks in the hot loop.
         for s in 0..states.len() {
             let (prev, rest) = states.split_at_mut(s);
             let state = &mut rest[0][..batch * o_dim];
-            let input: &[f64] = if s == 0 { xb } else { &prev[s - 1] };
-            for (idx, st) in state.iter_mut().enumerate() {
-                let j = idx % o_dim;
-                *st = self.a[s][j] * *st + self.bc[s][j] * input[idx];
+            let input: &[f64] = if s == 0 {
+                xb
+            } else {
+                &prev[s - 1][..batch * o_dim]
+            };
+            let (a_s, b_s) = (&self.a[s][..o_dim], &self.bc[s][..o_dim]);
+            for (srow, irow) in state.chunks_exact_mut(o_dim).zip(input.chunks_exact(o_dim)) {
+                let coeff = a_s.iter().zip(b_s.iter());
+                for ((st, &iv), (&av, &bv)) in srow.iter_mut().zip(irow).zip(coeff) {
+                    *st = av * *st + bv * iv;
+                }
             }
         }
         // ptanh: η₁ + η₂·tanh((V − η₃)·η₄).
-        let last = &states[states.len() - 1];
+        let last = &states[states.len() - 1][..batch * o_dim];
         let (e1, e2, e3, e4) = (&self.eta[0], &self.eta[1], &self.eta[2], &self.eta[3]);
-        for (idx, out) in act[..batch * o_dim].iter_mut().enumerate() {
-            let j = idx % o_dim;
-            *out = e1[j] + e2[j] * ((last[idx] - e3[j]) * e4[j]).tanh();
+        for (arow, lrow) in act[..batch * o_dim]
+            .chunks_exact_mut(o_dim)
+            .zip(last.chunks_exact(o_dim))
+        {
+            let eta = e1.iter().zip(e2.iter()).zip(e3.iter().zip(e4.iter()));
+            for ((out, &lv), ((&h1, &h2), (&h3, &h4))) in arow.iter_mut().zip(lrow).zip(eta) {
+                *out = h1 + h2 * ((lv - h3) * h4).tanh();
+            }
         }
     }
 }
@@ -303,9 +343,30 @@ impl CompiledLayer {
 /// Preallocated, reusable working memory for one batch size. Create once
 /// with [`InferModel::make_scratch`] and reuse across forwards — the hot
 /// loop performs no allocation.
+///
+/// A scratch carries the precision of the model that created it: its
+/// internal buffers are `f64`, `f32` or quantized `i32` depending on the
+/// backend, and the batch entry points reject a scratch whose precision
+/// does not match the model's. The lane-state API below always speaks
+/// `f64` wire format (stage voltages in `[layer][stage][filter]` order)
+/// regardless of the backend, so sessions persist and migrate state the
+/// same way at every precision.
 #[derive(Debug, Clone)]
 pub struct Scratch {
     batch: usize,
+    repr: ScratchRepr,
+}
+
+#[derive(Debug, Clone)]
+enum ScratchRepr {
+    F64(ScratchF64),
+    F32(ScratchF32),
+    I32(ScratchI32),
+}
+
+/// The reference backend's buffers, lane-major like the autograd kernels.
+#[derive(Debug, Clone)]
+struct ScratchF64 {
     /// Crossbar output buffer, `[batch × max_width]`.
     xb: Vec<f64>,
     /// Hidden-layer activation, `[batch × hidden]`.
@@ -322,85 +383,109 @@ impl Scratch {
         self.batch
     }
 
+    /// The precision of the model this scratch was created by.
+    pub fn precision(&self) -> Precision {
+        match &self.repr {
+            ScratchRepr::F64(_) => Precision::F64,
+            ScratchRepr::F32(_) => Precision::F32,
+            ScratchRepr::I32(s) => Precision::I32(s.qformat()),
+        }
+    }
+
     /// Length of one lane's flat resident filter state: the values of
     /// every `[layer][stage]` buffer that belong to a single batch lane,
     /// in `[layer][stage][filter]` order. Sessions persist exactly this
     /// many `f64`s between submissions.
     pub fn lane_state_len(&self) -> usize {
-        self.states
-            .iter()
-            .flatten()
-            .map(|stage| stage.len() / self.batch)
-            .sum()
+        match &self.repr {
+            ScratchRepr::F64(s) => s
+                .states
+                .iter()
+                .flatten()
+                .map(|stage| stage.len() / self.batch)
+                .sum(),
+            ScratchRepr::F32(s) => s.lane_state_len(),
+            ScratchRepr::I32(s) => s.lane_state_len(),
+        }
+    }
+
+    fn check_lane(&self, lane: usize, state_len: usize) -> Result<(), InferError> {
+        if lane >= self.batch {
+            return Err(InferError::ShapeMismatch {
+                what: "state lane",
+                expected: self.batch,
+                found: lane,
+            });
+        }
+        if state_len != self.lane_state_len() {
+            return Err(InferError::ShapeMismatch {
+                what: "lane state",
+                expected: self.lane_state_len(),
+                found: state_len,
+            });
+        }
+        Ok(())
     }
 
     /// Copies lane `lane`'s filter states into `out` (flat
-    /// `[layer][stage][filter]` order, [`Scratch::lane_state_len`] values).
+    /// `[layer][stage][filter]` wire order, [`Scratch::lane_state_len`]
+    /// values). Quantized backends dequantize and convert their internal
+    /// delayed-output state into stage voltages on the fly.
     ///
     /// # Errors
     ///
     /// [`InferError::ShapeMismatch`] on a lane out of range or an `out`
     /// of the wrong length; nothing is written on error.
     pub fn export_lane_state(&self, lane: usize, out: &mut [f64]) -> Result<(), InferError> {
-        if lane >= self.batch {
-            return Err(InferError::ShapeMismatch {
-                what: "state lane",
-                expected: self.batch,
-                found: lane,
-            });
-        }
-        if out.len() != self.lane_state_len() {
-            return Err(InferError::ShapeMismatch {
-                what: "lane state",
-                expected: self.lane_state_len(),
-                found: out.len(),
-            });
-        }
-        let mut at = 0;
-        for stage in self.states.iter().flatten() {
-            let fan_out = stage.len() / self.batch;
-            out[at..at + fan_out].copy_from_slice(&stage[lane * fan_out..(lane + 1) * fan_out]);
-            at += fan_out;
+        self.check_lane(lane, out.len())?;
+        match &self.repr {
+            ScratchRepr::F64(s) => {
+                let mut at = 0;
+                for stage in s.states.iter().flatten() {
+                    let fan_out = stage.len() / self.batch;
+                    out[at..at + fan_out]
+                        .copy_from_slice(&stage[lane * fan_out..(lane + 1) * fan_out]);
+                    at += fan_out;
+                }
+            }
+            ScratchRepr::F32(s) => s.export_lane_state(lane, self.batch, out),
+            ScratchRepr::I32(s) => s.export_lane_state(lane, self.batch, out),
         }
         Ok(())
     }
 
     /// Writes a flat lane state (as produced by
     /// [`Scratch::export_lane_state`]) into lane `lane`'s filter states.
+    /// Quantized backends convert the stage voltages to their internal
+    /// state and re-quantize, so an export/import round trip is stable.
     ///
     /// # Errors
     ///
     /// [`InferError::ShapeMismatch`] on a lane out of range or a `state`
     /// of the wrong length; the scratch is untouched on error.
     pub fn import_lane_state(&mut self, lane: usize, state: &[f64]) -> Result<(), InferError> {
-        if lane >= self.batch {
-            return Err(InferError::ShapeMismatch {
-                what: "state lane",
-                expected: self.batch,
-                found: lane,
-            });
-        }
-        if state.len() != self.lane_state_len() {
-            return Err(InferError::ShapeMismatch {
-                what: "lane state",
-                expected: self.lane_state_len(),
-                found: state.len(),
-            });
-        }
+        self.check_lane(lane, state.len())?;
         let batch = self.batch;
-        let mut at = 0;
-        for stage in self.states.iter_mut().flatten() {
-            let fan_out = stage.len() / batch;
-            stage[lane * fan_out..(lane + 1) * fan_out].copy_from_slice(&state[at..at + fan_out]);
-            at += fan_out;
+        match &mut self.repr {
+            ScratchRepr::F64(s) => {
+                let mut at = 0;
+                for stage in s.states.iter_mut().flatten() {
+                    let fan_out = stage.len() / batch;
+                    stage[lane * fan_out..(lane + 1) * fan_out]
+                        .copy_from_slice(&state[at..at + fan_out]);
+                    at += fan_out;
+                }
+            }
+            ScratchRepr::F32(s) => s.import_lane_state(lane, batch, state),
+            ScratchRepr::I32(s) => s.import_lane_state(lane, batch, state),
         }
         Ok(())
     }
 
-    /// Root-mean-square of lane `lane`'s resident filter-state values — a
-    /// cheap scalar summary of filter excitation that drift detectors can
-    /// track over time. NaN states propagate into the result (a non-finite
-    /// RMS is itself a detection signal).
+    /// Root-mean-square of lane `lane`'s resident filter-state values (in
+    /// wire format) — a cheap scalar summary of filter excitation that
+    /// drift detectors can track over time. NaN states propagate into the
+    /// result (a non-finite RMS is itself a detection signal).
     ///
     /// # Errors
     ///
@@ -413,31 +498,43 @@ impl Scratch {
                 found: lane,
             });
         }
-        let mut sum_sq = 0.0;
-        let mut n = 0usize;
-        for stage in self.states.iter().flatten() {
-            let fan_out = stage.len() / self.batch;
-            for &v in &stage[lane * fan_out..(lane + 1) * fan_out] {
-                sum_sq += v * v;
-                n += 1;
+        Ok(match &self.repr {
+            ScratchRepr::F64(s) => {
+                let mut sum_sq = 0.0;
+                let mut n = 0usize;
+                for stage in s.states.iter().flatten() {
+                    let fan_out = stage.len() / self.batch;
+                    for &v in &stage[lane * fan_out..(lane + 1) * fan_out] {
+                        sum_sq += v * v;
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    0.0
+                } else {
+                    (sum_sq / n as f64).sqrt()
+                }
             }
-        }
-        Ok(if n == 0 {
-            0.0
-        } else {
-            (sum_sq / n as f64).sqrt()
+            ScratchRepr::F32(s) => s.lane_state_rms(lane, self.batch),
+            ScratchRepr::I32(s) => s.lane_state_rms(lane, self.batch),
         })
     }
 
     /// Whether every filter-state value is finite. One non-finite input
     /// sample poisons the `a⊙state + b⊙input` recurrence permanently, so
     /// watchdogs (and the guarded-path tests) use this to audit state
-    /// health between forwards.
+    /// health between forwards. The `i32` backend is finite by
+    /// construction (saturating arithmetic), so it always reports `true`.
     pub fn states_are_finite(&self) -> bool {
-        self.states
-            .iter()
-            .flatten()
-            .all(|stage| stage.iter().all(|v| v.is_finite()))
+        match &self.repr {
+            ScratchRepr::F64(s) => s
+                .states
+                .iter()
+                .flatten()
+                .all(|stage| stage.iter().all(|v| v.is_finite())),
+            ScratchRepr::F32(s) => s.states_are_finite(),
+            ScratchRepr::I32(_) => true,
+        }
     }
 }
 
@@ -450,17 +547,66 @@ pub struct InferModel {
     spec: InferSpec,
     raw: [LayerParams; 2],
     layers: [CompiledLayer; 2],
+    precision: Precision,
+    backend: Backend,
+}
+
+/// The compiled execution backend. `F64` runs [`CompiledLayer::step`]
+/// directly; the reduced-precision kernels are compiled *from* the f64
+/// layers (a single quantization point), so `perturbed()` requantizes
+/// for free after recompiling the layers.
+#[derive(Debug, Clone)]
+enum Backend {
+    F64,
+    F32(KernelF32),
+    I32(KernelI32),
+}
+
+impl Backend {
+    fn compile(
+        precision: Precision,
+        spec: &InferSpec,
+        layers: &[CompiledLayer; 2],
+    ) -> Result<Backend, BuildError> {
+        match precision {
+            Precision::F64 => Ok(Backend::F64),
+            Precision::F32 => Ok(Backend::F32(KernelF32::compile(layers, spec.input_dim))),
+            Precision::I32(q) => {
+                q.validate_for(spec.input_dim.max(spec.hidden))?;
+                Ok(Backend::I32(KernelI32::compile(layers, spec.input_dim, q)))
+            }
+        }
+    }
 }
 
 impl InferModel {
     /// Compiles a flat parameter list (in `PrintedModel::parameters`
-    /// order) into an executable model.
+    /// order) into an executable model at the reference `f64` precision.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] when the parameters are inconsistent with
     /// the declared architecture or contain non-finite values.
     pub fn build(spec: InferSpec, params: &[Vec<f64>]) -> Result<Self, BuildError> {
+        Self::build_with_precision(spec, params, Precision::F64)
+    }
+
+    /// Like [`InferModel::build`] but compiling the execution kernels at
+    /// the given [`Precision`]. The raw parameters and the f64 compiled
+    /// layers are kept regardless of backend (quantization happens from
+    /// them), so the lane-state wire format and `reset_lane_state` are
+    /// precision-independent.
+    ///
+    /// # Errors
+    ///
+    /// The [`BuildError`]s of [`InferModel::build`], plus
+    /// [`BuildError::QFormatOverflow`] if an `i32` format is too fine for
+    /// the architecture's fan-in.
+    pub fn build_with_precision(
+        spec: InferSpec,
+        params: &[Vec<f64>],
+        precision: Precision,
+    ) -> Result<Self, BuildError> {
         if spec.input_dim == 0 || spec.hidden == 0 || spec.classes == 0 {
             return Err(BuildError::ZeroDimension);
         }
@@ -515,12 +661,24 @@ impl InferModel {
             }
         });
         let layers = std::array::from_fn(|l| CompiledLayer::compile(&raw[l], &spec, None));
-        Ok(InferModel { spec, raw, layers })
+        let backend = Backend::compile(precision, &spec, &layers)?;
+        Ok(InferModel {
+            spec,
+            raw,
+            layers,
+            precision,
+            backend,
+        })
     }
 
     /// The architecture this model was compiled for.
     pub fn spec(&self) -> &InferSpec {
         &self.spec
+    }
+
+    /// The precision the execution kernels were compiled at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Compiles a per-trial instance under one variation sample. The raw
@@ -559,10 +717,16 @@ impl InferModel {
         let layers = std::array::from_fn(|l| {
             CompiledLayer::compile(&self.raw[l], &self.spec, Some(&sample.layers[l]))
         });
+        // Q-format fan-in validation depends only on the spec, which this
+        // model already passed at build time.
+        let backend = Backend::compile(self.precision, &self.spec, &layers)
+            .expect("precision was validated against this spec at build time");
         Ok(InferModel {
             spec: self.spec,
             raw: self.raw.clone(),
             layers,
+            precision: self.precision,
+            backend,
         })
     }
 
@@ -575,17 +739,23 @@ impl InferModel {
         if batch == 0 {
             return Err(InferError::ZeroBatch);
         }
-        let max_w = self.spec.hidden.max(self.spec.classes);
-        Ok(Scratch {
-            batch,
-            xb: vec![0.0; batch * max_w],
-            hidden_act: vec![0.0; batch * self.spec.hidden],
-            class_act: vec![0.0; batch * self.spec.classes],
-            states: std::array::from_fn(|l| {
-                let fan_out = self.spec.layer_dims()[l].1;
-                vec![vec![0.0; batch * fan_out]; self.spec.stages]
-            }),
-        })
+        let repr = match &self.backend {
+            Backend::F64 => {
+                let max_w = self.spec.hidden.max(self.spec.classes);
+                ScratchRepr::F64(ScratchF64 {
+                    xb: vec![0.0; batch * max_w],
+                    hidden_act: vec![0.0; batch * self.spec.hidden],
+                    class_act: vec![0.0; batch * self.spec.classes],
+                    states: std::array::from_fn(|l| {
+                        let fan_out = self.spec.layer_dims()[l].1;
+                        vec![vec![0.0; batch * fan_out]; self.spec.stages]
+                    }),
+                })
+            }
+            Backend::F32(k) => ScratchRepr::F32(k.make_scratch(batch)),
+            Backend::I32(k) => ScratchRepr::I32(k.make_scratch(batch)),
+        };
+        Ok(Scratch { batch, repr })
     }
 
     /// Length of one stream's flat resident filter state
@@ -624,41 +794,62 @@ impl InferModel {
     /// Resets the filter states in `scratch` to this instance's initial
     /// stage voltages (zero at nominal, the sampled V₀ when perturbed).
     pub(crate) fn reset_states(&self, scratch: &mut Scratch) {
-        for (layer, states) in self.layers.iter().zip(scratch.states.iter_mut()) {
-            for (s, state) in states.iter_mut().enumerate() {
-                for (idx, st) in state.iter_mut().enumerate() {
-                    *st = layer.v0[s][idx % layer.fan_out];
+        match (&self.backend, &mut scratch.repr) {
+            (Backend::F64, ScratchRepr::F64(sc)) => {
+                for (layer, states) in self.layers.iter().zip(sc.states.iter_mut()) {
+                    for (s, state) in states.iter_mut().enumerate() {
+                        for row in state.chunks_exact_mut(layer.fan_out) {
+                            row.copy_from_slice(&layer.v0[s]);
+                        }
+                    }
                 }
             }
+            (Backend::F32(k), ScratchRepr::F32(sc)) => k.reset(sc, scratch.batch),
+            (Backend::I32(k), ScratchRepr::I32(sc)) => k.reset(sc, scratch.batch),
+            _ => unreachable!("scratch precision checked before kernel dispatch"),
         }
     }
 
     /// Advances every layer by one timestep. `src` is `[batch × input_dim]`;
-    /// afterwards `scratch.class_act` holds the final-layer activation.
+    /// afterwards the scratch's class activation holds the final-layer
+    /// output. Callers must have validated the scratch against this model
+    /// (every public entry point does).
     pub(crate) fn advance(&self, src: &[f64], scratch: &mut Scratch) {
         let batch = scratch.batch;
-        let (st0, st1) = scratch.states.split_at_mut(1);
-        self.layers[0].step(
-            src,
-            batch,
-            &mut scratch.xb,
-            &mut st0[0],
-            &mut scratch.hidden_act,
-        );
-        self.layers[1].step(
-            &scratch.hidden_act,
-            batch,
-            &mut scratch.xb,
-            &mut st1[0],
-            &mut scratch.class_act,
-        );
+        match (&self.backend, &mut scratch.repr) {
+            (Backend::F64, ScratchRepr::F64(sc)) => {
+                let (st0, st1) = sc.states.split_at_mut(1);
+                self.layers[0].step(src, batch, &mut sc.xb, &mut st0[0], &mut sc.hidden_act);
+                self.layers[1].step(
+                    &sc.hidden_act,
+                    batch,
+                    &mut sc.xb,
+                    &mut st1[0],
+                    &mut sc.class_act,
+                );
+            }
+            (Backend::F32(k), ScratchRepr::F32(sc)) => k.advance(src, sc, batch),
+            (Backend::I32(k), ScratchRepr::I32(sc)) => k.advance(src, sc, batch),
+            _ => unreachable!("scratch precision checked before kernel dispatch"),
+        }
     }
 
     /// Writes the sense-stage logits (final-layer activation × logit
     /// scale) into `out`.
     pub(crate) fn read_logits(&self, scratch: &Scratch, out: &mut [f64]) {
-        for (o, &v) in out.iter_mut().zip(&scratch.class_act) {
-            *o = v * self.spec.logit_scale;
+        match (&self.backend, &scratch.repr) {
+            (Backend::F64, ScratchRepr::F64(sc)) => {
+                for (o, &v) in out.iter_mut().zip(&sc.class_act) {
+                    *o = v * self.spec.logit_scale;
+                }
+            }
+            (Backend::F32(k), ScratchRepr::F32(sc)) => {
+                k.read_logits(sc, scratch.batch, self.spec.logit_scale, out)
+            }
+            (Backend::I32(k), ScratchRepr::I32(sc)) => {
+                k.read_logits(sc, scratch.batch, self.spec.logit_scale, out)
+            }
+            _ => unreachable!("scratch precision checked before kernel dispatch"),
         }
     }
 
@@ -748,6 +939,13 @@ impl InferModel {
                 what: "scratch batch",
                 expected: batch,
                 found: scratch.batch,
+            });
+        }
+        let found = scratch.precision();
+        if found != self.precision {
+            return Err(InferError::PrecisionMismatch {
+                expected: self.precision,
+                found,
             });
         }
         if out.len() != batch * self.spec.classes {
@@ -892,6 +1090,71 @@ mod tests {
             .run_batch_into(&steps, 1, &mut scratch, &mut second)
             .unwrap();
         assert_eq!(first, second, "scratch reuse must not leak state");
+    }
+
+    #[test]
+    fn quantized_backends_track_reference() {
+        use crate::precision::QFormat;
+        let spec = tiny_spec();
+        let params = tiny_params(&spec);
+        let steps: Vec<f64> = (0..24).map(|t| (t as f64 * 0.31).sin() * 0.8).collect();
+        let reference = InferModel::build(spec, &params)
+            .unwrap()
+            .run_batch(&steps, 1)
+            .unwrap();
+        for precision in [Precision::F32, Precision::I32(QFormat::DEFAULT)] {
+            let model = InferModel::build_with_precision(spec, &params, precision).unwrap();
+            assert_eq!(model.precision(), precision);
+            let got = model.run_batch(&steps, 1).unwrap();
+            for (g, r) in got.iter().zip(&reference) {
+                assert!(
+                    (g - r).abs() < 1e-3,
+                    "{precision} diverged: {g} vs {r} (all: {got:?} vs {reference:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_scratch_precision_is_rejected() {
+        let spec = tiny_spec();
+        let params = tiny_params(&spec);
+        let f64_model = InferModel::build(spec, &params).unwrap();
+        let f32_model = InferModel::build_with_precision(spec, &params, Precision::F32).unwrap();
+        let mut scratch = f32_model.make_scratch(1).unwrap();
+        assert_eq!(scratch.precision(), Precision::F32);
+        let mut out = vec![0.0; spec.classes];
+        let err = f64_model
+            .run_batch_into(&[0.5, 0.25], 1, &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            InferError::PrecisionMismatch {
+                expected: Precision::F64,
+                found: Precision::F32,
+            }
+        ));
+    }
+
+    #[test]
+    fn too_fine_qformat_is_rejected_at_build() {
+        use crate::precision::QFormat;
+        let spec = InferSpec {
+            input_dim: 1,
+            hidden: 300,
+            classes: 2,
+            stages: 1,
+            mu_nominal: 1.15,
+            dt: 0.01,
+            logit_scale: 4.0,
+        };
+        let params: Vec<Vec<f64>> = spec.param_lens().iter().map(|&n| vec![0.1; n]).collect();
+        let err = InferModel::build_with_precision(spec, &params, Precision::I32(QFormat::DEFAULT))
+            .unwrap_err();
+        assert!(matches!(err, BuildError::QFormatOverflow { .. }));
+        // A coarser format fits the same architecture.
+        let coarse = Precision::I32(QFormat::new(16).unwrap());
+        assert!(InferModel::build_with_precision(spec, &params, coarse).is_ok());
     }
 
     #[test]

@@ -161,6 +161,12 @@ impl BatchConfig {
 /// Public so the steady-state loop can be driven (and its allocation
 /// behavior measured) outside the thread pool — `serve_throughput` pins
 /// the 0-allocs-per-forward claim on exactly this type.
+///
+/// The scratch is compiled at the model's kernel precision (f64 / f32 /
+/// i32 fixed-point) and sized exactly once, which is why the registry
+/// rejects hot reloads that change precision
+/// ([`ReloadError::PrecisionChanged`](crate::ReloadError::PrecisionChanged)):
+/// a worker's buffers outlive any individual swap.
 pub struct MicroBatcher {
     dim: usize,
     classes: usize,

@@ -51,6 +51,11 @@ pub enum ReloadError {
     /// the one being served; hot reload only swaps weights-compatible
     /// models.
     SpecChanged,
+    /// The snapshot compiled but at a different kernel precision than the
+    /// one being served. Worker scratch buffers and resident session state
+    /// are laid out for one precision, so changing it requires a redeploy,
+    /// not a hot swap.
+    PrecisionChanged,
 }
 
 impl std::fmt::Display for ReloadError {
@@ -62,6 +67,12 @@ impl std::fmt::Display for ReloadError {
                 write!(
                     f,
                     "snapshot changes the architecture; redeploy instead of hot-reloading"
+                )
+            }
+            ReloadError::PrecisionChanged => {
+                write!(
+                    f,
+                    "snapshot changes the kernel precision; redeploy instead of hot-reloading"
                 )
             }
         }
@@ -224,10 +235,16 @@ impl ModelRegistry {
                 return self.reject(ReloadError::Invalid(e));
             }
         };
-        if candidate.spec() != self.current().spec() {
+        let live = self.current();
+        if candidate.spec() != live.spec() {
             *rejected_fp = Some(fp);
             return self.reject(ReloadError::SpecChanged);
         }
+        if candidate.precision() != live.precision() {
+            *rejected_fp = Some(fp);
+            return self.reject(ReloadError::PrecisionChanged);
+        }
+        drop(live);
         let engine = Arc::new(candidate.into_engine());
         let t0 = Instant::now();
         {
@@ -346,6 +363,47 @@ mod tests {
     fn reload_error_display() {
         assert!(ReloadError::Io("gone".into()).to_string().contains("gone"));
         assert!(ReloadError::SpecChanged.to_string().contains("redeploy"));
+        assert!(ReloadError::PrecisionChanged
+            .to_string()
+            .contains("precision"));
+    }
+
+    /// A snapshot that recompiles at a different kernel precision must be
+    /// rejected by hot reload: worker scratch buffers and resident session
+    /// state are laid out for the precision the server started at.
+    #[test]
+    fn precision_change_is_rejected_by_hot_reload() {
+        let dir = std::env::temp_dir().join(format!("ptnc-reload-prec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model =
+            adapt_pnc::models::PrintedModel::adapt_pnc(1, 2, 2, &mut ptnc_tensor::init::rng(7));
+        let mut snap = adapt_pnc::persist::snapshot(&model);
+        adapt_pnc::persist::write_atomic(&path, serde_json::to_string(&snap).unwrap().as_bytes())
+            .unwrap();
+        let reg = ModelRegistry::open(&path).unwrap();
+        assert_eq!(reg.current().precision(), ptnc_infer::Precision::F64);
+
+        // Same weights, new precision hint → typed rejection, old model
+        // stays live, and the rejection is cached (no recompile per tick).
+        snap.precision = Some("f32".into());
+        adapt_pnc::persist::write_atomic(&path, serde_json::to_string(&snap).unwrap().as_bytes())
+            .unwrap();
+        assert!(matches!(
+            reg.poll(),
+            ReloadOutcome::Rejected(ReloadError::PrecisionChanged)
+        ));
+        assert_eq!(reg.current().precision(), ptnc_infer::Precision::F64);
+        assert!(matches!(reg.poll(), ReloadOutcome::Unchanged));
+
+        // Clearing the hint (with a weight tweak so the bytes differ)
+        // hot-reloads normally again.
+        snap.precision = None;
+        snap.parameters[0][0] += 0.001;
+        adapt_pnc::persist::write_atomic(&path, serde_json::to_string(&snap).unwrap().as_bytes())
+            .unwrap();
+        assert!(matches!(reg.poll(), ReloadOutcome::Swapped(_)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Watcher-satellite regression: a poll that cannot *read* the
